@@ -1,0 +1,66 @@
+// Figure 11: throughput and latency vs packet size on the two platforms,
+// optimized and unoptimized (the section 3.2 techniques).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+namespace menshen {
+namespace {
+
+void PrintPanel(const char* title, const std::vector<ThroughputPoint>& pts,
+                bool with_latency) {
+  bench::Header(title);
+  std::printf("%8s %12s %12s %12s%s\n", "size(B)", "L1 (Gb/s)", "L2 (Gb/s)",
+              "rate (Mpps)", with_latency ? "   latency (us)" : "");
+  for (const auto& p : pts) {
+    std::printf("%8zu %12.2f %12.2f %12.2f", p.bytes, p.l1_gbps, p.l2_gbps,
+                p.mpps);
+    if (with_latency) std::printf("%15.3f", p.mean_latency_us);
+    std::printf("\n");
+  }
+}
+
+void PrintFigure11() {
+  PrintPanel("Figure 11a — optimized NetFPGA (10G link, MoonGen host)",
+             Fig11aNetFpgaOptimized(), false);
+  bench::Note("(paper: line rate 10 Gb/s from 96-byte packets; 64B is\n"
+              " generator-limited at ~12 Mpps)");
+
+  PrintPanel("Figure 11b — optimized Corundum (100G, Spirent tester)",
+             Fig11bCorundumOptimized(), false);
+  bench::Note("(paper: 100 Gb/s layer-1 from 256-byte packets)");
+
+  PrintPanel("Figure 11c — unoptimized Corundum",
+             Fig11cCorundumUnoptimized(), false);
+  bench::Note("(paper: tops out near 80 Gb/s at MTU-size packets)");
+
+  PrintPanel("Figure 11d — optimized Corundum sampled latency at full rate",
+             Fig11bCorundumOptimized(), true);
+  bench::Note("(paper: ~1.0-1.25 us across the sweep, rising with size)");
+}
+
+void BM_TimingSimulator(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  TimingSimulator sim(CorundumPlatform(), OptimizedTiming());
+  std::vector<SimPacket> pkts(10000);
+  for (auto& p : pkts) p.bytes = bytes;
+  for (auto _ : state) {
+    sim.Reset();
+    std::vector<SimPacket> batch = pkts;
+    sim.Run(batch);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_TimingSimulator)->Arg(64)->Arg(1500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace menshen
+
+int main(int argc, char** argv) {
+  menshen::PrintFigure11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

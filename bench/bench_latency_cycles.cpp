@@ -1,0 +1,50 @@
+// Section 5.2 latency numbers: pipeline cycles and nanoseconds for 64 B
+// and MTU packets on both platforms, from the cycle-level simulator.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+namespace menshen {
+namespace {
+
+void PrintLatencyTable() {
+  bench::Header("Section 5.2 — pipeline latency (idle pipeline)");
+  std::printf("%-12s %10s %10s %12s %14s\n", "Platform", "size(B)", "cycles",
+              "latency(ns)", "paper");
+  const char* paper[] = {"79 / 505.6 ns", "~146-150 / 960 ns",
+                         "106 / 424 ns", "129 / 516 ns"};
+  const auto rows = Section52LatencyTable();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-12s %10zu %10llu %12.1f %14s\n", rows[i].platform.c_str(),
+                rows[i].bytes,
+                static_cast<unsigned long long>(rows[i].cycles), rows[i].ns,
+                paper[i]);
+  }
+
+  bench::Header("Latency vs packet size (cycle model)");
+  std::printf("%8s %16s %16s\n", "size(B)", "NetFPGA (ns)", "Corundum (ns)");
+  for (std::size_t s = 64; s <= 1500; s += 128) {
+    std::printf("%8zu %16.1f %16.1f\n", s,
+                NetFpgaPlatform().clock.cycles_to_ns(
+                    IdleLatencyCycles(NetFpgaPlatform(), s)),
+                CorundumPlatform().clock.cycles_to_ns(
+                    IdleLatencyCycles(CorundumPlatform(), s)));
+  }
+}
+
+void BM_IdleLatencyModel(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(IdleLatencyCycles(CorundumPlatform(), 1500));
+}
+BENCHMARK(BM_IdleLatencyModel);
+
+}  // namespace
+}  // namespace menshen
+
+int main(int argc, char** argv) {
+  menshen::PrintLatencyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Microbenchmarks of the functional pipeline model itself: how fast this
+// simulator processes packets, and the cost of its hot elements.  (Not a
+// paper figure — throughput of the simulator, quoted in the README.)
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "config/daisy_chain.hpp"
+#include "runtime/module_manager.hpp"
+
+namespace menshen {
+namespace {
+
+Pipeline& LoadedCalcPipeline() {
+  static Pipeline pipe;
+  static bool done = [] {
+    ModuleManager mgr(pipe);
+    const ModuleAllocation alloc =
+        UniformAllocation(ModuleId(2), 0, params::kNumStages, 0, 8, 0, 32);
+    CompiledModule m = Compile(apps::CalcSpec(), alloc);
+    mgr.Load(m, alloc);
+    apps::InstallCalcEntries(m, 1);
+    mgr.Update(m);
+    return true;
+  }();
+  (void)done;
+  return pipe;
+}
+
+Packet CalcRequest() {
+  Packet p = PacketBuilder{}.vid(ModuleId(2)).frame_size(96).Build();
+  p.bytes().set_u16(46, apps::kCalcOpAdd);
+  p.bytes().set_u32(48, 1);
+  p.bytes().set_u32(52, 2);
+  return p;
+}
+
+void BM_FunctionalPacket(benchmark::State& state) {
+  Pipeline& pipe = LoadedCalcPipeline();
+  const Packet req = CalcRequest();
+  for (auto _ : state) {
+    Packet copy = req;
+    benchmark::DoNotOptimize(pipe.Process(std::move(copy)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FunctionalPacket);
+
+void BM_ParseOnly(benchmark::State& state) {
+  Pipeline& pipe = LoadedCalcPipeline();
+  const Packet req = CalcRequest();
+  for (auto _ : state) benchmark::DoNotOptimize(pipe.parser().Parse(req));
+}
+BENCHMARK(BM_ParseOnly);
+
+void BM_CamLookup(benchmark::State& state) {
+  Pipeline& pipe = LoadedCalcPipeline();
+  const Phv phv = pipe.parser().Parse(CalcRequest());
+  const BitVec key = pipe.stage(0).MaskedKeyFor(phv);
+  const auto& cam = pipe.stage(0).cam();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cam.Lookup(key, ModuleId(2)));
+}
+BENCHMARK(BM_CamLookup);
+
+void BM_KeyExtraction(benchmark::State& state) {
+  Pipeline& pipe = LoadedCalcPipeline();
+  const Phv phv = pipe.parser().Parse(CalcRequest());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pipe.stage(0).MaskedKeyFor(phv));
+}
+BENCHMARK(BM_KeyExtraction);
+
+}  // namespace
+}  // namespace menshen
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Table 4: FPGA resource usage of the 5-stage Menshen pipeline vs the
+// single-module RMT baseline and the stock platforms.  The isolation-
+// primitive census is computed from the Table 5 parameters; the LUT
+// conversion constants are fitted (see area/resource_model.hpp).
+#include <benchmark/benchmark.h>
+
+#include "area/resource_model.hpp"
+#include "bench_util.hpp"
+
+namespace menshen {
+namespace {
+
+struct PaperRow {
+  const char* design;
+  double luts;
+  double brams;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"NetFPGA reference switch", 42325, 245.5},
+    {"RMT on NetFPGA", 200573, 641},
+    {"Menshen on NetFPGA", 200733, 641},
+    {"Corundum", 61463, 349},
+    {"RMT on Corundum", 235686, 316},
+    {"Menshen on Corundum", 235903, 316},
+};
+
+void PrintTable4() {
+  bench::Header("Table 4 — FPGA resources (paper vs model)");
+  const auto rows = Table4Model();
+  std::printf("%-26s %12s %12s %10s %10s %10s\n", "Design", "LUTs(model)",
+              "LUTs(paper)", "LUT %", "BRAM", "BRAM %");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-26s %12.0f %12.0f %9.2f%% %10.1f %9.2f%%\n",
+                rows[i].design.c_str(), rows[i].luts, kPaper[i].luts,
+                rows[i].luts_pct, rows[i].brams, rows[i].brams_pct);
+  }
+
+  const IsolationCensus census = MenshenCensus();
+  std::printf("\nIsolation-primitive census (from Table 5 parameters):\n");
+  std::printf("  overlay storage total: %zu bits (parser %zu + deparser %zu"
+              " + per-stage %zu x %zu stages)\n",
+              census.total_overlay_bits(), census.parser_table_bits,
+              census.deparser_table_bits,
+              census.key_extractor_bits_per_stage +
+                  census.key_mask_bits_per_stage +
+                  census.segment_table_bits_per_stage,
+              census.stages);
+  std::printf("  extra CAM bit-entries (12-bit module ID x 16 rows x 5 "
+              "stages): %zu\n",
+              census.total_extra_cam_bit_entries());
+  std::printf("  Menshen-over-RMT LUT delta: %.0f (NetFPGA, paper +160) / "
+              "%.0f (Corundum, paper +217)\n",
+              MenshenLutDelta(census, 256), MenshenLutDelta(census, 512));
+  bench::Note("(paper: Menshen adds +0.65% / +0.15% LUTs over RMT and no "
+              "Block RAM)");
+}
+
+void BM_CensusAndModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Table4Model());
+  }
+}
+BENCHMARK(BM_CensusAndModel);
+
+}  // namespace
+}  // namespace menshen
+
+int main(int argc, char** argv) {
+  menshen::PrintTable4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Shared formatting helpers for the figure/table benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace menshen::bench {
+
+inline void Header(const std::string& title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace menshen::bench

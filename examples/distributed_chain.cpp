@@ -1,0 +1,84 @@
+// A module spread across two programmable devices (section 3.4 discusses
+// modules spanning devices — NetChain itself is a switch chain).  Here a
+// tenant's service chain runs NetChain sequencing on the first switch and
+// its firewall policy on the second; the vSwitch at the network edge
+// stamps the tenant's VLAN ID, and both devices select the tenant's
+// configuration from their own overlay tables with that single ID.
+//
+//   $ ./examples/distributed_chain
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "net/network.hpp"
+#include "runtime/module_manager.hpp"
+
+using namespace menshen;
+
+namespace {
+
+Packet ChainRequest(u32 src_ip) {
+  Packet p = PacketBuilder{}
+                 .ipv4(src_ip, 0x0A000002)
+                 .udp(1234, 4321)
+                 .frame_size(96)
+                 .Build();
+  p.bytes().set_u16(46, apps::kNetChainOpSeq);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Network net;
+  Device& s1 = net.AddDevice("s1");  // head: sequencing
+  Device& s2 = net.AddDevice("s2");  // tail: admission policy
+  net.Link({"s1", 2}, {"s2", 1});
+  net.AttachHost({"s1", 1}, ModuleId(5));  // the tenant's edge port
+
+  // Head switch: NetChain assigns sequence numbers, then forwards toward
+  // the tail over port 2.
+  {
+    const auto alloc = UniformAllocation(ModuleId(5), 0, 5, 0, 4, 0, 8);
+    CompiledModule m = Compile(apps::NetChainSpec(), alloc);
+    ModuleManager mgr(s1.pipeline());
+    mgr.Load(m, alloc);
+    apps::InstallNetChainEntries(m, /*out_port=*/2);
+    mgr.Update(m);
+  }
+
+  // Tail switch: the same tenant's firewall admits only the replica
+  // subnet to the storage port (port 7).
+  {
+    const auto alloc = UniformAllocation(ModuleId(5), 0, 5, 0, 8, 0, 0);
+    CompiledModule m = Compile(apps::FirewallSpec(), alloc);
+    ModuleManager mgr(s2.pipeline());
+    mgr.Load(m, alloc);
+    apps::FirewallRules rules;
+    rules.allowed_src_ips = {0x0A000001};   // the replica
+    rules.blocked_src_ips = {0xC0A80101};   // an outsider
+    rules.forward_port = 7;
+    apps::InstallFirewallEntries(m, rules);
+    mgr.Update(m);
+  }
+
+  // Replica traffic: sequenced at s1, admitted at s2.
+  for (int i = 0; i < 3; ++i) {
+    const auto out = net.InjectFromHost({"s1", 1}, ChainRequest(0x0A000001));
+    if (out.size() == 1) {
+      std::printf("replica request %d: seq=%u, delivered at %s:%u\n", i,
+                  out[0].packet.bytes().u32_at(48),
+                  out[0].at.device.c_str(), out[0].at.port);
+    }
+  }
+
+  // Outsider traffic: still sequenced at s1 (the head cannot know), but
+  // the tenant's own policy kills it at s2.
+  const auto blocked = net.InjectFromHost({"s1", 1}, ChainRequest(0xC0A80101));
+  std::printf("outsider request: %s\n",
+              blocked.empty() ? "dropped by the tail firewall"
+                              : "DELIVERED?!");
+
+  std::printf("loop drops: %llu (loop-free by construction)\n",
+              static_cast<unsigned long long>(net.loop_drops()));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Live reconfiguration (section 5.1 / Figure 10): two modules process
+// traffic; module 1 is updated with new logic mid-run.  Module 2 never
+// misses a packet; module 1's packets are dropped only while its
+// configuration is in flight, and the new logic takes over atomically.
+//
+//   $ ./examples/live_reconfig
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "runtime/module_manager.hpp"
+
+using namespace menshen;
+
+namespace {
+
+Packet CalcReq(u16 vid, u16 op, u32 a, u32 b) {
+  Packet p = PacketBuilder{}.vid(ModuleId(vid)).udp(1, 2).frame_size(96).Build();
+  p.bytes().set_u16(46, op);
+  p.bytes().set_u32(48, a);
+  p.bytes().set_u32(52, b);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Pipeline pipeline;
+  ModuleManager manager(pipeline);
+
+  // Module 1: CALC with only the `add` entry.  Module 2: NetChain.
+  const auto a1 = UniformAllocation(ModuleId(1), 0, 5, 0, 4, 0, 0);
+  const auto a2 = UniformAllocation(ModuleId(2), 0, 5, 4, 4, 0, 8);
+  CompiledModule calc = Compile(apps::CalcSpec(), a1);
+  CompiledModule chain = Compile(apps::NetChainSpec(), a2);
+  calc.AddEntry("calc_tbl", {{"op", apps::kCalcOpAdd}}, std::nullopt,
+                "do_add", {1});
+  apps::InstallNetChainEntries(chain, 2);
+  manager.Load(calc, a1);
+  manager.Load(chain, a2);
+
+  auto r = pipeline.Process(CalcReq(1, apps::kCalcOpAdd, 2, 3));
+  std::printf("before update: module 1 computes 2+3=%u; module 1 has no "
+              "'sub' entry\n",
+              r.output->bytes().u32_at(56));
+
+  // --- Live update: recompile module 1 with sub support -------------------
+  // The protocol (section 4.1): bitmap bit set -> module 1's packets drop;
+  // reconfiguration packets stream down the daisy chain; counter verified;
+  // bitmap cleared.  We interleave packets to show each phase.
+  pipeline.filter().MarkUnderReconfig(ModuleId(1), true);
+
+  auto in_flight = pipeline.Process(CalcReq(1, apps::kCalcOpAdd, 9, 9));
+  auto other = pipeline.Process(
+      [] { Packet p = PacketBuilder{}.vid(ModuleId(2)).udp(1, 2).frame_size(96).Build();
+           p.bytes().set_u16(46, apps::kNetChainOpSeq); return p; }());
+  std::printf("during update: module 1 packet %s; module 2 packet got "
+              "sequence %u (undisturbed)\n",
+              in_flight.filter_verdict == FilterVerdict::kDropBitmap
+                  ? "dropped by bitmap"
+                  : "LEAKED?!",
+              other.output->bytes().u32_at(48));
+
+  CompiledModule calc_v2 = Compile(apps::CalcSpec(), a1);
+  calc_v2.AddEntry("calc_tbl", {{"op", apps::kCalcOpAdd}}, std::nullopt,
+                   "do_add", {1});
+  calc_v2.AddEntry("calc_tbl", {{"op", apps::kCalcOpSub}}, std::nullopt,
+                   "do_sub", {1});
+  const auto report = manager.Update(calc_v2);  // clears the bitmap itself
+  std::printf("update complete: %zu writes, %d attempt(s), modeled %.1f ms\n",
+              report->writes, report->attempts, report->modeled_ms);
+
+  r = pipeline.Process(CalcReq(1, apps::kCalcOpSub, 9, 4));
+  std::printf("after update: module 1 computes 9-4=%u\n",
+              r.output->bytes().u32_at(56));
+  r = pipeline.Process(
+      [] { Packet p = PacketBuilder{}.vid(ModuleId(2)).udp(1, 2).frame_size(96).Build();
+           p.bytes().set_u16(46, apps::kNetChainOpSeq); return p; }());
+  std::printf("module 2's sequencer continued across the update: %u\n",
+              r.output->bytes().u32_at(48));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// A tour of the module DSL and the compiler's safety rails: compiles a
+// richer module (predicates, stateful arrays, multicast) and then shows
+// the static checker rejecting each class of unsafe program.
+//
+//   $ ./examples/tenant_dsl_tour
+#include <cstdio>
+
+#include "compiler/compiler.hpp"
+#include "runtime/module_manager.hpp"
+
+using namespace menshen;
+
+namespace {
+
+const ModuleAllocation kAlloc =
+    UniformAllocation(ModuleId(2), 0, 5, 0, 8, 0, 32);
+
+void TryCompile(const char* label, std::string_view src) {
+  const CompiledModule m = CompileDsl(src, kAlloc);
+  std::printf("\n[%s] -> %s\n", label, m.ok() ? "ACCEPTED" : "REJECTED");
+  if (!m.ok()) std::printf("%s", m.diags().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A rate-guard module: small packets pass; packets whose declared
+  // length exceeds a threshold are policed through a counter and a
+  // predicate-gated table.
+  constexpr std::string_view kGuard = R"(
+module guard {
+  field dport   : 2 @ 40;
+  field declen  : 2 @ 16;     # inner EtherType doubles as a demo length
+  scratch hits  : 4;
+  state big_pkts[8];
+
+  action admit(p) { port(p); }
+  action police(p) {
+    hits = incr(big_pkts[0]);
+    port(p);
+  }
+
+  table guard_tbl {
+    key = { dport };
+    predicate = declen > 100;   # predicate bit joins the lookup key
+    actions = { admit, police };
+    size = 8;
+  }
+}
+)";
+
+  Pipeline pipeline;
+  ModuleManager manager(pipeline);
+  CompiledModule guard = CompileDsl(kGuard, kAlloc);
+  if (!guard.ok()) {
+    std::fprintf(stderr, "%s", guard.diags().ToString().c_str());
+    return 1;
+  }
+  // Entries differ on the predicate value: the same key routes to admit
+  // or police depending on `declen > 100`.
+  guard.AddEntry("guard_tbl", {{"dport", 80}}, false, "admit", {1});
+  guard.AddEntry("guard_tbl", {{"dport", 80}}, true, "police", {2});
+  manager.Load(guard, kAlloc);
+
+  Packet small = PacketBuilder{}.vid(ModuleId(2)).udp(1, 80).Build();
+  small.bytes().set_u16(16, 50);
+  Packet big = PacketBuilder{}.vid(ModuleId(2)).udp(1, 80).Build();
+  big.bytes().set_u16(16, 500);
+  std::printf("predicate demo: small -> port %u, big -> port %u\n",
+              pipeline.Process(std::move(small)).output->egress_port,
+              pipeline.Process(std::move(big)).output->egress_port);
+  const auto seg = pipeline.stage(0).stateful().segment_table().At(2);
+  std::printf("policed packets counted: %llu\n",
+              static_cast<unsigned long long>(
+                  pipeline.stage(0).stateful().PhysicalAt(seg.offset)));
+
+  // --- What the compiler refuses -------------------------------------------
+  TryCompile("module that rewrites its VLAN ID", R"(
+module evil1 {
+  field tci : 2 @ 14;
+  action a { tci = 7; }
+  table t { key = { tci }; actions = { a }; size = 1; }
+}
+)");
+  TryCompile("module that recirculates packets", R"(
+module evil2 {
+  field f : 2 @ 46;
+  action a { recirculate(); }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  TryCompile("module that overwrites system statistics", R"(
+module evil3 {
+  field f : 2 @ 46;
+  action a { meta.link_util = 0; }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  TryCompile("module exceeding its match-entry allocation", R"(
+module greedy {
+  field f : 2 @ 46;
+  action a(p) { port(p); }
+  table t { key = { f }; actions = { a }; size = 4096; }
+}
+)");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// The eight evaluated packet-processing modules (paper Table 3):
+// CALC, Firewall, Load Balancing, QoS, Source Routing — from the P4
+// tutorials — plus simplified NetCache (in-network key-value cache) and
+// NetChain (in-network sequencer), and Multicast.
+//
+// Each app exposes:
+//   * <App>Dsl()   — the module's DSL source;
+//   * <App>Spec()  — the parsed ModuleSpec (throws on internal error);
+//   * Install<App>Entries(...) — the control-plane entries that give the
+//     module its concrete behaviour (ports, rules, cached keys, ...).
+//
+// Field offsets reference the common VLAN-tagged IPv4/UDP layout
+// (packet/headers.hpp): payload starts at byte 46.
+#pragma once
+
+#include <vector>
+
+#include "compiler/compiler.hpp"
+
+namespace menshen::apps {
+
+/// Parses an app's embedded DSL; throws std::logic_error on parse errors
+/// (they would be bugs in this library, not user input).
+[[nodiscard]] ModuleSpec ParseAppDsl(std::string_view source);
+
+// --- CALC -------------------------------------------------------------------
+// Returns a value computed from a parsed opcode and two operands in the
+// payload: op (2B @46), a (4B @48), b (4B @52), result (4B @56).
+inline constexpr u16 kCalcOpAdd = 1;
+inline constexpr u16 kCalcOpSub = 2;
+inline constexpr u16 kCalcOpEcho = 3;
+[[nodiscard]] std::string_view CalcDsl();
+[[nodiscard]] const ModuleSpec& CalcSpec();
+/// Installs add/sub/echo entries; results return through `reply_port`.
+bool InstallCalcEntries(CompiledModule& m, u16 reply_port);
+
+// --- Firewall ---------------------------------------------------------------
+// Stateless firewall: stage 1 filters by source IP, stage 2 by L4
+// destination port; anything not explicitly blocked is forwarded.
+struct FirewallRules {
+  std::vector<u32> blocked_src_ips;
+  std::vector<u16> blocked_dst_ports;
+  std::vector<u32> allowed_src_ips;   // explicitly allowed sources
+  std::vector<u16> allowed_dst_ports;
+  u16 forward_port = 1;
+};
+[[nodiscard]] std::string_view FirewallDsl();
+[[nodiscard]] const ModuleSpec& FirewallSpec();
+bool InstallFirewallEntries(CompiledModule& m, const FirewallRules& rules);
+
+// --- Load Balancing -----------------------------------------------------------
+// Steers traffic by the 4-tuple (src IP, dst IP, src port, dst port).
+struct LbFlow {
+  u32 src_ip;
+  u32 dst_ip;
+  u16 src_port;
+  u16 dst_port;
+  u16 out_port;
+};
+[[nodiscard]] std::string_view LoadBalanceDsl();
+[[nodiscard]] const ModuleSpec& LoadBalanceSpec();
+bool InstallLoadBalanceEntries(CompiledModule& m,
+                               const std::vector<LbFlow>& flows);
+
+// --- QoS ----------------------------------------------------------------------
+// Rewrites the IPv4 version/TOS bytes according to the traffic class
+// identified by the L4 destination port (the rewritten value carries the
+// 0x45 version/IHL nibble pair in its high byte).
+struct QosClass {
+  u16 dst_port;
+  u8 tos;       // DSCP/ECN byte to stamp
+  u16 out_port;
+};
+[[nodiscard]] std::string_view QosDsl();
+[[nodiscard]] const ModuleSpec& QosSpec();
+bool InstallQosEntries(CompiledModule& m, const std::vector<QosClass>& classes);
+
+// --- Source Routing -------------------------------------------------------------
+// Routes on a source-routing tag the sender places at payload byte 0.
+struct SourceRoute {
+  u16 tag;
+  u16 out_port;
+};
+[[nodiscard]] std::string_view SourceRoutingDsl();
+[[nodiscard]] const ModuleSpec& SourceRoutingSpec();
+bool InstallSourceRoutingEntries(CompiledModule& m,
+                                 const std::vector<SourceRoute>& routes);
+
+// --- NetCache (simplified) -------------------------------------------------------
+// In-network key-value cache: GET on a cached key is answered from
+// per-stage stateful memory (and counted); GET on an uncached key and all
+// PUTs are forwarded to the server.  Our version, like the paper's, omits
+// hot-key tagging.
+inline constexpr u16 kNetCacheOpGet = 1;
+inline constexpr u16 kNetCacheOpPut = 2;
+struct CachedKey {
+  u32 key;
+  u16 slot;  // index in the value array
+};
+[[nodiscard]] std::string_view NetCacheDsl();
+[[nodiscard]] const ModuleSpec& NetCacheSpec();
+bool InstallNetCacheEntries(CompiledModule& m,
+                            const std::vector<CachedKey>& cached,
+                            u16 client_port, u16 server_port);
+
+// --- NetChain (simplified) --------------------------------------------------------
+// In-network sequencer: assigns a monotonically increasing sequence
+// number to every request packet.
+inline constexpr u16 kNetChainOpSeq = 7;
+[[nodiscard]] std::string_view NetChainDsl();
+[[nodiscard]] const ModuleSpec& NetChainSpec();
+bool InstallNetChainEntries(CompiledModule& m, u16 out_port);
+
+// --- Multicast -----------------------------------------------------------------
+// Replicates packets to a port set chosen by destination IP.
+struct McastRule {
+  u32 dst_ip;
+  u16 group;
+};
+[[nodiscard]] std::string_view MulticastDsl();
+[[nodiscard]] const ModuleSpec& MulticastSpec();
+bool InstallMulticastEntries(CompiledModule& m,
+                             const std::vector<McastRule>& rules);
+
+/// All eight specs in Table 3 order — used by the Figure 8/9 benches.
+struct NamedSpec {
+  const char* name;
+  const ModuleSpec* spec;
+};
+[[nodiscard]] std::vector<NamedSpec> AllAppSpecs();
+
+}  // namespace menshen::apps

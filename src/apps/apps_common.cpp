@@ -1,0 +1,29 @@
+#include <stdexcept>
+
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+ModuleSpec ParseAppDsl(std::string_view source) {
+  Diagnostics diags;
+  ModuleSpec spec = ParseModuleDsl(source, diags);
+  if (!diags.ok())
+    throw std::logic_error("embedded app DSL failed to parse:\n" +
+                           diags.ToString());
+  return spec;
+}
+
+std::vector<NamedSpec> AllAppSpecs() {
+  return {
+      {"CALC", &CalcSpec()},
+      {"Firewall", &FirewallSpec()},
+      {"LoadBalancing", &LoadBalanceSpec()},
+      {"QoS", &QosSpec()},
+      {"SourceRouting", &SourceRoutingSpec()},
+      {"NetCache", &NetCacheSpec()},
+      {"NetChain", &NetChainSpec()},
+      {"Multicast", &MulticastSpec()},
+  };
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,45 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view CalcDsl() {
+  static constexpr std::string_view kSource = R"(
+module calc {
+  # A tiny request/response calculator (P4 tutorial "calc"): the client
+  # sends an opcode and two operands in the payload; the switch computes
+  # the result in place and reflects the packet.
+  field op  : 2 @ 46;
+  field a   : 4 @ 48;
+  field b   : 4 @ 52;
+  field res : 4 @ 56;
+
+  action do_add(p) { res = a + b; port(p); }
+  action do_sub(p) { res = a - b; port(p); }
+  action do_echo(p) { res = a; port(p); }
+
+  table calc_tbl {
+    key = { op };
+    actions = { do_add, do_sub, do_echo };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& CalcSpec() {
+  static const ModuleSpec spec = ParseAppDsl(CalcDsl());
+  return spec;
+}
+
+bool InstallCalcEntries(CompiledModule& m, u16 reply_port) {
+  m.AddEntry("calc_tbl", {{"op", kCalcOpAdd}}, std::nullopt, "do_add",
+             {reply_port});
+  m.AddEntry("calc_tbl", {{"op", kCalcOpSub}}, std::nullopt, "do_sub",
+             {reply_port});
+  m.AddEntry("calc_tbl", {{"op", kCalcOpEcho}}, std::nullopt, "do_echo",
+             {reply_port});
+  return m.ok();
+}
+
+}  // namespace menshen::apps

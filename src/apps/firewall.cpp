@@ -1,0 +1,52 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view FirewallDsl() {
+  static constexpr std::string_view kSource = R"(
+module firewall {
+  # Stateless firewall (P4 tutorial): stage 1 screens source addresses,
+  # stage 2 screens L4 destination ports.  Packets matching a block rule
+  # are discarded; explicitly allowed traffic is forwarded.
+  field src_ip   : 4 @ 30;
+  field dst_port : 2 @ 40;
+
+  action fw_block { drop(); }
+  action fw_allow(p) { port(p); }
+
+  table fw_src {
+    key = { src_ip };
+    actions = { fw_block, fw_allow };
+    size = 4;
+  }
+
+  table fw_port {
+    key = { dst_port };
+    actions = { fw_block, fw_allow };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& FirewallSpec() {
+  static const ModuleSpec spec = ParseAppDsl(FirewallDsl());
+  return spec;
+}
+
+bool InstallFirewallEntries(CompiledModule& m, const FirewallRules& rules) {
+  for (const u32 ip : rules.blocked_src_ips)
+    m.AddEntry("fw_src", {{"src_ip", ip}}, std::nullopt, "fw_block", {});
+  for (const u32 ip : rules.allowed_src_ips)
+    m.AddEntry("fw_src", {{"src_ip", ip}}, std::nullopt, "fw_allow",
+               {rules.forward_port});
+  for (const u16 port : rules.blocked_dst_ports)
+    m.AddEntry("fw_port", {{"dst_port", port}}, std::nullopt, "fw_block", {});
+  for (const u16 port : rules.allowed_dst_ports)
+    m.AddEntry("fw_port", {{"dst_port", port}}, std::nullopt, "fw_allow",
+               {rules.forward_port});
+  return m.ok();
+}
+
+}  // namespace menshen::apps

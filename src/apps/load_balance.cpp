@@ -1,0 +1,47 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view LoadBalanceDsl() {
+  static constexpr std::string_view kSource = R"(
+module load_balance {
+  # Flow-level load balancer (P4 tutorial): steers each 4-tuple to a
+  # backend port.  Exercises the widest key the extractor supports for
+  # this layout: two 4-byte and two 2-byte containers in one lookup.
+  field src_ip   : 4 @ 30;
+  field dst_ip   : 4 @ 34;
+  field src_port : 2 @ 38;
+  field dst_port : 2 @ 40;
+
+  action lb_steer(p) { port(p); }
+  action lb_drop { drop(); }
+
+  table lb_tbl {
+    key = { src_ip, dst_ip, src_port, dst_port };
+    actions = { lb_steer, lb_drop };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& LoadBalanceSpec() {
+  static const ModuleSpec spec = ParseAppDsl(LoadBalanceDsl());
+  return spec;
+}
+
+bool InstallLoadBalanceEntries(CompiledModule& m,
+                               const std::vector<LbFlow>& flows) {
+  for (const LbFlow& f : flows) {
+    m.AddEntry("lb_tbl",
+               {{"src_ip", f.src_ip},
+                {"dst_ip", f.dst_ip},
+                {"src_port", f.src_port},
+                {"dst_port", f.dst_port}},
+               std::nullopt, "lb_steer", {f.out_port});
+  }
+  return m.ok();
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,38 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view MulticastDsl() {
+  static constexpr std::string_view kSource = R"(
+module multicast {
+  # Multicast (P4 tutorial): selects a replication group by destination
+  # IP; the traffic manager fans the packet out to the group's ports.
+  field dst_ip : 4 @ 34;
+
+  action mc_group(g) { mcast(g); }
+  action mc_drop { drop(); }
+
+  table mc_tbl {
+    key = { dst_ip };
+    actions = { mc_group, mc_drop };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& MulticastSpec() {
+  static const ModuleSpec spec = ParseAppDsl(MulticastDsl());
+  return spec;
+}
+
+bool InstallMulticastEntries(CompiledModule& m,
+                             const std::vector<McastRule>& rules) {
+  for (const McastRule& r : rules)
+    m.AddEntry("mc_tbl", {{"dst_ip", r.dst_ip}}, std::nullopt, "mc_group",
+               {r.group});
+  return m.ok();
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,60 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view NetCacheDsl() {
+  static constexpr std::string_view kSource = R"(
+module netcache {
+  # Simplified NetCache: an in-network key-value cache.  GETs on cached
+  # keys are answered from switch state and reflected to the client; GETs
+  # on uncached keys and all PUTs go to the storage server.  Hot-key
+  # tagging from the paper is omitted (as in the paper's evaluation).
+  field nc_op    : 2 @ 46;
+  field nc_key   : 4 @ 48;
+  field nc_value : 4 @ 52;
+  scratch nc_hits : 4;
+
+  state nc_vals[16];
+  state nc_stats[4];
+
+  action nc_hit(slot, p) {
+    nc_value = nc_vals[slot];
+    nc_hits  = incr(nc_stats[0]);
+    port(p);
+  }
+  action nc_put(slot, p) {
+    nc_vals[slot] = nc_value;
+    port(p);
+  }
+  action nc_to_server(p) { port(p); }
+
+  table nc_tbl {
+    key = { nc_op, nc_key };
+    actions = { nc_hit, nc_put, nc_to_server };
+    size = 8;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& NetCacheSpec() {
+  static const ModuleSpec spec = ParseAppDsl(NetCacheDsl());
+  return spec;
+}
+
+bool InstallNetCacheEntries(CompiledModule& m,
+                            const std::vector<CachedKey>& cached,
+                            u16 client_port, u16 server_port) {
+  for (const CachedKey& c : cached) {
+    // GET on a cached key: answer from the value array.
+    m.AddEntry("nc_tbl", {{"nc_op", kNetCacheOpGet}, {"nc_key", c.key}},
+               std::nullopt, "nc_hit", {c.slot, client_port});
+    // PUT on a cached key: write through to the cache, then the server.
+    m.AddEntry("nc_tbl", {{"nc_op", kNetCacheOpPut}, {"nc_key", c.key}},
+               std::nullopt, "nc_put", {c.slot, server_port});
+  }
+  return m.ok();
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,41 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view NetChainDsl() {
+  static constexpr std::string_view kSource = R"(
+module netchain {
+  # Simplified NetChain: an in-network sequencer.  Every request packet
+  # receives the next value of a monotonically increasing sequence number
+  # maintained in switch state — the core of NetChain's sub-RTT chain
+  # replication coordination.
+  field ch_op  : 2 @ 46;
+  field ch_seq : 4 @ 48;
+
+  state ch_counter[2];
+
+  action ch_next(p) { ch_seq = incr(ch_counter[0]); port(p); }
+  action ch_reset(p) { ch_seq = 0; port(p); }
+
+  table ch_tbl {
+    key = { ch_op };
+    actions = { ch_next, ch_reset };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& NetChainSpec() {
+  static const ModuleSpec spec = ParseAppDsl(NetChainDsl());
+  return spec;
+}
+
+bool InstallNetChainEntries(CompiledModule& m, u16 out_port) {
+  m.AddEntry("ch_tbl", {{"ch_op", kNetChainOpSeq}}, std::nullopt, "ch_next",
+             {out_port});
+  return m.ok();
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,43 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view QosDsl() {
+  static constexpr std::string_view kSource = R"(
+module qos {
+  # QoS marker (P4 tutorial): classifies traffic by L4 destination port
+  # and stamps the IPv4 TOS byte.  The 2-byte container at offset 18
+  # covers version/IHL + TOS, so the rewritten value carries 0x45 in its
+  # high byte.
+  field ver_tos  : 2 @ 18;
+  field dst_port : 2 @ 40;
+
+  action set_class(vt, p) { ver_tos = vt; port(p); }
+  action best_effort(p) { port(p); }
+
+  table qos_tbl {
+    key = { dst_port };
+    actions = { set_class, best_effort };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& QosSpec() {
+  static const ModuleSpec spec = ParseAppDsl(QosDsl());
+  return spec;
+}
+
+bool InstallQosEntries(CompiledModule& m,
+                       const std::vector<QosClass>& classes) {
+  for (const QosClass& c : classes) {
+    const u16 ver_tos = static_cast<u16>(0x4500 | c.tos);
+    m.AddEntry("qos_tbl", {{"dst_port", c.dst_port}}, std::nullopt,
+               "set_class", {ver_tos, c.out_port});
+  }
+  return m.ok();
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,40 @@
+#include "apps/apps.hpp"
+
+namespace menshen::apps {
+
+std::string_view SourceRoutingDsl() {
+  static constexpr std::string_view kSource = R"(
+module source_routing {
+  # Source routing (P4 tutorial): the sender places a route tag at the
+  # start of the payload; the switch forwards on the tag and decrements
+  # the remaining-hops word so downstream devices see progress.
+  field sr_tag  : 2 @ 46;
+  field sr_hops : 2 @ 48;
+
+  action sr_forward(p) { sr_hops = sr_hops - 1; port(p); }
+  action sr_end { drop(); }
+
+  table sr_tbl {
+    key = { sr_tag };
+    actions = { sr_forward, sr_end };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& SourceRoutingSpec() {
+  static const ModuleSpec spec = ParseAppDsl(SourceRoutingDsl());
+  return spec;
+}
+
+bool InstallSourceRoutingEntries(CompiledModule& m,
+                                 const std::vector<SourceRoute>& routes) {
+  for (const SourceRoute& r : routes)
+    m.AddEntry("sr_tbl", {{"sr_tag", r.tag}}, std::nullopt, "sr_forward",
+               {r.out_port});
+  return m.ok();
+}
+
+}  // namespace menshen::apps

@@ -1,0 +1,110 @@
+// FPGA and ASIC area/resource models (Table 4 and section 5.2).
+//
+// What is real vs. fitted (see DESIGN.md's substitution table):
+//   * The *primitive census* — how many bits each Menshen isolation
+//     primitive stores, how many tables exist, how the CAM widens — is
+//     computed exactly from the Table 5 hardware parameters.
+//   * The *technology constants* — LUTs per CAM bit-entry, the per-
+//     component mm^2 of the baseline RMT design, the per-component
+//     Menshen multipliers — are fitted to the numbers the paper reports
+//     from Vivado synthesis (Table 4) and Synopsys DC + FreePDK45
+//     (section 5.2).  We cannot run those tools here; the model's job is
+//     to reproduce the paper's *relative* overheads from the census and
+//     the fitted baseline, and the benches print paper-vs-model rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+// --- Primitive census ---------------------------------------------------------
+
+struct IsolationCensus {
+  // Bits stored by each overlay table instance (per pipeline).
+  std::size_t parser_table_bits = 0;
+  std::size_t deparser_table_bits = 0;
+  std::size_t key_extractor_bits_per_stage = 0;
+  std::size_t key_mask_bits_per_stage = 0;
+  std::size_t segment_table_bits_per_stage = 0;
+  // Extra CAM bit-entries from appending the 12-bit module ID.
+  std::size_t extra_cam_bit_entries_per_stage = 0;
+  std::size_t stages = 0;
+  // Packet-filter register file (bitmap + counter).
+  std::size_t filter_register_bits = 0;
+
+  [[nodiscard]] std::size_t total_overlay_bits() const;
+  [[nodiscard]] std::size_t total_extra_cam_bit_entries() const {
+    return extra_cam_bit_entries_per_stage * stages;
+  }
+};
+
+/// The census of the paper's configuration (Table 5 parameters).
+[[nodiscard]] IsolationCensus MenshenCensus();
+
+// --- FPGA model (Table 4) ------------------------------------------------------
+
+struct FpgaRow {
+  std::string design;
+  double luts = 0.0;
+  double luts_pct = 0.0;   // of the device
+  double brams = 0.0;
+  double brams_pct = 0.0;
+};
+
+struct FpgaDevice {
+  std::string name;
+  double total_luts;
+  double total_brams;
+};
+
+/// Devices the paper targets.
+[[nodiscard]] FpgaDevice NetFpgaSumeDevice();   // Virtex-7 XC7V690T
+[[nodiscard]] FpgaDevice AlveoU250Device();
+
+/// LUT delta of Menshen over the single-module RMT baseline, derived from
+/// the census with fitted conversion constants (the overlay tables map to
+/// distributed/block RAM whose LUT-side cost is the addressing logic; the
+/// widened SRL-based CAM costs LUTs per bit-entry).
+[[nodiscard]] double MenshenLutDelta(const IsolationCensus& census,
+                                     std::size_t bus_bits);
+
+/// The six rows of Table 4 (model values; paper values in the bench).
+[[nodiscard]] std::vector<FpgaRow> Table4Model();
+
+// --- ASIC model (section 5.2) ----------------------------------------------------
+
+struct AsicComponent {
+  std::string name;
+  double rmt_mm2 = 0.0;
+  double menshen_mm2 = 0.0;
+  [[nodiscard]] double overhead_pct() const {
+    return (menshen_mm2 / rmt_mm2 - 1.0) * 100.0;
+  }
+};
+
+struct AsicSummary {
+  std::vector<AsicComponent> components;
+  double rmt_total_mm2 = 0.0;
+  double menshen_total_mm2 = 0.0;
+  double pipeline_overhead_pct = 0.0;
+  /// Lookup tables + processing logic are at most ~50% of a switch chip
+  /// (section 5.2), so chip-level overhead is halved.
+  double chip_overhead_pct = 0.0;
+};
+
+/// Fitted per-component decomposition at FreePDK45 / 1 GHz.
+[[nodiscard]] AsicSummary AsicAreaModel();
+
+/// Timing-feasibility model at 1 GHz: per-element critical paths (fitted
+/// gate-depth estimates) and whether each meets the 1000 ps period.
+struct TimingPath {
+  std::string element;
+  double delay_ps = 0.0;
+  [[nodiscard]] bool meets_1ghz() const { return delay_ps <= 1000.0; }
+};
+[[nodiscard]] std::vector<TimingPath> AsicTimingModel();
+
+}  // namespace menshen

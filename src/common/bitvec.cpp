@@ -1,0 +1,159 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+#include <span>
+#include <stdexcept>
+
+namespace menshen {
+
+namespace {
+constexpr std::size_t WordsFor(std::size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+BitVec::BitVec(std::size_t width_bits)
+    : width_(width_bits), words_(WordsFor(width_bits), 0) {}
+
+BitVec BitVec::FromValue(std::size_t width_bits, u64 value) {
+  BitVec v(width_bits);
+  if (width_bits == 0) {
+    if (value != 0) throw std::invalid_argument("value does not fit");
+    return v;
+  }
+  if (width_bits < 64 && (value >> width_bits) != 0)
+    throw std::invalid_argument("value does not fit in BitVec width");
+  if (!v.words_.empty()) v.words_[0] = value;
+  return v;
+}
+
+BitVec BitVec::FromBytesBigEndian(std::size_t width_bits,
+                                  std::span<const u8> bytes) {
+  if (bytes.size() * 8 > width_bits)
+    throw std::invalid_argument("bytes wider than BitVec");
+  BitVec v(width_bits);
+  // Byte 0 is the most significant of the byte string; the byte string
+  // occupies the low bytes.size()*8 bits of the vector.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t lsb = (bytes.size() - 1 - i) * 8;
+    v.set_field(lsb, 8, bytes[i]);
+  }
+  return v;
+}
+
+void BitVec::CheckBit(std::size_t i) const {
+  if (i >= width_) throw std::out_of_range("BitVec bit index out of range");
+}
+
+void BitVec::CheckField(std::size_t lsb, std::size_t w) const {
+  if (w > 64) throw std::invalid_argument("field wider than 64 bits");
+  if (lsb + w > width_) throw std::out_of_range("BitVec field out of range");
+}
+
+bool BitVec::bit(std::size_t i) const {
+  CheckBit(i);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVec::set_bit(std::size_t i, bool v) {
+  CheckBit(i);
+  const u64 mask = u64{1} << (i % 64);
+  if (v)
+    words_[i / 64] |= mask;
+  else
+    words_[i / 64] &= ~mask;
+}
+
+u64 BitVec::field(std::size_t lsb, std::size_t width_bits) const {
+  CheckField(lsb, width_bits);
+  if (width_bits == 0) return 0;
+  const std::size_t w0 = lsb / 64, shift = lsb % 64;
+  u64 value = words_[w0] >> shift;
+  if (shift != 0 && w0 + 1 < words_.size())
+    value |= words_[w0 + 1] << (64 - shift);
+  if (width_bits < 64) value &= (u64{1} << width_bits) - 1;
+  return value;
+}
+
+void BitVec::set_field(std::size_t lsb, std::size_t width_bits, u64 value) {
+  CheckField(lsb, width_bits);
+  if (width_bits == 0) return;
+  if (width_bits < 64 && (value >> width_bits) != 0)
+    throw std::invalid_argument("value does not fit in field");
+  for (std::size_t i = 0; i < width_bits; ++i)
+    set_bit(lsb + i, (value >> i) & 1);
+}
+
+void BitVec::set_slice(std::size_t lsb, const BitVec& src) {
+  if (lsb + src.width() > width_)
+    throw std::out_of_range("BitVec slice out of range");
+  for (std::size_t i = 0; i < src.width(); ++i) set_bit(lsb + i, src.bit(i));
+}
+
+BitVec BitVec::slice(std::size_t lsb, std::size_t width_bits) const {
+  if (lsb + width_bits > width_)
+    throw std::out_of_range("BitVec slice out of range");
+  BitVec out(width_bits);
+  for (std::size_t i = 0; i < width_bits; ++i) out.set_bit(i, bit(lsb + i));
+  return out;
+}
+
+BitVec BitVec::masked(const BitVec& mask) const {
+  if (mask.width() != width_)
+    throw std::invalid_argument("mask width mismatch");
+  BitVec out(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    out.words_[i] = words_[i] & mask.words_[i];
+  return out;
+}
+
+BitVec BitVec::AllOnes(std::size_t width_bits) {
+  BitVec v(width_bits);
+  for (std::size_t i = 0; i < width_bits; ++i) v.set_bit(i, true);
+  return v;
+}
+
+BitVec BitVec::Concat(const BitVec& high, const BitVec& low) {
+  BitVec out(high.width() + low.width());
+  out.set_slice(0, low);
+  out.set_slice(low.width(), high);
+  return out;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (u64 w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::is_zero() const {
+  for (u64 w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+std::string BitVec::ToHex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::size_t nibbles = (width_ + 3) / 4;
+  std::string out(nibbles, '0');
+  for (std::size_t n = 0; n < nibbles; ++n) {
+    const std::size_t lsb = n * 4;
+    const std::size_t w = std::min<std::size_t>(4, width_ - lsb);
+    out[nibbles - 1 - n] = kDigits[field(lsb, w)];
+  }
+  return out;
+}
+
+std::strong_ordering BitVec::operator<=>(const BitVec& other) const {
+  if (auto c = width_ <=> other.width_; c != 0) return c;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (auto c = words_[i] <=> other.words_[i]; c != 0) return c;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t BitVec::Hash() const {
+  std::size_t h = std::hash<std::size_t>{}(width_);
+  for (u64 w : words_) h = h * 1099511628211ULL ^ std::hash<u64>{}(w);
+  return h;
+}
+
+}  // namespace menshen

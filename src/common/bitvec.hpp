@@ -1,0 +1,86 @@
+// Arbitrary-width bit vectors.
+//
+// The Menshen hardware works with wide, oddly sized words: 193-bit lookup
+// keys (24 bytes + 1 predicate bit), 205-bit CAM entries (key + 12-bit
+// module ID), 625-bit VLIW action-table entries (25 x 25-bit ALU actions),
+// 160-bit parser-table entries.  BitVec models these exactly so table
+// widths in the simulator match Table 5 of the paper bit-for-bit.
+//
+// Bit 0 is the least significant bit.  Fields are addressed as
+// [lsb, lsb+width) and must fit within the vector.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t width_bits);
+
+  /// Builds a BitVec of the given width from a little-endian value.
+  static BitVec FromValue(std::size_t width_bits, u64 value);
+
+  /// Builds a BitVec whose low bits come from `bytes` interpreted as a
+  /// big-endian integer (byte 0 most significant), as the key extractor
+  /// does when concatenating PHV containers.
+  static BitVec FromBytesBigEndian(std::size_t width_bits,
+                                   std::span<const u8> bytes);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  [[nodiscard]] bool bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool v);
+
+  /// Reads/writes a field of up to 64 bits at [lsb, lsb+width).
+  [[nodiscard]] u64 field(std::size_t lsb, std::size_t width_bits) const;
+  void set_field(std::size_t lsb, std::size_t width_bits, u64 value);
+
+  /// Copies another BitVec into [lsb, lsb+src.width()).
+  void set_slice(std::size_t lsb, const BitVec& src);
+  [[nodiscard]] BitVec slice(std::size_t lsb, std::size_t width_bits) const;
+
+  /// Bitwise AND against a mask of equal width (used by the key mask table).
+  [[nodiscard]] BitVec masked(const BitVec& mask) const;
+
+  /// Returns a vector with every bit set (an all-valid key mask).
+  static BitVec AllOnes(std::size_t width_bits);
+
+  /// Concatenates: result = high ++ low, with `low` in the low bits.
+  static BitVec Concat(const BitVec& high, const BitVec& low);
+
+  [[nodiscard]] std::size_t popcount() const;
+  [[nodiscard]] bool is_zero() const;
+  [[nodiscard]] std::string ToHex() const;
+
+  bool operator==(const BitVec&) const = default;
+
+  /// Total ordering so BitVec can key ordered containers.
+  std::strong_ordering operator<=>(const BitVec& other) const;
+
+  /// Hash for unordered containers.
+  [[nodiscard]] std::size_t Hash() const;
+
+ private:
+  void CheckBit(std::size_t i) const;
+  void CheckField(std::size_t lsb, std::size_t w) const;
+
+  std::size_t width_ = 0;
+  std::vector<u64> words_;  // bit i lives in words_[i/64] bit (i%64)
+};
+
+}  // namespace menshen
+
+template <>
+struct std::hash<menshen::BitVec> {
+  size_t operator()(const menshen::BitVec& v) const noexcept {
+    return v.Hash();
+  }
+};

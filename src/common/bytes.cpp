@@ -1,0 +1,43 @@
+#include "common/bytes.hpp"
+
+#include <algorithm>
+
+namespace menshen {
+
+void ByteBuffer::write_bytes(std::size_t off, std::span<const u8> src) {
+  CheckRange(off, src.size());
+  std::copy(src.begin(), src.end(), data_.begin() + static_cast<long>(off));
+}
+
+std::vector<u8> ByteBuffer::read_bytes(std::size_t off,
+                                       std::size_t len) const {
+  CheckRange(off, len);
+  return {data_.begin() + static_cast<long>(off),
+          data_.begin() + static_cast<long>(off + len)};
+}
+
+void ByteBuffer::append(std::span<const u8> src) {
+  data_.insert(data_.end(), src.begin(), src.end());
+}
+
+void ByteBuffer::append_u16(u16 v) {
+  data_.push_back(static_cast<u8>(v >> 8));
+  data_.push_back(static_cast<u8>(v));
+}
+
+void ByteBuffer::append_u32(u32 v) {
+  for (int i = 3; i >= 0; --i) data_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+std::string ByteBuffer::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data_.size() * 2);
+  for (u8 b : data_) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace menshen

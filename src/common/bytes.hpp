@@ -1,0 +1,102 @@
+// Byte-buffer utilities: network-order readers/writers over contiguous
+// byte storage.  All multi-byte packet fields in this codebase are
+// big-endian (network order), matching what the hardware parser sees.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+/// Growable byte buffer with bounds-checked big-endian accessors.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t size) : data_(size, 0) {}
+  explicit ByteBuffer(std::vector<u8> bytes) : data_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  void resize(std::size_t n) { data_.resize(n, 0); }
+
+  [[nodiscard]] std::span<const u8> bytes() const { return data_; }
+  [[nodiscard]] std::span<u8> bytes() { return data_; }
+
+  [[nodiscard]] u8 u8_at(std::size_t off) const {
+    CheckRange(off, 1);
+    return data_[off];
+  }
+  [[nodiscard]] u16 u16_at(std::size_t off) const {
+    CheckRange(off, 2);
+    return static_cast<u16>((data_[off] << 8) | data_[off + 1]);
+  }
+  [[nodiscard]] u32 u32_at(std::size_t off) const {
+    CheckRange(off, 4);
+    return (static_cast<u32>(data_[off]) << 24) |
+           (static_cast<u32>(data_[off + 1]) << 16) |
+           (static_cast<u32>(data_[off + 2]) << 8) |
+           static_cast<u32>(data_[off + 3]);
+  }
+  [[nodiscard]] u64 u48_at(std::size_t off) const {
+    CheckRange(off, 6);
+    u64 v = 0;
+    for (std::size_t i = 0; i < 6; ++i) v = (v << 8) | data_[off + i];
+    return v;
+  }
+
+  void set_u8(std::size_t off, u8 v) {
+    CheckRange(off, 1);
+    data_[off] = v;
+  }
+  void set_u16(std::size_t off, u16 v) {
+    CheckRange(off, 2);
+    data_[off] = static_cast<u8>(v >> 8);
+    data_[off + 1] = static_cast<u8>(v);
+  }
+  void set_u32(std::size_t off, u32 v) {
+    CheckRange(off, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+      data_[off + i] = static_cast<u8>(v >> (8 * (3 - i)));
+  }
+  void set_u48(std::size_t off, u64 v) {
+    CheckRange(off, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+      data_[off + i] = static_cast<u8>(v >> (8 * (5 - i)));
+  }
+
+  /// Copies `src` into the buffer starting at `off` (bounds-checked).
+  void write_bytes(std::size_t off, std::span<const u8> src);
+
+  /// Reads `len` bytes starting at `off` (bounds-checked).
+  [[nodiscard]] std::vector<u8> read_bytes(std::size_t off,
+                                           std::size_t len) const;
+
+  /// Appends raw bytes at the end.
+  void append(std::span<const u8> src);
+  void append_u8(u8 v) { data_.push_back(v); }
+  void append_u16(u16 v);
+  void append_u32(u32 v);
+
+  [[nodiscard]] std::string hex() const;
+
+  bool operator==(const ByteBuffer&) const = default;
+
+ private:
+  void CheckRange(std::size_t off, std::size_t len) const {
+    if (off + len > data_.size())
+      throw std::out_of_range("ByteBuffer access out of range: off=" +
+                              std::to_string(off) + " len=" +
+                              std::to_string(len) + " size=" +
+                              std::to_string(data_.size()));
+  }
+
+  std::vector<u8> data_;
+};
+
+}  // namespace menshen

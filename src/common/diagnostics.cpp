@@ -1,0 +1,37 @@
+#include "common/diagnostics.hpp"
+
+namespace menshen {
+
+namespace {
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostics::ToString() const {
+  std::string out;
+  for (const auto& d : items_) {
+    out += SeverityName(d.severity);
+    out += " [";
+    out += d.code;
+    out += "]";
+    if (d.line > 0) {
+      out += " line ";
+      out += std::to_string(d.line);
+    }
+    out += ": ";
+    out += d.message;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace menshen

@@ -1,0 +1,63 @@
+// Diagnostics collection for the compiler and checkers.
+//
+// The Menshen compiler rejects modules that violate static checks or exceed
+// their resource allocation (sections 3.4 and 5.1).  Rather than throwing on
+// the first problem, checkers accumulate diagnostics so a module author sees
+// every violation at once, like a real compiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace menshen {
+
+enum class Severity { kError, kWarning, kNote };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // stable identifier, e.g. "static.vid-write"
+  std::string message;  // human-readable description
+  int line = 0;         // 1-based source line, 0 if not applicable
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+class Diagnostics {
+ public:
+  void Error(std::string code, std::string message, int line = 0) {
+    items_.push_back({Severity::kError, std::move(code), std::move(message), line});
+  }
+  void Warning(std::string code, std::string message, int line = 0) {
+    items_.push_back({Severity::kWarning, std::move(code), std::move(message), line});
+  }
+  void Note(std::string code, std::string message, int line = 0) {
+    items_.push_back({Severity::kNote, std::move(code), std::move(message), line});
+  }
+
+  [[nodiscard]] bool ok() const { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const auto& d : items_)
+      if (d.severity == Severity::kError) ++n;
+    return n;
+  }
+  [[nodiscard]] const std::vector<Diagnostic>& items() const { return items_; }
+
+  /// True if any diagnostic carries the given stable code.
+  [[nodiscard]] bool HasCode(const std::string& code) const {
+    for (const auto& d : items_)
+      if (d.code == code) return true;
+    return false;
+  }
+
+  void Merge(const Diagnostics& other) {
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace menshen

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for traffic generators and
+// property tests.  A small, fast SplitMix64/xoshiro256** pair; deterministic
+// across platforms so benchmark output is reproducible.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value (xoshiro256**).
+  u64 Next() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound); bound must be non-zero.
+  u64 Below(u64 bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  u64 Between(u64 lo, u64 hi) { return lo + Below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 Rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace menshen

@@ -1,0 +1,88 @@
+// Fundamental value types shared across the Menshen codebase.
+//
+// The paper carries the module identifier in the packet's VLAN ID (12 bits),
+// so ModuleId is a strong wrapper around a 12-bit value.  Clock domains use
+// 64-bit cycle counters; derived wall times are expressed in picoseconds to
+// keep all arithmetic integral and exact at the clock frequencies we model
+// (156.25 MHz => 6400 ps, 250 MHz => 4000 ps, 1 GHz => 1000 ps).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace menshen {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// A simulated clock cycle count.
+using Cycle = u64;
+
+/// Picoseconds; integral so the simulator stays exact and deterministic.
+using Picoseconds = u64;
+
+/// Module identifier, carried in the 12-bit VLAN ID field (paper Table 5).
+class ModuleId {
+ public:
+  static constexpr u16 kMax = 0xFFF;  // 12 bits
+
+  constexpr ModuleId() = default;
+  constexpr explicit ModuleId(u16 value) : value_(value) {
+    if (value > kMax) throw std::out_of_range("ModuleId exceeds 12 bits");
+  }
+
+  [[nodiscard]] constexpr u16 value() const { return value_; }
+  constexpr auto operator<=>(const ModuleId&) const = default;
+
+ private:
+  u16 value_ = 0;
+};
+
+/// The VLAN ID reserved for the system-level module (section 3.3).  The
+/// system module is owned by the operator; tenant modules may not use it.
+inline constexpr ModuleId kSystemModuleId{1};
+
+/// Converts a cycle count at a given clock frequency to picoseconds.
+/// `period_ps` must be the exact clock period (e.g. 6400 for 156.25 MHz).
+[[nodiscard]] constexpr Picoseconds CyclesToPicoseconds(Cycle cycles,
+                                                        Picoseconds period_ps) {
+  return cycles * period_ps;
+}
+
+/// Clock descriptions for the three platforms evaluated in the paper.
+struct ClockDomain {
+  const char* name;
+  Picoseconds period_ps;  // exact clock period
+  [[nodiscard]] constexpr double frequency_mhz() const {
+    return 1e6 / static_cast<double>(period_ps);
+  }
+  [[nodiscard]] constexpr double cycles_to_ns(Cycle c) const {
+    return static_cast<double>(c * period_ps) / 1000.0;
+  }
+  [[nodiscard]] constexpr double cycles_to_us(Cycle c) const {
+    return static_cast<double>(c * period_ps) / 1e6;
+  }
+  [[nodiscard]] constexpr double cycles_to_ms(Cycle c) const {
+    return static_cast<double>(c * period_ps) / 1e9;
+  }
+};
+
+inline constexpr ClockDomain kNetFpgaClock{"NetFPGA@156.25MHz", 6400};
+inline constexpr ClockDomain kCorundumClock{"Corundum@250MHz", 4000};
+inline constexpr ClockDomain kAsicClock{"ASIC@1GHz", 1000};
+
+}  // namespace menshen
+
+template <>
+struct std::hash<menshen::ModuleId> {
+  size_t operator()(const menshen::ModuleId& id) const noexcept {
+    return std::hash<menshen::u16>{}(id.value());
+  }
+};

@@ -1,0 +1,64 @@
+// Resource allocations (sections 3.4, 5.1).
+//
+// The operator's resource-sharing policy produces a ModuleAllocation for
+// each admitted module: which pipeline stages it may place tables in, and
+// within each of those stages, a contiguous block of CAM/VLIW addresses
+// (space partitioning of match-action entries) and a stateful-memory
+// segment {offset, range} (space partitioning of state).  Overlay-table
+// rows need no allocation: every module owns exactly the row at its own
+// module-ID index.
+//
+// The resource checker (checker.hpp) rejects modules whose demand exceeds
+// their allocation; the admission controller (runtime/) refuses to admit
+// allocations that overlap.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/params.hpp"
+
+namespace menshen {
+
+struct StageAllocation {
+  u8 stage = 0;               // pipeline stage index
+  std::size_t cam_base = 0;   // first CAM/VLIW address owned
+  std::size_t cam_count = 0;  // number of CAM/VLIW addresses owned
+  u8 seg_offset = 0;          // stateful-memory segment base (words)
+  u8 seg_range = 0;           // stateful-memory segment length (words)
+};
+
+struct ModuleAllocation {
+  ModuleId id;
+  std::vector<StageAllocation> stages;  // in pipeline order
+
+  [[nodiscard]] const StageAllocation* ForStage(u8 stage) const {
+    for (const auto& s : stages)
+      if (s.stage == stage) return &s;
+    return nullptr;
+  }
+  [[nodiscard]] std::size_t total_cam_entries() const {
+    std::size_t n = 0;
+    for (const auto& s : stages) n += s.cam_count;
+    return n;
+  }
+};
+
+/// Convenience: an allocation giving `id` the stage range
+/// [first_stage, first_stage + num_stages) with `cam_count` CAM addresses
+/// starting at `cam_base` and a `seg_range`-word segment at `seg_offset`
+/// in every stage.
+[[nodiscard]] inline ModuleAllocation UniformAllocation(
+    ModuleId id, u8 first_stage, u8 num_stages, std::size_t cam_base,
+    std::size_t cam_count, u8 seg_offset = 0, u8 seg_range = 0) {
+  ModuleAllocation a;
+  a.id = id;
+  for (u8 i = 0; i < num_stages; ++i) {
+    a.stages.push_back(StageAllocation{
+        static_cast<u8>(first_stage + i), cam_base, cam_count, seg_offset,
+        seg_range});
+  }
+  return a;
+}
+
+}  // namespace menshen

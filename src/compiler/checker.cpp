@@ -1,0 +1,320 @@
+#include "compiler/checker.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "packet/headers.hpp"
+
+namespace menshen {
+
+namespace {
+
+/// True if a field's byte range overlaps the VLAN TCI (bytes 14-15), which
+/// holds the module ID.
+bool OverlapsVid(const FieldDef& f) {
+  const std::size_t lo = f.offset;
+  const std::size_t hi = lo + f.width;
+  return lo < offsets::kVlanTci + 2 && hi > offsets::kVlanTci;
+}
+
+/// Field names read by a value.
+void CollectFieldReads(const Value& v, std::set<std::string>& out) {
+  if (v.kind == Value::Kind::kField) out.insert(v.name);
+}
+
+struct TableFootprint {
+  std::set<std::string> reads;   // fields read (keys, predicate, operands)
+  std::set<std::string> writes;  // fields written by its actions
+  std::set<std::string> states;  // stateful arrays touched
+};
+
+TableFootprint FootprintOf(const ModuleSpec& spec, const TableDef& table) {
+  TableFootprint fp;
+  for (const auto& k : table.keys) fp.reads.insert(k);
+  if (table.predicate) {
+    CollectFieldReads(table.predicate->a, fp.reads);
+    CollectFieldReads(table.predicate->b, fp.reads);
+  }
+  for (const auto& action_name : table.actions) {
+    const ActionDef* action = spec.FindAction(action_name);
+    if (action == nullptr) continue;  // reported elsewhere
+    for (const auto& st : action->statements) {
+      CollectFieldReads(st.a, fp.reads);
+      CollectFieldReads(st.b, fp.reads);
+      CollectFieldReads(st.addr, fp.reads);
+      if (!st.dst.empty()) fp.writes.insert(st.dst);
+      if (!st.state.empty()) fp.states.insert(st.state);
+    }
+  }
+  return fp;
+}
+
+void CheckValue(const ModuleSpec& spec, const ActionDef* action,
+                const Value& v, int line, Diagnostics& diags) {
+  if (v.kind != Value::Kind::kField) return;
+  if (spec.FindField(v.name) != nullptr) return;
+  if (action != nullptr) {
+    for (const auto& p : action->params)
+      if (p == v.name) return;  // parser resolves params, but be lenient
+  }
+  diags.Error("name.unknown-field", "unknown field '" + v.name + "'", line);
+}
+
+}  // namespace
+
+void StaticCheck(const ModuleSpec& spec, Diagnostics& diags) {
+  // --- field sanity ---------------------------------------------------------
+  for (const auto& f : spec.fields) {
+    if (f.width != 2 && f.width != 4 && f.width != 6)
+      diags.Error("field.width",
+                  "field '" + f.name + "' width must be 2, 4 or 6");
+    if (!f.scratch &&
+        static_cast<std::size_t>(f.offset) + f.width > kParserWindowBytes)
+      diags.Error("field.offset", "field '" + f.name +
+                                      "' extends past the 128-byte window");
+  }
+
+  // --- actions --------------------------------------------------------------
+  for (const auto& action : spec.actions) {
+    std::set<std::string> written;
+    std::set<std::string> state_touched;
+    bool wrote_meta = false;
+    for (const auto& st : action.statements) {
+      switch (st.kind) {
+        case Statement::Kind::kRecirculate:
+          diags.Error("static.recirculate",
+                      "action '" + action.name +
+                          "' recirculates packets; modules share ingress "
+                          "bandwidth and may not recirculate (section 3.4)",
+                      st.line);
+          continue;
+        case Statement::Kind::kMetaStatWrite:
+          diags.Error("static.stat-write",
+                      "action '" + action.name + "' writes system statistic "
+                          "'meta." + st.meta_stat +
+                          "'; statistics provided by the system-level module "
+                          "are read-only (section 3.4)",
+                      st.line);
+          continue;
+        default:
+          break;
+      }
+
+      // Destination checks.
+      if (!st.dst.empty()) {
+        const FieldDef* dst = spec.FindField(st.dst);
+        if (dst == nullptr) {
+          diags.Error("name.unknown-field",
+                      "assignment to unknown field '" + st.dst + "'",
+                      st.line);
+        } else if (OverlapsVid(*dst)) {
+          diags.Error(
+              "static.vid-write",
+              "action '" + action.name + "' writes field '" + st.dst +
+                  "' which overlaps the VLAN ID; modules may not modify "
+                  "their module identifier (section 3.4)",
+              st.line);
+        }
+        if (!written.insert(st.dst).second)
+          diags.Error("action.slot-conflict",
+                      "action '" + action.name + "' writes field '" +
+                          st.dst + "' twice; each ALU writes its container "
+                          "once per stage",
+                      st.line);
+      }
+      if (st.kind == Statement::Kind::kSetPort ||
+          st.kind == Statement::Kind::kSetMcast ||
+          st.kind == Statement::Kind::kDrop) {
+        if (wrote_meta)
+          diags.Error("action.slot-conflict",
+                      "action '" + action.name +
+                          "' uses the metadata ALU twice (port/mcast/drop)",
+                      st.line);
+        wrote_meta = true;
+        if (st.kind != Statement::Kind::kDrop &&
+            st.a.kind == Value::Kind::kField)
+          diags.Error("action.port-operand",
+                      "port()/mcast() take a constant or action parameter",
+                      st.line);
+      }
+
+      // State references.  Each state array has a single stateful ALU
+      // (Figure 4), so one action may touch it at most once; a second
+      // read-modify-write in the same VLIW word would be order-dependent.
+      if (!st.state.empty()) {
+        if (spec.FindState(st.state) == nullptr)
+          diags.Error("name.unknown-state",
+                      "unknown state array '" + st.state + "'", st.line);
+        if (!state_touched.insert(st.state).second)
+          diags.Error("action.stateful-conflict",
+                      "action '" + action.name + "' touches state '" +
+                          st.state +
+                          "' twice; each array has one stateful ALU per "
+                          "packet",
+                      st.line);
+      }
+      // Store source must be a field (the `store` ALU op stores a
+      // container); constants must be staged through a field first.
+      if (st.kind == Statement::Kind::kStore &&
+          st.a.kind == Value::Kind::kConst)
+        diags.Error("action.store-const",
+                    "state stores take a field source; stage the constant "
+                    "through a field with 'f = <const>;' in an earlier table",
+                    st.line);
+
+      // Operand name resolution.
+      CheckValue(spec, &action, st.a, st.line, diags);
+      CheckValue(spec, &action, st.b, st.line, diags);
+      CheckValue(spec, &action, st.addr, st.line, diags);
+    }
+  }
+
+  // --- tables ---------------------------------------------------------------
+  std::map<std::string, std::string> state_owner;  // state -> table
+  for (const auto& t : spec.tables) {
+    if (t.keys.empty())
+      diags.Error("table.no-key", "table '" + t.name + "' has no key",
+                  t.line);
+    std::size_t per_width[7] = {0};
+    for (const auto& k : t.keys) {
+      const FieldDef* f = spec.FindField(k);
+      if (f == nullptr) {
+        diags.Error("name.unknown-field",
+                    "table '" + t.name + "' keys on unknown field '" + k +
+                        "'",
+                    t.line);
+        continue;
+      }
+      if (f->width <= 6) ++per_width[f->width];
+    }
+    // The key extractor combines at most 2 containers of each type
+    // (section 4.1).
+    for (const std::size_t w : {2, 4, 6}) {
+      if (per_width[w] > 2)
+        diags.Error("table.key-width",
+                    "table '" + t.name + "' uses more than 2 key fields of " +
+                        std::to_string(w) + " bytes",
+                    t.line);
+    }
+    if (t.actions.empty())
+      diags.Error("table.no-actions", "table '" + t.name + "' has no actions",
+                  t.line);
+    for (const auto& a : t.actions)
+      if (spec.FindAction(a) == nullptr)
+        diags.Error("name.unknown-action",
+                    "table '" + t.name + "' references unknown action '" + a +
+                        "'",
+                    t.line);
+    if (t.predicate) {
+      CheckValue(spec, nullptr, t.predicate->a, t.line, diags);
+      CheckValue(spec, nullptr, t.predicate->b, t.line, diags);
+      for (const Value* v : {&t.predicate->a, &t.predicate->b})
+        if (v->kind == Value::Kind::kConst && v->constant >= 128)
+          diags.Error("table.predicate-imm",
+                      "predicate immediates are 7-bit (0-127)", t.line);
+    }
+
+    // Stateful arrays are bound to the single stage of the table touching
+    // them; two tables sharing an array cannot be realized on RMT.
+    const TableFootprint fp = FootprintOf(spec, t);
+    for (const auto& s : fp.states) {
+      auto [it, inserted] = state_owner.emplace(s, t.name);
+      if (!inserted && it->second != t.name)
+        diags.Error("state.multi-table",
+                    "state '" + s + "' is touched by tables '" + it->second +
+                        "' and '" + t.name +
+                        "'; stateful memory is per-stage and cannot be "
+                        "shared across stages",
+                    t.line);
+    }
+  }
+}
+
+void ResourceCheck(const ModuleSpec& spec, const ModuleAllocation& alloc,
+                   Diagnostics& diags) {
+  const ResourceDemand d = ComputeDemand(spec);
+
+  if (d.containers_2b > kContainersPerType)
+    diags.Error("resource.containers", "module needs " +
+                                           std::to_string(d.containers_2b) +
+                                           " 2-byte containers; 8 exist");
+  if (d.containers_4b > kContainersPerType)
+    diags.Error("resource.containers", "module needs " +
+                                           std::to_string(d.containers_4b) +
+                                           " 4-byte containers; 8 exist");
+  if (d.containers_6b > kContainersPerType)
+    diags.Error("resource.containers", "module needs " +
+                                           std::to_string(d.containers_6b) +
+                                           " 6-byte containers; 8 exist");
+  if (d.parser_actions > params::kParserActionsPerEntry)
+    diags.Error("resource.parser-actions",
+                "module parses " + std::to_string(d.parser_actions) +
+                    " fields; a parser entry holds " +
+                    std::to_string(params::kParserActionsPerEntry) +
+                    " actions");
+  if (d.stages > alloc.stages.size())
+    diags.Error("resource.stages",
+                "module has " + std::to_string(d.stages) +
+                    " tables but is allocated " +
+                    std::to_string(alloc.stages.size()) + " stages");
+
+  // Per-stage checks follow program order: table i -> alloc.stages[i].
+  for (std::size_t i = 0; i < spec.tables.size() && i < alloc.stages.size();
+       ++i) {
+    const TableDef& t = spec.tables[i];
+    const StageAllocation& sa = alloc.stages[i];
+    if (t.size > sa.cam_count)
+      diags.Error("resource.match-entries",
+                  "table '" + t.name + "' wants " + std::to_string(t.size) +
+                      " entries but stage " + std::to_string(sa.stage) +
+                      " allocation has " + std::to_string(sa.cam_count),
+                  t.line);
+  }
+
+  // State: arrays live in the stage of their owning table.
+  std::map<std::string, std::size_t> table_index;
+  for (std::size_t i = 0; i < spec.tables.size(); ++i)
+    table_index[spec.tables[i].name] = i;
+  std::vector<std::size_t> stage_state_words(alloc.stages.size(), 0);
+  for (std::size_t i = 0; i < spec.tables.size() && i < alloc.stages.size();
+       ++i) {
+    const TableFootprint fp = FootprintOf(spec, spec.tables[i]);
+    for (const auto& sname : fp.states) {
+      const StateDef* sd = spec.FindState(sname);
+      if (sd != nullptr) stage_state_words[i] += sd->size;
+    }
+  }
+  for (std::size_t i = 0; i < stage_state_words.size(); ++i) {
+    if (stage_state_words[i] > alloc.stages[i].seg_range)
+      diags.Error("resource.state-words",
+                  "stage " + std::to_string(alloc.stages[i].stage) +
+                      " needs " + std::to_string(stage_state_words[i]) +
+                      " stateful words but the segment range is " +
+                      std::to_string(alloc.stages[i].seg_range));
+  }
+}
+
+std::vector<std::size_t> TableDependencyLevels(const ModuleSpec& spec) {
+  const std::size_t n = spec.tables.size();
+  std::vector<TableFootprint> fps;
+  fps.reserve(n);
+  for (const auto& t : spec.tables) fps.push_back(FootprintOf(spec, t));
+
+  std::vector<std::size_t> level(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      // Match or action dependency: j reads or rewrites something i wrote,
+      // or they touch the same stateful array.
+      bool dep = false;
+      for (const auto& w : fps[i].writes)
+        if (fps[j].reads.contains(w) || fps[j].writes.contains(w)) dep = true;
+      for (const auto& s : fps[i].states)
+        if (fps[j].states.contains(s)) dep = true;
+      if (dep) level[j] = std::max(level[j], level[i] + 1);
+    }
+  }
+  return level;
+}
+
+}  // namespace menshen

@@ -1,0 +1,40 @@
+// Static checker and resource-usage checker (section 3.4).
+//
+// The static checker enforces the three isolation-relevant source
+// properties the paper describes, plus basic semantic well-formedness:
+//   1. modules must not modify the hardware statistics the system-level
+//      module exposes (diagnostic code "static.stat-write");
+//   2. modules must not modify their VLAN ID — a field overlapping the
+//      VLAN TCI bytes may never be an assignment destination
+//      ("static.vid-write");
+//   3. modules must not recirculate packets ("static.recirculate").
+//      (Routing-table loop freedom is checked in the control plane; see
+//      runtime/loop_check.*.)
+//
+// The resource checker compares a module's demand against its allocation
+// and refuses modules that exceed it ("resource.*" codes) — Menshen uses
+// admission control instead of dynamic reassignment (section 3.4).
+#pragma once
+
+#include "common/diagnostics.hpp"
+#include "compiler/allocation.hpp"
+#include "compiler/module_spec.hpp"
+
+namespace menshen {
+
+/// Runs all static checks; records problems in `diags`.
+void StaticCheck(const ModuleSpec& spec, Diagnostics& diags);
+
+/// Runs the resource-usage check against `alloc`.
+void ResourceCheck(const ModuleSpec& spec, const ModuleAllocation& alloc,
+                   Diagnostics& diags);
+
+/// Table-dependency analysis: returns, for each table index, the smallest
+/// pipeline level it could run at (0-based), derived from read-after-write
+/// dependencies on fields and shared state between tables.  Used by the
+/// compiler to verify the program order is realizable and to report the
+/// critical path length.
+[[nodiscard]] std::vector<std::size_t> TableDependencyLevels(
+    const ModuleSpec& spec);
+
+}  // namespace menshen

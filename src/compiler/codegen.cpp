@@ -1,0 +1,769 @@
+#include "compiler/codegen.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pipeline/tcam.hpp"
+
+namespace menshen {
+
+namespace {
+
+/// Fields with dynamic (field-sourced) state addressing in this table's
+/// actions force their arrays to segment base 0.
+std::set<std::string> DynamicallyAddressedStates(const ModuleSpec& spec,
+                                                 const TableDef& table) {
+  std::set<std::string> dyn;
+  for (const auto& an : table.actions) {
+    const ActionDef* a = spec.FindAction(an);
+    if (a == nullptr) continue;
+    for (const auto& st : a->statements)
+      if (!st.state.empty() && st.addr.kind == Value::Kind::kField)
+        dyn.insert(st.state);
+  }
+  return dyn;
+}
+
+std::set<std::string> StatesOf(const ModuleSpec& spec, const TableDef& table) {
+  std::set<std::string> out;
+  for (const auto& an : table.actions) {
+    const ActionDef* a = spec.FindAction(an);
+    if (a == nullptr) continue;
+    for (const auto& st : a->statements)
+      if (!st.state.empty()) out.insert(st.state);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ConfigWrite> CompiledModule::AllWrites() const {
+  std::vector<ConfigWrite> out = static_writes_;
+  out.insert(out.end(), entry_writes_.begin(), entry_writes_.end());
+  return out;
+}
+
+const TablePlacement* CompiledModule::Placement(
+    const std::string& table) const {
+  for (const auto& p : placements_)
+    if (p.table == table) return &p;
+  return nullptr;
+}
+
+std::optional<ContainerRef> CompiledModule::ContainerFor(
+    const std::string& field) const {
+  const auto it = containers_.find(field);
+  if (it == containers_.end()) return std::nullopt;
+  return it->second;
+}
+
+u8 CompiledModule::ResolveFlat(const std::string& field, int line) {
+  const auto it = containers_.find(field);
+  if (it == containers_.end()) {
+    diags_.Error("codegen.unknown-field",
+                 "no container for field '" + field + "'", line);
+    return 0;
+  }
+  return static_cast<u8>(it->second.flat());
+}
+
+u16 CompiledModule::ResolveImmediate(const Value& v, const ActionDef& action,
+                                     const std::vector<u64>& args, int line) {
+  u64 value = 0;
+  switch (v.kind) {
+    case Value::Kind::kConst:
+      value = v.constant;
+      break;
+    case Value::Kind::kParam: {
+      const auto it =
+          std::find(action.params.begin(), action.params.end(), v.name);
+      if (it == action.params.end()) {
+        diags_.Error("codegen.unknown-param",
+                     "unknown action parameter '" + v.name + "'", line);
+        return 0;
+      }
+      const std::size_t idx =
+          static_cast<std::size_t>(it - action.params.begin());
+      if (idx >= args.size()) {
+        diags_.Error("entry.missing-arg",
+                     "entry does not bind parameter '" + v.name + "'", line);
+        return 0;
+      }
+      value = args[idx];
+      break;
+    }
+    case Value::Kind::kField:
+      diags_.Error("codegen.internal",
+                   "field operand where an immediate is required", line);
+      return 0;
+  }
+  if (value > 0xFFFF) {
+    diags_.Error("codegen.immediate-range",
+                 "immediate " + std::to_string(value) +
+                     " exceeds the 16-bit action immediate",
+                 line);
+    return 0;
+  }
+  return static_cast<u16>(value);
+}
+
+VliwEntry CompiledModule::LowerAction(const ActionDef& action,
+                                      const std::vector<u64>& args,
+                                      const TablePlacement& placement) {
+  VliwEntry vliw;
+  std::array<bool, kNumAluContainers> used{};
+
+  const auto claim = [&](u8 slot, AluAction a, int line) {
+    if (used[slot]) {
+      diags_.Error("codegen.slot-conflict",
+                   "two statements target ALU slot " + std::to_string(slot),
+                   line);
+      return;
+    }
+    used[slot] = true;
+    vliw.slots[slot] = a;
+  };
+
+  // Stores occupy any free ALU (their slot's output is not written).
+  // They are placed AFTER every writing statement has claimed its slot —
+  // a store grabbing a slot greedily could otherwise shadow a later
+  // assignment to that slot's container — preferring the source
+  // container's own slot for readability.
+  struct PendingStore {
+    u8 preferred;
+    AluAction action;
+    int line;
+  };
+  std::vector<PendingStore> pending_stores;
+  const auto claim_store = [&](u8 preferred, AluAction a, int line) {
+    pending_stores.push_back({preferred, a, line});
+  };
+  const auto flush_stores = [&] {
+    for (const auto& ps : pending_stores) {
+      u8 slot = ps.preferred;
+      if (used[slot]) {
+        slot = kNumAluContainers;  // sentinel: search
+        for (u8 i = 0; i < kNumAluContainers; ++i)
+          if (!used[i]) {
+            slot = i;
+            break;
+          }
+        if (slot == kNumAluContainers) {
+          diags_.Error("codegen.slot-conflict",
+                       "no free ALU slot for a store", ps.line);
+          return;
+        }
+      }
+      used[slot] = true;
+      vliw.slots[slot] = ps.action;
+    }
+  };
+
+  const auto state_base = [&](const std::string& sname, int line) -> u16 {
+    const auto it = state_layout_.find(sname);
+    if (it == state_layout_.end()) {
+      diags_.Error("codegen.unknown-state",
+                   "no placement for state '" + sname + "'", line);
+      return 0;
+    }
+    if (it->second.stage != placement.stage)
+      diags_.Error("codegen.state-stage",
+                   "state '" + sname + "' lives in stage " +
+                       std::to_string(it->second.stage) +
+                       " but is used from stage " +
+                       std::to_string(placement.stage),
+                   line);
+    return it->second.base;
+  };
+
+  for (const Statement& st : action.statements) {
+    AluAction a;
+    switch (st.kind) {
+      case Statement::Kind::kAddAssign:
+      case Statement::Kind::kSubAssign: {
+        const bool add = st.kind == Statement::Kind::kAddAssign;
+        const bool a_field = st.a.kind == Value::Kind::kField;
+        const bool b_field = st.b.kind == Value::Kind::kField;
+        const u8 dst = ResolveFlat(st.dst, st.line);
+        if (a_field && b_field) {
+          a.op = add ? AluOp::kAdd : AluOp::kSub;
+          a.container1 = ResolveFlat(st.a.name, st.line);
+          a.container2 = ResolveFlat(st.b.name, st.line);
+        } else if (a_field) {
+          a.op = add ? AluOp::kAddi : AluOp::kSubi;
+          a.container1 = ResolveFlat(st.a.name, st.line);
+          a.immediate = ResolveImmediate(st.b, action, args, st.line);
+        } else if (b_field && add) {
+          a.op = AluOp::kAddi;  // commute: imm + field
+          a.container1 = ResolveFlat(st.b.name, st.line);
+          a.immediate = ResolveImmediate(st.a, action, args, st.line);
+        } else if (b_field && !add) {
+          diags_.Error("codegen.const-minus-field",
+                       "'<imm> - <field>' has no single-ALU lowering; "
+                       "rewrite as a staged computation",
+                       st.line);
+          continue;
+        } else {
+          const u64 va = ResolveImmediate(st.a, action, args, st.line);
+          const u64 vb = ResolveImmediate(st.b, action, args, st.line);
+          a.op = AluOp::kSet;
+          a.immediate =
+              static_cast<u16>(add ? (va + vb) & 0xFFFF : (va - vb) & 0xFFFF);
+        }
+        claim(dst, a, st.line);
+        break;
+      }
+      case Statement::Kind::kSetAssign: {
+        const u8 dst = ResolveFlat(st.dst, st.line);
+        if (st.a.kind == Value::Kind::kField) {
+          a.op = AluOp::kCopy;
+          a.container1 = ResolveFlat(st.a.name, st.line);
+        } else {
+          a.op = AluOp::kSet;
+          a.immediate = ResolveImmediate(st.a, action, args, st.line);
+        }
+        claim(dst, a, st.line);
+        break;
+      }
+      case Statement::Kind::kLoad:
+      case Statement::Kind::kLoadIncr: {
+        const bool incr = st.kind == Statement::Kind::kLoadIncr;
+        const u8 dst = ResolveFlat(st.dst, st.line);
+        const u16 base = state_base(st.state, st.line);
+        if (st.addr.kind == Value::Kind::kField) {
+          a.op = incr ? AluOp::kLoaddc : AluOp::kLoadc;
+          a.container2 = ResolveFlat(st.addr.name, st.line);
+        } else {
+          a.op = incr ? AluOp::kLoadd : AluOp::kLoad;
+          a.immediate = static_cast<u16>(
+              base + ResolveImmediate(st.addr, action, args, st.line));
+        }
+        claim(dst, a, st.line);
+        break;
+      }
+      case Statement::Kind::kStore: {
+        const u16 base = state_base(st.state, st.line);
+        const u8 src = ResolveFlat(st.a.name, st.line);
+        if (st.addr.kind == Value::Kind::kField) {
+          a.op = AluOp::kStorec;
+          a.container1 = src;
+          a.container2 = ResolveFlat(st.addr.name, st.line);
+        } else {
+          a.op = AluOp::kStore;
+          a.container1 = src;
+          a.immediate = static_cast<u16>(
+              base + ResolveImmediate(st.addr, action, args, st.line));
+        }
+        claim_store(src, a, st.line);
+        break;
+      }
+      case Statement::Kind::kSetPort:
+        a.op = AluOp::kPort;
+        a.immediate = ResolveImmediate(st.a, action, args, st.line);
+        claim(kMetadataSlot, a, st.line);
+        break;
+      case Statement::Kind::kSetMcast:
+        a.op = AluOp::kMcast;
+        a.immediate = ResolveImmediate(st.a, action, args, st.line);
+        claim(kMetadataSlot, a, st.line);
+        break;
+      case Statement::Kind::kDrop:
+        a.op = AluOp::kDiscard;
+        claim(kMetadataSlot, a, st.line);
+        break;
+      case Statement::Kind::kRecirculate:
+      case Statement::Kind::kMetaStatWrite:
+        // Rejected by the static checker; unreachable in a valid compile.
+        diags_.Error("codegen.internal", "forbidden statement reached codegen",
+                     st.line);
+        break;
+    }
+  }
+  flush_stores();
+  return vliw;
+}
+
+BitVec CompiledModule::KeyFor(const std::string& table,
+                              const std::map<std::string, u64>& keys,
+                              std::optional<bool> predicate) const {
+  const TablePlacement* p = Placement(table);
+  if (p == nullptr) throw std::invalid_argument("unknown table " + table);
+  BitVec key(params::kKeyBits);
+  const auto slots = KeySlots();
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (p->slot_fields[i].empty()) continue;
+    const auto it = keys.find(p->slot_fields[i]);
+    const u64 v = it == keys.end() ? 0 : it->second;
+    key.set_field(slots[i].lsb, slots[i].bits, v);
+  }
+  if (p->has_predicate) key.set_bit(0, predicate.value_or(false));
+  return key;
+}
+
+std::vector<ConfigWrite> CompiledModule::AddEntry(
+    const std::string& table, const std::map<std::string, u64>& keys,
+    std::optional<bool> predicate, const std::string& action,
+    const std::vector<u64>& args) {
+  TablePlacement* placement = nullptr;
+  for (auto& p : placements_)
+    if (p.table == table) placement = &p;
+  if (placement == nullptr) {
+    diags_.Error("entry.unknown-table", "unknown table '" + table + "'");
+    return {};
+  }
+  const TableDef* tdef = spec_.FindTable(table);
+  const ActionDef* adef = spec_.FindAction(action);
+  if (adef == nullptr) {
+    diags_.Error("entry.unknown-action", "unknown action '" + action + "'");
+    return {};
+  }
+  if (std::find(tdef->actions.begin(), tdef->actions.end(), action) ==
+      tdef->actions.end()) {
+    diags_.Error("entry.action-not-in-table",
+                 "action '" + action + "' is not in table '" + table + "'");
+    return {};
+  }
+  if (placement->has_predicate && !predicate.has_value()) {
+    diags_.Error("entry.predicate-required",
+                 "table '" + table + "' has a predicate; the entry must "
+                 "specify its expected value");
+    return {};
+  }
+  if (placement->ternary) {
+    diags_.Error("entry.match-kind",
+                 "table '" + table + "' is ternary; use AddTernaryEntry");
+    return {};
+  }
+  for (const auto& [k, v] : keys) {
+    if (std::find(tdef->keys.begin(), tdef->keys.end(), k) ==
+        tdef->keys.end()) {
+      diags_.Error("entry.bad-key-field",
+                   "'" + k + "' is not a key of table '" + table + "'");
+      return {};
+    }
+    const FieldDef* f = spec_.FindField(k);
+    if (f != nullptr && f->width < 8 &&
+        v >= (u64{1} << (8 * f->width))) {
+      diags_.Error("entry.key-value-range",
+                   "value for key '" + k + "' exceeds its " +
+                       std::to_string(f->width) + "-byte field");
+      return {};
+    }
+  }
+
+  BitVec key = KeyFor(table, keys, predicate);
+  VliwEntry vliw = LowerAction(*adef, args, *placement);
+  if (!diags_.ok()) return {};
+
+  // Physical address: the module's contiguous CAM block; wraps modulo the
+  // block size when benchmarking beyond the prototype depth (footnote 5).
+  const std::size_t logical = placement->entries_installed++;
+  const std::size_t address =
+      placement->alloc.cam_base + (logical % placement->alloc.cam_count);
+
+  CamEntry cam;
+  cam.valid = true;
+  cam.key = std::move(key);
+  cam.module = id_;
+
+  std::vector<ConfigWrite> writes;
+  ConfigWrite cw;
+  cw.kind = ResourceKind::kCamEntry;
+  cw.stage = placement->stage;
+  cw.index = static_cast<u8>(address % 256);
+  cw.payload = cam.Encode();
+  writes.push_back(cw);
+
+  ConfigWrite vw;
+  vw.kind = ResourceKind::kVliwAction;
+  vw.stage = placement->stage;
+  vw.index = static_cast<u8>(address % 256);
+  vw.payload = vliw.Encode();
+  writes.push_back(vw);
+
+  entry_writes_.insert(entry_writes_.end(), writes.begin(), writes.end());
+  return writes;
+}
+
+std::vector<ConfigWrite> CompiledModule::AddTernaryEntry(
+    const std::string& table, const std::map<std::string, u64>& keys,
+    const std::map<std::string, u64>& masks, std::optional<bool> predicate,
+    const std::string& action, const std::vector<u64>& args) {
+  TablePlacement* placement = nullptr;
+  for (auto& p : placements_)
+    if (p.table == table) placement = &p;
+  if (placement == nullptr) {
+    diags_.Error("entry.unknown-table", "unknown table '" + table + "'");
+    return {};
+  }
+  if (!placement->ternary) {
+    diags_.Error("entry.match-kind",
+                 "table '" + table + "' is exact-match; use AddEntry");
+    return {};
+  }
+  const ActionDef* adef = spec_.FindAction(action);
+  if (adef == nullptr) {
+    diags_.Error("entry.unknown-action", "unknown action '" + action + "'");
+    return {};
+  }
+  if (placement->has_predicate && !predicate.has_value()) {
+    diags_.Error("entry.predicate-required",
+                 "table '" + table + "' has a predicate; the entry must "
+                 "specify its expected value");
+    return {};
+  }
+
+  // Build the key and the per-entry mask over the same slot layout.
+  BitVec key = KeyFor(table, keys, predicate);
+  BitVec mask(params::kKeyBits);
+  const auto slots = KeySlots();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string& field = placement->slot_fields[i];
+    if (field.empty()) continue;
+    const auto mit = masks.find(field);
+    if (mit == masks.end()) {
+      // Fully significant field.
+      for (std::size_t b = 0; b < slots[i].bits; ++b)
+        mask.set_bit(slots[i].lsb + b, true);
+    } else {
+      try {
+        mask.set_field(slots[i].lsb, slots[i].bits, mit->second);
+      } catch (const std::invalid_argument&) {
+        diags_.Error("entry.mask-range",
+                     "mask for key '" + field + "' exceeds its field width");
+        return {};
+      }
+    }
+  }
+  if (placement->has_predicate) mask.set_bit(0, true);
+
+  VliwEntry vliw = LowerAction(*adef, args, *placement);
+  if (!diags_.ok()) return {};
+
+  const std::size_t logical = placement->entries_installed++;
+  const std::size_t address =
+      placement->alloc.cam_base + (logical % placement->alloc.cam_count);
+
+  TcamEntry entry;
+  entry.valid = true;
+  entry.key = std::move(key);
+  entry.mask = std::move(mask);
+  entry.module = id_;
+
+  std::vector<ConfigWrite> writes;
+  writes.push_back(ConfigWrite{ResourceKind::kTcamEntry, placement->stage,
+                               static_cast<u8>(address % 256),
+                               entry.Encode()});
+  writes.push_back(ConfigWrite{ResourceKind::kVliwAction, placement->stage,
+                               static_cast<u8>(address % 256),
+                               vliw.Encode()});
+  entry_writes_.insert(entry_writes_.end(), writes.begin(), writes.end());
+  return writes;
+}
+
+void CompiledModule::Build(const ModuleAllocation& alloc,
+                           std::size_t placeholder_entries) {
+  id_ = alloc.id;
+
+  StaticCheck(spec_, diags_);
+  ResourceCheck(spec_, alloc, diags_);
+  if (id_.value() >= params::kOverlayTableDepth)
+    diags_.Error("resource.module-id",
+                 "module ID " + std::to_string(id_.value()) +
+                     " does not fit the 32-entry overlay tables");
+  if (!diags_.ok()) return;
+
+  // --- PHV allocation -------------------------------------------------------
+  std::array<u8, 3> next{};  // next free container index per type
+  for (const auto& f : spec_.fields) {
+    const ContainerType t = f.width == 2   ? ContainerType::k2B
+                            : f.width == 4 ? ContainerType::k4B
+                                           : ContainerType::k6B;
+    auto& cursor = next[static_cast<std::size_t>(t)];
+    containers_.emplace(f.name, ContainerRef{t, cursor++});
+  }
+
+  // --- Parser / deparser entries ---------------------------------------------
+  ParserEntry parser_entry;
+  std::size_t pa = 0;
+  for (const auto& f : spec_.fields) {
+    if (f.scratch) continue;  // PHV-only temporaries are never parsed
+    parser_entry.actions[pa++] =
+        ParserAction{true, containers_.at(f.name), f.offset};
+  }
+  std::set<std::string> written_fields;
+  for (const auto& a : spec_.actions)
+    for (const auto& st : a.statements)
+      if (!st.dst.empty()) written_fields.insert(st.dst);
+  DeparserEntry deparser_entry;
+  std::size_t da = 0;
+  for (const auto& f : spec_.fields) {
+    // Only fields some action modifies are written back, and scratch
+    // fields never touch packet bytes (section 4.1: the deparser updates
+    // only the portions of the packet actually modified).
+    if (f.scratch || !written_fields.contains(f.name)) continue;
+    deparser_entry.actions[da++] =
+        ParserAction{true, containers_.at(f.name), f.offset};
+  }
+
+  const u8 overlay_index = static_cast<u8>(id_.value());
+  static_writes_.push_back(ConfigWrite{ResourceKind::kParserTable, 0,
+                                       overlay_index, parser_entry.Encode()});
+  static_writes_.push_back(ConfigWrite{ResourceKind::kDeparserTable, 0,
+                                       overlay_index,
+                                       deparser_entry.Encode()});
+
+  // --- Table placement and per-stage overlay entries -------------------------
+  for (std::size_t i = 0; i < spec_.tables.size(); ++i) {
+    const TableDef& t = spec_.tables[i];
+    TablePlacement p;
+    p.table = t.name;
+    p.alloc = alloc.stages[i];
+    p.stage = p.alloc.stage;
+    p.has_predicate = t.predicate.has_value();
+    p.ternary = t.ternary;
+
+    // Key layout: fields fill the two slots of their width class in order.
+    std::array<std::size_t, 3> used{};  // per type: 0..2
+    for (const auto& kname : t.keys) {
+      const FieldDef* f = spec_.FindField(kname);
+      const std::size_t type_idx = f->width == 6 ? 0 : f->width == 4 ? 1 : 2;
+      const std::size_t slot = type_idx * 2 + used[type_idx]++;
+      p.slot_fields[slot] = kname;
+    }
+    placements_.push_back(std::move(p));
+  }
+
+  // --- State layout ----------------------------------------------------------
+  for (std::size_t i = 0; i < spec_.tables.size(); ++i) {
+    const TableDef& t = spec_.tables[i];
+    const StageAllocation& sa = alloc.stages[i];
+    const auto dyn = DynamicallyAddressedStates(spec_, t);
+    const auto touched = StatesOf(spec_, t);
+    u16 base = 0;
+    // Declaration order, except dynamically addressed arrays come first so
+    // their base is 0 (the ALU has no adder on the dynamic-address path).
+    std::vector<std::string> ordered;
+    for (const auto& s : spec_.states)
+      if (touched.contains(s.name) && dyn.contains(s.name))
+        ordered.push_back(s.name);
+    for (const auto& s : spec_.states)
+      if (touched.contains(s.name) && !dyn.contains(s.name))
+        ordered.push_back(s.name);
+    if (std::count_if(ordered.begin(), ordered.end(), [&](const auto& s) {
+          return dyn.contains(s);
+        }) > 1) {
+      diags_.Error("codegen.dynamic-state",
+                   "at most one dynamically addressed state array per stage");
+    }
+    for (const auto& sname : ordered) {
+      const StateDef* sd = spec_.FindState(sname);
+      state_layout_[sname] = StatePlacement{sa.stage, base};
+      base = static_cast<u16>(base + sd->size);
+    }
+  }
+  if (!diags_.ok()) return;
+
+  // --- Per-stage overlay configuration ---------------------------------------
+  for (std::size_t si = 0; si < alloc.stages.size(); ++si) {
+    const StageAllocation& sa = alloc.stages[si];
+    KeyExtractorEntry kx;
+    KeyMaskEntry mask;  // default: all-zero mask => key is all zeros
+
+    const bool has_table = si < spec_.tables.size();
+    if (has_table) {
+      const TableDef& t = spec_.tables[si];
+      const TablePlacement& p = placements_[si];
+      kx.ternary = t.ternary;
+      const auto slots = KeySlots();
+      for (std::size_t s = 0; s < 6; ++s) {
+        if (p.slot_fields[s].empty()) continue;
+        kx.selectors[s] = containers_.at(p.slot_fields[s]).index;
+        for (std::size_t b = 0; b < slots[s].bits; ++b)
+          mask.mask.set_bit(slots[s].lsb + b, true);
+      }
+      if (t.predicate) {
+        kx.cmp_op = t.predicate->op;
+        kx.cmp_a = LowerPredicateOperand(t.predicate->a);
+        kx.cmp_b = LowerPredicateOperand(t.predicate->b);
+        mask.mask.set_bit(0, true);
+      }
+    }
+
+    static_writes_.push_back(ConfigWrite{ResourceKind::kKeyExtractor,
+                                         sa.stage, overlay_index,
+                                         kx.Encode()});
+    static_writes_.push_back(ConfigWrite{ResourceKind::kKeyMask, sa.stage,
+                                         overlay_index, mask.Encode()});
+    static_writes_.push_back(
+        ConfigWrite{ResourceKind::kSegmentTable, sa.stage, overlay_index,
+                    SegmentEntry{sa.seg_offset, sa.seg_range}.Encode()});
+  }
+  if (!diags_.ok()) return;
+
+  // --- Compile-time placeholder entries ---------------------------------------
+  // A fresh, unique entry set is generated on every compile so no
+  // information leaks from a previously loaded module (section 5.1).  The
+  // uniqueness check is what makes compile time grow with entry count.
+  for (std::size_t i = 0; i < spec_.tables.size(); ++i) {
+    const TableDef& t = spec_.tables[i];
+    const std::size_t n = placeholder_entries ? placeholder_entries : t.size;
+    if (n == 0 || t.keys.empty() || t.actions.empty()) continue;
+    const std::string& kf = t.keys.front();
+    const ActionDef* adef = spec_.FindAction(t.actions.front());
+    const std::vector<u64> zero_args(adef->params.size(), 0);
+
+    const TablePlacement& p = placements_[i];
+    std::set<BitVec> seen;
+    for (std::size_t e = 0; e < n; ++e) {
+      std::map<std::string, u64> keys;
+      keys[kf] = e;
+      const std::optional<bool> pred =
+          t.predicate.has_value() ? std::optional<bool>(false) : std::nullopt;
+      BitVec key = KeyFor(t.name, keys, pred);
+      if (!seen.insert(key).second) {
+        diags_.Error("codegen.duplicate-entry",
+                     "generated duplicate match entry in table '" + t.name +
+                         "'; an exact-match table would return multiple "
+                         "results");
+        break;
+      }
+      VliwEntry vliw = LowerAction(*adef, zero_args, p);
+      if (!diags_.ok()) return;
+
+      // Placeholder entries wipe the module's CAM block (valid = false):
+      // nothing from a previously loaded module can leak through, and the
+      // control plane's real entries later overwrite these slots in order.
+      const std::size_t address = p.alloc.cam_base + (e % p.alloc.cam_count);
+      if (t.ternary) {
+        TcamEntry wipe;
+        wipe.key = std::move(key);
+        wipe.module = id_;
+        entry_writes_.push_back(ConfigWrite{ResourceKind::kTcamEntry,
+                                            p.stage,
+                                            static_cast<u8>(address % 256),
+                                            wipe.Encode()});
+      } else {
+        CamEntry cam;
+        cam.valid = false;
+        cam.key = std::move(key);
+        cam.module = id_;
+        entry_writes_.push_back(ConfigWrite{ResourceKind::kCamEntry, p.stage,
+                                            static_cast<u8>(address % 256),
+                                            cam.Encode()});
+      }
+      entry_writes_.push_back(ConfigWrite{ResourceKind::kVliwAction, p.stage,
+                                          static_cast<u8>(address % 256),
+                                          vliw.Encode()});
+      ++unique_entries_generated_;
+    }
+  }
+}
+
+Operand8 CompiledModule::LowerPredicateOperand(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kConst:
+      if (v.constant >= 128) {
+        diags_.Error("codegen.predicate-imm",
+                     "predicate immediates are 7-bit");
+        return Operand8::Immediate(0);
+      }
+      return Operand8::Immediate(static_cast<u8>(v.constant));
+    case Value::Kind::kField: {
+      const auto it = containers_.find(v.name);
+      if (it == containers_.end()) {
+        diags_.Error("codegen.unknown-field",
+                     "no container for predicate field '" + v.name + "'");
+        return Operand8::Immediate(0);
+      }
+      return Operand8::Container(it->second);
+    }
+    case Value::Kind::kParam:
+      diags_.Error("codegen.predicate-param",
+                   "predicates cannot reference action parameters");
+      return Operand8::Immediate(0);
+  }
+  return Operand8::Immediate(0);
+}
+
+CompiledModule Compile(const ModuleSpec& spec, const ModuleAllocation& alloc,
+                       std::size_t placeholder_entries) {
+  CompiledModule m;
+  m.spec_ = spec;
+  m.Build(alloc, placeholder_entries);
+  return m;
+}
+
+CompiledModule CompileStack(
+    const std::vector<ModuleSpec>& specs,
+    const std::vector<std::vector<StageAllocation>>& stage_sets, ModuleId id,
+    std::size_t placeholder_entries) {
+  CompiledModule m;
+  if (specs.size() != stage_sets.size())
+    throw std::invalid_argument("specs/stage_sets size mismatch");
+
+  // Merge the stack into one spec under one module ID; names must be
+  // globally unique across the stack.
+  ModuleSpec merged;
+  ModuleAllocation alloc;
+  alloc.id = id;
+  merged.name = "stack";
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const ModuleSpec& s = specs[k];
+    if (k == 0)
+      merged.name = s.name;
+    else
+      merged.name += "+" + s.name;
+    if (s.tables.size() > stage_sets[k].size()) {
+      m.diags_.Error("resource.stages",
+                     "stack member '" + s.name + "' has " +
+                         std::to_string(s.tables.size()) +
+                         " tables but only " +
+                         std::to_string(stage_sets[k].size()) +
+                         " allocated stages");
+      return m;
+    }
+    for (const auto& f : s.fields) {
+      if (merged.FindField(f.name) != nullptr)
+        m.diags_.Error("stack.name-collision",
+                       "field '" + f.name + "' defined by two stack members");
+      merged.fields.push_back(f);
+    }
+    for (const auto& st : s.states) {
+      if (merged.FindState(st.name) != nullptr)
+        m.diags_.Error("stack.name-collision",
+                       "state '" + st.name + "' defined by two stack members");
+      merged.states.push_back(st);
+    }
+    for (const auto& a : s.actions) {
+      if (merged.FindAction(a.name) != nullptr)
+        m.diags_.Error("stack.name-collision", "action '" + a.name +
+                                                   "' defined by two stack "
+                                                   "members");
+      merged.actions.push_back(a);
+    }
+    for (std::size_t t = 0; t < s.tables.size(); ++t) {
+      if (merged.FindTable(s.tables[t].name) != nullptr)
+        m.diags_.Error("stack.name-collision",
+                       "table '" + s.tables[t].name +
+                           "' defined by two stack members");
+      merged.tables.push_back(s.tables[t]);
+      alloc.stages.push_back(stage_sets[k][t]);
+    }
+  }
+  // Stages allocated but not consumed by any member's tables still get
+  // default (no-op) overlay configuration; they must follow all used
+  // stages because Build maps merged.tables[i] -> alloc.stages[i].
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    for (std::size_t t = specs[k].tables.size(); t < stage_sets[k].size();
+         ++t)
+      alloc.stages.push_back(stage_sets[k][t]);
+  }
+  if (!m.diags_.ok()) return m;
+
+  m.spec_ = std::move(merged);
+  m.Build(alloc, placeholder_entries);
+  return m;
+}
+
+}  // namespace menshen

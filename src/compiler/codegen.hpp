@@ -1,0 +1,162 @@
+// Compiler backend: lowers a (merged) ModuleSpec to the Figure 7
+// configuration formats.
+//
+// Outputs of a successful compile:
+//   * PHV allocation         field -> container
+//   * parser/deparser entry  one parsing action per field; the deparser
+//                            writes back only fields some action modifies
+//   * per-stage key extractor + key mask + segment-table entries
+//   * table placements       table i of the module -> allocated stage i
+// plus an entry API that the control plane uses to install match-action
+// entries (CAM + VLIW pairs) at run time, and the compile-time generation
+// of a fresh, unique placeholder entry set (the paper generates these on
+// every compile so no information leaks from a previous module — this is
+// also what makes compile time scale with entry count in Figure 8).
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "compiler/allocation.hpp"
+#include "compiler/checker.hpp"
+#include "compiler/module_spec.hpp"
+#include "pipeline/config_write.hpp"
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+struct TablePlacement {
+  std::string table;
+  u8 stage = 0;  // hardware stage index
+  StageAllocation alloc;
+  /// Key layout: which field occupies each of the six key slots
+  /// ({1st6B, 2nd6B, 1st4B, 2nd4B, 1st2B, 2nd2B}); empty = unused.
+  std::array<std::string, 6> slot_fields{};
+  bool has_predicate = false;
+  bool ternary = false;  // Appendix B ternary table
+  /// Entries installed so far (logical; wraps modulo alloc.cam_count when
+  /// benchmarking beyond the prototype depth, mirroring footnote 5).
+  std::size_t entries_installed = 0;
+};
+
+/// Where a stateful array lives: its owning stage and its base offset
+/// within the module's segment there.
+struct StatePlacement {
+  u8 stage = 0;
+  u16 base = 0;
+};
+
+class CompiledModule {
+ public:
+  [[nodiscard]] bool ok() const { return diags_.ok(); }
+  [[nodiscard]] const Diagnostics& diags() const { return diags_; }
+  [[nodiscard]] ModuleId id() const { return id_; }
+  [[nodiscard]] const ModuleSpec& spec() const { return spec_; }
+
+  /// Overlay configuration (parser, deparser, key extractor, key mask,
+  /// segment tables) — everything except match-action entries.
+  [[nodiscard]] const std::vector<ConfigWrite>& static_writes() const {
+    return static_writes_;
+  }
+  /// Match-action entry writes accumulated so far (placeholders from
+  /// compile time plus any AddEntry calls).
+  [[nodiscard]] const std::vector<ConfigWrite>& entry_writes() const {
+    return entry_writes_;
+  }
+  /// Full configuration: static writes followed by entry writes.
+  [[nodiscard]] std::vector<ConfigWrite> AllWrites() const;
+
+  [[nodiscard]] const TablePlacement* Placement(
+      const std::string& table) const;
+  [[nodiscard]] std::optional<ContainerRef> ContainerFor(
+      const std::string& field) const;
+  [[nodiscard]] const std::map<std::string, StatePlacement>& state_layout()
+      const {
+    return state_layout_;
+  }
+
+  /// Installs a match-action entry: `keys` maps key-field names to values,
+  /// `predicate` gives the expected predicate bit (required iff the table
+  /// has one), `action` + `args` select and parameterize the action.
+  /// Returns the two writes ({CAM, VLIW}) and also records them.
+  /// Reports problems in diags() and returns an empty vector on error.
+  std::vector<ConfigWrite> AddEntry(const std::string& table,
+                                    const std::map<std::string, u64>& keys,
+                                    std::optional<bool> predicate,
+                                    const std::string& action,
+                                    const std::vector<u64>& args);
+
+  /// Installs a ternary entry (Appendix B): `masks` maps key-field names
+  /// to value masks (1-bits participate; a field absent from `masks` is
+  /// fully masked-in).  Entry priority within the module follows
+  /// insertion order (lower address wins).  Only valid on tables declared
+  /// `match = ternary`.
+  std::vector<ConfigWrite> AddTernaryEntry(
+      const std::string& table, const std::map<std::string, u64>& keys,
+      const std::map<std::string, u64>& masks, std::optional<bool> predicate,
+      const std::string& action, const std::vector<u64>& args);
+
+  /// The lookup key AddEntry would install for these key values — exposed
+  /// so tests can cross-validate against Stage::MaskedKeyFor.
+  [[nodiscard]] BitVec KeyFor(const std::string& table,
+                              const std::map<std::string, u64>& keys,
+                              std::optional<bool> predicate) const;
+
+  [[nodiscard]] std::size_t unique_entries_generated() const {
+    return unique_entries_generated_;
+  }
+
+ private:
+  friend CompiledModule Compile(const ModuleSpec&, const ModuleAllocation&,
+                                std::size_t);
+  friend CompiledModule CompileStack(
+      const std::vector<ModuleSpec>&,
+      const std::vector<std::vector<StageAllocation>>&, ModuleId,
+      std::size_t);
+  friend CompiledModule CompileDsl(std::string_view, const ModuleAllocation&,
+                                   std::size_t);
+
+  void Build(const ModuleAllocation& alloc, std::size_t placeholder_entries);
+  [[nodiscard]] Operand8 LowerPredicateOperand(const Value& v);
+  [[nodiscard]] VliwEntry LowerAction(const ActionDef& action,
+                                      const std::vector<u64>& args,
+                                      const TablePlacement& placement);
+  [[nodiscard]] u16 ResolveImmediate(const Value& v, const ActionDef& action,
+                                     const std::vector<u64>& args, int line);
+  [[nodiscard]] u8 ResolveFlat(const std::string& field, int line);
+
+  ModuleId id_;
+  ModuleSpec spec_;
+  Diagnostics diags_;
+  std::vector<ConfigWrite> static_writes_;
+  std::vector<ConfigWrite> entry_writes_;
+  std::map<std::string, ContainerRef> containers_;
+  std::map<std::string, StatePlacement> state_layout_;
+  std::vector<TablePlacement> placements_;
+  std::size_t unique_entries_generated_ = 0;
+};
+
+/// Compiles one module against its allocation.  `placeholder_entries`
+/// overrides the per-table placeholder entry count generated at compile
+/// time (0 = use each table's declared size).  Diagnostics (including
+/// static/resource check failures) are in the result's diags().
+[[nodiscard]] CompiledModule Compile(const ModuleSpec& spec,
+                                     const ModuleAllocation& alloc,
+                                     std::size_t placeholder_entries = 0);
+
+/// Compiles several specs under ONE module ID into disjoint stage sets —
+/// how the system-level module is placed in the first and last stages
+/// around a tenant's tables (section 3.4).  `stage_sets[i]` gives the
+/// stage allocations for specs[i]; container space is shared across the
+/// stack.  Field names must be unique across the stack.
+[[nodiscard]] CompiledModule CompileStack(
+    const std::vector<ModuleSpec>& specs,
+    const std::vector<std::vector<StageAllocation>>& stage_sets, ModuleId id,
+    std::size_t placeholder_entries = 0);
+
+}  // namespace menshen

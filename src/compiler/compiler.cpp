@@ -1,0 +1,15 @@
+#include "compiler/compiler.hpp"
+
+namespace menshen {
+
+CompiledModule CompileDsl(std::string_view source,
+                          const ModuleAllocation& alloc,
+                          std::size_t placeholder_entries) {
+  CompiledModule m;
+  m.spec_ = ParseModuleDsl(source, m.diags_);
+  if (!m.diags_.ok()) return m;  // frontend failed; no backend run
+  m.Build(alloc, placeholder_entries);
+  return m;
+}
+
+}  // namespace menshen

@@ -1,0 +1,26 @@
+// Top-level compiler API.
+//
+// The Menshen compiler mirrors the structure of the paper's compiler
+// (section 3.4): a frontend (the DSL parser standing in for the P4-16
+// reference frontend/midend), the static and resource checkers, and a
+// backend that emits per-module configuration for the Menshen hardware
+// (codegen).  This header is the one most callers need.
+#pragma once
+
+#include <string_view>
+
+#include "compiler/allocation.hpp"
+#include "compiler/checker.hpp"
+#include "compiler/codegen.hpp"
+#include "compiler/dsl_parser.hpp"
+#include "compiler/module_spec.hpp"
+
+namespace menshen {
+
+/// Parses DSL source and compiles it against `alloc`.  All frontend and
+/// backend diagnostics end up in the result's diags().
+[[nodiscard]] CompiledModule CompileDsl(std::string_view source,
+                                        const ModuleAllocation& alloc,
+                                        std::size_t placeholder_entries = 0);
+
+}  // namespace menshen

@@ -1,0 +1,397 @@
+#include "compiler/dsl_parser.hpp"
+
+#include <stdexcept>
+
+#include "compiler/lexer.hpp"
+
+namespace menshen {
+
+namespace {
+
+/// Parse failure used for local recovery; the message is already in diags.
+struct ParseBail {};
+
+class DslParser {
+ public:
+  DslParser(std::vector<Token> tokens, Diagnostics& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  ModuleSpec Parse() {
+    ModuleSpec spec;
+    try {
+      ExpectIdent("module");
+      spec.name = ExpectAnyIdent();
+      Expect(TokenKind::kLBrace);
+      while (!At(TokenKind::kRBrace) && !At(TokenKind::kEnd)) ParseItem(spec);
+      Expect(TokenKind::kRBrace);
+      if (!At(TokenKind::kEnd))
+        Error("trailing input after module definition");
+    } catch (const ParseBail&) {
+      // Unrecoverable; diagnostics already recorded.
+    }
+    return spec;
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------------
+  [[nodiscard]] const Token& Cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool At(TokenKind k) const { return Cur().kind == k; }
+  [[nodiscard]] bool AtIdent(std::string_view s) const {
+    return Cur().kind == TokenKind::kIdent && Cur().text == s;
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void Error(const std::string& msg) {
+    diags_.Error("parse", msg + " (found " + Cur().Describe() + ")",
+                 Cur().line);
+    throw ParseBail{};
+  }
+
+  const Token& Expect(TokenKind k) {
+    if (!At(k)) Error("unexpected token");
+    return Advance();
+  }
+  void ExpectIdent(std::string_view s) {
+    if (!AtIdent(s)) Error("expected '" + std::string(s) + "'");
+    Advance();
+  }
+  std::string ExpectAnyIdent() {
+    if (!At(TokenKind::kIdent)) Error("expected identifier");
+    return Advance().text;
+  }
+  u64 ExpectInt() {
+    if (!At(TokenKind::kInt)) Error("expected integer");
+    return Advance().value;
+  }
+
+  // --- grammar productions --------------------------------------------------
+  void ParseItem(ModuleSpec& spec) {
+    if (AtIdent("field")) {
+      ParseField(spec);
+    } else if (AtIdent("scratch")) {
+      ParseScratch(spec);
+    } else if (AtIdent("state")) {
+      ParseState(spec);
+    } else if (AtIdent("action")) {
+      ParseAction(spec);
+    } else if (AtIdent("table")) {
+      ParseTable(spec);
+    } else {
+      Error("expected 'field', 'state', 'action' or 'table'");
+    }
+  }
+
+  void ParseField(ModuleSpec& spec) {
+    const int line = Cur().line;
+    Advance();  // 'field'
+    FieldDef f;
+    f.name = ExpectAnyIdent();
+    Expect(TokenKind::kColon);
+    const u64 width = ExpectInt();
+    Expect(TokenKind::kAt);
+    const u64 offset = ExpectInt();
+    Expect(TokenKind::kSemicolon);
+    if (width != 2 && width != 4 && width != 6)
+      diags_.Error("field.width",
+                   "field '" + f.name + "' width must be 2, 4 or 6 bytes",
+                   line);
+    if (offset >= 128)
+      diags_.Error("field.offset",
+                   "field '" + f.name +
+                       "' offset must lie in the 128-byte parser window",
+                   line);
+    f.width = static_cast<u8>(width);
+    f.offset = static_cast<u8>(offset);
+    if (spec.FindField(f.name) != nullptr)
+      diags_.Error("field.duplicate", "duplicate field '" + f.name + "'",
+                   line);
+    spec.fields.push_back(std::move(f));
+  }
+
+  void ParseScratch(ModuleSpec& spec) {
+    const int line = Cur().line;
+    Advance();  // 'scratch'
+    FieldDef f;
+    f.scratch = true;
+    f.name = ExpectAnyIdent();
+    Expect(TokenKind::kColon);
+    const u64 width = ExpectInt();
+    Expect(TokenKind::kSemicolon);
+    if (width != 2 && width != 4 && width != 6)
+      diags_.Error("field.width",
+                   "scratch '" + f.name + "' width must be 2, 4 or 6 bytes",
+                   line);
+    f.width = static_cast<u8>(width);
+    if (spec.FindField(f.name) != nullptr)
+      diags_.Error("field.duplicate", "duplicate field '" + f.name + "'",
+                   line);
+    spec.fields.push_back(std::move(f));
+  }
+
+  void ParseState(ModuleSpec& spec) {
+    const int line = Cur().line;
+    Advance();  // 'state'
+    StateDef s;
+    s.name = ExpectAnyIdent();
+    Expect(TokenKind::kLBracket);
+    const u64 size = ExpectInt();
+    Expect(TokenKind::kRBracket);
+    Expect(TokenKind::kSemicolon);
+    if (size == 0 || size > 0xFFFF)
+      diags_.Error("state.size", "state '" + s.name + "' has invalid size",
+                   line);
+    s.size = static_cast<u16>(size);
+    if (spec.FindState(s.name) != nullptr)
+      diags_.Error("state.duplicate", "duplicate state '" + s.name + "'",
+                   line);
+    spec.states.push_back(std::move(s));
+  }
+
+  Value ParseValue(const ActionDef* action) {
+    if (At(TokenKind::kInt)) return Value::Const(Advance().value);
+    const int line = Cur().line;
+    const std::string name = ExpectAnyIdent();
+    if (action != nullptr) {
+      for (const auto& p : action->params)
+        if (p == name) return Value::Param(name);
+    }
+    // Field references are resolved against the spec by the checker; here
+    // we only record the name.
+    (void)line;
+    return Value::Field(name);
+  }
+
+  void ParseAction(ModuleSpec& spec) {
+    const int line = Cur().line;
+    Advance();  // 'action'
+    ActionDef a;
+    a.line = line;
+    a.name = ExpectAnyIdent();
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      if (!At(TokenKind::kRParen)) {
+        a.params.push_back(ExpectAnyIdent());
+        while (At(TokenKind::kComma)) {
+          Advance();
+          a.params.push_back(ExpectAnyIdent());
+        }
+      }
+      Expect(TokenKind::kRParen);
+    }
+    Expect(TokenKind::kLBrace);
+    while (!At(TokenKind::kRBrace) && !At(TokenKind::kEnd))
+      a.statements.push_back(ParseStatement(a));
+    Expect(TokenKind::kRBrace);
+    if (spec.FindAction(a.name) != nullptr)
+      diags_.Error("action.duplicate", "duplicate action '" + a.name + "'",
+                   line);
+    spec.actions.push_back(std::move(a));
+  }
+
+  Statement ParseStatement(const ActionDef& action) {
+    Statement st;
+    st.line = Cur().line;
+
+    if (AtIdent("port")) {
+      Advance();
+      Expect(TokenKind::kLParen);
+      st.kind = Statement::Kind::kSetPort;
+      st.a = ParseValue(&action);
+      Expect(TokenKind::kRParen);
+      Expect(TokenKind::kSemicolon);
+      return st;
+    }
+    if (AtIdent("mcast")) {
+      Advance();
+      Expect(TokenKind::kLParen);
+      st.kind = Statement::Kind::kSetMcast;
+      st.a = ParseValue(&action);
+      Expect(TokenKind::kRParen);
+      Expect(TokenKind::kSemicolon);
+      return st;
+    }
+    if (AtIdent("drop")) {
+      Advance();
+      Expect(TokenKind::kLParen);
+      Expect(TokenKind::kRParen);
+      Expect(TokenKind::kSemicolon);
+      st.kind = Statement::Kind::kDrop;
+      return st;
+    }
+    if (AtIdent("recirculate")) {
+      Advance();
+      Expect(TokenKind::kLParen);
+      Expect(TokenKind::kRParen);
+      Expect(TokenKind::kSemicolon);
+      st.kind = Statement::Kind::kRecirculate;
+      return st;
+    }
+    if (AtIdent("meta")) {
+      Advance();
+      Expect(TokenKind::kDot);
+      st.kind = Statement::Kind::kMetaStatWrite;
+      st.meta_stat = ExpectAnyIdent();
+      Expect(TokenKind::kAssign);
+      st.a = ParseValue(&action);
+      Expect(TokenKind::kSemicolon);
+      return st;
+    }
+
+    // ident ... : assignment or state store.
+    const std::string lhs = ExpectAnyIdent();
+    if (At(TokenKind::kLBracket)) {
+      // state store:  name[addr] = value ;
+      Advance();
+      st.kind = Statement::Kind::kStore;
+      st.state = lhs;
+      st.addr = ParseValue(&action);
+      Expect(TokenKind::kRBracket);
+      Expect(TokenKind::kAssign);
+      st.a = ParseValue(&action);
+      Expect(TokenKind::kSemicolon);
+      return st;
+    }
+
+    Expect(TokenKind::kAssign);
+    st.dst = lhs;
+
+    if (AtIdent("incr")) {
+      Advance();
+      Expect(TokenKind::kLParen);
+      st.kind = Statement::Kind::kLoadIncr;
+      st.state = ExpectAnyIdent();
+      Expect(TokenKind::kLBracket);
+      st.addr = ParseValue(&action);
+      Expect(TokenKind::kRBracket);
+      Expect(TokenKind::kRParen);
+      Expect(TokenKind::kSemicolon);
+      return st;
+    }
+
+    // Could be a state load:  dst = name[addr] ;
+    if (At(TokenKind::kIdent)) {
+      const std::size_t save = pos_;
+      const std::string rhs = ExpectAnyIdent();
+      if (At(TokenKind::kLBracket)) {
+        Advance();
+        st.kind = Statement::Kind::kLoad;
+        st.state = rhs;
+        st.addr = ParseValue(&action);
+        Expect(TokenKind::kRBracket);
+        Expect(TokenKind::kSemicolon);
+        return st;
+      }
+      pos_ = save;  // plain value expression; re-parse below
+    }
+
+    st.a = ParseValue(&action);
+    if (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      st.kind = At(TokenKind::kPlus) ? Statement::Kind::kAddAssign
+                                     : Statement::Kind::kSubAssign;
+      Advance();
+      st.b = ParseValue(&action);
+    } else {
+      st.kind = Statement::Kind::kSetAssign;
+    }
+    Expect(TokenKind::kSemicolon);
+    return st;
+  }
+
+  void ParseTable(ModuleSpec& spec) {
+    const int line = Cur().line;
+    Advance();  // 'table'
+    TableDef t;
+    t.line = line;
+    t.name = ExpectAnyIdent();
+    Expect(TokenKind::kLBrace);
+    while (!At(TokenKind::kRBrace) && !At(TokenKind::kEnd)) {
+      if (AtIdent("key")) {
+        Advance();
+        Expect(TokenKind::kAssign);
+        Expect(TokenKind::kLBrace);
+        t.keys.push_back(ExpectAnyIdent());
+        while (At(TokenKind::kComma)) {
+          Advance();
+          t.keys.push_back(ExpectAnyIdent());
+        }
+        Expect(TokenKind::kRBrace);
+        Expect(TokenKind::kSemicolon);
+      } else if (AtIdent("predicate")) {
+        Advance();
+        Expect(TokenKind::kAssign);
+        PredicateDef p;
+        p.a = ParseValue(nullptr);
+        p.op = ParseCmpOp();
+        p.b = ParseValue(nullptr);
+        Expect(TokenKind::kSemicolon);
+        t.predicate = p;
+      } else if (AtIdent("actions")) {
+        Advance();
+        Expect(TokenKind::kAssign);
+        Expect(TokenKind::kLBrace);
+        t.actions.push_back(ExpectAnyIdent());
+        while (At(TokenKind::kComma)) {
+          Advance();
+          t.actions.push_back(ExpectAnyIdent());
+        }
+        Expect(TokenKind::kRBrace);
+        Expect(TokenKind::kSemicolon);
+      } else if (AtIdent("size")) {
+        Advance();
+        Expect(TokenKind::kAssign);
+        t.size = static_cast<std::size_t>(ExpectInt());
+        Expect(TokenKind::kSemicolon);
+      } else if (AtIdent("match")) {
+        Advance();
+        Expect(TokenKind::kAssign);
+        const std::string kind = ExpectAnyIdent();
+        if (kind == "ternary")
+          t.ternary = true;
+        else if (kind == "exact")
+          t.ternary = false;
+        else
+          Error("match kind must be 'exact' or 'ternary'");
+        Expect(TokenKind::kSemicolon);
+      } else {
+        Error("expected 'key', 'predicate', 'actions', 'size' or 'match'");
+      }
+    }
+    Expect(TokenKind::kRBrace);
+    if (spec.FindTable(t.name) != nullptr)
+      diags_.Error("table.duplicate", "duplicate table '" + t.name + "'",
+                   line);
+    spec.tables.push_back(std::move(t));
+  }
+
+  CmpOp ParseCmpOp() {
+    switch (Cur().kind) {
+      case TokenKind::kEq: Advance(); return CmpOp::kEq;
+      case TokenKind::kNeq: Advance(); return CmpOp::kNeq;
+      case TokenKind::kGt: Advance(); return CmpOp::kGt;
+      case TokenKind::kLt: Advance(); return CmpOp::kLt;
+      case TokenKind::kGe: Advance(); return CmpOp::kGe;
+      case TokenKind::kLe: Advance(); return CmpOp::kLe;
+      default: Error("expected comparison operator");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  Diagnostics& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ModuleSpec ParseModuleDsl(std::string_view source, Diagnostics& diags) {
+  std::vector<Token> tokens;
+  try {
+    tokens = Lex(source);
+  } catch (const std::invalid_argument& e) {
+    diags.Error("lex", e.what());
+    return {};
+  }
+  DslParser parser(std::move(tokens), diags);
+  return parser.Parse();
+}
+
+}  // namespace menshen

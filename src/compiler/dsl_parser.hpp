@@ -1,0 +1,52 @@
+// Recursive-descent parser for the Menshen module DSL.
+//
+// The DSL is the module-author-facing surface of the compiler frontend —
+// structurally a restricted P4-16: header fields, stateful registers,
+// actions built from the ALU-compilable statement forms, and match-action
+// tables with optional predicates.
+//
+// Grammar (EBNF; `#` and `//` start comments):
+//
+//   module      := "module" ident "{" item* "}"
+//   item        := field | scratch | state | action | table
+//   field       := "field" ident ":" INT "@" INT ";"          # width @ offset
+//   scratch     := "scratch" ident ":" INT ";"                # PHV-only temp
+//   state       := "state" ident "[" INT "]" ";"
+//   action      := "action" ident params? "{" stmt* "}"
+//   params      := "(" [ ident ("," ident)* ] ")"
+//   table       := "table" ident "{" tprop* "}"
+//   tprop       := "key" "=" "{" ident ("," ident)* "}" ";"
+//                | "predicate" "=" value cmp value ";"
+//                | "actions" "=" "{" ident ("," ident)* "}" ";"
+//                | "size" "=" INT ";"
+//                | "match" "=" ("exact" | "ternary") ";"
+//   stmt        := ident "=" value (("+"|"-") value)? ";"
+//                | ident "=" ident "[" value "]" ";"          # state load
+//                | ident "[" value "]" "=" value ";"          # state store
+//                | ident "=" "incr" "(" ident "[" value "]" ")" ";"
+//                | "port" "(" value ")" ";"
+//                | "mcast" "(" value ")" ";"
+//                | "drop" "(" ")" ";"
+//                | "recirculate" "(" ")" ";"
+//                | "meta" "." ident "=" value ";"
+//   value       := INT | ident
+//   cmp         := "==" | "!=" | ">" | "<" | ">=" | "<="
+//
+// Identifiers in value position resolve to action parameters first, then
+// to fields; anything else is an error.
+#pragma once
+
+#include <string_view>
+
+#include "common/diagnostics.hpp"
+#include "compiler/module_spec.hpp"
+
+namespace menshen {
+
+/// Parses DSL source into a ModuleSpec.  Parse errors are collected in
+/// `diags`; on any error the returned spec is partial and `diags.ok()` is
+/// false.
+[[nodiscard]] ModuleSpec ParseModuleDsl(std::string_view source,
+                                        Diagnostics& diags);
+
+}  // namespace menshen

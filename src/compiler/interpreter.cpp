@@ -1,0 +1,218 @@
+#include "compiler/interpreter.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "packet/headers.hpp"
+#include "phv/phv.hpp"
+
+namespace menshen {
+
+namespace {
+
+u64 TruncateToWidth(u64 value, u8 width_bytes) {
+  if (width_bytes >= 8) return value;
+  return value & ((u64{1} << (8 * width_bytes)) - 1);
+}
+
+u64 ParseFieldFromPacket(const Packet& pkt, const FieldDef& f) {
+  u64 v = 0;
+  for (u8 i = 0; i < f.width; ++i) {
+    const std::size_t off = static_cast<std::size_t>(f.offset) + i;
+    const u8 byte = (off < kParserWindowBytes && off < pkt.size())
+                        ? pkt.bytes().u8_at(off)
+                        : 0;
+    v = (v << 8) | byte;
+  }
+  return v;
+}
+
+}  // namespace
+
+u64 Interpreter::ReadField(const std::map<std::string, u64>& phv,
+                           const std::string& name) const {
+  const auto it = phv.find(name);
+  if (it == phv.end())
+    throw std::logic_error("interpreter: unknown field " + name);
+  return it->second;
+}
+
+u64 Interpreter::EvalValue(const std::map<std::string, u64>& phv,
+                           const Value& v, const ActionDef& action,
+                           const std::vector<u64>& args) const {
+  switch (v.kind) {
+    case Value::Kind::kConst:
+      return v.constant;
+    case Value::Kind::kField:
+      return ReadField(phv, v.name);
+    case Value::Kind::kParam:
+      for (std::size_t i = 0; i < action.params.size(); ++i)
+        if (action.params[i] == v.name) return args.at(i);
+      throw std::logic_error("interpreter: unknown param " + v.name);
+  }
+  return 0;
+}
+
+void Interpreter::Run(Packet& pkt) {
+  // --- parse ---------------------------------------------------------------
+  std::map<std::string, u64> phv;
+  for (const auto& f : spec_.fields)
+    phv[f.name] = f.scratch ? 0 : ParseFieldFromPacket(pkt, f);
+
+  bool drop = false;
+  u16 egress_port = 0;
+  u16 mcast_group = 0;
+
+  // --- tables in program order ----------------------------------------------
+  for (const auto& table : spec_.tables) {
+    // Evaluate the predicate over the current PHV, like the key extractor.
+    std::optional<bool> pred_value;
+    if (table.predicate) {
+      static const ActionDef kNoAction{};
+      const u64 a = EvalValue(phv, table.predicate->a, kNoAction, {});
+      const u64 b = EvalValue(phv, table.predicate->b, kNoAction, {});
+      switch (table.predicate->op) {
+        case CmpOp::kNone: pred_value = false; break;
+        case CmpOp::kEq: pred_value = a == b; break;
+        case CmpOp::kNeq: pred_value = a != b; break;
+        case CmpOp::kGt: pred_value = a > b; break;
+        case CmpOp::kLt: pred_value = a < b; break;
+        case CmpOp::kGe: pred_value = a >= b; break;
+        case CmpOp::kLe: pred_value = a <= b; break;
+      }
+    }
+
+    const auto eit = entries_.find(table.name);
+    if (eit == entries_.end()) continue;
+    const InterpEntry* match = nullptr;
+    for (const auto& entry : eit->second) {
+      bool ok = true;
+      for (const auto& [field, expect] : entry.keys)
+        if (ReadField(phv, field) != expect) ok = false;
+      if (table.predicate &&
+          entry.predicate.value_or(false) != pred_value.value_or(false))
+        ok = false;
+      if (ok) {
+        match = &entry;
+        break;
+      }
+    }
+    if (match == nullptr) continue;  // miss: no-op
+
+    const ActionDef* action = spec_.FindAction(match->action);
+    if (action == nullptr) continue;
+
+    // VLIW semantics: all reads against the pre-action snapshot.
+    const std::map<std::string, u64> snapshot = phv;
+    for (const Statement& st : action->statements) {
+      const auto dst_width = [&](const std::string& name) -> u8 {
+        const FieldDef* f = spec_.FindField(name);
+        return f == nullptr ? 8 : f->width;
+      };
+      const auto ensure = [&](const std::string& sname) -> std::vector<u64>& {
+        const StateDef* sd = spec_.FindState(sname);
+        auto& a = state_[sname];
+        if (sd != nullptr && a.size() < sd->size) a.resize(sd->size, 0);
+        return a;
+      };
+      switch (st.kind) {
+        case Statement::Kind::kAddAssign:
+        case Statement::Kind::kSubAssign: {
+          const bool add = st.kind == Statement::Kind::kAddAssign;
+          const bool a_field = st.a.kind == Value::Kind::kField;
+          const bool b_field = st.b.kind == Value::Kind::kField;
+          u64 result = 0;
+          if (!a_field && !b_field) {
+            // Mirrors the lowering: constant folding happens in the
+            // 16-bit immediate domain before the container write.
+            const u64 va = EvalValue(snapshot, st.a, *action, match->args);
+            const u64 vb = EvalValue(snapshot, st.b, *action, match->args);
+            result = add ? (va + vb) & 0xFFFF : (va - vb) & 0xFFFF;
+          } else {
+            const u64 va = EvalValue(snapshot, st.a, *action, match->args);
+            const u64 vb = EvalValue(snapshot, st.b, *action, match->args);
+            result = add ? va + vb : va - vb;
+          }
+          phv[st.dst] = TruncateToWidth(result, dst_width(st.dst));
+          break;
+        }
+        case Statement::Kind::kSetAssign:
+          phv[st.dst] = TruncateToWidth(
+              EvalValue(snapshot, st.a, *action, match->args),
+              dst_width(st.dst));
+          break;
+        case Statement::Kind::kLoad:
+        case Statement::Kind::kLoadIncr: {
+          auto& a = ensure(st.state);
+          const u64 idx = EvalValue(snapshot, st.addr, *action, match->args);
+          u64 loaded = 0;
+          if (idx < a.size()) {
+            if (st.kind == Statement::Kind::kLoadIncr)
+              loaded = ++a[idx];
+            else
+              loaded = a[idx];
+          }
+          phv[st.dst] = TruncateToWidth(loaded, dst_width(st.dst));
+          break;
+        }
+        case Statement::Kind::kStore: {
+          auto& a = ensure(st.state);
+          const u64 idx = EvalValue(snapshot, st.addr, *action, match->args);
+          if (idx < a.size())
+            a[idx] = EvalValue(snapshot, st.a, *action, match->args);
+          break;
+        }
+        case Statement::Kind::kSetPort:
+          egress_port = static_cast<u16>(
+              EvalValue(snapshot, st.a, *action, match->args));
+          break;
+        case Statement::Kind::kSetMcast:
+          mcast_group = static_cast<u16>(
+              EvalValue(snapshot, st.a, *action, match->args));
+          break;
+        case Statement::Kind::kDrop:
+          drop = true;
+          break;
+        case Statement::Kind::kRecirculate:
+        case Statement::Kind::kMetaStatWrite:
+          throw std::logic_error(
+              "interpreter: forbidden statement (checker bypassed?)");
+      }
+    }
+  }
+
+  // --- deparse ---------------------------------------------------------------
+  // Same rule as the compiler's deparser entry: write back exactly the
+  // non-scratch fields some action of the module assigns.
+  std::set<std::string> written;
+  for (const auto& a : spec_.actions)
+    for (const auto& st : a.statements)
+      if (!st.dst.empty()) written.insert(st.dst);
+  for (const auto& f : spec_.fields) {
+    if (f.scratch || !written.contains(f.name)) continue;
+    const u64 v = phv.at(f.name);
+    for (u8 i = 0; i < f.width; ++i) {
+      const std::size_t off = static_cast<std::size_t>(f.offset) + i;
+      if (off < kParserWindowBytes && off < pkt.size())
+        pkt.bytes().set_u8(off,
+                           static_cast<u8>(v >> (8 * (f.width - 1 - i))));
+    }
+  }
+
+  if (drop) {
+    pkt.disposition = Disposition::kDrop;
+  } else if (mcast_group != 0) {
+    pkt.disposition = Disposition::kMulticast;
+  } else {
+    pkt.disposition = Disposition::kForward;
+    pkt.egress_port = egress_port;
+  }
+}
+
+u64 Interpreter::state(const std::string& array, u64 index) const {
+  const auto it = state_.find(array);
+  if (it == state_.end() || index >= it->second.size()) return 0;
+  return it->second[index];
+}
+
+}  // namespace menshen

@@ -1,0 +1,61 @@
+// Reference interpreter for ModuleSpec semantics.
+//
+// Executes a module directly on packets — table by table in program
+// order, statements sequentially against a snapshot (VLIW semantics) —
+// without any of the compiler's lowering or the hardware model's
+// mechanisms.  Its purpose is differential testing: for any module and
+// any packet, `Interpreter::Run` and the compiled-module-on-Pipeline path
+// must produce identical packets, dispositions and state.  The fuzz tests
+// in tests/test_differential.cpp compare them over randomly generated
+// modules and traffic.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/module_spec.hpp"
+#include "packet/packet.hpp"
+
+namespace menshen {
+
+/// An installed entry in the interpreter's view of a table.
+struct InterpEntry {
+  std::map<std::string, u64> keys;  // field -> expected value
+  std::optional<bool> predicate;    // expected predicate bit, if any
+  std::string action;
+  std::vector<u64> args;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(ModuleSpec spec) : spec_(std::move(spec)) {}
+
+  /// Installs a match entry (mirrors CompiledModule::AddEntry).
+  void AddEntry(const std::string& table, InterpEntry entry) {
+    entries_[table].push_back(std::move(entry));
+  }
+
+  /// Runs one packet through the module; modifies the packet in place
+  /// (field writebacks, disposition, egress port) exactly as the hardware
+  /// path would.
+  void Run(Packet& pkt);
+
+  /// Direct state access for cross-validation.
+  [[nodiscard]] u64 state(const std::string& array, u64 index) const;
+
+ private:
+  struct FieldValue;
+  [[nodiscard]] u64 ReadField(const std::map<std::string, u64>& phv,
+                              const std::string& name) const;
+  [[nodiscard]] u64 EvalValue(const std::map<std::string, u64>& phv,
+                              const Value& v, const ActionDef& action,
+                              const std::vector<u64>& args) const;
+
+  ModuleSpec spec_;
+  std::map<std::string, std::vector<InterpEntry>> entries_;
+  std::map<std::string, std::vector<u64>> state_;
+};
+
+}  // namespace menshen

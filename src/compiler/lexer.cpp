@@ -1,0 +1,146 @@
+#include "compiler/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace menshen {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kInt:
+      return "integer " + std::to_string(value);
+    case TokenKind::kEnd:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+[[noreturn]] void Fail(int line, const std::string& what) {
+  throw std::invalid_argument("lex error at line " + std::to_string(line) +
+                              ": " + what);
+}
+
+Token Punct(TokenKind kind, std::string text, int line) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = line;
+  return t;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_'))
+        ++j;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(src.substr(i, j - i));
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      u64 value = 0;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        j = i + 2;
+        if (j >= n || !std::isxdigit(static_cast<unsigned char>(src[j])))
+          Fail(line, "malformed hex literal");
+        while (j < n && std::isxdigit(static_cast<unsigned char>(src[j]))) {
+          const char d = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(src[j])));
+          value = value * 16 +
+                  static_cast<u64>(d <= '9' ? d - '0' : d - 'a' + 10);
+          ++j;
+        }
+      } else {
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          value = value * 10 + static_cast<u64>(src[j] - '0');
+          ++j;
+        }
+      }
+      if (j < n && (std::isalpha(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_'))
+        Fail(line, "identifier may not start with a digit");
+      Token t;
+      t.kind = TokenKind::kInt;
+      t.text = std::string(src.substr(i, j - i));
+      t.value = value;
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // Two-character operators first.
+    const char c2 = peek(1);
+    if (c == '=' && c2 == '=') { out.push_back(Punct(TokenKind::kEq, "==", line)); i += 2; continue; }
+    if (c == '!' && c2 == '=') { out.push_back(Punct(TokenKind::kNeq, "!=", line)); i += 2; continue; }
+    if (c == '>' && c2 == '=') { out.push_back(Punct(TokenKind::kGe, ">=", line)); i += 2; continue; }
+    if (c == '<' && c2 == '=') { out.push_back(Punct(TokenKind::kLe, "<=", line)); i += 2; continue; }
+
+    switch (c) {
+      case '{': out.push_back(Punct(TokenKind::kLBrace, "{", line)); break;
+      case '}': out.push_back(Punct(TokenKind::kRBrace, "}", line)); break;
+      case '(': out.push_back(Punct(TokenKind::kLParen, "(", line)); break;
+      case ')': out.push_back(Punct(TokenKind::kRParen, ")", line)); break;
+      case '[': out.push_back(Punct(TokenKind::kLBracket, "[", line)); break;
+      case ']': out.push_back(Punct(TokenKind::kRBracket, "]", line)); break;
+      case '=': out.push_back(Punct(TokenKind::kAssign, "=", line)); break;
+      case ';': out.push_back(Punct(TokenKind::kSemicolon, ";", line)); break;
+      case ':': out.push_back(Punct(TokenKind::kColon, ":", line)); break;
+      case '@': out.push_back(Punct(TokenKind::kAt, "@", line)); break;
+      case ',': out.push_back(Punct(TokenKind::kComma, ",", line)); break;
+      case '.': out.push_back(Punct(TokenKind::kDot, ".", line)); break;
+      case '+': out.push_back(Punct(TokenKind::kPlus, "+", line)); break;
+      case '-': out.push_back(Punct(TokenKind::kMinus, "-", line)); break;
+      case '>': out.push_back(Punct(TokenKind::kGt, ">", line)); break;
+      case '<': out.push_back(Punct(TokenKind::kLt, "<", line)); break;
+      default:
+        Fail(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace menshen

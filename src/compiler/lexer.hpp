@@ -1,0 +1,44 @@
+// Tokenizer for the Menshen module DSL (see dsl_parser.hpp for the
+// grammar).  Tracks line numbers so diagnostics point at source lines.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+enum class TokenKind : u8 {
+  kIdent,
+  kInt,
+  kLBrace, kRBrace,
+  kLParen, kRParen,
+  kLBracket, kRBracket,
+  kAssign,      // =
+  kSemicolon,
+  kColon,
+  kAt,
+  kComma,
+  kDot,
+  kPlus, kMinus,
+  kEq, kNeq, kGe, kLe, kGt, kLt,  // comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  u64 value = 0;  // for kInt
+  int line = 1;
+
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Tokenizes `source`.  `#` and `//` start line comments.  Throws
+/// std::invalid_argument (with a line number) on unrecognized characters
+/// or malformed integer literals.
+[[nodiscard]] std::vector<Token> Lex(std::string_view source);
+
+}  // namespace menshen

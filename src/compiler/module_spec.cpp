@@ -1,0 +1,47 @@
+#include "compiler/module_spec.hpp"
+
+namespace menshen {
+
+const FieldDef* ModuleSpec::FindField(const std::string& n) const {
+  for (const auto& f : fields)
+    if (f.name == n) return &f;
+  return nullptr;
+}
+
+const StateDef* ModuleSpec::FindState(const std::string& n) const {
+  for (const auto& s : states)
+    if (s.name == n) return &s;
+  return nullptr;
+}
+
+const ActionDef* ModuleSpec::FindAction(const std::string& n) const {
+  for (const auto& a : actions)
+    if (a.name == n) return &a;
+  return nullptr;
+}
+
+const TableDef* ModuleSpec::FindTable(const std::string& n) const {
+  for (const auto& t : tables)
+    if (t.name == n) return &t;
+  return nullptr;
+}
+
+ResourceDemand ComputeDemand(const ModuleSpec& spec) {
+  ResourceDemand d;
+  for (const auto& f : spec.fields) {
+    switch (f.width) {
+      case 2: ++d.containers_2b; break;
+      case 4: ++d.containers_4b; break;
+      case 6: ++d.containers_6b; break;
+      default: break;  // the checker reports invalid widths
+    }
+  }
+  for (const auto& f : spec.fields)
+    if (!f.scratch) ++d.parser_actions;
+  d.stages = spec.tables.size();
+  for (const auto& t : spec.tables) d.match_entries += t.size;
+  for (const auto& s : spec.states) d.state_words += s.size;
+  return d;
+}
+
+}  // namespace menshen

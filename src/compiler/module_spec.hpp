@@ -1,0 +1,135 @@
+// Module intermediate representation (IR).
+//
+// A ModuleSpec is what the compiler frontend produces from DSL source text
+// (dsl_parser.*) or what an embedding application builds directly through
+// this header's structs.  It captures exactly what a P4-16 module needs on
+// the Menshen target: header fields parsed from the 128-byte window,
+// per-stage match-action tables with optional predicates, VLIW-compilable
+// actions, and stateful arrays.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+/// A header field the parser extracts: `width` bytes at `offset` from the
+/// start of the packet (must lie inside the 128-byte parser window).
+/// Widths are container widths: 2, 4 or 6 bytes.  A `scratch` field is a
+/// PHV-only temporary (the paper's "temporary packet headers used for
+/// computation"): it gets a container but no parser or deparser action,
+/// so it never touches packet bytes.
+struct FieldDef {
+  std::string name;
+  u8 offset = 0;
+  u8 width = 2;
+  bool scratch = false;
+  bool operator==(const FieldDef&) const = default;
+};
+
+/// A stateful array: `size` words in the stage of the (single) table whose
+/// actions touch it.
+struct StateDef {
+  std::string name;
+  u16 size = 0;
+  bool operator==(const StateDef&) const = default;
+};
+
+/// An operand in an action statement or predicate.
+struct Value {
+  enum class Kind { kConst, kField, kParam };
+  Kind kind = Kind::kConst;
+  u64 constant = 0;
+  std::string name;  // field or parameter name
+
+  static Value Const(u64 v) { return {Kind::kConst, v, {}}; }
+  static Value Field(std::string n) { return {Kind::kField, 0, std::move(n)}; }
+  static Value Param(std::string n) { return {Kind::kParam, 0, std::move(n)}; }
+  bool operator==(const Value&) const = default;
+};
+
+/// One action statement.  The closed set mirrors the ALU ops of Table 2.
+struct Statement {
+  enum class Kind {
+    kAddAssign,     // dst = a + b
+    kSubAssign,     // dst = a - b
+    kSetAssign,     // dst = a            (copy / set / addi collapse here)
+    kLoad,          // dst = state[addr]
+    kStore,         // state[addr] = a
+    kLoadIncr,      // dst = incr(state[addr])   (the `loadd` sequencer op)
+    kSetPort,       // port(a)
+    kSetMcast,      // mcast(a): select a multicast group (section 3.3)
+    kDrop,          // drop()
+    kRecirculate,   // recirculate()  -- always rejected by the checker
+    kMetaStatWrite, // meta.<stat> = a -- always rejected by the checker
+  };
+  Kind kind = Kind::kSetAssign;
+  std::string dst;        // destination field (or state array for kStore)
+  std::string state;      // state array name for kLoad/kStore/kLoadIncr
+  Value a;                // first operand / address source for loads
+  Value b;                // second operand
+  Value addr;             // state index for stateful statements
+  std::string meta_stat;  // for kMetaStatWrite
+  int line = 0;
+  bool operator==(const Statement&) const = default;
+};
+
+struct ActionDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Statement> statements;
+  int line = 0;
+  bool operator==(const ActionDef&) const = default;
+};
+
+struct PredicateDef {
+  Value a;
+  CmpOp op = CmpOp::kNone;
+  Value b;
+  bool operator==(const PredicateDef&) const = default;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<std::string> keys;     // field names
+  std::optional<PredicateDef> predicate;
+  std::vector<std::string> actions;  // action names this table may invoke
+  std::size_t size = 0;              // requested match entries
+  bool ternary = false;              // Appendix B: ternary matching
+  int line = 0;
+  bool operator==(const TableDef&) const = default;
+};
+
+struct ModuleSpec {
+  std::string name;
+  std::vector<FieldDef> fields;
+  std::vector<StateDef> states;
+  std::vector<ActionDef> actions;
+  std::vector<TableDef> tables;  // program order = pipeline order
+
+  [[nodiscard]] const FieldDef* FindField(const std::string& n) const;
+  [[nodiscard]] const StateDef* FindState(const std::string& n) const;
+  [[nodiscard]] const ActionDef* FindAction(const std::string& n) const;
+  [[nodiscard]] const TableDef* FindTable(const std::string& n) const;
+};
+
+/// Resource demand of a module, as counted by the resource checker and
+/// compared against its allocation.
+struct ResourceDemand {
+  std::size_t containers_2b = 0;
+  std::size_t containers_4b = 0;
+  std::size_t containers_6b = 0;
+  std::size_t parser_actions = 0;
+  std::size_t stages = 0;          // number of tables (one table per stage)
+  std::size_t match_entries = 0;   // sum of table sizes
+  std::size_t state_words = 0;
+};
+
+[[nodiscard]] ResourceDemand ComputeDemand(const ModuleSpec& spec);
+
+}  // namespace menshen

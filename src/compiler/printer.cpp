@@ -1,0 +1,121 @@
+#include "compiler/printer.hpp"
+
+namespace menshen {
+
+namespace {
+
+const char* CmpOpText(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNeq: return "!=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kNone: return "==";  // unreachable for parsed specs
+  }
+  return "==";
+}
+
+std::string PrintStatement(const Statement& st) {
+  using K = Statement::Kind;
+  switch (st.kind) {
+    case K::kAddAssign:
+      return st.dst + " = " + PrintValue(st.a) + " + " + PrintValue(st.b) +
+             ";";
+    case K::kSubAssign:
+      return st.dst + " = " + PrintValue(st.a) + " - " + PrintValue(st.b) +
+             ";";
+    case K::kSetAssign:
+      return st.dst + " = " + PrintValue(st.a) + ";";
+    case K::kLoad:
+      return st.dst + " = " + st.state + "[" + PrintValue(st.addr) + "];";
+    case K::kStore:
+      return st.state + "[" + PrintValue(st.addr) + "] = " +
+             PrintValue(st.a) + ";";
+    case K::kLoadIncr:
+      return st.dst + " = incr(" + st.state + "[" + PrintValue(st.addr) +
+             "]);";
+    case K::kSetPort:
+      return "port(" + PrintValue(st.a) + ");";
+    case K::kSetMcast:
+      return "mcast(" + PrintValue(st.a) + ");";
+    case K::kDrop:
+      return "drop();";
+    case K::kRecirculate:
+      return "recirculate();";
+    case K::kMetaStatWrite:
+      return "meta." + st.meta_stat + " = " + PrintValue(st.a) + ";";
+  }
+  return ";";
+}
+
+}  // namespace
+
+std::string PrintValue(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kConst:
+      return std::to_string(v.constant);
+    case Value::Kind::kField:
+    case Value::Kind::kParam:
+      return v.name;
+  }
+  return "0";
+}
+
+std::string PrintModuleDsl(const ModuleSpec& spec) {
+  std::string out = "module " + spec.name + " {\n";
+
+  for (const auto& f : spec.fields) {
+    if (f.scratch)
+      out += "  scratch " + f.name + " : " + std::to_string(f.width) + ";\n";
+    else
+      out += "  field " + f.name + " : " + std::to_string(f.width) + " @ " +
+             std::to_string(f.offset) + ";\n";
+  }
+  for (const auto& s : spec.states)
+    out += "  state " + s.name + "[" + std::to_string(s.size) + "];\n";
+
+  for (const auto& a : spec.actions) {
+    out += "  action " + a.name;
+    if (!a.params.empty()) {
+      out += "(";
+      for (std::size_t i = 0; i < a.params.size(); ++i) {
+        if (i) out += ", ";
+        out += a.params[i];
+      }
+      out += ")";
+    }
+    out += " {\n";
+    for (const auto& st : a.statements)
+      out += "    " + PrintStatement(st) + "\n";
+    out += "  }\n";
+  }
+
+  for (const auto& t : spec.tables) {
+    out += "  table " + t.name + " {\n";
+    out += "    key = { ";
+    for (std::size_t i = 0; i < t.keys.size(); ++i) {
+      if (i) out += ", ";
+      out += t.keys[i];
+    }
+    out += " };\n";
+    if (t.predicate)
+      out += "    predicate = " + PrintValue(t.predicate->a) + " " +
+             CmpOpText(t.predicate->op) + " " + PrintValue(t.predicate->b) +
+             ";\n";
+    out += "    actions = { ";
+    for (std::size_t i = 0; i < t.actions.size(); ++i) {
+      if (i) out += ", ";
+      out += t.actions[i];
+    }
+    out += " };\n";
+    out += "    size = " + std::to_string(t.size) + ";\n";
+    if (t.ternary) out += "    match = ternary;\n";
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace menshen

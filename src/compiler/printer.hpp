@@ -1,0 +1,25 @@
+// ModuleSpec -> DSL source pretty-printer.
+//
+// The inverse of dsl_parser: prints a ModuleSpec as DSL text that parses
+// back to an equal spec (round-trip property, tested).  Used for
+// diagnostics ("show me what the compiler thinks my module is"), for
+// dumping generated fuzz modules, and by the control plane to archive
+// the exact program a tenant loaded.
+#pragma once
+
+#include <string>
+
+#include "compiler/module_spec.hpp"
+
+namespace menshen {
+
+/// Renders one value as DSL text.
+[[nodiscard]] std::string PrintValue(const Value& v);
+
+/// Renders a whole module as DSL source.  Guarantees
+/// `ParseModuleDsl(PrintModuleDsl(spec)) == spec` for any spec the
+/// parser could have produced (field order, statement order and all
+/// flags preserved).
+[[nodiscard]] std::string PrintModuleDsl(const ModuleSpec& spec);
+
+}  // namespace menshen

@@ -1,0 +1,46 @@
+#include "config/axil.hpp"
+
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+std::size_t AxiLitePath::TransactionsFor(ResourceKind kind) {
+  std::size_t bits = 0;
+  switch (kind) {
+    case ResourceKind::kParserTable:
+    case ResourceKind::kDeparserTable:
+      bits = params::kParserEntryBits;  // 160
+      break;
+    case ResourceKind::kKeyExtractor:
+      bits = params::kKeyExtractorEntryBits;  // 38
+      break;
+    case ResourceKind::kKeyMask:
+      bits = params::kKeyMaskEntryBits;  // 193
+      break;
+    case ResourceKind::kCamEntry:
+      bits = params::kCamEntryBits;  // 205 -> 7 writes
+      break;
+    case ResourceKind::kVliwAction:
+      bits = params::kVliwEntryBits;  // 625 -> 20 writes
+      break;
+    case ResourceKind::kSegmentTable:
+      bits = params::kSegmentEntryBits;  // 16
+      break;
+    case ResourceKind::kTcamEntry:
+      // key + mask + module ID: 2*193 + 12 bits -> 13 writes.
+      bits = 2 * params::kKeyBits + params::kModuleIdBits;
+      break;
+  }
+  return cost::AxiLiteWritesFor(bits);
+}
+
+std::size_t AxiLitePath::Apply(const ConfigWrite& write) {
+  const std::size_t n = TransactionsFor(write.kind);
+  transactions_ += n;
+  // Functionally the write lands identically; the cost difference is the
+  // point of the comparison.
+  pipeline_->ApplyWrite(write);
+  return n;
+}
+
+}  // namespace menshen

@@ -1,0 +1,42 @@
+// AXI-Lite configuration path (Appendix A).
+//
+// The alternative the paper considered (and rejected) for configuring the
+// pipeline: every table entry is written as a sequence of 32-bit AXI-Lite
+// transactions over PCIe.  A 625-bit VLIW action entry takes 20 writes and
+// a 205-bit CAM entry takes 7, which is why the daisy chain wins for wide
+// entries (Figure 12).  We implement it both as a functional path (it
+// really applies the writes) and as a cost model.
+#pragma once
+
+#include "config/cost_model.hpp"
+#include "pipeline/config_write.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+class AxiLitePath {
+ public:
+  explicit AxiLitePath(Pipeline& pipeline) : pipeline_(&pipeline) {}
+
+  /// Applies one configuration write by splitting the payload (plus the
+  /// resource-ID/index addressing word) into 32-bit register writes.
+  /// Returns the number of AXI-Lite transactions used.
+  std::size_t Apply(const ConfigWrite& write);
+
+  [[nodiscard]] u64 total_transactions() const { return transactions_; }
+
+  /// Modeled wall time of all traffic so far, in microseconds.
+  [[nodiscard]] double elapsed_us() const {
+    return static_cast<double>(transactions_) * cost::kAxiLiteWriteUs;
+  }
+
+  /// Transactions a write of this resource kind costs (data words only,
+  /// as in the paper's ceil(625/32)=20 and ceil(205/32)=7 arithmetic).
+  [[nodiscard]] static std::size_t TransactionsFor(ResourceKind kind);
+
+ private:
+  Pipeline* pipeline_;
+  u64 transactions_ = 0;
+};
+
+}  // namespace menshen

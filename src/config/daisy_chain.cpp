@@ -1,0 +1,21 @@
+#include "config/daisy_chain.hpp"
+
+namespace menshen {
+
+bool DaisyChain::Inject(const Packet& pkt) {
+  cycles_ += cost::kDaisyChainTraversalCycles;
+  if (drop_next_ > 0) {
+    // The packet is lost before reaching the pipeline, so the pipeline's
+    // reconfiguration packet counter does NOT increment — exactly the
+    // signal the software uses to detect the loss (section 4.1).
+    --drop_next_;
+    ++dropped_;
+    return false;
+  }
+  const ConfigWrite write = DecodeReconfigPacket(pkt);
+  pipeline_->ApplyWrite(write);
+  ++applied_;
+  return true;
+}
+
+}  // namespace menshen

@@ -1,0 +1,49 @@
+// Daisy-chain reconfiguration path (section 3.1, "Secure reconfiguration").
+//
+// Commercial programmable switches configure pipeline stages through a
+// separate daisy chain reachable only over PCIe, never from Ethernet data
+// packets.  Menshen does the same: reconfiguration packets enter the chain
+// (via PCIe on NetFPGA; via PCIe plus the packet filter's UDP-port check
+// on Corundum), travel past every stage, and each stage absorbs the writes
+// addressed to it.
+//
+// The model supports fault injection — dropping the next N packets before
+// they reach the pipeline — so the control plane's detect-and-retry
+// protocol (poll the reconfiguration packet counter, restart on mismatch)
+// can be exercised deterministically in tests.
+#pragma once
+
+#include <vector>
+
+#include "config/cost_model.hpp"
+#include "config/reconfig_packet.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+class DaisyChain {
+ public:
+  explicit DaisyChain(Pipeline& pipeline) : pipeline_(&pipeline) {}
+
+  /// Injects one reconfiguration packet into the chain.  Returns true if
+  /// it was applied; false if it was dropped (fault injection).
+  bool Inject(const Packet& pkt);
+
+  /// Drops the next `n` injected packets (test fault injection).
+  void DropNext(std::size_t n) { drop_next_ += n; }
+
+  [[nodiscard]] u64 packets_applied() const { return applied_; }
+  [[nodiscard]] u64 packets_dropped() const { return dropped_; }
+
+  /// Modeled hardware cycles consumed by all traffic so far.
+  [[nodiscard]] Cycle cycles() const { return cycles_; }
+
+ private:
+  Pipeline* pipeline_;
+  std::size_t drop_next_ = 0;
+  u64 applied_ = 0;
+  u64 dropped_ = 0;
+  Cycle cycles_ = 0;
+};
+
+}  // namespace menshen

@@ -1,0 +1,49 @@
+#include "config/reconfig_packet.hpp"
+
+#include <stdexcept>
+
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+Packet EncodeReconfigPacket(const ConfigWrite& write, ModuleId vid) {
+  ByteBuffer payload;
+  payload.append_u16(static_cast<u16>(write.resource_id() << 4));  // +4 resv
+  payload.append_u8(write.index);
+  for (int i = 0; i < 15; ++i) payload.append_u8(0);  // padding
+  payload.append(write.payload.bytes());
+
+  std::vector<u8> bytes(payload.bytes().begin(), payload.bytes().end());
+  return PacketBuilder{}
+      .vid(vid)
+      .udp(0xF1F0, kReconfigUdpPort)
+      .payload(std::move(bytes))
+      .frame_size(kMinFrameBytes)
+      .Build();
+}
+
+ConfigWrite DecodeReconfigPacket(const Packet& pkt) {
+  if (!pkt.is_reconfig())
+    throw std::invalid_argument(
+        "not a reconfiguration packet (wrong UDP destination port)");
+  const std::size_t base = offsets::kPayload;
+  if (pkt.size() < base + kReconfigHeaderBytes)
+    throw std::invalid_argument("reconfiguration packet truncated");
+
+  const u16 id_field = pkt.bytes().u16_at(base);
+  const u16 resource_id = static_cast<u16>(id_field >> 4);
+  const u8 index = pkt.bytes().u8_at(base + 2);
+
+  // Recover the resource kind first so we know the payload length; a
+  // malformed kind throws inside WithResourceId.
+  ConfigWrite probe =
+      ConfigWrite::WithResourceId(resource_id, index, ByteBuffer{});
+  const std::size_t want = EntryBytesFor(probe.kind);
+  const std::size_t payload_off = base + kReconfigHeaderBytes;
+  if (pkt.size() < payload_off + want)
+    throw std::invalid_argument("reconfiguration payload truncated");
+  probe.payload = ByteBuffer(pkt.bytes().read_bytes(payload_off, want));
+  return probe;
+}
+
+}  // namespace menshen

@@ -1,0 +1,35 @@
+// Reconfiguration packet codec (Figure 7).
+//
+// A reconfiguration packet is an ordinary UDP packet (Ethernet + VLAN +
+// IPv4 + UDP = 46-byte common header) whose destination port is the
+// reserved 0xF1F2.  Its payload carries:
+//   - 12-bit resource ID + 4 reserved bits   (2 bytes)
+//   - 1-byte entry index
+//   - 15 bytes of padding
+//   - the entry payload (length depends on the resource kind)
+// The codec round-trips ConfigWrite <-> Packet and is shared by the
+// software-to-hardware interface (encoder) and the daisy chain (decoder),
+// so both ends agree by construction.
+#pragma once
+
+#include "packet/packet.hpp"
+#include "pipeline/config_write.hpp"
+
+namespace menshen {
+
+/// Offset of the resource ID within the UDP payload.
+inline constexpr std::size_t kReconfigHeaderBytes = 2 + 1 + 15;  // 18
+
+/// Encodes a configuration write as a reconfiguration packet addressed to
+/// the daisy chain.  `vid` is the VLAN ID the packet carries (the module
+/// being reconfigured, used by filters/monitoring; the write itself is
+/// index-addressed).
+[[nodiscard]] Packet EncodeReconfigPacket(const ConfigWrite& write,
+                                          ModuleId vid);
+
+/// Decodes a reconfiguration packet back into a configuration write.
+/// Throws std::invalid_argument on malformed packets (wrong UDP port,
+/// truncated payload, unknown resource ID).
+[[nodiscard]] ConfigWrite DecodeReconfigPacket(const Packet& pkt);
+
+}  // namespace menshen

@@ -1,0 +1,70 @@
+// Software-to-hardware interface (sections 3.4 and 4.1).
+//
+// The Menshen software loads or updates a module by driving the secure
+// reconfiguration protocol against the packet filter's register file:
+//
+//   1. read the reconfiguration packet counter;
+//   2. set the filter bitmap bit for the module being updated, so the
+//      module's in-flight data packets are dropped rather than processed
+//      by a half-written configuration;
+//   3. send every configuration write as a reconfiguration packet down
+//      the daisy chain;
+//   4. poll the counter: if it advanced by fewer packets than were sent,
+//      some were dropped — restart the whole transfer;
+//   5. clear the bitmap bit.
+//
+// The interface also offers P4Runtime-style operations: inserting
+// match-action entries at run time and reading hardware statistics.
+#pragma once
+
+#include <vector>
+
+#include "config/daisy_chain.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+/// Outcome of one configuration session.
+struct ConfigReport {
+  std::size_t writes = 0;        // distinct configuration writes
+  std::size_t packets_sent = 0;  // including retransmitted transfers
+  std::size_t attempts = 1;      // 1 = no retry needed
+  /// Modeled end-to-end software time (Figure 9 cost model).
+  double modeled_ms = 0.0;
+};
+
+class SwHwInterface {
+ public:
+  SwHwInterface(Pipeline& pipeline, DaisyChain& chain)
+      : pipeline_(&pipeline), chain_(&chain) {}
+
+  /// Loads a full module configuration with the secure-reconfiguration
+  /// protocol above.  Retries until every packet is observed by the
+  /// counter (bounded by `max_attempts`; throws std::runtime_error if the
+  /// transfer cannot complete).
+  ConfigReport LoadModule(ModuleId module,
+                          const std::vector<ConfigWrite>& writes,
+                          int max_attempts = 8);
+
+  /// P4Runtime-style single-entry update (no bitmap quiescing: updating
+  /// one match-action entry is atomic at packet granularity).
+  ConfigReport InsertEntry(ModuleId module, const ConfigWrite& write);
+
+  /// Reads a hardware statistic (per-module forwarded packet count).
+  [[nodiscard]] u64 ReadForwardedCount(ModuleId module) const {
+    return pipeline_->forwarded(module);
+  }
+
+ private:
+  Pipeline* pipeline_;
+  DaisyChain* chain_;
+};
+
+/// Figure 9 model: end-to-end software configuration time for `entries`
+/// match-action entries through the Menshen interface.
+[[nodiscard]] double MenshenConfigTimeMs(std::size_t entries);
+
+/// Figure 9 comparison: the Tofino run-time API cost model.
+[[nodiscard]] double TofinoRuntimeTimeMs(std::size_t entries);
+
+}  // namespace menshen

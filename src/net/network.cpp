@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+Device& Network::AddDevice(const std::string& name, PipelineTiming timing) {
+  auto [it, inserted] =
+      devices_.emplace(name, std::make_unique<Device>(name, timing));
+  if (!inserted) throw std::invalid_argument("duplicate device " + name);
+  return *it->second;
+}
+
+Device& Network::device(const std::string& name) {
+  const auto it = devices_.find(name);
+  if (it == devices_.end())
+    throw std::invalid_argument("unknown device " + name);
+  return *it->second;
+}
+
+void Network::Link(const PortRef& a, const PortRef& b) {
+  if (links_.contains(a) || links_.contains(b))
+    throw std::invalid_argument("port already linked");
+  if (!devices_.contains(a.device) || !devices_.contains(b.device))
+    throw std::invalid_argument("link references unknown device");
+  links_[a] = b;
+  links_[b] = a;
+}
+
+void Network::AttachHost(const PortRef& port, ModuleId vid) {
+  if (links_.contains(port))
+    throw std::invalid_argument("host port already carries a link");
+  hosts_[port] = vid;
+}
+
+std::vector<Delivery> Network::InjectFromHost(const PortRef& port,
+                                              Packet packet,
+                                              std::size_t max_hops) {
+  const auto hit = hosts_.find(port);
+  if (hit == hosts_.end())
+    throw std::invalid_argument("no host attached at " + port.device + ":" +
+                                std::to_string(port.port));
+  // The vSwitch stamps the tenant's VLAN ID at the network edge; hosts
+  // cannot choose their module ID themselves (section 3.1).
+  packet.set_vid(hit->second);
+  packet.ingress_port = port.port;
+
+  std::vector<Delivery> out;
+  Walk(port, std::move(packet), max_hops, out);
+  return out;
+}
+
+void Network::Walk(const PortRef& ingress, Packet packet,
+                   std::size_t hops_left, std::vector<Delivery>& out) {
+  if (hops_left == 0) {
+    ++loop_drops_;
+    return;
+  }
+  Device& dev = device(ingress.device);
+  packet.ingress_port = ingress.port;
+  const PipelineResult result = dev.pipeline().Process(std::move(packet));
+  if (!result.output) return;  // filtered
+  const Packet& processed = *result.output;
+
+  const auto emit = [&](u16 egress_port, Packet copy) {
+    const PortRef egress{ingress.device, egress_port};
+    const auto lit = links_.find(egress);
+    if (lit == links_.end()) {
+      // Edge port: the packet leaves the network.
+      out.push_back(Delivery{egress, std::move(copy)});
+      return;
+    }
+    Walk(lit->second, std::move(copy), hops_left - 1, out);
+  };
+
+  switch (processed.disposition) {
+    case Disposition::kDrop:
+      return;
+    case Disposition::kForward:
+      emit(processed.egress_port, processed);
+      return;
+    case Disposition::kMulticast:
+      for (const u16 p : processed.multicast_ports) emit(p, processed);
+      return;
+  }
+}
+
+}  // namespace menshen

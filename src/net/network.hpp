@@ -1,0 +1,89 @@
+// Multi-device network substrate.
+//
+// Modules can span several programmable devices (section 3.4: NetChain
+// runs on a switch chain; the VID-rewrite static check exists precisely
+// because module A's rewrite on one device would select module B's
+// configuration on the next).  This substrate wires several Menshen
+// pipelines into a topology:
+//
+//   * a Device is one pipeline with numbered ports;
+//   * Links connect (device, port) pairs bidirectionally;
+//   * hosts sit on edge ports behind a vSwitch, which stamps the
+//     tenant's VLAN ID onto packets entering the network (section 3.1:
+//     "the VID ... we assume is set by the vSwitch");
+//   * InjectFromHost walks a packet hop by hop — each device's pipeline
+//     decides drop/forward/multicast — until it leaves the network at an
+//     edge port or exceeds the hop budget (the runaway guard whose
+//     control-plane counterpart is the routing-loop checker).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+struct PortRef {
+  std::string device;
+  u16 port = 0;
+  bool operator==(const PortRef&) const = default;
+  auto operator<=>(const PortRef&) const = default;
+};
+
+class Device {
+ public:
+  explicit Device(std::string name, PipelineTiming timing = OptimizedTiming())
+      : name_(std::move(name)), pipeline_(timing) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Pipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const Pipeline& pipeline() const { return pipeline_; }
+
+ private:
+  std::string name_;
+  Pipeline pipeline_;
+};
+
+/// A packet that left the network at an edge port.
+struct Delivery {
+  PortRef at;
+  Packet packet;
+};
+
+class Network {
+ public:
+  /// Adds a device; the name must be unique.
+  Device& AddDevice(const std::string& name,
+                    PipelineTiming timing = OptimizedTiming());
+  [[nodiscard]] Device& device(const std::string& name);
+
+  /// Connects two ports bidirectionally.  A port can carry one link.
+  void Link(const PortRef& a, const PortRef& b);
+
+  /// Declares a host edge port: packets injected there are stamped with
+  /// `vid` by the vSwitch before entering the first pipeline.
+  void AttachHost(const PortRef& port, ModuleId vid);
+
+  /// Injects a packet from the host on `port` and walks it through the
+  /// network.  Returns every copy that left at an edge port.  Packets
+  /// still in flight after `max_hops` devices are dropped and counted in
+  /// loop_drops() — the symptom the control-plane loop checker prevents.
+  std::vector<Delivery> InjectFromHost(const PortRef& port, Packet packet,
+                                       std::size_t max_hops = 8);
+
+  [[nodiscard]] u64 loop_drops() const { return loop_drops_; }
+
+ private:
+  void Walk(const PortRef& ingress, Packet packet, std::size_t hops_left,
+            std::vector<Delivery>& out);
+
+  std::map<std::string, std::unique_ptr<Device>> devices_;
+  std::map<PortRef, PortRef> links_;
+  std::map<PortRef, ModuleId> hosts_;
+  u64 loop_drops_ = 0;
+};
+
+}  // namespace menshen

@@ -1,0 +1,60 @@
+// Standard header layouts used by Menshen.
+//
+// Every packet handled by the pipeline carries Ethernet + 802.1Q VLAN +
+// IPv4 + UDP (or TCP) headers; the VLAN ID is the module identifier
+// (section 3.1).  With the VLAN tag, the common header prefix is
+// 14 + 4 + 20 + 8 = 46 bytes — exactly the "Common Hdr 46B" of the
+// reconfiguration packet format in Figure 7.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+// EtherTypes.
+inline constexpr u16 kEtherTypeVlan = 0x8100;
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+
+// IP protocol numbers.
+inline constexpr u8 kIpProtoUdp = 17;
+inline constexpr u8 kIpProtoTcp = 6;
+
+// UDP destination port reserved for reconfiguration packets (section 4.1).
+inline constexpr u16 kReconfigUdpPort = 0xF1F2;
+
+// Byte offsets within a VLAN-tagged IPv4/UDP packet.
+namespace offsets {
+inline constexpr std::size_t kEthDst = 0;        // 6 bytes
+inline constexpr std::size_t kEthSrc = 6;        // 6 bytes
+inline constexpr std::size_t kVlanTpid = 12;     // 2 bytes, 0x8100
+inline constexpr std::size_t kVlanTci = 14;      // 2 bytes, PCP:3 DEI:1 VID:12
+inline constexpr std::size_t kEtherType = 16;    // 2 bytes (inner)
+inline constexpr std::size_t kIpv4 = 18;         // 20 bytes
+inline constexpr std::size_t kIpv4Ttl = kIpv4 + 8;
+inline constexpr std::size_t kIpv4Proto = kIpv4 + 9;
+inline constexpr std::size_t kIpv4Src = kIpv4 + 12;  // 4 bytes
+inline constexpr std::size_t kIpv4Dst = kIpv4 + 16;  // 4 bytes
+inline constexpr std::size_t kL4 = 38;           // UDP/TCP start
+inline constexpr std::size_t kL4SrcPort = kL4;       // 2 bytes
+inline constexpr std::size_t kL4DstPort = kL4 + 2;   // 2 bytes
+inline constexpr std::size_t kUdpLen = kL4 + 4;      // 2 bytes
+inline constexpr std::size_t kPayload = 46;      // end of common headers
+}  // namespace offsets
+
+// Ethernet framing overhead used for layer-1 throughput accounting:
+// 7B preamble + 1B SFD + 12B inter-frame gap + 4B FCS.
+inline constexpr std::size_t kLayer1OverheadBytes = 20;
+inline constexpr std::size_t kFcsBytes = 4;
+
+// Smallest legal Ethernet frame (without L1 overhead, without FCS counted
+// separately here); the paper sweeps packet sizes from 64B.
+inline constexpr std::size_t kMinFrameBytes = 64;
+inline constexpr std::size_t kMtuFrameBytes = 1500;
+
+// The Menshen parser operates on the first 128 bytes of the packet
+// (section 4.1): per-module parsing may only reference this window.
+inline constexpr std::size_t kParserWindowBytes = 128;
+
+}  // namespace menshen

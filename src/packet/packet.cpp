@@ -1,0 +1,36 @@
+#include "packet/packet.hpp"
+
+#include <algorithm>
+
+namespace menshen {
+
+Packet PacketBuilder::Build() const {
+  const std::size_t payload_off = offsets::kPayload;
+  std::size_t total = payload_off + payload_.size();
+  if (frame_size_) total = std::max(total, *frame_size_);
+
+  ByteBuffer buf(total);
+  buf.set_u48(offsets::kEthDst, eth_dst_);
+  buf.set_u48(offsets::kEthSrc, eth_src_);
+  buf.set_u16(offsets::kVlanTpid, kEtherTypeVlan);
+  buf.set_u16(offsets::kVlanTci, vid_.value());  // PCP=0, DEI=0
+  buf.set_u16(offsets::kEtherType, kEtherTypeIpv4);
+
+  // IPv4 header: version 4, IHL 5, total length, TTL 64, protocol.
+  buf.set_u8(offsets::kIpv4, 0x45);
+  buf.set_u16(offsets::kIpv4 + 2, static_cast<u16>(total - offsets::kIpv4));
+  buf.set_u8(offsets::kIpv4Ttl, 64);
+  buf.set_u8(offsets::kIpv4Proto, ip_proto_);
+  buf.set_u32(offsets::kIpv4Src, ip_src_);
+  buf.set_u32(offsets::kIpv4Dst, ip_dst_);
+
+  buf.set_u16(offsets::kL4SrcPort, sport_);
+  buf.set_u16(offsets::kL4DstPort, dport_);
+  if (ip_proto_ == kIpProtoUdp)
+    buf.set_u16(offsets::kUdpLen, static_cast<u16>(total - offsets::kL4));
+
+  if (!payload_.empty()) buf.write_bytes(payload_off, payload_);
+  return Packet(std::move(buf));
+}
+
+}  // namespace menshen

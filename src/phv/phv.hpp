@@ -1,0 +1,128 @@
+// Packet Header Vector (PHV).
+//
+// Per Table 5 of the paper: three container types of 2, 4 and 6 bytes with
+// 8 containers each, plus one 32-byte container for platform-specific
+// metadata — 8*(2+4+6) + 32 = 128 bytes, 25 containers total.  The PHV is
+// zeroed for every incoming packet so no contents can leak from one
+// module's packet to the next (section 4.1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+enum class ContainerType : u8 { k2B = 0, k4B = 1, k6B = 2 };
+
+inline constexpr std::size_t kContainersPerType = 8;
+inline constexpr std::size_t kMetadataBytes = 32;
+inline constexpr std::size_t kPhvBytes =
+    kContainersPerType * (2 + 4 + 6) + kMetadataBytes;  // 128
+inline constexpr std::size_t kNumAluContainers =
+    3 * kContainersPerType + 1;  // 25: one ALU per container (section 3.1)
+
+[[nodiscard]] constexpr std::size_t ContainerWidthBytes(ContainerType t) {
+  switch (t) {
+    case ContainerType::k2B:
+      return 2;
+    case ContainerType::k4B:
+      return 4;
+    case ContainerType::k6B:
+      return 6;
+  }
+  return 0;
+}
+
+/// Identifies one PHV container: a type and an index 0-7.
+struct ContainerRef {
+  ContainerType type = ContainerType::k2B;
+  u8 index = 0;
+
+  [[nodiscard]] std::size_t width_bytes() const {
+    return ContainerWidthBytes(type);
+  }
+
+  /// Flat container number 0-23 (2B: 0-7, 4B: 8-15, 6B: 16-23), used to
+  /// index the 25-wide VLIW action word (slot 24 is the metadata ALU).
+  [[nodiscard]] std::size_t flat() const {
+    return static_cast<std::size_t>(type) * kContainersPerType + index;
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+  bool operator==(const ContainerRef&) const = default;
+  auto operator<=>(const ContainerRef&) const = default;
+};
+
+/// Well-known metadata layout within the 32-byte metadata container.
+/// The first fields mirror what the paper inserts on its platforms: a
+/// discard flag, source/destination port, packet length and a one-hot
+/// packet-buffer tag (section 4.3).  The remaining words carry the
+/// system-level statistics that the system module exposes read-only to
+/// tenant modules (section 3.3).
+namespace meta {
+inline constexpr std::size_t kFlags = 0;        // bit0 = discard
+inline constexpr std::size_t kSrcPort = 1;      // u16
+inline constexpr std::size_t kDstPort = 3;      // u16
+inline constexpr std::size_t kPktLen = 5;       // u16
+inline constexpr std::size_t kBufferTag = 7;    // u8, one-hot 4 bits
+inline constexpr std::size_t kEnqueueTs = 8;    // u32, set by traffic manager
+inline constexpr std::size_t kQueueDelay = 12;  // u32
+inline constexpr std::size_t kLinkUtil = 16;    // u32, system statistic
+inline constexpr std::size_t kQueueLen = 20;    // u32, system statistic
+inline constexpr std::size_t kMulticastGroup = 24;  // u16
+inline constexpr std::size_t kUser = 26;        // scratch, u16 x3
+}  // namespace meta
+
+class Phv {
+ public:
+  /// A fresh PHV is all zeroes (isolation requirement, section 4.1).
+  Phv() { bytes_.fill(0); }
+
+  /// Reads a container as an unsigned big-endian value (2/4/6 bytes).
+  [[nodiscard]] u64 Read(ContainerRef c) const;
+  void Write(ContainerRef c, u64 value);
+
+  /// Raw byte access to a container for parser/deparser data movement.
+  [[nodiscard]] std::span<const u8> ContainerBytes(ContainerRef c) const;
+  [[nodiscard]] std::span<u8> ContainerBytes(ContainerRef c);
+
+  // Metadata accessors (offsets from the meta namespace).
+  [[nodiscard]] u8 meta_u8(std::size_t off) const;
+  [[nodiscard]] u16 meta_u16(std::size_t off) const;
+  [[nodiscard]] u32 meta_u32(std::size_t off) const;
+  void set_meta_u8(std::size_t off, u8 v);
+  void set_meta_u16(std::size_t off, u16 v);
+  void set_meta_u32(std::size_t off, u32 v);
+
+  [[nodiscard]] bool discard_flag() const {
+    return (meta_u8(meta::kFlags) & 1) != 0;
+  }
+  void set_discard_flag(bool v) {
+    set_meta_u8(meta::kFlags, static_cast<u8>((meta_u8(meta::kFlags) & ~1u) |
+                                              (v ? 1u : 0u)));
+  }
+
+  [[nodiscard]] std::span<const u8> raw() const { return bytes_; }
+
+  /// The module ID travels alongside the PHV (split from it by the
+  /// "masking RAM read latency" optimization, section 3.2, but logically
+  /// part of the per-packet state).
+  ModuleId module_id{0};
+
+  bool operator==(const Phv& other) const {
+    return bytes_ == other.bytes_ && module_id == other.module_id;
+  }
+
+ private:
+  [[nodiscard]] std::size_t ContainerOffset(ContainerRef c) const;
+
+  std::array<u8, kPhvBytes> bytes_{};
+};
+
+}  // namespace menshen

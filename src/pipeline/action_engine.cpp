@@ -1,0 +1,85 @@
+#include "pipeline/action_engine.hpp"
+
+namespace menshen {
+
+u64 ActionEngine::ReadSlot(const Phv& phv, u8 flat) {
+  if (const auto c = FlatToContainer(flat)) return phv.Read(*c);
+  return phv.meta_u16(meta::kUser);
+}
+
+void ActionEngine::WriteSlot(Phv& phv, u8 flat, u64 value) {
+  if (const auto c = FlatToContainer(flat)) {
+    phv.Write(*c, value);
+  } else {
+    phv.set_meta_u16(meta::kUser, static_cast<u16>(value));
+  }
+}
+
+Phv ActionEngine::Execute(const VliwEntry& vliw, const Phv& phv,
+                          StatefulMemory& state) {
+  Phv out = phv;  // slots with kNop keep the incoming value
+  const ModuleId module = phv.module_id;
+
+  for (std::size_t slot = 0; slot < vliw.slots.size(); ++slot) {
+    const AluAction& a = vliw.slots[slot];
+    if (a.op == AluOp::kNop) continue;
+
+    // Operands always come from the *incoming* PHV snapshot.
+    const u64 v1 = ReadSlot(phv, a.container1);
+    const u64 v2 = ReadSlot(phv, a.container2);
+    const u8 dst = static_cast<u8>(slot);
+
+    switch (a.op) {
+      case AluOp::kNop:
+        break;
+      case AluOp::kAdd:
+        WriteSlot(out, dst, v1 + v2);
+        break;
+      case AluOp::kSub:
+        WriteSlot(out, dst, v1 - v2);
+        break;
+      case AluOp::kAddi:
+        WriteSlot(out, dst, v1 + a.immediate);
+        break;
+      case AluOp::kSubi:
+        WriteSlot(out, dst, v1 - a.immediate);
+        break;
+      case AluOp::kSet:
+        WriteSlot(out, dst, a.immediate);
+        break;
+      case AluOp::kLoad:
+        WriteSlot(out, dst, state.Load(module, a.immediate));
+        break;
+      case AluOp::kStore:
+        state.Store(module, a.immediate, v1);
+        break;
+      case AluOp::kLoadd:
+        WriteSlot(out, dst, state.LoadAddStore(module, a.immediate));
+        break;
+      case AluOp::kPort:
+        out.set_meta_u16(meta::kDstPort, a.immediate);
+        break;
+      case AluOp::kDiscard:
+        out.set_discard_flag(true);
+        break;
+      case AluOp::kCopy:
+        WriteSlot(out, dst, v1);
+        break;
+      case AluOp::kLoadc:
+        WriteSlot(out, dst, state.Load(module, v2));
+        break;
+      case AluOp::kStorec:
+        state.Store(module, v2, v1);
+        break;
+      case AluOp::kLoaddc:
+        WriteSlot(out, dst, state.LoadAddStore(module, v2));
+        break;
+      case AluOp::kMcast:
+        out.set_meta_u16(meta::kMulticastGroup, a.immediate);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace menshen

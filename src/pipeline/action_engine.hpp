@@ -1,0 +1,34 @@
+// VLIW action engine (sections 3.1, 4.1).
+//
+// One ALU per PHV container (25 in total): slot i of the VLIW instruction
+// controls the ALU whose output is hard-wired to container i, so no output
+// crossbar is needed.  The input crossbar lets each ALU read any container.
+// All ALUs read the *incoming* PHV and their outputs form the *new* PHV —
+// true VLIW semantics, which the engine preserves by evaluating every slot
+// against a snapshot before committing any write.
+//
+// Slot 24 is the metadata ALU; it executes the platform ops (`port`,
+// `discard`) and can also `set`/`load`/... into the user metadata scratch.
+#pragma once
+
+#include "phv/phv.hpp"
+#include "pipeline/entries.hpp"
+#include "pipeline/stateful.hpp"
+
+namespace menshen {
+
+class ActionEngine {
+ public:
+  /// Executes all 25 slots of `vliw` against `phv`, using `state` for the
+  /// stateful ops.  Returns the new PHV.
+  [[nodiscard]] static Phv Execute(const VliwEntry& vliw, const Phv& phv,
+                                   StatefulMemory& state);
+
+ private:
+  /// Reads the value of flat container slot `flat` from `phv` (slot 24
+  /// reads the user metadata scratch word).
+  [[nodiscard]] static u64 ReadSlot(const Phv& phv, u8 flat);
+  static void WriteSlot(Phv& phv, u8 flat, u64 value);
+};
+
+}  // namespace menshen

@@ -1,0 +1,68 @@
+#include "pipeline/config_write.hpp"
+
+#include <stdexcept>
+
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kParserTable: return "parser";
+    case ResourceKind::kDeparserTable: return "deparser";
+    case ResourceKind::kKeyExtractor: return "key-extractor";
+    case ResourceKind::kKeyMask: return "key-mask";
+    case ResourceKind::kCamEntry: return "cam";
+    case ResourceKind::kVliwAction: return "vliw";
+    case ResourceKind::kSegmentTable: return "segment";
+    case ResourceKind::kTcamEntry: return "tcam";
+  }
+  return "?";
+}
+
+std::size_t EntryBytesFor(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kParserTable:
+    case ResourceKind::kDeparserTable:
+      return params::kParserActionsPerEntry * 2;  // 20
+    case ResourceKind::kKeyExtractor:
+      return 5;
+    case ResourceKind::kKeyMask:
+      return 25;
+    case ResourceKind::kCamEntry:
+      return 28;
+    case ResourceKind::kVliwAction:
+      return 79;
+    case ResourceKind::kSegmentTable:
+      return 2;
+    case ResourceKind::kTcamEntry:
+      return 53;  // valid(1) + module(2) + key(25) + mask(25)
+  }
+  throw std::invalid_argument("unknown resource kind");
+}
+
+ConfigWrite ConfigWrite::WithResourceId(u16 resource_id, u8 index,
+                                        ByteBuffer payload) {
+  if (resource_id >> 12) throw std::invalid_argument("resource ID > 12 bits");
+  const u8 kind_bits = static_cast<u8>(resource_id >> 8);
+  if (kind_bits > static_cast<u8>(ResourceKind::kTcamEntry))
+    throw std::invalid_argument("unknown resource kind in resource ID");
+  ConfigWrite w;
+  w.kind = static_cast<ResourceKind>(kind_bits);
+  w.stage = static_cast<u8>(resource_id & 0xFF);
+  w.index = index;
+  w.payload = std::move(payload);
+  return w;
+}
+
+std::string ConfigWrite::ToString() const {
+  std::string s = ResourceKindName(kind);
+  s += "[stage ";
+  s += std::to_string(stage);
+  s += ", index ";
+  s += std::to_string(index);
+  s += "]";
+  return s;
+}
+
+}  // namespace menshen

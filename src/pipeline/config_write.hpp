@@ -1,0 +1,52 @@
+// Configuration writes — the unit of pipeline reconfiguration.
+//
+// A ConfigWrite names a hardware resource (12-bit resource ID: 4-bit
+// resource kind + 8-bit stage number, Figure 7), an entry index within
+// that resource's table, and the entry payload bytes.  ConfigWrites travel
+// inside reconfiguration packets along the daisy chain (config/), or over
+// AXI-Lite in 32-bit words (Appendix A), and are applied to the pipeline
+// by Pipeline::ApplyWrite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace menshen {
+
+enum class ResourceKind : u8 {
+  kParserTable = 0,
+  kDeparserTable = 1,
+  kKeyExtractor = 2,
+  kKeyMask = 3,
+  kCamEntry = 4,
+  kVliwAction = 5,
+  kSegmentTable = 6,
+  kTcamEntry = 7,  // ternary match entries (Appendix B)
+};
+
+[[nodiscard]] const char* ResourceKindName(ResourceKind kind);
+
+/// Payload size in bytes each resource kind's entries encode to.
+[[nodiscard]] std::size_t EntryBytesFor(ResourceKind kind);
+
+struct ConfigWrite {
+  ResourceKind kind = ResourceKind::kParserTable;
+  u8 stage = 0;  // 0-4 for per-stage resources; 0 for parser/deparser
+  u8 index = 0;  // entry index within the table (Figure 7 "Index" field)
+  ByteBuffer payload;
+
+  /// The 12-bit resource ID of Figure 7.
+  [[nodiscard]] u16 resource_id() const {
+    return static_cast<u16>((static_cast<u16>(kind) << 8) | stage);
+  }
+  static ConfigWrite WithResourceId(u16 resource_id, u8 index,
+                                    ByteBuffer payload);
+
+  [[nodiscard]] std::string ToString() const;
+  bool operator==(const ConfigWrite&) const = default;
+};
+
+}  // namespace menshen

@@ -1,0 +1,393 @@
+#include "pipeline/entries.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+// --- ParserAction -----------------------------------------------------------
+
+u16 ParserAction::Encode() const {
+  if (bytes_from_head >= 128)
+    throw std::invalid_argument("parser offset exceeds 7 bits");
+  u16 bits = 0;
+  bits |= valid ? 1 : 0;
+  bits |= static_cast<u16>(container.index & 0x7) << 1;
+  bits |= static_cast<u16>(static_cast<u8>(container.type) & 0x3) << 4;
+  bits |= static_cast<u16>(bytes_from_head & 0x7F) << 6;
+  return bits;
+}
+
+ParserAction ParserAction::Decode(u16 bits) {
+  ParserAction a;
+  a.valid = (bits & 1) != 0;
+  a.container.index = static_cast<u8>((bits >> 1) & 0x7);
+  const u8 type = static_cast<u8>((bits >> 4) & 0x3);
+  if (type > 2) throw std::invalid_argument("bad container type in parser action");
+  a.container.type = static_cast<ContainerType>(type);
+  a.bytes_from_head = static_cast<u8>((bits >> 6) & 0x7F);
+  return a;
+}
+
+ByteBuffer ParserEntry::Encode() const {
+  ByteBuffer out;
+  for (const auto& a : actions) out.append_u16(a.Encode());
+  return out;
+}
+
+ParserEntry ParserEntry::Decode(const ByteBuffer& bytes) {
+  if (bytes.size() != params::kParserActionsPerEntry * 2)
+    throw std::invalid_argument("parser entry must be 20 bytes");
+  ParserEntry e;
+  for (std::size_t i = 0; i < e.actions.size(); ++i)
+    e.actions[i] = ParserAction::Decode(bytes.u16_at(i * 2));
+  return e;
+}
+
+std::size_t ParserEntry::valid_count() const {
+  std::size_t n = 0;
+  for (const auto& a : actions)
+    if (a.valid) ++n;
+  return n;
+}
+
+// --- Operand8 ---------------------------------------------------------------
+
+Operand8 Operand8::Immediate(u8 value) {
+  if (value >= 128) throw std::invalid_argument("immediate exceeds 7 bits");
+  return Operand8{value};
+}
+
+Operand8 Operand8::Container(ContainerRef c) {
+  u8 bits = 0x80;
+  bits |= static_cast<u8>(static_cast<u8>(c.type) & 0x3) << 5;
+  bits |= c.index & 0x7;
+  return Operand8{bits};
+}
+
+ContainerRef Operand8::container() const {
+  if (!is_container())
+    throw std::logic_error("operand is an immediate, not a container");
+  const u8 type = (bits >> 5) & 0x3;
+  if (type > 2) throw std::invalid_argument("bad container type in operand");
+  return ContainerRef{static_cast<ContainerType>(type),
+                      static_cast<u8>(bits & 0x7)};
+}
+
+u64 Operand8::Eval(const Phv& phv) const {
+  return is_container() ? phv.Read(container()) : immediate();
+}
+
+// --- Key extractor / key mask ----------------------------------------------
+
+std::array<KeySlot, 6> KeySlots() {
+  // LSB-first layout: predicate bit at 0, then 2nd2B, 1st2B, 2nd4B, 1st4B,
+  // 2nd6B, 1st6B (slot order in `selectors` is {1st6B..2nd2B}).
+  return {{
+      {145, 48},  // 1st 6B
+      {97, 48},   // 2nd 6B
+      {65, 32},   // 1st 4B
+      {33, 32},   // 2nd 4B
+      {17, 16},   // 1st 2B
+      {1, 16},    // 2nd 2B
+  }};
+}
+
+namespace {
+constexpr std::array<ContainerType, 6> kSlotTypes = {
+    ContainerType::k6B, ContainerType::k6B, ContainerType::k4B,
+    ContainerType::k4B, ContainerType::k2B, ContainerType::k2B};
+}  // namespace
+
+ByteBuffer KeyExtractorEntry::Encode() const {
+  // 38 bits: selectors (18) | cmp_op (4) | cmp_a (8) | cmp_b (8).
+  u64 bits = 0;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (selectors[i] >= kContainersPerType)
+      throw std::invalid_argument("key selector index out of range");
+    bits |= static_cast<u64>(selectors[i] & 0x7) << pos;
+    pos += 3;
+  }
+  bits |= static_cast<u64>(static_cast<u8>(cmp_op) & 0xF) << pos;
+  pos += 4;
+  bits |= static_cast<u64>(cmp_a.bits) << pos;
+  pos += 8;
+  bits |= static_cast<u64>(cmp_b.bits) << pos;
+  pos += 8;
+  if (ternary) bits |= u64{1} << pos;  // spare bit 38: match kind
+
+  ByteBuffer out;
+  for (int i = 0; i < 5; ++i) out.append_u8(static_cast<u8>(bits >> (8 * i)));
+  return out;
+}
+
+KeyExtractorEntry KeyExtractorEntry::Decode(const ByteBuffer& bytes) {
+  if (bytes.size() != 5)
+    throw std::invalid_argument("key extractor entry must be 5 bytes");
+  u64 bits = 0;
+  for (int i = 4; i >= 0; --i)
+    bits = (bits << 8) | bytes.u8_at(static_cast<std::size_t>(i));
+  KeyExtractorEntry e;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    e.selectors[i] = static_cast<u8>((bits >> pos) & 0x7);
+    pos += 3;
+  }
+  const u8 op = static_cast<u8>((bits >> pos) & 0xF);
+  if (op > static_cast<u8>(CmpOp::kLe))
+    throw std::invalid_argument("bad comparison opcode");
+  e.cmp_op = static_cast<CmpOp>(op);
+  pos += 4;
+  e.cmp_a.bits = static_cast<u8>((bits >> pos) & 0xFF);
+  pos += 8;
+  e.cmp_b.bits = static_cast<u8>((bits >> pos) & 0xFF);
+  pos += 8;
+  e.ternary = ((bits >> pos) & 1) != 0;
+  return e;
+}
+
+BitVec KeyExtractorEntry::ExtractKey(const Phv& phv) const {
+  BitVec key(params::kKeyBits);
+  const auto slots = KeySlots();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const ContainerRef c{kSlotTypes[i], selectors[i]};
+    key.set_field(slots[i].lsb, slots[i].bits, phv.Read(c));
+  }
+  // Predicate bit (bit 0).
+  bool pred = false;
+  const u64 a = cmp_a.Eval(phv);
+  const u64 b = cmp_b.Eval(phv);
+  switch (cmp_op) {
+    case CmpOp::kNone:
+      pred = false;
+      break;
+    case CmpOp::kEq:
+      pred = a == b;
+      break;
+    case CmpOp::kNeq:
+      pred = a != b;
+      break;
+    case CmpOp::kGt:
+      pred = a > b;
+      break;
+    case CmpOp::kLt:
+      pred = a < b;
+      break;
+    case CmpOp::kGe:
+      pred = a >= b;
+      break;
+    case CmpOp::kLe:
+      pred = a <= b;
+      break;
+  }
+  key.set_bit(0, pred);
+  return key;
+}
+
+ByteBuffer KeyMaskEntry::Encode() const {
+  ByteBuffer out(25);
+  for (std::size_t i = 0; i < 25; ++i) {
+    const std::size_t lsb = i * 8;
+    const std::size_t w = std::min<std::size_t>(8, params::kKeyBits - lsb);
+    out.set_u8(i, static_cast<u8>(mask.field(lsb, w)));
+  }
+  return out;
+}
+
+KeyMaskEntry KeyMaskEntry::Decode(const ByteBuffer& bytes) {
+  if (bytes.size() != 25)
+    throw std::invalid_argument("key mask entry must be 25 bytes");
+  KeyMaskEntry e;
+  for (std::size_t i = 0; i < 25; ++i) {
+    const std::size_t lsb = i * 8;
+    const std::size_t w = std::min<std::size_t>(8, params::kKeyBits - lsb);
+    const u8 byte = bytes.u8_at(i);
+    if (w < 8 && (byte >> w) != 0)
+      throw std::invalid_argument("key mask high bits must be zero");
+    e.mask.set_field(lsb, w, byte & ((w == 8) ? 0xFF : ((1u << w) - 1)));
+  }
+  return e;
+}
+
+// --- CAM entries -------------------------------------------------------------
+
+ByteBuffer CamEntry::Encode() const {
+  ByteBuffer out;
+  out.append_u8(valid ? 1 : 0);
+  out.append_u16(module.value());
+  for (std::size_t i = 0; i < 25; ++i) {
+    const std::size_t lsb = i * 8;
+    const std::size_t w = std::min<std::size_t>(8, params::kKeyBits - lsb);
+    out.append_u8(static_cast<u8>(key.field(lsb, w)));
+  }
+  return out;
+}
+
+CamEntry CamEntry::Decode(const ByteBuffer& bytes) {
+  if (bytes.size() != 28)
+    throw std::invalid_argument("CAM entry must be 28 bytes");
+  CamEntry e;
+  e.valid = bytes.u8_at(0) != 0;
+  e.module = ModuleId(bytes.u16_at(1) & 0x0FFF);
+  for (std::size_t i = 0; i < 25; ++i) {
+    const std::size_t lsb = i * 8;
+    const std::size_t w = std::min<std::size_t>(8, params::kKeyBits - lsb);
+    e.key.set_field(lsb, w,
+                    bytes.u8_at(3 + i) & ((w == 8) ? 0xFF : ((1u << w) - 1)));
+  }
+  return e;
+}
+
+// --- ALU actions -------------------------------------------------------------
+
+bool OpUsesImmediate(AluOp op) {
+  switch (op) {
+    case AluOp::kAddi:
+    case AluOp::kSubi:
+    case AluOp::kSet:
+    case AluOp::kLoad:
+    case AluOp::kStore:
+    case AluOp::kLoadd:
+    case AluOp::kPort:
+    case AluOp::kDiscard:
+    case AluOp::kMcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpTouchesState(AluOp op) {
+  switch (op) {
+    case AluOp::kLoad:
+    case AluOp::kStore:
+    case AluOp::kLoadd:
+    case AluOp::kLoadc:
+    case AluOp::kStorec:
+    case AluOp::kLoaddc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* AluOpName(AluOp op) {
+  switch (op) {
+    case AluOp::kNop: return "nop";
+    case AluOp::kAdd: return "add";
+    case AluOp::kSub: return "sub";
+    case AluOp::kAddi: return "addi";
+    case AluOp::kSubi: return "subi";
+    case AluOp::kSet: return "set";
+    case AluOp::kLoad: return "load";
+    case AluOp::kStore: return "store";
+    case AluOp::kLoadd: return "loadd";
+    case AluOp::kPort: return "port";
+    case AluOp::kDiscard: return "discard";
+    case AluOp::kCopy: return "copy";
+    case AluOp::kLoadc: return "loadc";
+    case AluOp::kStorec: return "storec";
+    case AluOp::kLoaddc: return "loaddc";
+    case AluOp::kMcast: return "mcast";
+  }
+  return "?";
+}
+
+u32 AluAction::Encode() const {
+  if (container1 > kMetadataSlot || container2 > kMetadataSlot)
+    throw std::invalid_argument("container slot out of range");
+  u32 bits = 0;
+  bits |= static_cast<u32>(static_cast<u8>(op) & 0xF) << 21;
+  bits |= static_cast<u32>(container1 & 0x1F) << 16;
+  if (OpUsesImmediate(op)) {
+    bits |= immediate;
+  } else {
+    bits |= static_cast<u32>(container2 & 0x1F) << 11;
+  }
+  return bits;
+}
+
+AluAction AluAction::Decode(u32 bits) {
+  if (bits >> 25) throw std::invalid_argument("ALU action exceeds 25 bits");
+  AluAction a;
+  const u8 op = static_cast<u8>((bits >> 21) & 0xF);
+  a.op = static_cast<AluOp>(op);
+  a.container1 = static_cast<u8>((bits >> 16) & 0x1F);
+  if (OpUsesImmediate(a.op)) {
+    a.immediate = static_cast<u16>(bits & 0xFFFF);
+  } else {
+    a.container2 = static_cast<u8>((bits >> 11) & 0x1F);
+  }
+  return a;
+}
+
+std::string AluAction::ToString() const {
+  std::string s = AluOpName(op);
+  s += " c";
+  s += std::to_string(container1);
+  if (OpUsesImmediate(op)) {
+    s += ", #";
+    s += std::to_string(immediate);
+  } else {
+    s += ", c";
+    s += std::to_string(container2);
+  }
+  return s;
+}
+
+ByteBuffer VliwEntry::Encode() const {
+  // 25 actions x 25 bits packed little-endian into 79 bytes (632 bits,
+  // 7 pad bits at the top).
+  BitVec packed(632);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    packed.set_field(i * params::kAluActionBits, params::kAluActionBits,
+                     slots[i].Encode());
+  ByteBuffer out(79);
+  for (std::size_t i = 0; i < 79; ++i)
+    out.set_u8(i, static_cast<u8>(packed.field(i * 8, 8)));
+  return out;
+}
+
+VliwEntry VliwEntry::Decode(const ByteBuffer& bytes) {
+  if (bytes.size() != 79)
+    throw std::invalid_argument("VLIW entry must be 79 bytes");
+  BitVec packed(632);
+  for (std::size_t i = 0; i < 79; ++i) packed.set_field(i * 8, 8, bytes.u8_at(i));
+  VliwEntry e;
+  for (std::size_t i = 0; i < e.slots.size(); ++i)
+    e.slots[i] = AluAction::Decode(static_cast<u32>(
+        packed.field(i * params::kAluActionBits, params::kAluActionBits)));
+  return e;
+}
+
+std::size_t VliwEntry::active_count() const {
+  std::size_t n = 0;
+  for (const auto& s : slots)
+    if (s.op != AluOp::kNop) ++n;
+  return n;
+}
+
+// --- Segment table -----------------------------------------------------------
+
+ByteBuffer SegmentEntry::Encode() const {
+  ByteBuffer out;
+  out.append_u8(offset);
+  out.append_u8(range);
+  return out;
+}
+
+SegmentEntry SegmentEntry::Decode(const ByteBuffer& bytes) {
+  if (bytes.size() != 2)
+    throw std::invalid_argument("segment entry must be 2 bytes");
+  return SegmentEntry{bytes.u8_at(0), bytes.u8_at(1)};
+}
+
+// --- Misc ---------------------------------------------------------------------
+
+std::optional<ContainerRef> FlatToContainer(u8 flat) {
+  if (flat >= kMetadataSlot) return std::nullopt;
+  return ContainerRef{static_cast<ContainerType>(flat / kContainersPerType),
+                      static_cast<u8>(flat % kContainersPerType)};
+}
+
+}  // namespace menshen

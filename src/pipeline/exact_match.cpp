@@ -1,0 +1,43 @@
+#include "pipeline/exact_match.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+std::optional<std::size_t> ExactMatchCam::Lookup(const BitVec& key,
+                                                 ModuleId module) const {
+  ++lookups_;
+  if (key.width() != params::kKeyBits)
+    throw std::invalid_argument("CAM key must be 193 bits");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CamEntry& e = entries_[i];
+    // The module ID comparison is part of the match itself: the stored
+    // entry is (key ++ module) and the search word is (key ++ module).
+    if (e.valid && e.module == module && e.key == key) {
+      ++hits_;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void ExactMatchCam::Write(std::size_t address, CamEntry entry) {
+  if (address >= entries_.size())
+    throw std::out_of_range("CAM address out of range");
+  entries_[address] = std::move(entry);
+}
+
+const CamEntry& ExactMatchCam::At(std::size_t address) const {
+  if (address >= entries_.size())
+    throw std::out_of_range("CAM address out of range");
+  return entries_[address];
+}
+
+std::size_t ExactMatchCam::CountForModule(ModuleId module) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.valid && e.module == module) ++n;
+  return n;
+}
+
+}  // namespace menshen

@@ -1,0 +1,46 @@
+// Exact-match CAM (sections 3.1, 4.1).
+//
+// A 205-bit-wide, 16-entry-deep content-addressable memory per stage.  To
+// enforce isolation, the packet's 12-bit module ID is appended to the
+// 193-bit key; each stored entry carries the module ID of its owner, so a
+// module's packets can never match another module's entries even if the
+// key bits collide.  The lookup result (the matching address) indexes the
+// VLIW action table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+class ExactMatchCam {
+ public:
+  explicit ExactMatchCam(std::size_t depth = params::kCamDepth)
+      : entries_(depth) {}
+
+  [[nodiscard]] std::size_t depth() const { return entries_.size(); }
+
+  /// Looks up `key` (already masked by the module's key mask) augmented
+  /// with `module`.  Returns the matching address, or nullopt on miss.
+  [[nodiscard]] std::optional<std::size_t> Lookup(const BitVec& key,
+                                                  ModuleId module) const;
+
+  void Write(std::size_t address, CamEntry entry);
+  [[nodiscard]] const CamEntry& At(std::size_t address) const;
+
+  /// Number of valid entries currently owned by `module`.
+  [[nodiscard]] std::size_t CountForModule(ModuleId module) const;
+
+  [[nodiscard]] u64 lookups() const { return lookups_; }
+  [[nodiscard]] u64 hits() const { return hits_; }
+
+ private:
+  std::vector<CamEntry> entries_;
+  mutable u64 lookups_ = 0;
+  mutable u64 hits_ = 0;
+};
+
+}  // namespace menshen

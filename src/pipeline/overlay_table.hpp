@@ -1,0 +1,63 @@
+// Overlay tables — the central Menshen isolation primitive (section 3).
+//
+// An overlay table associates a configuration entry with each module for a
+// shared resource (parser, deparser, key extractor, key mask, segment
+// table).  It is a simple SRAM array indexed by the packet's module ID; on
+// every packet the entry for that packet's module is read out and the
+// shared resource processes the packet under that configuration.
+//
+// Faithful to the hardware, lookups index with the low bits of the module
+// ID (the array is kOverlayTableDepth = 32 entries deep).  A module ID of
+// 33 would therefore alias entry 1 — exactly why the software-side
+// admission control (runtime/) refuses to admit modules whose ID does not
+// fit the table depth.  Tests exercise this boundary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/params.hpp"
+
+namespace menshen {
+
+template <typename Entry>
+class OverlayTable {
+ public:
+  explicit OverlayTable(std::size_t depth = params::kOverlayTableDepth)
+      : entries_(depth) {}
+
+  [[nodiscard]] std::size_t depth() const { return entries_.size(); }
+
+  /// Hardware-style read: index = module ID truncated to the table depth.
+  [[nodiscard]] const Entry& Lookup(ModuleId id) const {
+    ++reads_;
+    return entries_[IndexFor(id)];
+  }
+
+  /// Configuration write via the daisy chain (index-addressed).
+  void Write(std::size_t index, Entry entry) {
+    if (index >= entries_.size())
+      throw std::out_of_range("overlay table index out of range");
+    entries_[index] = std::move(entry);
+  }
+
+  [[nodiscard]] const Entry& At(std::size_t index) const {
+    if (index >= entries_.size())
+      throw std::out_of_range("overlay table index out of range");
+    return entries_[index];
+  }
+
+  /// Number of entry reads since construction (for the area/activity model).
+  [[nodiscard]] u64 reads() const { return reads_; }
+
+  [[nodiscard]] std::size_t IndexFor(ModuleId id) const {
+    return id.value() % entries_.size();
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  mutable u64 reads_ = 0;
+};
+
+}  // namespace menshen

@@ -1,0 +1,45 @@
+#include "pipeline/packet_filter.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+FilterVerdict PacketFilter::Classify(Packet& pkt) {
+  if (!pkt.has_vlan()) {
+    ++dropped_no_vlan_;
+    return FilterVerdict::kDropNoVlan;
+  }
+  if (reconfig_on_data_path_ && pkt.is_reconfig()) {
+    // Corundum connects the daisy chain behind the filter; the reserved
+    // UDP destination port separates reconfiguration traffic.  (On the
+    // NetFPGA build the chain is fed over PCIe only and data-path packets
+    // to the reserved port are just data.)
+    return FilterVerdict::kReconfig;
+  }
+  if (IsUnderReconfig(pkt.vid())) {
+    // Drop in-flight packets of a module whose configuration is partially
+    // written, so they are never processed by a mix of old and new config.
+    ++dropped_bitmap_;
+    return FilterVerdict::kDropBitmap;
+  }
+  pkt.buffer_tag = static_cast<u8>(rr_ % buffers_);
+  ++rr_;
+  return FilterVerdict::kData;
+}
+
+void PacketFilter::MarkUnderReconfig(ModuleId module, bool under) {
+  if (module.value() >= 32)
+    throw std::out_of_range("bitmap covers module IDs 0-31");
+  const u32 bit = u32{1} << module.value();
+  if (under)
+    bitmap_ |= bit;
+  else
+    bitmap_ &= ~bit;
+}
+
+bool PacketFilter::IsUnderReconfig(ModuleId module) const {
+  if (module.value() >= 32) return false;
+  return (bitmap_ & (u32{1} << module.value())) != 0;
+}
+
+}  // namespace menshen

@@ -1,0 +1,61 @@
+// Packet filter (sections 3.1, 4.1).
+//
+// The filter sits in front of the parser and (1) discards packets that
+// carry no VLAN tag (so every packet entering the pipeline has a module
+// ID); (2) separates reconfiguration packets — identified by the reserved
+// UDP destination port 0xF1F2 — from untrusted data packets; (3) holds the
+// two AXI-Lite-accessible registers of the secure-reconfiguration
+// protocol: a 32-bit bitmap naming the module(s) currently being updated,
+// whose data packets are dropped until reconfiguration completes, and a
+// 4-byte counter of reconfiguration packets that have traversed the daisy
+// chain; and (4) tags each data packet with a packet-buffer number (0-3)
+// and a parser number in round-robin order (section 3.2).
+#pragma once
+
+#include "packet/packet.hpp"
+#include "pipeline/params.hpp"
+
+namespace menshen {
+
+enum class FilterVerdict : u8 {
+  kData,       // proceed to a parser
+  kReconfig,   // route to the daisy chain
+  kDropNoVlan, // no module ID: discarded
+  kDropBitmap, // module under reconfiguration: dropped (section 4.1)
+};
+
+class PacketFilter {
+ public:
+  explicit PacketFilter(std::size_t buffers = 1,
+                        bool reconfig_on_data_path = true)
+      : buffers_(buffers), reconfig_on_data_path_(reconfig_on_data_path) {}
+
+  /// Classifies a packet and, for data packets, assigns buffer/parser tags.
+  FilterVerdict Classify(Packet& pkt);
+
+  // --- AXI-Lite register file (section 4.1) -------------------------------
+  [[nodiscard]] u32 bitmap() const { return bitmap_; }
+  void set_bitmap(u32 bitmap) { bitmap_ = bitmap; }
+  [[nodiscard]] u32 reconfig_packet_counter() const { return counter_; }
+  void IncrementReconfigCounter() { ++counter_; }
+
+  /// Convenience used by the control plane: mark one module as under
+  /// reconfiguration (bit M of the bitmap).
+  void MarkUnderReconfig(ModuleId module, bool under);
+  [[nodiscard]] bool IsUnderReconfig(ModuleId module) const;
+
+  // Drop statistics.
+  [[nodiscard]] u64 dropped_no_vlan() const { return dropped_no_vlan_; }
+  [[nodiscard]] u64 dropped_bitmap() const { return dropped_bitmap_; }
+
+ private:
+  std::size_t buffers_;
+  bool reconfig_on_data_path_;
+  u32 bitmap_ = 0;
+  u32 counter_ = 0;
+  u64 rr_ = 0;  // round-robin cursor for buffer/parser assignment
+  u64 dropped_no_vlan_ = 0;
+  u64 dropped_bitmap_ = 0;
+};
+
+}  // namespace menshen

@@ -1,0 +1,72 @@
+#include "pipeline/params.hpp"
+
+namespace menshen {
+
+const PlatformTiming& NetFpgaPlatform() {
+  static const PlatformTiming p{
+      .name = "NetFPGA",
+      .clock = kNetFpgaClock,
+      .bus_bytes = 32,  // 256-bit AXI-S (section 4.3)
+      .link_gbps = 10.0,
+      .processing_depth = 76,
+      .overlap_ingress = false,
+      .egress_beats_per_cycle = 2,
+      .external_path_ns = 600.0,
+  };
+  return p;
+}
+
+const PlatformTiming& CorundumPlatform() {
+  static const PlatformTiming p{
+      .name = "Corundum",
+      .clock = kCorundumClock,
+      .bus_bytes = 64,  // 512-bit AXI-S (section 4.3)
+      .link_gbps = 100.0,
+      .processing_depth = 105,
+      .overlap_ingress = true,
+      .egress_beats_per_cycle = 1,
+      .external_path_ns = 600.0,
+  };
+  return p;
+}
+
+const PlatformTiming& AsicPlatform() {
+  // The ASIC study (section 5.2) synthesizes the same 5-stage design at
+  // 1 GHz.  We keep the Corundum datapath shape at the ASIC clock.
+  static const PlatformTiming p{
+      .name = "ASIC",
+      .clock = kAsicClock,
+      .bus_bytes = 64,
+      .link_gbps = 400.0,
+      .processing_depth = 105,
+      .overlap_ingress = true,
+      .egress_beats_per_cycle = 1,
+      .external_path_ns = 0.0,
+  };
+  return p;
+}
+
+PipelineTiming OptimizedTiming() {
+  return PipelineTiming{
+      .parsers = params::kOptimizedParsers,
+      .deparsers = params::kOptimizedDeparsers,
+      .stage_ii = 2,  // deep pipelining (section 3.2, circle 3)
+  };
+}
+
+PipelineTiming UnoptimizedTiming() {
+  return PipelineTiming{.parsers = 1, .deparsers = 1, .stage_ii = 8};
+}
+
+Cycle IdleLatencyCycles(const PlatformTiming& p, std::size_t pkt_bytes) {
+  const Cycle in = p.beats(pkt_bytes);
+  const Cycle out =
+      (p.beats(pkt_bytes) + p.egress_beats_per_cycle - 1) /
+      p.egress_beats_per_cycle;
+  if (p.overlap_ingress) {
+    return std::max<Cycle>(p.processing_depth, in) + out;
+  }
+  return p.processing_depth + in + out;
+}
+
+}  // namespace menshen

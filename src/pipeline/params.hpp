@@ -1,0 +1,140 @@
+// Hardware parameters of the Menshen pipeline (paper Table 5) and the
+// calibrated timing model for the two FPGA platforms (section 4.3, 5.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+// ---------------------------------------------------------------------------
+// Table 5: hardware resources in Menshen.
+// ---------------------------------------------------------------------------
+namespace params {
+
+inline constexpr std::size_t kNumStages = 5;
+
+// Overlay tables (parser, deparser, key extractor, key mask, segment) are
+// 32 entries deep: at most 32 modules (section 5.2).
+inline constexpr std::size_t kOverlayTableDepth = 32;
+
+// Exact-match CAM and VLIW action table are 16 entries deep per stage.
+inline constexpr std::size_t kCamDepth = 16;
+inline constexpr std::size_t kVliwTableDepth = 16;
+
+// Parser/deparser: 10 parsing actions of 16 bits each => 160-bit entries.
+inline constexpr std::size_t kParserActionsPerEntry = 10;
+inline constexpr std::size_t kParserActionBits = 16;
+inline constexpr std::size_t kParserEntryBits =
+    kParserActionsPerEntry * kParserActionBits;  // 160
+
+// Key extractor: 6 container selectors (3 bits each) + predicate opcode
+// (4 bits) + 2 predicate operands (8 bits each) => 38-bit entries.
+inline constexpr std::size_t kKeyExtractorEntryBits = 38;
+
+// Key: 2x6B + 2x4B + 2x2B containers = 24 bytes, plus 1 predicate bit.
+inline constexpr std::size_t kKeyBytes = 24;
+inline constexpr std::size_t kKeyBits = kKeyBytes * 8 + 1;  // 193
+inline constexpr std::size_t kKeyMaskEntryBits = kKeyBits;  // 193
+
+// Module ID is the 12-bit VLAN ID; CAM entries append it to the key.
+inline constexpr std::size_t kModuleIdBits = 12;
+inline constexpr std::size_t kCamEntryBits = kKeyBits + kModuleIdBits;  // 205
+
+// VLIW action: 25 bits per ALU action, 25 ALU/container slots => 625 bits.
+inline constexpr std::size_t kAluActionBits = 25;
+inline constexpr std::size_t kVliwEntryBits = 25 * kAluActionBits;  // 625
+
+// Segment table entries: offset byte + range byte (section 4.1).
+inline constexpr std::size_t kSegmentEntryBits = 16;
+
+// Stateful memory words per stage.  The paper does not give a depth; 256
+// words keeps the 1-byte segment-table offset/range fields meaningful
+// (they address the whole memory).
+inline constexpr std::size_t kStatefulWordsPerStage = 256;
+
+// Packet-buffer / parser parallelism of the optimized design (section 3.2).
+inline constexpr std::size_t kOptimizedParsers = 2;
+inline constexpr std::size_t kOptimizedDeparsers = 4;
+
+}  // namespace params
+
+// ---------------------------------------------------------------------------
+// Platform descriptions and the calibrated cycle model.
+//
+// Calibration (documented here once; see DESIGN.md section 5):
+//  * A packet of S bytes occupies ceil(S / bus_bytes) bus "beats".
+//  * Corundum (512-bit bus @ 250 MHz): the packet buffer fills in parallel
+//    with PHV processing; egress drains at one beat per cycle.  Latency to
+//    last byte out = max(F, beats_in) + beats_out with the processing
+//    depth F = 105 cycles.  This reproduces the paper's section 5.2
+//    numbers exactly: 64 B -> 106 cycles (424 ns), 1500 B -> 129 cycles
+//    (516 ns).
+//  * NetFPGA (256-bit bus @ 156.25 MHz): the narrower datapath fills the
+//    buffer before the deparser starts and drains the buffer through a
+//    double-width internal read port (2 beats/cycle).  Latency =
+//    F + beats_in + ceil(beats_out / 2) with F = 76: 64 B -> 79 cycles
+//    (505.6 ns, paper: 79 cycles) and 1500 B -> 147 cycles (941 ns,
+//    paper: ~146-150 cycles / 960 ns, within 2%).
+//  * Per-packet initiation intervals: the packet filter accepts one packet
+//    per cycle; each parser needs ceil(128 / bus_bytes) + 6 cycles per
+//    packet; with deep pipelining a match-action stage accepts a PHV every
+//    2 cycles (8 without, section 3.2 "deep pipelining"); a deparser needs
+//    ceil(1.5 * beats) + 2 cycles per packet (deparsing touches header and
+//    payload, section 3.2).  The optimized design divides parser/deparser
+//    load over 2 parsers and 4 deparsers.  These constants reproduce the
+//    Fig. 11 throughput curves: unoptimized Corundum converges to
+//    ~80 Gbit/s at MTU; optimized Corundum is wire-limited (100 Gbit/s
+//    layer-1) from 256-byte packets upward.
+// ---------------------------------------------------------------------------
+struct PlatformTiming {
+  std::string name;
+  ClockDomain clock;
+  std::size_t bus_bytes;        // AXI-Stream data width in bytes
+  double link_gbps;             // attached link rate (layer-1)
+  Cycle processing_depth;       // F above: filter+parser+5 stages+deparser
+  bool overlap_ingress;         // Corundum: buffer fill overlaps processing
+  std::size_t egress_beats_per_cycle;  // NetFPGA drains 2 beats/cycle
+  // Fixed platform path outside the pipeline (MAC/PHY/tester) added to
+  // measured sample latency in Fig. 11d, in nanoseconds.
+  double external_path_ns;
+
+  [[nodiscard]] Cycle beats(std::size_t bytes) const {
+    return (bytes + bus_bytes - 1) / bus_bytes;
+  }
+};
+
+/// Per-element initiation intervals / service times for a pipeline build.
+struct PipelineTiming {
+  std::size_t parsers = 1;
+  std::size_t deparsers = 1;
+  // Deep pipelining (section 3.2, circle 3) splits each match-action
+  // table into sub-elements that accept a PHV every 2 cycles; the
+  // unpipelined whole-table element needs 8.
+  Cycle stage_ii = 8;
+
+  [[nodiscard]] Cycle parser_service(const PlatformTiming& p) const {
+    return p.beats(128) + 6;  // read config + walk 128-byte window
+  }
+  [[nodiscard]] Cycle deparser_service(const PlatformTiming& p,
+                                       std::size_t pkt_bytes) const {
+    const Cycle b = p.beats(pkt_bytes);
+    return (3 * b + 1) / 2 + 2;  // ceil(1.5*beats) + 2
+  }
+};
+
+[[nodiscard]] const PlatformTiming& NetFpgaPlatform();
+[[nodiscard]] const PlatformTiming& CorundumPlatform();
+[[nodiscard]] const PlatformTiming& AsicPlatform();
+
+[[nodiscard]] PipelineTiming OptimizedTiming();
+[[nodiscard]] PipelineTiming UnoptimizedTiming();
+
+/// End-to-end pipeline latency in cycles for one packet in an otherwise
+/// idle pipeline (the section 5.2 latency model).
+[[nodiscard]] Cycle IdleLatencyCycles(const PlatformTiming& p,
+                                      std::size_t pkt_bytes);
+
+}  // namespace menshen

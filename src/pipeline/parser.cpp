@@ -1,0 +1,57 @@
+#include "pipeline/parser.hpp"
+
+#include <algorithm>
+
+namespace menshen {
+
+Phv Parser::Parse(const Packet& pkt) const {
+  Phv phv;  // constructor zeroes every byte (isolation, section 4.1)
+  phv.module_id = pkt.vid();
+
+  // Pipeline-provided metadata (section 4.3).
+  phv.set_meta_u16(meta::kSrcPort, pkt.ingress_port);
+  phv.set_meta_u16(meta::kPktLen, static_cast<u16>(
+                                      std::min<std::size_t>(pkt.size(), 0xFFFF)));
+  phv.set_meta_u8(meta::kBufferTag, static_cast<u8>(1u << (pkt.buffer_tag & 3)));
+
+  const ParserEntry& entry = table_.Lookup(phv.module_id);
+  for (const ParserAction& a : entry.actions) {
+    if (!a.valid) continue;
+    auto dst = phv.ContainerBytes(a.container);
+    const std::size_t start = a.bytes_from_head;
+    // Extraction is confined to the 128-byte parser window; bytes beyond
+    // the end of the packet read as zero (the PHV is already zeroed).
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      const std::size_t off = start + i;
+      if (off < kParserWindowBytes && off < pkt.size())
+        dst[i] = pkt.bytes().u8_at(off);
+    }
+  }
+  return phv;
+}
+
+void Deparser::Deparse(const Phv& phv, Packet& pkt) const {
+  const DeparserEntry& entry = table_.Lookup(phv.module_id);
+  for (const ParserAction& a : entry.actions) {
+    if (!a.valid) continue;
+    const auto src = phv.ContainerBytes(a.container);
+    const std::size_t start = a.bytes_from_head;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const std::size_t off = start + i;
+      if (off < kParserWindowBytes && off < pkt.size())
+        pkt.bytes().set_u8(off, src[i]);
+    }
+  }
+
+  // Apply pipeline disposition metadata.
+  if (phv.discard_flag()) {
+    pkt.disposition = Disposition::kDrop;
+  } else if (!pkt.multicast_ports.empty()) {
+    pkt.disposition = Disposition::kMulticast;
+  } else {
+    pkt.disposition = Disposition::kForward;
+    pkt.egress_port = phv.meta_u16(meta::kDstPort);
+  }
+}
+
+}  // namespace menshen

@@ -1,0 +1,49 @@
+// Programmable parser and deparser (sections 3.1, 4.1).
+//
+// The parser extracts the module ID from the VLAN ID, looks up that
+// module's parsing actions in the parser overlay table, and pulls header
+// bytes from the first 128 bytes of the packet into PHV containers.  The
+// PHV is zeroed first so nothing leaks between packets of different
+// modules.  The deparser performs the inverse using an identically
+// formatted table: it writes container bytes back into the packet at the
+// configured offsets.
+#pragma once
+
+#include "packet/packet.hpp"
+#include "phv/phv.hpp"
+#include "pipeline/entries.hpp"
+#include "pipeline/overlay_table.hpp"
+
+namespace menshen {
+
+class Parser {
+ public:
+  /// Parses `pkt` into a fresh PHV under the packet's module configuration.
+  [[nodiscard]] Phv Parse(const Packet& pkt) const;
+
+  [[nodiscard]] OverlayTable<ParserEntry>& table() { return table_; }
+  [[nodiscard]] const OverlayTable<ParserEntry>& table() const {
+    return table_;
+  }
+
+ private:
+  OverlayTable<ParserEntry> table_;
+};
+
+class Deparser {
+ public:
+  /// Writes the PHV containers named by the module's deparser entry back
+  /// into the packet header bytes, then applies the PHV's disposition
+  /// metadata (egress port / discard flag) to the packet.
+  void Deparse(const Phv& phv, Packet& pkt) const;
+
+  [[nodiscard]] OverlayTable<DeparserEntry>& table() { return table_; }
+  [[nodiscard]] const OverlayTable<DeparserEntry>& table() const {
+    return table_;
+  }
+
+ private:
+  OverlayTable<DeparserEntry> table_;
+};
+
+}  // namespace menshen

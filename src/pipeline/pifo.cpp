@@ -1,0 +1,51 @@
+#include "pipeline/pifo.hpp"
+
+#include <algorithm>
+
+namespace menshen {
+
+bool Pifo::Push(PifoEntry entry) {
+  if (heap_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  entry.seq = seq_++;
+  heap_.push(entry);
+  return true;
+}
+
+std::optional<PifoEntry> Pifo::Pop() {
+  if (heap_.empty()) return std::nullopt;
+  PifoEntry top = heap_.top();
+  heap_.pop();
+  return top;
+}
+
+void StfqScheduler::SetWeight(ModuleId module, double weight) {
+  if (weight <= 0.0) throw std::invalid_argument("weight must be positive");
+  weights_[module.value()] = weight;
+}
+
+bool StfqScheduler::Enqueue(ModuleId module, std::size_t bytes) {
+  const auto wit = weights_.find(module.value());
+  const double weight = wit == weights_.end() ? 1.0 : wit->second;
+
+  // STFQ: start = max(virtual time, module's previous finish).
+  u64& finish = finish_[module.value()];
+  const u64 start = std::max(virtual_time_, finish);
+  finish = start + static_cast<u64>(static_cast<double>(bytes) / weight);
+
+  PifoEntry e;
+  e.rank = start;
+  e.module = module.value();
+  e.bytes = bytes;
+  return pifo_.Push(e);
+}
+
+std::optional<PifoEntry> StfqScheduler::Dequeue() {
+  auto e = pifo_.Pop();
+  if (e) virtual_time_ = e->rank;
+  return e;
+}
+
+}  // namespace menshen

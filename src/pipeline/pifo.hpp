@@ -1,0 +1,82 @@
+// PIFO-based inter-module egress scheduling (section 3.5).
+//
+// Menshen's mechanisms isolate the *pipeline*; competition for output
+// link bandwidth is orthogonal traffic management, and the paper points
+// at PIFO (Push-In First-Out queues, Sivaraman et al., SIGCOMM 2016):
+// assign ranks to packets so that dequeue order realizes a desired
+// inter-module bandwidth-sharing policy.  We implement a PIFO block plus
+// the classic start-time fair queueing (STFQ) rank computation with
+// per-module weights — enough to demonstrate weighted link sharing
+// between modules, with ties broken by arrival order (FIFO within rank).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+struct PifoEntry {
+  u64 rank = 0;
+  u64 seq = 0;  // admission order; tie-break for equal ranks
+  u16 module = 0;
+  std::size_t bytes = 0;
+
+  bool operator>(const PifoEntry& other) const {
+    if (rank != other.rank) return rank > other.rank;
+    return seq > other.seq;
+  }
+};
+
+/// The PIFO itself: push anywhere (by rank), pop from the head.
+class Pifo {
+ public:
+  explicit Pifo(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns false (tail drop) when the queue is full.
+  bool Push(PifoEntry entry);
+  [[nodiscard]] std::optional<PifoEntry> Pop();
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] u64 drops() const { return drops_; }
+
+ private:
+  std::size_t capacity_;
+  std::priority_queue<PifoEntry, std::vector<PifoEntry>,
+                      std::greater<PifoEntry>>
+      heap_;
+  u64 seq_ = 0;
+  u64 drops_ = 0;
+};
+
+/// Start-time fair queueing ranks with per-module weights: a packet's
+/// rank is max(virtual_time, module_finish); the module's finish time
+/// then advances by bytes/weight.  Modules receive link bandwidth in
+/// proportion to their weights whenever they are backlogged.
+class StfqScheduler {
+ public:
+  explicit StfqScheduler(std::size_t capacity = 1024) : pifo_(capacity) {}
+
+  /// Sets a module's weight (default 1).
+  void SetWeight(ModuleId module, double weight);
+
+  /// Enqueues a packet; returns false on tail drop.
+  bool Enqueue(ModuleId module, std::size_t bytes);
+
+  /// Dequeues the next packet to transmit.
+  [[nodiscard]] std::optional<PifoEntry> Dequeue();
+
+  [[nodiscard]] u64 drops() const { return pifo_.drops(); }
+
+ private:
+  Pifo pifo_;
+  std::unordered_map<u16, double> weights_;
+  std::unordered_map<u16, u64> finish_;  // per-module virtual finish time
+  u64 virtual_time_ = 0;                 // rank of the last dequeued packet
+};
+
+}  // namespace menshen

@@ -1,0 +1,119 @@
+#include "pipeline/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+Pipeline::Pipeline(PipelineTiming timing, bool reconfig_on_data_path)
+    : timing_(timing),
+      filter_(timing.deparsers, reconfig_on_data_path),
+      stages_(params::kNumStages) {}
+
+PipelineResult Pipeline::Process(Packet pkt) {
+  // Disposition fields are per-device simulation sidebands, not packet
+  // bytes: a packet entering this pipeline carries none of the previous
+  // device's forwarding decisions.
+  pkt.disposition = Disposition::kForward;
+  pkt.egress_port = 0;
+  pkt.multicast_ports.clear();
+
+  PipelineResult result;
+  result.filter_verdict = filter_.Classify(pkt);
+  if (result.filter_verdict != FilterVerdict::kData) {
+    if (result.filter_verdict == FilterVerdict::kDropBitmap)
+      ++dropped_[pkt.vid().value()];
+    return result;
+  }
+
+  ++total_processed_;
+  Phv phv = parser_.Parse(pkt);
+  for (Stage& stage : stages_) phv = stage.Process(phv);
+
+  // Multicast resolution (traffic-manager side, consulted by the deparser).
+  const u16 group = phv.meta_u16(meta::kMulticastGroup);
+  if (group != 0) {
+    if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
+  }
+
+  deparser_.Deparse(phv, pkt);
+
+  if (pkt.disposition == Disposition::kDrop)
+    ++dropped_[phv.module_id.value()];
+  else
+    ++forwarded_[phv.module_id.value()];
+
+  result.final_phv = phv;
+  result.output = std::move(pkt);
+  return result;
+}
+
+void Pipeline::ApplyWrite(const ConfigWrite& write) {
+  if (write.payload.size() != EntryBytesFor(write.kind))
+    throw std::invalid_argument("config payload size mismatch for " +
+                                std::string(ResourceKindName(write.kind)));
+
+  const auto stage_index = [&]() -> std::size_t {
+    if (write.stage >= stages_.size())
+      throw std::out_of_range("config write addresses nonexistent stage");
+    return write.stage;
+  };
+
+  switch (write.kind) {
+    case ResourceKind::kParserTable:
+      parser_.table().Write(write.index, ParserEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kDeparserTable:
+      deparser_.table().Write(write.index,
+                              DeparserEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kKeyExtractor:
+      stages_[stage_index()].key_extractor().Write(
+          write.index, KeyExtractorEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kKeyMask:
+      stages_[stage_index()].key_mask().Write(
+          write.index, KeyMaskEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kCamEntry:
+      stages_[stage_index()].cam().Write(write.index,
+                                         CamEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kVliwAction:
+      stages_[stage_index()].WriteVliw(write.index,
+                                       VliwEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kSegmentTable:
+      stages_[stage_index()].stateful().segment_table().Write(
+          write.index, SegmentEntry::Decode(write.payload));
+      break;
+    case ResourceKind::kTcamEntry:
+      stages_[stage_index()].tcam().Write(write.index,
+                                          TcamEntry::Decode(write.payload));
+      break;
+  }
+  ++config_writes_;
+  filter_.IncrementReconfigCounter();
+}
+
+void Pipeline::SetMulticastGroup(u16 group, std::vector<u16> ports) {
+  if (group == 0)
+    throw std::invalid_argument("multicast group 0 means 'no multicast'");
+  mcast_groups_[group] = std::move(ports);
+}
+
+const std::vector<u16>* Pipeline::MulticastGroup(u16 group) const {
+  const auto it = mcast_groups_.find(group);
+  return it == mcast_groups_.end() ? nullptr : &it->second;
+}
+
+u64 Pipeline::forwarded(ModuleId m) const {
+  const auto it = forwarded_.find(m.value());
+  return it == forwarded_.end() ? 0 : it->second;
+}
+
+u64 Pipeline::dropped(ModuleId m) const {
+  const auto it = dropped_.find(m.value());
+  return it == dropped_.end() ? 0 : it->second;
+}
+
+}  // namespace menshen

@@ -1,0 +1,84 @@
+// The Menshen pipeline (Figure 2): packet filter -> programmable parser ->
+// N match-action stages -> deparser, plus the daisy-chain configuration
+// sink.  This class implements the *functional* behaviour; per-cycle
+// timing lives in sim/ (the timing model shares this object's structural
+// parameters).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "phv/phv.hpp"
+#include "pipeline/config_write.hpp"
+#include "pipeline/packet_filter.hpp"
+#include "pipeline/params.hpp"
+#include "pipeline/parser.hpp"
+#include "pipeline/stage.hpp"
+
+namespace menshen {
+
+/// Outcome of running one packet through the pipeline.
+struct PipelineResult {
+  FilterVerdict filter_verdict = FilterVerdict::kData;
+  /// Present iff the packet traversed the match-action pipeline.
+  std::optional<Packet> output;
+  /// PHV as it left the last stage (for inspection by tests/examples).
+  std::optional<Phv> final_phv;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineTiming timing = OptimizedTiming(),
+                    bool reconfig_on_data_path = true);
+
+  /// Runs one data packet through filter, parser, stages and deparser.
+  /// Reconfiguration packets reaching the filter from the data path are
+  /// NOT applied here — the caller (config/DaisyChain) owns that path.
+  PipelineResult Process(Packet pkt);
+
+  /// Applies one configuration write (arriving via the daisy chain or
+  /// AXI-L) to the addressed resource, and bumps the filter's
+  /// reconfiguration packet counter.
+  void ApplyWrite(const ConfigWrite& write);
+
+  [[nodiscard]] PacketFilter& filter() { return filter_; }
+  [[nodiscard]] const PacketFilter& filter() const { return filter_; }
+  [[nodiscard]] Parser& parser() { return parser_; }
+  [[nodiscard]] const Parser& parser() const { return parser_; }
+  [[nodiscard]] Deparser& deparser() { return deparser_; }
+  [[nodiscard]] const Deparser& deparser() const { return deparser_; }
+  [[nodiscard]] Stage& stage(std::size_t i) { return stages_.at(i); }
+  [[nodiscard]] const Stage& stage(std::size_t i) const {
+    return stages_.at(i);
+  }
+  [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
+  [[nodiscard]] const PipelineTiming& timing() const { return timing_; }
+
+  /// Multicast group table (owned by the traffic manager / system-level
+  /// module, section 3.3): group number -> replication port list.
+  void SetMulticastGroup(u16 group, std::vector<u16> ports);
+  [[nodiscard]] const std::vector<u16>* MulticastGroup(u16 group) const;
+
+  // Per-module forwarded/dropped counters (control-plane statistics).
+  [[nodiscard]] u64 forwarded(ModuleId m) const;
+  [[nodiscard]] u64 dropped(ModuleId m) const;
+  [[nodiscard]] u64 total_processed() const { return total_processed_; }
+  [[nodiscard]] u64 config_writes_applied() const { return config_writes_; }
+
+ private:
+  PipelineTiming timing_;
+  PacketFilter filter_;
+  Parser parser_;
+  std::vector<Stage> stages_;
+  Deparser deparser_;
+  std::unordered_map<u16, std::vector<u16>> mcast_groups_;
+  std::unordered_map<u16, u64> forwarded_;
+  std::unordered_map<u16, u64> dropped_;
+  u64 total_processed_ = 0;
+  u64 config_writes_ = 0;
+};
+
+}  // namespace menshen

@@ -1,0 +1,60 @@
+#include "pipeline/rate_limiter.hpp"
+
+#include <algorithm>
+
+namespace menshen {
+
+void RateLimiter::SetLimit(ModuleId module, const RateLimit& limit) {
+  Bucket b;
+  b.limit = limit;
+  b.packet_tokens = limit.burst_packets;
+  b.byte_tokens = limit.burst_bytes;
+  buckets_[module.value()] = b;
+}
+
+void RateLimiter::ClearLimit(ModuleId module) {
+  buckets_.erase(module.value());
+}
+
+bool RateLimiter::HasLimit(ModuleId module) const {
+  return buckets_.contains(module.value());
+}
+
+void RateLimiter::Refill(Bucket& b, Cycle now) const {
+  if (now <= b.last_refill) return;
+  const double elapsed_s =
+      static_cast<double>(now - b.last_refill) / clock_hz_;
+  if (b.limit.max_pps > 0.0)
+    b.packet_tokens = std::min(b.limit.burst_packets,
+                               b.packet_tokens + elapsed_s * b.limit.max_pps);
+  if (b.limit.max_bps > 0.0)
+    b.byte_tokens =
+        std::min(b.limit.burst_bytes,
+                 b.byte_tokens + elapsed_s * b.limit.max_bps / 8.0);
+  b.last_refill = now;
+}
+
+bool RateLimiter::Admit(ModuleId module, std::size_t bytes, Cycle now) {
+  const auto it = buckets_.find(module.value());
+  if (it == buckets_.end()) return true;  // unlimited
+  Bucket& b = it->second;
+  Refill(b, now);
+
+  const bool pps_ok = b.limit.max_pps <= 0.0 || b.packet_tokens >= 1.0;
+  const bool bps_ok =
+      b.limit.max_bps <= 0.0 || b.byte_tokens >= static_cast<double>(bytes);
+  if (!pps_ok || !bps_ok) {
+    ++b.dropped;
+    return false;
+  }
+  if (b.limit.max_pps > 0.0) b.packet_tokens -= 1.0;
+  if (b.limit.max_bps > 0.0) b.byte_tokens -= static_cast<double>(bytes);
+  return true;
+}
+
+u64 RateLimiter::dropped(ModuleId module) const {
+  const auto it = buckets_.find(module.value());
+  return it == buckets_.end() ? 0 : it->second.dropped;
+}
+
+}  // namespace menshen

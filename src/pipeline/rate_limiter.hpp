@@ -1,0 +1,64 @@
+// Per-module hardware rate limiters (section 5.1).
+//
+// Menshen's performance isolation normally follows from the line-rate
+// pipeline plus two assumptions: packets meet a minimum size and modules
+// never recirculate.  When an assumption is violated (e.g. a module
+// floods minimum-size packets), the paper points to hardware rate
+// limiters that bound each module's packets-per-second and bits-per-
+// second at ingress.  This is that block: a dual token bucket per module,
+// evaluated in the packet filter's clock domain.
+//
+// Determinism: buckets are refilled lazily from integer cycle timestamps,
+// so behaviour is exact and reproducible.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+/// One module's limit: tokens are packets and bytes per second converted
+/// to per-cycle refill at configuration time.
+struct RateLimit {
+  double max_pps = 0.0;  // 0 = unlimited
+  double max_bps = 0.0;  // 0 = unlimited
+  /// Burst allowances (bucket depths).
+  double burst_packets = 32.0;
+  double burst_bytes = 64.0 * 1500.0;
+};
+
+class RateLimiter {
+ public:
+  /// `clock_hz` is the pipeline clock the cycle timestamps refer to.
+  explicit RateLimiter(double clock_hz) : clock_hz_(clock_hz) {}
+
+  /// Installs (or replaces) a module's limit.  Control-plane operation.
+  void SetLimit(ModuleId module, const RateLimit& limit);
+  void ClearLimit(ModuleId module);
+  [[nodiscard]] bool HasLimit(ModuleId module) const;
+
+  /// Charges one packet of `bytes` arriving at `now`.  Returns true if
+  /// the packet conforms; false if it must be dropped.  Modules without
+  /// a configured limit always conform.
+  bool Admit(ModuleId module, std::size_t bytes, Cycle now);
+
+  [[nodiscard]] u64 dropped(ModuleId module) const;
+
+ private:
+  struct Bucket {
+    RateLimit limit;
+    double packet_tokens = 0.0;
+    double byte_tokens = 0.0;
+    Cycle last_refill = 0;
+    u64 dropped = 0;
+  };
+
+  void Refill(Bucket& b, Cycle now) const;
+
+  double clock_hz_;
+  std::unordered_map<u16, Bucket> buckets_;
+};
+
+}  // namespace menshen

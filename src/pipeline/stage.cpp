@@ -1,0 +1,42 @@
+#include "pipeline/stage.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+BitVec Stage::MaskedKeyFor(const Phv& phv) const {
+  const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
+  const KeyMaskEntry& mask = key_mask_.Lookup(phv.module_id);
+  return kx.ExtractKey(phv).masked(mask.mask);
+}
+
+Phv Stage::Process(const Phv& phv) {
+  const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
+  const BitVec key = MaskedKeyFor(phv);
+  // The match-kind bit in the module's key-extractor entry selects the
+  // exact-match CAM or the ternary CAM (Appendix B); both index the same
+  // VLIW action table.
+  const auto address = kx.ternary ? tcam_.Lookup(key, phv.module_id)
+                                  : cam_.Lookup(key, phv.module_id);
+  if (!address) {
+    ++misses_;
+    return phv;  // miss: default action is a no-op, PHV passes unchanged
+  }
+  ++hits_;
+  const VliwEntry& vliw = VliwAt(*address);
+  return ActionEngine::Execute(vliw, phv, stateful_);
+}
+
+void Stage::WriteVliw(std::size_t index, VliwEntry entry) {
+  if (index >= vliw_table_.size())
+    throw std::out_of_range("VLIW table index out of range");
+  vliw_table_[index] = std::move(entry);
+}
+
+const VliwEntry& Stage::VliwAt(std::size_t index) const {
+  if (index >= vliw_table_.size())
+    throw std::out_of_range("VLIW table index out of range");
+  return vliw_table_[index];
+}
+
+}  // namespace menshen

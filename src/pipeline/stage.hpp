@@ -1,0 +1,72 @@
+// One match-action stage (Figure 4).
+//
+// Per packet: (1) the key extractor overlay entry for the packet's module
+// builds the 193-bit key (including the predicate bit); (2) the key mask
+// overlay entry zeroes the bits that do not participate; (3) the masked
+// key, augmented with the module ID, is looked up in the exact-match CAM;
+// (4) on a hit, the matching address indexes the VLIW action table and the
+// action engine executes the instruction, possibly touching this stage's
+// stateful memory through the segment table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "phv/phv.hpp"
+#include "pipeline/action_engine.hpp"
+#include "pipeline/entries.hpp"
+#include "pipeline/exact_match.hpp"
+#include "pipeline/overlay_table.hpp"
+#include "pipeline/stateful.hpp"
+#include "pipeline/tcam.hpp"
+
+namespace menshen {
+
+class Stage {
+ public:
+  /// Processes one PHV; returns the (possibly new) PHV for the next stage.
+  [[nodiscard]] Phv Process(const Phv& phv);
+
+  [[nodiscard]] OverlayTable<KeyExtractorEntry>& key_extractor() {
+    return key_extractor_;
+  }
+  [[nodiscard]] OverlayTable<KeyMaskEntry>& key_mask() { return key_mask_; }
+  [[nodiscard]] ExactMatchCam& cam() { return cam_; }
+  [[nodiscard]] TernaryCam& tcam() { return tcam_; }
+  [[nodiscard]] std::vector<VliwEntry>& vliw_table() { return vliw_table_; }
+  [[nodiscard]] StatefulMemory& stateful() { return stateful_; }
+
+  [[nodiscard]] const ExactMatchCam& cam() const { return cam_; }
+  [[nodiscard]] const TernaryCam& tcam() const { return tcam_; }
+  [[nodiscard]] const StatefulMemory& stateful() const { return stateful_; }
+  [[nodiscard]] const OverlayTable<KeyExtractorEntry>& key_extractor() const {
+    return key_extractor_;
+  }
+  [[nodiscard]] const OverlayTable<KeyMaskEntry>& key_mask() const {
+    return key_mask_;
+  }
+
+  void WriteVliw(std::size_t index, VliwEntry entry);
+  [[nodiscard]] const VliwEntry& VliwAt(std::size_t index) const;
+
+  /// The key the stage would look up for this PHV, after masking — exposed
+  /// for tests and the compiler's entry generation.
+  [[nodiscard]] BitVec MaskedKeyFor(const Phv& phv) const;
+
+  // Observability.
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+
+ private:
+  OverlayTable<KeyExtractorEntry> key_extractor_;
+  OverlayTable<KeyMaskEntry> key_mask_;
+  ExactMatchCam cam_;
+  TernaryCam tcam_;
+  std::vector<VliwEntry> vliw_table_ =
+      std::vector<VliwEntry>(params::kVliwTableDepth);
+  StatefulMemory stateful_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace menshen

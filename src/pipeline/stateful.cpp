@@ -1,0 +1,65 @@
+#include "pipeline/stateful.hpp"
+
+#include <stdexcept>
+
+namespace menshen {
+
+std::size_t StatefulMemory::Translate(ModuleId module, u64 local) {
+  const SegmentEntry seg = segment_table_.Lookup(module);
+  if (local >= seg.range) {
+    ++violations_[module.value()];
+    ++total_violations_;
+    return words_.size();  // sentinel: squashed
+  }
+  const std::size_t phys = static_cast<std::size_t>(seg.offset) +
+                           static_cast<std::size_t>(local);
+  if (phys >= words_.size()) {
+    // A mis-programmed segment (offset+range beyond the memory) is also
+    // squashed rather than wrapping into another module's words.
+    ++violations_[module.value()];
+    ++total_violations_;
+    return words_.size();
+  }
+  return phys;
+}
+
+u64 StatefulMemory::Load(ModuleId module, u64 local) {
+  const std::size_t phys = Translate(module, local);
+  return phys < words_.size() ? words_[phys] : 0;
+}
+
+void StatefulMemory::Store(ModuleId module, u64 local, u64 value) {
+  const std::size_t phys = Translate(module, local);
+  if (phys < words_.size()) words_[phys] = value;
+}
+
+u64 StatefulMemory::LoadAddStore(ModuleId module, u64 local) {
+  const std::size_t phys = Translate(module, local);
+  if (phys >= words_.size()) return 0;
+  return ++words_[phys];
+}
+
+u64 StatefulMemory::PhysicalAt(std::size_t addr) const {
+  if (addr >= words_.size())
+    throw std::out_of_range("stateful memory address out of range");
+  return words_[addr];
+}
+
+void StatefulMemory::PhysicalStore(std::size_t addr, u64 value) {
+  if (addr >= words_.size())
+    throw std::out_of_range("stateful memory address out of range");
+  words_[addr] = value;
+}
+
+void StatefulMemory::ZeroRange(std::size_t base, std::size_t count) {
+  if (base + count > words_.size())
+    throw std::out_of_range("stateful memory range out of range");
+  for (std::size_t i = 0; i < count; ++i) words_[base + i] = 0;
+}
+
+u64 StatefulMemory::violations(ModuleId module) const {
+  const auto it = violations_.find(module.value());
+  return it == violations_.end() ? 0 : it->second;
+}
+
+}  // namespace menshen

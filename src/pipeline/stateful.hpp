@@ -1,0 +1,68 @@
+// Stateful memory with segment-table address translation (section 3.1).
+//
+// Each stage owns a block of stateful memory, space-partitioned across
+// modules.  A module supplies *per-module* (virtual) addresses; the
+// segment table — an overlay table holding {offset, range} per module —
+// translates them to physical addresses.  An access outside the module's
+// range is squashed: loads return zero, stores are dropped, and a
+// per-module violation counter increments.  This is the hardware bound
+// check that makes it impossible for one module to read or corrupt
+// another module's state.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/entries.hpp"
+#include "pipeline/overlay_table.hpp"
+
+namespace menshen {
+
+class StatefulMemory {
+ public:
+  explicit StatefulMemory(
+      std::size_t words = params::kStatefulWordsPerStage)
+      : words_(words, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+
+  /// Loads the word at `local` in `module`'s segment (0 if out of range).
+  [[nodiscard]] u64 Load(ModuleId module, u64 local);
+
+  /// Stores `value` at `local` in `module`'s segment (dropped if out of
+  /// range).
+  void Store(ModuleId module, u64 local, u64 value);
+
+  /// The `loadd` ALU op: load, add one, store back; returns the new value.
+  u64 LoadAddStore(ModuleId module, u64 local);
+
+  /// Raw physical access for the control plane (statistics readout and
+  /// zeroing a segment when its module is unloaded).
+  [[nodiscard]] u64 PhysicalAt(std::size_t addr) const;
+  void PhysicalStore(std::size_t addr, u64 value);
+  void ZeroRange(std::size_t base, std::size_t count);
+
+  [[nodiscard]] OverlayTable<SegmentEntry>& segment_table() {
+    return segment_table_;
+  }
+  [[nodiscard]] const OverlayTable<SegmentEntry>& segment_table() const {
+    return segment_table_;
+  }
+
+  /// Out-of-range access count per module (observability for tests and
+  /// the control plane).
+  [[nodiscard]] u64 violations(ModuleId module) const;
+  [[nodiscard]] u64 total_violations() const { return total_violations_; }
+
+ private:
+  /// Translates; returns size() when the access is out of range.
+  [[nodiscard]] std::size_t Translate(ModuleId module, u64 local);
+
+  std::vector<u64> words_;
+  OverlayTable<SegmentEntry> segment_table_;
+  std::unordered_map<u16, u64> violations_;
+  u64 total_violations_ = 0;
+};
+
+}  // namespace menshen

@@ -1,0 +1,80 @@
+// Ternary CAM with isolation (paper Appendix B).
+//
+// The Xilinx CAM IP resolves multiple ternary matches by entry address:
+// the lowest address wins.  Isolation on top of that block requires (1)
+// appending the module ID to every entry — a module's packets never match
+// another module's rules — and (2) allocating a *contiguous* block of
+// addresses to each module so that rule updates for one module never move
+// another module's rules (and hence never change their priorities).
+//
+// TernaryCam implements the CAM itself; TcamAllocator manages contiguous
+// per-module address regions and rejects out-of-region writes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/bytes.hpp"
+#include "pipeline/entries.hpp"
+
+namespace menshen {
+
+struct TcamEntry {
+  bool valid = false;
+  BitVec key{params::kKeyBits};
+  BitVec mask{params::kKeyBits};  // 1 = bit must match
+  ModuleId module;
+
+  [[nodiscard]] ByteBuffer Encode() const;  // 53 bytes
+  static TcamEntry Decode(const ByteBuffer& bytes);
+  bool operator==(const TcamEntry&) const = default;
+};
+
+class TernaryCam {
+ public:
+  explicit TernaryCam(std::size_t depth = params::kCamDepth)
+      : entries_(depth) {}
+
+  [[nodiscard]] std::size_t depth() const { return entries_.size(); }
+
+  /// Lowest-address match wins (Xilinx CAM priority mode).
+  [[nodiscard]] std::optional<std::size_t> Lookup(const BitVec& key,
+                                                  ModuleId module) const;
+
+  void Write(std::size_t address, TcamEntry entry);
+  [[nodiscard]] const TcamEntry& At(std::size_t address) const;
+
+ private:
+  std::vector<TcamEntry> entries_;
+};
+
+/// Contiguous address-region allocator for per-module TCAM isolation.
+class TcamAllocator {
+ public:
+  explicit TcamAllocator(std::size_t depth) : depth_(depth) {}
+
+  /// Reserves `count` contiguous addresses for `module`.  Returns the base
+  /// address, or nullopt if no contiguous region is free.
+  std::optional<std::size_t> Allocate(ModuleId module, std::size_t count);
+
+  /// Releases a module's region.
+  void Release(ModuleId module);
+
+  /// True iff `address` lies inside `module`'s region — the guard the
+  /// control plane applies before any TCAM write.
+  [[nodiscard]] bool Owns(ModuleId module, std::size_t address) const;
+
+  struct Region {
+    std::size_t base = 0;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] std::optional<Region> RegionOf(ModuleId module) const;
+
+ private:
+  std::size_t depth_;
+  std::map<ModuleId, Region> regions_;
+};
+
+}  // namespace menshen

@@ -1,0 +1,78 @@
+#include "runtime/loop_check.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace menshen {
+
+namespace {
+
+/// DFS cycle detection over one destination's device graph.  Returns the
+/// devices of a cycle, or empty.
+std::vector<std::string> CycleIn(
+    const std::map<std::string, std::vector<std::string>>& edges) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+
+  // Iterative DFS with an explicit stack of (node, next-child) frames.
+  struct Frame {
+    std::string node;
+    std::size_t next = 0;
+  };
+
+  for (const auto& [start, _] : edges) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, 0});
+    color[start] = Color::kGray;
+    stack.push_back(start);
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto it = edges.find(f.node);
+      const auto& kids =
+          it == edges.end() ? std::vector<std::string>{} : it->second;
+      if (f.next < kids.size()) {
+        const std::string& child = kids[f.next++];
+        if (color[child] == Color::kGray) {
+          // Found a back edge: extract the cycle from the stack.
+          auto pos = std::find(stack.begin(), stack.end(), child);
+          cycle.assign(pos, stack.end());
+          return cycle;
+        }
+        if (color[child] == Color::kWhite) {
+          color[child] = Color::kGray;
+          stack.push_back(child);
+          frames.push_back({child, 0});
+        }
+      } else {
+        color[f.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> RoutingGraph::FindCycle() const {
+  // Group rules by destination: a loop only forms among rules that apply
+  // to the same packets.
+  std::map<u32, std::map<std::string, std::vector<std::string>>> per_dst;
+  for (const auto& r : rules_)
+    per_dst[r.dst_ip][r.device].push_back(r.next_device);
+
+  for (const auto& [dst, edges] : per_dst) {
+    auto cycle = CycleIn(edges);
+    if (!cycle.empty()) return cycle;
+  }
+  return {};
+}
+
+bool RoutingGraph::IsLoopFree() const { return FindCycle().empty(); }
+
+}  // namespace menshen

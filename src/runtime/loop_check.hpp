@@ -1,0 +1,46 @@
+// Control-plane routing-loop check (section 3.4, third static property).
+//
+// Modules must not loop packets through multiple devices: all modules
+// share ingress bandwidth, so a routing loop lets one module consume other
+// modules' capacity.  Recirculation within a device is rejected statically
+// by the compiler; loops *across* devices can only be seen by the control
+// plane, which knows the topology.  RoutingGraph models the device-level
+// forwarding a module's routing entries induce and rejects rule sets whose
+// graph contains a cycle.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+/// One forwarding rule of a module on one device: packets for `dst_ip`
+/// leaving `device` arrive at `next_device`.
+struct ForwardingRule {
+  std::string device;
+  u32 dst_ip = 0;
+  std::string next_device;
+};
+
+class RoutingGraph {
+ public:
+  void Add(const ForwardingRule& rule) { rules_.push_back(rule); }
+  void Add(std::string device, u32 dst_ip, std::string next_device) {
+    rules_.push_back({std::move(device), dst_ip, std::move(next_device)});
+  }
+
+  /// True iff, for every destination, the per-destination device graph is
+  /// acyclic (a packet can never revisit a device).
+  [[nodiscard]] bool IsLoopFree() const;
+
+  /// The devices on one cycle (empty if loop-free), for diagnostics.
+  [[nodiscard]] std::vector<std::string> FindCycle() const;
+
+ private:
+  std::vector<ForwardingRule> rules_;
+};
+
+}  // namespace menshen

@@ -1,0 +1,162 @@
+#include "runtime/module_manager.hpp"
+
+#include "pipeline/tcam.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace menshen {
+
+namespace {
+
+bool RangesOverlap(std::size_t a_base, std::size_t a_count, std::size_t b_base,
+                   std::size_t b_count) {
+  if (a_count == 0 || b_count == 0) return false;
+  return a_base < b_base + b_count && b_base < a_base + a_count;
+}
+
+}  // namespace
+
+AdmissionResult ModuleManager::CheckAdmission(
+    const ModuleAllocation& alloc) const {
+  if (alloc.id.value() >= params::kOverlayTableDepth)
+    return {false, "module ID " + std::to_string(alloc.id.value()) +
+                       " exceeds the overlay table depth (32); it would "
+                       "alias another module's configuration rows"};
+  if (loaded_.contains(alloc.id))
+    return {false, "module ID already loaded"};
+
+  for (const auto& sa : alloc.stages) {
+    if (sa.stage >= pipeline_->num_stages())
+      return {false, "allocation names stage " + std::to_string(sa.stage) +
+                         " but the pipeline has " +
+                         std::to_string(pipeline_->num_stages())};
+    if (sa.cam_base + sa.cam_count > pipeline_->stage(sa.stage).cam().depth())
+      return {false, "CAM block exceeds the table depth in stage " +
+                         std::to_string(sa.stage)};
+    if (static_cast<std::size_t>(sa.seg_offset) + sa.seg_range >
+        pipeline_->stage(sa.stage).stateful().size())
+      return {false, "stateful segment exceeds the memory in stage " +
+                         std::to_string(sa.stage)};
+  }
+
+  for (const auto& [other_id, other] : loaded_) {
+    for (const auto& sa : alloc.stages) {
+      const StageAllocation* ob = other.ForStage(sa.stage);
+      if (ob == nullptr) continue;
+      if (RangesOverlap(sa.cam_base, sa.cam_count, ob->cam_base,
+                        ob->cam_count))
+        return {false,
+                "CAM block overlaps module " +
+                    std::to_string(other_id.value()) + " in stage " +
+                    std::to_string(sa.stage)};
+      if (RangesOverlap(sa.seg_offset, sa.seg_range, ob->seg_offset,
+                        ob->seg_range))
+        return {false,
+                "stateful segment overlaps module " +
+                    std::to_string(other_id.value()) + " in stage " +
+                    std::to_string(sa.stage)};
+    }
+  }
+  return {true, ""};
+}
+
+ModuleManager::LoadResult ModuleManager::Load(const CompiledModule& module,
+                                              const ModuleAllocation& alloc) {
+  if (!module.ok())
+    throw std::invalid_argument("refusing to load a module with errors:\n" +
+                                module.diags().ToString());
+  if (module.id() != alloc.id)
+    throw std::invalid_argument("module/allocation ID mismatch");
+
+  LoadResult result;
+  result.admission = CheckAdmission(alloc);
+  if (!result.admission.admitted) return result;
+
+  result.report = interface_.LoadModule(module.id(), module.AllWrites());
+  loaded_.emplace(alloc.id, alloc);
+  return result;
+}
+
+std::optional<ConfigReport> ModuleManager::Update(
+    const CompiledModule& module) {
+  if (!module.ok())
+    throw std::invalid_argument("refusing to load a module with errors:\n" +
+                                module.diags().ToString());
+  if (!loaded_.contains(module.id())) return std::nullopt;
+  return interface_.LoadModule(module.id(), module.AllWrites());
+}
+
+bool ModuleManager::Unload(ModuleId id) {
+  const auto it = loaded_.find(id);
+  if (it == loaded_.end()) return false;
+  const ModuleAllocation& alloc = it->second;
+
+  // Build scrub writes: invalid CAM entries + zero VLIW words over the
+  // module's block, zero overlay rows, and zero the stateful segment.
+  std::vector<ConfigWrite> scrub;
+  const u8 row = static_cast<u8>(id.value());
+  scrub.push_back(ConfigWrite{ResourceKind::kParserTable, 0, row,
+                              ParserEntry{}.Encode()});
+  scrub.push_back(ConfigWrite{ResourceKind::kDeparserTable, 0, row,
+                              DeparserEntry{}.Encode()});
+  for (const auto& sa : alloc.stages) {
+    scrub.push_back(ConfigWrite{ResourceKind::kKeyExtractor, sa.stage, row,
+                                KeyExtractorEntry{}.Encode()});
+    scrub.push_back(ConfigWrite{ResourceKind::kKeyMask, sa.stage, row,
+                                KeyMaskEntry{}.Encode()});
+    scrub.push_back(ConfigWrite{ResourceKind::kSegmentTable, sa.stage, row,
+                                SegmentEntry{0, 0}.Encode()});
+    for (std::size_t i = 0; i < sa.cam_count; ++i) {
+      const u8 index = static_cast<u8>((sa.cam_base + i) % 256);
+      scrub.push_back(ConfigWrite{ResourceKind::kCamEntry, sa.stage, index,
+                                  CamEntry{}.Encode()});
+      // The same address block may have been used as a ternary table
+      // (the key-extractor kind bit decides); scrub both CAMs so nothing
+      // leaks to the next tenant assigned these rows.
+      scrub.push_back(ConfigWrite{ResourceKind::kTcamEntry, sa.stage, index,
+                                  TcamEntry{}.Encode()});
+      scrub.push_back(ConfigWrite{ResourceKind::kVliwAction, sa.stage, index,
+                                  VliwEntry{}.Encode()});
+    }
+  }
+  interface_.LoadModule(id, scrub);
+
+  // Stateful memory is scrubbed directly by the control plane (it is not
+  // packet-addressable once the segment range is zero).
+  for (const auto& sa : alloc.stages)
+    pipeline_->stage(sa.stage).stateful().ZeroRange(sa.seg_offset,
+                                                    sa.seg_range);
+
+  loaded_.erase(it);
+  return true;
+}
+
+const ModuleAllocation* ModuleManager::AllocationOf(ModuleId id) const {
+  const auto it = loaded_.find(id);
+  return it == loaded_.end() ? nullptr : &it->second;
+}
+
+std::size_t ModuleManager::MaxAdditionalModules(
+    std::size_t cam_per_stage) const {
+  // Overlay rows bound the module count at 32; the CAM is usually the
+  // tighter constraint (section 5.2: 16 entries/stage => at most 16
+  // modules wanting one entry per stage).
+  std::size_t overlay_free = params::kOverlayTableDepth - loaded_.size();
+  if (cam_per_stage == 0) return overlay_free;
+
+  std::size_t cam_bound = std::numeric_limits<std::size_t>::max();
+  for (std::size_t s = 0; s < pipeline_->num_stages(); ++s) {
+    std::size_t used = 0;
+    for (const auto& [id, alloc] : loaded_) {
+      const StageAllocation* sa = alloc.ForStage(static_cast<u8>(s));
+      if (sa != nullptr) used += sa->cam_count;
+    }
+    const std::size_t free = pipeline_->stage(s).cam().depth() - used;
+    cam_bound = std::min(cam_bound, free / cam_per_stage);
+  }
+  return std::min(overlay_free, cam_bound);
+}
+
+}  // namespace menshen

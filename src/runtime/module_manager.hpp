@@ -1,0 +1,83 @@
+// Module manager — the Menshen control plane (sections 3.4, 5.1).
+//
+// Owns admission control and the load/update/unload lifecycle:
+//   * admission: a module is admitted only if its module ID fits the
+//     overlay tables and its allocation does not overlap any admitted
+//     module's CAM blocks or stateful segments (resource isolation: a
+//     table entry belongs to at most one module);
+//   * load/update: drives the secure-reconfiguration protocol through the
+//     software-to-hardware interface (bitmap quiesce + daisy chain +
+//     counter verification);
+//   * unload: wipes the module's CAM block, overlay rows and stateful
+//     segment so nothing leaks to the next tenant assigned those
+//     resources.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hpp"
+#include "config/sw_hw_interface.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+struct AdmissionResult {
+  bool admitted = false;
+  std::string reason;  // empty when admitted
+};
+
+class ModuleManager {
+ public:
+  explicit ModuleManager(Pipeline& pipeline)
+      : pipeline_(&pipeline), chain_(pipeline), interface_(pipeline, chain_) {}
+
+  /// Checks whether `alloc` can be admitted next to the already admitted
+  /// modules (no overlap in CAM blocks or stateful segments; ID free and
+  /// within the overlay depth; stages exist).
+  [[nodiscard]] AdmissionResult CheckAdmission(
+      const ModuleAllocation& alloc) const;
+
+  /// Admits and loads a compiled module.  Throws std::invalid_argument if
+  /// the module did not compile; returns the admission failure otherwise.
+  /// On success the returned report carries the configuration cost.
+  struct LoadResult {
+    AdmissionResult admission;
+    std::optional<ConfigReport> report;
+  };
+  LoadResult Load(const CompiledModule& module, const ModuleAllocation& alloc);
+
+  /// Reconfigures an already loaded module with a new compiled image
+  /// (same ID, same allocation).  Other modules keep processing packets
+  /// throughout — only this module's packets are dropped while its
+  /// configuration is in flight.
+  std::optional<ConfigReport> Update(const CompiledModule& module);
+
+  /// Unloads a module and scrubs every resource it owned.
+  bool Unload(ModuleId id);
+
+  [[nodiscard]] bool IsLoaded(ModuleId id) const {
+    return loaded_.contains(id);
+  }
+  [[nodiscard]] std::size_t loaded_count() const { return loaded_.size(); }
+  [[nodiscard]] const ModuleAllocation* AllocationOf(ModuleId id) const;
+
+  [[nodiscard]] DaisyChain& chain() { return chain_; }
+  [[nodiscard]] SwHwInterface& interface() { return interface_; }
+
+  /// Maximum number of modules this pipeline can still admit if each new
+  /// module needs `cam_per_stage` entries in every stage (the section 5.2
+  /// "how many modules can be packed" arithmetic).
+  [[nodiscard]] std::size_t MaxAdditionalModules(
+      std::size_t cam_per_stage) const;
+
+ private:
+  Pipeline* pipeline_;
+  DaisyChain chain_;
+  SwHwInterface interface_;
+  std::map<ModuleId, ModuleAllocation> loaded_;
+};
+
+}  // namespace menshen

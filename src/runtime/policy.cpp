@@ -1,0 +1,116 @@
+#include "runtime/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace menshen {
+
+double DominantShare(const ResourceDemand& d, const ResourcePool& pool) {
+  // Stages are shared (every module may place a table in every tenant
+  // stage), so only the divisible resources — match entries and stateful
+  // words — participate in the dominant share.  Stage feasibility is a
+  // hard constraint checked by the packer.
+  double share = 0.0;
+  const double cam_total =
+      static_cast<double>(pool.cam_per_stage) *
+      static_cast<double>(pool.stages);
+  if (cam_total > 0)
+    share = std::max(share,
+                     static_cast<double>(d.match_entries) / cam_total);
+  const double state_total =
+      static_cast<double>(pool.state_per_stage) *
+      static_cast<double>(pool.stages);
+  if (state_total > 0)
+    share =
+        std::max(share, static_cast<double>(d.state_words) / state_total);
+  return share;
+}
+
+namespace {
+
+/// Greedy packer shared by both policies: walks requests in `order` and
+/// carves contiguous CAM/segment blocks in every tenant stage.
+PolicyResult Pack(const std::vector<PolicyRequest>& reqs,
+                  const std::vector<std::size_t>& order,
+                  const ResourcePool& pool) {
+  PolicyResult result;
+  result.allocations.resize(reqs.size());
+
+  // Free cursors per stage.
+  std::vector<std::size_t> cam_cursor(pool.stages, 0);
+  std::vector<std::size_t> seg_cursor(pool.stages, 0);
+
+  for (const std::size_t i : order) {
+    const PolicyRequest& r = reqs[i];
+    const std::size_t stages_needed = std::max<std::size_t>(r.demand.stages, 1);
+    if (stages_needed > pool.stages) {
+      result.rejected.push_back(i);
+      continue;
+    }
+    // Per-stage demand: entries and state are split evenly over the
+    // module's tables in program order; we allocate the worst case
+    // (full demand in each used stage) to keep the policy simple and
+    // safely conservative.
+    const std::size_t cam_need =
+        (r.demand.match_entries + stages_needed - 1) / stages_needed;
+    const std::size_t state_need = r.demand.state_words;
+
+    bool fits = true;
+    for (std::size_t s = 0; s < stages_needed; ++s) {
+      if (cam_cursor[s] + cam_need > pool.cam_per_stage) fits = false;
+      if (seg_cursor[s] + state_need > pool.state_per_stage) fits = false;
+      if (seg_cursor[s] + state_need > 255) fits = false;  // u8 segment field
+    }
+    if (!fits) {
+      result.rejected.push_back(i);
+      continue;
+    }
+
+    ModuleAllocation alloc;
+    alloc.id = r.id;
+    for (std::size_t s = 0; s < stages_needed; ++s) {
+      StageAllocation sa;
+      sa.stage = static_cast<u8>(pool.first_stage + s);
+      sa.cam_base = cam_cursor[s];
+      sa.cam_count = cam_need;
+      sa.seg_offset = static_cast<u8>(seg_cursor[s]);
+      sa.seg_range = static_cast<u8>(state_need);
+      cam_cursor[s] += cam_need;
+      seg_cursor[s] += state_need;
+      alloc.stages.push_back(sa);
+    }
+    result.allocations[i] = std::move(alloc);
+  }
+
+  std::sort(result.rejected.begin(), result.rejected.end());
+  return result;
+}
+
+}  // namespace
+
+PolicyResult DrfAllocate(const std::vector<PolicyRequest>& reqs,
+                         const ResourcePool& pool) {
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return DominantShare(reqs[a].demand, pool) <
+           DominantShare(reqs[b].demand, pool);
+  });
+  return Pack(reqs, order, pool);
+}
+
+PolicyResult UtilityAllocate(const std::vector<PolicyRequest>& reqs,
+                             const ResourcePool& pool) {
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    const double da = std::max(DominantShare(reqs[a].demand, pool), 1e-9);
+    const double db = std::max(DominantShare(reqs[b].demand, pool), 1e-9);
+    return reqs[a].weight / da > reqs[b].weight / db;
+  });
+  return Pack(reqs, order, pool);
+}
+
+}  // namespace menshen

@@ -1,0 +1,58 @@
+// Resource-sharing policies (section 3.4).
+//
+// The resource checker enforces *some* operator policy; the paper names
+// dominant-resource fairness (DRF) and utility-based sharing as examples
+// and leaves policy design to future work.  We implement both referenced
+// policies over the three divisible pipeline resources — match-action
+// entries per stage, stateful words per stage, and pipeline stages — so
+// the admission pipeline is end-to-end: demand -> policy -> allocation ->
+// admission -> load.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/allocation.hpp"
+#include "compiler/module_spec.hpp"
+
+namespace menshen {
+
+/// Total divisible resources of one pipeline from a tenant's perspective.
+struct ResourcePool {
+  std::size_t stages = 3;            // tenant stages (between system halves)
+  u8 first_stage = 1;
+  std::size_t cam_per_stage = 16;    // match entries per stage
+  std::size_t state_per_stage = 256; // stateful words per stage
+};
+
+/// One tenant's request: its demand plus a weight/utility.
+struct PolicyRequest {
+  ModuleId id;
+  ResourceDemand demand;
+  double weight = 1.0;  // utility-policy weight; ignored by DRF
+};
+
+struct PolicyResult {
+  std::vector<ModuleAllocation> allocations;  // same order as requests
+  std::vector<std::size_t> rejected;          // indices that did not fit
+};
+
+/// Dominant-resource-fair allocation: requests are admitted in increasing
+/// order of dominant share (max over resources of demand/total) and packed
+/// into contiguous CAM/segment blocks; a request that no longer fits is
+/// rejected (Menshen uses admission control, not preemption).
+[[nodiscard]] PolicyResult DrfAllocate(const std::vector<PolicyRequest>& reqs,
+                                       const ResourcePool& pool);
+
+/// Utility-based allocation: requests are admitted in decreasing order of
+/// weight / dominant-share (greedy knapsack on utility density).
+[[nodiscard]] PolicyResult UtilityAllocate(
+    const std::vector<PolicyRequest>& reqs, const ResourcePool& pool);
+
+/// The dominant share of one request under a pool: the max over the
+/// divisible resources (match entries, stateful words) of demand/total.
+[[nodiscard]] double DominantShare(const ResourceDemand& d,
+                                   const ResourcePool& pool);
+
+}  // namespace menshen

@@ -1,0 +1,77 @@
+#include "runtime/stats.hpp"
+
+#include <map>
+
+namespace menshen {
+
+ModuleStats CollectModuleStats(const Pipeline& pipeline, ModuleId module) {
+  ModuleStats s;
+  s.module = module;
+  s.forwarded = pipeline.forwarded(module);
+  s.dropped = pipeline.dropped(module);
+  for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+    const Stage& stage = pipeline.stage(i);
+    s.cam_entries.push_back(stage.cam().CountForModule(module));
+    s.segment_words.push_back(
+        stage.stateful().segment_table().At(module.value() %
+                                            params::kOverlayTableDepth)
+            .range);
+    s.stateful_violations += stage.stateful().violations(module);
+  }
+  return s;
+}
+
+std::string DumpModuleConfig(const Pipeline& pipeline, ModuleId module) {
+  const std::size_t row = module.value() % params::kOverlayTableDepth;
+  std::string out = "module " + std::to_string(module.value()) + ":\n";
+
+  out += "  parser actions: " +
+         std::to_string(pipeline.parser().table().At(row).valid_count()) +
+         ", deparser actions: " +
+         std::to_string(pipeline.deparser().table().At(row).valid_count()) +
+         "\n";
+
+  for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+    const Stage& stage = pipeline.stage(i);
+    const KeyExtractorEntry& kx = stage.key_extractor().At(row);
+    const KeyMaskEntry& mask = stage.key_mask().At(row);
+    const SegmentEntry seg = stage.stateful().segment_table().At(row);
+    out += "  stage " + std::to_string(i) + ": ";
+    if (mask.mask.is_zero()) {
+      out += "no table\n";
+      continue;
+    }
+    out += kx.ternary ? "ternary" : "exact";
+    out += " match, key bits " + std::to_string(mask.mask.popcount());
+    if (kx.cmp_op != CmpOp::kNone) out += " (+predicate)";
+    out += ", entries " + std::to_string(stage.cam().CountForModule(module));
+    if (seg.range != 0)
+      out += ", segment [" + std::to_string(seg.offset) + ", " +
+             std::to_string(seg.offset + seg.range) + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DumpPipelineOccupancy(const Pipeline& pipeline) {
+  std::string out = "pipeline occupancy (valid CAM rows per module):\n";
+  for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+    const Stage& stage = pipeline.stage(i);
+    std::map<u16, std::size_t> per_module;
+    std::size_t valid = 0;
+    for (std::size_t a = 0; a < stage.cam().depth(); ++a) {
+      const CamEntry& e = stage.cam().At(a);
+      if (!e.valid) continue;
+      ++valid;
+      ++per_module[e.module.value()];
+    }
+    out += "  stage " + std::to_string(i) + ": " + std::to_string(valid) +
+           "/" + std::to_string(stage.cam().depth());
+    for (const auto& [id, n] : per_module)
+      out += "  m" + std::to_string(id) + "=" + std::to_string(n);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace menshen

@@ -1,0 +1,46 @@
+// Control-plane statistics and configuration introspection.
+//
+// The software-to-hardware interface supports "gathering statistics"
+// (Figure 6); this module is that read side: per-module counters
+// aggregated across the pipeline, plus a human-readable dump of the
+// configuration state a module owns — what an operator's `show module`
+// command would print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/allocation.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+struct ModuleStats {
+  ModuleId module;
+  u64 forwarded = 0;
+  u64 dropped = 0;
+  /// Valid exact-match entries the module owns, per stage.
+  std::vector<std::size_t> cam_entries;
+  /// Stateful segment words allotted, per stage (from the segment table).
+  std::vector<std::size_t> segment_words;
+  /// Out-of-range stateful accesses the hardware squashed, summed over
+  /// stages — a nonzero value means the module (or traffic spoofing its
+  /// VID) probed beyond its segment.
+  u64 stateful_violations = 0;
+};
+
+/// Aggregates hardware counters for one module.
+[[nodiscard]] ModuleStats CollectModuleStats(const Pipeline& pipeline,
+                                             ModuleId module);
+
+/// Renders the configuration a module currently owns: overlay rows
+/// (parser/deparser action counts, key extractor kind, mask popcount,
+/// segment), and match-entry occupancy per stage.
+[[nodiscard]] std::string DumpModuleConfig(const Pipeline& pipeline,
+                                           ModuleId module);
+
+/// Renders pipeline-global occupancy: per stage, how many CAM rows each
+/// module holds — the operator's capacity view.
+[[nodiscard]] std::string DumpPipelineOccupancy(const Pipeline& pipeline);
+
+}  // namespace menshen

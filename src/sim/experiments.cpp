@@ -1,0 +1,255 @@
+#include "sim/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "config/sw_hw_interface.hpp"
+#include "pipeline/rate_limiter.hpp"
+#include "packet/headers.hpp"
+
+namespace menshen {
+
+namespace {
+
+double Hz(const PlatformTiming& p) {
+  return 1e12 / static_cast<double>(p.clock.period_ps);
+}
+
+/// Mean delivered latency (in us, including the external MAC/PHY/tester
+/// path) when the pipeline is offered `fraction` of its achieved rate.
+double MeanLatencyUs(const PlatformTiming& platform,
+                     const PipelineTiming& timing, std::size_t bytes,
+                     double pps, std::size_t probe) {
+  TimingSimulator sim(platform, timing);
+  std::vector<SimPacket> pkts;
+  pkts.reserve(probe);
+  const double cycles_per_packet = Hz(platform) / pps;
+  for (std::size_t i = 0; i < probe; ++i) {
+    SimPacket p;
+    p.arrival = static_cast<Cycle>(
+        std::llround(static_cast<double>(i) * cycles_per_packet));
+    p.bytes = bytes;
+    pkts.push_back(p);
+  }
+  sim.Run(pkts);
+  // Skip the warm-up quarter.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = probe / 4; i < probe; ++i) {
+    sum += platform.clock.cycles_to_us(pkts[i].latency);
+    ++n;
+  }
+  return sum / static_cast<double>(n) + platform.external_path_ns / 1000.0;
+}
+
+}  // namespace
+
+std::vector<ThroughputPoint> RunThroughputSweep(
+    const ThroughputSweepConfig& cfg) {
+  std::vector<ThroughputPoint> out;
+  const PlatformTiming& platform = *cfg.platform;
+
+  for (const std::size_t bytes : cfg.sizes) {
+    ThroughputPoint pt;
+    pt.bytes = bytes;
+
+    const double pipe_pps =
+        PipelineCapacityPps(platform, cfg.timing, bytes, cfg.probe_packets);
+    const double wire_pps = WireCapacityPps(platform, bytes);
+    double pps = std::min(pipe_pps, wire_pps);
+    if (cfg.generator_max_pps > 0.0)
+      pps = std::min(pps, cfg.generator_max_pps);
+
+    pt.mpps = pps / 1e6;
+    pt.l2_gbps = pps * static_cast<double>(bytes) * 8.0 / 1e9;
+    pt.l1_gbps =
+        pps * static_cast<double>(bytes + kLayer1OverheadBytes) * 8.0 / 1e9;
+    pt.mean_latency_us =
+        MeanLatencyUs(platform, cfg.timing, bytes, pps * 0.98,
+                      std::max<std::size_t>(cfg.probe_packets / 4, 4000));
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<ThroughputPoint> Fig11aNetFpgaOptimized() {
+  ThroughputSweepConfig cfg;
+  cfg.platform = &NetFpgaPlatform();
+  cfg.timing = OptimizedTiming();
+  cfg.sizes = {64, 96, 128, 256, 512};
+  cfg.generator_max_pps = kMoonGenMaxPps;  // single-NIC MoonGen host
+  return RunThroughputSweep(cfg);
+}
+
+std::vector<ThroughputPoint> Fig11bCorundumOptimized() {
+  ThroughputSweepConfig cfg;
+  cfg.platform = &CorundumPlatform();
+  cfg.timing = OptimizedTiming();
+  cfg.sizes = {70, 128, 256, 512, 768, 1024, 1500};
+  return RunThroughputSweep(cfg);
+}
+
+std::vector<ThroughputPoint> Fig11cCorundumUnoptimized() {
+  ThroughputSweepConfig cfg;
+  cfg.platform = &CorundumPlatform();
+  cfg.timing = UnoptimizedTiming();
+  cfg.sizes = {70, 128, 256, 512, 768, 1024, 1500};
+  return RunThroughputSweep(cfg);
+}
+
+Fig10Result RunReconfigDisruption(const Fig10Config& cfg) {
+  const PlatformTiming& platform = NetFpgaPlatform();
+  const double share_sum =
+      std::accumulate(cfg.shares.begin(), cfg.shares.end(), 0.0);
+
+  // Build the three CBR streams (modules are numbered 1..N).
+  std::vector<std::vector<SimPacket>> streams;
+  for (std::size_t m = 0; m < cfg.shares.size(); ++m) {
+    StreamSpec spec;
+    spec.module = static_cast<u16>(m + 1);
+    spec.bytes = cfg.bytes;
+    spec.gbps = cfg.total_gbps * cfg.shares[m] / share_sum;
+    streams.push_back(GenerateStream(platform, spec, cfg.duration_s));
+  }
+  std::vector<SimPacket> all = MergeStreams(std::move(streams));
+
+  // Reconfiguration window: the control plane sets the bitmap bit for
+  // module 1, streams the module's writes down the daisy chain, then
+  // clears the bit (section 4.1).  The window length follows the Fig. 9
+  // software cost model unless overridden.
+  const double window_s =
+      cfg.reconfig_duration_s > 0.0
+          ? cfg.reconfig_duration_s
+          : MenshenConfigTimeMs(cfg.module_writes) / 1e3;
+  const double hz = Hz(platform);
+  const Cycle w_start = static_cast<Cycle>(cfg.reconfig_at_s * hz);
+  const Cycle w_end = static_cast<Cycle>((cfg.reconfig_at_s + window_s) * hz);
+  for (SimPacket& p : all) {
+    if (p.module == 1 && p.arrival >= w_start && p.arrival < w_end)
+      p.drop_at_filter = true;
+  }
+
+  TimingSimulator sim(platform, OptimizedTiming());
+  sim.Run(all);
+
+  // Bin delivered bits per module.
+  Fig10Result result;
+  result.reconfig_start_s = cfg.reconfig_at_s;
+  result.reconfig_end_s = cfg.reconfig_at_s + window_s;
+  const std::size_t nbins =
+      static_cast<std::size_t>(cfg.duration_s / cfg.bin_s);
+  result.bins.resize(nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    result.bins[b].t_s = static_cast<double>(b) * cfg.bin_s;
+    result.bins[b].gbps.assign(cfg.shares.size(), 0.0);
+  }
+  std::vector<double> outside_bits(cfg.shares.size(), 0.0);
+  double outside_s = cfg.duration_s - window_s;
+
+  for (const SimPacket& p : all) {
+    if (!p.delivered) continue;
+    const double t = static_cast<double>(p.done) / hz;
+    const std::size_t b = static_cast<std::size_t>(t / cfg.bin_s);
+    if (b >= nbins) continue;
+    const double bits = static_cast<double>(p.bytes) * 8.0;
+    result.bins[b].gbps[p.module - 1] += bits / (cfg.bin_s * 1e9);
+    if (p.arrival < w_start || p.arrival >= w_end)
+      outside_bits[p.module - 1] += bits;
+  }
+  result.gbps_outside_window.resize(cfg.shares.size());
+  for (std::size_t m = 0; m < cfg.shares.size(); ++m)
+    result.gbps_outside_window[m] = outside_bits[m] / (outside_s * 1e9);
+  return result;
+}
+
+PerfIsolationResult RunPerformanceIsolation(double victim_gbps,
+                                             double limit_pps,
+                                             double duration_s) {
+  const PlatformTiming& platform = CorundumPlatform();
+  PerfIsolationResult result;
+
+  const auto victim_stream = [&] {
+    StreamSpec spec;
+    spec.module = 1;
+    spec.bytes = 1500;
+    spec.gbps = victim_gbps;
+    return GenerateStream(platform, spec, duration_s);
+  };
+  const auto attacker_stream = [&] {
+    // A 64-byte flood at the wire's packet rate: far beyond the
+    // pipeline's small-packet capacity (the min-size assumption the
+    // paper calls out in section 5.1).
+    std::vector<SimPacket> pkts = GenerateSaturating(
+        platform, 64,
+        static_cast<std::size_t>(WireCapacityPps(platform, 64) * duration_s));
+    for (auto& p : pkts) p.module = 2;
+    return pkts;
+  };
+
+  const auto victim_rate = [&](std::vector<SimPacket>& pkts) {
+    u64 bits = 0;
+    Cycle last = 0;
+    for (const auto& p : pkts) {
+      if (p.module != 1 || !p.delivered) continue;
+      bits += p.bytes * 8;
+      last = std::max(last, p.done);
+    }
+    const double hz = 1e12 / static_cast<double>(platform.clock.period_ps);
+    return last == 0 ? 0.0
+                     : static_cast<double>(bits) /
+                           (static_cast<double>(last) / hz) / 1e9;
+  };
+
+  {
+    TimingSimulator sim(platform, OptimizedTiming());
+    auto pkts = victim_stream();
+    sim.Run(pkts);
+    result.victim_gbps_alone = victim_rate(pkts);
+  }
+  {
+    TimingSimulator sim(platform, OptimizedTiming());
+    auto pkts = MergeStreams({victim_stream(), attacker_stream()});
+    sim.Run(pkts);
+    result.victim_gbps_flooded = victim_rate(pkts);
+  }
+  {
+    // Rate limiter at the packet filter: the attacker's non-conforming
+    // packets are dropped before consuming parser/stage slots.
+    const double hz = 1e12 / static_cast<double>(platform.clock.period_ps);
+    RateLimiter limiter(hz);
+    RateLimit limit;
+    limit.max_pps = limit_pps;
+    limit.burst_packets = 64;
+    limiter.SetLimit(ModuleId(2), limit);
+
+    auto pkts = MergeStreams({victim_stream(), attacker_stream()});
+    u64 attacker_through = 0;
+    for (auto& p : pkts) {
+      if (p.module == 2 && !limiter.Admit(ModuleId(2), p.bytes, p.arrival))
+        p.drop_at_filter = true;
+      else if (p.module == 2)
+        ++attacker_through;
+    }
+    TimingSimulator sim(platform, OptimizedTiming());
+    sim.Run(pkts);
+    result.victim_gbps_limited = victim_rate(pkts);
+    result.attacker_mpps_limited =
+        static_cast<double>(attacker_through) / duration_s / 1e6;
+  }
+  return result;
+}
+
+std::vector<LatencyRow> Section52LatencyTable() {
+  std::vector<LatencyRow> rows;
+  for (const PlatformTiming* p : {&NetFpgaPlatform(), &CorundumPlatform()}) {
+    for (const std::size_t bytes : {std::size_t{64}, std::size_t{1500}}) {
+      const Cycle cycles = IdleLatencyCycles(*p, bytes);
+      rows.push_back(LatencyRow{p->name, bytes, cycles,
+                                p->clock.cycles_to_ns(cycles)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace menshen

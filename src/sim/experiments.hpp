@@ -1,0 +1,98 @@
+// Experiment drivers that regenerate the paper's performance figures.
+//
+// Each driver returns plain row structs; the bench binaries print them in
+// the same shape as the paper's plots (EXPERIMENTS.md records paper-vs-
+// measured for every row).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/traffic.hpp"
+
+namespace menshen {
+
+// --- Figure 11: throughput / latency vs packet size ---------------------------
+
+struct ThroughputPoint {
+  std::size_t bytes = 0;
+  double l1_gbps = 0.0;   // includes preamble + IFG
+  double l2_gbps = 0.0;   // frame bits only
+  double mpps = 0.0;
+  double mean_latency_us = 0.0;  // at ~98% of achieved rate, incl. external path
+};
+
+struct ThroughputSweepConfig {
+  const PlatformTiming* platform = nullptr;
+  PipelineTiming timing;
+  std::vector<std::size_t> sizes;
+  double generator_max_pps = 0.0;  // 0 = hardware tester (no cap)
+  std::size_t probe_packets = 40000;
+};
+
+[[nodiscard]] std::vector<ThroughputPoint> RunThroughputSweep(
+    const ThroughputSweepConfig& cfg);
+
+/// The paper's four panels, pre-configured.
+[[nodiscard]] std::vector<ThroughputPoint> Fig11aNetFpgaOptimized();
+[[nodiscard]] std::vector<ThroughputPoint> Fig11bCorundumOptimized();
+[[nodiscard]] std::vector<ThroughputPoint> Fig11cCorundumUnoptimized();
+
+// --- Figure 10: throughput during reconfiguration -----------------------------
+
+struct Fig10Config {
+  double total_gbps = 9.3;        // offered load on the 10G link
+  std::vector<double> shares = {5, 3, 2};  // module rate ratio
+  std::size_t bytes = 1500;
+  double duration_s = 3.0;
+  double reconfig_at_s = 0.5;
+  double reconfig_duration_s = 0.0;  // 0 = derive from the Fig. 9 model
+  std::size_t module_writes = 64;    // config writes for the updated module
+  double bin_s = 0.05;               // reporting granularity
+};
+
+struct Fig10Bin {
+  double t_s = 0.0;
+  std::vector<double> gbps;  // one value per module
+};
+
+struct Fig10Result {
+  std::vector<Fig10Bin> bins;
+  double reconfig_start_s = 0.0;
+  double reconfig_end_s = 0.0;
+  /// Sanity sums for assertions: delivered bits per module outside and
+  /// inside the reconfiguration window.
+  std::vector<double> gbps_outside_window;
+};
+
+[[nodiscard]] Fig10Result RunReconfigDisruption(const Fig10Config& cfg);
+
+// --- Section 5.1: performance isolation under a minimum-size flood ---------------
+
+/// One module violates the minimum-packet-size assumption by flooding
+/// 64-byte frames while a well-behaved module sends MTU traffic at a
+/// fixed rate.  Without a rate limiter the flood steals pipeline slots
+/// from the victim; with a per-module pps limiter (section 5.1) the
+/// victim's throughput is restored.
+struct PerfIsolationResult {
+  double victim_gbps_alone = 0.0;       // victim without the attacker
+  double victim_gbps_flooded = 0.0;     // attacker unlimited
+  double victim_gbps_limited = 0.0;     // attacker rate-limited
+  double attacker_mpps_limited = 0.0;   // what the limiter lets through
+};
+
+[[nodiscard]] PerfIsolationResult RunPerformanceIsolation(
+    double victim_gbps = 40.0, double limit_pps = 5e6,
+    double duration_s = 0.005);
+
+// --- Section 5.2 latency table --------------------------------------------------
+
+struct LatencyRow {
+  std::string platform;
+  std::size_t bytes;
+  Cycle cycles;
+  double ns;
+};
+[[nodiscard]] std::vector<LatencyRow> Section52LatencyTable();
+
+}  // namespace menshen

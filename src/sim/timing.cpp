@@ -1,0 +1,140 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "packet/headers.hpp"
+
+namespace menshen {
+
+ElementLatencies LatenciesFor(const PlatformTiming& platform,
+                              const PipelineTiming& timing) {
+  ElementLatencies lat;
+  lat.parser = timing.parser_service(platform);
+  // Distribute the calibrated processing depth over the five stages and
+  // the deparser's PHV-merge step; see pipeline/params.hpp for how the
+  // totals were calibrated against section 5.2.  On cut-through platforms
+  // the depth is measured from packet arrival and therefore includes the
+  // wait for the 128-byte header window.
+  Cycle budget = platform.processing_depth - lat.filter - lat.parser;
+  if (platform.overlap_ingress)
+    budget -= platform.beats(kParserWindowBytes);
+  lat.per_stage = (budget - 10) / params::kNumStages;  // leave >=10 for merge
+  lat.deparser_fixed = budget - lat.per_stage * params::kNumStages;
+  return lat;
+}
+
+TimingSimulator::TimingSimulator(const PlatformTiming& platform,
+                                 PipelineTiming timing)
+    : platform_(&platform),
+      timing_(timing),
+      lat_(LatenciesFor(platform, timing)),
+      parser_free_(timing.parsers, 0),
+      stage_last_start_(params::kNumStages, 0),
+      deparser_free_(timing.deparsers, 0) {}
+
+void TimingSimulator::Reset() {
+  ingress_free_ = filter_last_ = egress_free_ = 0;
+  seq_ = 0;
+  std::fill(parser_free_.begin(), parser_free_.end(), 0);
+  std::fill(stage_last_start_.begin(), stage_last_start_.end(), 0);
+  std::fill(deparser_free_.begin(), deparser_free_.end(), 0);
+}
+
+void TimingSimulator::Run(std::vector<SimPacket>& packets) {
+  const PlatformTiming& p = *platform_;
+  const Cycle hdr_beats = p.beats(kParserWindowBytes);
+
+  Cycle prev_arrival = 0;
+  for (SimPacket& pkt : packets) {
+    if (pkt.arrival < prev_arrival)
+      throw std::invalid_argument("packets must be sorted by arrival");
+    prev_arrival = pkt.arrival;
+
+    const Cycle beats_in = p.beats(pkt.bytes);
+
+    // Ingress bus: serializes the frame into the pipeline.
+    const Cycle in_start = std::max(pkt.arrival, ingress_free_);
+    ingress_free_ = in_start + beats_in;
+    const Cycle buffer_full = in_start + beats_in;
+
+    // Packet filter: one packet per cycle.  Cut-through platforms start
+    // processing once the (fixed) header window has arrived on the bus;
+    // store-and-forward platforms wait for the whole frame.
+    const Cycle proc_entry =
+        p.overlap_ingress ? in_start + hdr_beats : buffer_full;
+    const Cycle filter_start = std::max(proc_entry, filter_last_ + 1);
+    filter_last_ = filter_start;
+    const Cycle filter_done = filter_start + lat_.filter;
+
+    if (pkt.drop_at_filter) {
+      // Dropped by the reconfiguration bitmap (or missing VLAN): the
+      // packet consumed ingress bandwidth and a filter slot, nothing else.
+      pkt.delivered = false;
+      pkt.done = filter_done;
+      pkt.latency = pkt.done - pkt.arrival;
+      ++seq_;
+      continue;
+    }
+
+    // Parser bank (round robin over `parsers`).
+    const std::size_t pj = seq_ % timing_.parsers;
+    const Cycle parse_start = std::max(filter_done, parser_free_[pj]);
+    parser_free_[pj] = parse_start + lat_.parser;
+    Cycle t = parse_start + lat_.parser;
+
+    // Match-action stages: each accepts a PHV every stage_ii cycles.
+    for (std::size_t s = 0; s < stage_last_start_.size(); ++s) {
+      const Cycle start =
+          std::max(t, stage_last_start_[s] + timing_.stage_ii);
+      stage_last_start_[s] = start;
+      t = start + lat_.per_stage;
+    }
+
+    // Deparser bank (by packet-buffer tag): merges the PHV back into the
+    // buffered packet.  Its service time covers re-writing the header and
+    // streaming the payload (section 3.2: the most expensive element).
+    const std::size_t dj = seq_ % timing_.deparsers;
+    const Cycle dep_start = std::max(t, deparser_free_[dj]);
+    deparser_free_[dj] = dep_start + timing_.deparser_service(p, pkt.bytes);
+    const Cycle phv_done = dep_start + lat_.deparser_fixed;
+
+    // Egress bus: store-and-forward at the packet buffer — transmission
+    // starts once the PHV is merged AND the whole packet is buffered.
+    const Cycle egress_busy =
+        (beats_in + p.egress_beats_per_cycle - 1) / p.egress_beats_per_cycle;
+    const Cycle egress_start =
+        std::max({phv_done, buffer_full, egress_free_});
+    egress_free_ = egress_start + egress_busy;
+
+    pkt.delivered = true;
+    pkt.done = egress_start + egress_busy;
+    pkt.latency = pkt.done - pkt.arrival;
+    ++seq_;
+  }
+}
+
+double PipelineCapacityPps(const PlatformTiming& platform,
+                           const PipelineTiming& timing, std::size_t bytes,
+                           std::size_t probe_packets) {
+  // Offer packets back-to-back (arrival 0) and measure the steady-state
+  // completion spacing over the second half of the probe.
+  TimingSimulator sim(platform, timing);
+  std::vector<SimPacket> pkts(probe_packets);
+  for (auto& p : pkts) p.bytes = bytes;
+  sim.Run(pkts);
+  const std::size_t lo = probe_packets / 2;
+  const Cycle span = pkts.back().done - pkts[lo].done;
+  const double packets = static_cast<double>(probe_packets - 1 - lo);
+  const double cycles_per_packet = static_cast<double>(span) / packets;
+  const double hz = 1e12 / static_cast<double>(platform.clock.period_ps);
+  return hz / cycles_per_packet;
+}
+
+double WireCapacityPps(const PlatformTiming& platform, std::size_t bytes) {
+  const double frame_bits =
+      static_cast<double>(bytes + kLayer1OverheadBytes) * 8.0;
+  return platform.link_gbps * 1e9 / frame_bits;
+}
+
+}  // namespace menshen

@@ -1,0 +1,91 @@
+// Cycle-level timing simulator for the Menshen pipeline.
+//
+// The functional pipeline (pipeline/) computes *what* happens to packets;
+// this engine computes *when*.  Every hardware element is modelled as a
+// contended resource with an initiation interval and a latency, and each
+// packet's trajectory is resolved exactly, in integer cycles, by a
+// per-packet recursion over resource availability (packets are FIFO at
+// every element, so arrival order fully determines the schedule):
+//
+//   ingress bus  -> packet filter -> parser bank (round robin) ->
+//   5 match-action stages (II-limited) -> deparser bank (by buffer tag)
+//   -> packet buffer -> egress bus
+//
+// Platform differences follow section 4.3 and the calibration notes in
+// pipeline/params.hpp: Corundum parses as soon as the 128-byte header
+// window has arrived (cut-through) but stores-and-forwards at the packet
+// buffer; NetFPGA stores-and-forwards at ingress and drains its buffer
+// through a double-width read port.
+#pragma once
+
+#include <vector>
+
+#include "pipeline/params.hpp"
+
+namespace menshen {
+
+struct SimPacket {
+  Cycle arrival = 0;     // first bit on the ingress bus
+  std::size_t bytes = 0; // layer-2 frame size
+  u16 module = 0;
+  bool drop_at_filter = false;  // e.g. reconfiguration bitmap hit
+
+  // Outputs.
+  bool delivered = false;
+  Cycle done = 0;     // last bit on the egress bus
+  Cycle latency = 0;  // done - arrival
+};
+
+/// Element latencies that make up the fixed processing depth; derived
+/// from PlatformTiming so that an idle pipeline reproduces the paper's
+/// section 5.2 cycle counts exactly (asserted in tests).
+struct ElementLatencies {
+  Cycle filter = 2;
+  Cycle parser = 0;        // parser_service(platform)
+  Cycle per_stage = 0;
+  Cycle deparser_fixed = 0;
+};
+[[nodiscard]] ElementLatencies LatenciesFor(const PlatformTiming& platform,
+                                            const PipelineTiming& timing);
+
+class TimingSimulator {
+ public:
+  TimingSimulator(const PlatformTiming& platform, PipelineTiming timing);
+
+  /// Resolves timing for `packets`, which must be sorted by arrival.
+  /// Fills the output fields of each packet.
+  void Run(std::vector<SimPacket>& packets);
+
+  /// Resets all resource-availability state.
+  void Reset();
+
+  [[nodiscard]] const PlatformTiming& platform() const { return *platform_; }
+  [[nodiscard]] const PipelineTiming& timing() const { return timing_; }
+
+ private:
+  const PlatformTiming* platform_;
+  PipelineTiming timing_;
+  ElementLatencies lat_;
+
+  Cycle ingress_free_ = 0;
+  Cycle filter_last_ = 0;
+  std::vector<Cycle> parser_free_;
+  std::vector<Cycle> stage_last_start_;
+  std::vector<Cycle> deparser_free_;
+  Cycle egress_free_ = 0;
+  u64 seq_ = 0;
+};
+
+/// Achieved steady-state forwarding rate for back-to-back `bytes`-sized
+/// packets (packets per second), considering only the pipeline (no link).
+[[nodiscard]] double PipelineCapacityPps(const PlatformTiming& platform,
+                                         const PipelineTiming& timing,
+                                         std::size_t bytes,
+                                         std::size_t probe_packets = 20000);
+
+/// Wire capacity of the attached link in packets per second for a given
+/// frame size (layer-1 accounting: +20 bytes preamble/IFG per frame).
+[[nodiscard]] double WireCapacityPps(const PlatformTiming& platform,
+                                     std::size_t bytes);
+
+}  // namespace menshen

@@ -1,0 +1,68 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "packet/headers.hpp"
+
+namespace menshen {
+
+std::vector<SimPacket> GenerateStream(const PlatformTiming& platform,
+                                      const StreamSpec& spec,
+                                      double duration_s) {
+  const double hz = 1e12 / static_cast<double>(platform.clock.period_ps);
+  const double pps =
+      spec.gbps * 1e9 / (static_cast<double>(spec.bytes) * 8.0);
+  const double cycles_per_packet = hz / pps;
+  const std::size_t count =
+      static_cast<std::size_t>(duration_s * pps);
+
+  std::vector<SimPacket> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SimPacket p;
+    p.arrival = static_cast<Cycle>(
+        std::llround(static_cast<double>(i) * cycles_per_packet));
+    p.bytes = spec.bytes;
+    p.module = spec.module;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SimPacket> MergeStreams(
+    std::vector<std::vector<SimPacket>> streams) {
+  std::vector<SimPacket> all;
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  all.reserve(total);
+  for (auto& s : streams)
+    all.insert(all.end(), s.begin(), s.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SimPacket& a, const SimPacket& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return all;
+}
+
+std::vector<SimPacket> GenerateSaturating(const PlatformTiming& platform,
+                                          std::size_t bytes,
+                                          std::size_t count, double max_pps) {
+  const double hz = 1e12 / static_cast<double>(platform.clock.period_ps);
+  double pps = WireCapacityPps(platform, bytes);
+  if (max_pps > 0.0) pps = std::min(pps, max_pps);
+  const double cycles_per_packet = hz / pps;
+
+  std::vector<SimPacket> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SimPacket p;
+    p.arrival = static_cast<Cycle>(
+        std::llround(static_cast<double>(i) * cycles_per_packet));
+    p.bytes = bytes;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace menshen

@@ -1,0 +1,46 @@
+// Workload generators for the timing simulator.
+//
+// Models the paper's testbed sources: MoonGen on a host NIC (Figure 11a —
+// bounded by what one 10G NIC can generate), the Spirent hardware tester
+// (Figures 11b-d — true line rate), and the netmap/tcpreplay mix of three
+// fixed-rate module streams used in the reconfiguration experiment
+// (Figure 10).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/timing.hpp"
+
+namespace menshen {
+
+/// One constant-bit-rate stream of same-sized frames for one module.
+struct StreamSpec {
+  u16 module = 0;
+  std::size_t bytes = 1500;
+  double gbps = 1.0;  // layer-2 rate
+};
+
+/// Generates `duration_s` seconds of a stream at the platform clock;
+/// arrivals are evenly spaced (CBR).  Cycle timestamps are exact integers;
+/// rate error from rounding is < one cycle per packet.
+[[nodiscard]] std::vector<SimPacket> GenerateStream(
+    const PlatformTiming& platform, const StreamSpec& spec,
+    double duration_s);
+
+/// Merges per-stream packet vectors into one arrival-sorted workload.
+[[nodiscard]] std::vector<SimPacket> MergeStreams(
+    std::vector<std::vector<SimPacket>> streams);
+
+/// Back-to-back frames at the highest rate the wire allows, capped at
+/// `max_pps` (0 = uncapped).  Used for the Figure 11 sweeps: MoonGen on
+/// one 10G NIC manages ~12 Mpps of minimum-size frames; the Spirent
+/// tester has no practical cap.
+[[nodiscard]] std::vector<SimPacket> GenerateSaturating(
+    const PlatformTiming& platform, std::size_t bytes, std::size_t count,
+    double max_pps = 0.0);
+
+/// The practical MoonGen cap of the paper's single-NIC host setup.
+inline constexpr double kMoonGenMaxPps = 12.0e6;
+
+}  // namespace menshen

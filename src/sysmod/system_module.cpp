@@ -1,0 +1,127 @@
+#include "sysmod/system_module.hpp"
+
+#include <stdexcept>
+
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+
+std::string_view SystemModuleDsl() {
+  // Field offsets follow the common VLAN-tagged IPv4/UDP header layout
+  // (packet/headers.hpp): inner EtherType at byte 16, IPv4 destination at
+  // byte 34.
+  static constexpr std::string_view kSource = R"(
+module system {
+  # Headers every packet carries; parsed for all tenants.
+  field sys_etype  : 2 @ 16;   # inner EtherType (0x0800 for IPv4)
+  field sys_dst_ip : 4 @ 34;   # IPv4 destination = tenant virtual IP
+  scratch sys_tmp  : 4;        # PHV-only accumulator
+
+  # Per-tenant system state in the first stage: ingress packet counter
+  # (word 0) and bytes-seen proxy (word 1, counted in packets here).
+  state sys_rx[8];
+
+  # First half (stage 0): account the packet, expose statistics.
+  action sys_count {
+    sys_tmp = incr(sys_rx[0]);
+  }
+  table sys_ingress {
+    key = { sys_etype };
+    actions = { sys_count };
+    size = 2;
+  }
+
+  # Second half (stage 4): virtual-IP routing for the tenant.
+  action sys_route(p)  { port(p); }
+  action sys_mcast(g)  { mcast(g); }
+  action sys_blackhole { drop(); }
+  table sys_route_tbl {
+    key = { sys_dst_ip };
+    actions = { sys_route, sys_mcast, sys_blackhole };
+    size = 4;
+  }
+}
+)";
+  return kSource;
+}
+
+const ModuleSpec& SystemModuleSpec() {
+  static const ModuleSpec spec = [] {
+    Diagnostics diags;
+    ModuleSpec s = ParseModuleDsl(SystemModuleDsl(), diags);
+    if (!diags.ok())
+      throw std::logic_error("embedded system module failed to parse:\n" +
+                             diags.ToString());
+    return s;
+  }();
+  return spec;
+}
+
+CompiledModule CompileTenantWithSystem(
+    const ModuleSpec& tenant, ModuleId id,
+    const std::vector<StageAllocation>& tenant_stages,
+    const SystemAllocation& sys) {
+  // Stack order is pipeline order: the merged table list must place the
+  // system ingress table before the tenant's tables and the routing table
+  // after them.  CompileStack maps each member's tables onto its own
+  // stage set in order, so we split the system module into its two halves.
+  ModuleSpec sys_first = SystemModuleSpec();
+  ModuleSpec sys_last;
+  sys_last.name = "system.last";
+  // Move the routing table (and nothing else) into the second member;
+  // fields/actions stay with the first member and are shared through the
+  // merged namespace... except CompileStack requires unique names, so the
+  // second member carries only the table definition and the first member
+  // keeps every field/action/state.
+  for (auto it = sys_first.tables.begin(); it != sys_first.tables.end();) {
+    if (it->name == "sys_route_tbl") {
+      sys_last.tables.push_back(*it);
+      it = sys_first.tables.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  return CompileStack({sys_first, tenant, sys_last},
+                      {{sys.first},
+                       tenant_stages,
+                       {sys.last}},
+                      id);
+}
+
+bool InstallSystemEntries(CompiledModule& stack,
+                          const std::vector<SystemRoute>& routes) {
+  // Ingress accounting: count every IPv4 packet of this tenant.
+  stack.AddEntry("sys_ingress", {{"sys_etype", 0x0800}}, std::nullopt,
+                 "sys_count", {});
+  for (const SystemRoute& r : routes) {
+    if (r.drop) {
+      stack.AddEntry("sys_route_tbl", {{"sys_dst_ip", r.virtual_ip}},
+                     std::nullopt, "sys_blackhole", {});
+    } else if (r.mcast_group != 0) {
+      stack.AddEntry("sys_route_tbl", {{"sys_dst_ip", r.virtual_ip}},
+                     std::nullopt, "sys_mcast", {r.mcast_group});
+    } else {
+      stack.AddEntry("sys_route_tbl", {{"sys_dst_ip", r.virtual_ip}},
+                     std::nullopt, "sys_route", {r.port});
+    }
+  }
+  return stack.ok();
+}
+
+u64 ReadSystemRxCount(const Pipeline& pipeline, const CompiledModule& stack) {
+  const auto& layout = stack.state_layout();
+  const auto it = layout.find("sys_rx");
+  if (it == layout.end())
+    throw std::invalid_argument("stack has no system module state");
+  const StatePlacement& sp = it->second;
+  // The counter is word 0 of sys_rx within the module's segment; read it
+  // through the physical address space like the control plane would.
+  const Stage& stage = pipeline.stage(sp.stage);
+  const SegmentEntry seg =
+      stage.stateful().segment_table().At(stack.id().value());
+  return stage.stateful().PhysicalAt(
+      static_cast<std::size_t>(seg.offset) + sp.base);
+}
+
+}  // namespace menshen

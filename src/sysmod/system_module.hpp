@@ -1,0 +1,75 @@
+// The Menshen system-level module (section 3.3).
+//
+// A module, written in the module DSL, that the operator sandwiches around
+// every tenant module: its first table runs in the pipeline's first stage
+// (packets "pick up" system state — ingress accounting, statistics) and
+// its second table runs in the last stage (virtual-IP routing: the tenant
+// has set or preserved the virtual destination IP, and the system module
+// maps it to an egress port, a multicast group, or a drop).  The split
+// structure follows directly from the feed-forward nature of RMT.
+//
+// Because overlay tables are indexed by the packet's module ID, the
+// system-level configuration is instantiated per tenant: compiling a
+// tenant with CompileTenantWithSystem() produces a single configuration
+// stack under the tenant's module ID whose stage-0/stage-4 tables are the
+// system module's.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+
+namespace menshen {
+
+/// Stages reserved for the system-level module.
+inline constexpr u8 kSystemFirstStage = 0;
+inline constexpr u8 kSystemLastStage = 4;
+/// Stages available to tenant tables (between the system halves).
+inline constexpr u8 kTenantFirstStage = 1;
+inline constexpr u8 kTenantStageCount = 3;
+
+/// DSL source of the system-level module (the paper's is 120 lines of
+/// P4-16; this is its equivalent in the module DSL).
+[[nodiscard]] std::string_view SystemModuleDsl();
+
+/// Parsed system module spec.  Throws std::logic_error if the embedded
+/// source fails to parse (covered by tests).
+[[nodiscard]] const ModuleSpec& SystemModuleSpec();
+
+/// A route the operator installs in the system module's last-stage table
+/// for one tenant: virtual destination IP -> egress port or multicast
+/// group (group != 0 wins over port) or drop.
+struct SystemRoute {
+  u32 virtual_ip = 0;
+  u16 port = 0;
+  u16 mcast_group = 0;
+  bool drop = false;
+};
+
+/// Per-tenant system-module resources within the first/last stages.
+struct SystemAllocation {
+  StageAllocation first;  // stage 0: ingress accounting + stats
+  StageAllocation last;   // stage 4: routing
+};
+
+/// Compiles `tenant` under `id` with the system-level module wrapped
+/// around it.  `tenant_stages` are the tenant's stage allocations (within
+/// stages 1-3); `sys` gives the tenant's slice of the system stages.
+[[nodiscard]] CompiledModule CompileTenantWithSystem(
+    const ModuleSpec& tenant, ModuleId id,
+    const std::vector<StageAllocation>& tenant_stages,
+    const SystemAllocation& sys);
+
+/// Installs the operator-side system entries for one tenant into an
+/// already compiled stack: the ingress accounting entry and the routing
+/// entries.  Returns false (with diagnostics on the module) on error.
+bool InstallSystemEntries(CompiledModule& stack,
+                          const std::vector<SystemRoute>& routes);
+
+/// Reads the tenant's ingress packet count maintained by the system
+/// module's stage-0 state (for tests and the stats API).
+[[nodiscard]] u64 ReadSystemRxCount(const class Pipeline& pipeline,
+                                    const CompiledModule& stack);
+
+}  // namespace menshen

@@ -1,0 +1,124 @@
+#include "pipeline/action_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace menshen {
+namespace {
+
+constexpr ContainerRef kA{ContainerType::k4B, 0};  // flat 8
+constexpr ContainerRef kB{ContainerType::k4B, 1};  // flat 9
+constexpr ContainerRef kC{ContainerType::k4B, 2};  // flat 10
+
+class ActionEngineTest : public ::testing::Test {
+ protected:
+  ActionEngineTest() {
+    state_.segment_table().Write(1, SegmentEntry{0, 32});
+    phv_.module_id = ModuleId(1);
+    phv_.Write(kA, 100);
+    phv_.Write(kB, 30);
+  }
+
+  Phv Run(u8 slot, AluAction a) {
+    VliwEntry vliw;
+    vliw.slots[slot] = a;
+    return ActionEngine::Execute(vliw, phv_, state_);
+  }
+
+  Phv phv_;
+  StatefulMemory state_;
+};
+
+TEST_F(ActionEngineTest, Add) {
+  const Phv out = Run(10, {AluOp::kAdd, 8, 9, 0});
+  EXPECT_EQ(out.Read(kC), 130u);
+  EXPECT_EQ(out.Read(kA), 100u);  // operands untouched
+}
+
+TEST_F(ActionEngineTest, Sub) {
+  EXPECT_EQ(Run(10, {AluOp::kSub, 8, 9, 0}).Read(kC), 70u);
+}
+
+TEST_F(ActionEngineTest, SubWrapsAtContainerWidth) {
+  const Phv out = Run(10, {AluOp::kSub, 9, 8, 0});  // 30 - 100
+  EXPECT_EQ(out.Read(kC), 0xFFFFFFBAu);  // two's complement in 4 bytes
+}
+
+TEST_F(ActionEngineTest, AddiSubiSet) {
+  EXPECT_EQ(Run(10, {AluOp::kAddi, 8, 0, 11}).Read(kC), 111u);
+  EXPECT_EQ(Run(10, {AluOp::kSubi, 8, 0, 1}).Read(kC), 99u);
+  EXPECT_EQ(Run(10, {AluOp::kSet, 0, 0, 4242}).Read(kC), 4242u);
+}
+
+TEST_F(ActionEngineTest, Copy) {
+  EXPECT_EQ(Run(10, {AluOp::kCopy, 8, 0, 0}).Read(kC), 100u);
+}
+
+TEST_F(ActionEngineTest, LoadStore) {
+  state_.Store(ModuleId(1), 5, 777);
+  EXPECT_EQ(Run(10, {AluOp::kLoad, 0, 0, 5}).Read(kC), 777u);
+
+  (void)Run(10, {AluOp::kStore, 8, 0, 6});  // state[6] = phv[A]
+  EXPECT_EQ(state_.Load(ModuleId(1), 6), 100u);
+}
+
+TEST_F(ActionEngineTest, LoaddIncrements) {
+  EXPECT_EQ(Run(10, {AluOp::kLoadd, 0, 0, 7}).Read(kC), 1u);
+  EXPECT_EQ(Run(10, {AluOp::kLoadd, 0, 0, 7}).Read(kC), 2u);
+  EXPECT_EQ(state_.Load(ModuleId(1), 7), 2u);
+}
+
+TEST_F(ActionEngineTest, DynamicAddressing) {
+  // Address comes from PHV container B (value 30).
+  state_.Store(ModuleId(1), 30, 555);
+  EXPECT_EQ(Run(10, {AluOp::kLoadc, 0, 9, 0}).Read(kC), 555u);
+
+  (void)Run(10, {AluOp::kStorec, 8, 9, 0});  // state[phv[B]] = phv[A]
+  EXPECT_EQ(state_.Load(ModuleId(1), 30), 100u);
+
+  EXPECT_EQ(Run(10, {AluOp::kLoaddc, 0, 9, 0}).Read(kC), 101u);
+}
+
+TEST_F(ActionEngineTest, PortDiscardMcast) {
+  const Phv p = Run(24, {AluOp::kPort, 0, 0, 3});
+  EXPECT_EQ(p.meta_u16(meta::kDstPort), 3);
+
+  const Phv d = Run(24, {AluOp::kDiscard, 0, 0, 0});
+  EXPECT_TRUE(d.discard_flag());
+
+  const Phv m = Run(24, {AluOp::kMcast, 0, 0, 7});
+  EXPECT_EQ(m.meta_u16(meta::kMulticastGroup), 7);
+}
+
+TEST_F(ActionEngineTest, VliwReadsSnapshotNotIntermediate) {
+  // True VLIW semantics: both ALUs read the incoming PHV.  Swapping two
+  // containers in one instruction must actually swap them.
+  VliwEntry vliw;
+  vliw.slots[8] = {AluOp::kCopy, 9, 0, 0};  // A' = B
+  vliw.slots[9] = {AluOp::kCopy, 8, 0, 0};  // B' = A
+  const Phv out = ActionEngine::Execute(vliw, phv_, state_);
+  EXPECT_EQ(out.Read(kA), 30u);
+  EXPECT_EQ(out.Read(kB), 100u);
+}
+
+TEST_F(ActionEngineTest, NopSlotsPreserveValues) {
+  const Phv out = ActionEngine::Execute(VliwEntry{}, phv_, state_);
+  EXPECT_EQ(out, phv_);
+}
+
+TEST_F(ActionEngineTest, StatefulOpsRespectSegment) {
+  // Module 2 has no segment: the same VLIW program must be inert.
+  phv_.module_id = ModuleId(2);
+  const Phv out = Run(10, {AluOp::kLoadd, 0, 0, 7});
+  EXPECT_EQ(out.Read(kC), 0u);
+  EXPECT_EQ(state_.violations(ModuleId(2)), 1u);
+}
+
+TEST_F(ActionEngineTest, MetadataSlotArithmetic) {
+  // Slot 24 reads/writes the user scratch metadata word.
+  phv_.set_meta_u16(meta::kUser, 40);
+  const Phv out = Run(24, {AluOp::kAddi, 24, 0, 2});
+  EXPECT_EQ(out.meta_u16(meta::kUser), 42);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,138 @@
+// Admission control and the section 5.2 module-packing arithmetic.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest() : mgr_(pipe_) {}
+  Pipeline pipe_;
+  ModuleManager mgr_;
+};
+
+TEST_F(AdmissionTest, RejectsOverlappingCamBlocks) {
+  const auto a1 = StandardAlloc(1, 0, 8, 0, 16);
+  const auto a2 = StandardAlloc(2, 4, 8, 16, 16);  // CAM [4,12) overlaps [0,8)
+  MustLoad(mgr_, MustCompile(apps::CalcSpec(), a1), a1);
+  const auto result = mgr_.CheckAdmission(a2);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_NE(result.reason.find("CAM block overlaps"), std::string::npos);
+}
+
+TEST_F(AdmissionTest, RejectsOverlappingSegments) {
+  const auto a1 = StandardAlloc(1, 0, 4, 0, 16);
+  const auto a2 = StandardAlloc(2, 4, 4, 8, 16);  // segment [8,24) overlaps
+  MustLoad(mgr_, MustCompile(apps::CalcSpec(), a1), a1);
+  const auto result = mgr_.CheckAdmission(a2);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_NE(result.reason.find("segment overlaps"), std::string::npos);
+}
+
+TEST_F(AdmissionTest, AdjacentAllocationsAreFine) {
+  const auto a1 = StandardAlloc(1, 0, 8, 0, 16);
+  const auto a2 = StandardAlloc(2, 8, 8, 16, 16);
+  MustLoad(mgr_, MustCompile(apps::CalcSpec(), a1), a1);
+  EXPECT_TRUE(mgr_.CheckAdmission(a2).admitted)
+      << mgr_.CheckAdmission(a2).reason;
+}
+
+TEST_F(AdmissionTest, RejectsDuplicateIdAndOversizedBlocks) {
+  const auto a1 = StandardAlloc(1, 0, 4);
+  MustLoad(mgr_, MustCompile(apps::CalcSpec(), a1), a1);
+  EXPECT_FALSE(mgr_.CheckAdmission(StandardAlloc(1, 8, 4)).admitted);
+  EXPECT_FALSE(mgr_.CheckAdmission(StandardAlloc(2, 12, 8)).admitted);
+  ModuleAllocation bad = StandardAlloc(2, 8, 4);
+  bad.stages[0].stage = 9;  // nonexistent stage
+  EXPECT_FALSE(mgr_.CheckAdmission(bad).admitted);
+}
+
+TEST_F(AdmissionTest, ModuleIdMustFitOverlayDepth) {
+  // Module ID 33 would alias overlay row 1 (hardware truncation) — the
+  // admission check is the guard that makes that impossible.
+  const auto result = mgr_.CheckAdmission(StandardAlloc(33, 0, 4));
+  EXPECT_FALSE(result.admitted);
+  EXPECT_NE(result.reason.find("alias"), std::string::npos);
+}
+
+TEST_F(AdmissionTest, UnloadScrubsEverything) {
+  const auto alloc = StandardAlloc(7, 0, 8, 0, 32);
+  CompiledModule m = MustCompile(apps::NetChainSpec(), alloc);
+  MustLoad(mgr_, m, alloc);
+  apps::InstallNetChainEntries(m, 2);
+  mgr_.Update(m);
+
+  // Accumulate state, then unload.
+  for (int i = 0; i < 4; ++i)
+    pipe_.Process(NetChainPacket(7, apps::kNetChainOpSeq));
+  ASSERT_TRUE(mgr_.Unload(ModuleId(7)));
+  EXPECT_FALSE(mgr_.IsLoaded(ModuleId(7)));
+
+  // CAM block is invalid, segment zeroed, overlay rows blank.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_FALSE(pipe_.stage(0).cam().At(i).valid);
+  for (std::size_t w = 0; w < 32; ++w)
+    EXPECT_EQ(pipe_.stage(0).stateful().PhysicalAt(w), 0u);
+  EXPECT_EQ(pipe_.stage(0).stateful().segment_table().At(7).range, 0);
+  EXPECT_EQ(pipe_.parser().table().At(7).valid_count(), 0u);
+
+  // Packets of the unloaded module now pass inert.
+  const auto r = pipe_.Process(NetChainPacket(7, apps::kNetChainOpSeq));
+  EXPECT_EQ(NetChainSeq(*r.output), 0u);
+
+  // The freed resources can be re-admitted.
+  EXPECT_TRUE(mgr_.CheckAdmission(StandardAlloc(9, 0, 8, 0, 32)).admitted);
+}
+
+TEST_F(AdmissionTest, LoadRefusesBrokenModules) {
+  const CompiledModule bad =
+      CompileDsl("module m { field f : 3 @ 0; }", StandardAlloc(1));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_THROW(mgr_.Load(bad, StandardAlloc(1)), std::invalid_argument);
+}
+
+// Section 5.2: with one match-action entry wanted in every stage, at most
+// 16 modules fit (16-entry CAMs); the overlay tables cap everything at 32.
+TEST_F(AdmissionTest, PackingArithmeticMatchesSection52) {
+  EXPECT_EQ(mgr_.MaxAdditionalModules(1), 16u);
+  EXPECT_EQ(mgr_.MaxAdditionalModules(0), 32u);  // overlay-bound
+  EXPECT_EQ(mgr_.MaxAdditionalModules(16), 1u);
+  EXPECT_EQ(mgr_.MaxAdditionalModules(17), 0u);
+}
+
+TEST_F(AdmissionTest, SixteenOneEntryModulesActuallyLoad) {
+  // Not just arithmetic: sixteen single-entry modules really coexist.
+  Diagnostics d;
+  const ModuleSpec tiny = ParseModuleDsl(R"(
+module tiny {
+  field f : 2 @ 46;
+  action fwd(p) { port(p); }
+  table t { key = { f }; actions = { fwd }; size = 1; }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+  for (u16 id = 0; id < 16; ++id) {
+    const auto alloc = StandardAlloc(id, id, 1, 0, 0);
+    CompiledModule m = MustCompile(tiny, alloc);
+    m.AddEntry("t", {{"f", 100u + id}}, std::nullopt, "fwd", {id});
+    MustLoad(mgr_, m, alloc);
+  }
+  EXPECT_EQ(mgr_.loaded_count(), 16u);
+  EXPECT_EQ(mgr_.MaxAdditionalModules(1), 0u);
+
+  // Every module still behaves individually.
+  for (u16 id = 0; id < 16; ++id) {
+    Packet p = PacketBuilder{}.vid(ModuleId(id)).frame_size(64).Build();
+    p.bytes().set_u16(46, 100u + id);
+    const auto r = pipe_.Process(std::move(p));
+    EXPECT_EQ(r.output->egress_port, id);
+  }
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,211 @@
+// End-to-end behaviour of every Table 3 application: compile with the
+// real compiler, load through the real control plane (daisy chain +
+// secure reconfiguration), then push packets through the pipeline.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+class AppTest : public ::testing::Test {
+ protected:
+  AppTest() : mgr_(pipe_) {}
+
+  CompiledModule LoadApp(const ModuleSpec& spec, u16 id,
+                         std::size_t cam = 8, u8 seg = 32) {
+    const ModuleAllocation alloc = StandardAlloc(id, 0, cam, 0, seg);
+    CompiledModule m = MustCompile(spec, alloc);
+    MustLoad(mgr_, m, alloc);
+    return m;
+  }
+
+  Pipeline pipe_;
+  ModuleManager mgr_;
+};
+
+TEST_F(AppTest, CalcAddSubEcho) {
+  CompiledModule m = LoadApp(apps::CalcSpec(), 2);
+  ASSERT_TRUE(apps::InstallCalcEntries(m, 1)) << m.diags().ToString();
+  mgr_.Update(m);
+
+  auto r = pipe_.Process(CalcPacket(2, apps::kCalcOpAdd, 1000, 234));
+  ASSERT_TRUE(r.output);
+  EXPECT_EQ(CalcResult(*r.output), 1234u);
+  EXPECT_EQ(r.output->egress_port, 1);
+
+  r = pipe_.Process(CalcPacket(2, apps::kCalcOpSub, 1000, 234));
+  EXPECT_EQ(CalcResult(*r.output), 766u);
+
+  r = pipe_.Process(CalcPacket(2, apps::kCalcOpEcho, 555, 0));
+  EXPECT_EQ(CalcResult(*r.output), 555u);
+
+  // Unknown opcode: miss, result field untouched (zero).
+  r = pipe_.Process(CalcPacket(2, 99, 1, 2));
+  EXPECT_EQ(CalcResult(*r.output), 0u);
+}
+
+TEST_F(AppTest, CalcSubtractionWrapsInContainer) {
+  CompiledModule m = LoadApp(apps::CalcSpec(), 2);
+  apps::InstallCalcEntries(m, 1);
+  mgr_.Update(m);
+  auto r = pipe_.Process(CalcPacket(2, apps::kCalcOpSub, 1, 2));
+  EXPECT_EQ(CalcResult(*r.output), 0xFFFFFFFFu);
+}
+
+TEST_F(AppTest, FirewallBlocksAndAllows) {
+  CompiledModule m = LoadApp(apps::FirewallSpec(), 3);
+  apps::FirewallRules rules;
+  rules.blocked_src_ips = {0x0A000099};
+  rules.blocked_dst_ports = {23};  // telnet
+  rules.allowed_src_ips = {0x0A000001};
+  rules.forward_port = 2;
+  ASSERT_TRUE(apps::InstallFirewallEntries(m, rules));
+  mgr_.Update(m);
+
+  // Blocked source.
+  Packet bad = PacketBuilder{}
+                   .vid(ModuleId(3))
+                   .ipv4(0x0A000099, 0x0A000002)
+                   .udp(1, 80)
+                   .Build();
+  EXPECT_EQ(pipe_.Process(std::move(bad)).output->disposition,
+            Disposition::kDrop);
+
+  // Allowed source, blocked port: the stage-2 rule still kills it.
+  Packet telnet = PacketBuilder{}
+                      .vid(ModuleId(3))
+                      .ipv4(0x0A000001, 0x0A000002)
+                      .udp(1, 23)
+                      .Build();
+  EXPECT_EQ(pipe_.Process(std::move(telnet)).output->disposition,
+            Disposition::kDrop);
+
+  // Allowed source, unlisted port: forwarded by the stage-1 allow.
+  Packet ok = PacketBuilder{}
+                  .vid(ModuleId(3))
+                  .ipv4(0x0A000001, 0x0A000002)
+                  .udp(1, 80)
+                  .Build();
+  const auto r = pipe_.Process(std::move(ok));
+  EXPECT_EQ(r.output->disposition, Disposition::kForward);
+  EXPECT_EQ(r.output->egress_port, 2);
+}
+
+TEST_F(AppTest, LoadBalancerSteersFlows) {
+  CompiledModule m = LoadApp(apps::LoadBalanceSpec(), 4, 4);
+  const std::vector<apps::LbFlow> flows = {
+      {0x0A000001, 0x0B000001, 1111, 80, 5},
+      {0x0A000001, 0x0B000001, 2222, 80, 6},
+  };
+  ASSERT_TRUE(apps::InstallLoadBalanceEntries(m, flows));
+  mgr_.Update(m);
+
+  const auto mk = [](u16 sport) {
+    return PacketBuilder{}
+        .vid(ModuleId(4))
+        .ipv4(0x0A000001, 0x0B000001)
+        .udp(sport, 80)
+        .Build();
+  };
+  EXPECT_EQ(pipe_.Process(mk(1111)).output->egress_port, 5);
+  EXPECT_EQ(pipe_.Process(mk(2222)).output->egress_port, 6);
+  EXPECT_EQ(pipe_.Process(mk(3333)).output->egress_port, 0);  // no flow
+}
+
+TEST_F(AppTest, QosStampsTosByte) {
+  CompiledModule m = LoadApp(apps::QosSpec(), 5, 4);
+  ASSERT_TRUE(apps::InstallQosEntries(
+      m, {{5060, 0xB8, 1}, {80, 0x28, 1}}));  // EF for VoIP, AF11 for web
+  mgr_.Update(m);
+
+  Packet voip = PacketBuilder{}.vid(ModuleId(5)).udp(1, 5060).Build();
+  const auto r = pipe_.Process(std::move(voip));
+  EXPECT_EQ(r.output->bytes().u8_at(offsets::kIpv4 + 1), 0xB8);
+  EXPECT_EQ(r.output->bytes().u8_at(offsets::kIpv4), 0x45);  // preserved
+
+  Packet other = PacketBuilder{}.vid(ModuleId(5)).udp(1, 9999).Build();
+  EXPECT_EQ(pipe_.Process(std::move(other)).output->bytes().u8_at(
+                offsets::kIpv4 + 1),
+            0x00);
+}
+
+TEST_F(AppTest, SourceRoutingFollowsTagAndDecrementsHops) {
+  CompiledModule m = LoadApp(apps::SourceRoutingSpec(), 6, 4);
+  ASSERT_TRUE(apps::InstallSourceRoutingEntries(m, {{10, 3}, {11, 4}}));
+  mgr_.Update(m);
+
+  auto r = pipe_.Process(SourceRoutePacket(6, 10, 5));
+  EXPECT_EQ(r.output->egress_port, 3);
+  EXPECT_EQ(r.output->bytes().u16_at(48), 4);  // hops decremented
+
+  r = pipe_.Process(SourceRoutePacket(6, 11, 1));
+  EXPECT_EQ(r.output->egress_port, 4);
+  EXPECT_EQ(r.output->bytes().u16_at(48), 0);
+}
+
+TEST_F(AppTest, NetCacheServesHitsAndCountsThem) {
+  CompiledModule m = LoadApp(apps::NetCacheSpec(), 7, 8);
+  ASSERT_TRUE(apps::InstallNetCacheEntries(m, {{0xCAFE, 0}, {0xBEEF, 1}},
+                                           /*client_port=*/1,
+                                           /*server_port=*/9));
+  mgr_.Update(m);
+
+  // PUT a value for a cached key, then GET it back from the switch.
+  auto r = pipe_.Process(NetCachePacket(7, apps::kNetCacheOpPut, 0xCAFE, 42));
+  EXPECT_EQ(r.output->egress_port, 9);  // write-through to server
+
+  r = pipe_.Process(NetCachePacket(7, apps::kNetCacheOpGet, 0xCAFE));
+  EXPECT_EQ(NetCacheValue(*r.output), 42u);
+  EXPECT_EQ(r.output->egress_port, 1);  // answered to the client
+
+  // GET on an uncached key: forwarded (miss), value untouched.
+  r = pipe_.Process(NetCachePacket(7, apps::kNetCacheOpGet, 0xD00D));
+  EXPECT_EQ(NetCacheValue(*r.output), 0u);
+
+  // The hit counter lives in the module's stateful segment: 1 hit so far.
+  const auto& layout = m.state_layout();
+  const auto sp = layout.at("nc_stats");
+  const auto seg = pipe_.stage(sp.stage).stateful().segment_table().At(7);
+  EXPECT_EQ(pipe_.stage(sp.stage).stateful().PhysicalAt(seg.offset + sp.base),
+            1u);
+}
+
+TEST_F(AppTest, NetChainSequencesMonotonically) {
+  CompiledModule m = LoadApp(apps::NetChainSpec(), 8, 4);
+  ASSERT_TRUE(apps::InstallNetChainEntries(m, 2));
+  mgr_.Update(m);
+
+  for (u32 expect = 1; expect <= 5; ++expect) {
+    auto r = pipe_.Process(NetChainPacket(8, apps::kNetChainOpSeq));
+    EXPECT_EQ(NetChainSeq(*r.output), expect);
+    EXPECT_EQ(r.output->egress_port, 2);
+  }
+}
+
+TEST_F(AppTest, MulticastReplicatesByDstIp) {
+  pipe_.SetMulticastGroup(5, {1, 2, 3});
+  CompiledModule m = LoadApp(apps::MulticastSpec(), 9, 4);
+  ASSERT_TRUE(apps::InstallMulticastEntries(m, {{0xE0000001, 5}}));
+  mgr_.Update(m);
+
+  Packet p = PacketBuilder{}
+                 .vid(ModuleId(9))
+                 .ipv4(0x0A000001, 0xE0000001)
+                 .Build();
+  const auto r = pipe_.Process(std::move(p));
+  EXPECT_EQ(r.output->disposition, Disposition::kMulticast);
+  EXPECT_EQ(r.output->multicast_ports, (std::vector<u16>{1, 2, 3}));
+
+  Packet unicast = PacketBuilder{}
+                       .vid(ModuleId(9))
+                       .ipv4(0x0A000001, 0x0B000001)
+                       .Build();
+  EXPECT_EQ(pipe_.Process(std::move(unicast)).output->disposition,
+            Disposition::kForward);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,85 @@
+// FPGA/ASIC area models (Table 4 and section 5.2).
+#include "area/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace menshen {
+namespace {
+
+TEST(Census, MatchesTable5Arithmetic) {
+  const IsolationCensus c = MenshenCensus();
+  EXPECT_EQ(c.parser_table_bits, 160u * 32u);
+  EXPECT_EQ(c.key_extractor_bits_per_stage, 38u * 32u);
+  EXPECT_EQ(c.key_mask_bits_per_stage, 193u * 32u);
+  EXPECT_EQ(c.segment_table_bits_per_stage, 16u * 32u);
+  EXPECT_EQ(c.extra_cam_bit_entries_per_stage, 12u * 16u);
+  EXPECT_EQ(c.stages, 5u);
+  // Total overlay storage: 2*5120 + 5*(1216 + 6176 + 512) = 49760 bits.
+  EXPECT_EQ(c.total_overlay_bits(), 49760u);
+  EXPECT_EQ(c.total_extra_cam_bit_entries(), 960u);
+}
+
+TEST(FpgaModel, LutDeltaIsSmallAndBusDependent) {
+  const IsolationCensus c = MenshenCensus();
+  const double d256 = MenshenLutDelta(c, 256);
+  const double d512 = MenshenLutDelta(c, 512);
+  // Paper Table 4: +160 LUTs (NetFPGA, 256-bit) / +217 (Corundum, 512-bit).
+  EXPECT_NEAR(d256, 160.0, 35.0);
+  EXPECT_NEAR(d512, 217.0, 35.0);
+  EXPECT_GT(d512, d256);
+}
+
+TEST(FpgaModel, Table4RowsReproducePaper) {
+  const auto rows = Table4Model();
+  ASSERT_EQ(rows.size(), 6u);
+  // Paper values: Menshen on NetFPGA 200733 LUTs (46.34%), 641 BRAM;
+  // Menshen on Corundum 235903 LUTs (13.65%), 316 BRAM.
+  EXPECT_NEAR(rows[2].luts, 200733.0, 40.0);
+  EXPECT_NEAR(rows[2].luts_pct, 46.34, 0.1);
+  EXPECT_DOUBLE_EQ(rows[2].brams, 641.0);
+  EXPECT_NEAR(rows[5].luts, 235903.0, 40.0);
+  EXPECT_NEAR(rows[5].luts_pct, 13.65, 0.1);
+  EXPECT_DOUBLE_EQ(rows[5].brams, 316.0);
+  // Menshen adds no Block RAM over RMT on either platform.
+  EXPECT_DOUBLE_EQ(rows[1].brams, rows[2].brams);
+  EXPECT_DOUBLE_EQ(rows[4].brams, rows[5].brams);
+  // Relative LUT overhead: +0.65% class (NetFPGA), +0.15% class (Corundum).
+  EXPECT_LT((rows[2].luts - rows[1].luts) / rows[1].luts, 0.01);
+  EXPECT_LT((rows[5].luts - rows[4].luts) / rows[4].luts, 0.01);
+}
+
+TEST(AsicModel, ComponentOverheadsMatchSection52) {
+  const AsicSummary s = AsicAreaModel();
+  const auto find = [&](const std::string& name) -> const AsicComponent& {
+    for (const auto& c : s.components)
+      if (c.name == name) return c;
+    throw std::logic_error("missing component " + name);
+  };
+  EXPECT_NEAR(find("parser").overhead_pct(), 18.5, 0.1);
+  EXPECT_NEAR(find("deparser").overhead_pct(), 7.0, 0.1);
+  EXPECT_NEAR(find("stage 0").overhead_pct(), 20.9, 0.1);
+}
+
+TEST(AsicModel, TotalsMatchSection52) {
+  const AsicSummary s = AsicAreaModel();
+  // Paper: RMT 9.71 mm^2, Menshen 10.81 mm^2, +11.4% pipeline, ~5.7% chip.
+  EXPECT_NEAR(s.rmt_total_mm2, 9.71, 0.05);
+  EXPECT_NEAR(s.menshen_total_mm2, 10.81, 0.05);
+  EXPECT_NEAR(s.pipeline_overhead_pct, 11.4, 0.5);
+  EXPECT_NEAR(s.chip_overhead_pct, 5.7, 0.3);
+}
+
+TEST(AsicModel, EveryPathMeets1GHz) {
+  for (const auto& path : AsicTimingModel()) {
+    EXPECT_TRUE(path.meets_1ghz()) << path.element << " @ " << path.delay_ps;
+    EXPECT_GT(path.delay_ps, 0.0);
+  }
+}
+
+TEST(FpgaDevices, SaneTotals) {
+  EXPECT_GT(NetFpgaSumeDevice().total_luts, 400000.0);
+  EXPECT_GT(AlveoU250Device().total_luts, 1500000.0);
+}
+
+}  // namespace
+}  // namespace menshen

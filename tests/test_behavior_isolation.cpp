@@ -1,0 +1,236 @@
+// The section 5.1 behaviour-isolation experiment: run module sets
+// {CALC, Firewall, NetCache} and {LoadBalancing, SourceRouting, NetChain}
+// concurrently on one pipeline and check every module behaves exactly as
+// it does when running alone.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+struct Loaded {
+  CompiledModule module;
+  ModuleAllocation alloc;
+};
+
+Loaded LoadWith(Pipeline& pipe, ModuleManager& mgr, const ModuleSpec& spec,
+                u16 id, std::size_t cam_base, std::size_t cam_count,
+                u8 seg_off, u8 seg_range) {
+  const ModuleAllocation alloc = UniformAllocation(
+      ModuleId(id), 0, params::kNumStages, cam_base, cam_count, seg_off,
+      seg_range);
+  CompiledModule m = MustCompile(spec, alloc);
+  MustLoad(mgr, m, alloc);
+  (void)pipe;
+  return {std::move(m), alloc};
+}
+
+/// Runs a deterministic packet trace for one module and returns a digest
+/// of every output (bytes + disposition + port) in order.
+std::vector<std::string> RunTrace(Pipeline& pipe, u16 vid,
+                                  const std::vector<Packet>& trace) {
+  std::vector<std::string> out;
+  for (const Packet& pkt : trace) {
+    Packet copy = pkt;
+    copy.set_vid(ModuleId(vid));
+    const auto r = pipe.Process(std::move(copy));
+    if (!r.output) {
+      out.push_back("<filtered>");
+      continue;
+    }
+    std::string digest = r.output->bytes().hex();
+    digest += "|d=" + std::to_string(static_cast<int>(r.output->disposition));
+    digest += "|p=" + std::to_string(r.output->egress_port);
+    out.push_back(std::move(digest));
+  }
+  return out;
+}
+
+std::vector<Packet> CalcTrace() {
+  return {CalcPacket(0, apps::kCalcOpAdd, 7, 8),
+          CalcPacket(0, apps::kCalcOpSub, 100, 1),
+          CalcPacket(0, apps::kCalcOpEcho, 42, 0),
+          CalcPacket(0, 99, 5, 5)};
+}
+
+std::vector<Packet> FirewallTrace() {
+  std::vector<Packet> t;
+  for (const u32 src : {0x0A000099u, 0x0A000001u})
+    for (const u16 port : {u16{23}, u16{80}})
+      t.push_back(PacketBuilder{}
+                      .vid(ModuleId(0))
+                      .ipv4(src, 0x0B000001)
+                      .udp(1, port)
+                      .Build());
+  return t;
+}
+
+std::vector<Packet> NetCacheTrace() {
+  return {NetCachePacket(0, apps::kNetCacheOpPut, 0xCAFE, 11),
+          NetCachePacket(0, apps::kNetCacheOpGet, 0xCAFE),
+          NetCachePacket(0, apps::kNetCacheOpPut, 0xCAFE, 22),
+          NetCachePacket(0, apps::kNetCacheOpGet, 0xCAFE),
+          NetCachePacket(0, apps::kNetCacheOpGet, 0xD00D)};
+}
+
+apps::FirewallRules Rules() {
+  apps::FirewallRules r;
+  r.blocked_src_ips = {0x0A000099};
+  r.blocked_dst_ports = {23};
+  r.allowed_src_ips = {0x0A000001};
+  r.forward_port = 2;
+  return r;
+}
+
+TEST(BehaviorIsolation, CalcFirewallNetCacheConcurrently) {
+  // --- Run-alone baselines (fresh pipeline per module) ----------------------
+  std::vector<std::string> calc_alone, fw_alone, nc_alone;
+  {
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    auto l = LoadWith(pipe, mgr, apps::CalcSpec(), 1, 0, 4, 0, 0);
+    apps::InstallCalcEntries(l.module, 1);
+    mgr.Update(l.module);
+    calc_alone = RunTrace(pipe, 1, CalcTrace());
+  }
+  {
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    auto l = LoadWith(pipe, mgr, apps::FirewallSpec(), 2, 4, 4, 0, 0);
+    apps::InstallFirewallEntries(l.module, Rules());
+    mgr.Update(l.module);
+    fw_alone = RunTrace(pipe, 2, FirewallTrace());
+  }
+  {
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    auto l = LoadWith(pipe, mgr, apps::NetCacheSpec(), 3, 8, 8, 0, 32);
+    apps::InstallNetCacheEntries(l.module, {{0xCAFE, 0}}, 1, 9);
+    mgr.Update(l.module);
+    nc_alone = RunTrace(pipe, 3, NetCacheTrace());
+  }
+
+  // --- Concurrent run: all three share one pipeline -------------------------
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  auto calc = LoadWith(pipe, mgr, apps::CalcSpec(), 1, 0, 4, 0, 0);
+  auto fw = LoadWith(pipe, mgr, apps::FirewallSpec(), 2, 4, 4, 0, 0);
+  auto nc = LoadWith(pipe, mgr, apps::NetCacheSpec(), 3, 8, 8, 0, 32);
+  apps::InstallCalcEntries(calc.module, 1);
+  apps::InstallFirewallEntries(fw.module, Rules());
+  apps::InstallNetCacheEntries(nc.module, {{0xCAFE, 0}}, 1, 9);
+  mgr.Update(calc.module);
+  mgr.Update(fw.module);
+  mgr.Update(nc.module);
+
+  // Interleave the traces round-robin so modules' packets are mixed on
+  // the wire, as in the paper's experiment.
+  const auto ct = CalcTrace();
+  const auto ft = FirewallTrace();
+  const auto nt = NetCacheTrace();
+  std::vector<std::string> calc_mixed, fw_mixed, nc_mixed;
+  const std::size_t rounds = std::max({ct.size(), ft.size(), nt.size()});
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i < ct.size())
+      calc_mixed.push_back(RunTrace(pipe, 1, {ct[i]}).front());
+    if (i < ft.size())
+      fw_mixed.push_back(RunTrace(pipe, 2, {ft[i]}).front());
+    if (i < nt.size())
+      nc_mixed.push_back(RunTrace(pipe, 3, {nt[i]}).front());
+  }
+
+  EXPECT_EQ(calc_mixed, calc_alone);
+  EXPECT_EQ(fw_mixed, fw_alone);
+  EXPECT_EQ(nc_mixed, nc_alone);
+}
+
+TEST(BehaviorIsolation, LbSourceRoutingNetChainConcurrently) {
+  const std::vector<apps::LbFlow> flows = {
+      {0x0A000001, 0x0B000001, 1111, 80, 5}};
+  const std::vector<apps::SourceRoute> routes = {{10, 3}};
+
+  const auto lb_trace = [] {
+    return std::vector<Packet>{PacketBuilder{}
+                                   .vid(ModuleId(0))
+                                   .ipv4(0x0A000001, 0x0B000001)
+                                   .udp(1111, 80)
+                                   .Build()};
+  };
+
+  std::vector<std::string> lb_alone, sr_alone, chain_alone;
+  {
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    auto l = LoadWith(pipe, mgr, apps::LoadBalanceSpec(), 1, 0, 4, 0, 0);
+    apps::InstallLoadBalanceEntries(l.module, flows);
+    mgr.Update(l.module);
+    lb_alone = RunTrace(pipe, 1, lb_trace());
+  }
+  {
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    auto l = LoadWith(pipe, mgr, apps::SourceRoutingSpec(), 2, 4, 4, 0, 0);
+    apps::InstallSourceRoutingEntries(l.module, routes);
+    mgr.Update(l.module);
+    sr_alone = RunTrace(pipe, 2, {SourceRoutePacket(0, 10, 9)});
+  }
+  {
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    auto l = LoadWith(pipe, mgr, apps::NetChainSpec(), 3, 8, 4, 0, 8);
+    apps::InstallNetChainEntries(l.module, 2);
+    mgr.Update(l.module);
+    chain_alone = RunTrace(pipe, 3,
+                           {NetChainPacket(0, apps::kNetChainOpSeq),
+                            NetChainPacket(0, apps::kNetChainOpSeq)});
+  }
+
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  auto lb = LoadWith(pipe, mgr, apps::LoadBalanceSpec(), 1, 0, 4, 0, 0);
+  auto sr = LoadWith(pipe, mgr, apps::SourceRoutingSpec(), 2, 4, 4, 0, 0);
+  auto ch = LoadWith(pipe, mgr, apps::NetChainSpec(), 3, 8, 4, 0, 8);
+  apps::InstallLoadBalanceEntries(lb.module, flows);
+  apps::InstallSourceRoutingEntries(sr.module, routes);
+  apps::InstallNetChainEntries(ch.module, 2);
+  mgr.Update(lb.module);
+  mgr.Update(sr.module);
+  mgr.Update(ch.module);
+
+  EXPECT_EQ(RunTrace(pipe, 1, lb_trace()), lb_alone);
+  EXPECT_EQ(RunTrace(pipe, 2, {SourceRoutePacket(0, 10, 9)}), sr_alone);
+  EXPECT_EQ(RunTrace(pipe, 3,
+                     {NetChainPacket(0, apps::kNetChainOpSeq),
+                      NetChainPacket(0, apps::kNetChainOpSeq)}),
+            chain_alone);
+}
+
+TEST(BehaviorIsolation, OneModulesEntriesNeverMatchAnothersPackets) {
+  // CALC and NetChain both key a 2-byte field at payload offset 0 with
+  // small integer values — without the module ID in the CAM their
+  // entries would collide.  A CALC packet with NetChain's opcode must
+  // miss in CALC's table.
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  auto calc = LoadWith(pipe, mgr, apps::CalcSpec(), 1, 0, 4, 0, 0);
+  auto ch = LoadWith(pipe, mgr, apps::NetChainSpec(), 2, 4, 4, 0, 8);
+  apps::InstallCalcEntries(calc.module, 1);
+  apps::InstallNetChainEntries(ch.module, 2);
+  mgr.Update(calc.module);
+  mgr.Update(ch.module);
+
+  // kNetChainOpSeq (7) is not a CALC opcode: CALC's packet must miss.
+  auto r = pipe.Process(CalcPacket(1, apps::kNetChainOpSeq, 9, 9));
+  EXPECT_EQ(CalcResult(*r.output), 0u);
+  EXPECT_EQ(r.output->egress_port, 0);
+
+  // And the NetChain packet must not increment via CALC's pipeline pass.
+  auto r2 = pipe.Process(NetChainPacket(2, apps::kNetChainOpSeq));
+  EXPECT_EQ(NetChainSeq(*r2.output), 1u);
+}
+
+}  // namespace
+}  // namespace menshen

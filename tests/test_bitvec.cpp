@@ -1,0 +1,143 @@
+#include "common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace menshen {
+namespace {
+
+TEST(BitVec, StartsZeroed) {
+  BitVec v(193);
+  EXPECT_EQ(v.width(), 193u);
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetAndGetBits) {
+  BitVec v(193);
+  v.set_bit(0, true);
+  v.set_bit(63, true);
+  v.set_bit(64, true);
+  v.set_bit(192, true);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(192));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set_bit(63, false);
+  EXPECT_FALSE(v.bit(63));
+}
+
+TEST(BitVec, BitOutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW((void)v.bit(8), std::out_of_range);
+  EXPECT_THROW(v.set_bit(9, true), std::out_of_range);
+}
+
+TEST(BitVec, FieldAccessCrossesWordBoundary) {
+  BitVec v(128);
+  v.set_field(60, 16, 0xABCD);
+  EXPECT_EQ(v.field(60, 16), 0xABCDu);
+  EXPECT_EQ(v.field(60, 8), 0xCDu);
+  EXPECT_EQ(v.field(68, 8), 0xABu);
+}
+
+TEST(BitVec, FieldValueMustFit) {
+  BitVec v(64);
+  EXPECT_THROW(v.set_field(0, 4, 16), std::invalid_argument);
+  EXPECT_NO_THROW(v.set_field(0, 4, 15));
+}
+
+TEST(BitVec, FromValueRoundTrip) {
+  const BitVec v = BitVec::FromValue(48, 0x0000'1234'5678'9ABCULL >> 16);
+  EXPECT_EQ(v.field(0, 48), 0x0000'1234'5678'9ABCULL >> 16);
+}
+
+TEST(BitVec, FromBytesBigEndian) {
+  const std::vector<u8> bytes = {0x12, 0x34, 0x56};
+  const BitVec v = BitVec::FromBytesBigEndian(24, bytes);
+  EXPECT_EQ(v.field(0, 24), 0x123456u);
+  EXPECT_EQ(v.field(16, 8), 0x12u);  // byte 0 is most significant
+}
+
+TEST(BitVec, MaskedZeroesNonMaskBits) {
+  BitVec v = BitVec::FromValue(16, 0xFFFF);
+  BitVec mask = BitVec::FromValue(16, 0x0F0F);
+  EXPECT_EQ(v.masked(mask).field(0, 16), 0x0F0Fu);
+  EXPECT_THROW(v.masked(BitVec(8)), std::invalid_argument);
+}
+
+TEST(BitVec, ConcatPlacesLowAndHigh) {
+  const BitVec low = BitVec::FromValue(12, 0xABC);
+  const BitVec high = BitVec::FromValue(8, 0x5A);
+  const BitVec cat = BitVec::Concat(high, low);
+  EXPECT_EQ(cat.width(), 20u);
+  EXPECT_EQ(cat.field(0, 12), 0xABCu);
+  EXPECT_EQ(cat.field(12, 8), 0x5Au);
+}
+
+TEST(BitVec, SliceRoundTrip) {
+  BitVec v(193);
+  v.set_field(100, 20, 0x9FEDC);
+  const BitVec s = v.slice(100, 20);
+  EXPECT_EQ(s.field(0, 20), 0x9FEDCu);
+  BitVec w(193);
+  w.set_slice(100, s);
+  EXPECT_EQ(w, v);
+}
+
+TEST(BitVec, OrderingIsTotalAndConsistent) {
+  const BitVec a = BitVec::FromValue(16, 1);
+  const BitVec b = BitVec::FromValue(16, 2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, BitVec::FromValue(16, 1));
+  // Width participates in ordering: different widths are never equal.
+  EXPECT_NE(BitVec::FromValue(17, 1), a);
+}
+
+TEST(BitVec, HexFormatting) {
+  EXPECT_EQ(BitVec::FromValue(16, 0xBEEF).ToHex(), "beef");
+  EXPECT_EQ(BitVec::FromValue(9, 0x1FF).ToHex(), "1ff");
+  EXPECT_EQ(BitVec(8).ToHex(), "00");
+}
+
+TEST(BitVec, AllOnesPopcountEqualsWidth) {
+  for (const std::size_t w : {1u, 63u, 64u, 65u, 193u, 205u, 625u}) {
+    EXPECT_EQ(BitVec::AllOnes(w).popcount(), w);
+  }
+}
+
+/// Property sweep: random field writes then reads at random positions.
+class BitVecPropertyTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BitVecPropertyTest, RandomFieldRoundTrips) {
+  Rng rng(GetParam());
+  BitVec v(205);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t width = 1 + rng.Below(48);
+    const std::size_t lsb = rng.Below(205 - width);
+    const u64 value = rng.Next() & ((u64{1} << width) - 1);
+    v.set_field(lsb, width, value);
+    EXPECT_EQ(v.field(lsb, width), value);
+  }
+}
+
+TEST_P(BitVecPropertyTest, HashEqualForEqualVectors) {
+  Rng rng(GetParam());
+  BitVec a(193), b(193);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t bit = rng.Below(193);
+    a.set_bit(bit, true);
+    b.set_bit(bit, true);
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337, 0xDEAD));
+
+}  // namespace
+}  // namespace menshen

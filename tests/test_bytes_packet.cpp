@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "packet/packet.hpp"
+
+namespace menshen {
+namespace {
+
+TEST(ByteBuffer, BigEndianAccessors) {
+  ByteBuffer b(16);
+  b.set_u16(0, 0x1234);
+  EXPECT_EQ(b.u8_at(0), 0x12);
+  EXPECT_EQ(b.u8_at(1), 0x34);
+  b.set_u32(2, 0xDEADBEEF);
+  EXPECT_EQ(b.u32_at(2), 0xDEADBEEFu);
+  EXPECT_EQ(b.u16_at(2), 0xDEADu);
+  b.set_u48(6, 0x0200'0000'0001ULL);
+  EXPECT_EQ(b.u48_at(6), 0x0200'0000'0001ULL);
+}
+
+TEST(ByteBuffer, OutOfRangeThrows) {
+  // Runtime-sized so the compiler cannot constant-fold the throwing path
+  // (GCC 12 otherwise flags the deliberately out-of-range access).
+  volatile std::size_t n = 4;
+  ByteBuffer b(n);
+  EXPECT_THROW((void)b.u32_at(1), std::out_of_range);
+  EXPECT_THROW(b.set_u16(3, 0), std::out_of_range);
+  EXPECT_NO_THROW((void)b.u32_at(0));
+}
+
+TEST(ByteBuffer, AppendAndHex) {
+  ByteBuffer b;
+  b.append_u8(0xAB);
+  b.append_u16(0xCDEF);
+  b.append_u32(0x01020304);
+  EXPECT_EQ(b.size(), 7u);
+  EXPECT_EQ(b.hex(), "abcdef01020304");
+}
+
+TEST(ByteBuffer, WriteReadBytes) {
+  ByteBuffer b(8);
+  const std::vector<u8> src = {1, 2, 3};
+  b.write_bytes(4, src);
+  EXPECT_EQ(b.read_bytes(4, 3), src);
+  EXPECT_THROW(b.write_bytes(6, src), std::out_of_range);
+}
+
+TEST(PacketBuilder, LayoutMatchesCommonHeader) {
+  const Packet p = PacketBuilder{}
+                       .vid(ModuleId(7))
+                       .eth(0xAABBCCDDEEFF, 0x112233445566)
+                       .ipv4(0x0A000001, 0x0A000002)
+                       .udp(1111, 2222)
+                       .frame_size(100)
+                       .Build();
+  EXPECT_EQ(p.size(), 100u);
+  EXPECT_TRUE(p.has_vlan());
+  EXPECT_EQ(p.vid().value(), 7);
+  EXPECT_EQ(p.ipv4_src(), 0x0A000001u);
+  EXPECT_EQ(p.ipv4_dst(), 0x0A000002u);
+  EXPECT_EQ(p.l4_src_port(), 1111);
+  EXPECT_EQ(p.l4_dst_port(), 2222);
+  EXPECT_EQ(p.ip_proto(), kIpProtoUdp);
+  EXPECT_EQ(p.bytes().u48_at(offsets::kEthDst), 0x112233445566ULL);
+  EXPECT_EQ(p.bytes().u16_at(offsets::kVlanTpid), kEtherTypeVlan);
+  EXPECT_EQ(p.bytes().u16_at(offsets::kEtherType), kEtherTypeIpv4);
+}
+
+TEST(PacketBuilder, PayloadStartsAtByte46) {
+  const Packet p =
+      PacketBuilder{}.payload({0xDE, 0xAD}).frame_size(64).Build();
+  EXPECT_EQ(p.bytes().u8_at(46), 0xDE);
+  EXPECT_EQ(p.bytes().u8_at(47), 0xAD);
+  EXPECT_EQ(p.size(), 64u);  // padded to the requested frame
+}
+
+TEST(PacketBuilder, GrowsBeyondFrameSizeForLargePayloads) {
+  std::vector<u8> big(200, 0x55);
+  const Packet p = PacketBuilder{}.payload(big).frame_size(64).Build();
+  EXPECT_EQ(p.size(), 246u);  // 46-byte headers + payload
+}
+
+TEST(Packet, VidRewritePreservesPcp) {
+  Packet p = PacketBuilder{}.vid(ModuleId(5)).Build();
+  p.bytes().set_u16(offsets::kVlanTci, 0xA005);  // PCP bits set
+  p.set_vid(ModuleId(9));
+  EXPECT_EQ(p.vid().value(), 9);
+  EXPECT_EQ(p.bytes().u16_at(offsets::kVlanTci) & 0xF000, 0xA000);
+}
+
+TEST(Packet, ReconfigDetection) {
+  const Packet data = PacketBuilder{}.udp(1, 999).Build();
+  EXPECT_FALSE(data.is_reconfig());
+  const Packet rc = PacketBuilder{}.udp(1, kReconfigUdpPort).Build();
+  EXPECT_TRUE(rc.is_reconfig());
+  const Packet tcp = PacketBuilder{}.tcp(1, kReconfigUdpPort).Build();
+  EXPECT_FALSE(tcp.is_reconfig());  // UDP-only
+}
+
+TEST(ModuleId, Is12Bits) {
+  EXPECT_NO_THROW(ModuleId(0xFFF));
+  EXPECT_THROW(ModuleId(0x1000), std::out_of_range);
+}
+
+TEST(ClockDomains, ExactPeriods) {
+  EXPECT_DOUBLE_EQ(kNetFpgaClock.frequency_mhz(), 156.25);
+  EXPECT_DOUBLE_EQ(kCorundumClock.frequency_mhz(), 250.0);
+  EXPECT_DOUBLE_EQ(kAsicClock.frequency_mhz(), 1000.0);
+  // The paper's latency arithmetic: 79 cycles at 156.25 MHz = 505.6 ns.
+  EXPECT_NEAR(kNetFpgaClock.cycles_to_ns(79), 505.6, 1e-9);
+  EXPECT_NEAR(kCorundumClock.cycles_to_ns(106), 424.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace menshen

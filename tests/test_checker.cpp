@@ -1,0 +1,259 @@
+// Static checker (section 3.4) and resource checker.
+#include "compiler/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/dsl_parser.hpp"
+
+namespace menshen {
+namespace {
+
+ModuleSpec MustParse(std::string_view src) {
+  Diagnostics diags;
+  ModuleSpec spec = ParseModuleDsl(src, diags);
+  EXPECT_TRUE(diags.ok()) << diags.ToString();
+  return spec;
+}
+
+Diagnostics CheckStatic(std::string_view src) {
+  Diagnostics diags;
+  StaticCheck(MustParse(src), diags);
+  return diags;
+}
+
+TEST(StaticChecker, RejectsRecirculation) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field f : 2 @ 46;
+  action a { recirculate(); }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("static.recirculate")) << diags.ToString();
+}
+
+TEST(StaticChecker, RejectsSystemStatWrites) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field f : 2 @ 46;
+  action a { meta.link_util = 100; }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("static.stat-write")) << diags.ToString();
+}
+
+TEST(StaticChecker, RejectsVidModification) {
+  // Byte offsets 14-15 carry the VLAN TCI (module ID).  Any field
+  // overlapping them may be read but never written.
+  const auto diags = CheckStatic(R"(
+module m {
+  field vlan_tci : 2 @ 14;
+  action a { vlan_tci = 99; }
+  table t { key = { vlan_tci }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("static.vid-write")) << diags.ToString();
+}
+
+TEST(StaticChecker, VidOverlapFromEitherSideIsCaught) {
+  // A 4-byte field at offset 12 also covers bytes 14-15.
+  const auto diags = CheckStatic(R"(
+module m {
+  field tpid_tci : 4 @ 12;
+  action a { tpid_tci = 1; }
+  table t { key = { tpid_tci }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("static.vid-write")) << diags.ToString();
+}
+
+TEST(StaticChecker, ReadingVidIsAllowed) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field vlan_tci : 2 @ 14;
+  field out : 2 @ 46;
+  action a { out = vlan_tci; }
+  table t { key = { vlan_tci }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.ok()) << diags.ToString();
+}
+
+TEST(StaticChecker, UnknownNamesAndConflicts) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field f : 2 @ 46;
+  action a { g = 1; f = 1; f = 2; nosuch[0] = f; }
+  table t { key = { f, missing }; actions = { a, ghost }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("name.unknown-field"));
+  EXPECT_TRUE(diags.HasCode("action.slot-conflict"));
+  EXPECT_TRUE(diags.HasCode("name.unknown-state"));
+  EXPECT_TRUE(diags.HasCode("name.unknown-action"));
+}
+
+TEST(StaticChecker, KeyWidthLimits) {
+  // Three 4-byte key fields exceed the two 4-byte key slots.
+  const auto diags = CheckStatic(R"(
+module m {
+  field a : 4 @ 20; field b : 4 @ 24; field c : 4 @ 28;
+  action act { drop(); }
+  table t { key = { a, b, c }; actions = { act }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("table.key-width")) << diags.ToString();
+}
+
+TEST(StaticChecker, StateSharedAcrossTablesRejected) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field f : 2 @ 46;
+  scratch t1 : 4;
+  state s[4];
+  action a1 { t1 = incr(s[0]); }
+  action a2 { s[1] = f; }
+  table ta { key = { f }; actions = { a1 }; size = 1; }
+  table tb { key = { f }; actions = { a2 }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("state.multi-table")) << diags.ToString();
+}
+
+TEST(StaticChecker, StoreOfConstantRejected) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field f : 2 @ 46;
+  state s[4];
+  action a { s[0] = 5; }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("action.store-const")) << diags.ToString();
+}
+
+TEST(StaticChecker, MetadataAluConflict) {
+  const auto diags = CheckStatic(R"(
+module m {
+  field f : 2 @ 46;
+  action a { port(1); drop(); }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  EXPECT_TRUE(diags.HasCode("action.slot-conflict")) << diags.ToString();
+}
+
+// --- Resource checker ------------------------------------------------------------
+
+TEST(ResourceChecker, TooManyTablesForAllocation) {
+  const ModuleSpec spec = MustParse(R"(
+module m {
+  field f : 2 @ 46;
+  action a(p) { port(p); }
+  table t1 { key = { f }; actions = { a }; size = 1; }
+  table t2 { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  const ModuleAllocation alloc =
+      UniformAllocation(ModuleId(1), 0, 1, 0, 8);  // only one stage
+  Diagnostics diags;
+  ResourceCheck(spec, alloc, diags);
+  EXPECT_TRUE(diags.HasCode("resource.stages")) << diags.ToString();
+}
+
+TEST(ResourceChecker, TableLargerThanCamBlock) {
+  const ModuleSpec spec = MustParse(R"(
+module m {
+  field f : 2 @ 46;
+  action a(p) { port(p); }
+  table t { key = { f }; actions = { a }; size = 100; }
+}
+)");
+  Diagnostics diags;
+  ResourceCheck(spec, UniformAllocation(ModuleId(1), 0, 5, 0, 8), diags);
+  EXPECT_TRUE(diags.HasCode("resource.match-entries")) << diags.ToString();
+}
+
+TEST(ResourceChecker, StateBeyondSegment) {
+  const ModuleSpec spec = MustParse(R"(
+module m {
+  field f : 2 @ 46;
+  scratch t1 : 4;
+  state s[64];
+  action a { t1 = incr(s[0]); }
+  table t { key = { f }; actions = { a }; size = 1; }
+}
+)");
+  Diagnostics diags;
+  ResourceCheck(spec, UniformAllocation(ModuleId(1), 0, 5, 0, 8, 0, 32),
+                diags);
+  EXPECT_TRUE(diags.HasCode("resource.state-words")) << diags.ToString();
+}
+
+TEST(ResourceChecker, ParserActionBudget) {
+  // 11 parsed fields exceed the 10 parsing actions per entry.
+  std::string src = "module m {\n";
+  for (int i = 0; i < 11; ++i)
+    src += "  field f" + std::to_string(i) + " : 2 @ " +
+           std::to_string(46 + 2 * i) + ";\n";
+  src += "  action a { drop(); }\n";
+  src += "  table t { key = { f0 }; actions = { a }; size = 1; }\n}\n";
+  Diagnostics diags;
+  ResourceCheck(MustParse(src), UniformAllocation(ModuleId(1), 0, 5, 0, 8),
+                diags);
+  EXPECT_TRUE(diags.HasCode("resource.parser-actions")) << diags.ToString();
+}
+
+TEST(ResourceChecker, ContainerBudgetPerType) {
+  std::string src = "module m {\n";
+  for (int i = 0; i < 9; ++i)
+    src += "  scratch f" + std::to_string(i) + " : 4;\n";
+  src += "  field k : 2 @ 46;\n  action a { drop(); }\n";
+  src += "  table t { key = { k }; actions = { a }; size = 1; }\n}\n";
+  Diagnostics diags;
+  ResourceCheck(MustParse(src), UniformAllocation(ModuleId(1), 0, 5, 0, 8),
+                diags);
+  EXPECT_TRUE(diags.HasCode("resource.containers")) << diags.ToString();
+}
+
+// --- Dependency analysis -----------------------------------------------------------
+
+TEST(DependencyAnalysis, ChainsThroughFieldWrites) {
+  const ModuleSpec spec = MustParse(R"(
+module m {
+  field a : 2 @ 46;
+  field b : 2 @ 48;
+  field c : 2 @ 50;
+  action w1 { b = a; }
+  action w2 { c = b; }
+  action w3 { a = 1; }
+  table t1 { key = { a }; actions = { w1 }; size = 1; }
+  table t2 { key = { b }; actions = { w2 }; size = 1; }
+  table t3 { key = { c }; actions = { w3 }; size = 1; }
+}
+)");
+  const auto levels = TableDependencyLevels(spec);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);  // t2 keys on b, written by t1
+  EXPECT_EQ(levels[2], 2u);  // t3 keys on c, written by t2
+}
+
+TEST(DependencyAnalysis, IndependentTablesShareLevel) {
+  const ModuleSpec spec = MustParse(R"(
+module m {
+  field a : 2 @ 46;
+  field b : 2 @ 48;
+  action wa(p) { port(p); }
+  table t1 { key = { a }; actions = { wa }; size = 1; }
+  table t2 { key = { b }; actions = { wa }; size = 1; }
+}
+)");
+  const auto levels = TableDependencyLevels(spec);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 0u);
+}
+
+}  // namespace
+}  // namespace menshen

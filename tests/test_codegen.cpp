@@ -1,0 +1,243 @@
+// Compiler backend: PHV allocation, overlay config generation, entry
+// compilation, and cross-validation against the hardware model.
+#include "compiler/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "pipeline/pipeline.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using test::StandardAlloc;
+
+TEST(Codegen, CalcCompilesClean) {
+  const CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  EXPECT_EQ(m.id().value(), 2);
+  // 2 (parser+deparser) + 5 stages x 3 overlay writes.
+  EXPECT_EQ(m.static_writes().size(), 2u + 5u * 3u);
+  // Placeholders: calc_tbl size 4 -> 4 CAM + 4 VLIW wipe writes.
+  EXPECT_EQ(m.entry_writes().size(), 8u);
+  EXPECT_EQ(m.unique_entries_generated(), 4u);
+}
+
+TEST(Codegen, ContainersMatchFieldWidths) {
+  const CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  const auto op = m.ContainerFor("op");
+  const auto a = m.ContainerFor("a");
+  ASSERT_TRUE(op && a);
+  EXPECT_EQ(op->type, ContainerType::k2B);
+  EXPECT_EQ(a->type, ContainerType::k4B);
+  EXPECT_FALSE(m.ContainerFor("nonexistent").has_value());
+}
+
+TEST(Codegen, PlacementFollowsProgramOrder) {
+  const CompiledModule m = Compile(apps::FirewallSpec(), StandardAlloc(3));
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  EXPECT_EQ(m.Placement("fw_src")->stage, 0);
+  EXPECT_EQ(m.Placement("fw_port")->stage, 1);
+  EXPECT_EQ(m.Placement("nope"), nullptr);
+}
+
+TEST(Codegen, DeparserCoversOnlyWrittenFields) {
+  // CALC writes only `res`; its deparser entry must write back exactly
+  // one field (section 4.1: update only what was modified).
+  const CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  DeparserEntry dep;
+  for (const auto& w : m.static_writes())
+    if (w.kind == ResourceKind::kDeparserTable)
+      dep = DeparserEntry::Decode(w.payload);
+  EXPECT_EQ(dep.valid_count(), 1u);
+
+  ParserEntry par;
+  for (const auto& w : m.static_writes())
+    if (w.kind == ResourceKind::kParserTable)
+      par = ParserEntry::Decode(w.payload);
+  EXPECT_EQ(par.valid_count(), 4u);  // op, a, b, res
+}
+
+TEST(Codegen, CompiledKeyMatchesHardwareExtraction) {
+  // The key the compiler would install must equal the key the hardware
+  // stage extracts for a matching packet — the central codegen/hardware
+  // contract.
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  ASSERT_TRUE(m.ok());
+  test::MustLoad(mgr, m, StandardAlloc(2));
+
+  const Packet pkt = test::CalcPacket(2, apps::kCalcOpAdd, 10, 20);
+  const Phv phv = pipe.parser().Parse(pkt);
+  const BitVec hw_key = pipe.stage(0).MaskedKeyFor(phv);
+  const BitVec sw_key =
+      m.KeyFor("calc_tbl", {{"op", apps::kCalcOpAdd}}, std::nullopt);
+  EXPECT_EQ(hw_key, sw_key);
+}
+
+TEST(Codegen, AddEntryValidation) {
+  CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m.AddEntry("nope", {}, std::nullopt, "do_add", {}).empty());
+  EXPECT_TRUE(
+      m.AddEntry("calc_tbl", {{"op", 1}}, std::nullopt, "ghost", {}).empty());
+  EXPECT_TRUE(m.AddEntry("calc_tbl", {{"bogus_key", 1}}, std::nullopt,
+                         "do_add", {1})
+                  .empty());
+  // Key value exceeding the 2-byte field.
+  EXPECT_TRUE(m.AddEntry("calc_tbl", {{"op", 0x10000}}, std::nullopt,
+                         "do_add", {1})
+                  .empty());
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(Codegen, AddEntryProducesCamAndVliwPair) {
+  CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  const auto writes =
+      m.AddEntry("calc_tbl", {{"op", 1}}, std::nullopt, "do_add", {3});
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0].kind, ResourceKind::kCamEntry);
+  EXPECT_EQ(writes[1].kind, ResourceKind::kVliwAction);
+  EXPECT_EQ(writes[0].index, writes[1].index);
+
+  const CamEntry cam = CamEntry::Decode(writes[0].payload);
+  EXPECT_TRUE(cam.valid);
+  EXPECT_EQ(cam.module.value(), 2);
+
+  const VliwEntry vliw = VliwEntry::Decode(writes[1].payload);
+  // One arithmetic slot (res = a + b) plus the metadata port op.
+  EXPECT_EQ(vliw.active_count(), 2u);
+  const auto res = m.ContainerFor("res");
+  EXPECT_EQ(vliw.slots[res->flat()].op, AluOp::kAdd);
+  EXPECT_EQ(vliw.slots[kMetadataSlot].op, AluOp::kPort);
+  EXPECT_EQ(vliw.slots[kMetadataSlot].immediate, 3);
+}
+
+TEST(Codegen, PredicateTablesRequireEntryPredicate) {
+  Diagnostics pd;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module m {
+  field f : 2 @ 46;
+  action a { drop(); }
+  table t { key = { f }; predicate = f > 10; actions = { a }; size = 2; }
+}
+)",
+                                         pd);
+  ASSERT_TRUE(pd.ok());
+  CompiledModule m = Compile(spec, StandardAlloc(1));
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  EXPECT_TRUE(m.AddEntry("t", {{"f", 5}}, std::nullopt, "a", {}).empty());
+  EXPECT_FALSE(m.ok());
+
+  CompiledModule m2 = Compile(spec, StandardAlloc(1));
+  EXPECT_EQ(m2.AddEntry("t", {{"f", 5}}, true, "a", {}).size(), 2u);
+  // Keys differing only in predicate value are distinct.
+  const BitVec kt = m2.KeyFor("t", {{"f", 5}}, true);
+  const BitVec kf = m2.KeyFor("t", {{"f", 5}}, false);
+  EXPECT_NE(kt, kf);
+}
+
+TEST(Codegen, PlaceholderEntriesAreInvalidWipes) {
+  const CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(2));
+  for (const auto& w : m.entry_writes()) {
+    if (w.kind != ResourceKind::kCamEntry) continue;
+    EXPECT_FALSE(CamEntry::Decode(w.payload).valid);
+  }
+}
+
+TEST(Codegen, PlaceholderOverrideScalesEntryCount) {
+  const CompiledModule m =
+      Compile(apps::CalcSpec(), StandardAlloc(2, 0, 1024), 100);
+  EXPECT_EQ(m.unique_entries_generated(), 100u);
+}
+
+TEST(Codegen, ModuleIdBeyondOverlayDepthRejected) {
+  const CompiledModule m = Compile(apps::CalcSpec(), StandardAlloc(33));
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.diags().HasCode("resource.module-id"));
+}
+
+TEST(Codegen, StateLayoutPacksArraysPerStage) {
+  const CompiledModule m =
+      Compile(apps::NetCacheSpec(), StandardAlloc(4, 0, 8, 0, 32));
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  const auto& layout = m.state_layout();
+  ASSERT_TRUE(layout.contains("nc_vals"));
+  ASSERT_TRUE(layout.contains("nc_stats"));
+  const u16 b1 = layout.at("nc_vals").base;
+  const u16 b2 = layout.at("nc_stats").base;
+  EXPECT_NE(b1, b2);
+  EXPECT_EQ(std::min(b1, b2), 0);
+  EXPECT_EQ(std::max(b1, b2), 16);  // nc_vals[16] then nc_stats[4]
+}
+
+TEST(Codegen, CompileStackPlacesMembersInTheirStages) {
+  // A two-member stack: member A in stage 0, member B in stages 1-2.
+  Diagnostics d1, d2;
+  const ModuleSpec a = ParseModuleDsl(R"(
+module a {
+  field fa : 2 @ 46;
+  action aa(p) { port(p); }
+  table ta { key = { fa }; actions = { aa }; size = 1; }
+}
+)",
+                                      d1);
+  const ModuleSpec b = ParseModuleDsl(R"(
+module b {
+  field fb : 2 @ 48;
+  action ab { drop(); }
+  table tb { key = { fb }; actions = { ab }; size = 1; }
+}
+)",
+                                      d2);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+
+  const StageAllocation s0{0, 0, 4, 0, 0};
+  const StageAllocation s1{1, 0, 4, 0, 0};
+  const StageAllocation s2{2, 0, 4, 0, 0};
+  const CompiledModule m = CompileStack({a, b}, {{s0}, {s1, s2}}, ModuleId(9));
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  EXPECT_EQ(m.Placement("ta")->stage, 0);
+  EXPECT_EQ(m.Placement("tb")->stage, 1);
+  // Both members' fields share the PHV space without collision.
+  EXPECT_NE(m.ContainerFor("fa")->index, m.ContainerFor("fb")->index);
+}
+
+TEST(Codegen, CompileStackRejectsNameCollisions) {
+  Diagnostics d;
+  const ModuleSpec a = ParseModuleDsl(R"(
+module a {
+  field f : 2 @ 46;
+  action act(p) { port(p); }
+  table t { key = { f }; actions = { act }; size = 1; }
+}
+)",
+                                      d);
+  ASSERT_TRUE(d.ok());
+  const StageAllocation s0{0, 0, 4, 0, 0};
+  const StageAllocation s1{1, 0, 4, 0, 0};
+  const CompiledModule m = CompileStack({a, a}, {{s0}, {s1}}, ModuleId(9));
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.diags().HasCode("stack.name-collision"));
+}
+
+TEST(Codegen, CompileDslEndToEnd) {
+  const CompiledModule m = CompileDsl(apps::CalcDsl(), StandardAlloc(2));
+  EXPECT_TRUE(m.ok()) << m.diags().ToString();
+  const CompiledModule bad = CompileDsl("module {", StandardAlloc(2));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Codegen, EveryAppCompiles) {
+  u16 id = 1;
+  for (const auto& [name, spec] : apps::AllAppSpecs()) {
+    const CompiledModule m =
+        Compile(*spec, StandardAlloc(id++, 0, 8, 0, 32));
+    EXPECT_TRUE(m.ok()) << name << ":\n" << m.diags().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace menshen

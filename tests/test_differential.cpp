@@ -1,0 +1,316 @@
+// Differential fuzzing: randomly generated modules run both through the
+// reference interpreter (compiler/interpreter.hpp) and through the full
+// compiled path (DSL-level spec -> codegen -> daisy chain -> cycle
+// pipeline).  For every module and packet, output bytes, disposition,
+// egress port and stateful memory must agree exactly.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "compiler/interpreter.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using test::MustLoad;
+
+struct GeneratedModule {
+  ModuleSpec spec;
+  // Entries to install on both sides.
+  struct Entry {
+    std::string table;
+    std::map<std::string, u64> keys;
+    std::optional<bool> predicate;
+    std::string action;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Generates a random but well-formed module: non-overlapping fields in
+/// the payload area, 1-3 single-action-set tables, optional predicate,
+/// state arrays owned by one table each, and statements drawn from the
+/// full safe subset of the action language.
+GeneratedModule GenerateModule(Rng& rng) {
+  GeneratedModule g;
+  g.spec.name = "fuzz";
+
+  // Fields: walk offsets forward so they never overlap.
+  const std::size_t nfields = 2 + rng.Below(4);  // 2-5
+  std::size_t offset = 46;
+  std::size_t counts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < nfields && offset + 6 < 120; ++i) {
+    static constexpr u8 kWidths[] = {2, 4, 6};
+    u8 width = kWidths[rng.Below(3)];
+    const std::size_t type_idx = width / 2 - 1;
+    if (counts[type_idx] >= 8) width = 2;
+    ++counts[width / 2 - 1];
+    FieldDef f;
+    f.name = "f" + std::to_string(i);
+    f.width = width;
+    f.offset = static_cast<u8>(offset);
+    offset += width + rng.Below(3);
+    g.spec.fields.push_back(f);
+  }
+
+  // State arrays.
+  const std::size_t nstates = rng.Below(3);  // 0-2
+  for (std::size_t i = 0; i < nstates; ++i) {
+    StateDef s;
+    s.name = "s" + std::to_string(i);
+    s.size = static_cast<u16>(4 + rng.Below(12));
+    g.spec.states.push_back(s);
+  }
+
+  const auto random_field = [&]() -> const FieldDef& {
+    return g.spec.fields[rng.Below(g.spec.fields.size())];
+  };
+
+  // Tables with one action each (plus sometimes a second entry action).
+  const std::size_t ntables = 1 + rng.Below(3);  // 1-3
+  std::size_t next_state = 0;
+  for (std::size_t t = 0; t < ntables; ++t) {
+    ActionDef action;
+    action.name = "a" + std::to_string(t);
+    std::set<std::string> used_dst;
+    std::set<std::string> used_state;
+    bool used_meta = false;
+    const std::size_t nstmts = 1 + rng.Below(3);
+    for (std::size_t s = 0; s < nstmts; ++s) {
+      Statement st;
+      const FieldDef& dst = random_field();
+      if (used_dst.contains(dst.name)) continue;
+      switch (rng.Below(8)) {
+        case 0:
+          st.kind = Statement::Kind::kAddAssign;
+          st.dst = dst.name;
+          st.a = Value::Field(random_field().name);
+          st.b = Value::Field(random_field().name);
+          used_dst.insert(dst.name);
+          break;
+        case 1:
+          st.kind = Statement::Kind::kSubAssign;
+          st.dst = dst.name;
+          st.a = Value::Field(random_field().name);
+          st.b = Value::Const(rng.Below(0x10000));
+          used_dst.insert(dst.name);
+          break;
+        case 2:
+          st.kind = Statement::Kind::kSetAssign;
+          st.dst = dst.name;
+          st.a = Value::Const(rng.Below(0x10000));
+          used_dst.insert(dst.name);
+          break;
+        case 3:
+          st.kind = Statement::Kind::kSetAssign;
+          st.dst = dst.name;
+          st.a = Value::Field(random_field().name);
+          used_dst.insert(dst.name);
+          break;
+        case 4:
+          if (next_state < g.spec.states.size() &&
+              !used_state.contains(g.spec.states[next_state].name)) {
+            const StateDef& sd = g.spec.states[next_state];
+            used_state.insert(sd.name);
+            st.kind = rng.Below(2) ? Statement::Kind::kLoad
+                                   : Statement::Kind::kLoadIncr;
+            st.dst = dst.name;
+            st.state = sd.name;
+            st.addr = Value::Const(rng.Below(sd.size));
+            used_dst.insert(dst.name);
+          } else {
+            continue;
+          }
+          break;
+        case 5:
+          if (next_state < g.spec.states.size() &&
+              !used_state.contains(g.spec.states[next_state].name)) {
+            const StateDef& sd = g.spec.states[next_state];
+            used_state.insert(sd.name);
+            st.kind = Statement::Kind::kStore;
+            st.state = sd.name;
+            st.addr = Value::Const(rng.Below(sd.size));
+            st.a = Value::Field(random_field().name);
+          } else {
+            continue;
+          }
+          break;
+        case 6:
+          if (used_meta) continue;
+          st.kind = Statement::Kind::kSetPort;
+          st.a = Value::Const(1 + rng.Below(15));
+          used_meta = true;
+          break;
+        default:
+          if (used_meta) continue;
+          st.kind = Statement::Kind::kDrop;
+          used_meta = true;
+          break;
+      }
+      action.statements.push_back(st);
+    }
+    if (action.statements.empty()) {
+      Statement st;
+      st.kind = Statement::Kind::kSetPort;
+      st.a = Value::Const(1);
+      action.statements.push_back(st);
+    }
+    g.spec.actions.push_back(action);
+
+    TableDef table;
+    table.name = "t" + std::to_string(t);
+    table.actions = {action.name};
+    // 1-2 key fields of distinct widths.
+    std::set<u8> widths_used;
+    const std::size_t nkeys = 1 + rng.Below(2);
+    for (std::size_t k = 0; k < nkeys; ++k) {
+      const FieldDef& f = random_field();
+      if (widths_used.contains(f.width)) continue;
+      if (std::find(table.keys.begin(), table.keys.end(), f.name) !=
+          table.keys.end())
+        continue;
+      widths_used.insert(f.width);
+      table.keys.push_back(f.name);
+    }
+    if (table.keys.empty()) table.keys.push_back(g.spec.fields[0].name);
+    if (rng.Below(3) == 0) {
+      PredicateDef pred;
+      pred.a = Value::Field(random_field().name);
+      pred.op = static_cast<CmpOp>(1 + rng.Below(6));
+      pred.b = Value::Const(rng.Below(128));
+      table.predicate = pred;
+    }
+    // Move to the next state array so each is owned by one table.
+    if (next_state < g.spec.states.size()) ++next_state;
+
+    // Entries.
+    const std::size_t nentries = 1 + rng.Below(3);
+    table.size = nentries;
+    for (std::size_t e = 0; e < nentries; ++e) {
+      GeneratedModule::Entry entry;
+      entry.table = table.name;
+      entry.action = action.name;
+      for (const auto& k : table.keys) {
+        const FieldDef* f = g.spec.FindField(k);
+        const u64 bound = u64{1} << (8 * f->width);
+        entry.keys[k] = rng.Below(std::min<u64>(bound, 1 << 16));
+      }
+      if (table.predicate) entry.predicate = rng.Below(2) == 1;
+      g.entries.push_back(entry);
+    }
+    g.spec.tables.push_back(table);
+  }
+  return g;
+}
+
+Packet RandomPacket(Rng& rng, const GeneratedModule& g, u16 vid) {
+  Packet pkt = PacketBuilder{}
+                   .vid(ModuleId(vid))
+                   .udp(static_cast<u16>(rng.Below(0xF000)),
+                        static_cast<u16>(rng.Below(0xF000)))
+                   .frame_size(60 + rng.Below(70))
+                   .Build();
+  // Random payload bytes.
+  for (std::size_t off = 46; off < std::min<std::size_t>(pkt.size(), 120);
+       ++off)
+    pkt.bytes().set_u8(off, static_cast<u8>(rng.Next()));
+  // Half the time, plant a generated entry's key values so the table hits.
+  if (!g.entries.empty() && rng.Below(2) == 0) {
+    const auto& entry = g.entries[rng.Below(g.entries.size())];
+    for (const auto& [fname, value] : entry.keys) {
+      const FieldDef* f = g.spec.FindField(fname);
+      for (u8 i = 0; i < f->width; ++i) {
+        const std::size_t off = static_cast<std::size_t>(f->offset) + i;
+        if (off < pkt.size())
+          pkt.bytes().set_u8(
+              off, static_cast<u8>(value >> (8 * (f->width - 1 - i))));
+      }
+    }
+  }
+  return pkt;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialTest, CompiledPipelineMatchesInterpreter) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    const GeneratedModule g = GenerateModule(rng);
+
+    // Compiled path.
+    const u16 vid = 2;
+    const ModuleAllocation alloc =
+        UniformAllocation(ModuleId(vid), 0, params::kNumStages, 0, 8, 0, 64);
+    CompiledModule compiled = Compile(g.spec, alloc);
+    ASSERT_TRUE(compiled.ok()) << compiled.diags().ToString();
+
+    Pipeline pipe;
+    ModuleManager mgr(pipe);
+    MustLoad(mgr, compiled, alloc);
+
+    Interpreter interp(g.spec);
+    for (const auto& e : g.entries) {
+      compiled.AddEntry(e.table, e.keys, e.predicate, e.action, {});
+      interp.AddEntry(e.table, InterpEntry{e.keys, e.predicate, e.action, {}});
+    }
+    ASSERT_TRUE(compiled.ok()) << compiled.diags().ToString();
+    mgr.Update(compiled);
+
+    for (int p = 0; p < 40; ++p) {
+      Packet pkt = RandomPacket(rng, g, vid);
+      Packet for_interp = pkt;
+
+      const auto hw = pipe.Process(std::move(pkt));
+      ASSERT_TRUE(hw.output.has_value());
+      interp.Run(for_interp);
+
+      if (hw.output->bytes().hex() != for_interp.bytes().hex()) {
+        std::string dump = "module " + g.spec.name + ":\n";
+        for (const auto& f : g.spec.fields)
+          dump += "  field " + f.name + " w" + std::to_string(f.width) +
+                  " @" + std::to_string(f.offset) + "\n";
+        for (const auto& a : g.spec.actions) {
+          dump += "  action " + a.name + ":\n";
+          for (const auto& st : a.statements)
+            dump += "    kind=" + std::to_string(static_cast<int>(st.kind)) +
+                    " dst=" + st.dst + " state=" + st.state +
+                    " a=(" + std::to_string(static_cast<int>(st.a.kind)) + "," +
+                    std::to_string(st.a.constant) + "," + st.a.name + ")" +
+                    " b=(" + std::to_string(static_cast<int>(st.b.kind)) + "," +
+                    std::to_string(st.b.constant) + "," + st.b.name + ")" +
+                    " addr=(" + std::to_string(static_cast<int>(st.addr.kind)) + "," +
+                    std::to_string(st.addr.constant) + "," + st.addr.name + ")\n";
+        }
+        for (const auto& t : g.spec.tables) {
+          dump += "  table " + t.name + " keys:";
+          for (const auto& k : t.keys) dump += " " + k;
+          dump += t.predicate ? " [pred]" : "";
+          dump += "\n";
+        }
+        ASSERT_EQ(hw.output->bytes().hex(), for_interp.bytes().hex())
+            << "round " << round << " packet " << p << "\n" << dump;
+      }
+      EXPECT_EQ(hw.output->disposition, for_interp.disposition);
+      if (for_interp.disposition == Disposition::kForward)
+        EXPECT_EQ(hw.output->egress_port, for_interp.egress_port);
+    }
+
+    // Stateful memory must agree word-for-word.
+    for (const auto& [sname, placement] : compiled.state_layout()) {
+      const StateDef* sd = g.spec.FindState(sname);
+      const auto& stateful = pipe.stage(placement.stage).stateful();
+      const SegmentEntry seg = stateful.segment_table().At(vid);
+      for (u16 i = 0; i < sd->size; ++i) {
+        EXPECT_EQ(stateful.PhysicalAt(seg.offset + placement.base + i),
+                  interp.state(sname, i))
+            << sname << "[" << i << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace menshen

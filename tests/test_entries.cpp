@@ -1,0 +1,230 @@
+// Encode/decode round trips for every Figure 7 configuration format.
+#include "pipeline/entries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pipeline/config_write.hpp"
+
+namespace menshen {
+namespace {
+
+TEST(ParserAction, EncodeDecodeRoundTrip) {
+  ParserAction a;
+  a.valid = true;
+  a.container = {ContainerType::k4B, 5};
+  a.bytes_from_head = 46;
+  EXPECT_EQ(ParserAction::Decode(a.Encode()), a);
+}
+
+TEST(ParserAction, OffsetLimitedTo7Bits) {
+  ParserAction a;
+  a.bytes_from_head = 128;
+  EXPECT_THROW(a.Encode(), std::invalid_argument);
+}
+
+TEST(ParserEntry, Is20Bytes) {
+  ParserEntry e;
+  EXPECT_EQ(e.Encode().size(), 20u);  // 160 bits (Table 5)
+  EXPECT_THROW(ParserEntry::Decode(ByteBuffer(19)), std::invalid_argument);
+}
+
+TEST(ParserEntry, RoundTripWithMixedActions) {
+  ParserEntry e;
+  e.actions[0] = {true, {ContainerType::k2B, 1}, 16};
+  e.actions[3] = {true, {ContainerType::k6B, 0}, 0};
+  e.actions[9] = {true, {ContainerType::k4B, 7}, 127};
+  const ParserEntry d = ParserEntry::Decode(e.Encode());
+  EXPECT_EQ(d, e);
+  EXPECT_EQ(d.valid_count(), 3u);
+}
+
+TEST(Operand8, ImmediateAndContainer) {
+  const Operand8 imm = Operand8::Immediate(100);
+  EXPECT_FALSE(imm.is_container());
+  EXPECT_EQ(imm.immediate(), 100);
+  EXPECT_THROW(Operand8::Immediate(128), std::invalid_argument);
+
+  const Operand8 c = Operand8::Container({ContainerType::k4B, 3});
+  EXPECT_TRUE(c.is_container());
+  EXPECT_EQ(c.container(), (ContainerRef{ContainerType::k4B, 3}));
+  EXPECT_THROW((void)imm.container(), std::logic_error);
+}
+
+TEST(Operand8, EvalAgainstPhv) {
+  Phv phv;
+  phv.Write({ContainerType::k2B, 2}, 777);
+  EXPECT_EQ(Operand8::Container({ContainerType::k2B, 2}).Eval(phv), 777u);
+  EXPECT_EQ(Operand8::Immediate(9).Eval(phv), 9u);
+}
+
+TEST(KeyExtractorEntry, EncodeIs5Bytes) {
+  KeyExtractorEntry e;
+  EXPECT_EQ(e.Encode().size(), 5u);  // 38 bits used (Table 5)
+}
+
+TEST(KeyExtractorEntry, RoundTrip) {
+  KeyExtractorEntry e;
+  e.selectors = {1, 2, 3, 4, 5, 6};
+  e.cmp_op = CmpOp::kGt;
+  e.cmp_a = Operand8::Container({ContainerType::k2B, 4});
+  e.cmp_b = Operand8::Immediate(100);
+  EXPECT_EQ(KeyExtractorEntry::Decode(e.Encode()), e);
+}
+
+TEST(KeyExtractorEntry, ExtractKeyPlacesContainersInSlots) {
+  Phv phv;
+  phv.Write({ContainerType::k6B, 1}, 0xAAAAAAAAAAAAULL);
+  phv.Write({ContainerType::k4B, 2}, 0xBBBBBBBB);
+  phv.Write({ContainerType::k2B, 3}, 0xCCCC);
+
+  KeyExtractorEntry e;
+  e.selectors = {1, 0, 2, 0, 3, 0};  // 1st6B=c1, 1st4B=c2, 1st2B=c3
+  const BitVec key = e.ExtractKey(phv);
+  const auto slots = KeySlots();
+  EXPECT_EQ(key.field(slots[0].lsb, 48), 0xAAAAAAAAAAAAULL);
+  EXPECT_EQ(key.field(slots[2].lsb, 32), 0xBBBBBBBBu);
+  EXPECT_EQ(key.field(slots[4].lsb, 16), 0xCCCCu);
+  EXPECT_FALSE(key.bit(0));  // no predicate
+}
+
+TEST(KeyExtractorEntry, PredicateBitReflectsComparison) {
+  Phv phv;
+  phv.Write({ContainerType::k2B, 0}, 50);
+  KeyExtractorEntry e;
+  e.cmp_a = Operand8::Container({ContainerType::k2B, 0});
+  e.cmp_b = Operand8::Immediate(49);
+  e.cmp_op = CmpOp::kGt;
+  EXPECT_TRUE(e.ExtractKey(phv).bit(0));
+  e.cmp_op = CmpOp::kLe;
+  EXPECT_FALSE(e.ExtractKey(phv).bit(0));
+  e.cmp_op = CmpOp::kNeq;
+  EXPECT_TRUE(e.ExtractKey(phv).bit(0));
+}
+
+TEST(KeyMaskEntry, RoundTripAndWidth) {
+  KeyMaskEntry e;
+  e.mask.set_bit(0, true);
+  e.mask.set_bit(100, true);
+  e.mask.set_bit(192, true);
+  const ByteBuffer bytes = e.Encode();
+  EXPECT_EQ(bytes.size(), 25u);  // 193 bits (Table 5)
+  EXPECT_EQ(KeyMaskEntry::Decode(bytes), e);
+}
+
+TEST(KeyMaskEntry, RejectsStrayHighBits) {
+  ByteBuffer bytes(25);
+  bytes.set_u8(24, 0x02);  // bit 193 does not exist
+  EXPECT_THROW(KeyMaskEntry::Decode(bytes), std::invalid_argument);
+}
+
+TEST(CamEntry, RoundTrip) {
+  CamEntry e;
+  e.valid = true;
+  e.module = ModuleId(0x123);
+  e.key.set_field(0, 48, 0xDEADBEEF);
+  e.key.set_bit(192, true);
+  const ByteBuffer bytes = e.Encode();
+  EXPECT_EQ(bytes.size(), 28u);
+  EXPECT_EQ(CamEntry::Decode(bytes), e);
+}
+
+TEST(AluAction, FormatARoundTrip) {
+  AluAction a;
+  a.op = AluOp::kAdd;
+  a.container1 = 10;
+  a.container2 = 24;
+  const u32 bits = a.Encode();
+  EXPECT_LT(bits, u32{1} << 25);  // 25-bit action (Table 5)
+  EXPECT_EQ(AluAction::Decode(bits), a);
+}
+
+TEST(AluAction, FormatBRoundTrip) {
+  AluAction a;
+  a.op = AluOp::kSet;
+  a.container1 = 3;
+  a.immediate = 0xFFFF;
+  EXPECT_EQ(AluAction::Decode(a.Encode()), a);
+}
+
+TEST(AluAction, SlotRangeChecked) {
+  AluAction a;
+  a.container1 = 25;
+  EXPECT_THROW(a.Encode(), std::invalid_argument);
+}
+
+TEST(VliwEntry, Is79Bytes) {
+  VliwEntry e;
+  EXPECT_EQ(e.Encode().size(), 79u);  // 625 bits packed (Table 5)
+}
+
+TEST(VliwEntry, RoundTripAllSlots) {
+  Rng rng(99);
+  VliwEntry e;
+  for (std::size_t i = 0; i < e.slots.size(); ++i) {
+    AluAction a;
+    a.op = static_cast<AluOp>(1 + rng.Below(5));  // arithmetic ops
+    a.container1 = static_cast<u8>(rng.Below(25));
+    if (OpUsesImmediate(a.op))
+      a.immediate = static_cast<u16>(rng.Below(0x10000));
+    else
+      a.container2 = static_cast<u8>(rng.Below(25));
+    e.slots[i] = a;
+  }
+  EXPECT_EQ(VliwEntry::Decode(e.Encode()), e);
+  EXPECT_EQ(e.active_count(), 25u);
+}
+
+TEST(SegmentEntry, RoundTrip) {
+  const SegmentEntry e{0x40, 0x20};
+  const ByteBuffer bytes = e.Encode();
+  EXPECT_EQ(bytes.size(), 2u);  // 16 bits (Table 5)
+  EXPECT_EQ(SegmentEntry::Decode(bytes), e);
+}
+
+TEST(FlatToContainer, MetadataSlotHasNoContainer) {
+  EXPECT_FALSE(FlatToContainer(24).has_value());
+  EXPECT_EQ(FlatToContainer(0), (ContainerRef{ContainerType::k2B, 0}));
+  EXPECT_EQ(FlatToContainer(23), (ContainerRef{ContainerType::k6B, 7}));
+}
+
+/// Parameterized: every resource kind's declared entry size matches what
+/// its encoder produces.
+class EntrySizeTest : public ::testing::TestWithParam<ResourceKind> {};
+
+TEST_P(EntrySizeTest, DeclaredSizeMatchesEncoder) {
+  const ResourceKind kind = GetParam();
+  std::size_t actual = 0;
+  switch (kind) {
+    case ResourceKind::kParserTable:
+    case ResourceKind::kDeparserTable:
+      actual = ParserEntry{}.Encode().size();
+      break;
+    case ResourceKind::kKeyExtractor:
+      actual = KeyExtractorEntry{}.Encode().size();
+      break;
+    case ResourceKind::kKeyMask:
+      actual = KeyMaskEntry{}.Encode().size();
+      break;
+    case ResourceKind::kCamEntry:
+      actual = CamEntry{}.Encode().size();
+      break;
+    case ResourceKind::kVliwAction:
+      actual = VliwEntry{}.Encode().size();
+      break;
+    case ResourceKind::kSegmentTable:
+      actual = SegmentEntry{}.Encode().size();
+      break;
+  }
+  EXPECT_EQ(actual, EntryBytesFor(kind));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, EntrySizeTest,
+    ::testing::Values(ResourceKind::kParserTable, ResourceKind::kDeparserTable,
+                      ResourceKind::kKeyExtractor, ResourceKind::kKeyMask,
+                      ResourceKind::kCamEntry, ResourceKind::kVliwAction,
+                      ResourceKind::kSegmentTable));
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,168 @@
+// Direct unit tests of the reference interpreter (its contract with the
+// compiled path is covered by test_differential.cpp; these pin its own
+// semantics so a fuzz disagreement can be triaged against a known-good
+// baseline).
+#include "compiler/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+TEST(Interpreter, CalcSemantics) {
+  Interpreter interp(apps::CalcSpec());
+  interp.AddEntry("calc_tbl",
+                  {{{"op", apps::kCalcOpAdd}}, std::nullopt, "do_add", {9}});
+
+  Packet pkt = CalcPacket(2, apps::kCalcOpAdd, 40, 2);
+  interp.Run(pkt);
+  EXPECT_EQ(CalcResult(pkt), 42u);
+  EXPECT_EQ(pkt.egress_port, 9);
+  EXPECT_EQ(pkt.disposition, Disposition::kForward);
+}
+
+TEST(Interpreter, MissLeavesPacketUntouchedExceptWriteback) {
+  Interpreter interp(apps::CalcSpec());
+  Packet pkt = CalcPacket(2, 99, 7, 8);
+  const std::string before = pkt.bytes().hex();
+  interp.Run(pkt);
+  // `res` is in the writeback set but still zero... no: res was parsed
+  // from the packet (bytes 56-59 are zero in CalcPacket) so writeback is
+  // byte-identical.
+  EXPECT_EQ(pkt.bytes().hex(), before);
+  EXPECT_EQ(pkt.egress_port, 0);
+}
+
+TEST(Interpreter, SequentialTablesSeeEarlierWrites) {
+  Diagnostics d;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module two {
+  field a : 2 @ 46;
+  field b : 2 @ 48;
+  action w1 { b = 7; }
+  action w2(p) { port(p); }
+  table t1 { key = { a }; actions = { w1 }; size = 1; }
+  table t2 { key = { b }; actions = { w2 }; size = 1; }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+  Interpreter interp(spec);
+  interp.AddEntry("t1", {{{"a", 1}}, std::nullopt, "w1", {}});
+  interp.AddEntry("t2", {{{"b", 7}}, std::nullopt, "w2", {5}});
+
+  Packet pkt = PacketBuilder{}.frame_size(64).Build();
+  pkt.bytes().set_u16(46, 1);
+  pkt.bytes().set_u16(48, 1234);  // will be rewritten to 7 by t1
+  interp.Run(pkt);
+  EXPECT_EQ(pkt.bytes().u16_at(48), 7);
+  EXPECT_EQ(pkt.egress_port, 5);  // t2 matched on the NEW value of b
+}
+
+TEST(Interpreter, VliwSnapshotSwap) {
+  Diagnostics d;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module swap {
+  field a : 2 @ 46;
+  field b : 2 @ 48;
+  action sw { a = b; b = a; }
+  table t { key = { a }; actions = { sw }; size = 1; }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+  Interpreter interp(spec);
+  interp.AddEntry("t", {{{"a", 1}}, std::nullopt, "sw", {}});
+  Packet pkt = PacketBuilder{}.frame_size(64).Build();
+  pkt.bytes().set_u16(46, 1);
+  pkt.bytes().set_u16(48, 2);
+  interp.Run(pkt);
+  EXPECT_EQ(pkt.bytes().u16_at(46), 2);  // a' = old b
+  EXPECT_EQ(pkt.bytes().u16_at(48), 1);  // b' = old a
+}
+
+TEST(Interpreter, StatePersistsAcrossPackets) {
+  Interpreter interp(apps::NetChainSpec());
+  interp.AddEntry("ch_tbl", {{{"ch_op", apps::kNetChainOpSeq}},
+                             std::nullopt,
+                             "ch_next",
+                             {2}});
+  for (u32 expect = 1; expect <= 3; ++expect) {
+    Packet pkt = NetChainPacket(2, apps::kNetChainOpSeq);
+    interp.Run(pkt);
+    EXPECT_EQ(NetChainSeq(pkt), expect);
+  }
+  EXPECT_EQ(interp.state("ch_counter", 0), 3u);
+  EXPECT_EQ(interp.state("ch_counter", 1), 0u);
+  EXPECT_EQ(interp.state("ghost", 0), 0u);
+}
+
+TEST(Interpreter, PredicateSelectsEntries) {
+  Diagnostics d;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module guard {
+  field len : 2 @ 46;
+  action hi(p) { port(p); }
+  action lo(p) { port(p); }
+  table t {
+    key = { len };
+    predicate = len > 100;
+    actions = { hi, lo };
+    size = 2;
+  }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+  Interpreter interp(spec);
+  interp.AddEntry("t", {{{"len", 200}}, true, "hi", {8}});
+  interp.AddEntry("t", {{{"len", 50}}, false, "lo", {3}});
+
+  Packet big = PacketBuilder{}.frame_size(64).Build();
+  big.bytes().set_u16(46, 200);
+  interp.Run(big);
+  EXPECT_EQ(big.egress_port, 8);
+
+  Packet small = PacketBuilder{}.frame_size(64).Build();
+  small.bytes().set_u16(46, 50);
+  interp.Run(small);
+  EXPECT_EQ(small.egress_port, 3);
+
+  // Key matches but the predicate value does not: miss.
+  Packet mismatch = PacketBuilder{}.frame_size(64).Build();
+  mismatch.bytes().set_u16(46, 200);
+  Interpreter fresh(spec);
+  fresh.AddEntry("t", {{{"len", 200}}, false, "hi", {8}});
+  fresh.Run(mismatch);
+  EXPECT_EQ(mismatch.egress_port, 0);
+}
+
+TEST(Interpreter, DropWinsOverPort) {
+  Diagnostics d;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module dp {
+  field f : 2 @ 46;
+  action stop { drop(); }
+  action go(p) { port(p); }
+  table t1 { key = { f }; actions = { go }; size = 1; }
+  table t2 { key = { f }; actions = { stop }; size = 1; }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+  Interpreter interp(spec);
+  interp.AddEntry("t1", {{{"f", 1}}, std::nullopt, "go", {4}});
+  interp.AddEntry("t2", {{{"f", 1}}, std::nullopt, "stop", {}});
+  Packet pkt = PacketBuilder{}.frame_size(64).Build();
+  pkt.bytes().set_u16(46, 1);
+  interp.Run(pkt);
+  EXPECT_EQ(pkt.disposition, Disposition::kDrop);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,187 @@
+// Adversarial isolation tests: a malicious or buggy module actively
+// trying to break each isolation property of section 2.1.
+#include <gtest/gtest.h>
+
+#include "config/daisy_chain.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+TEST(Adversarial, StatefulOverreadReturnsZeroNotNeighborData) {
+  // Victim stores a secret; attacker's segment sits next to it and the
+  // attacker issues loads beyond its range.
+  Pipeline pipe;
+  StatefulMemory& mem = pipe.stage(0).stateful();
+  mem.segment_table().Write(1, SegmentEntry{0, 8});   // victim
+  mem.segment_table().Write(2, SegmentEntry{8, 8});   // attacker
+  mem.Store(ModuleId(1), 0, 0x5EC2E7);
+
+  for (u64 probe = 8; probe < 64; ++probe)
+    EXPECT_EQ(mem.Load(ModuleId(2), probe), 0u) << probe;
+  EXPECT_GE(mem.violations(ModuleId(2)), 56u);
+  EXPECT_EQ(mem.Load(ModuleId(1), 0), 0x5EC2E7u);  // victim unharmed
+}
+
+TEST(Adversarial, CompilerRejectsVidRewriteAttack) {
+  // Changing the VID would steer packets into another module's overlay
+  // rows on downstream devices (section 3.4).
+  const CompiledModule m = CompileDsl(R"(
+module attack {
+  field tci : 2 @ 14;
+  action impersonate { tci = 1; }
+  table t { key = { tci }; actions = { impersonate }; size = 1; }
+}
+)",
+                                      StandardAlloc(2));
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.diags().HasCode("static.vid-write"));
+}
+
+TEST(Adversarial, SpoofedVidSelectsVictimConfigButNotItsState) {
+  // A tenant VM could mark packets with the victim's VID before they
+  // reach the pipeline.  The pipeline then processes them under the
+  // victim's configuration — VID assignment is the vSwitch's job
+  // (section 3.1) — but crucially the spoofed packets can only touch the
+  // victim's resources as the victim's program allows; they can never
+  // reach the attacker's own tables to exfiltrate into attacker state.
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  const auto a1 = StandardAlloc(1, 0, 4, 0, 8);
+  CompiledModule victim = MustCompile(apps::NetChainSpec(), a1);
+  MustLoad(mgr, victim, a1);
+  apps::InstallNetChainEntries(victim, 2);
+  mgr.Update(victim);
+
+  Packet spoofed = NetChainPacket(1, apps::kNetChainOpSeq);
+  const auto r = pipe.Process(std::move(spoofed));
+  // Processed exactly as the victim's own traffic (counter ticked)...
+  EXPECT_EQ(NetChainSeq(*r.output), 1u);
+  // ...and nothing outside the victim's segment was touched.
+  for (std::size_t w = 8; w < 32; ++w)
+    EXPECT_EQ(pipe.stage(0).stateful().PhysicalAt(w), 0u);
+}
+
+TEST(Adversarial, DataPathCannotForgeConfigWithoutReservedPort) {
+  // Reconfiguration packets are separated by UDP destination port; an
+  // ordinary data packet carrying a config-looking payload is parsed as
+  // data and never reaches the daisy chain.
+  Pipeline pipe;
+  DaisyChain chain(pipe);
+  Packet fake = PacketBuilder{}
+                    .vid(ModuleId(3))
+                    .udp(1234, 4321)  // not 0xF1F2
+                    .payload({0x50, 0x00, 0x01})
+                    .Build();
+  EXPECT_EQ(pipe.Process(fake).filter_verdict, FilterVerdict::kData);
+  EXPECT_THROW(DecodeReconfigPacket(fake), std::invalid_argument);
+  EXPECT_EQ(pipe.config_writes_applied(), 0u);
+}
+
+TEST(Adversarial, PhvZeroingStopsCrossPacketLeak) {
+  // Module 1 parses a secret into a container.  Module 2's parser entry
+  // extracts nothing; if the PHV were reused, module 2's deparser could
+  // write module 1's residue into its own packet.
+  Pipeline pipe;
+  ParserEntry p1;
+  p1.actions[0] = {true, {ContainerType::k4B, 0}, offsets::kIpv4Src};
+  pipe.parser().table().Write(1, p1);
+
+  DeparserEntry d2;  // module 2 deparses container 4B[0] into its payload
+  d2.actions[0] = {true, {ContainerType::k4B, 0}, 46};
+  pipe.deparser().table().Write(2, d2);
+
+  Packet secret =
+      PacketBuilder{}.vid(ModuleId(1)).ipv4(0xDEADBEEF, 1).Build();
+  pipe.Process(std::move(secret));
+
+  Packet probe = PacketBuilder{}.vid(ModuleId(2)).frame_size(64).Build();
+  const auto r = pipe.Process(std::move(probe));
+  EXPECT_EQ(r.output->bytes().u32_at(46), 0u);  // no residue
+}
+
+TEST(Adversarial, CamCollisionAcrossModulesImpossible) {
+  // Build two modules with byte-identical masked keys; flood lookups
+  // with every key value either module uses — no cross-hit ever occurs.
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  Diagnostics d;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module twin {
+  field f : 2 @ 46;
+  action left { drop(); }
+  action right(p) { port(p); }
+  table t { key = { f }; actions = { left, right }; size = 4; }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+
+  const auto a1 = StandardAlloc(1, 0, 4, 0, 0);
+  const auto a2 = StandardAlloc(2, 4, 4, 0, 0);
+  CompiledModule m1 = MustCompile(spec, a1);
+  CompiledModule m2 = MustCompile(spec, a2);
+  for (u64 k = 0; k < 4; ++k) {
+    m1.AddEntry("t", {{"f", k}}, std::nullopt, "left", {});
+    m2.AddEntry("t", {{"f", k}}, std::nullopt, "right", {static_cast<u64>(40 + k)});
+  }
+  MustLoad(mgr, m1, a1);
+  MustLoad(mgr, m2, a2);
+  mgr.Update(m1);
+  mgr.Update(m2);
+
+  for (u64 k = 0; k < 4; ++k) {
+    Packet p1 = PacketBuilder{}.vid(ModuleId(1)).frame_size(64).Build();
+    p1.bytes().set_u16(46, static_cast<u16>(k));
+    EXPECT_EQ(pipe.Process(std::move(p1)).output->disposition,
+              Disposition::kDrop);
+
+    Packet p2 = PacketBuilder{}.vid(ModuleId(2)).frame_size(64).Build();
+    p2.bytes().set_u16(46, static_cast<u16>(k));
+    const auto r2 = pipe.Process(std::move(p2));
+    EXPECT_EQ(r2.output->disposition, Disposition::kForward);
+    EXPECT_EQ(r2.output->egress_port, 40 + k);
+  }
+}
+
+TEST(Adversarial, ReconfigBitmapCannotBeSetByPackets) {
+  // Only the AXI-L register interface (control plane) writes the bitmap;
+  // processing any number of packets never flips it.
+  Pipeline pipe;
+  for (int i = 0; i < 100; ++i) {
+    Packet p = PacketBuilder{}.vid(ModuleId(i % 8)).Build();
+    pipe.Process(std::move(p));
+  }
+  EXPECT_EQ(pipe.filter().bitmap(), 0u);
+}
+
+TEST(Adversarial, CompilerRejectsRecirculationBandwidthAttack) {
+  const CompiledModule m = CompileDsl(R"(
+module hog {
+  field f : 2 @ 46;
+  action spin { recirculate(); }
+  table t { key = { f }; actions = { spin }; size = 1; }
+}
+)",
+                                      StandardAlloc(2));
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.diags().HasCode("static.recirculate"));
+}
+
+TEST(Adversarial, StatWriteAttackRejected) {
+  const CompiledModule m = CompileDsl(R"(
+module liar {
+  field f : 2 @ 46;
+  action lie { meta.queue_len = 0; }
+  table t { key = { f }; actions = { lie }; size = 1; }
+}
+)",
+                                      StandardAlloc(2));
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.diags().HasCode("static.stat-write"));
+}
+
+}  // namespace
+}  // namespace menshen

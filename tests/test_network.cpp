@@ -1,0 +1,205 @@
+// Multi-device topologies: vSwitch VID stamping, cross-device forwarding,
+// loop containment, and the cross-device VID-rewrite attack the static
+// checker exists to prevent (section 3.4).
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/module_manager.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+/// Installs a one-table forwarder on a device: match the L4 dst port,
+/// send to an egress port.
+void InstallForwarder(Device& dev, u16 vid, std::size_t cam_base,
+                      const std::vector<std::pair<u16, u16>>& port_map) {
+  static const char* kSource = R"(
+module fwd {
+  field dport : 2 @ 40;
+  action go(p) { port(p); }
+  table t { key = { dport }; actions = { go }; size = 4; }
+}
+)";
+  const ModuleAllocation alloc = UniformAllocation(
+      ModuleId(vid), 0, params::kNumStages, cam_base, 4, 0, 0);
+  CompiledModule m = CompileDsl(kSource, alloc);
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  for (const auto& [dport, out] : port_map)
+    m.AddEntry("t", {{"dport", dport}}, std::nullopt, "go", {out});
+  ModuleManager mgr(dev.pipeline());
+  MustLoad(mgr, m, alloc);
+}
+
+TEST(Network, VSwitchStampsTheVid) {
+  Network net;
+  Device& s1 = net.AddDevice("s1");
+  InstallForwarder(s1, 5, 0, {{80, 2}});
+  net.AttachHost({"s1", 1}, ModuleId(5));
+
+  // The host marks its packet with a spoofed VID; the vSwitch overwrites
+  // it with the tenant's assigned one.
+  Packet pkt = PacketBuilder{}.vid(ModuleId(9)).udp(1, 80).Build();
+  const auto deliveries = net.InjectFromHost({"s1", 1}, std::move(pkt));
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].at, (PortRef{"s1", 2}));
+  EXPECT_EQ(deliveries[0].packet.vid().value(), 5);
+}
+
+TEST(Network, ForwardsAcrossTwoDevices) {
+  // host -> s1:1, s1 forwards port 80 out of port 2, which links to s2:1;
+  // s2 forwards port 80 out of its port 3 (an edge).
+  Network net;
+  InstallForwarder(net.AddDevice("s1"), 5, 0, {{80, 2}});
+  InstallForwarder(net.AddDevice("s2"), 5, 0, {{80, 3}});
+  net.Link({"s1", 2}, {"s2", 1});
+  net.AttachHost({"s1", 1}, ModuleId(5));
+
+  const auto out = net.InjectFromHost(
+      {"s1", 1}, PacketBuilder{}.udp(1, 80).Build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at, (PortRef{"s2", 3}));
+}
+
+TEST(Network, DropOnOneDeviceEndsTheWalk) {
+  Network net;
+  Device& s1 = net.AddDevice("s1");
+  InstallForwarder(s1, 5, 0, {{80, 2}});  // no entry for port 23
+  net.AttachHost({"s1", 1}, ModuleId(5));
+  // Miss -> default forward to port 0, which is an edge here.
+  const auto out = net.InjectFromHost(
+      {"s1", 1}, PacketBuilder{}.udp(1, 23).Build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at, (PortRef{"s1", 0}));
+}
+
+TEST(Network, RoutingLoopIsContainedByTheHopBudget) {
+  // s1 sends port-80 traffic to s2, s2 sends it straight back: the walk
+  // burns its hop budget and the packet is dropped and counted — the
+  // data-plane symptom of what the control-plane loop checker rejects.
+  Network net;
+  InstallForwarder(net.AddDevice("s1"), 5, 0, {{80, 2}});
+  InstallForwarder(net.AddDevice("s2"), 5, 0, {{80, 1}});
+  net.Link({"s1", 2}, {"s2", 1});
+  net.AttachHost({"s1", 1}, ModuleId(5));
+
+  const auto out = net.InjectFromHost(
+      {"s1", 1}, PacketBuilder{}.udp(1, 80).Build(), /*max_hops=*/6);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(net.loop_drops(), 1u);
+}
+
+TEST(Network, MulticastFansOutAcrossLinks) {
+  Network net;
+  Device& s1 = net.AddDevice("s1");
+  Device& s2 = net.AddDevice("s2");
+  s1.pipeline().SetMulticastGroup(3, {2, 4});
+  InstallForwarder(s2, 5, 0, {{80, 9}});
+
+  // A raw multicast module on s1 (hand-config to keep the test focused).
+  const ModuleAllocation alloc =
+      UniformAllocation(ModuleId(5), 0, params::kNumStages, 0, 4, 0, 0);
+  CompiledModule m = CompileDsl(R"(
+module mc {
+  field dport : 2 @ 40;
+  action fan(g) { mcast(g); }
+  table t { key = { dport }; actions = { fan }; size = 2; }
+}
+)",
+                                alloc);
+  ASSERT_TRUE(m.ok());
+  m.AddEntry("t", {{"dport", 80}}, std::nullopt, "fan", {3});
+  ModuleManager mgr(s1.pipeline());
+  MustLoad(mgr, m, alloc);
+
+  net.Link({"s1", 2}, {"s2", 1});  // one replica continues into s2
+  net.AttachHost({"s1", 1}, ModuleId(5));
+
+  const auto out = net.InjectFromHost(
+      {"s1", 1}, PacketBuilder{}.udp(1, 80).Build());
+  ASSERT_EQ(out.size(), 2u);  // one copy at s1:4 (edge), one via s2:9
+  EXPECT_EQ(out[0].at, (PortRef{"s2", 9}));
+  EXPECT_EQ(out[1].at, (PortRef{"s1", 4}));
+}
+
+TEST(Network, VidRewriteAttackCrossesDevices) {
+  // The attack the static checker forbids (section 3.4): module 5 on s1
+  // rewrites the VLAN TCI so that on s2 the packet is processed under
+  // module 6's configuration.  The compiler refuses such a program, so
+  // we inject the configuration by hand to demonstrate the blast radius
+  // the check prevents.
+  Network net;
+  Device& s1 = net.AddDevice("s1");
+  Device& s2 = net.AddDevice("s2");
+  net.Link({"s1", 2}, {"s2", 1});
+  net.AttachHost({"s1", 1}, ModuleId(5));
+
+  // s1, module 5, hand-built: parse TCI, set it to 6, forward to port 2.
+  Pipeline& p1 = s1.pipeline();
+  ParserEntry parser;
+  parser.actions[0] = {true, {ContainerType::k2B, 0}, offsets::kVlanTci};
+  p1.parser().table().Write(5, parser);
+  DeparserEntry deparser;
+  deparser.actions[0] = {true, {ContainerType::k2B, 0}, offsets::kVlanTci};
+  p1.deparser().table().Write(5, deparser);
+  Stage& st = p1.stage(0);
+  st.key_extractor().Write(5, KeyExtractorEntry{});
+  KeyMaskEntry mask;  // match-all (zero mask): every packet hits entry 0
+  st.key_mask().Write(5, mask);
+  st.cam().Write(0, CamEntry{true, BitVec(params::kKeyBits), ModuleId(5)});
+  VliwEntry vliw;
+  vliw.slots[0] = {AluOp::kSet, 0, 0, 6};          // TCI := 6 (VID rewrite!)
+  vliw.slots[24] = {AluOp::kPort, 0, 0, 2};        // towards s2
+  st.WriteVliw(0, vliw);
+
+  // s2, module 6 (the victim): counts its packets via a sequencer.
+  const ModuleAllocation alloc =
+      UniformAllocation(ModuleId(6), 0, params::kNumStages, 0, 4, 0, 8);
+  CompiledModule victim = MustCompile(apps::NetChainSpec(), alloc);
+  ModuleManager mgr(s2.pipeline());
+  MustLoad(mgr, victim, alloc);
+  apps::InstallNetChainEntries(victim, 3);
+  mgr.Update(victim);
+
+  const auto out =
+      net.InjectFromHost({"s1", 1}, NetChainPacket(5, apps::kNetChainOpSeq));
+  ASSERT_EQ(out.size(), 1u);
+  // The packet crossed into s2 carrying the victim's VID and consumed
+  // the victim's sequencer state — the isolation breach.
+  EXPECT_EQ(out[0].packet.vid().value(), 6);
+  EXPECT_EQ(NetChainSeq(out[0].packet), 1u);
+
+  // ...and the compiler's static checker makes this unprogrammable:
+  const CompiledModule rejected = CompileDsl(R"(
+module attack {
+  field tci : 2 @ 14;
+  action a(p) { tci = 6; port(p); }
+  table t { key = { tci }; actions = { a }; size = 1; }
+}
+)",
+                                             UniformAllocation(
+                                                 ModuleId(5), 0, 5, 0, 4));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.diags().HasCode("static.vid-write"));
+}
+
+TEST(Network, TopologyValidation) {
+  Network net;
+  net.AddDevice("s1");
+  EXPECT_THROW(net.AddDevice("s1"), std::invalid_argument);
+  EXPECT_THROW(net.device("ghost"), std::invalid_argument);
+  EXPECT_THROW(net.Link({"s1", 1}, {"ghost", 1}), std::invalid_argument);
+  net.AddDevice("s2");
+  net.Link({"s1", 1}, {"s2", 1});
+  EXPECT_THROW(net.Link({"s1", 1}, {"s2", 2}), std::invalid_argument);
+  EXPECT_THROW(net.AttachHost({"s1", 1}, ModuleId(1)),
+               std::invalid_argument);
+  EXPECT_THROW(net.InjectFromHost({"s1", 9}, PacketBuilder{}.Build()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,81 @@
+#include "pipeline/packet_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace menshen {
+namespace {
+
+Packet Vlan(u16 vid) { return PacketBuilder{}.vid(ModuleId(vid)).Build(); }
+
+Packet NoVlan() {
+  Packet p = PacketBuilder{}.Build();
+  p.bytes().set_u16(offsets::kVlanTpid, 0x0800);  // not 0x8100
+  return p;
+}
+
+TEST(PacketFilter, DropsPacketsWithoutVlan) {
+  PacketFilter filter;
+  Packet p = NoVlan();
+  EXPECT_EQ(filter.Classify(p), FilterVerdict::kDropNoVlan);
+  EXPECT_EQ(filter.dropped_no_vlan(), 1u);
+}
+
+TEST(PacketFilter, SeparatesReconfigPackets) {
+  PacketFilter filter(4, /*reconfig_on_data_path=*/true);
+  Packet rc = PacketBuilder{}.udp(1, kReconfigUdpPort).Build();
+  EXPECT_EQ(filter.Classify(rc), FilterVerdict::kReconfig);
+}
+
+TEST(PacketFilter, NetFpgaModeTreatsReservedPortAsData) {
+  // On NetFPGA the daisy chain is fed over PCIe only; a data packet to
+  // the reserved port is ordinary data.
+  PacketFilter filter(4, /*reconfig_on_data_path=*/false);
+  Packet rc = PacketBuilder{}.udp(1, kReconfigUdpPort).Build();
+  EXPECT_EQ(filter.Classify(rc), FilterVerdict::kData);
+}
+
+TEST(PacketFilter, BitmapDropsOnlyTheQuiescedModule) {
+  PacketFilter filter;
+  filter.MarkUnderReconfig(ModuleId(5), true);
+  Packet p5 = Vlan(5);
+  Packet p6 = Vlan(6);
+  EXPECT_EQ(filter.Classify(p5), FilterVerdict::kDropBitmap);
+  EXPECT_EQ(filter.Classify(p6), FilterVerdict::kData);
+  EXPECT_EQ(filter.dropped_bitmap(), 1u);
+
+  filter.MarkUnderReconfig(ModuleId(5), false);
+  Packet again = Vlan(5);
+  EXPECT_EQ(filter.Classify(again), FilterVerdict::kData);
+}
+
+TEST(PacketFilter, BitmapRegisterBitsMatchModuleIds) {
+  PacketFilter filter;
+  filter.MarkUnderReconfig(ModuleId(0), true);
+  filter.MarkUnderReconfig(ModuleId(31), true);
+  EXPECT_EQ(filter.bitmap(), 0x80000001u);
+  EXPECT_TRUE(filter.IsUnderReconfig(ModuleId(31)));
+  EXPECT_THROW(filter.MarkUnderReconfig(ModuleId(32), true),
+               std::out_of_range);
+}
+
+TEST(PacketFilter, BufferTagsRoundRobin) {
+  PacketFilter filter(4);
+  std::vector<u8> tags;
+  for (int i = 0; i < 8; ++i) {
+    Packet p = Vlan(1);
+    EXPECT_EQ(filter.Classify(p), FilterVerdict::kData);
+    tags.push_back(p.buffer_tag);
+  }
+  EXPECT_EQ(tags, (std::vector<u8>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(PacketFilter, ReconfigCounter) {
+  PacketFilter filter;
+  EXPECT_EQ(filter.reconfig_packet_counter(), 0u);
+  filter.IncrementReconfigCounter();
+  filter.IncrementReconfigCounter();
+  EXPECT_EQ(filter.reconfig_packet_counter(), 2u);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,102 @@
+// Table 5 hardware parameters and the section 5.2 latency calibration.
+#include "pipeline/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/timing.hpp"
+
+namespace menshen {
+namespace {
+
+TEST(Table5, Widths) {
+  EXPECT_EQ(params::kParserEntryBits, 160u);
+  EXPECT_EQ(params::kKeyExtractorEntryBits, 38u);
+  EXPECT_EQ(params::kKeyMaskEntryBits, 193u);
+  EXPECT_EQ(params::kKeyBits, 193u);          // 24*8 + 1 predicate bit
+  EXPECT_EQ(params::kCamEntryBits, 205u);     // 193 + 12-bit module ID
+  EXPECT_EQ(params::kVliwEntryBits, 625u);    // 25 x 25-bit ALU actions
+  EXPECT_EQ(params::kSegmentEntryBits, 16u);
+  EXPECT_EQ(params::kModuleIdBits, 12u);
+}
+
+TEST(Table5, Depths) {
+  EXPECT_EQ(params::kNumStages, 5u);
+  EXPECT_EQ(params::kOverlayTableDepth, 32u);
+  EXPECT_EQ(params::kCamDepth, 16u);
+  EXPECT_EQ(params::kVliwTableDepth, 16u);
+  EXPECT_EQ(params::kParserActionsPerEntry, 10u);
+}
+
+TEST(Platforms, BusWidths) {
+  EXPECT_EQ(NetFpgaPlatform().bus_bytes, 32u);   // 256-bit AXI-S
+  EXPECT_EQ(CorundumPlatform().bus_bytes, 64u);  // 512-bit AXI-S
+  EXPECT_DOUBLE_EQ(NetFpgaPlatform().clock.frequency_mhz(), 156.25);
+  EXPECT_DOUBLE_EQ(CorundumPlatform().clock.frequency_mhz(), 250.0);
+}
+
+// Section 5.2: "for a minimum packet size of 64 bytes, Menshen's pipeline
+// introduces 79 and 106 cycles of processing for NetFPGA and Corundum,
+// resulting in 505.6 ns and 424 ns latency".
+TEST(LatencyModel, MinimumSizePackets) {
+  EXPECT_EQ(IdleLatencyCycles(NetFpgaPlatform(), 64), 79u);
+  EXPECT_EQ(IdleLatencyCycles(CorundumPlatform(), 64), 106u);
+  EXPECT_NEAR(NetFpgaPlatform().clock.cycles_to_ns(79), 505.6, 0.1);
+  EXPECT_NEAR(CorundumPlatform().clock.cycles_to_ns(106), 424.0, 0.1);
+}
+
+// Section 5.2: MTU-size packets — the paper reports ~146-150 cycles /
+// 960 ns (NetFPGA) and 129 cycles / 516 ns (Corundum).
+TEST(LatencyModel, MtuSizePackets) {
+  EXPECT_EQ(IdleLatencyCycles(CorundumPlatform(), 1500), 129u);
+  EXPECT_NEAR(CorundumPlatform().clock.cycles_to_ns(129), 516.0, 0.1);
+  const Cycle netfpga = IdleLatencyCycles(NetFpgaPlatform(), 1500);
+  EXPECT_GE(netfpga, 143u);
+  EXPECT_LE(netfpga, 150u);
+}
+
+TEST(LatencyModel, MonotoneInPacketSize) {
+  for (const auto* p : {&NetFpgaPlatform(), &CorundumPlatform()}) {
+    Cycle prev = 0;
+    for (std::size_t s = 64; s <= 1500; s += 64) {
+      const Cycle c = IdleLatencyCycles(*p, s);
+      EXPECT_GE(c, prev);
+      prev = c;
+    }
+  }
+}
+
+// The cycle-level engine must agree with the closed-form calibration on
+// an idle pipeline: one packet, no contention.
+class EngineVsFormula
+    : public ::testing::TestWithParam<std::tuple<bool, std::size_t>> {};
+
+TEST_P(EngineVsFormula, IdleLatencyMatches) {
+  const auto [corundum, bytes] = GetParam();
+  const PlatformTiming& p =
+      corundum ? CorundumPlatform() : NetFpgaPlatform();
+  TimingSimulator sim(p, OptimizedTiming());
+  std::vector<SimPacket> pkts(1);
+  pkts[0].bytes = bytes;
+  sim.Run(pkts);
+  EXPECT_EQ(pkts[0].latency, IdleLatencyCycles(p, bytes))
+      << p.name << " @ " << bytes << "B";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EngineVsFormula,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(64, 70, 128, 256, 512, 768, 1024,
+                                         1500)));
+
+TEST(Timing, ElementLatenciesSumToProcessingDepth) {
+  for (const auto* p : {&NetFpgaPlatform(), &CorundumPlatform()}) {
+    const ElementLatencies lat = LatenciesFor(*p, OptimizedTiming());
+    Cycle sum = lat.filter + lat.parser +
+                params::kNumStages * lat.per_stage + lat.deparser_fixed;
+    if (p->overlap_ingress) sum += p->beats(128);
+    EXPECT_EQ(sum, p->processing_depth) << p->name;
+  }
+}
+
+}  // namespace
+}  // namespace menshen

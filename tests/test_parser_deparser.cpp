@@ -1,0 +1,153 @@
+#include "pipeline/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/packet.hpp"
+
+namespace menshen {
+namespace {
+
+ParserEntry EntryExtracting(std::initializer_list<ParserAction> actions) {
+  ParserEntry e;
+  std::size_t i = 0;
+  for (const auto& a : actions) e.actions[i++] = a;
+  return e;
+}
+
+TEST(Parser, ExtractsConfiguredFields) {
+  Parser parser;
+  parser.table().Write(
+      3, EntryExtracting({
+             {true, {ContainerType::k4B, 0}, offsets::kIpv4Dst},
+             {true, {ContainerType::k2B, 1}, offsets::kL4DstPort},
+         }));
+
+  const Packet pkt = PacketBuilder{}
+                         .vid(ModuleId(3))
+                         .ipv4(0x01020304, 0x0A0B0C0D)
+                         .udp(1, 4242)
+                         .Build();
+  const Phv phv = parser.Parse(pkt);
+  EXPECT_EQ(phv.module_id.value(), 3);
+  EXPECT_EQ(phv.Read({ContainerType::k4B, 0}), 0x0A0B0C0Du);
+  EXPECT_EQ(phv.Read({ContainerType::k2B, 1}), 4242u);
+}
+
+TEST(Parser, UsesModuleSpecificConfiguration) {
+  Parser parser;
+  parser.table().Write(1, EntryExtracting({{true,
+                                            {ContainerType::k2B, 0},
+                                            offsets::kL4SrcPort}}));
+  parser.table().Write(2, EntryExtracting({{true,
+                                            {ContainerType::k2B, 0},
+                                            offsets::kL4DstPort}}));
+
+  const Packet p1 =
+      PacketBuilder{}.vid(ModuleId(1)).udp(111, 222).Build();
+  const Packet p2 =
+      PacketBuilder{}.vid(ModuleId(2)).udp(111, 222).Build();
+  EXPECT_EQ(parser.Parse(p1).Read({ContainerType::k2B, 0}), 111u);
+  EXPECT_EQ(parser.Parse(p2).Read({ContainerType::k2B, 0}), 222u);
+}
+
+TEST(Parser, SetsPipelineMetadata) {
+  Parser parser;
+  Packet pkt = PacketBuilder{}.vid(ModuleId(0)).frame_size(200).Build();
+  pkt.ingress_port = 5;
+  pkt.buffer_tag = 2;
+  const Phv phv = parser.Parse(pkt);
+  EXPECT_EQ(phv.meta_u16(meta::kSrcPort), 5);
+  EXPECT_EQ(phv.meta_u16(meta::kPktLen), 200);
+  EXPECT_EQ(phv.meta_u8(meta::kBufferTag), 1u << 2);  // one-hot
+}
+
+TEST(Parser, ZeroesPhvBetweenPackets) {
+  // Isolation: nothing from one packet's PHV may survive into the next.
+  Parser parser;
+  parser.table().Write(4, EntryExtracting({{true,
+                                            {ContainerType::k4B, 2},
+                                            offsets::kIpv4Src}}));
+  const Packet rich = PacketBuilder{}
+                          .vid(ModuleId(4))
+                          .ipv4(0xFFFFFFFF, 0xFFFFFFFF)
+                          .Build();
+  (void)parser.Parse(rich);
+
+  // Module 5 has no parser actions configured: its PHV must be all-zero
+  // containers regardless of what came before.
+  const Packet poor = PacketBuilder{}.vid(ModuleId(5)).Build();
+  const Phv phv = parser.Parse(poor);
+  for (u8 i = 0; i < kContainersPerType; ++i) {
+    EXPECT_EQ(phv.Read({ContainerType::k4B, i}), 0u);
+    EXPECT_EQ(phv.Read({ContainerType::k2B, i}), 0u);
+    EXPECT_EQ(phv.Read({ContainerType::k6B, i}), 0u);
+  }
+}
+
+TEST(Parser, ReadsBeyondPacketEndAreZero) {
+  Parser parser;
+  parser.table().Write(6, EntryExtracting({{true,
+                                            {ContainerType::k6B, 0},
+                                            60}}));
+  const Packet tiny = PacketBuilder{}.vid(ModuleId(6)).frame_size(62).Build();
+  // Bytes 60-61 exist; 62-65 read as zero.
+  const Phv phv = parser.Parse(tiny);
+  EXPECT_EQ(phv.Read({ContainerType::k6B, 0}) & 0xFFFFFFFFull, 0u);
+}
+
+TEST(Deparser, WritesBackOnlyConfiguredFields) {
+  Deparser deparser;
+  deparser.table().Write(
+      3, EntryExtracting(
+             {{true, {ContainerType::k4B, 0}, offsets::kIpv4Dst}}));
+
+  Phv phv;
+  phv.module_id = ModuleId(3);
+  phv.Write({ContainerType::k4B, 0}, 0x11223344);
+  phv.Write({ContainerType::k4B, 1}, 0xAAAAAAAA);  // not deparsed
+
+  Packet pkt = PacketBuilder{}
+                   .vid(ModuleId(3))
+                   .ipv4(0x01010101, 0x02020202)
+                   .Build();
+  deparser.Deparse(phv, pkt);
+  EXPECT_EQ(pkt.ipv4_dst(), 0x11223344u);
+  EXPECT_EQ(pkt.ipv4_src(), 0x01010101u);  // untouched
+}
+
+TEST(Deparser, AppliesDisposition) {
+  Deparser deparser;
+  Phv phv;
+  phv.set_meta_u16(meta::kDstPort, 9);
+  Packet pkt = PacketBuilder{}.Build();
+  deparser.Deparse(phv, pkt);
+  EXPECT_EQ(pkt.disposition, Disposition::kForward);
+  EXPECT_EQ(pkt.egress_port, 9);
+
+  phv.set_discard_flag(true);
+  deparser.Deparse(phv, pkt);
+  EXPECT_EQ(pkt.disposition, Disposition::kDrop);
+}
+
+TEST(Deparser, MulticastPortsWinOverUnicast) {
+  Deparser deparser;
+  Phv phv;
+  Packet pkt = PacketBuilder{}.Build();
+  pkt.multicast_ports = {1, 2, 3};
+  deparser.Deparse(phv, pkt);
+  EXPECT_EQ(pkt.disposition, Disposition::kMulticast);
+}
+
+TEST(OverlayTable, IndexTruncatesLikeHardware) {
+  // The overlay SRAM indexes with the low 5 bits of the module ID: VID 33
+  // aliases row 1.  Admission control is what prevents this in practice
+  // (tested in test_admission.cpp); the hardware behaviour itself is
+  // truncation.
+  OverlayTable<SegmentEntry> table;
+  table.Write(1, SegmentEntry{7, 7});
+  EXPECT_EQ(table.Lookup(ModuleId(33)).offset, 7);
+  EXPECT_EQ(table.IndexFor(ModuleId(33)), 1u);
+}
+
+}  // namespace
+}  // namespace menshen

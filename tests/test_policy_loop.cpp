@@ -1,0 +1,150 @@
+// Resource-sharing policies (DRF / utility) and the control-plane
+// routing-loop checker.
+#include <gtest/gtest.h>
+
+#include "runtime/loop_check.hpp"
+#include "runtime/policy.hpp"
+
+namespace menshen {
+namespace {
+
+ResourceDemand Demand(std::size_t stages, std::size_t entries,
+                      std::size_t words) {
+  ResourceDemand d;
+  d.stages = stages;
+  d.match_entries = entries;
+  d.state_words = words;
+  return d;
+}
+
+TEST(DominantShare, PicksTheScarcestResource) {
+  ResourcePool pool;  // 3 stages, 16 entries/stage, 256 words/stage
+  // Stages do not participate (they are shared); entries and words do.
+  EXPECT_DOUBLE_EQ(DominantShare(Demand(3, 0, 0), pool), 0.0);
+  EXPECT_DOUBLE_EQ(DominantShare(Demand(1, 24, 0), pool), 0.5);
+  EXPECT_DOUBLE_EQ(DominantShare(Demand(1, 0, 384), pool), 0.5);
+  EXPECT_DOUBLE_EQ(DominantShare(Demand(1, 24, 768), pool), 1.0);
+}
+
+TEST(DrfPolicy, AllocatesDisjointBlocks) {
+  ResourcePool pool;
+  std::vector<PolicyRequest> reqs = {
+      {ModuleId(1), Demand(1, 8, 16), 1.0},
+      {ModuleId(2), Demand(1, 8, 16), 1.0},
+  };
+  const PolicyResult result = DrfAllocate(reqs, pool);
+  EXPECT_TRUE(result.rejected.empty());
+  const auto& a = result.allocations[0].stages[0];
+  const auto& b = result.allocations[1].stages[0];
+  EXPECT_EQ(a.stage, 1);  // tenant stages start after the system half
+  // Blocks must not overlap.
+  const bool disjoint_cam =
+      a.cam_base + a.cam_count <= b.cam_base ||
+      b.cam_base + b.cam_count <= a.cam_base;
+  EXPECT_TRUE(disjoint_cam);
+  EXPECT_NE(a.seg_offset, b.seg_offset);
+}
+
+TEST(DrfPolicy, SmallDominantShareAdmittedFirst) {
+  // The big request alone would fit, but DRF admits the two small ones
+  // first and the big one no longer fits.
+  ResourcePool pool;
+  std::vector<PolicyRequest> reqs = {
+      {ModuleId(1), Demand(1, 14, 0), 1.0},  // dominant share 14/48
+      {ModuleId(2), Demand(1, 4, 0), 1.0},
+      {ModuleId(3), Demand(1, 4, 0), 1.0},
+  };
+  const PolicyResult result = DrfAllocate(reqs, pool);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], 0u);  // the large request lost
+  EXPECT_FALSE(result.allocations[1].stages.empty());
+  EXPECT_FALSE(result.allocations[2].stages.empty());
+}
+
+TEST(DrfPolicy, RejectsImpossibleRequests) {
+  ResourcePool pool;
+  std::vector<PolicyRequest> reqs = {
+      {ModuleId(1), Demand(4, 1, 0), 1.0},    // more stages than exist
+      {ModuleId(2), Demand(1, 0, 300), 1.0},  // segment > 255-word field
+  };
+  const PolicyResult result = DrfAllocate(reqs, pool);
+  EXPECT_EQ(result.rejected.size(), 2u);
+}
+
+TEST(UtilityPolicy, HighWeightWinsContention) {
+  ResourcePool pool;
+  pool.cam_per_stage = 16;
+  std::vector<PolicyRequest> reqs = {
+      {ModuleId(1), Demand(1, 12, 0), 0.1},
+      {ModuleId(2), Demand(1, 12, 0), 10.0},
+  };
+  const PolicyResult result = UtilityAllocate(reqs, pool);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], 0u);  // low-utility request rejected
+  EXPECT_FALSE(result.allocations[1].stages.empty());
+}
+
+TEST(UtilityPolicy, EqualWeightsDegradeToDensityOrder) {
+  ResourcePool pool;
+  std::vector<PolicyRequest> reqs = {
+      {ModuleId(1), Demand(1, 14, 0), 1.0},
+      {ModuleId(2), Demand(1, 2, 0), 1.0},
+  };
+  const PolicyResult result = UtilityAllocate(reqs, pool);
+  EXPECT_TRUE(result.rejected.empty());  // both fit here
+}
+
+// --- Routing loop check -----------------------------------------------------------
+
+TEST(LoopCheck, AcyclicGraphPasses) {
+  RoutingGraph g;
+  g.Add("s1", 0x0A000001, "s2");
+  g.Add("s2", 0x0A000001, "s3");
+  g.Add("s1", 0x0B000001, "s3");
+  EXPECT_TRUE(g.IsLoopFree());
+  EXPECT_TRUE(g.FindCycle().empty());
+}
+
+TEST(LoopCheck, DirectLoopDetected) {
+  RoutingGraph g;
+  g.Add("s1", 0x0A000001, "s2");
+  g.Add("s2", 0x0A000001, "s1");
+  EXPECT_FALSE(g.IsLoopFree());
+  EXPECT_EQ(g.FindCycle().size(), 2u);
+}
+
+TEST(LoopCheck, SelfLoopDetected) {
+  RoutingGraph g;
+  g.Add("s1", 0x0A000001, "s1");
+  EXPECT_FALSE(g.IsLoopFree());
+  EXPECT_EQ(g.FindCycle().size(), 1u);
+}
+
+TEST(LoopCheck, LongCycleDetected) {
+  RoutingGraph g;
+  for (int i = 0; i < 5; ++i)
+    g.Add("s" + std::to_string(i), 1, "s" + std::to_string((i + 1) % 5));
+  EXPECT_FALSE(g.IsLoopFree());
+  EXPECT_EQ(g.FindCycle().size(), 5u);
+}
+
+TEST(LoopCheck, CyclesOnlyCountWithinOneDestination) {
+  // s1 -> s2 for dst A and s2 -> s1 for dst B is NOT a loop: no single
+  // packet traverses both edges.
+  RoutingGraph g;
+  g.Add("s1", 0xA, "s2");
+  g.Add("s2", 0xB, "s1");
+  EXPECT_TRUE(g.IsLoopFree());
+}
+
+TEST(LoopCheck, DiamondIsNotACycle) {
+  RoutingGraph g;
+  g.Add("a", 1, "b");
+  g.Add("a", 1, "c");
+  g.Add("b", 1, "d");
+  g.Add("c", 1, "d");
+  EXPECT_TRUE(g.IsLoopFree());
+}
+
+}  // namespace
+}  // namespace menshen

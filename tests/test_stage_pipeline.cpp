@@ -1,0 +1,174 @@
+// Stage and pipeline behaviour with hand-built (not compiler-generated)
+// configuration — validates the hardware model independent of codegen.
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.hpp"
+
+namespace menshen {
+namespace {
+
+// One hand-rolled module config: match 2B container 0 (parsed from the
+// L4 dst port) against value 999 and add 1 to 4B container 0 (parsed from
+// the IPv4 dst address).
+void ConfigureIncrementModule(Pipeline& pipe, u16 vid, std::size_t cam_slot) {
+  ParserEntry parser;
+  parser.actions[0] = {true, {ContainerType::k2B, 0}, offsets::kL4DstPort};
+  parser.actions[1] = {true, {ContainerType::k4B, 0}, offsets::kIpv4Dst};
+  pipe.parser().table().Write(vid, parser);
+
+  DeparserEntry deparser;
+  deparser.actions[0] = {true, {ContainerType::k4B, 0}, offsets::kIpv4Dst};
+  pipe.deparser().table().Write(vid, deparser);
+
+  Stage& stage = pipe.stage(0);
+  KeyExtractorEntry kx;  // selectors all zero: 1st2B slot = container 0
+  stage.key_extractor().Write(vid, kx);
+
+  KeyMaskEntry mask;
+  const auto slots = KeySlots();
+  for (std::size_t b = 0; b < 16; ++b)
+    mask.mask.set_bit(slots[4].lsb + b, true);  // 1st 2B slot only
+  stage.key_mask().Write(vid, mask);
+
+  BitVec key(params::kKeyBits);
+  key.set_field(slots[4].lsb, 16, 999);
+  CamEntry cam;
+  cam.valid = true;
+  cam.key = key;
+  cam.module = ModuleId(vid);
+  stage.cam().Write(cam_slot, cam);
+
+  VliwEntry vliw;
+  vliw.slots[8] = {AluOp::kAddi, 8, 0, 1};  // 4B container 0 += 1
+  stage.WriteVliw(cam_slot, vliw);
+}
+
+TEST(Stage, HitExecutesActionMissPassesThrough) {
+  Pipeline pipe;
+  ConfigureIncrementModule(pipe, 1, 0);
+
+  Packet hit = PacketBuilder{}
+                   .vid(ModuleId(1))
+                   .ipv4(0, 0x0A000001)
+                   .udp(1, 999)
+                   .Build();
+  const auto r1 = pipe.Process(hit);
+  ASSERT_TRUE(r1.output.has_value());
+  EXPECT_EQ(r1.output->ipv4_dst(), 0x0A000002u);
+  EXPECT_EQ(pipe.stage(0).hits(), 1u);
+
+  Packet miss = PacketBuilder{}
+                    .vid(ModuleId(1))
+                    .ipv4(0, 0x0A000001)
+                    .udp(1, 998)
+                    .Build();
+  const auto r2 = pipe.Process(miss);
+  EXPECT_EQ(r2.output->ipv4_dst(), 0x0A000001u);  // unchanged
+  EXPECT_GE(pipe.stage(0).misses(), 1u);
+}
+
+TEST(Pipeline, TwoModulesSameKeyBitsDifferentBehavior) {
+  // Module 1 increments on port 999; module 2 has the same key bits but
+  // its action decrements — the module ID in the CAM separates them.
+  Pipeline pipe;
+  ConfigureIncrementModule(pipe, 1, 0);
+  ConfigureIncrementModule(pipe, 2, 1);
+  // Rewrite module 2's CAM entry owner and action.
+  Stage& stage = pipe.stage(0);
+  CamEntry cam = stage.cam().At(1);
+  cam.module = ModuleId(2);
+  stage.cam().Write(1, cam);
+  VliwEntry vliw;
+  vliw.slots[8] = {AluOp::kSubi, 8, 0, 1};
+  stage.WriteVliw(1, vliw);
+
+  const auto mk = [](u16 vid) {
+    return PacketBuilder{}
+        .vid(ModuleId(vid))
+        .ipv4(0, 0x0A000005)
+        .udp(1, 999)
+        .Build();
+  };
+  EXPECT_EQ(pipe.Process(mk(1)).output->ipv4_dst(), 0x0A000006u);
+  EXPECT_EQ(pipe.Process(mk(2)).output->ipv4_dst(), 0x0A000004u);
+}
+
+TEST(Pipeline, CountsForwardedPerModule) {
+  Pipeline pipe;
+  ConfigureIncrementModule(pipe, 3, 0);
+  for (int i = 0; i < 5; ++i) {
+    Packet p = PacketBuilder{}.vid(ModuleId(3)).udp(1, 999).Build();
+    pipe.Process(std::move(p));
+  }
+  EXPECT_EQ(pipe.forwarded(ModuleId(3)), 5u);
+  EXPECT_EQ(pipe.total_processed(), 5u);
+}
+
+TEST(Pipeline, BitmapDropIsCountedAgainstTheModule) {
+  Pipeline pipe;
+  pipe.filter().MarkUnderReconfig(ModuleId(4), true);
+  Packet p = PacketBuilder{}.vid(ModuleId(4)).Build();
+  const auto r = pipe.Process(std::move(p));
+  EXPECT_EQ(r.filter_verdict, FilterVerdict::kDropBitmap);
+  EXPECT_FALSE(r.output.has_value());
+  EXPECT_EQ(pipe.dropped(ModuleId(4)), 1u);
+}
+
+TEST(Pipeline, ApplyWriteRejectsBadPayloadsAndStages) {
+  Pipeline pipe;
+  ConfigWrite w;
+  w.kind = ResourceKind::kSegmentTable;
+  w.stage = 0;
+  w.index = 1;
+  w.payload = ByteBuffer(3);  // segment entries are 2 bytes
+  EXPECT_THROW(pipe.ApplyWrite(w), std::invalid_argument);
+
+  w.payload = SegmentEntry{0, 8}.Encode();
+  w.stage = 5;  // no such stage
+  EXPECT_THROW(pipe.ApplyWrite(w), std::out_of_range);
+
+  w.stage = 4;
+  pipe.ApplyWrite(w);
+  EXPECT_EQ(pipe.config_writes_applied(), 1u);
+  EXPECT_EQ(pipe.filter().reconfig_packet_counter(), 1u);
+}
+
+TEST(Pipeline, MulticastGroupResolution) {
+  Pipeline pipe;
+  pipe.SetMulticastGroup(7, {2, 3, 5});
+
+  // Hand-build a module whose single action sets multicast group 7.
+  ParserEntry parser;
+  parser.actions[0] = {true, {ContainerType::k2B, 0}, offsets::kL4DstPort};
+  pipe.parser().table().Write(1, parser);
+  Stage& stage = pipe.stage(0);
+  stage.key_extractor().Write(1, KeyExtractorEntry{});
+  KeyMaskEntry mask;
+  const auto slots = KeySlots();
+  for (std::size_t b = 0; b < 16; ++b)
+    mask.mask.set_bit(slots[4].lsb + b, true);
+  stage.key_mask().Write(1, mask);
+  BitVec key(params::kKeyBits);
+  key.set_field(slots[4].lsb, 16, 111);
+  stage.cam().Write(0, CamEntry{true, key, ModuleId(1)});
+  VliwEntry vliw;
+  vliw.slots[24] = {AluOp::kMcast, 0, 0, 7};
+  stage.WriteVliw(0, vliw);
+
+  Packet p = PacketBuilder{}.vid(ModuleId(1)).udp(1, 111).Build();
+  const auto r = pipe.Process(std::move(p));
+  EXPECT_EQ(r.output->disposition, Disposition::kMulticast);
+  EXPECT_EQ(r.output->multicast_ports, (std::vector<u16>{2, 3, 5}));
+
+  EXPECT_THROW(pipe.SetMulticastGroup(0, {1}), std::invalid_argument);
+}
+
+TEST(Pipeline, UnknownMulticastGroupForwardsUnicast) {
+  Pipeline pipe;
+  Packet p = PacketBuilder{}.vid(ModuleId(1)).Build();
+  const auto r = pipe.Process(std::move(p));
+  EXPECT_EQ(r.output->disposition, Disposition::kForward);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,176 @@
+// System-level module (section 3.3): sandwiching, virtual-IP routing,
+// ingress accounting, and coexistence of several tenants each wrapped by
+// the system module.
+#include "sysmod/system_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+SystemAllocation SysAllocFor(std::size_t slot) {
+  // Each tenant gets 4 CAM entries and an 8-word segment in the system
+  // stages (0 and 4), carved by tenant slot number.
+  SystemAllocation sys;
+  sys.first = StageAllocation{kSystemFirstStage, slot * 4, 4,
+                              static_cast<u8>(slot * 8), 8};
+  sys.last = StageAllocation{kSystemLastStage, slot * 4, 4, 0, 0};
+  return sys;
+}
+
+std::vector<StageAllocation> TenantStages(std::size_t slot,
+                                          std::size_t cam = 4,
+                                          u8 seg = 32) {
+  std::vector<StageAllocation> out;
+  for (u8 s = 0; s < kTenantStageCount; ++s)
+    out.push_back(StageAllocation{static_cast<u8>(kTenantFirstStage + s),
+                                  slot * cam, cam,
+                                  static_cast<u8>(slot * seg), seg});
+  return out;
+}
+
+TEST(SystemModule, EmbeddedDslParses) {
+  EXPECT_NO_THROW(SystemModuleSpec());
+  EXPECT_EQ(SystemModuleSpec().tables.size(), 2u);
+}
+
+TEST(SystemModule, TenantSandwichedBetweenSystemHalves) {
+  const CompiledModule stack = CompileTenantWithSystem(
+      apps::CalcSpec(), ModuleId(2), TenantStages(0), SysAllocFor(0));
+  ASSERT_TRUE(stack.ok()) << stack.diags().ToString();
+  EXPECT_EQ(stack.Placement("sys_ingress")->stage, kSystemFirstStage);
+  EXPECT_EQ(stack.Placement("calc_tbl")->stage, kTenantFirstStage);
+  EXPECT_EQ(stack.Placement("sys_route_tbl")->stage, kSystemLastStage);
+}
+
+class SystemModuleTest : public ::testing::Test {
+ protected:
+  SystemModuleTest() : mgr_(pipe_) {}
+
+  CompiledModule LoadTenant(const ModuleSpec& tenant, u16 id,
+                            std::size_t slot,
+                            const std::vector<SystemRoute>& routes) {
+    CompiledModule stack = CompileTenantWithSystem(
+        tenant, ModuleId(id), TenantStages(slot), SysAllocFor(slot));
+    EXPECT_TRUE(stack.ok()) << stack.diags().ToString();
+    EXPECT_TRUE(InstallSystemEntries(stack, routes))
+        << stack.diags().ToString();
+
+    ModuleAllocation alloc;
+    alloc.id = ModuleId(id);
+    alloc.stages.push_back(SysAllocFor(slot).first);
+    for (const auto& sa : TenantStages(slot)) alloc.stages.push_back(sa);
+    alloc.stages.push_back(SysAllocFor(slot).last);
+    MustLoad(mgr_, stack, alloc);
+    return stack;
+  }
+
+  Pipeline pipe_;
+  ModuleManager mgr_;
+};
+
+TEST_F(SystemModuleTest, RoutesOnVirtualIpAfterTenantProcessing) {
+  CompiledModule stack = LoadTenant(apps::CalcSpec(), 2, 0,
+                                    {{0x0A000002, 7, 0, false}});
+  apps::InstallCalcEntries(stack, /*reply_port=*/1);
+  mgr_.Update(stack);
+
+  // The CALC action sets port 1 in the tenant stage, but the system
+  // module's routing table (stage 4) overrides it from the virtual IP.
+  Packet req = CalcPacket(2, apps::kCalcOpAdd, 20, 22);
+  const auto r = pipe_.Process(std::move(req));
+  ASSERT_TRUE(r.output);
+  EXPECT_EQ(CalcResult(*r.output), 42u);   // tenant logic ran
+  EXPECT_EQ(r.output->egress_port, 7);     // system routing decided egress
+}
+
+TEST_F(SystemModuleTest, CountsTenantIngressPackets) {
+  CompiledModule stack =
+      LoadTenant(apps::CalcSpec(), 2, 0, {{0x0A000002, 7, 0, false}});
+  apps::InstallCalcEntries(stack, 1);
+  mgr_.Update(stack);
+
+  for (int i = 0; i < 3; ++i)
+    pipe_.Process(CalcPacket(2, apps::kCalcOpAdd, 1, 1));
+  EXPECT_EQ(ReadSystemRxCount(pipe_, stack), 3u);
+}
+
+TEST_F(SystemModuleTest, BlackholeAndMulticastRoutes) {
+  pipe_.SetMulticastGroup(3, {4, 5});
+  CompiledModule stack = LoadTenant(apps::CalcSpec(), 2, 0,
+                                    {{0x0A000002, 0, 0, true},
+                                     {0x0A000003, 0, 3, false}});
+  mgr_.Update(stack);
+
+  Packet dropme = PacketBuilder{}
+                      .vid(ModuleId(2))
+                      .ipv4(1, 0x0A000002)
+                      .udp(1, 2)
+                      .Build();
+  EXPECT_EQ(pipe_.Process(std::move(dropme)).output->disposition,
+            Disposition::kDrop);
+
+  Packet fanout = PacketBuilder{}
+                      .vid(ModuleId(2))
+                      .ipv4(1, 0x0A000003)
+                      .udp(1, 2)
+                      .Build();
+  const auto r = pipe_.Process(std::move(fanout));
+  EXPECT_EQ(r.output->disposition, Disposition::kMulticast);
+  EXPECT_EQ(r.output->multicast_ports, (std::vector<u16>{4, 5}));
+}
+
+TEST_F(SystemModuleTest, TwoTenantsEachWrappedIndependently) {
+  CompiledModule calc =
+      LoadTenant(apps::CalcSpec(), 2, 0, {{0x0A000002, 7, 0, false}});
+  apps::InstallCalcEntries(calc, 1);
+  mgr_.Update(calc);
+
+  CompiledModule chain =
+      LoadTenant(apps::NetChainSpec(), 3, 1, {{0x0A000002, 8, 0, false}});
+  apps::InstallNetChainEntries(chain, 1);
+  mgr_.Update(chain);
+
+  const auto rc = pipe_.Process(CalcPacket(2, apps::kCalcOpAdd, 2, 3));
+  EXPECT_EQ(CalcResult(*rc.output), 5u);
+  EXPECT_EQ(rc.output->egress_port, 7);
+
+  const auto rn = pipe_.Process(NetChainPacket(3, apps::kNetChainOpSeq));
+  EXPECT_EQ(NetChainSeq(*rn.output), 1u);
+  EXPECT_EQ(rn.output->egress_port, 8);
+
+  // Per-tenant ingress accounting is separate.
+  EXPECT_EQ(ReadSystemRxCount(pipe_, calc), 1u);
+  EXPECT_EQ(ReadSystemRxCount(pipe_, chain), 1u);
+}
+
+TEST(SystemModule, TenantTooBigForTheSandwichIsRejected) {
+  // A tenant with 4 tables cannot fit the 3 stages between the system
+  // halves.
+  Diagnostics d;
+  std::string src = "module big {\n  field f : 2 @ 46;\n";
+  src += "  action a(p) { port(p); }\n";
+  for (int i = 0; i < 4; ++i)
+    src += "  table t" + std::to_string(i) +
+           " { key = { f }; actions = { a }; size = 1; }\n";
+  src += "}\n";
+  const ModuleSpec big = ParseModuleDsl(src, d);
+  ASSERT_TRUE(d.ok());
+
+  SystemAllocation sys;
+  sys.first = StageAllocation{0, 0, 4, 0, 8};
+  sys.last = StageAllocation{4, 0, 4, 0, 0};
+  std::vector<StageAllocation> tenant_stages = {
+      {1, 0, 4, 0, 0}, {2, 0, 4, 0, 0}, {3, 0, 4, 0, 0}};
+  const CompiledModule stack = CompileTenantWithSystem(
+      big, ModuleId(5), tenant_stages, sys);
+  EXPECT_FALSE(stack.ok());
+  EXPECT_TRUE(stack.diags().HasCode("resource.stages"));
+}
+
+}  // namespace
+}  // namespace menshen

@@ -1,0 +1,160 @@
+// Ternary matching end-to-end (Appendix B): DSL `match = ternary`,
+// compiler-generated TCAM entries with per-entry masks, address-priority
+// semantics and cross-module isolation in the ternary CAM.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+constexpr std::string_view kLpmFirewall = R"(
+module lpm_fw {
+  # Longest-prefix-flavoured firewall: ternary rules over the source IP,
+  # most-specific first (lower TCAM address wins).
+  field src_ip : 4 @ 30;
+  action allow(p) { port(p); }
+  action deny { drop(); }
+  table acl {
+    key = { src_ip };
+    actions = { allow, deny };
+    size = 4;
+    match = ternary;
+  }
+}
+)";
+
+CompiledModule LoadLpm(Pipeline& pipe, ModuleManager& mgr, u16 id,
+                       std::size_t cam_base) {
+  const ModuleAllocation alloc = UniformAllocation(
+      ModuleId(id), 0, params::kNumStages, cam_base, 4, 0, 0);
+  CompiledModule m = CompileDsl(kLpmFirewall, alloc);
+  EXPECT_TRUE(m.ok()) << m.diags().ToString();
+  MustLoad(mgr, m, alloc);
+  return m;
+}
+
+Packet FromIp(u16 vid, u32 src) {
+  return PacketBuilder{}
+      .vid(ModuleId(vid))
+      .ipv4(src, 0x0B000001)
+      .udp(1, 2)
+      .Build();
+}
+
+TEST(Ternary, DslFlagReachesTheKeyExtractor) {
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  LoadLpm(pipe, mgr, 1, 0);
+  EXPECT_TRUE(pipe.stage(0).key_extractor().At(1).ternary);
+}
+
+TEST(Ternary, PrefixRulesWithPriority) {
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  CompiledModule m = LoadLpm(pipe, mgr, 1, 0);
+
+  // Rule order = priority: host allow, then /24 deny, then allow-all.
+  m.AddTernaryEntry("acl", {{"src_ip", 0x0A000001}}, {}, std::nullopt,
+                    "allow", {5});
+  m.AddTernaryEntry("acl", {{"src_ip", 0x0A000000}},
+                    {{"src_ip", 0xFFFFFF00}}, std::nullopt, "deny", {});
+  m.AddTernaryEntry("acl", {{"src_ip", 0}}, {{"src_ip", 0}}, std::nullopt,
+                    "allow", {9});
+  ASSERT_TRUE(m.ok()) << m.diags().ToString();
+  mgr.Update(m);
+
+  // The specific host beats the /24 deny.
+  auto r = pipe.Process(FromIp(1, 0x0A000001));
+  EXPECT_EQ(r.output->disposition, Disposition::kForward);
+  EXPECT_EQ(r.output->egress_port, 5);
+  // Others in the /24 are denied.
+  EXPECT_EQ(pipe.Process(FromIp(1, 0x0A0000FE)).output->disposition,
+            Disposition::kDrop);
+  // Everything else hits the wildcard allow.
+  r = pipe.Process(FromIp(1, 0xC0A80101));
+  EXPECT_EQ(r.output->disposition, Disposition::kForward);
+  EXPECT_EQ(r.output->egress_port, 9);
+}
+
+TEST(Ternary, ModulesAreIsolatedInTheTcam) {
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  CompiledModule m1 = LoadLpm(pipe, mgr, 1, 0);
+  CompiledModule m2 = LoadLpm(pipe, mgr, 2, 4);
+
+  // Module 1: wildcard deny.  Module 2: wildcard allow.
+  m1.AddTernaryEntry("acl", {{"src_ip", 0}}, {{"src_ip", 0}}, std::nullopt,
+                     "deny", {});
+  m2.AddTernaryEntry("acl", {{"src_ip", 0}}, {{"src_ip", 0}}, std::nullopt,
+                     "allow", {7});
+  mgr.Update(m1);
+  mgr.Update(m2);
+
+  EXPECT_EQ(pipe.Process(FromIp(1, 0x01020304)).output->disposition,
+            Disposition::kDrop);
+  const auto r2 = pipe.Process(FromIp(2, 0x01020304));
+  EXPECT_EQ(r2.output->disposition, Disposition::kForward);
+  EXPECT_EQ(r2.output->egress_port, 7);
+}
+
+TEST(Ternary, WrongEntryApiIsRefused) {
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  CompiledModule m = LoadLpm(pipe, mgr, 1, 0);
+  EXPECT_TRUE(
+      m.AddEntry("acl", {{"src_ip", 1}}, std::nullopt, "deny", {}).empty());
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.diags().HasCode("entry.match-kind"));
+
+  // And the converse: AddTernaryEntry on an exact table.
+  const ModuleAllocation alloc = StandardAlloc(3, 8, 4);
+  CompiledModule exact = MustCompile(apps::CalcSpec(), alloc);
+  EXPECT_TRUE(exact
+                  .AddTernaryEntry("calc_tbl", {{"op", 1}}, {}, std::nullopt,
+                                   "do_add", {1})
+                  .empty());
+  EXPECT_TRUE(exact.diags().HasCode("entry.match-kind"));
+}
+
+TEST(Ternary, MaskMustFitTheField) {
+  Pipeline pipe;
+  ModuleManager mgr(pipe);
+  CompiledModule m = LoadLpm(pipe, mgr, 1, 0);
+  EXPECT_TRUE(m.AddTernaryEntry("acl", {{"src_ip", 0}},
+                                {{"src_ip", 0x1FFFFFFFFULL}}, std::nullopt,
+                                "deny", {})
+                  .empty());
+  EXPECT_TRUE(m.diags().HasCode("entry.mask-range"));
+}
+
+TEST(Ternary, TcamEntryCodecRoundTrip) {
+  TcamEntry e;
+  e.valid = true;
+  e.module = ModuleId(7);
+  e.key.set_field(100, 32, 0xABCD1234);
+  e.mask = BitVec::AllOnes(params::kKeyBits);
+  const ByteBuffer bytes = e.Encode();
+  EXPECT_EQ(bytes.size(), 53u);
+  EXPECT_EQ(TcamEntry::Decode(bytes), e);
+  EXPECT_THROW(TcamEntry::Decode(ByteBuffer(52)), std::invalid_argument);
+}
+
+TEST(Ternary, ReconfigPacketCarriesTcamWrites) {
+  // The new resource kind rides the same daisy-chain format.
+  TcamEntry e;
+  e.valid = true;
+  e.module = ModuleId(3);
+  ConfigWrite w{ResourceKind::kTcamEntry, 2, 5, e.Encode()};
+  const Packet pkt = EncodeReconfigPacket(w, ModuleId(3));
+  EXPECT_EQ(DecodeReconfigPacket(pkt), w);
+
+  Pipeline pipe;
+  pipe.ApplyWrite(w);
+  EXPECT_EQ(pipe.stage(2).tcam().At(5), e);
+}
+
+}  // namespace
+}  // namespace menshen

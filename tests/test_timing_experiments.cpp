@@ -1,0 +1,180 @@
+// Timing simulator properties and the Figure 10/11 experiment shapes.
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+
+namespace menshen {
+namespace {
+
+TEST(TimingSimulator, RequiresSortedArrivals) {
+  TimingSimulator sim(CorundumPlatform(), OptimizedTiming());
+  std::vector<SimPacket> pkts(2);
+  pkts[0].arrival = 10;
+  pkts[0].bytes = 64;
+  pkts[1].arrival = 5;
+  pkts[1].bytes = 64;
+  EXPECT_THROW(sim.Run(pkts), std::invalid_argument);
+}
+
+TEST(TimingSimulator, FilteredPacketsConsumeNoPipeline) {
+  TimingSimulator sim(CorundumPlatform(), OptimizedTiming());
+  std::vector<SimPacket> pkts(3);
+  for (auto& p : pkts) p.bytes = 1500;
+  pkts[1].drop_at_filter = true;
+  sim.Run(pkts);
+  EXPECT_TRUE(pkts[0].delivered);
+  EXPECT_FALSE(pkts[1].delivered);
+  EXPECT_TRUE(pkts[2].delivered);
+  EXPECT_LT(pkts[1].latency, pkts[0].latency);
+}
+
+TEST(TimingSimulator, QueueingRaisesLatencyUnderLoad) {
+  TimingSimulator sim(CorundumPlatform(), UnoptimizedTiming());
+  std::vector<SimPacket> burst(200);
+  for (auto& p : burst) p.bytes = 1500;  // all arrive at cycle 0
+  sim.Run(burst);
+  EXPECT_GT(burst.back().latency, burst.front().latency);
+}
+
+TEST(Capacity, OptimizedBeatsUnoptimizedEverywhere) {
+  for (const std::size_t bytes : {70u, 256u, 512u, 1500u}) {
+    const double opt =
+        PipelineCapacityPps(CorundumPlatform(), OptimizedTiming(), bytes);
+    const double unopt =
+        PipelineCapacityPps(CorundumPlatform(), UnoptimizedTiming(), bytes);
+    EXPECT_GT(opt, unopt) << bytes;
+  }
+}
+
+// Figure 11b: optimized Corundum is wire-limited (100 Gb/s layer-1) from
+// 256-byte packets up.
+TEST(Fig11, OptimizedCorundumReaches100GAt256B) {
+  const auto points = Fig11bCorundumOptimized();
+  for (const auto& pt : points) {
+    if (pt.bytes >= 256) {
+      EXPECT_NEAR(pt.l1_gbps, 100.0, 1.5) << pt.bytes;
+    } else {
+      EXPECT_LT(pt.l1_gbps, 99.0) << pt.bytes;  // below line rate
+    }
+  }
+}
+
+// Figure 11c: unoptimized Corundum converges to ~80 Gb/s at MTU.
+TEST(Fig11, UnoptimizedCorundumTopsOutNear80G) {
+  const auto points = Fig11cCorundumUnoptimized();
+  const auto& mtu = points.back();
+  ASSERT_EQ(mtu.bytes, 1500u);
+  EXPECT_NEAR(mtu.l2_gbps, 80.0, 5.0);
+  EXPECT_LT(mtu.l1_gbps, 90.0);  // never reaches line rate
+}
+
+// Figure 11a: NetFPGA reaches 10 Gb/s layer-1 from 96-byte packets; at
+// 64 bytes the MoonGen generator is the limit.
+TEST(Fig11, NetFpgaReachesLineRateAt96B) {
+  const auto points = Fig11aNetFpgaOptimized();
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_EQ(points[0].bytes, 64u);
+  EXPECT_LT(points[0].l1_gbps, 9.0);               // generator-limited
+  EXPECT_NEAR(points[0].mpps, 12.0, 0.3);          // MoonGen cap
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_NEAR(points[i].l1_gbps, 10.0, 0.2) << points[i].bytes;
+}
+
+// Figure 11d: optimized Corundum at full rate sits around 1.0-1.25 us,
+// increasing with packet size.
+TEST(Fig11, CorundumFullRateLatencyAboutOneMicrosecond) {
+  const auto points = Fig11bCorundumOptimized();
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.mean_latency_us, 0.9) << pt.bytes;
+    EXPECT_LT(pt.mean_latency_us, 1.35) << pt.bytes;
+  }
+  EXPECT_LT(points.front().mean_latency_us, points.back().mean_latency_us);
+}
+
+TEST(Fig11, PacketRateDecreasesWithSize) {
+  for (const auto& points :
+       {Fig11bCorundumOptimized(), Fig11cCorundumUnoptimized()}) {
+    for (std::size_t i = 1; i < points.size(); ++i)
+      EXPECT_LE(points[i].mpps, points[i - 1].mpps + 1e-9);
+  }
+}
+
+// Figure 10: reconfiguring module 1 must not disturb modules 2 and 3.
+TEST(Fig10, ReconfigurationDisturbsOnlyTheUpdatedModule) {
+  Fig10Config cfg;
+  cfg.duration_s = 1.0;  // shorter than the paper's 3 s to keep tests fast
+  cfg.reconfig_at_s = 0.3;
+  cfg.reconfig_duration_s = 0.2;
+  const Fig10Result result = RunReconfigDisruption(cfg);
+
+  const double total = cfg.total_gbps;
+  const double expect1 = total * 0.5, expect2 = total * 0.3,
+               expect3 = total * 0.2;
+
+  for (const auto& bin : result.bins) {
+    if (bin.t_s < 0.05 || bin.t_s > cfg.duration_s - 0.1) continue;  // edges
+    const bool in_window = bin.t_s >= result.reconfig_start_s &&
+                           bin.t_s + cfg.bin_s <= result.reconfig_end_s;
+    // Modules 2 and 3 hold their rate in EVERY bin.
+    EXPECT_NEAR(bin.gbps[1], expect2, 0.25) << bin.t_s;
+    EXPECT_NEAR(bin.gbps[2], expect3, 0.25) << bin.t_s;
+    if (in_window) {
+      EXPECT_LT(bin.gbps[0], 0.5) << bin.t_s;  // module 1 quiesced
+    } else if (bin.t_s + cfg.bin_s < result.reconfig_start_s ||
+               bin.t_s > result.reconfig_end_s + cfg.bin_s) {
+      EXPECT_NEAR(bin.gbps[0], expect1, 0.3) << bin.t_s;
+    }
+  }
+}
+
+TEST(Fig10, WindowLengthFollowsConfigModelByDefault) {
+  Fig10Config cfg;
+  cfg.duration_s = 0.2;
+  cfg.reconfig_at_s = 0.05;
+  cfg.module_writes = 64;
+  const Fig10Result result = RunReconfigDisruption(cfg);
+  EXPECT_GT(result.reconfig_end_s, result.reconfig_start_s);
+  EXPECT_NEAR(result.reconfig_end_s - result.reconfig_start_s,
+              (20.0 + 64 * 0.65) / 1e3, 1e-6);
+}
+
+TEST(PerfIsolation, RateLimiterRestoresTheVictim) {
+  const PerfIsolationResult r = RunPerformanceIsolation(40.0, 5e6, 0.002);
+  EXPECT_NEAR(r.victim_gbps_alone, 40.0, 1.0);
+  // The unlimited flood visibly hurts the victim...
+  EXPECT_LT(r.victim_gbps_flooded, r.victim_gbps_alone * 0.7);
+  // ...and the limiter restores it while holding the attacker near the cap.
+  EXPECT_NEAR(r.victim_gbps_limited, r.victim_gbps_alone, 1.5);
+  EXPECT_NEAR(r.attacker_mpps_limited, 5.0, 0.5);
+}
+
+TEST(Section52, LatencyTableMatchesPaper) {
+  const auto rows = Section52LatencyTable();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].cycles, 79u);    // NetFPGA 64B
+  EXPECT_EQ(rows[2].cycles, 106u);   // Corundum 64B
+  EXPECT_EQ(rows[3].cycles, 129u);   // Corundum 1500B
+}
+
+TEST(Traffic, StreamRateIsAccurate) {
+  StreamSpec spec;
+  spec.bytes = 1500;
+  spec.gbps = 4.65;
+  const auto pkts = GenerateStream(NetFpgaPlatform(), spec, 0.5);
+  const double pps = 4.65e9 / (1500 * 8);
+  EXPECT_NEAR(static_cast<double>(pkts.size()), pps * 0.5, pps * 0.01);
+  // Arrivals strictly sorted.
+  for (std::size_t i = 1; i < pkts.size(); ++i)
+    EXPECT_GE(pkts[i].arrival, pkts[i - 1].arrival);
+}
+
+TEST(Traffic, MergePreservesOrder) {
+  StreamSpec a{1, 64, 1.0}, b{2, 128, 2.0};
+  auto merged = MergeStreams({GenerateStream(CorundumPlatform(), a, 0.01),
+                              GenerateStream(CorundumPlatform(), b, 0.01)});
+  for (std::size_t i = 1; i < merged.size(); ++i)
+    EXPECT_GE(merged[i].arrival, merged[i - 1].arrival);
+}
+
+}  // namespace
+}  // namespace menshen
