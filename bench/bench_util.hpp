@@ -14,4 +14,12 @@ inline void Header(const std::string& title) {
 
 inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 
+/// Appends one machine-readable throughput record (JSON lines) — the
+/// format future PRs diff against for a perf trajectory.
+inline void JsonThroughputLine(std::FILE* f, const std::string& name,
+                               double gbps, double mpps) {
+  std::fprintf(f, "{\"name\": \"%s\", \"gbps\": %.4f, \"mpps\": %.4f}\n",
+               name.c_str(), gbps, mpps);
+}
+
 }  // namespace menshen::bench

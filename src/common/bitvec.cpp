@@ -78,8 +78,17 @@ void BitVec::set_field(std::size_t lsb, std::size_t width_bits, u64 value) {
   if (width_bits == 0) return;
   if (width_bits < 64 && (value >> width_bits) != 0)
     throw std::invalid_argument("value does not fit in field");
-  for (std::size_t i = 0; i < width_bits; ++i)
-    set_bit(lsb + i, (value >> i) & 1);
+  // Word-level write: the field spans at most two 64-bit words.
+  const std::size_t w0 = lsb / 64, shift = lsb % 64;
+  const u64 fmask =
+      width_bits == 64 ? ~u64{0} : (u64{1} << width_bits) - 1;
+  words_[w0] = (words_[w0] & ~(fmask << shift)) | ((value & fmask) << shift);
+  if (shift != 0 && shift + width_bits > 64) {
+    const std::size_t hi_bits = shift + width_bits - 64;
+    const u64 hi_mask = (u64{1} << hi_bits) - 1;
+    words_[w0 + 1] =
+        (words_[w0 + 1] & ~hi_mask) | ((value >> (64 - shift)) & hi_mask);
+  }
 }
 
 void BitVec::set_slice(std::size_t lsb, const BitVec& src) {
@@ -103,6 +112,18 @@ BitVec BitVec::masked(const BitVec& mask) const {
   for (std::size_t i = 0; i < words_.size(); ++i)
     out.words_[i] = words_[i] & mask.words_[i];
   return out;
+}
+
+void BitVec::AndWith(const BitVec& mask) {
+  if (mask.width() != width_)
+    throw std::invalid_argument("mask width mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    words_[i] &= mask.words_[i];
+}
+
+void BitVec::AssignZero(std::size_t width_bits) {
+  width_ = width_bits;
+  words_.assign(WordsFor(width_bits), 0);
 }
 
 BitVec BitVec::AllOnes(std::size_t width_bits) {

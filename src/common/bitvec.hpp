@@ -50,6 +50,14 @@ class BitVec {
   /// Bitwise AND against a mask of equal width (used by the key mask table).
   [[nodiscard]] BitVec masked(const BitVec& mask) const;
 
+  /// In-place variant of `masked` for allocation-free hot paths.
+  void AndWith(const BitVec& mask);
+
+  /// Re-initialises to `width_bits` of zeroes, reusing the existing word
+  /// storage when wide enough — the scratch-key idiom of the batched
+  /// dataplane, which extracts thousands of lookup keys into one BitVec.
+  void AssignZero(std::size_t width_bits);
+
   /// Returns a vector with every bit set (an all-valid key mask).
   static BitVec AllOnes(std::size_t width_bits);
 

@@ -1,0 +1,124 @@
+#include "dataplane/dataplane.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace menshen {
+
+namespace {
+
+// SplitMix64 finalizer: cheap, well-mixed tenant-ID hash so consecutive
+// VIDs do not all land on the same shard.
+u64 MixTenantId(u64 x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Dataplane::Dataplane(DataplaneConfig cfg) {
+  if (cfg.num_shards == 0)
+    throw std::invalid_argument("dataplane needs at least one shard");
+  shards_.reserve(cfg.num_shards);
+  for (std::size_t i = 0; i < cfg.num_shards; ++i)
+    shards_.emplace_back(cfg.timing, cfg.reconfig_on_data_path);
+  counters_.resize(cfg.num_shards);
+  shard_batches_.resize(cfg.num_shards);
+  shard_indices_.resize(cfg.num_shards);
+  shard_results_.resize(cfg.num_shards);
+}
+
+std::size_t Dataplane::ShardFor(ModuleId tenant) const {
+  return MixTenantId(tenant.value()) % shards_.size();
+}
+
+std::vector<PipelineResult> Dataplane::ProcessBatch(
+    std::vector<Packet>&& batch) {
+  std::vector<PipelineResult> out(batch.size());
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shard_batches_[s].clear();
+    shard_indices_[s].clear();
+  }
+
+  // Scatter: steer each packet to its tenant's shard, keeping arrival
+  // order within the shard (and therefore within each tenant).  Packets
+  // without a VLAN tag carry no tenant ID; any shard's filter drops them
+  // identically, so they go to shard 0.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t s =
+        batch[i].has_vlan() ? ShardFor(batch[i].vid()) : 0;
+    shard_indices_[s].push_back(i);
+    shard_batches_[s].push_back(std::move(batch[i]));
+  }
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_batches_[s].empty()) continue;
+    shard_results_[s].clear();
+    shards_[s].ProcessBatchInto(std::move(shard_batches_[s]),
+                                shard_results_[s]);
+
+    ShardCounters& c = counters_[s];
+    ++c.batches;
+    c.packets += shard_results_[s].size();
+    // forwarded/dropped/filtered are disjoint: they sum to packets.
+    for (const PipelineResult& r : shard_results_[s]) {
+      if (r.filter_verdict == FilterVerdict::kDropBitmap) {
+        ++c.dropped;
+      } else if (r.filter_verdict != FilterVerdict::kData) {
+        ++c.filtered;
+      } else if (r.output &&
+                 r.output->disposition == Disposition::kDrop) {
+        ++c.dropped;
+      } else {
+        ++c.forwarded;
+      }
+    }
+
+    // Gather: results return in the caller's original batch order.
+    for (std::size_t k = 0; k < shard_results_[s].size(); ++k)
+      out[shard_indices_[s][k]] = std::move(shard_results_[s][k]);
+  }
+  return out;
+}
+
+void Dataplane::ApplyWrite(const ConfigWrite& write) {
+  for (Pipeline& shard : shards_) shard.ApplyWrite(write);
+  ++writes_broadcast_;
+}
+
+void Dataplane::ApplyWrites(const std::vector<ConfigWrite>& writes) {
+  for (const ConfigWrite& w : writes) ApplyWrite(w);
+}
+
+u64 Dataplane::forwarded(ModuleId tenant) const {
+  u64 total = 0;
+  for (const Pipeline& shard : shards_) total += shard.forwarded(tenant);
+  return total;
+}
+
+u64 Dataplane::dropped(ModuleId tenant) const {
+  u64 total = 0;
+  for (const Pipeline& shard : shards_) total += shard.dropped(tenant);
+  return total;
+}
+
+std::vector<ModuleId> Dataplane::ActiveTenants() const {
+  std::set<u16> ids;
+  for (const Pipeline& shard : shards_)
+    for (const ModuleId m : shard.ActiveModules()) ids.insert(m.value());
+  std::vector<ModuleId> out;
+  out.reserve(ids.size());
+  for (const u16 id : ids) out.emplace_back(id);
+  return out;
+}
+
+u64 Dataplane::total_packets() const {
+  u64 total = 0;
+  for (const ShardCounters& c : counters_) total += c.packets;
+  return total;
+}
+
+}  // namespace menshen

@@ -11,88 +11,4 @@ std::string ContainerRef::ToString() const {
   return out;
 }
 
-std::size_t Phv::ContainerOffset(ContainerRef c) const {
-  if (c.index >= kContainersPerType)
-    throw std::out_of_range("PHV container index out of range");
-  // Layout: 8 x 2B, then 8 x 4B, then 8 x 6B, then 32B metadata.
-  switch (c.type) {
-    case ContainerType::k2B:
-      return c.index * 2;
-    case ContainerType::k4B:
-      return kContainersPerType * 2 + c.index * 4;
-    case ContainerType::k6B:
-      return kContainersPerType * (2 + 4) + c.index * 6;
-  }
-  throw std::invalid_argument("bad container type");
-}
-
-u64 Phv::Read(ContainerRef c) const {
-  const std::size_t off = ContainerOffset(c);
-  const std::size_t w = c.width_bytes();
-  u64 v = 0;
-  for (std::size_t i = 0; i < w; ++i) v = (v << 8) | bytes_[off + i];
-  return v;
-}
-
-void Phv::Write(ContainerRef c, u64 value) {
-  const std::size_t off = ContainerOffset(c);
-  const std::size_t w = c.width_bytes();
-  // Values are truncated to the container width, as hardware would.
-  for (std::size_t i = 0; i < w; ++i)
-    bytes_[off + i] = static_cast<u8>(value >> (8 * (w - 1 - i)));
-}
-
-std::span<const u8> Phv::ContainerBytes(ContainerRef c) const {
-  return {bytes_.data() + ContainerOffset(c), c.width_bytes()};
-}
-
-std::span<u8> Phv::ContainerBytes(ContainerRef c) {
-  return {bytes_.data() + ContainerOffset(c), c.width_bytes()};
-}
-
-namespace {
-constexpr std::size_t kMetaBase =
-    kContainersPerType * (2 + 4 + 6);  // metadata starts after containers
-
-void CheckMeta(std::size_t off, std::size_t len) {
-  if (off + len > kMetadataBytes)
-    throw std::out_of_range("PHV metadata access out of range");
-}
-}  // namespace
-
-u8 Phv::meta_u8(std::size_t off) const {
-  CheckMeta(off, 1);
-  return bytes_[kMetaBase + off];
-}
-
-u16 Phv::meta_u16(std::size_t off) const {
-  CheckMeta(off, 2);
-  return static_cast<u16>((bytes_[kMetaBase + off] << 8) |
-                          bytes_[kMetaBase + off + 1]);
-}
-
-u32 Phv::meta_u32(std::size_t off) const {
-  CheckMeta(off, 4);
-  u32 v = 0;
-  for (std::size_t i = 0; i < 4; ++i) v = (v << 8) | bytes_[kMetaBase + off + i];
-  return v;
-}
-
-void Phv::set_meta_u8(std::size_t off, u8 v) {
-  CheckMeta(off, 1);
-  bytes_[kMetaBase + off] = v;
-}
-
-void Phv::set_meta_u16(std::size_t off, u16 v) {
-  CheckMeta(off, 2);
-  bytes_[kMetaBase + off] = static_cast<u8>(v >> 8);
-  bytes_[kMetaBase + off + 1] = static_cast<u8>(v);
-}
-
-void Phv::set_meta_u32(std::size_t off, u32 v) {
-  CheckMeta(off, 4);
-  for (std::size_t i = 0; i < 4; ++i)
-    bytes_[kMetaBase + off + i] = static_cast<u8>(v >> (8 * (3 - i)));
-}
-
 }  // namespace menshen

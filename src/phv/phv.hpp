@@ -84,21 +84,73 @@ class Phv {
   /// A fresh PHV is all zeroes (isolation requirement, section 4.1).
   Phv() { bytes_.fill(0); }
 
+  /// Re-zeroes the PHV in place so one buffer can be reused across the
+  /// packets of a batch without weakening the isolation guarantee: a
+  /// cleared PHV is indistinguishable from a freshly constructed one.
+  void Clear() {
+    bytes_.fill(0);
+    module_id = ModuleId(0);
+  }
+
+  // Container and metadata accessors are defined inline below: they are
+  // the innermost operations of the per-packet hot path (every parser
+  // action, key-extractor slot and ALU slot goes through them).
+
   /// Reads a container as an unsigned big-endian value (2/4/6 bytes).
-  [[nodiscard]] u64 Read(ContainerRef c) const;
-  void Write(ContainerRef c, u64 value);
+  [[nodiscard]] u64 Read(ContainerRef c) const {
+    const std::size_t off = ContainerOffset(c);
+    const std::size_t w = c.width_bytes();
+    u64 v = 0;
+    for (std::size_t i = 0; i < w; ++i) v = (v << 8) | bytes_[off + i];
+    return v;
+  }
+  void Write(ContainerRef c, u64 value) {
+    const std::size_t off = ContainerOffset(c);
+    const std::size_t w = c.width_bytes();
+    // Values are truncated to the container width, as hardware would.
+    for (std::size_t i = 0; i < w; ++i)
+      bytes_[off + i] = static_cast<u8>(value >> (8 * (w - 1 - i)));
+  }
 
   /// Raw byte access to a container for parser/deparser data movement.
-  [[nodiscard]] std::span<const u8> ContainerBytes(ContainerRef c) const;
-  [[nodiscard]] std::span<u8> ContainerBytes(ContainerRef c);
+  [[nodiscard]] std::span<const u8> ContainerBytes(ContainerRef c) const {
+    return {bytes_.data() + ContainerOffset(c), c.width_bytes()};
+  }
+  [[nodiscard]] std::span<u8> ContainerBytes(ContainerRef c) {
+    return {bytes_.data() + ContainerOffset(c), c.width_bytes()};
+  }
 
   // Metadata accessors (offsets from the meta namespace).
-  [[nodiscard]] u8 meta_u8(std::size_t off) const;
-  [[nodiscard]] u16 meta_u16(std::size_t off) const;
-  [[nodiscard]] u32 meta_u32(std::size_t off) const;
-  void set_meta_u8(std::size_t off, u8 v);
-  void set_meta_u16(std::size_t off, u16 v);
-  void set_meta_u32(std::size_t off, u32 v);
+  [[nodiscard]] u8 meta_u8(std::size_t off) const {
+    CheckMeta(off, 1);
+    return bytes_[kMetaBase + off];
+  }
+  [[nodiscard]] u16 meta_u16(std::size_t off) const {
+    CheckMeta(off, 2);
+    return static_cast<u16>((bytes_[kMetaBase + off] << 8) |
+                            bytes_[kMetaBase + off + 1]);
+  }
+  [[nodiscard]] u32 meta_u32(std::size_t off) const {
+    CheckMeta(off, 4);
+    u32 v = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      v = (v << 8) | bytes_[kMetaBase + off + i];
+    return v;
+  }
+  void set_meta_u8(std::size_t off, u8 v) {
+    CheckMeta(off, 1);
+    bytes_[kMetaBase + off] = v;
+  }
+  void set_meta_u16(std::size_t off, u16 v) {
+    CheckMeta(off, 2);
+    bytes_[kMetaBase + off] = static_cast<u8>(v >> 8);
+    bytes_[kMetaBase + off + 1] = static_cast<u8>(v);
+  }
+  void set_meta_u32(std::size_t off, u32 v) {
+    CheckMeta(off, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+      bytes_[kMetaBase + off + i] = static_cast<u8>(v >> (8 * (3 - i)));
+  }
 
   [[nodiscard]] bool discard_flag() const {
     return (meta_u8(meta::kFlags) & 1) != 0;
@@ -120,7 +172,28 @@ class Phv {
   }
 
  private:
-  [[nodiscard]] std::size_t ContainerOffset(ContainerRef c) const;
+  static constexpr std::size_t kMetaBase =
+      kContainersPerType * (2 + 4 + 6);  // metadata follows the containers
+
+  [[nodiscard]] std::size_t ContainerOffset(ContainerRef c) const {
+    if (c.index >= kContainersPerType)
+      throw std::out_of_range("PHV container index out of range");
+    // Layout: 8 x 2B, then 8 x 4B, then 8 x 6B, then 32B metadata.
+    switch (c.type) {
+      case ContainerType::k2B:
+        return c.index * 2;
+      case ContainerType::k4B:
+        return kContainersPerType * 2 + c.index * 4;
+      case ContainerType::k6B:
+        return kContainersPerType * (2 + 4) + c.index * 6;
+    }
+    throw std::invalid_argument("bad container type");
+  }
+
+  static void CheckMeta(std::size_t off, std::size_t len) {
+    if (off + len > kMetadataBytes)
+      throw std::out_of_range("PHV metadata access out of range");
+  }
 
   std::array<u8, kPhvBytes> bytes_{};
 };

@@ -18,6 +18,18 @@ void ActionEngine::WriteSlot(Phv& phv, u8 flat, u64 value) {
 Phv ActionEngine::Execute(const VliwEntry& vliw, const Phv& phv,
                           StatefulMemory& state) {
   Phv out = phv;  // slots with kNop keep the incoming value
+  Apply(vliw, phv, out, state);
+  return out;
+}
+
+void ActionEngine::ExecuteInPlace(const VliwEntry& vliw, Phv& phv,
+                                  Phv& snapshot, StatefulMemory& state) {
+  snapshot = phv;
+  Apply(vliw, snapshot, phv, state);
+}
+
+void ActionEngine::Apply(const VliwEntry& vliw, const Phv& phv, Phv& out,
+                         StatefulMemory& state) {
   const ModuleId module = phv.module_id;
 
   for (std::size_t slot = 0; slot < vliw.slots.size(); ++slot) {
@@ -79,7 +91,6 @@ Phv ActionEngine::Execute(const VliwEntry& vliw, const Phv& phv,
         break;
     }
   }
-  return out;
 }
 
 }  // namespace menshen

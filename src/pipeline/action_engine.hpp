@@ -24,11 +24,25 @@ class ActionEngine {
   [[nodiscard]] static Phv Execute(const VliwEntry& vliw, const Phv& phv,
                                    StatefulMemory& state);
 
+  /// In-place variant for the batched hot path: snapshots `phv` into the
+  /// caller-owned `snapshot` buffer (preserving the all-ALUs-read-the-
+  /// incoming-PHV VLIW semantics) and commits the outputs directly into
+  /// `phv`.  Equivalent to `phv = Execute(vliw, phv, state)` without the
+  /// return-value copy.
+  static void ExecuteInPlace(const VliwEntry& vliw, Phv& phv, Phv& snapshot,
+                             StatefulMemory& state);
+
  private:
   /// Reads the value of flat container slot `flat` from `phv` (slot 24
   /// reads the user metadata scratch word).
   [[nodiscard]] static u64 ReadSlot(const Phv& phv, u8 flat);
   static void WriteSlot(Phv& phv, u8 flat, u64 value);
+
+  /// Shared core: evaluates every slot against the `in` snapshot and
+  /// writes results into `out` (callers guarantee `out` starts equal to
+  /// `in`, so kNop slots keep the incoming value).
+  static void Apply(const VliwEntry& vliw, const Phv& in, Phv& out,
+                    StatefulMemory& state);
 };
 
 }  // namespace menshen

@@ -147,13 +147,24 @@ KeyExtractorEntry KeyExtractorEntry::Decode(const ByteBuffer& bytes) {
 }
 
 BitVec KeyExtractorEntry::ExtractKey(const Phv& phv) const {
-  BitVec key(params::kKeyBits);
+  BitVec key;
+  ExtractKeyInto(phv, key);
+  return key;
+}
+
+void KeyExtractorEntry::ExtractKeyInto(const Phv& phv, BitVec& key) const {
+  key.AssignZero(params::kKeyBits);
   const auto slots = KeySlots();
   for (std::size_t i = 0; i < 6; ++i) {
     const ContainerRef c{kSlotTypes[i], selectors[i]};
     key.set_field(slots[i].lsb, slots[i].bits, phv.Read(c));
   }
-  // Predicate bit (bit 0).
+  // Predicate bit (bit 0).  Without a comparison there are no operands
+  // to evaluate — the predicate is hardwired to 0.
+  if (cmp_op == CmpOp::kNone) {
+    key.set_bit(0, false);
+    return;
+  }
   bool pred = false;
   const u64 a = cmp_a.Eval(phv);
   const u64 b = cmp_b.Eval(phv);
@@ -181,7 +192,6 @@ BitVec KeyExtractorEntry::ExtractKey(const Phv& phv) const {
       break;
   }
   key.set_bit(0, pred);
-  return key;
 }
 
 ByteBuffer KeyMaskEntry::Encode() const {

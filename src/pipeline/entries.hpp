@@ -107,6 +107,10 @@ struct KeyExtractorEntry {
   /// Builds the 193-bit lookup key from a PHV per this configuration.
   [[nodiscard]] BitVec ExtractKey(const Phv& phv) const;
 
+  /// Allocation-free variant: rebuilds the key into `key`, reusing its
+  /// storage (the batched dataplane's scratch-buffer hot path).
+  void ExtractKeyInto(const Phv& phv, BitVec& key) const;
+
   bool operator==(const KeyExtractorEntry&) const = default;
 };
 

@@ -6,6 +6,12 @@ namespace menshen {
 
 Phv Parser::Parse(const Packet& pkt) const {
   Phv phv;  // constructor zeroes every byte (isolation, section 4.1)
+  ParseInto(pkt, phv);
+  return phv;
+}
+
+void Parser::ParseInto(const Packet& pkt, Phv& phv) const {
+  phv.Clear();  // reused buffers must start all-zero (isolation, section 4.1)
   phv.module_id = pkt.vid();
 
   // Pipeline-provided metadata (section 4.3).
@@ -27,7 +33,6 @@ Phv Parser::Parse(const Packet& pkt) const {
         dst[i] = pkt.bytes().u8_at(off);
     }
   }
-  return phv;
 }
 
 void Deparser::Deparse(const Phv& phv, Packet& pkt) const {

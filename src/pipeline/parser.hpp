@@ -21,6 +21,11 @@ class Parser {
   /// Parses `pkt` into a fresh PHV under the packet's module configuration.
   [[nodiscard]] Phv Parse(const Packet& pkt) const;
 
+  /// Batched hot path: parses `pkt` into the caller-owned `phv`, clearing
+  /// it first so buffer reuse across packets preserves the zero-PHV
+  /// isolation guarantee.
+  void ParseInto(const Packet& pkt, Phv& phv) const;
+
   [[nodiscard]] OverlayTable<ParserEntry>& table() { return table_; }
   [[nodiscard]] const OverlayTable<ParserEntry>& table() const {
     return table_;

@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.hpp"
 
+#include <set>
 #include <stdexcept>
 
 namespace menshen {
@@ -10,6 +11,10 @@ Pipeline::Pipeline(PipelineTiming timing, bool reconfig_on_data_path)
       stages_(params::kNumStages) {}
 
 PipelineResult Pipeline::Process(Packet pkt) {
+  // Reference per-packet path.  ProcessBatchInto below is the optimized
+  // mirror of this body — a semantic change here must be made there too
+  // (tests/test_dataplane.cpp pins the two paths byte-for-byte).
+  //
   // Disposition fields are per-device simulation sidebands, not packet
   // bytes: a packet entering this pipeline carries none of the previous
   // device's forwarding decisions.
@@ -45,6 +50,54 @@ PipelineResult Pipeline::Process(Packet pkt) {
   result.final_phv = phv;
   result.output = std::move(pkt);
   return result;
+}
+
+void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
+                                std::vector<PipelineResult>& out) {
+  out.reserve(out.size() + batch.size());
+  for (Packet& pkt : batch) {
+    PipelineResult& result = out.emplace_back();
+
+    // Same sideband reset as Process(): no forwarding decision survives
+    // from a previous device.
+    pkt.disposition = Disposition::kForward;
+    pkt.egress_port = 0;
+    pkt.multicast_ports.clear();
+
+    result.filter_verdict = filter_.Classify(pkt);
+    if (result.filter_verdict != FilterVerdict::kData) {
+      if (result.filter_verdict == FilterVerdict::kDropBitmap)
+        ++dropped_[pkt.vid().value()];
+      continue;
+    }
+
+    ++total_processed_;
+    parser_.ParseInto(pkt, batch_phv_);
+    for (Stage& stage : stages_) stage.ProcessInPlace(batch_phv_);
+
+    const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+    if (group != 0) {
+      if (const auto* ports = MulticastGroup(group))
+        pkt.multicast_ports = *ports;
+    }
+
+    deparser_.Deparse(batch_phv_, pkt);
+
+    if (pkt.disposition == Disposition::kDrop)
+      ++dropped_[batch_phv_.module_id.value()];
+    else
+      ++forwarded_[batch_phv_.module_id.value()];
+
+    result.final_phv = batch_phv_;
+    result.output = std::move(pkt);
+  }
+}
+
+std::vector<PipelineResult> Pipeline::ProcessBatch(
+    std::vector<Packet>&& batch) {
+  std::vector<PipelineResult> out;
+  ProcessBatchInto(std::move(batch), out);
+  return out;
 }
 
 void Pipeline::ApplyWrite(const ConfigWrite& write) {
@@ -104,6 +157,18 @@ void Pipeline::SetMulticastGroup(u16 group, std::vector<u16> ports) {
 const std::vector<u16>* Pipeline::MulticastGroup(u16 group) const {
   const auto it = mcast_groups_.find(group);
   return it == mcast_groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<ModuleId> Pipeline::ActiveModules() const {
+  std::set<u16> ids;
+  for (const auto& [id, count] : forwarded_)
+    if (count != 0) ids.insert(id);
+  for (const auto& [id, count] : dropped_)
+    if (count != 0) ids.insert(id);
+  std::vector<ModuleId> out;
+  out.reserve(ids.size());
+  for (const u16 id : ids) out.emplace_back(id);
+  return out;
 }
 
 u64 Pipeline::forwarded(ModuleId m) const {

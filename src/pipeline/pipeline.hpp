@@ -39,6 +39,19 @@ class Pipeline {
   /// NOT applied here — the caller (config/DaisyChain) owns that path.
   PipelineResult Process(Packet pkt);
 
+  /// Batched hot path: processes every packet of `batch` in order,
+  /// appending one PipelineResult per packet to `out`.  Packets are moved
+  /// into their results, and one PHV plus the per-stage scratch buffers
+  /// are reused across the whole batch, so the steady state performs no
+  /// per-packet allocation.  Behaviour per packet is identical to
+  /// Process() (pinned by the dataplane differential test).
+  void ProcessBatchInto(std::vector<Packet>&& batch,
+                        std::vector<PipelineResult>& out);
+
+  /// Convenience wrapper returning a fresh result vector.
+  [[nodiscard]] std::vector<PipelineResult> ProcessBatch(
+      std::vector<Packet>&& batch);
+
   /// Applies one configuration write (arriving via the daisy chain or
   /// AXI-L) to the addressed resource, and bumps the filter's
   /// reconfiguration packet counter.
@@ -68,6 +81,10 @@ class Pipeline {
   [[nodiscard]] u64 total_processed() const { return total_processed_; }
   [[nodiscard]] u64 config_writes_applied() const { return config_writes_; }
 
+  /// Every module ID that has a nonzero forwarded or dropped counter,
+  /// sorted ascending — the control plane's tenant inventory.
+  [[nodiscard]] std::vector<ModuleId> ActiveModules() const;
+
  private:
   PipelineTiming timing_;
   PacketFilter filter_;
@@ -79,6 +96,8 @@ class Pipeline {
   std::unordered_map<u16, u64> dropped_;
   u64 total_processed_ = 0;
   u64 config_writes_ = 0;
+  /// PHV reused across the packets of a batch (ProcessBatchInto).
+  Phv batch_phv_;
 };
 
 }  // namespace menshen

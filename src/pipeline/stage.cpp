@@ -11,6 +11,9 @@ BitVec Stage::MaskedKeyFor(const Phv& phv) const {
 }
 
 Phv Stage::Process(const Phv& phv) {
+  // Reference per-packet path; ProcessInPlace below is its optimized
+  // mirror — keep the two in lockstep (pinned by the dataplane
+  // differential test).
   const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
   const BitVec key = MaskedKeyFor(phv);
   // The match-kind bit in the module's key-extractor entry selects the
@@ -25,6 +28,30 @@ Phv Stage::Process(const Phv& phv) {
   ++hits_;
   const VliwEntry& vliw = VliwAt(*address);
   return ActionEngine::Execute(vliw, phv, stateful_);
+}
+
+void Stage::ProcessInPlace(Phv& phv) {
+  const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
+  const KeyMaskEntry& mask = key_mask_.Lookup(phv.module_id);
+  if (mask.mask.is_zero()) {
+    // An all-zero mask (no table configured for this module in this
+    // stage) forces the masked key — predicate bit included — to zero
+    // whatever the PHV holds, so extraction can be skipped outright.
+    // The lookup below still runs: a module may own an all-zero entry.
+    key_scratch_.AssignZero(params::kKeyBits);
+  } else {
+    kx.ExtractKeyInto(phv, key_scratch_);
+    key_scratch_.AndWith(mask.mask);
+  }
+  const auto address = kx.ternary ? tcam_.Lookup(key_scratch_, phv.module_id)
+                                  : cam_.Lookup(key_scratch_, phv.module_id);
+  if (!address) {
+    ++misses_;
+    return;  // miss: default action is a no-op, PHV passes unchanged
+  }
+  ++hits_;
+  ActionEngine::ExecuteInPlace(VliwAt(*address), phv, snapshot_scratch_,
+                               stateful_);
 }
 
 void Stage::WriteVliw(std::size_t index, VliwEntry entry) {

@@ -27,6 +27,12 @@ class Stage {
   /// Processes one PHV; returns the (possibly new) PHV for the next stage.
   [[nodiscard]] Phv Process(const Phv& phv);
 
+  /// Batched hot path: transforms `phv` in place, reusing this stage's
+  /// scratch key/snapshot buffers so no per-packet allocation happens.
+  /// Functionally identical to `phv = Process(phv)` (pinned by the
+  /// dataplane differential test).
+  void ProcessInPlace(Phv& phv);
+
   [[nodiscard]] OverlayTable<KeyExtractorEntry>& key_extractor() {
     return key_extractor_;
   }
@@ -67,6 +73,10 @@ class Stage {
   StatefulMemory stateful_;
   u64 hits_ = 0;
   u64 misses_ = 0;
+  // Scratch buffers reused across packets by ProcessInPlace (never part
+  // of the stage's observable configuration state).
+  BitVec key_scratch_;
+  Phv snapshot_scratch_;
 };
 
 }  // namespace menshen

@@ -74,4 +74,44 @@ std::string DumpPipelineOccupancy(const Pipeline& pipeline) {
   return out;
 }
 
+DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
+  DataplaneStats s;
+  s.writes_broadcast = dp.writes_broadcast();
+  for (std::size_t i = 0; i < dp.num_shards(); ++i) {
+    const Dataplane::ShardCounters& c = dp.shard_counters(i);
+    s.shards.push_back(ShardStats{i, c.batches, c.packets, c.forwarded,
+                                  c.dropped, c.filtered});
+    s.total_packets += c.packets;
+  }
+  for (const ModuleId tenant : dp.ActiveTenants()) {
+    TenantStats t;
+    t.tenant = tenant;
+    t.shard = dp.ShardFor(tenant);
+    t.forwarded = dp.forwarded(tenant);
+    t.dropped = dp.dropped(tenant);
+    s.tenants.push_back(t);
+  }
+  return s;
+}
+
+std::string DumpDataplaneStats(const Dataplane& dp) {
+  const DataplaneStats s = CollectDataplaneStats(dp);
+  std::string out = "dataplane: " + std::to_string(dp.num_shards()) +
+                    " shard(s), " + std::to_string(s.total_packets) +
+                    " packets, " + std::to_string(s.writes_broadcast) +
+                    " config writes broadcast\n";
+  for (const ShardStats& sh : s.shards)
+    out += "  shard " + std::to_string(sh.shard) + ": packets " +
+           std::to_string(sh.packets) + " (fwd " +
+           std::to_string(sh.forwarded) + ", drop " +
+           std::to_string(sh.dropped) + ", filtered " +
+           std::to_string(sh.filtered) + ") in " +
+           std::to_string(sh.batches) + " batches\n";
+  for (const TenantStats& t : s.tenants)
+    out += "  tenant " + std::to_string(t.tenant.value()) + " @ shard " +
+           std::to_string(t.shard) + ": fwd " + std::to_string(t.forwarded) +
+           ", drop " + std::to_string(t.dropped) + "\n";
+  return out;
+}
+
 }  // namespace menshen

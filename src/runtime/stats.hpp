@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "compiler/allocation.hpp"
+#include "dataplane/dataplane.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace menshen {
@@ -42,5 +43,38 @@ struct ModuleStats {
 /// Renders pipeline-global occupancy: per stage, how many CAM rows each
 /// module holds — the operator's capacity view.
 [[nodiscard]] std::string DumpPipelineOccupancy(const Pipeline& pipeline);
+
+// --- Sharded dataplane statistics ---------------------------------------------
+
+/// One shard replica's traffic totals.
+struct ShardStats {
+  std::size_t shard = 0;
+  u64 batches = 0;
+  u64 packets = 0;
+  u64 forwarded = 0;
+  u64 dropped = 0;
+  u64 filtered = 0;
+};
+
+/// One tenant's totals plus the shard its traffic is steered to.
+struct TenantStats {
+  ModuleId tenant;
+  std::size_t shard = 0;
+  u64 forwarded = 0;
+  u64 dropped = 0;
+};
+
+struct DataplaneStats {
+  std::vector<ShardStats> shards;
+  std::vector<TenantStats> tenants;  // sorted by tenant ID
+  u64 total_packets = 0;
+  u64 writes_broadcast = 0;
+};
+
+/// Aggregates per-shard and per-tenant throughput/drop counters.
+[[nodiscard]] DataplaneStats CollectDataplaneStats(const Dataplane& dp);
+
+/// Renders the dataplane counters — the operator's `show dataplane` view.
+[[nodiscard]] std::string DumpDataplaneStats(const Dataplane& dp);
 
 }  // namespace menshen

@@ -65,4 +65,40 @@ std::vector<SimPacket> GenerateSaturating(const PlatformTiming& platform,
   return out;
 }
 
+std::vector<Packet> GenerateTenantMix(
+    const std::vector<TenantTrafficSpec>& tenants, std::size_t count,
+    u64 seed) {
+  if (tenants.empty()) return {};
+
+  double total_weight = 0.0;
+  for (const TenantTrafficSpec& t : tenants) total_weight += t.weight;
+
+  Rng rng(seed);
+  std::vector<Packet> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Weighted tenant draw.
+    double pick = rng.NextDouble() * total_weight;
+    const TenantTrafficSpec* spec = &tenants.back();
+    for (const TenantTrafficSpec& t : tenants) {
+      pick -= t.weight;
+      if (pick < 0.0) {
+        spec = &t;
+        break;
+      }
+    }
+
+    const u32 flow = static_cast<u32>(rng.Below(1u << 16));
+    Packet p = PacketBuilder{}
+                   .vid(ModuleId(spec->vid))
+                   .ipv4(0x0A000000u | flow, 0x0B000001)
+                   .udp(static_cast<u16>(10000 + (flow & 0x3FF)), 20000)
+                   .frame_size(spec->frame_bytes)
+                   .Build();
+    p.ingress_port = static_cast<u16>(flow & 0x7);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 }  // namespace menshen

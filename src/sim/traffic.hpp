@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "packet/packet.hpp"
 #include "sim/timing.hpp"
 
 namespace menshen {
@@ -42,5 +43,23 @@ struct StreamSpec {
 
 /// The practical MoonGen cap of the paper's single-NIC host setup.
 inline constexpr double kMoonGenMaxPps = 12.0e6;
+
+// --- Functional multi-tenant workloads ----------------------------------------
+
+/// One tenant's share of a mixed functional (byte-level) workload.
+struct TenantTrafficSpec {
+  u16 vid = 2;
+  std::size_t frame_bytes = 96;
+  double weight = 1.0;  // relative share of the mix
+};
+
+/// Generates a deterministic interleaved multi-tenant trace of `count`
+/// VLAN-tagged UDP packets: each packet's tenant is drawn by weight, and
+/// its flow fields (IPv4 source, L4 source port) are varied so downstream
+/// tables see diverse keys.  Feeds the batched dataplane's benches and
+/// the sharded-vs-single differential test.
+[[nodiscard]] std::vector<Packet> GenerateTenantMix(
+    const std::vector<TenantTrafficSpec>& tenants, std::size_t count,
+    u64 seed = 1);
 
 }  // namespace menshen

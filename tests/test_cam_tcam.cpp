@@ -46,7 +46,8 @@ TEST(ExactMatchCam, InvalidEntriesNeverMatch) {
 
 TEST(ExactMatchCam, WrongKeyWidthThrows) {
   ExactMatchCam cam;
-  EXPECT_THROW(cam.Lookup(BitVec(192), ModuleId(0)), std::invalid_argument);
+  EXPECT_THROW((void)cam.Lookup(BitVec(192), ModuleId(0)),
+               std::invalid_argument);
 }
 
 TEST(ExactMatchCam, CountForModule) {
@@ -63,7 +64,7 @@ TEST(ExactMatchCam, DepthBoundsChecked) {
   ExactMatchCam cam;
   EXPECT_EQ(cam.depth(), params::kCamDepth);
   EXPECT_THROW(cam.Write(16, Entry(0, 0)), std::out_of_range);
-  EXPECT_THROW(cam.At(16), std::out_of_range);
+  EXPECT_THROW((void)cam.At(16), std::out_of_range);
 }
 
 // --- Ternary CAM (Appendix B) -------------------------------------------------

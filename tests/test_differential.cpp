@@ -290,8 +290,9 @@ TEST_P(DifferentialTest, CompiledPipelineMatchesInterpreter) {
             << "round " << round << " packet " << p << "\n" << dump;
       }
       EXPECT_EQ(hw.output->disposition, for_interp.disposition);
-      if (for_interp.disposition == Disposition::kForward)
+      if (for_interp.disposition == Disposition::kForward) {
         EXPECT_EQ(hw.output->egress_port, for_interp.egress_port);
+      }
     }
 
     // Stateful memory must agree word-for-word.

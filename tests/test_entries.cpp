@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "pipeline/config_write.hpp"
+#include "pipeline/tcam.hpp"
 
 namespace menshen {
 namespace {
@@ -20,7 +21,7 @@ TEST(ParserAction, EncodeDecodeRoundTrip) {
 TEST(ParserAction, OffsetLimitedTo7Bits) {
   ParserAction a;
   a.bytes_from_head = 128;
-  EXPECT_THROW(a.Encode(), std::invalid_argument);
+  EXPECT_THROW((void)a.Encode(), std::invalid_argument);
 }
 
 TEST(ParserEntry, Is20Bytes) {
@@ -150,7 +151,7 @@ TEST(AluAction, FormatBRoundTrip) {
 TEST(AluAction, SlotRangeChecked) {
   AluAction a;
   a.container1 = 25;
-  EXPECT_THROW(a.Encode(), std::invalid_argument);
+  EXPECT_THROW((void)a.Encode(), std::invalid_argument);
 }
 
 TEST(VliwEntry, Is79Bytes) {
@@ -215,6 +216,9 @@ TEST_P(EntrySizeTest, DeclaredSizeMatchesEncoder) {
     case ResourceKind::kSegmentTable:
       actual = SegmentEntry{}.Encode().size();
       break;
+    case ResourceKind::kTcamEntry:
+      actual = TcamEntry{}.Encode().size();
+      break;
   }
   EXPECT_EQ(actual, EntryBytesFor(kind));
 }
@@ -224,7 +228,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ResourceKind::kParserTable, ResourceKind::kDeparserTable,
                       ResourceKind::kKeyExtractor, ResourceKind::kKeyMask,
                       ResourceKind::kCamEntry, ResourceKind::kVliwAction,
-                      ResourceKind::kSegmentTable));
+                      ResourceKind::kSegmentTable, ResourceKind::kTcamEntry));
 
 }  // namespace
 }  // namespace menshen

@@ -190,7 +190,7 @@ TEST(Network, TopologyValidation) {
   Network net;
   net.AddDevice("s1");
   EXPECT_THROW(net.AddDevice("s1"), std::invalid_argument);
-  EXPECT_THROW(net.device("ghost"), std::invalid_argument);
+  EXPECT_THROW((void)net.device("ghost"), std::invalid_argument);
   EXPECT_THROW(net.Link({"s1", 1}, {"ghost", 1}), std::invalid_argument);
   net.AddDevice("s2");
   net.Link({"s1", 1}, {"s2", 1});

@@ -50,7 +50,7 @@ TEST(Phv, ContainersDoNotOverlap) {
 
 TEST(Phv, ContainerIndexOutOfRangeThrows) {
   Phv phv;
-  EXPECT_THROW(phv.Read({ContainerType::k2B, 8}), std::out_of_range);
+  EXPECT_THROW((void)phv.Read({ContainerType::k2B, 8}), std::out_of_range);
 }
 
 TEST(Phv, MetadataAccessors) {
@@ -59,7 +59,7 @@ TEST(Phv, MetadataAccessors) {
   phv.set_meta_u32(meta::kLinkUtil, 123456);
   EXPECT_EQ(phv.meta_u16(meta::kDstPort), 42);
   EXPECT_EQ(phv.meta_u32(meta::kLinkUtil), 123456u);
-  EXPECT_THROW(phv.meta_u32(30), std::out_of_range);
+  EXPECT_THROW((void)phv.meta_u32(30), std::out_of_range);
 }
 
 TEST(Phv, MetadataDoesNotClobberContainers) {

@@ -130,7 +130,7 @@ TEST_F(StatsTest, CollectsForwardedAndEntryCounts) {
 
 TEST_F(StatsTest, ViolationsSurfaceInStats) {
   // Attack the segment bound directly.
-  pipe_.stage(0).stateful().Load(ModuleId(7), 200);
+  (void)pipe_.stage(0).stateful().Load(ModuleId(7), 200);
   const ModuleStats s = CollectModuleStats(pipe_, ModuleId(7));
   EXPECT_EQ(s.stateful_violations, 1u);
 }

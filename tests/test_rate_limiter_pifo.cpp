@@ -140,7 +140,7 @@ TEST(Stfq, IdleModuleDoesNotBankCredit) {
   sched.SetWeight(ModuleId(2), 1.0);
   // Module 2 alone for a while.
   for (int i = 0; i < 50; ++i) sched.Enqueue(ModuleId(2), 1000);
-  for (int i = 0; i < 50; ++i) sched.Dequeue();
+  for (int i = 0; i < 50; ++i) (void)sched.Dequeue();
   // Now both become backlogged: service should alternate, not favour 1.
   for (int i = 0; i < 20; ++i) {
     sched.Enqueue(ModuleId(1), 1000);

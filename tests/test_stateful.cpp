@@ -82,7 +82,7 @@ TEST_F(StatefulTest, ZeroRangeScrubsOnUnload) {
 TEST(StatefulMemory, DefaultDepthMatchesParams) {
   StatefulMemory mem;
   EXPECT_EQ(mem.size(), params::kStatefulWordsPerStage);
-  EXPECT_THROW(mem.PhysicalAt(mem.size()), std::out_of_range);
+  EXPECT_THROW((void)mem.PhysicalAt(mem.size()), std::out_of_range);
 }
 
 /// Property sweep: two modules with adjacent segments; random interleaved

@@ -34,7 +34,7 @@ std::vector<StageAllocation> TenantStages(std::size_t slot,
 }
 
 TEST(SystemModule, EmbeddedDslParses) {
-  EXPECT_NO_THROW(SystemModuleSpec());
+  EXPECT_NO_THROW((void)SystemModuleSpec());
   EXPECT_EQ(SystemModuleSpec().tables.size(), 2u);
 }
 

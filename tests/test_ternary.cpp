@@ -26,7 +26,7 @@ module lpm_fw {
 }
 )";
 
-CompiledModule LoadLpm(Pipeline& pipe, ModuleManager& mgr, u16 id,
+CompiledModule LoadLpm(ModuleManager& mgr, u16 id,
                        std::size_t cam_base) {
   const ModuleAllocation alloc = UniformAllocation(
       ModuleId(id), 0, params::kNumStages, cam_base, 4, 0, 0);
@@ -47,14 +47,14 @@ Packet FromIp(u16 vid, u32 src) {
 TEST(Ternary, DslFlagReachesTheKeyExtractor) {
   Pipeline pipe;
   ModuleManager mgr(pipe);
-  LoadLpm(pipe, mgr, 1, 0);
+  LoadLpm(mgr, 1, 0);
   EXPECT_TRUE(pipe.stage(0).key_extractor().At(1).ternary);
 }
 
 TEST(Ternary, PrefixRulesWithPriority) {
   Pipeline pipe;
   ModuleManager mgr(pipe);
-  CompiledModule m = LoadLpm(pipe, mgr, 1, 0);
+  CompiledModule m = LoadLpm(mgr, 1, 0);
 
   // Rule order = priority: host allow, then /24 deny, then allow-all.
   m.AddTernaryEntry("acl", {{"src_ip", 0x0A000001}}, {}, std::nullopt,
@@ -82,8 +82,8 @@ TEST(Ternary, PrefixRulesWithPriority) {
 TEST(Ternary, ModulesAreIsolatedInTheTcam) {
   Pipeline pipe;
   ModuleManager mgr(pipe);
-  CompiledModule m1 = LoadLpm(pipe, mgr, 1, 0);
-  CompiledModule m2 = LoadLpm(pipe, mgr, 2, 4);
+  CompiledModule m1 = LoadLpm(mgr, 1, 0);
+  CompiledModule m2 = LoadLpm(mgr, 2, 4);
 
   // Module 1: wildcard deny.  Module 2: wildcard allow.
   m1.AddTernaryEntry("acl", {{"src_ip", 0}}, {{"src_ip", 0}}, std::nullopt,
@@ -103,7 +103,7 @@ TEST(Ternary, ModulesAreIsolatedInTheTcam) {
 TEST(Ternary, WrongEntryApiIsRefused) {
   Pipeline pipe;
   ModuleManager mgr(pipe);
-  CompiledModule m = LoadLpm(pipe, mgr, 1, 0);
+  CompiledModule m = LoadLpm(mgr, 1, 0);
   EXPECT_TRUE(
       m.AddEntry("acl", {{"src_ip", 1}}, std::nullopt, "deny", {}).empty());
   EXPECT_FALSE(m.ok());
@@ -122,7 +122,7 @@ TEST(Ternary, WrongEntryApiIsRefused) {
 TEST(Ternary, MaskMustFitTheField) {
   Pipeline pipe;
   ModuleManager mgr(pipe);
-  CompiledModule m = LoadLpm(pipe, mgr, 1, 0);
+  CompiledModule m = LoadLpm(mgr, 1, 0);
   EXPECT_TRUE(m.AddTernaryEntry("acl", {{"src_ip", 0}},
                                 {{"src_ip", 0x1FFFFFFFFULL}}, std::nullopt,
                                 "deny", {})
