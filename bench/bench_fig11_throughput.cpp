@@ -70,9 +70,14 @@ struct FunctionalPoint {
 
 /// Measures how fast the batched sharded dataplane actually moves
 /// packets: a four-tenant calc mix, processed in 4096-packet batches.
+/// `worker_threads` selects the concurrent engine (per-shard worker
+/// pool) or the sequential reference path; the ratio of the two is the
+/// measured threading speedup on this host.
 FunctionalPoint MeasureBatchedDataplane(std::size_t num_shards,
-                                        std::size_t frame_bytes) {
-  Dataplane dp(DataplaneConfig{.num_shards = num_shards});
+                                        std::size_t frame_bytes,
+                                        bool worker_threads) {
+  Dataplane dp(DataplaneConfig{.num_shards = num_shards,
+                               .worker_threads = worker_threads});
   for (u16 vid = 2; vid <= 5; ++vid) {
     const std::size_t slot = vid - 2;
     ModuleAllocation alloc =
@@ -112,7 +117,8 @@ FunctionalPoint MeasureBatchedDataplane(std::size_t num_shards,
   }
   FunctionalPoint p;
   p.name = "functional_batched_" + std::to_string(frame_bytes) + "B_" +
-           std::to_string(num_shards) + "shard";
+           std::to_string(num_shards) + "shard" +
+           (worker_threads ? "_mt" : "");
   p.mpps = static_cast<double>(kBatch * kBatches) / seconds / 1e6;
   p.l2_gbps = p.mpps * 1e6 * static_cast<double>(frame_bytes) * 8.0 / 1e9;
   return p;
@@ -120,9 +126,13 @@ FunctionalPoint MeasureBatchedDataplane(std::size_t num_shards,
 
 std::vector<FunctionalPoint> FunctionalSweep() {
   std::vector<FunctionalPoint> pts;
-  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}})
-    for (const std::size_t bytes : {std::size_t{96}, std::size_t{1500}})
-      pts.push_back(MeasureBatchedDataplane(shards, bytes));
+  for (const std::size_t bytes : {std::size_t{96}, std::size_t{1500}}) {
+    // Sequential sharded reference, then the concurrent engine on the
+    // same shard count — the pair records the threading speedup.
+    pts.push_back(MeasureBatchedDataplane(1, bytes, false));
+    pts.push_back(MeasureBatchedDataplane(4, bytes, false));
+    pts.push_back(MeasureBatchedDataplane(4, bytes, true));
+  }
   return pts;
 }
 

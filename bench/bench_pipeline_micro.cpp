@@ -72,6 +72,21 @@ void BM_KeyExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyExtraction);
 
+// The key-layout-cache hot path (what ProcessInPlace runs): the cached
+// plan skips the key slots the module's mask zeroes and reuses the
+// caller's key storage.  The ratio against BM_KeyExtraction is the
+// per-stage key-extraction speedup.
+void BM_KeyExtractionPlanned(benchmark::State& state) {
+  Pipeline& pipe = LoadedCalcPipeline();
+  const Phv phv = pipe.parser().Parse(CalcRequest());
+  BitVec key;
+  for (auto _ : state) {
+    pipe.stage(0).MaskedKeyInto(phv, key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_KeyExtractionPlanned);
+
 // --- Batched vs per-packet (the src/dataplane/ hot path) ----------------------
 //
 // The same 10k-packet single-tenant workload, processed (a) one packet at
@@ -111,12 +126,15 @@ void BM_Batched10k(benchmark::State& state) {
 }
 BENCHMARK(BM_Batched10k)->Unit(benchmark::kMillisecond);
 
-// Multi-tenant batch through the sharded front-end (shards processed
-// sequentially for now — the arg sweep shows the scatter/gather overhead
-// a future per-shard thread pool amortizes).
+// Multi-tenant batch through the sharded front-end.  Arg 0 = shard
+// count, arg 1 = worker threads on/off: the sequential path is the
+// reference the concurrent engine is pinned against, and the ratio of
+// the two is the measured threading speedup (1 on a single-core host —
+// the fork/join engine only pays off with real cores).
 void BM_ShardedDataplane10k(benchmark::State& state) {
   Dataplane dp(DataplaneConfig{
-      .num_shards = static_cast<std::size_t>(state.range(0))});
+      .num_shards = static_cast<std::size_t>(state.range(0)),
+      .worker_threads = state.range(1) != 0});
   {
     ModuleAllocation alloc =
         UniformAllocation(ModuleId(2), 0, params::kNumStages, 0, 8, 0, 32);
@@ -134,7 +152,11 @@ void BM_ShardedDataplane10k(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(kWorkloadPackets));
 }
-BENCHMARK(BM_ShardedDataplane10k)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedDataplane10k)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace menshen

@@ -1,13 +1,16 @@
-// Live reconfiguration (section 5.1 / Figure 10): two modules process
-// traffic; module 1 is updated with new logic mid-run.  Module 2 never
-// misses a packet; module 1's packets are dropped only while its
-// configuration is in flight, and the new logic takes over atomically.
+// Live reconfiguration on the concurrent dataplane (section 5.1 /
+// Figure 10, under real concurrency): two modules process traffic;
+// module 1 is updated mid-run through a quiesced configuration epoch.
+// Writes staged for the next epoch are invisible until CommitEpoch()
+// drains the in-flight batch and flips every replica atomically —
+// no batch ever observes a partially applied write set, and module 2
+// (including its stateful sequencer) never misses a beat.
 //
 //   $ ./examples/live_reconfig
 #include <cstdio>
 
 #include "apps/apps.hpp"
-#include "runtime/module_manager.hpp"
+#include "dataplane/dataplane.hpp"
 
 using namespace menshen;
 
@@ -21,12 +24,18 @@ Packet CalcReq(u16 vid, u16 op, u32 a, u32 b) {
   return p;
 }
 
+Packet ChainReq() {
+  Packet p = PacketBuilder{}.vid(ModuleId(2)).udp(1, 2).frame_size(96).Build();
+  p.bytes().set_u16(46, apps::kNetChainOpSeq);
+  return p;
+}
+
+u32 Result(const PipelineResult& r) { return r.output->bytes().u32_at(56); }
+u32 Seq(const PipelineResult& r) { return r.output->bytes().u32_at(48); }
+
 }  // namespace
 
 int main() {
-  Pipeline pipeline;
-  ModuleManager manager(pipeline);
-
   // Module 1: CALC with only the `add` entry.  Module 2: NetChain.
   const auto a1 = UniformAllocation(ModuleId(1), 0, 5, 0, 4, 0, 0);
   const auto a2 = UniformAllocation(ModuleId(2), 0, 5, 4, 4, 0, 8);
@@ -35,47 +44,58 @@ int main() {
   calc.AddEntry("calc_tbl", {{"op", apps::kCalcOpAdd}}, std::nullopt,
                 "do_add", {1});
   apps::InstallNetChainEntries(chain, 2);
-  manager.Load(calc, a1);
-  manager.Load(chain, a2);
 
-  auto r = pipeline.Process(CalcReq(1, apps::kCalcOpAdd, 2, 3));
-  std::printf("before update: module 1 computes 2+3=%u; module 1 has no "
-              "'sub' entry\n",
-              r.output->bytes().u32_at(56));
+  Dataplane dp(DataplaneConfig{.num_shards = 2});
+  dp.StageWrites(calc.AllWrites());
+  dp.StageWrites(chain.AllWrites());
+  std::printf("epoch %llu: both modules live\n",
+              static_cast<unsigned long long>(dp.CommitEpoch()));
+
+  {
+    std::vector<Packet> batch;
+    batch.push_back(CalcReq(1, apps::kCalcOpAdd, 2, 3));
+    batch.push_back(CalcReq(1, apps::kCalcOpSub, 9, 4));
+    batch.push_back(ChainReq());
+    const auto r = dp.ProcessBatch(std::move(batch));
+    std::printf("before update: 2+3=%u; 'sub' misses (result %u); "
+                "module 2 sequence %u\n",
+                Result(r[0]), Result(r[1]), Seq(r[2]));
+  }
 
   // --- Live update: recompile module 1 with sub support -------------------
-  // The protocol (section 4.1): bitmap bit set -> module 1's packets drop;
-  // reconfiguration packets stream down the daisy chain; counter verified;
-  // bitmap cleared.  We interleave packets to show each phase.
-  pipeline.filter().MarkUnderReconfig(ModuleId(1), true);
-
-  auto in_flight = pipeline.Process(CalcReq(1, apps::kCalcOpAdd, 9, 9));
-  auto other = pipeline.Process(
-      [] { Packet p = PacketBuilder{}.vid(ModuleId(2)).udp(1, 2).frame_size(96).Build();
-           p.bytes().set_u16(46, apps::kNetChainOpSeq); return p; }());
-  std::printf("during update: module 1 packet %s; module 2 packet got "
-              "sequence %u (undisturbed)\n",
-              in_flight.filter_verdict == FilterVerdict::kDropBitmap
-                  ? "dropped by bitmap"
-                  : "LEAKED?!",
-              other.output->bytes().u32_at(48));
-
+  // The staged epoch accumulates the whole new image; traffic keeps
+  // flowing against the old configuration until the commit.
   CompiledModule calc_v2 = Compile(apps::CalcSpec(), a1);
   calc_v2.AddEntry("calc_tbl", {{"op", apps::kCalcOpAdd}}, std::nullopt,
                    "do_add", {1});
   calc_v2.AddEntry("calc_tbl", {{"op", apps::kCalcOpSub}}, std::nullopt,
                    "do_sub", {1});
-  const auto report = manager.Update(calc_v2);  // clears the bitmap itself
-  std::printf("update complete: %zu writes, %d attempt(s), modeled %.1f ms\n",
-              report->writes, report->attempts, report->modeled_ms);
+  dp.StageWrites(calc_v2.AllWrites());
+  std::printf("staged %zu writes for the next epoch\n", dp.pending_writes());
 
-  r = pipeline.Process(CalcReq(1, apps::kCalcOpSub, 9, 4));
-  std::printf("after update: module 1 computes 9-4=%u\n",
-              r.output->bytes().u32_at(56));
-  r = pipeline.Process(
-      [] { Packet p = PacketBuilder{}.vid(ModuleId(2)).udp(1, 2).frame_size(96).Build();
-           p.bytes().set_u16(46, apps::kNetChainOpSeq); return p; }());
-  std::printf("module 2's sequencer continued across the update: %u\n",
-              r.output->bytes().u32_at(48));
+  {
+    std::vector<Packet> batch;
+    batch.push_back(CalcReq(1, apps::kCalcOpSub, 9, 4));
+    batch.push_back(ChainReq());
+    const auto r = dp.ProcessBatch(std::move(batch));
+    std::printf("during staging: 'sub' still misses (result %u); module 2 "
+                "sequence %u (undisturbed)\n",
+                Result(r[0]), Seq(r[1]));
+  }
+
+  // The commit quiesces the data path: it drains the in-flight batch,
+  // broadcasts all staged writes to every replica, and bumps the epoch.
+  std::printf("epoch %llu: module 1 updated atomically\n",
+              static_cast<unsigned long long>(dp.CommitEpoch()));
+
+  {
+    std::vector<Packet> batch;
+    batch.push_back(CalcReq(1, apps::kCalcOpSub, 9, 4));
+    batch.push_back(ChainReq());
+    const auto r = dp.ProcessBatch(std::move(batch));
+    std::printf("after update: 9-4=%u; module 2's sequencer continued "
+                "across the epoch: %u\n",
+                Result(r[0]), Seq(r[1]));
+  }
   return 0;
 }

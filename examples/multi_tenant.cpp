@@ -1,13 +1,16 @@
 // Multi-tenant cloud scenario (sections 2 and 5.1): three tenants —
 // an in-network calculator, a firewall, and a NetCache key-value cache —
-// share one pipeline, each wrapped by the operator's system-level module
-// for virtual-IP routing and ingress accounting.
+// share the concurrent dataplane, each wrapped by the operator's
+// system-level module for virtual-IP routing and ingress accounting.
+// Each tenant's traffic is steered to one pipeline replica, so the
+// tenants process their mixed batch in parallel on the worker pool.
 //
 //   $ ./examples/multi_tenant
 #include <cstdio>
 
 #include "apps/apps.hpp"
-#include "runtime/module_manager.hpp"
+#include "dataplane/dataplane.hpp"
+#include "runtime/stats.hpp"
 #include "sysmod/system_module.hpp"
 
 using namespace menshen;
@@ -56,8 +59,9 @@ ModuleAllocation FullAlloc(u16 id, std::size_t slot) {
 }  // namespace
 
 int main() {
-  Pipeline pipeline;
-  ModuleManager manager(pipeline);
+  // One pipeline replica per hardware thread; each tenant's flows are
+  // steered to one replica by the tenant-ID hash.
+  Dataplane dataplane(DataplaneConfig{.num_shards = 0});
 
   const Tenant tenants[] = {{"calc", 2, 0}, {"firewall", 3, 1},
                             {"netcache", 4, 2}};
@@ -77,15 +81,6 @@ int main() {
     // Every tenant's virtual IP 10.0.0.2 routes out its own port.
     InstallSystemEntries(stack,
                          {{0x0A000002, static_cast<u16>(10 + i), 0, false}});
-    const auto r = manager.Load(stack, FullAlloc(tenants[i].id,
-                                                 tenants[i].slot));
-    if (!r.admission.admitted) {
-      std::fprintf(stderr, "%s not admitted: %s\n", tenants[i].name,
-                   r.admission.reason.c_str());
-      return 1;
-    }
-    std::printf("tenant '%s' loaded as module %u (slot %zu)\n",
-                tenants[i].name, tenants[i].id, tenants[i].slot);
     loaded.push_back(std::move(stack));
   }
 
@@ -96,46 +91,72 @@ int main() {
   rules.allowed_src_ips = {0x0A000001};
   apps::InstallFirewallEntries(loaded[1], rules);
   apps::InstallNetCacheEntries(loaded[2], {{0xCAFE, 0}}, 1, 9);
-  for (auto& m : loaded) manager.Update(m);
 
-  // Mixed traffic: each tenant's packets carry its VLAN ID.
-  std::printf("\n-- mixed traffic --\n");
+  // All three tenants land in one configuration epoch: staged writes are
+  // broadcast to every replica at a quiesced batch boundary.
+  for (std::size_t i = 0; i < 3; ++i) {
+    dataplane.StageWrites(loaded[i].AllWrites());
+    std::printf("tenant '%s' staged as module %u -> shard %zu\n",
+                tenants[i].name, tenants[i].id,
+                dataplane.ShardFor(ModuleId(tenants[i].id)));
+  }
+  std::printf("committed epoch %llu\n",
+              static_cast<unsigned long long>(dataplane.CommitEpoch()));
+
+  // Mixed traffic: one batch carrying all three tenants' packets, plus a
+  // NetCache PUT that must be processed before the GET that reads it
+  // (per-tenant order is preserved through scatter/gather).
+  std::printf("\n-- mixed traffic, one batch --\n");
 
   Packet calc_req = PacketBuilder{}.vid(ModuleId(2)).udp(1, 2).frame_size(96).Build();
   calc_req.bytes().set_u16(46, apps::kCalcOpAdd);
   calc_req.bytes().set_u32(48, 40);
   calc_req.bytes().set_u32(52, 2);
-  auto r = pipeline.Process(std::move(calc_req));
-  std::printf("calc: 40 + 2 = %u, routed by system module to port %u\n",
-              r.output->bytes().u32_at(56), r.output->egress_port);
 
   Packet telnet = PacketBuilder{}
                       .vid(ModuleId(3))
                       .ipv4(0x0A000001, 0x0A000002)
                       .udp(1, 23)
                       .Build();
-  r = pipeline.Process(std::move(telnet));
-  std::printf("firewall: telnet packet %s\n",
-              r.output->disposition == Disposition::kDrop ? "dropped"
-                                                          : "FORWARDED?!");
 
   Packet put = PacketBuilder{}.vid(ModuleId(4)).udp(1, 2).frame_size(96).Build();
   put.bytes().set_u16(46, apps::kNetCacheOpPut);
   put.bytes().set_u32(48, 0xCAFE);
   put.bytes().set_u32(52, 77);
-  pipeline.Process(std::move(put));
 
   Packet get = PacketBuilder{}.vid(ModuleId(4)).udp(1, 2).frame_size(96).Build();
   get.bytes().set_u16(46, apps::kNetCacheOpGet);
   get.bytes().set_u32(48, 0xCAFE);
-  r = pipeline.Process(std::move(get));
-  std::printf("netcache: GET 0xCAFE -> %u (served from switch state)\n",
-              r.output->bytes().u32_at(52));
 
+  std::vector<Packet> batch;
+  batch.push_back(std::move(calc_req));
+  batch.push_back(std::move(telnet));
+  batch.push_back(std::move(put));
+  batch.push_back(std::move(get));
+  const std::vector<PipelineResult> results =
+      dataplane.ProcessBatch(std::move(batch));
+
+  std::printf("calc: 40 + 2 = %u, routed by system module to port %u\n",
+              results[0].output->bytes().u32_at(56),
+              results[0].output->egress_port);
+  std::printf("firewall: telnet packet %s\n",
+              results[1].output->disposition == Disposition::kDrop
+                  ? "dropped"
+                  : "FORWARDED?!");
+  std::printf("netcache: GET 0xCAFE -> %u (served from switch state)\n",
+              results[3].output->bytes().u32_at(52));
+
+  // Per-tenant ingress accounting: the system module's counter lives in
+  // the stateful memory of the tenant's home replica.
   std::printf("\n-- per-tenant ingress accounting (system module) --\n");
-  for (std::size_t i = 0; i < 3; ++i)
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Pipeline& home =
+        dataplane.shard(dataplane.ShardFor(ModuleId(tenants[i].id)));
     std::printf("%-10s %llu packets\n", tenants[i].name,
                 static_cast<unsigned long long>(
-                    ReadSystemRxCount(pipeline, loaded[i])));
+                    ReadSystemRxCount(home, loaded[i])));
+  }
+
+  std::printf("\n%s", DumpDataplaneStats(dataplane).c_str());
   return 0;
 }

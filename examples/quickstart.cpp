@@ -1,12 +1,13 @@
-// Quickstart: write a module in the DSL, compile it, load it through the
-// control plane, and push a packet through the pipeline.
+// Quickstart: write a module in the DSL, compile it, commit it to the
+// concurrent dataplane as one configuration epoch, and push a batch of
+// packets through the engine.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
 #include "compiler/compiler.hpp"
-#include "config/daisy_chain.hpp"
-#include "runtime/module_manager.hpp"
+#include "dataplane/dataplane.hpp"
+#include "runtime/stats.hpp"
 
 using namespace menshen;
 
@@ -46,30 +47,38 @@ module hello {
   }
   module.AddEntry("fwd", {{"dst_port", 53}}, std::nullopt, "forward", {7});
 
-  // 4. Load it: admission control + the secure-reconfiguration protocol
-  //    (bitmap quiesce, reconfiguration packets down the daisy chain,
-  //    counter verification).
-  Pipeline pipeline;
-  ModuleManager manager(pipeline);
-  const auto result = manager.Load(module, alloc);
-  if (!result.admission.admitted) {
-    std::fprintf(stderr, "not admitted: %s\n", result.admission.reason.c_str());
-    return 1;
-  }
-  std::printf("loaded: %zu config writes in %d attempt(s)\n",
-              result.report->writes, result.report->attempts);
+  // 4. The dataplane: one pipeline replica per hardware thread
+  //    (num_shards = 0 auto-scales), each pinned to a worker thread.
+  //    Configuration lands as a quiesced epoch: stage the module's
+  //    writes, then commit — every replica flips at one batch boundary.
+  Dataplane dataplane(DataplaneConfig{.num_shards = 0});
+  dataplane.StageWrites(module.AllWrites());
+  const u64 epoch = dataplane.CommitEpoch();
+  std::printf("loaded: %zu config writes on %zu shard(s), epoch %llu\n",
+              module.AllWrites().size(), dataplane.num_shards(),
+              static_cast<unsigned long long>(epoch));
 
-  // 5. Traffic.
-  for (int i = 0; i < 3; ++i) {
-    Packet pkt = PacketBuilder{}.vid(ModuleId(2)).udp(9999, 53).Build();
-    const PipelineResult r = pipeline.Process(std::move(pkt));
-    std::printf("packet %d -> egress port %u\n", i, r.output->egress_port);
-  }
+  // 5. Traffic: one batch, scattered to the tenant's shard, processed on
+  //    its worker thread, gathered back in order.
+  std::vector<Packet> batch;
+  for (int i = 0; i < 3; ++i)
+    batch.push_back(PacketBuilder{}.vid(ModuleId(2)).udp(9999, 53).Build());
+  const std::vector<PipelineResult> results =
+      dataplane.ProcessBatch(std::move(batch));
+  for (std::size_t i = 0; i < results.size(); ++i)
+    std::printf("packet %zu -> egress port %u\n", i,
+                results[i].output->egress_port);
 
-  // 6. Read back hardware state like the control plane would.
-  const auto seg = pipeline.stage(0).stateful().segment_table().At(2);
+  // 6. Read back hardware state like the control plane would.  A
+  //    tenant's stateful memory lives on exactly one replica — the one
+  //    the steering table maps it to.
+  const Pipeline& home = dataplane.shard(dataplane.ShardFor(ModuleId(2)));
+  const auto seg = home.stage(0).stateful().segment_table().At(2);
   std::printf("DNS packets counted in switch state: %llu\n",
               static_cast<unsigned long long>(
-                  pipeline.stage(0).stateful().PhysicalAt(seg.offset)));
+                  home.stage(0).stateful().PhysicalAt(seg.offset)));
+
+  // 7. The operator's dataplane view: shards, workers, epoch, steering.
+  std::printf("\n%s", DumpDataplaneStats(dataplane).c_str());
   return 0;
 }

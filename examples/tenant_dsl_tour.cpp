@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "compiler/compiler.hpp"
-#include "runtime/module_manager.hpp"
+#include "dataplane/dataplane.hpp"
 
 using namespace menshen;
 
@@ -49,8 +49,6 @@ module guard {
 }
 )";
 
-  Pipeline pipeline;
-  ModuleManager manager(pipeline);
   CompiledModule guard = CompileDsl(kGuard, kAlloc);
   if (!guard.ok()) {
     std::fprintf(stderr, "%s", guard.diags().ToString().c_str());
@@ -60,19 +58,30 @@ module guard {
   // or police depending on `declen > 100`.
   guard.AddEntry("guard_tbl", {{"dport", 80}}, false, "admit", {1});
   guard.AddEntry("guard_tbl", {{"dport", 80}}, true, "police", {2});
-  manager.Load(guard, kAlloc);
+
+  // Commit the module to the batched dataplane as one epoch and process
+  // both probe packets in a single batch.
+  Dataplane dataplane(DataplaneConfig{.num_shards = 2});
+  dataplane.StageWrites(guard.AllWrites());
+  dataplane.CommitEpoch();
 
   Packet small = PacketBuilder{}.vid(ModuleId(2)).udp(1, 80).Build();
   small.bytes().set_u16(16, 50);
   Packet big = PacketBuilder{}.vid(ModuleId(2)).udp(1, 80).Build();
   big.bytes().set_u16(16, 500);
+  std::vector<Packet> batch;
+  batch.push_back(std::move(small));
+  batch.push_back(std::move(big));
+  const std::vector<PipelineResult> results =
+      dataplane.ProcessBatch(std::move(batch));
   std::printf("predicate demo: small -> port %u, big -> port %u\n",
-              pipeline.Process(std::move(small)).output->egress_port,
-              pipeline.Process(std::move(big)).output->egress_port);
-  const auto seg = pipeline.stage(0).stateful().segment_table().At(2);
+              results[0].output->egress_port, results[1].output->egress_port);
+
+  const Pipeline& home = dataplane.shard(dataplane.ShardFor(ModuleId(2)));
+  const auto seg = home.stage(0).stateful().segment_table().At(2);
   std::printf("policed packets counted: %llu\n",
               static_cast<unsigned long long>(
-                  pipeline.stage(0).stateful().PhysicalAt(seg.offset)));
+                  home.stage(0).stateful().PhysicalAt(seg.offset)));
 
   // --- What the compiler refuses -------------------------------------------
   TryCompile("module that rewrites its VLAN ID", R"(

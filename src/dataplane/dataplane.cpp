@@ -2,6 +2,7 @@
 
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace menshen {
 
@@ -19,8 +20,12 @@ u64 MixTenantId(u64 x) {
 }  // namespace
 
 Dataplane::Dataplane(DataplaneConfig cfg) {
-  if (cfg.num_shards == 0)
-    throw std::invalid_argument("dataplane needs at least one shard");
+  if (cfg.num_shards == 0) {
+    // Auto-scale: one replica per hardware thread (at least one — the
+    // standard leaves hardware_concurrency free to return 0).
+    cfg.num_shards =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
   shards_.reserve(cfg.num_shards);
   for (std::size_t i = 0; i < cfg.num_shards; ++i)
     shards_.emplace_back(cfg.timing, cfg.reconfig_on_data_path);
@@ -28,19 +33,89 @@ Dataplane::Dataplane(DataplaneConfig cfg) {
   shard_batches_.resize(cfg.num_shards);
   shard_indices_.resize(cfg.num_shards);
   shard_results_.resize(cfg.num_shards);
+  shard_errors_.resize(cfg.num_shards);
+
+  steering_ = std::vector<std::atomic<u32>>(ModuleId::kMax + 1);
+  for (auto& s : steering_) s.store(kNoSteering, std::memory_order_relaxed);
+
+  if (cfg.worker_threads && cfg.num_shards >= 2) {
+    workers_.reserve(cfg.num_shards);
+    for (std::size_t s = 0; s < cfg.num_shards; ++s)
+      workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+Dataplane::~Dataplane() {
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
 }
 
 std::size_t Dataplane::ShardFor(ModuleId tenant) const {
+  const u32 steered =
+      steering_[tenant.value()].load(std::memory_order_acquire);
+  if (steered != kNoSteering) return steered;
   return MixTenantId(tenant.value()) % shards_.size();
+}
+
+void Dataplane::RunShard(std::size_t s) {
+  if (shard_batches_[s].empty()) return;
+  shards_[s].ProcessBatchInto(std::move(shard_batches_[s]),
+                              shard_results_[s]);
+
+  ShardCounters& c = counters_[s];
+  ++c.batches;
+  c.packets += shard_results_[s].size();
+  // forwarded/dropped/filtered are disjoint: they sum to packets.
+  for (const PipelineResult& r : shard_results_[s]) {
+    if (r.filter_verdict == FilterVerdict::kDropBitmap) {
+      ++c.dropped;
+    } else if (r.filter_verdict != FilterVerdict::kData) {
+      ++c.filtered;
+    } else if (r.output && r.output->disposition == Disposition::kDrop) {
+      ++c.dropped;
+    } else {
+      ++c.forwarded;
+    }
+  }
+}
+
+void Dataplane::WorkerLoop(std::size_t s) {
+  u64 seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(work_mutex_);
+      work_cv_.wait(lk, [&] {
+        return stopping_ || work_generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = work_generation_;
+    }
+    try {
+      RunShard(s);
+    } catch (...) {
+      shard_errors_[s] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(work_mutex_);
+      if (--workers_outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
 }
 
 std::vector<PipelineResult> Dataplane::ProcessBatch(
     std::vector<Packet>&& batch) {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
   std::vector<PipelineResult> out(batch.size());
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shard_batches_[s].clear();
     shard_indices_[s].clear();
+    shard_results_[s].clear();
+    shard_errors_[s] = nullptr;
   }
 
   // Scatter: steer each packet to its tenant's shard, keeping arrival
@@ -54,58 +129,124 @@ std::vector<PipelineResult> Dataplane::ProcessBatch(
     shard_batches_[s].push_back(std::move(batch[i]));
   }
 
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (shard_batches_[s].empty()) continue;
-    shard_results_[s].clear();
-    shards_[s].ProcessBatchInto(std::move(shard_batches_[s]),
-                                shard_results_[s]);
+  if (workers_.empty()) {
+    // Sequential reference path (single shard or worker_threads off).
+    for (std::size_t s = 0; s < shards_.size(); ++s) RunShard(s);
+  } else {
+    // Fork: one generation bump wakes every worker; each runs its own
+    // shard's sub-batch.  Join: the last worker to finish signals back.
+    std::unique_lock<std::mutex> lk(work_mutex_);
+    workers_outstanding_ = workers_.size();
+    ++work_generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lk, [&] { return workers_outstanding_ == 0; });
+  }
+  for (const std::exception_ptr& err : shard_errors_)
+    if (err) std::rethrow_exception(err);
 
-    ShardCounters& c = counters_[s];
-    ++c.batches;
-    c.packets += shard_results_[s].size();
-    // forwarded/dropped/filtered are disjoint: they sum to packets.
-    for (const PipelineResult& r : shard_results_[s]) {
-      if (r.filter_verdict == FilterVerdict::kDropBitmap) {
-        ++c.dropped;
-      } else if (r.filter_verdict != FilterVerdict::kData) {
-        ++c.filtered;
-      } else if (r.output &&
-                 r.output->disposition == Disposition::kDrop) {
-        ++c.dropped;
-      } else {
-        ++c.forwarded;
-      }
-    }
-
-    // Gather: results return in the caller's original batch order.
+  // Gather: results return in the caller's original batch order.
+  for (std::size_t s = 0; s < shards_.size(); ++s)
     for (std::size_t k = 0; k < shard_results_[s].size(); ++k)
       out[shard_indices_[s][k]] = std::move(shard_results_[s][k]);
-  }
   return out;
 }
 
-void Dataplane::ApplyWrite(const ConfigWrite& write) {
+void Dataplane::BroadcastLocked(const ConfigWrite& write) {
   for (Pipeline& shard : shards_) shard.ApplyWrite(write);
-  ++writes_broadcast_;
+  writes_broadcast_.fetch_add(1, std::memory_order_release);
+}
+
+void Dataplane::StageWrite(const ConfigWrite& write) {
+  std::lock_guard<std::mutex> lk(pending_mutex_);
+  pending_writes_.push_back(write);
+}
+
+void Dataplane::StageWrites(const std::vector<ConfigWrite>& writes) {
+  std::lock_guard<std::mutex> lk(pending_mutex_);
+  pending_writes_.insert(pending_writes_.end(), writes.begin(), writes.end());
+}
+
+std::size_t Dataplane::pending_writes() const {
+  std::lock_guard<std::mutex> lk(pending_mutex_);
+  return pending_writes_.size();
+}
+
+u64 Dataplane::CommitEpoch() {
+  // Take the staged set first: writes staged after this point belong to
+  // the next epoch.
+  std::vector<ConfigWrite> writes;
+  {
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    writes.swap(pending_writes_);
+  }
+  // Quiesce: acquiring the engine lock means no batch is in flight, so
+  // the whole write set lands between batches — never inside one.
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  for (const ConfigWrite& w : writes) BroadcastLocked(w);
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void Dataplane::ApplyWrite(const ConfigWrite& write) {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  BroadcastLocked(write);
 }
 
 void Dataplane::ApplyWrites(const std::vector<ConfigWrite>& writes) {
-  for (const ConfigWrite& w : writes) ApplyWrite(w);
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  for (const ConfigWrite& w : writes) BroadcastLocked(w);
+}
+
+bool Dataplane::MigrateTenant(ModuleId tenant, std::size_t to_shard) {
+  if (to_shard >= shards_.size())
+    throw std::out_of_range("migration targets nonexistent shard");
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  const std::size_t from = ShardFor(tenant);
+  if (from == to_shard) return false;
+
+  // Configuration is replicated on every shard, so only the tenant's
+  // stateful segments move: copy each stage's segment to the same
+  // physical window on the target (the segment table is part of the
+  // replicated configuration) and zero the source, so the tenant's state
+  // keeps living in exactly one place.
+  Pipeline& src_pipe = shards_[from];
+  Pipeline& dst_pipe = shards_[to_shard];
+  for (std::size_t i = 0; i < src_pipe.num_stages(); ++i) {
+    StatefulMemory& src = src_pipe.stage(i).stateful();
+    StatefulMemory& dst = dst_pipe.stage(i).stateful();
+    const std::size_t row = src.segment_table().IndexFor(tenant);
+    const SegmentEntry seg = src.segment_table().At(row);
+    for (std::size_t w = 0; w < seg.range; ++w)
+      dst.PhysicalStore(seg.offset + w, src.PhysicalAt(seg.offset + w));
+    src.ZeroRange(seg.offset, seg.range);
+  }
+
+  steering_[tenant.value()].store(static_cast<u32>(to_shard),
+                                  std::memory_order_release);
+  migrations_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+std::vector<Dataplane::ShardCounters> Dataplane::CountersSnapshot() const {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  return counters_;
 }
 
 u64 Dataplane::forwarded(ModuleId tenant) const {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
   u64 total = 0;
   for (const Pipeline& shard : shards_) total += shard.forwarded(tenant);
   return total;
 }
 
 u64 Dataplane::dropped(ModuleId tenant) const {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
   u64 total = 0;
   for (const Pipeline& shard : shards_) total += shard.dropped(tenant);
   return total;
 }
 
 std::vector<ModuleId> Dataplane::ActiveTenants() const {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
   std::set<u16> ids;
   for (const Pipeline& shard : shards_)
     for (const ModuleId m : shard.ActiveModules()) ids.insert(m.value());
@@ -116,6 +257,7 @@ std::vector<ModuleId> Dataplane::ActiveTenants() const {
 }
 
 u64 Dataplane::total_packets() const {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
   u64 total = 0;
   for (const ShardCounters& c : counters_) total += c.packets;
   return total;

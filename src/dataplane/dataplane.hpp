@@ -1,22 +1,47 @@
-// Batched, sharded dataplane front-end.
+// Concurrent, epoch-versioned batched dataplane front-end.
 //
 // Scales the single functional Pipeline the way line-rate software
-// dataplanes do (cf. NDN-DPDK): packets are processed in batches, and the
-// work is sharded across N replicated Pipeline instances.  The shard for
-// a packet is chosen by hashing its tenant (VLAN/module) ID, so
+// dataplanes do (cf. NDN-DPDK's forwarding threads): packets are
+// processed in batches, and the work is sharded across N replicated
+// Pipeline instances, each pinned to a persistent worker thread.
+//
+//   batch ──scatter──▶ per-shard sub-batches ──▶ worker threads run
+//   Pipeline::ProcessBatchInto concurrently ──gather──▶ results in the
+//   caller's original batch order (byte-identical to the sequential path).
+//
+// The shard for a packet is chosen by a tenant→shard steering table
+// (defaulting to a hash of the tenant's VLAN/module ID), so
 //
 //   * all packets of one tenant land on the same replica, preserving
 //     per-tenant processing order and keeping that tenant's stateful
 //     memory in exactly one place (per-tenant isolation is untouched);
-//   * different tenants spread across replicas, which is the unit a
-//     future async version runs on parallel forwarding threads.
+//   * different tenants spread across replicas and run in parallel;
+//   * a hot tenant can be migrated to an underloaded replica
+//     (MigrateTenant / runtime::Rebalancer): configuration is replicated
+//     everywhere, so migration is a steering change plus a quiesced copy
+//     of the tenant's stateful segments.
 //
-// Configuration writes are broadcast to every replica so reconfiguration
-// stays consistent no matter which shard a tenant hashes to; per-shard
-// and per-tenant counters feed runtime/stats.hpp.
+// Configuration changes flow through quiesced epochs: writes staged with
+// StageWrite() accumulate in a pending set, and CommitEpoch() drains the
+// in-flight batch, broadcasts the whole set to every replica, and bumps
+// the epoch counter (exposed via runtime/stats).  A batch therefore never
+// observes a partially applied write set — the paper's non-disruptive
+// reconfiguration property, now under real concurrency.  The legacy
+// ApplyWrite() broadcast remains as an immediate (still quiesced)
+// single-write path.
+//
+// Threading contract: ProcessBatch is serialized against itself and
+// against every configuration/steering mutation by an internal engine
+// lock, so one dispatcher thread and any number of control-plane threads
+// (staging writes, committing epochs, rebalancing, reading stats) may run
+// concurrently.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "pipeline/config_write.hpp"
@@ -25,18 +50,30 @@
 namespace menshen {
 
 struct DataplaneConfig {
+  /// Number of pipeline replicas; 0 = one per hardware thread
+  /// (std::thread::hardware_concurrency).
   std::size_t num_shards = 1;
   PipelineTiming timing = OptimizedTiming();
   bool reconfig_on_data_path = true;
+  /// Run shards on persistent per-shard worker threads.  With false (or a
+  /// single shard) the shards run sequentially on the calling thread —
+  /// the reference path the concurrent engine is pinned against.
+  bool worker_threads = true;
 };
 
 class Dataplane {
  public:
   explicit Dataplane(DataplaneConfig cfg = {});
+  ~Dataplane();
+
+  Dataplane(const Dataplane&) = delete;
+  Dataplane& operator=(const Dataplane&) = delete;
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
 
-  /// The shard replica a tenant's packets are steered to.
+  /// The shard replica a tenant's packets are currently steered to:
+  /// the steering-table entry if one was installed, else the tenant hash.
   [[nodiscard]] std::size_t ShardFor(ModuleId tenant) const;
 
   [[nodiscard]] Pipeline& shard(std::size_t i) { return shards_.at(i); }
@@ -44,19 +81,63 @@ class Dataplane {
     return shards_.at(i);
   }
 
-  /// Processes one batch: packets are sharded by tenant hash, each
-  /// shard's sub-batch runs through its replica's batched hot path in
-  /// arrival order, and the results are scattered back into the original
-  /// batch order.  Scratch vectors are reused across calls, so the steady
-  /// state performs no per-packet allocation.
+  /// Processes one batch: packets are scattered to their tenants' shards,
+  /// each shard's sub-batch runs through its replica's batched hot path
+  /// in arrival order (concurrently when worker threads are enabled), and
+  /// the results are gathered back into the original batch order.
+  /// Scratch vectors are reused across calls, so the steady state
+  /// performs no per-packet allocation.
   [[nodiscard]] std::vector<PipelineResult> ProcessBatch(
       std::vector<Packet>&& batch);
 
-  /// Broadcasts one configuration write to every shard replica, keeping
-  /// the replicas' configurations identical.
+  // --- Epoched configuration ---------------------------------------------------
+
+  /// Stages one write into the pending epoch.  Thread-safe; callable
+  /// while batches are in flight.  Nothing is visible to the data path
+  /// until CommitEpoch().
+  void StageWrite(const ConfigWrite& write);
+  void StageWrites(const std::vector<ConfigWrite>& writes);
+
+  /// Quiesced epoch switch: waits for the in-flight batch to drain,
+  /// applies every staged write to every replica, and bumps the epoch.
+  /// Returns the new epoch.  An empty commit is a pure barrier (still
+  /// bumps the epoch — e.g. a steering-only reconfiguration point).
+  u64 CommitEpoch();
+
+  /// Committed configuration epoch (0 until the first CommitEpoch).
+  [[nodiscard]] u64 epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Writes staged but not yet committed.
+  [[nodiscard]] std::size_t pending_writes() const;
+
+  /// Immediate (legacy) path: broadcasts one configuration write to every
+  /// shard replica under the engine lock.  Does not advance the epoch.
   void ApplyWrite(const ConfigWrite& write);
   void ApplyWrites(const std::vector<ConfigWrite>& writes);
-  [[nodiscard]] u64 writes_broadcast() const { return writes_broadcast_; }
+  [[nodiscard]] u64 writes_broadcast() const {
+    return writes_broadcast_.load(std::memory_order_acquire);
+  }
+
+  // --- Steering / rebalancing ---------------------------------------------------
+
+  /// Quiesced tenant migration: drains the in-flight batch, copies the
+  /// tenant's per-stage stateful segments from its current replica to
+  /// `to_shard` (zeroing the source so state lives in exactly one place),
+  /// and repoints the steering table.  Per-tenant ordering is preserved
+  /// because no batch is in flight while the move happens.  Returns false
+  /// if the tenant already lives on `to_shard`.
+  ///
+  /// Precondition (enforced by the control plane's admission check, not
+  /// here): active tenants own distinct overlay rows — module IDs fit
+  /// the overlay-table depth and are unique.  Two active tenants
+  /// aliasing one row would share a segment window on every replica (the
+  /// same hazard as on a single pipeline), and migrating one would move
+  /// the other's words with it.
+  bool MigrateTenant(ModuleId tenant, std::size_t to_shard);
+  [[nodiscard]] u64 migrations() const {
+    return migrations_.load(std::memory_order_acquire);
+  }
 
   /// Per-shard traffic counters, updated per batch.  forwarded, dropped
   /// and filtered are disjoint and sum to packets.
@@ -67,25 +148,73 @@ class Dataplane {
     u64 dropped = 0;   // filter-bitmap or ALU/deparser drops
     u64 filtered = 0;  // other non-data verdicts (reconfig, no VLAN)
   };
+  /// Quiescent-only accessor (caller guarantees no batch in flight, e.g.
+  /// between ProcessBatch calls on the dispatcher thread); concurrent
+  /// control-plane readers use CountersSnapshot().
   [[nodiscard]] const ShardCounters& shard_counters(std::size_t i) const {
     return counters_.at(i);
   }
+  /// Thread-safe copy of every shard's counters (quiesces on the engine
+  /// lock, so it never observes a half-updated batch).
+  [[nodiscard]] std::vector<ShardCounters> CountersSnapshot() const;
 
-  // Per-tenant view, aggregated across shards.
+  // Per-tenant view, aggregated across shards.  These quiesce on the
+  // engine lock (the per-tenant counters live in the replicas' pipeline
+  // state, which workers mutate during a batch), so they are safe to
+  // call from control-plane threads while traffic flows.
   [[nodiscard]] u64 forwarded(ModuleId tenant) const;
   [[nodiscard]] u64 dropped(ModuleId tenant) const;
   [[nodiscard]] std::vector<ModuleId> ActiveTenants() const;
   [[nodiscard]] u64 total_packets() const;
 
  private:
+  /// Runs shard `s`'s sub-batch through its replica and updates the
+  /// shard's counters.  Touches only shard-`s` state, so distinct shards
+  /// run concurrently without synchronization.
+  void RunShard(std::size_t s);
+  void WorkerLoop(std::size_t s);
+  /// Applies `write` to every replica.  Caller holds engine_mutex_.
+  void BroadcastLocked(const ConfigWrite& write);
+
   std::vector<Pipeline> shards_;
   std::vector<ShardCounters> counters_;
-  u64 writes_broadcast_ = 0;
+  std::atomic<u64> writes_broadcast_{0};
+  std::atomic<u64> epoch_{0};
+  std::atomic<u64> migrations_{0};
 
-  // Scatter/gather scratch, reused across batches.
+  /// Serializes batches against configuration/steering mutations and
+  /// stats reads — the quiesce barrier: whoever holds it sees no batch
+  /// in flight.  Mutable so const (read-side) accessors can quiesce.
+  mutable std::mutex engine_mutex_;
+
+  // Pending epoch (guarded by pending_mutex_, never by engine_mutex_, so
+  // staging never blocks behind a running batch).
+  mutable std::mutex pending_mutex_;
+  std::vector<ConfigWrite> pending_writes_;
+
+  // Tenant→shard steering table, indexed by VLAN/module ID.  kNoSteering
+  // means "use the hash".  Lock-free reads on the scatter hot path;
+  // stores only happen quiesced (under engine_mutex_).
+  static constexpr u32 kNoSteering = ~u32{0};
+  std::vector<std::atomic<u32>> steering_;
+
+  // Scatter/gather scratch, reused across batches (engine_mutex_ holder
+  // plus, during a dispatch, the worker owning shard s for index s).
   std::vector<std::vector<Packet>> shard_batches_;
   std::vector<std::vector<std::size_t>> shard_indices_;
   std::vector<std::vector<PipelineResult>> shard_results_;
+  std::vector<std::exception_ptr> shard_errors_;
+
+  // Persistent worker pool (empty when worker_threads is off or there is
+  // a single shard).  Fork/join per batch: work_generation_ bumps to
+  // dispatch, workers_outstanding_ drains to join.
+  std::vector<std::thread> workers_;
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  u64 work_generation_ = 0;
+  std::size_t workers_outstanding_ = 0;
+  bool stopping_ = false;
 };
 
 }  // namespace menshen

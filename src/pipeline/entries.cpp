@@ -152,6 +152,33 @@ BitVec KeyExtractorEntry::ExtractKey(const Phv& phv) const {
   return key;
 }
 
+namespace {
+
+bool EvalPredicate(CmpOp op, const Operand8& cmp_a, const Operand8& cmp_b,
+                   const Phv& phv) {
+  const u64 a = cmp_a.Eval(phv);
+  const u64 b = cmp_b.Eval(phv);
+  switch (op) {
+    case CmpOp::kNone:
+      return false;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNeq:
+      return a != b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kLe:
+      return a <= b;
+  }
+  return false;
+}
+
+}  // namespace
+
 void KeyExtractorEntry::ExtractKeyInto(const Phv& phv, BitVec& key) const {
   key.AssignZero(params::kKeyBits);
   const auto slots = KeySlots();
@@ -165,33 +192,21 @@ void KeyExtractorEntry::ExtractKeyInto(const Phv& phv, BitVec& key) const {
     key.set_bit(0, false);
     return;
   }
-  bool pred = false;
-  const u64 a = cmp_a.Eval(phv);
-  const u64 b = cmp_b.Eval(phv);
-  switch (cmp_op) {
-    case CmpOp::kNone:
-      pred = false;
-      break;
-    case CmpOp::kEq:
-      pred = a == b;
-      break;
-    case CmpOp::kNeq:
-      pred = a != b;
-      break;
-    case CmpOp::kGt:
-      pred = a > b;
-      break;
-    case CmpOp::kLt:
-      pred = a < b;
-      break;
-    case CmpOp::kGe:
-      pred = a >= b;
-      break;
-    case CmpOp::kLe:
-      pred = a <= b;
-      break;
+  key.set_bit(0, EvalPredicate(cmp_op, cmp_a, cmp_b, phv));
+}
+
+void KeyExtractorEntry::ExtractKeyPartialInto(const Phv& phv, u8 active_slots,
+                                              bool pred_active,
+                                              BitVec& key) const {
+  key.AssignZero(params::kKeyBits);
+  const auto slots = KeySlots();
+  for (std::size_t i = 0; i < 6; ++i) {
+    if ((active_slots & (1u << i)) == 0) continue;
+    const ContainerRef c{kSlotTypes[i], selectors[i]};
+    key.set_field(slots[i].lsb, slots[i].bits, phv.Read(c));
   }
-  key.set_bit(0, pred);
+  if (pred_active && cmp_op != CmpOp::kNone)
+    key.set_bit(0, EvalPredicate(cmp_op, cmp_a, cmp_b, phv));
 }
 
 ByteBuffer KeyMaskEntry::Encode() const {

@@ -111,6 +111,15 @@ struct KeyExtractorEntry {
   /// storage (the batched dataplane's scratch-buffer hot path).
   void ExtractKeyInto(const Phv& phv, BitVec& key) const;
 
+  /// Key-layout-cache variant: only fills the slots named in
+  /// `active_slots` (bit i = slot i) and evaluates the predicate only if
+  /// `pred_active`.  Callers pass the slots that survive the module's key
+  /// mask — the masked key is then identical to
+  /// `ExtractKeyInto(...).masked(mask)` while skipping the PHV reads and
+  /// field writes the mask would zero anyway.
+  void ExtractKeyPartialInto(const Phv& phv, u8 active_slots,
+                             bool pred_active, BitVec& key) const;
+
   bool operator==(const KeyExtractorEntry&) const = default;
 };
 

@@ -40,6 +40,7 @@ class OverlayTable {
     if (index >= entries_.size())
       throw std::out_of_range("overlay table index out of range");
     entries_[index] = std::move(entry);
+    ++version_;
   }
 
   [[nodiscard]] const Entry& At(std::size_t index) const {
@@ -51,6 +52,11 @@ class OverlayTable {
   /// Number of entry reads since construction (for the area/activity model).
   [[nodiscard]] u64 reads() const { return reads_; }
 
+  /// Bumped on every Write — lets derived caches (e.g. the stage's
+  /// key-layout plans) detect that an entry changed without being wired
+  /// into the configuration path.
+  [[nodiscard]] u64 version() const { return version_; }
+
   [[nodiscard]] std::size_t IndexFor(ModuleId id) const {
     return id.value() % entries_.size();
   }
@@ -58,6 +64,7 @@ class OverlayTable {
  private:
   std::vector<Entry> entries_;
   mutable u64 reads_ = 0;
+  u64 version_ = 0;
 };
 
 }  // namespace menshen

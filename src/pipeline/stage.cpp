@@ -30,19 +30,50 @@ Phv Stage::Process(const Phv& phv) {
   return ActionEngine::Execute(vliw, phv, stateful_);
 }
 
-void Stage::ProcessInPlace(Phv& phv) {
-  const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
-  const KeyMaskEntry& mask = key_mask_.Lookup(phv.module_id);
-  if (mask.mask.is_zero()) {
+const Stage::KeyPlan& Stage::PlanFor(std::size_t row) {
+  KeyPlan& plan = key_plans_[row];
+  const u64 stamp = key_extractor_.version() + key_mask_.version();
+  if (plan.built_at_version != stamp) {
+    const KeyExtractorEntry& kx = key_extractor_.At(row);
+    const BitVec& mask = key_mask_.At(row).mask;
+    plan.skip_extraction = mask.is_zero();
+    plan.active_slots = 0;
+    const auto slots = KeySlots();
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      if (mask.field(slots[i].lsb, slots[i].bits) != 0)
+        plan.active_slots |= static_cast<u8>(1u << i);
+    plan.pred_active = mask.field(0, 1) != 0 && kx.cmp_op != CmpOp::kNone;
+    plan.built_at_version = stamp;
+  }
+  return plan;
+}
+
+void Stage::MaskedKeyIntoWith(const KeyExtractorEntry& kx,
+                              const KeyMaskEntry& mask, const Phv& phv,
+                              BitVec& key) {
+  const KeyPlan& plan = PlanFor(key_extractor_.IndexFor(phv.module_id));
+  if (plan.skip_extraction) {
     // An all-zero mask (no table configured for this module in this
     // stage) forces the masked key — predicate bit included — to zero
     // whatever the PHV holds, so extraction can be skipped outright.
-    // The lookup below still runs: a module may own an all-zero entry.
-    key_scratch_.AssignZero(params::kKeyBits);
-  } else {
-    kx.ExtractKeyInto(phv, key_scratch_);
-    key_scratch_.AndWith(mask.mask);
+    // The caller's CAM lookup still runs: a module may own an all-zero
+    // entry.
+    key.AssignZero(params::kKeyBits);
+    return;
   }
+  kx.ExtractKeyPartialInto(phv, plan.active_slots, plan.pred_active, key);
+  key.AndWith(mask.mask);
+}
+
+void Stage::MaskedKeyInto(const Phv& phv, BitVec& key) {
+  MaskedKeyIntoWith(key_extractor_.Lookup(phv.module_id),
+                    key_mask_.Lookup(phv.module_id), phv, key);
+}
+
+void Stage::ProcessInPlace(Phv& phv) {
+  const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
+  const KeyMaskEntry& mask = key_mask_.Lookup(phv.module_id);
+  MaskedKeyIntoWith(kx, mask, phv, key_scratch_);
   const auto address = kx.ternary ? tcam_.Lookup(key_scratch_, phv.module_id)
                                   : cam_.Lookup(key_scratch_, phv.module_id);
   if (!address) {

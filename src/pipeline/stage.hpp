@@ -59,11 +59,37 @@ class Stage {
   /// for tests and the compiler's entry generation.
   [[nodiscard]] BitVec MaskedKeyFor(const Phv& phv) const;
 
+  /// Hot-path equivalent of MaskedKeyFor: builds the masked key into
+  /// `key` using the per-module key-layout plan cache, which skips the
+  /// slots (and the predicate evaluation) the module's key mask zeroes
+  /// anyway.  Plans invalidate automatically on key-extractor or key-mask
+  /// writes (overlay-table versioning).
+  void MaskedKeyInto(const Phv& phv, BitVec& key);
+
+  /// Variant for callers that already looked the module's entries up
+  /// (the per-packet hot path, which needs `kx` for the match-kind bit
+  /// anyway) — performs no overlay-table reads itself.
+  void MaskedKeyIntoWith(const KeyExtractorEntry& kx, const KeyMaskEntry& mask,
+                         const Phv& phv, BitVec& key);
+
   // Observability.
   [[nodiscard]] u64 hits() const { return hits_; }
   [[nodiscard]] u64 misses() const { return misses_; }
 
  private:
+  /// Cached per-overlay-row key layout, derived from the row's key
+  /// extractor and key mask: which of the six key slots have any unmasked
+  /// bit, and whether the predicate bit can ever reach the lookup.  Saves
+  /// rebuilding the full 193-bit key per stage for the (common) modules
+  /// that match on one or two fields.
+  struct KeyPlan {
+    u64 built_at_version = ~u64{0};  // kx.version() + mask.version() stamp
+    bool skip_extraction = false;    // all-zero mask: key is forced to zero
+    u8 active_slots = 0;             // bit i: slot i survives the mask
+    bool pred_active = false;        // mask keeps bit 0 and a CmpOp is set
+  };
+  [[nodiscard]] const KeyPlan& PlanFor(std::size_t row);
+
   OverlayTable<KeyExtractorEntry> key_extractor_;
   OverlayTable<KeyMaskEntry> key_mask_;
   ExactMatchCam cam_;
@@ -77,6 +103,8 @@ class Stage {
   // of the stage's observable configuration state).
   BitVec key_scratch_;
   Phv snapshot_scratch_;
+  std::vector<KeyPlan> key_plans_ =
+      std::vector<KeyPlan>(params::kOverlayTableDepth);
 };
 
 }  // namespace menshen

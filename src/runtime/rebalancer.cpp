@@ -1,0 +1,76 @@
+#include "runtime/rebalancer.hpp"
+
+#include <algorithm>
+
+namespace menshen {
+
+std::vector<Rebalancer::TenantLoad> Rebalancer::RecentLoads(
+    const Dataplane& dp) const {
+  std::vector<TenantLoad> loads;
+  for (const ModuleId tenant : dp.ActiveTenants()) {
+    const u64 total = dp.forwarded(tenant) + dp.dropped(tenant);
+    const auto it = last_seen_.find(tenant.value());
+    const u64 seen = it == last_seen_.end() ? 0 : it->second;
+    loads.push_back(
+        TenantLoad{tenant, dp.ShardFor(tenant), total - std::min(total, seen)});
+  }
+  return loads;
+}
+
+std::vector<Migration> Rebalancer::Plan(const Dataplane& dp) const {
+  std::vector<TenantLoad> tenants = RecentLoads(dp);
+  std::vector<u64> shard_load(dp.num_shards(), 0);
+  for (const TenantLoad& t : tenants) shard_load[t.shard] += t.load;
+
+  std::vector<Migration> moves;
+  for (std::size_t round = 0; round < cfg_.max_moves_per_round; ++round) {
+    const auto busiest =
+        std::max_element(shard_load.begin(), shard_load.end());
+    const auto idlest = std::min_element(shard_load.begin(), shard_load.end());
+    const std::size_t from =
+        static_cast<std::size_t>(busiest - shard_load.begin());
+    const std::size_t to = static_cast<std::size_t>(idlest - shard_load.begin());
+    if (from == to) break;
+
+    u64 total = 0;
+    for (const u64 l : shard_load) total += l;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(shard_load.size());
+    if (static_cast<double>(*busiest) <= cfg_.imbalance_threshold * mean)
+      break;
+
+    // Hottest tenant on the busiest shard whose move strictly narrows the
+    // busiest/idlest spread (a tenant hotter than the spread would just
+    // swap the roles of the two shards).
+    TenantLoad* pick = nullptr;
+    for (TenantLoad& t : tenants) {
+      if (t.shard != from || t.load == 0) continue;
+      if (t.load + *idlest >= *busiest) continue;
+      if (pick == nullptr || t.load > pick->load) pick = &t;
+    }
+    if (pick == nullptr) break;
+
+    moves.push_back(Migration{pick->tenant, from, to, pick->load});
+    shard_load[from] -= pick->load;
+    shard_load[to] += pick->load;
+    pick->shard = to;
+  }
+  return moves;
+}
+
+std::vector<Migration> Rebalancer::Rebalance(Dataplane& dp) {
+  const std::vector<Migration> moves = Plan(dp);
+  for (const Migration& m : moves) dp.MigrateTenant(m.tenant, m.to);
+  if (!moves.empty()) {
+    // The placement change takes effect at a clean epoch boundary (and
+    // flushes any writes the control plane had staged alongside).
+    dp.CommitEpoch();
+  }
+  // Snapshot cumulative counts so the next round measures fresh load.
+  for (const ModuleId tenant : dp.ActiveTenants())
+    last_seen_[tenant.value()] = dp.forwarded(tenant) + dp.dropped(tenant);
+  ++rounds_;
+  return moves;
+}
+
+}  // namespace menshen

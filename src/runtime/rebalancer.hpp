@@ -1,0 +1,72 @@
+// Stats-driven tenant rebalancing across dataplane shard replicas.
+//
+// The dataplane steers each tenant's packets to one pipeline replica; the
+// default placement is a static tenant-ID hash, which can pile several hot
+// tenants onto one shard while others idle (the CODA observation: placement
+// of computation relative to state is a first-class performance knob).  The
+// Rebalancer closes the loop: it reads the per-tenant counters that
+// runtime/stats aggregates, computes each tenant's recent load (the delta
+// since the previous round), and greedily migrates the hottest tenants off
+// the most loaded replica onto the least loaded one.  Migration is cheap —
+// configuration is replicated on every shard, so a move is a steering-table
+// update plus a quiesced copy of the tenant's stateful segments — and it
+// happens at an epoch boundary so per-tenant ordering is preserved.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+
+namespace menshen {
+
+struct RebalancerConfig {
+  /// A round only moves tenants while the busiest shard's recent load
+  /// exceeds this multiple of the mean shard load.
+  double imbalance_threshold = 1.25;
+  /// Upper bound on migrations per round (each is a quiesce point).
+  std::size_t max_moves_per_round = 2;
+};
+
+/// One planned (or applied) tenant move.
+struct Migration {
+  ModuleId tenant;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  u64 load = 0;  // the tenant's recent-load metric that motivated the move
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(RebalancerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Computes the moves a round would make, without applying them.
+  /// Load metric: per-tenant forwarded+dropped packets since the last
+  /// *applied* round (cumulative counts on the first round).
+  [[nodiscard]] std::vector<Migration> Plan(const Dataplane& dp) const;
+
+  /// Plans and applies one round: each migration quiesces inside the
+  /// dataplane, and a round that moved anything commits an epoch so the
+  /// new placement takes effect at a clean epoch boundary.  Returns the
+  /// applied moves.
+  std::vector<Migration> Rebalance(Dataplane& dp);
+
+  [[nodiscard]] u64 rounds() const { return rounds_; }
+
+ private:
+  struct TenantLoad {
+    ModuleId tenant;
+    std::size_t shard = 0;
+    u64 load = 0;
+  };
+  [[nodiscard]] std::vector<TenantLoad> RecentLoads(const Dataplane& dp) const;
+
+  RebalancerConfig cfg_;
+  /// Cumulative per-tenant counts at the end of the last applied round;
+  /// the next round's load is the delta against this snapshot.
+  std::unordered_map<u16, u64> last_seen_;
+  u64 rounds_ = 0;
+};
+
+}  // namespace menshen

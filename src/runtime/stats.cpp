@@ -77,8 +77,14 @@ std::string DumpPipelineOccupancy(const Pipeline& pipeline) {
 DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
   DataplaneStats s;
   s.writes_broadcast = dp.writes_broadcast();
-  for (std::size_t i = 0; i < dp.num_shards(); ++i) {
-    const Dataplane::ShardCounters& c = dp.shard_counters(i);
+  s.epoch = dp.epoch();
+  s.pending_writes = dp.pending_writes();
+  s.migrations = dp.migrations();
+  s.workers = dp.num_workers();
+  const std::vector<Dataplane::ShardCounters> counters =
+      dp.CountersSnapshot();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const Dataplane::ShardCounters& c = counters[i];
     s.shards.push_back(ShardStats{i, c.batches, c.packets, c.forwarded,
                                   c.dropped, c.filtered});
     s.total_packets += c.packets;
@@ -97,9 +103,13 @@ DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
 std::string DumpDataplaneStats(const Dataplane& dp) {
   const DataplaneStats s = CollectDataplaneStats(dp);
   std::string out = "dataplane: " + std::to_string(dp.num_shards()) +
-                    " shard(s), " + std::to_string(s.total_packets) +
+                    " shard(s) on " + std::to_string(s.workers) +
+                    " worker thread(s), " + std::to_string(s.total_packets) +
                     " packets, " + std::to_string(s.writes_broadcast) +
                     " config writes broadcast\n";
+  out += "  config epoch " + std::to_string(s.epoch) + " (" +
+         std::to_string(s.pending_writes) + " staged), " +
+         std::to_string(s.migrations) + " tenant migration(s)\n";
   for (const ShardStats& sh : s.shards)
     out += "  shard " + std::to_string(sh.shard) + ": packets " +
            std::to_string(sh.packets) + " (fwd " +

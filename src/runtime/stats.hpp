@@ -69,6 +69,14 @@ struct DataplaneStats {
   std::vector<TenantStats> tenants;  // sorted by tenant ID
   u64 total_packets = 0;
   u64 writes_broadcast = 0;
+  /// Committed configuration epoch (bumped by Dataplane::CommitEpoch).
+  u64 epoch = 0;
+  /// Configuration writes staged but not yet committed.
+  std::size_t pending_writes = 0;
+  /// Tenant migrations applied (steering changes at epoch boundaries).
+  u64 migrations = 0;
+  /// Worker threads running shard replicas (0 = sequential engine).
+  std::size_t workers = 0;
 };
 
 /// Aggregates per-shard and per-tenant throughput/drop counters.

@@ -114,6 +114,33 @@ void TimingSimulator::Run(std::vector<SimPacket>& packets) {
   }
 }
 
+FunctionalTimingRun RunFunctionalTimed(Dataplane& dp,
+                                       std::vector<Packet> trace,
+                                       TimingSimulator& sim,
+                                       Cycle interarrival) {
+  FunctionalTimingRun run;
+  run.packets.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    SimPacket sp;
+    sp.arrival = static_cast<Cycle>(i) * interarrival;
+    sp.bytes = trace[i].size();
+    sp.module = trace[i].has_vlan() ? trace[i].vid().value() : 0;
+    run.packets.push_back(sp);
+  }
+  // The functional engine decides each packet's fate; the timing model
+  // then prices exactly that behaviour (a filter rejection occupies the
+  // filter but never the parser/stages).
+  run.results = dp.ProcessBatch(std::move(trace));
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    if (run.results[i].filter_verdict != FilterVerdict::kData) {
+      run.packets[i].drop_at_filter = true;
+      ++run.filter_drops;
+    }
+  }
+  sim.Run(run.packets);
+  return run;
+}
+
 double PipelineCapacityPps(const PlatformTiming& platform,
                            const PipelineTiming& timing, std::size_t bytes,
                            std::size_t probe_packets) {

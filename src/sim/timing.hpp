@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "dataplane/dataplane.hpp"
 #include "pipeline/params.hpp"
 
 namespace menshen {
@@ -75,6 +76,26 @@ class TimingSimulator {
   Cycle egress_free_ = 0;
   u64 seq_ = 0;
 };
+
+/// A functional trace run through the batched dataplane engine with its
+/// timing resolved: the timing model's inputs (size, module, whether the
+/// filter dropped the packet) are derived from what the optimized engine
+/// actually did, instead of being synthesized by hand.
+struct FunctionalTimingRun {
+  /// One per trace packet, in batch order, with timing outputs filled.
+  std::vector<SimPacket> packets;
+  /// The functional results, in batch order.
+  std::vector<PipelineResult> results;
+  std::size_t filter_drops = 0;  // packets the functional filter rejected
+};
+
+/// Runs `trace` through `dp`'s batched ProcessBatch (concurrent when the
+/// dataplane has worker threads), then resolves per-packet timing with
+/// `sim`.  Packets arrive back-to-back, `interarrival` cycles apart.
+[[nodiscard]] FunctionalTimingRun RunFunctionalTimed(Dataplane& dp,
+                                                     std::vector<Packet> trace,
+                                                     TimingSimulator& sim,
+                                                     Cycle interarrival = 1);
 
 /// Achieved steady-state forwarding rate for back-to-back `bytes`-sized
 /// packets (packets per second), considering only the pipeline (no link).

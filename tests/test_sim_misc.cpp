@@ -1,10 +1,12 @@
 // Remaining sim-layer properties: wire/capacity arithmetic, generator
-// caps, beat quantization, and cycle-exactness of the event engine under
-// mixed-size traffic.
+// caps, beat quantization, cycle-exactness of the event engine under
+// mixed-size traffic, and the functional-engine → timing-model bridge.
 #include <gtest/gtest.h>
 
 #include "packet/headers.hpp"
+#include "sim/timing.hpp"
 #include "sim/traffic.hpp"
+#include "test_util.hpp"
 
 namespace menshen {
 namespace {
@@ -82,6 +84,64 @@ TEST(TimingEngine, AsicPlatformScalesWithClock) {
 
 TEST(Layer1Overhead, TwentyBytesPerFrame) {
   EXPECT_EQ(kLayer1OverheadBytes, 20u);  // preamble+SFD+IFG+FCS accounting
+}
+
+// --- Functional engine → timing model bridge ----------------------------------
+
+// RunFunctionalTimed drives the batched (concurrent) dataplane and prices
+// exactly what it did: sizes and modules come from the trace, filter
+// rejections from the functional verdicts.
+TEST(FunctionalTiming, TimingInputsComeFromTheBatchedEngine) {
+  using namespace test;
+
+  const ModuleAllocation alloc =
+      UniformAllocation(ModuleId(2), 0, params::kNumStages, 0, 8, 0, 32);
+  CompiledModule m = MustCompile(apps::CalcSpec(), alloc);
+  ASSERT_TRUE(apps::InstallCalcEntries(m, 7));
+
+  Dataplane dp(DataplaneConfig{.num_shards = 2});
+  dp.ApplyWrites(m.AllWrites());
+
+  // Two app packets, one untagged packet (filtered: no VLAN).
+  std::vector<Packet> trace;
+  trace.push_back(CalcPacket(2, apps::kCalcOpAdd, 1, 2));
+  trace.push_back(CalcPacket(2, apps::kCalcOpAdd, 3, 4));
+  Packet untagged = PacketBuilder{}.frame_size(64).Build();
+  untagged.bytes().set_u16(offsets::kVlanTpid, kEtherTypeIpv4);  // strip tag
+  ASSERT_FALSE(untagged.has_vlan());
+  trace.push_back(untagged);
+  const std::vector<std::size_t> sizes = {trace[0].size(), trace[1].size(),
+                                          trace[2].size()};
+
+  TimingSimulator sim(CorundumPlatform(), OptimizedTiming());
+  const FunctionalTimingRun run =
+      RunFunctionalTimed(dp, std::move(trace), sim, /*interarrival=*/2);
+
+  ASSERT_EQ(run.packets.size(), 3u);
+  ASSERT_EQ(run.results.size(), 3u);
+  EXPECT_EQ(run.filter_drops, 1u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(run.packets[i].bytes, sizes[i]) << i;
+    EXPECT_EQ(run.packets[i].arrival, static_cast<Cycle>(i) * 2) << i;
+  }
+  EXPECT_EQ(run.packets[0].module, 2u);
+  EXPECT_FALSE(run.packets[0].drop_at_filter);
+  EXPECT_TRUE(run.packets[2].drop_at_filter);
+
+  // The functional results came through in batch order.
+  ASSERT_TRUE(run.results[0].output.has_value());
+  EXPECT_EQ(CalcResult(*run.results[0].output), 3u);
+  ASSERT_TRUE(run.results[1].output.has_value());
+  EXPECT_EQ(CalcResult(*run.results[1].output), 7u);
+  EXPECT_FALSE(run.results[2].output.has_value());
+
+  // And the timing engine resolved every packet: delivered ones leave on
+  // the egress bus, the filtered one only burned a filter slot.
+  EXPECT_TRUE(run.packets[0].delivered);
+  EXPECT_TRUE(run.packets[1].delivered);
+  EXPECT_FALSE(run.packets[2].delivered);
+  for (const SimPacket& p : run.packets) EXPECT_GT(p.done, 0u);
 }
 
 }  // namespace

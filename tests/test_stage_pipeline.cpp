@@ -67,6 +67,45 @@ TEST(Stage, HitExecutesActionMissPassesThrough) {
   EXPECT_GE(pipe.stage(0).misses(), 1u);
 }
 
+TEST(Stage, KeyPlanCacheMatchesReferenceAndInvalidatesOnWrite) {
+  Pipeline pipe;
+  ConfigureIncrementModule(pipe, 1, 0);
+  Stage& stage = pipe.stage(0);
+
+  const Packet pkt = PacketBuilder{}
+                         .vid(ModuleId(1))
+                         .ipv4(0, 0xAABBCCDD)
+                         .udp(1, 999)
+                         .Build();
+  const Phv phv = pipe.parser().Parse(pkt);
+  const auto slots = KeySlots();
+
+  // The cached-plan hot path produces the same masked key as the
+  // reference rebuild (which extracts every slot and then masks).
+  BitVec cached;
+  stage.MaskedKeyInto(phv, cached);
+  EXPECT_EQ(cached, stage.MaskedKeyFor(phv));
+  EXPECT_EQ(cached.field(slots[4].lsb, 16), 999u);
+  EXPECT_EQ(cached.field(slots[2].lsb, 32), 0u);  // masked-out slot skipped
+
+  // Widening the mask to the 1st4B slot must invalidate the plan: the
+  // next build sees the new slot.
+  KeyMaskEntry mask = pipe.stage(0).key_mask().At(1);
+  for (std::size_t b = 0; b < 32; ++b)
+    mask.mask.set_bit(slots[2].lsb + b, true);
+  stage.key_mask().Write(1, mask);
+
+  stage.MaskedKeyInto(phv, cached);
+  EXPECT_EQ(cached, stage.MaskedKeyFor(phv));
+  EXPECT_EQ(cached.field(slots[2].lsb, 32), 0xAABBCCDDu);
+
+  // An all-zero mask collapses the plan to the zero key.
+  stage.key_mask().Write(1, KeyMaskEntry{});
+  stage.MaskedKeyInto(phv, cached);
+  EXPECT_TRUE(cached.is_zero());
+  EXPECT_EQ(cached, stage.MaskedKeyFor(phv));
+}
+
 TEST(Pipeline, TwoModulesSameKeyBitsDifferentBehavior) {
   // Module 1 increments on port 999; module 2 has the same key bits but
   // its action decrements — the module ID in the CAM separates them.

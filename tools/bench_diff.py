@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_throughput.json runs and flag regressions.
+
+Usage: bench_diff.py BASELINE CURRENT [--fail-under PCT]
+
+The file is JSON-lines: {"name": ..., "gbps": ..., "mpps": ...} per row
+(written by bench_fig11_throughput).  Rows fall into two classes:
+
+* fig11*  — deterministic timing-model sweeps.  These must match the
+  baseline almost exactly (1% tolerance for float formatting); any drift
+  means the timing model changed and the baseline must be regenerated
+  deliberately.
+* functional_* — wall-clock measurements of the batched dataplane.
+  These vary with the host, so only a large drop (default 35%) against
+  the committed baseline is flagged.
+
+Exit code 1 if any regression is flagged; new/removed rows are reported
+but not fatal (they accompany intentional bench changes).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            rows[row["name"]] = row
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--fail-under", type=float, default=35.0,
+                    help="flag functional rows that lost more than PCT "
+                         "throughput (default: 35)")
+    ap.add_argument("--sim-tolerance", type=float, default=1.0,
+                    help="allowed drift for simulated fig11 rows in PCT "
+                         "(default: 1)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            print(f"  [gone] {name} (present in baseline only)")
+            continue
+        if b["mpps"] <= 0:
+            continue
+        delta_pct = (c["mpps"] - b["mpps"]) / b["mpps"] * 100.0
+        simulated = name.startswith("fig11")
+        # Simulated rows are deterministic: drift in EITHER direction
+        # means the timing model changed and the baseline must be
+        # regenerated deliberately.  Functional rows are wall-clock and
+        # only fail on a large drop.
+        flagged = (abs(delta_pct) > args.sim_tolerance if simulated
+                   else delta_pct < -args.fail_under)
+        marker = " "
+        if flagged:
+            marker = "!"
+            regressions.append((name, delta_pct))
+        print(f"  [{marker}] {name}: {b['mpps']:.3f} -> {c['mpps']:.3f} Mpps "
+              f"({delta_pct:+.1f}%)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  [new] {name}: {cur[name]['mpps']:.3f} Mpps")
+
+    if regressions:
+        print("\nperf regressions against the committed baseline:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
