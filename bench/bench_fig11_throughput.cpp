@@ -188,21 +188,11 @@ BENCHMARK(BM_TimingSimulator)->Arg(64)->Arg(1500)->Unit(benchmark::kMillisecond)
 }  // namespace menshen
 
 int main(int argc, char** argv) {
-  // Discovery invocations only enumerate benchmarks — skip the figure
-  // sweeps and don't clobber a saved BENCH_throughput.json.
-  bool discovery_only = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0)
-      discovery_only = true;
-
-  if (!discovery_only) {
+  return menshen::bench::BenchMainWithEmit(argc, argv, [] {
     const auto panels = menshen::ComputeFig11Panels();
     menshen::PrintFigure11(panels);
     const auto functional = menshen::FunctionalSweep();
     menshen::PrintFunctional(functional);
     menshen::EmitJson(panels, functional);
-  }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  });
 }

@@ -1,9 +1,18 @@
 // Microbenchmarks of the functional pipeline model itself: how fast this
 // simulator processes packets, and the cost of its hot elements.  (Not a
 // paper figure — throughput of the simulator, quoted in the README.)
+//
+// Besides the interactive google-benchmark suite, main() hand-measures
+// the match-path micro costs and writes BENCH_micro.json (JSON lines of
+// {"name", "ns_per_op"}) — the committed baseline tools/bench_diff.py
+// gates in CI alongside the throughput rows.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "apps/apps.hpp"
+#include "bench_util.hpp"
 #include "config/daisy_chain.hpp"
 #include "dataplane/dataplane.hpp"
 #include "runtime/module_manager.hpp"
@@ -54,15 +63,89 @@ void BM_ParseOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseOnly);
 
+// --- Match-path lookups at full occupancy -------------------------------------
+//
+// The calc module's 3-entry table lets the linear scan early-exit after
+// one compare, so the interesting comparison is a CAM at its hardware
+// depth: 16 valid entries of one module, probing the highest address
+// (the scan's worst case; the hash probes are depth-independent).
+
+const ExactMatchCam& FullCam() {
+  static const ExactMatchCam cam = [] {
+    ExactMatchCam c;
+    for (std::size_t a = 0; a < c.depth(); ++a) {
+      CamEntry e;
+      e.valid = true;
+      e.key = BitVec::FromValue(params::kKeyBits, (a + 1) << 1);
+      e.module = ModuleId(2);
+      c.Write(a, e);
+    }
+    return c;
+  }();
+  return cam;
+}
+
+BitVec FullCamProbeKey() {
+  return BitVec::FromValue(params::kKeyBits, u64{params::kCamDepth} << 1);
+}
+
+const TernaryCam& FullTcam() {
+  static const TernaryCam tcam = [] {
+    TernaryCam t;
+    for (std::size_t a = 0; a < t.depth(); ++a) {
+      TcamEntry e;
+      e.valid = true;
+      e.key = BitVec::FromValue(params::kKeyBits, (a + 1) << 1);
+      e.mask = BitVec::FromValue(params::kKeyBits, 0x3E);
+      // Two modules own the halves: the narrowed scan walks 8 entries
+      // where the linear reference walks 16.
+      e.module = ModuleId(a < t.depth() / 2 ? 2 : 3);
+      t.Write(a, e);
+    }
+    return t;
+  }();
+  return tcam;
+}
+
+void BM_CamLookupLinear(benchmark::State& state) {
+  const auto& cam = FullCam();
+  const BitVec key = FullCamProbeKey();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cam.LookupLinear(key, ModuleId(2)));
+}
+BENCHMARK(BM_CamLookupLinear);
+
 void BM_CamLookup(benchmark::State& state) {
-  Pipeline& pipe = LoadedCalcPipeline();
-  const Phv phv = pipe.parser().Parse(CalcRequest());
-  const BitVec key = pipe.stage(0).MaskedKeyFor(phv);
-  const auto& cam = pipe.stage(0).cam();
+  const auto& cam = FullCam();
+  const BitVec key = FullCamProbeKey();
   for (auto _ : state)
     benchmark::DoNotOptimize(cam.Lookup(key, ModuleId(2)));
 }
 BENCHMARK(BM_CamLookup);
+
+void BM_CamLookupWord(benchmark::State& state) {
+  const auto& cam = FullCam();
+  const u64 key_w0 = FullCamProbeKey().word(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cam.LookupWord(key_w0, ModuleId(2)));
+}
+BENCHMARK(BM_CamLookupWord);
+
+void BM_TcamLookupLinear(benchmark::State& state) {
+  const auto& tcam = FullTcam();
+  const BitVec key = BitVec::FromValue(params::kKeyBits, u64{16} << 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tcam.LookupLinear(key, ModuleId(3)));
+}
+BENCHMARK(BM_TcamLookupLinear);
+
+void BM_TcamLookupNarrowed(benchmark::State& state) {
+  const auto& tcam = FullTcam();
+  const BitVec key = BitVec::FromValue(params::kKeyBits, u64{16} << 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tcam.Lookup(key, ModuleId(3)));
+}
+BENCHMARK(BM_TcamLookupNarrowed);
 
 void BM_KeyExtraction(benchmark::State& state) {
   Pipeline& pipe = LoadedCalcPipeline();
@@ -158,7 +241,104 @@ BENCHMARK(BM_ShardedDataplane10k)
     ->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
+// --- BENCH_micro.json: the committed match-path ns/op baseline ----------------
+
+/// Wall-clock ns/op of `fn` over `iters` iterations, after `warmup`
+/// unmeasured calls (callers that pre-provision per-call resources must
+/// pass their own warmup and size for iters + warmup total calls).
+template <typename Fn>
+double MeasureNs(Fn&& fn, std::size_t iters, std::size_t warmup) {
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto ns = std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return ns / static_cast<double>(iters);
+}
+
+void EmitMicroJson() {
+  Pipeline& pipe = LoadedCalcPipeline();
+  const Phv phv = pipe.parser().Parse(CalcRequest());
+  Stage& stage = pipe.stage(0);
+  const auto& cam = FullCam();
+  const BitVec key = FullCamProbeKey();
+  const u64 key_w0 = key.word(0);
+  const auto& tcam = FullTcam();
+  const BitVec tkey = BitVec::FromValue(params::kKeyBits, u64{16} << 1);
+  const ModuleId m(2);
+  constexpr std::size_t kIters = 2'000'000;
+  constexpr std::size_t kWarmup = kIters / 8;
+
+  struct Row {
+    const char* name;
+    double ns;
+  };
+  BitVec scratch;
+  std::vector<PipelineResult> results;
+  const Packet req = CalcRequest();
+  const Row rows[] = {
+      {"micro_cam_lookup_linear",
+       MeasureNs([&] { benchmark::DoNotOptimize(cam.LookupLinear(key, m)); },
+                 kIters, kWarmup)},
+      {"micro_cam_lookup_indexed",
+       MeasureNs([&] { benchmark::DoNotOptimize(cam.Lookup(key, m)); },
+                 kIters, kWarmup)},
+      {"micro_cam_lookup_word",
+       MeasureNs([&] { benchmark::DoNotOptimize(cam.LookupWord(key_w0, m)); },
+                 kIters, kWarmup)},
+      {"micro_tcam_lookup_linear",
+       MeasureNs(
+           [&] { benchmark::DoNotOptimize(tcam.LookupLinear(tkey, ModuleId(3))); },
+           kIters, kWarmup)},
+      {"micro_tcam_lookup_narrowed",
+       MeasureNs(
+           [&] { benchmark::DoNotOptimize(tcam.Lookup(tkey, ModuleId(3))); },
+           kIters, kWarmup)},
+      {"micro_masked_key_planned", MeasureNs(
+                                       [&] {
+                                         stage.MaskedKeyInto(phv, scratch);
+                                         benchmark::DoNotOptimize(scratch);
+                                       },
+                                       kIters, kWarmup)},
+      {"micro_batched_pipeline_per_pkt", [&] {
+         // The batches are consumed (moved from) by ProcessBatchInto, so
+         // pre-build one per call outside the timed region — the row
+         // measures the pipeline, not 1000 Packet copies per iteration.
+         constexpr std::size_t kCalls = 200;
+         constexpr std::size_t kCallWarmup = 25;
+         std::vector<std::vector<Packet>> pool(
+             kCalls + kCallWarmup, std::vector<Packet>(1000, req));
+         std::size_t next = 0;
+         return MeasureNs(
+                    [&] {
+                      results.clear();
+                      pipe.ProcessBatchInto(std::move(pool.at(next++)),
+                                            results);
+                      benchmark::DoNotOptimize(results);
+                    },
+                    kCalls, kCallWarmup) /
+                1000.0;
+       }()},
+  };
+
+  std::FILE* f = std::fopen("BENCH_micro.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_micro.json\n");
+    return;
+  }
+  std::printf("\nmatch-path micro costs (BENCH_micro.json):\n");
+  for (const Row& r : rows) {
+    std::fprintf(f, "{\"name\": \"%s\", \"ns_per_op\": %.2f}\n", r.name, r.ns);
+    std::printf("  %-32s %8.1f ns/op\n", r.name, r.ns);
+  }
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace menshen
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return menshen::bench::BenchMainWithEmit(argc, argv,
+                                           [] { menshen::EmitMicroJson(); });
+}

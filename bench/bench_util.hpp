@@ -1,6 +1,8 @@
 // Shared formatting helpers for the figure/table benches.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <string>
 
@@ -20,6 +22,23 @@ inline void JsonThroughputLine(std::FILE* f, const std::string& name,
                                double gbps, double mpps) {
   std::fprintf(f, "{\"name\": \"%s\", \"gbps\": %.4f, \"mpps\": %.4f}\n",
                name.c_str(), gbps, mpps);
+}
+
+/// Shared main() body for benches that emit a JSON baseline before the
+/// google-benchmark suite: runs `emit` unless this is a discovery
+/// invocation (--benchmark_list_tests only enumerates benchmarks, and
+/// must not clobber a saved baseline file), then hands over to the
+/// benchmark runner.
+template <typename EmitFn>
+int BenchMainWithEmit(int argc, char** argv, EmitFn&& emit) {
+  bool discovery_only = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0)
+      discovery_only = true;
+  if (!discovery_only) emit();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
 }
 
 }  // namespace menshen::bench

@@ -121,6 +121,26 @@ void BitVec::AndWith(const BitVec& mask) {
     words_[i] &= mask.words_[i];
 }
 
+bool BitVec::EqualsMasked(const BitVec& other, const BitVec& mask) const {
+  if (other.width() != width_ || mask.width() != width_)
+    throw std::invalid_argument("EqualsMasked width mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (((words_[i] ^ other.words_[i]) & mask.words_[i]) != 0) return false;
+  return true;
+}
+
+u64 BitVec::word(std::size_t i) const {
+  if (i >= words_.size())
+    throw std::out_of_range("BitVec word index out of range");
+  return words_[i];
+}
+
+bool BitVec::high_words_zero() const {
+  for (std::size_t i = 1; i < words_.size(); ++i)
+    if (words_[i] != 0) return false;
+  return true;
+}
+
 void BitVec::AssignZero(std::size_t width_bits) {
   width_ = width_bits;
   words_.assign(WordsFor(width_bits), 0);

@@ -53,6 +53,20 @@ class BitVec {
   /// In-place variant of `masked` for allocation-free hot paths.
   void AndWith(const BitVec& mask);
 
+  /// Fused masked compare: true iff `masked(mask) == other.masked(mask)`,
+  /// evaluated word-by-word as ((a ^ b) & m) == 0 with no temporaries —
+  /// the ternary-CAM hot-path compare.  All three widths must match.
+  [[nodiscard]] bool EqualsMasked(const BitVec& other,
+                                  const BitVec& mask) const;
+
+  /// Raw 64-bit storage word `i` (bit 64*i is its LSB).
+  [[nodiscard]] u64 word(std::size_t i) const;
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+
+  /// True iff every set bit lies in word 0 — the key-mask property that
+  /// enables the one-word match fast path.
+  [[nodiscard]] bool high_words_zero() const;
+
   /// Re-initialises to `width_bits` of zeroes, reusing the existing word
   /// storage when wide enough — the scratch-key idiom of the batched
   /// dataplane, which extracts thousands of lookup keys into one BitVec.

@@ -1,0 +1,42 @@
+// Relaxed statistics counters.
+//
+// Hot-path observability counters (CAM lookups/hits and friends) are
+// bumped inside const Lookup methods while shard worker threads process
+// batches, and read by control-plane threads collecting statistics.  A
+// plain `mutable u64` there is a data race under real concurrency; a
+// seq-cst atomic would put a fence in the innermost match loop.  This
+// wrapper is the middle ground: a relaxed std::atomic with value-copy
+// semantics so the structs embedding it stay copyable/movable (pipeline
+// replicas are constructed into vectors).
+//
+// Relaxed ordering is sufficient because these are pure monotonic event
+// counts: readers need "some recent value", never ordering against other
+// memory.  Precise totals are obtained by quiescing (the dataplane's
+// engine lock) before reading, as runtime/stats does.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Add(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] u64 load() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+}  // namespace menshen

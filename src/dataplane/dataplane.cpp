@@ -231,6 +231,24 @@ std::vector<Dataplane::ShardCounters> Dataplane::CountersSnapshot() const {
   return counters_;
 }
 
+std::vector<Dataplane::StageMatchCounters> Dataplane::MatchCountersSnapshot()
+    const {
+  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  std::vector<StageMatchCounters> out;
+  if (shards_.empty()) return out;
+  out.resize(shards_[0].num_stages());
+  for (const Pipeline& shard : shards_) {
+    for (std::size_t i = 0; i < shard.num_stages(); ++i) {
+      const Stage& stage = shard.stage(i);
+      out[i].cam_lookups += stage.cam().lookups();
+      out[i].cam_hits += stage.cam().hits();
+      out[i].tcam_lookups += stage.tcam().lookups();
+      out[i].tcam_hits += stage.tcam().hits();
+    }
+  }
+  return out;
+}
+
 u64 Dataplane::forwarded(ModuleId tenant) const {
   std::lock_guard<std::mutex> engine_lock(engine_mutex_);
   u64 total = 0;

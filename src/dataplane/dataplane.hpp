@@ -158,6 +158,18 @@ class Dataplane {
   /// lock, so it never observes a half-updated batch).
   [[nodiscard]] std::vector<ShardCounters> CountersSnapshot() const;
 
+  /// Per-stage match-path counters, aggregated across every shard
+  /// replica.  The CAM/TCAM counters themselves are relaxed atomics
+  /// (safe against in-flight workers); this accessor quiesces on the
+  /// engine lock anyway so the snapshot is batch-consistent.
+  struct StageMatchCounters {
+    u64 cam_lookups = 0;
+    u64 cam_hits = 0;
+    u64 tcam_lookups = 0;
+    u64 tcam_hits = 0;
+  };
+  [[nodiscard]] std::vector<StageMatchCounters> MatchCountersSnapshot() const;
+
   // Per-tenant view, aggregated across shards.  These quiesce on the
   // engine lock (the per-tenant counters live in the replicas' pipeline
   // state, which workers mutate during a batch), so they are safe to

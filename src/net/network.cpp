@@ -36,52 +36,106 @@ void Network::AttachHost(const PortRef& port, ModuleId vid) {
 std::vector<Delivery> Network::InjectFromHost(const PortRef& port,
                                               Packet packet,
                                               std::size_t max_hops) {
-  const auto hit = hosts_.find(port);
-  if (hit == hosts_.end())
-    throw std::invalid_argument("no host attached at " + port.device + ":" +
-                                std::to_string(port.port));
-  // The vSwitch stamps the tenant's VLAN ID at the network edge; hosts
-  // cannot choose their module ID themselves (section 3.1).
-  packet.set_vid(hit->second);
-  packet.ingress_port = port.port;
+  std::vector<Injection> one;
+  one.push_back(Injection{port, std::move(packet)});
+  return InjectBatch(std::move(one), max_hops);
+}
 
+std::vector<Delivery> Network::InjectBatchFromHost(const PortRef& port,
+                                                   std::vector<Packet> packets,
+                                                   std::size_t max_hops) {
+  std::vector<Injection> injections;
+  injections.reserve(packets.size());
+  for (Packet& p : packets)
+    injections.push_back(Injection{port, std::move(p)});
+  return InjectBatch(std::move(injections), max_hops);
+}
+
+std::vector<Delivery> Network::InjectBatch(std::vector<Injection> injections,
+                                           std::size_t max_hops) {
+  std::vector<Traveler> inflight;
+  inflight.reserve(injections.size());
+  for (Injection& inj : injections) {
+    const auto hit = hosts_.find(inj.port);
+    if (hit == hosts_.end())
+      throw std::invalid_argument("no host attached at " + inj.port.device +
+                                  ":" + std::to_string(inj.port.port));
+    // The vSwitch stamps the tenant's VLAN ID at the network edge; hosts
+    // cannot choose their module ID themselves (section 3.1).
+    inj.packet.set_vid(hit->second);
+    inflight.push_back(Traveler{inj.port, std::move(inj.packet), max_hops});
+  }
   std::vector<Delivery> out;
-  Walk(port, std::move(packet), max_hops, out);
+  RunHops(std::move(inflight), out);
   return out;
 }
 
-void Network::Walk(const PortRef& ingress, Packet packet,
-                   std::size_t hops_left, std::vector<Delivery>& out) {
-  if (hops_left == 0) {
-    ++loop_drops_;
-    return;
-  }
-  Device& dev = device(ingress.device);
-  packet.ingress_port = ingress.port;
-  const PipelineResult result = dev.pipeline().Process(std::move(packet));
-  if (!result.output) return;  // filtered
-  const Packet& processed = *result.output;
+void Network::RunHops(std::vector<Traveler>&& inflight,
+                      std::vector<Delivery>& out) {
+  // Per-hop scratch, reused across hops so the steady state of a large
+  // batch performs no per-packet allocation beyond what the pipeline's
+  // own batched path does.
+  std::vector<Traveler> next;
+  std::map<std::string, std::vector<std::size_t>> by_device;
+  std::vector<Packet> batch;
+  std::vector<std::size_t> budgets;
+  std::vector<PipelineResult> results;
 
-  const auto emit = [&](u16 egress_port, Packet copy) {
-    const PortRef egress{ingress.device, egress_port};
-    const auto lit = links_.find(egress);
-    if (lit == links_.end()) {
-      // Edge port: the packet leaves the network.
-      out.push_back(Delivery{egress, std::move(copy)});
-      return;
+  while (!inflight.empty()) {
+    // Group this hop's travelers into per-device sub-batches.  Device
+    // order is the sorted name order (deterministic), traveler order
+    // within a device is arrival order.
+    by_device.clear();
+    for (std::size_t i = 0; i < inflight.size(); ++i)
+      by_device[inflight[i].at.device].push_back(i);
+
+    next.clear();
+    for (const auto& [name, idxs] : by_device) {
+      Device& dev = device(name);
+      batch.clear();
+      budgets.clear();
+      for (const std::size_t i : idxs) {
+        Traveler& t = inflight[i];
+        if (t.hops_left == 0) {
+          ++loop_drops_;
+          continue;
+        }
+        t.packet.ingress_port = t.at.port;
+        budgets.push_back(t.hops_left - 1);
+        batch.push_back(std::move(t.packet));
+      }
+      if (batch.empty()) continue;
+
+      results.clear();
+      dev.pipeline().ProcessBatchInto(std::move(batch), results);
+      batch.clear();  // moved-from; make the reuse explicit
+
+      for (std::size_t k = 0; k < results.size(); ++k) {
+        if (!results[k].output) continue;  // filtered
+        const Packet& processed = *results[k].output;
+        const auto emit = [&](u16 egress_port, Packet copy) {
+          const PortRef egress{name, egress_port};
+          const auto lit = links_.find(egress);
+          if (lit == links_.end()) {
+            // Edge port: the packet leaves the network.
+            out.push_back(Delivery{egress, std::move(copy)});
+            return;
+          }
+          next.push_back(Traveler{lit->second, std::move(copy), budgets[k]});
+        };
+        switch (processed.disposition) {
+          case Disposition::kDrop:
+            break;
+          case Disposition::kForward:
+            emit(processed.egress_port, processed);
+            break;
+          case Disposition::kMulticast:
+            for (const u16 p : processed.multicast_ports) emit(p, processed);
+            break;
+        }
+      }
     }
-    Walk(lit->second, std::move(copy), hops_left - 1, out);
-  };
-
-  switch (processed.disposition) {
-    case Disposition::kDrop:
-      return;
-    case Disposition::kForward:
-      emit(processed.egress_port, processed);
-      return;
-    case Disposition::kMulticast:
-      for (const u16 p : processed.multicast_ports) emit(p, processed);
-      return;
+    inflight.swap(next);
   }
 }
 

@@ -11,10 +11,13 @@
 //   * hosts sit on edge ports behind a vSwitch, which stamps the
 //     tenant's VLAN ID onto packets entering the network (section 3.1:
 //     "the VID ... we assume is set by the vSwitch");
-//   * InjectFromHost walks a packet hop by hop — each device's pipeline
-//     decides drop/forward/multicast — until it leaves the network at an
-//     edge port or exceeds the hop budget (the runaway guard whose
-//     control-plane counterpart is the routing-loop checker).
+//   * injected packets advance through a batched hop loop: each hop, the
+//     in-flight packets are grouped into per-device sub-batches and run
+//     through Pipeline::ProcessBatchInto — the same scratch-buffer-reusing
+//     hot path the sharded dataplane drives — and each device's verdicts
+//     (drop/forward/multicast) spawn the next hop's travelers, until every
+//     packet leaves at an edge port or exceeds its hop budget (the runaway
+//     guard whose control-plane counterpart is the routing-loop checker).
 #pragma once
 
 #include <map>
@@ -53,6 +56,12 @@ struct Delivery {
   Packet packet;
 };
 
+/// One packet awaiting injection at a host edge port.
+struct Injection {
+  PortRef port;
+  Packet packet;
+};
+
 class Network {
  public:
   /// Adds a device; the name must be unique.
@@ -74,11 +83,35 @@ class Network {
   std::vector<Delivery> InjectFromHost(const PortRef& port, Packet packet,
                                        std::size_t max_hops = 8);
 
+  /// Batched injection from one host port: the whole vector advances
+  /// together through the hop loop, so every device processes one
+  /// sub-batch per hop instead of one packet per call — multi-hop chain
+  /// workloads measure the batched engine, not the per-packet path.
+  /// Deliveries are ordered by hop, then by device name, then by the
+  /// sub-batch order within the device.
+  std::vector<Delivery> InjectBatchFromHost(const PortRef& port,
+                                            std::vector<Packet> packets,
+                                            std::size_t max_hops = 8);
+
+  /// General batched injection: packets may enter at different host
+  /// ports.  Same hop-loop semantics and delivery order as above.
+  std::vector<Delivery> InjectBatch(std::vector<Injection> injections,
+                                    std::size_t max_hops = 8);
+
   [[nodiscard]] u64 loop_drops() const { return loop_drops_; }
 
  private:
-  void Walk(const PortRef& ingress, Packet packet, std::size_t hops_left,
-            std::vector<Delivery>& out);
+  /// One in-flight packet: where it is about to enter, and how many more
+  /// devices it may traverse.
+  struct Traveler {
+    PortRef at;
+    Packet packet;
+    std::size_t hops_left = 0;
+  };
+  /// The batched hop loop: advances every traveler until delivery, drop
+  /// or hop-budget exhaustion, grouping travelers into per-device
+  /// sub-batches each hop.
+  void RunHops(std::vector<Traveler>&& inflight, std::vector<Delivery>& out);
 
   std::map<std::string, std::unique_ptr<Device>> devices_;
   std::map<PortRef, PortRef> links_;

@@ -195,6 +195,25 @@ void KeyExtractorEntry::ExtractKeyInto(const Phv& phv, BitVec& key) const {
   key.set_bit(0, EvalPredicate(cmp_op, cmp_a, cmp_b, phv));
 }
 
+u64 KeyExtractorEntry::ExtractKeyWord0(const Phv& phv, u8 active_slots,
+                                       bool pred_active) const {
+  // Of the six key slots only 2nd4B (lsb 33), 1st2B (lsb 17) and 2nd2B
+  // (lsb 1) place bits inside word 0; they never overlap each other or
+  // the predicate bit.  2nd4B's top bit would land at position 64 and is
+  // shifted out — the qualifying mask has no bit there to keep.
+  const auto slots = KeySlots();
+  u64 w = 0;
+  for (std::size_t i = 3; i < 6; ++i) {
+    if ((active_slots & (1u << i)) == 0) continue;
+    const ContainerRef c{kSlotTypes[i], selectors[i]};
+    w |= phv.Read(c) << slots[i].lsb;
+  }
+  if (pred_active && cmp_op != CmpOp::kNone &&
+      EvalPredicate(cmp_op, cmp_a, cmp_b, phv))
+    w |= 1;
+  return w;
+}
+
 void KeyExtractorEntry::ExtractKeyPartialInto(const Phv& phv, u8 active_slots,
                                               bool pred_active,
                                               BitVec& key) const {
@@ -235,6 +254,11 @@ KeyMaskEntry KeyMaskEntry::Decode(const ByteBuffer& bytes) {
 }
 
 // --- CAM entries -------------------------------------------------------------
+
+void CamEntry::RefreshWordCache() {
+  key_w0 = key.word(0);
+  key_hi_zero = key.high_words_zero();
+}
 
 ByteBuffer CamEntry::Encode() const {
   ByteBuffer out;

@@ -120,6 +120,15 @@ struct KeyExtractorEntry {
   void ExtractKeyPartialInto(const Phv& phv, u8 active_slots,
                              bool pred_active, BitVec& key) const;
 
+  /// One-word fast path: builds word 0 of the raw key (bits [0,64)) as a
+  /// plain u64 — no BitVec storage, no field bounds checks.  Only slots
+  /// whose bit range touches word 0 contribute; bits a slot would place
+  /// at position >= 64 fall off, exactly as the mask that qualified the
+  /// module for this path (no set bit above 63) would zero them.  The
+  /// caller ANDs the result with word 0 of that mask.
+  [[nodiscard]] u64 ExtractKeyWord0(const Phv& phv, u8 active_slots,
+                                    bool pred_active) const;
+
   bool operator==(const KeyExtractorEntry&) const = default;
 };
 
@@ -145,10 +154,23 @@ struct CamEntry {
   bool valid = false;
   BitVec key{params::kKeyBits};
   ModuleId module;
+  // Cached one-word form, filled in by ExactMatchCam::Write (not part of
+  // the wire format): the low 64 key bits, and whether every key bit
+  // above them is zero — i.e. whether this entry is reachable from the
+  // one-word lookup fast path.
+  u64 key_w0 = 0;
+  bool key_hi_zero = false;
 
   [[nodiscard]] ByteBuffer Encode() const;  // 1 valid byte + 26 key bytes
   static CamEntry Decode(const ByteBuffer& bytes);
-  bool operator==(const CamEntry&) const = default;
+  /// Recomputes the cached one-word form from `key`.
+  void RefreshWordCache();
+  /// Compares the stored configuration (valid/key/module); the derived
+  /// word cache is excluded.
+  bool operator==(const CamEntry& other) const {
+    return valid == other.valid && key == other.key &&
+           module == other.module;
+  }
 };
 
 // ---------------------------------------------------------------------------

@@ -4,17 +4,44 @@
 
 namespace menshen {
 
-std::optional<std::size_t> ExactMatchCam::Lookup(const BitVec& key,
-                                                 ModuleId module) const {
-  ++lookups_;
+void ExactMatchCam::CheckKeyWidth(const BitVec& key) const {
   if (key.width() != params::kKeyBits)
     throw std::invalid_argument("CAM key must be 193 bits");
+}
+
+std::optional<std::size_t> ExactMatchCam::Lookup(const BitVec& key,
+                                                 ModuleId module) const {
+  lookups_.Add();
+  CheckKeyWidth(key);
+  const auto mit = index_.find(module.value());
+  if (mit == index_.end()) return std::nullopt;
+  const auto kit = mit->second.find(key);
+  if (kit == mit->second.end()) return std::nullopt;
+  hits_.Add();
+  return kit->second;
+}
+
+std::optional<std::size_t> ExactMatchCam::LookupWord(u64 key_w0,
+                                                     ModuleId module) const {
+  lookups_.Add();
+  const auto mit = word_index_.find(module.value());
+  if (mit == word_index_.end()) return std::nullopt;
+  const auto kit = mit->second.find(key_w0);
+  if (kit == mit->second.end()) return std::nullopt;
+  hits_.Add();
+  return kit->second;
+}
+
+std::optional<std::size_t> ExactMatchCam::LookupLinear(const BitVec& key,
+                                                       ModuleId module) const {
+  lookups_.Add();
+  CheckKeyWidth(key);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const CamEntry& e = entries_[i];
     // The module ID comparison is part of the match itself: the stored
     // entry is (key ++ module) and the search word is (key ++ module).
     if (e.valid && e.module == module && e.key == key) {
-      ++hits_;
+      hits_.Add();
       return i;
     }
   }
@@ -24,7 +51,24 @@ std::optional<std::size_t> ExactMatchCam::Lookup(const BitVec& key,
 void ExactMatchCam::Write(std::size_t address, CamEntry entry) {
   if (address >= entries_.size())
     throw std::out_of_range("CAM address out of range");
+  entry.RefreshWordCache();
   entries_[address] = std::move(entry);
+  RebuildIndex();
+}
+
+void ExactMatchCam::RebuildIndex() {
+  index_.clear();
+  word_index_.clear();
+  // Ascending address order + emplace (first insertion wins) keeps the
+  // lowest address for duplicate (key, module) pairs — the priority the
+  // linear scan implements.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CamEntry& e = entries_[i];
+    if (!e.valid) continue;
+    index_[e.module.value()].emplace(e.key, static_cast<u32>(i));
+    if (e.key_hi_zero)
+      word_index_[e.module.value()].emplace(e.key_w0, static_cast<u32>(i));
+  }
 }
 
 const CamEntry& ExactMatchCam::At(std::size_t address) const {

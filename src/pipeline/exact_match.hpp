@@ -6,12 +6,28 @@
 // module's packets can never match another module's entries even if the
 // key bits collide.  The lookup result (the matching address) indexes the
 // VLIW action table.
+//
+// The data path never scans the array: Write keeps two hash-indexed
+// shadows coherent with the stored entries, and Lookup is a probe —
+//
+//   * a per-module BitVec-keyed index for full 193-bit keys, and
+//   * a per-module u64-keyed index over the entries whose key fits word 0
+//     (every bit above 63 zero), serving the one-word fast path the
+//     stage's key plan compiles when a module's masked key layout fits a
+//     single 64-bit word.
+//
+// Where a module stores the same key at several addresses the indexes
+// hold the lowest one, matching the priority of the hardware scan.  The
+// linear scan itself survives as LookupLinear, the debug/differential
+// reference the randomized match-index test pins the shadows against.
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "common/counters.hpp"
 #include "pipeline/entries.hpp"
 
 namespace menshen {
@@ -25,8 +41,20 @@ class ExactMatchCam {
 
   /// Looks up `key` (already masked by the module's key mask) augmented
   /// with `module`.  Returns the matching address, or nullopt on miss.
+  /// Hash probe against the Write-maintained shadow index.
   [[nodiscard]] std::optional<std::size_t> Lookup(const BitVec& key,
                                                   ModuleId module) const;
+
+  /// One-word fast path: looks up a masked key whose set bits all lie in
+  /// word 0, passed as a plain u64.  Behaviourally identical to Lookup
+  /// with the zero-extended 193-bit key — pure integer hash probe.
+  [[nodiscard]] std::optional<std::size_t> LookupWord(u64 key_w0,
+                                                      ModuleId module) const;
+
+  /// The hardware's linear scan, retained as the debug/differential
+  /// reference for the shadow indexes.  Same counters, same result.
+  [[nodiscard]] std::optional<std::size_t> LookupLinear(const BitVec& key,
+                                                        ModuleId module) const;
 
   void Write(std::size_t address, CamEntry entry);
   [[nodiscard]] const CamEntry& At(std::size_t address) const;
@@ -34,13 +62,24 @@ class ExactMatchCam {
   /// Number of valid entries currently owned by `module`.
   [[nodiscard]] std::size_t CountForModule(ModuleId module) const;
 
-  [[nodiscard]] u64 lookups() const { return lookups_; }
-  [[nodiscard]] u64 hits() const { return hits_; }
+  // Relaxed counters: safe to read while shard workers are mid-batch.
+  [[nodiscard]] u64 lookups() const { return lookups_.load(); }
+  [[nodiscard]] u64 hits() const { return hits_.load(); }
 
  private:
+  void CheckKeyWidth(const BitVec& key) const;
+  /// Rebuilds both shadow indexes from the stored entries (config path
+  /// only; the array is 16 entries deep).
+  void RebuildIndex();
+
   std::vector<CamEntry> entries_;
-  mutable u64 lookups_ = 0;
-  mutable u64 hits_ = 0;
+  // module -> (stored key -> lowest matching address).
+  std::unordered_map<u16, std::unordered_map<BitVec, u32>> index_;
+  // module -> (key word 0 -> lowest matching address), entries with
+  // key_hi_zero only — the reachable set of the one-word fast path.
+  std::unordered_map<u16, std::unordered_map<u64, u32>> word_index_;
+  mutable RelaxedCounter lookups_;
+  mutable RelaxedCounter hits_;
 };
 
 }  // namespace menshen

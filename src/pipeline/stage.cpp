@@ -43,6 +43,10 @@ const Stage::KeyPlan& Stage::PlanFor(std::size_t row) {
       if (mask.field(slots[i].lsb, slots[i].bits) != 0)
         plan.active_slots |= static_cast<u8>(1u << i);
     plan.pred_active = mask.field(0, 1) != 0 && kx.cmp_op != CmpOp::kNone;
+    // The masked key fits one 64-bit word when the mask keeps no bit
+    // above 63 (an all-zero mask qualifies too: the u64 key is just 0).
+    plan.one_word = mask.high_words_zero();
+    plan.word_mask = plan.one_word ? mask.word(0) : 0;
     plan.built_at_version = stamp;
   }
   return plan;
@@ -51,7 +55,13 @@ const Stage::KeyPlan& Stage::PlanFor(std::size_t row) {
 void Stage::MaskedKeyIntoWith(const KeyExtractorEntry& kx,
                               const KeyMaskEntry& mask, const Phv& phv,
                               BitVec& key) {
-  const KeyPlan& plan = PlanFor(key_extractor_.IndexFor(phv.module_id));
+  MaskedKeyWithPlan(kx, mask, PlanFor(key_extractor_.IndexFor(phv.module_id)),
+                    phv, key);
+}
+
+void Stage::MaskedKeyWithPlan(const KeyExtractorEntry& kx,
+                              const KeyMaskEntry& mask, const KeyPlan& plan,
+                              const Phv& phv, BitVec& key) {
   if (plan.skip_extraction) {
     // An all-zero mask (no table configured for this module in this
     // stage) forces the masked key — predicate bit included — to zero
@@ -73,9 +83,24 @@ void Stage::MaskedKeyInto(const Phv& phv, BitVec& key) {
 void Stage::ProcessInPlace(Phv& phv) {
   const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
   const KeyMaskEntry& mask = key_mask_.Lookup(phv.module_id);
-  MaskedKeyIntoWith(kx, mask, phv, key_scratch_);
-  const auto address = kx.ternary ? tcam_.Lookup(key_scratch_, phv.module_id)
-                                  : cam_.Lookup(key_scratch_, phv.module_id);
+  std::optional<std::size_t> address;
+  const KeyPlan& plan = PlanFor(key_extractor_.IndexFor(phv.module_id));
+  if (!kx.ternary && plan.one_word) {
+    // One-word fast path: the module's masked key layout fits word 0, so
+    // the key is extracted straight into a u64 and the CAM lookup is an
+    // integer hash probe.  Byte-identical to the wide path below (pinned
+    // by the randomized match-index differential test).
+    const u64 key = plan.skip_extraction
+                        ? 0
+                        : (kx.ExtractKeyWord0(phv, plan.active_slots,
+                                              plan.pred_active) &
+                           plan.word_mask);
+    address = cam_.LookupWord(key, phv.module_id);
+  } else {
+    MaskedKeyWithPlan(kx, mask, plan, phv, key_scratch_);
+    address = kx.ternary ? tcam_.Lookup(key_scratch_, phv.module_id)
+                         : cam_.Lookup(key_scratch_, phv.module_id);
+  }
   if (!address) {
     ++misses_;
     return;  // miss: default action is a no-op, PHV passes unchanged

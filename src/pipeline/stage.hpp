@@ -87,8 +87,18 @@ class Stage {
     bool skip_extraction = false;    // all-zero mask: key is forced to zero
     u8 active_slots = 0;             // bit i: slot i survives the mask
     bool pred_active = false;        // mask keeps bit 0 and a CmpOp is set
+    // One-word fast path: every kept mask bit lies in key word 0, so the
+    // masked key is fully described by a u64 and exact-match lookup is an
+    // integer hash probe (ExactMatchCam::LookupWord) — no BitVec build.
+    bool one_word = false;
+    u64 word_mask = 0;  // mask word 0 (valid when one_word)
   };
   [[nodiscard]] const KeyPlan& PlanFor(std::size_t row);
+  /// MaskedKeyIntoWith body for callers that already hold the plan (the
+  /// in-place hot path fetches it once per packet for the one-word
+  /// check and must not pay a second overlay IndexFor/PlanFor here).
+  void MaskedKeyWithPlan(const KeyExtractorEntry& kx, const KeyMaskEntry& mask,
+                         const KeyPlan& plan, const Phv& phv, BitVec& key);
 
   OverlayTable<KeyExtractorEntry> key_extractor_;
   OverlayTable<KeyMaskEntry> key_mask_;

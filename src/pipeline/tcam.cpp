@@ -48,12 +48,36 @@ TcamEntry TcamEntry::Decode(const ByteBuffer& bytes) {
 
 std::optional<std::size_t> TernaryCam::Lookup(const BitVec& key,
                                               ModuleId module) const {
+  lookups_.Add();
+  if (key.width() != params::kKeyBits)
+    throw std::invalid_argument("TCAM key must be 193 bits");
+  const auto sit = spans_.find(module.value());
+  if (sit == spans_.end()) return std::nullopt;  // module owns no entries
+  const Span span = sit->second;
+  for (std::size_t i = span.lo; i <= span.hi; ++i) {
+    const TcamEntry& e = entries_[i];
+    entries_scanned_.Add();
+    if (!e.valid || e.module != module) continue;
+    if (key.EqualsMasked(e.key, e.mask)) {
+      hits_.Add();
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TernaryCam::LookupLinear(const BitVec& key,
+                                                    ModuleId module) const {
+  lookups_.Add();
   if (key.width() != params::kKeyBits)
     throw std::invalid_argument("TCAM key must be 193 bits");
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const TcamEntry& e = entries_[i];
     if (!e.valid || e.module != module) continue;
-    if (key.masked(e.mask) == e.key.masked(e.mask)) return i;
+    if (key.masked(e.mask) == e.key.masked(e.mask)) {
+      hits_.Add();
+      return i;
+    }
   }
   return std::nullopt;
 }
@@ -62,6 +86,23 @@ void TernaryCam::Write(std::size_t address, TcamEntry entry) {
   if (address >= entries_.size())
     throw std::out_of_range("TCAM address out of range");
   entries_[address] = std::move(entry);
+  RebuildSpans();
+}
+
+void TernaryCam::RebuildSpans() {
+  // Config path only: rederives each module's valid-entry span from the
+  // stored entries.  With the allocator's contiguous per-module regions
+  // the span IS the allocated region's occupied part; entries written
+  // outside a contiguous block simply widen that module's span.
+  spans_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const TcamEntry& e = entries_[i];
+    if (!e.valid) continue;
+    const auto [it, inserted] =
+        spans_.try_emplace(e.module.value(),
+                           Span{static_cast<u32>(i), static_cast<u32>(i)});
+    if (!inserted) it->second.hi = static_cast<u32>(i);
+  }
 }
 
 const TcamEntry& TernaryCam::At(std::size_t address) const {

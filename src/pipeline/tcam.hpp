@@ -13,10 +13,12 @@
 
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitvec.hpp"
 #include "common/bytes.hpp"
+#include "common/counters.hpp"
 #include "pipeline/entries.hpp"
 
 namespace menshen {
@@ -39,15 +41,45 @@ class TernaryCam {
 
   [[nodiscard]] std::size_t depth() const { return entries_.size(); }
 
-  /// Lowest-address match wins (Xilinx CAM priority mode).
+  /// Lowest-address match wins (Xilinx CAM priority mode).  The scan is
+  /// restricted to the address span holding the caller module's valid
+  /// entries (maintained by Write) — a packet's lookup never walks the
+  /// regions other modules own — and each candidate is compared with one
+  /// fused word-level masked compare (BitVec::EqualsMasked).
   [[nodiscard]] std::optional<std::size_t> Lookup(const BitVec& key,
                                                   ModuleId module) const;
+
+  /// The full-depth scan with per-entry masked temporaries, retained as
+  /// the debug/differential reference for the narrowed lookup.
+  [[nodiscard]] std::optional<std::size_t> LookupLinear(const BitVec& key,
+                                                        ModuleId module) const;
 
   void Write(std::size_t address, TcamEntry entry);
   [[nodiscard]] const TcamEntry& At(std::size_t address) const;
 
+  // Relaxed counters: safe to read while shard workers are mid-batch.
+  [[nodiscard]] u64 lookups() const { return lookups_.load(); }
+  [[nodiscard]] u64 hits() const { return hits_.load(); }
+  /// Entries examined by Lookup since construction — the region-narrowing
+  /// invariant tests pin this (a module's lookups cost at most the size
+  /// of its own span, not the CAM depth).
+  [[nodiscard]] u64 entries_scanned() const {
+    return entries_scanned_.load();
+  }
+
  private:
+  /// Inclusive address span [lo, hi] of one module's valid entries.
+  struct Span {
+    u32 lo = 0;
+    u32 hi = 0;
+  };
+  void RebuildSpans();
+
   std::vector<TcamEntry> entries_;
+  std::unordered_map<u16, Span> spans_;
+  mutable RelaxedCounter lookups_;
+  mutable RelaxedCounter hits_;
+  mutable RelaxedCounter entries_scanned_;
 };
 
 /// Contiguous address-region allocator for per-module TCAM isolation.

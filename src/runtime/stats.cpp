@@ -1,5 +1,6 @@
 #include "runtime/stats.hpp"
 
+#include <cstdio>
 #include <map>
 
 namespace menshen {
@@ -97,6 +98,12 @@ DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
     t.dropped = dp.dropped(tenant);
     s.tenants.push_back(t);
   }
+  const auto match = dp.MatchCountersSnapshot();
+  for (std::size_t i = 0; i < match.size(); ++i)
+    s.match_stages.push_back(StageMatchStats{i, match[i].cam_lookups,
+                                             match[i].cam_hits,
+                                             match[i].tcam_lookups,
+                                             match[i].tcam_hits});
   return s;
 }
 
@@ -121,6 +128,20 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
     out += "  tenant " + std::to_string(t.tenant.value()) + " @ shard " +
            std::to_string(t.shard) + ": fwd " + std::to_string(t.forwarded) +
            ", drop " + std::to_string(t.dropped) + "\n";
+  for (const StageMatchStats& m : s.match_stages) {
+    if (m.cam_lookups == 0 && m.tcam_lookups == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  stage %zu match: cam %llu/%llu (%.1f%%), tcam %llu/%llu"
+                  " (%.1f%%)\n",
+                  m.stage, static_cast<unsigned long long>(m.cam_hits),
+                  static_cast<unsigned long long>(m.cam_lookups),
+                  100.0 * m.cam_hit_ratio(),
+                  static_cast<unsigned long long>(m.tcam_hits),
+                  static_cast<unsigned long long>(m.tcam_lookups),
+                  100.0 * m.tcam_hit_ratio());
+    out += line;
+  }
   return out;
 }
 

@@ -64,9 +64,36 @@ struct TenantStats {
   u64 dropped = 0;
 };
 
+/// One pipeline stage's match-path counters, aggregated across shard
+/// replicas.  Lookups count CAM probes (exact: indexed or one-word;
+/// ternary: narrowed scan); the hit ratio is the operator's view of how
+/// much traffic actually matches per stage.
+struct StageMatchStats {
+  std::size_t stage = 0;
+  u64 cam_lookups = 0;
+  u64 cam_hits = 0;
+  u64 tcam_lookups = 0;
+  u64 tcam_hits = 0;
+
+  [[nodiscard]] double cam_hit_ratio() const {
+    return cam_lookups == 0
+               ? 0.0
+               : static_cast<double>(cam_hits) /
+                     static_cast<double>(cam_lookups);
+  }
+  [[nodiscard]] double tcam_hit_ratio() const {
+    return tcam_lookups == 0
+               ? 0.0
+               : static_cast<double>(tcam_hits) /
+                     static_cast<double>(tcam_lookups);
+  }
+};
+
 struct DataplaneStats {
   std::vector<ShardStats> shards;
   std::vector<TenantStats> tenants;  // sorted by tenant ID
+  /// Per-stage match-path counters, aggregated across shards.
+  std::vector<StageMatchStats> match_stages;
   u64 total_packets = 0;
   u64 writes_broadcast = 0;
   /// Committed configuration epoch (bumped by Dataplane::CommitEpoch).

@@ -101,6 +101,42 @@ TEST(TernaryCam, ModuleIdAppendedToTernaryRules) {
   EXPECT_EQ(tcam.Lookup(Key(0x42), ModuleId(2)), std::nullopt);
 }
 
+TEST(ExactMatchCam, ShadowIndexTracksOverwrites) {
+  // The hash shadow must follow every mutation of the stored entries:
+  // overwriting an address with a new key forgets the old mapping.
+  ExactMatchCam cam;
+  cam.Write(3, Entry(0x10, 1));
+  EXPECT_EQ(cam.Lookup(Key(0x10), ModuleId(1)), 3u);
+  cam.Write(3, Entry(0x20, 1));
+  EXPECT_EQ(cam.Lookup(Key(0x10), ModuleId(1)), std::nullopt);
+  EXPECT_EQ(cam.Lookup(Key(0x20), ModuleId(1)), 3u);
+  // Ownership changes reindex too.
+  cam.Write(3, Entry(0x20, 2));
+  EXPECT_EQ(cam.Lookup(Key(0x20), ModuleId(1)), std::nullopt);
+  EXPECT_EQ(cam.Lookup(Key(0x20), ModuleId(2)), 3u);
+}
+
+TEST(ExactMatchCam, WordProbeMatchesWideLookupForOneWordKeys) {
+  ExactMatchCam cam;
+  cam.Write(2, Entry(0xAB, 1));
+  EXPECT_EQ(cam.LookupWord(0xAB, ModuleId(1)), 2u);
+  EXPECT_EQ(cam.LookupWord(0xAB, ModuleId(2)), std::nullopt);
+  EXPECT_EQ(cam.LookupWord(0xAC, ModuleId(1)), std::nullopt);
+  // The counters count word probes like any other lookup.
+  EXPECT_EQ(cam.lookups(), 3u);
+  EXPECT_EQ(cam.hits(), 1u);
+}
+
+TEST(ExactMatchCam, LinearReferenceAgreesWithIndex) {
+  ExactMatchCam cam;
+  cam.Write(1, Entry(0x42, 7));
+  cam.Write(5, Entry(0x42, 8));
+  for (const u16 m : {7, 8, 9}) {
+    EXPECT_EQ(cam.Lookup(Key(0x42), ModuleId(m)),
+              cam.LookupLinear(Key(0x42), ModuleId(m)));
+  }
+}
+
 TEST(TcamAllocator, ContiguousRegions) {
   TcamAllocator alloc(16);
   const auto a = alloc.Allocate(ModuleId(1), 4);

@@ -331,6 +331,16 @@ TEST(Dataplane, StatsAggregatePerShardAndPerTenant) {
   const std::string dump = DumpDataplaneStats(dp);
   EXPECT_NE(dump.find("3 shard(s)"), std::string::npos);
   EXPECT_NE(dump.find("tenant 2"), std::string::npos);
+
+  // Per-stage match-path counters: every forwarded calc packet probed
+  // stage 0's exact-match CAM on some replica, and the hit ratio is a
+  // valid fraction.
+  ASSERT_EQ(stats.match_stages.size(), params::kNumStages);
+  EXPECT_GT(stats.match_stages[0].cam_lookups, 0u);
+  EXPECT_GT(stats.match_stages[0].cam_hits, 0u);
+  EXPECT_GE(stats.match_stages[0].cam_hit_ratio(), 0.0);
+  EXPECT_LE(stats.match_stages[0].cam_hit_ratio(), 1.0);
+  EXPECT_NE(dump.find("match: cam"), std::string::npos);
 }
 
 }  // namespace

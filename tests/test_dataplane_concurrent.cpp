@@ -262,8 +262,17 @@ TEST(DataplaneConcurrent, EpochCommitMidRunNeverTearsAcrossBatches) {
   std::atomic<int> a_batches{0};
   std::atomic<int> b_batches{0};
 
+  // The liveness assertions below (both images observed) must hold under
+  // any scheduling, including a loaded CI host where one thread can lap
+  // the other: both loops therefore pace against observed progress — the
+  // data thread keeps processing (up to a generous cap) until it has seen
+  // both images, and the control thread keeps flipping images until then.
+  constexpr int kMaxBatches = 20 * kBatches;
   std::thread data([&] {
-    for (int b = 0; b < kBatches; ++b) {
+    for (int b = 0; (b < kBatches || a_batches.load() == 0 ||
+                     b_batches.load() == 0) &&
+                    b < kMaxBatches;
+         ++b) {
       std::vector<Packet> batch;
       batch.reserve(kPerBatch);
       for (std::size_t i = 0; i < kPerBatch; ++i)
@@ -294,7 +303,10 @@ TEST(DataplaneConcurrent, EpochCommitMidRunNeverTearsAcrossBatches) {
   });
 
   std::thread control([&] {
-    for (int c = 0; c < kCommits && !data_done; ++c) {
+    for (int c = 0; (c < kCommits || a_batches.load() == 0 ||
+                     b_batches.load() == 0) &&
+                    !data_done;
+         ++c) {
       dp.StageWrites((c % 2 == 0) ? EpochImage(7, 70) : EpochImage(100, 10));
       dp.CommitEpoch();
       std::this_thread::yield();

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "runtime/module_manager.hpp"
 #include "test_util.hpp"
 
@@ -121,8 +123,68 @@ module mc {
   const auto out = net.InjectFromHost(
       {"s1", 1}, PacketBuilder{}.udp(1, 80).Build());
   ASSERT_EQ(out.size(), 2u);  // one copy at s1:4 (edge), one via s2:9
-  EXPECT_EQ(out[0].at, (PortRef{"s2", 9}));
-  EXPECT_EQ(out[1].at, (PortRef{"s1", 4}));
+  // The hop loop delivers by hop: the s1:4 edge copy leaves at hop 1,
+  // the copy that continues through s2 leaves at hop 2.
+  EXPECT_EQ(out[0].at, (PortRef{"s1", 4}));
+  EXPECT_EQ(out[1].at, (PortRef{"s2", 9}));
+}
+
+TEST(Network, BatchedInjectionMatchesPerPacketWalks) {
+  // The batched hop loop must deliver exactly what per-packet injection
+  // delivers: same edge ports, same packet bytes, same loop drops — only
+  // the grouping into per-device sub-batches differs.
+  const auto build = [] {
+    Network net;
+    InstallForwarder(net.AddDevice("s1"), 5, 0, {{80, 2}, {81, 3}});
+    InstallForwarder(net.AddDevice("s2"), 5, 0, {{80, 4}});
+    InstallForwarder(net.AddDevice("s3"), 5, 0, {{81, 5}});
+    net.Link({"s1", 2}, {"s2", 1});
+    net.Link({"s1", 3}, {"s3", 1});
+    net.AttachHost({"s1", 1}, ModuleId(5));
+    return net;
+  };
+
+  std::vector<Packet> trace;
+  for (int i = 0; i < 64; ++i)
+    trace.push_back(
+        PacketBuilder{}.udp(static_cast<u16>(i), i % 2 ? 80 : 81).Build());
+
+  Network per_packet = build();
+  std::vector<Delivery> ref;
+  for (const Packet& p : trace) {
+    auto one = per_packet.InjectFromHost({"s1", 1}, p);
+    for (auto& d : one) ref.push_back(std::move(d));
+  }
+
+  Network batched = build();
+  const auto out = batched.InjectBatchFromHost({"s1", 1}, trace);
+
+  ASSERT_EQ(out.size(), ref.size());
+  // Delivery order differs (per-hop vs per-packet), so compare as
+  // multisets of (port, bytes).
+  const auto key = [](const Delivery& d) {
+    return d.at.device + ":" + std::to_string(d.at.port) + "/" +
+           std::to_string(d.packet.bytes().u16_at(40));  // UDP dst port
+  };
+  std::multiset<std::string> want, got;
+  for (const auto& d : ref) want.insert(key(d));
+  for (const auto& d : out) got.insert(key(d));
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(batched.loop_drops(), per_packet.loop_drops());
+}
+
+TEST(Network, BatchedInjectionCountsLoopDrops) {
+  Network net;
+  InstallForwarder(net.AddDevice("s1"), 5, 0, {{80, 2}});
+  InstallForwarder(net.AddDevice("s2"), 5, 0, {{80, 1}});
+  net.Link({"s1", 2}, {"s2", 1});
+  net.AttachHost({"s1", 1}, ModuleId(5));
+
+  std::vector<Packet> looping(8, PacketBuilder{}.udp(1, 80).Build());
+  const auto out =
+      net.InjectBatchFromHost({"s1", 1}, std::move(looping), /*max_hops=*/5);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(net.loop_drops(), 8u);
 }
 
 TEST(Network, VidRewriteAttackCrossesDevices) {

@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_throughput.json runs and flag regressions.
+"""Diff two bench JSON runs and flag regressions.
 
-Usage: bench_diff.py BASELINE CURRENT [--fail-under PCT]
+Usage: bench_diff.py BASELINE CURRENT [--fail-under PCT] [--micro-fail-over PCT]
 
-The file is JSON-lines: {"name": ..., "gbps": ..., "mpps": ...} per row
-(written by bench_fig11_throughput).  Rows fall into two classes:
+Both files are JSON-lines.  Two record shapes are understood:
 
-* fig11*  — deterministic timing-model sweeps.  These must match the
-  baseline almost exactly (1% tolerance for float formatting); any drift
-  means the timing model changed and the baseline must be regenerated
-  deliberately.
-* functional_* — wall-clock measurements of the batched dataplane.
-  These vary with the host, so only a large drop (default 35%) against
-  the committed baseline is flagged.
+* {"name": ..., "gbps": ..., "mpps": ...} — throughput rows (written by
+  bench_fig11_throughput and appended to by bench_netchain).  Rows fall
+  into two classes:
+    - fig11*  — deterministic timing-model sweeps.  These must match the
+      baseline almost exactly (1% tolerance for float formatting); any
+      drift means the timing model changed and the baseline must be
+      regenerated deliberately.
+    - everything else (functional_*, netchain_*) — wall-clock
+      measurements of the batched engine.  These vary with the host, so
+      only a large drop (default 35%) against the committed baseline is
+      flagged.
+
+* {"name": ..., "ns_per_op": ...} — match-path micro costs (written by
+  bench_pipeline_micro into BENCH_micro.json).  Lower is better; a row
+  is flagged when ns/op grew by more than --micro-fail-over percent
+  (default 80% — wide enough for shared-runner noise, tight enough to
+  catch an accidental return to the linear scan, which is 3-4x).
 
 Exit code 1 if any regression is flagged; new/removed rows are reported
 but not fatal (they accompany intentional bench changes).
@@ -40,11 +49,14 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--fail-under", type=float, default=35.0,
-                    help="flag functional rows that lost more than PCT "
-                         "throughput (default: 35)")
+                    help="flag functional throughput rows that lost more "
+                         "than PCT throughput (default: 35)")
     ap.add_argument("--sim-tolerance", type=float, default=1.0,
                     help="allowed drift for simulated fig11 rows in PCT "
                          "(default: 1)")
+    ap.add_argument("--micro-fail-over", type=float, default=80.0,
+                    help="flag micro rows whose ns/op grew by more than "
+                         "PCT (default: 80)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -55,6 +67,24 @@ def main():
         c = cur.get(name)
         if c is None:
             print(f"  [gone] {name} (present in baseline only)")
+            continue
+        if "ns_per_op" in b:
+            # Micro row: wall-clock ns/op, lower is better.
+            if "ns_per_op" not in c:
+                print(f"  [?] {name}: row shape changed "
+                      f"(baseline ns_per_op, current lacks it)")
+                continue
+            if b["ns_per_op"] <= 0:
+                print(f"  [?] {name}: non-positive baseline ns/op, skipped")
+                continue
+            delta_pct = ((c["ns_per_op"] - b["ns_per_op"])
+                         / b["ns_per_op"] * 100.0)
+            flagged = delta_pct > args.micro_fail_over
+            marker = "!" if flagged else " "
+            if flagged:
+                regressions.append((name, delta_pct))
+            print(f"  [{marker}] {name}: {b['ns_per_op']:.1f} -> "
+                  f"{c['ns_per_op']:.1f} ns/op ({delta_pct:+.1f}%)")
             continue
         if b["mpps"] <= 0:
             continue
@@ -73,7 +103,11 @@ def main():
         print(f"  [{marker}] {name}: {b['mpps']:.3f} -> {c['mpps']:.3f} Mpps "
               f"({delta_pct:+.1f}%)")
     for name in sorted(set(cur) - set(base)):
-        print(f"  [new] {name}: {cur[name]['mpps']:.3f} Mpps")
+        row = cur[name]
+        if "ns_per_op" in row:
+            print(f"  [new] {name}: {row['ns_per_op']:.1f} ns/op")
+        else:
+            print(f"  [new] {name}: {row['mpps']:.3f} Mpps")
 
     if regressions:
         print("\nperf regressions against the committed baseline:")
