@@ -1,0 +1,194 @@
+// Async ingress benchmark: N producer threads submitting batch tickets
+// into the per-shard MPSC rings vs the single-dispatcher baseline.
+//
+// The old engine funneled every batch through one ProcessBatch caller —
+// the front-end bottleneck the ingress subsystem removes.  Here the same
+// four-tenant calc workload is driven (a) by one dispatcher thread
+// calling ProcessBatch in a loop, and (b) by four producer threads, each
+// owning one tenant, submitting tickets asynchronously with a small
+// in-flight window.  The ratio is the measured multi-producer ingress
+// speedup on this host (≈1 on a single-core container; ≥2x expected on a
+// multi-core host, where the scatter work itself parallelizes).  A queue
+// depth sweep shows how much in-flight buffering the rings need before
+// backpressure stops mattering.
+//
+// Appends `ingress_*` rows to BENCH_throughput.json (run after
+// bench_fig11_throughput, which creates the file) for the CI perf gate.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "bench_util.hpp"
+#include "dataplane/dataplane.hpp"
+#include "sim/traffic.hpp"
+
+namespace menshen {
+namespace {
+
+constexpr std::size_t kFrameBytes = 96;
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kTicketPackets = 1024;
+constexpr std::size_t kTicketsPerProducer = 48;
+constexpr std::size_t kWindow = 4;  // in-flight tickets per producer
+
+void InstallTenants(Dataplane& dp) {
+  for (u16 vid = 2; vid <= 5; ++vid) {
+    const std::size_t slot = vid - 2;
+    ModuleAllocation alloc =
+        UniformAllocation(ModuleId(vid), 0, params::kNumStages, slot * 4, 4,
+                          static_cast<u8>(slot * 32), 32);
+    CompiledModule m = Compile(apps::CalcSpec(), alloc);
+    apps::InstallCalcEntries(m, static_cast<u16>(10 + slot));
+    dp.ApplyWrites(m.AllWrites());
+  }
+}
+
+struct IngressPoint {
+  std::string name;
+  double mpps = 0.0;
+  double l2_gbps = 0.0;
+};
+
+IngressPoint FinishPoint(std::string name, std::size_t packets,
+                         double seconds) {
+  IngressPoint p;
+  p.name = std::move(name);
+  p.mpps = static_cast<double>(packets) / seconds / 1e6;
+  p.l2_gbps = p.mpps * 1e6 * static_cast<double>(kFrameBytes) * 8.0 / 1e9;
+  return p;
+}
+
+/// Baseline: one dispatcher thread, synchronous ProcessBatch — every
+/// batch rendezvouses with the caller before the next one starts.
+IngressPoint MeasureSingleDispatcher() {
+  Dataplane dp(DataplaneConfig{.num_shards = kShards, .worker_threads = true});
+  InstallTenants(dp);
+  const std::vector<Packet> trace = GenerateTenantMix(
+      {{2, kFrameBytes, 1.0},
+       {3, kFrameBytes, 1.0},
+       {4, kFrameBytes, 1.0},
+       {5, kFrameBytes, 1.0}},
+      kTicketPackets);
+  {
+    std::vector<Packet> warm = trace;
+    (void)dp.ProcessBatch(std::move(warm));
+  }
+  constexpr std::size_t kBatches = kTicketsPerProducer * 4;
+  std::vector<std::vector<Packet>> batches(kBatches, trace);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < kBatches; ++b)
+    benchmark::DoNotOptimize(dp.ProcessBatch(std::move(batches[b])));
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return FinishPoint("ingress_96B_1disp", kBatches * kTicketPackets, seconds);
+}
+
+/// Four producers, one tenant each, submitting tickets with a bounded
+/// in-flight window through the per-shard MPSC rings.
+IngressPoint MeasureProducers(std::size_t producers,
+                              std::size_t queue_depth) {
+  Dataplane dp(DataplaneConfig{.num_shards = kShards,
+                               .worker_threads = true,
+                               .ingress_queue_depth = queue_depth});
+  InstallTenants(dp);
+
+  std::vector<std::vector<Packet>> traces;
+  for (std::size_t p = 0; p < producers; ++p)
+    traces.push_back(GenerateTenantMix(
+        {{static_cast<u16>(2 + (p % 4)), kFrameBytes, 1.0}}, kTicketPackets));
+  {
+    std::vector<Packet> warm = traces[0];
+    (void)dp.ProcessBatch(std::move(warm));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      std::deque<std::future<std::vector<PipelineResult>>> window;
+      for (std::size_t t = 0; t < kTicketsPerProducer; ++t) {
+        BatchTicket ticket;
+        ticket.batch = traces[p];
+        window.push_back(dp.Submit(std::move(ticket)));
+        while (window.size() >= kWindow) {
+          benchmark::DoNotOptimize(window.front().get());
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        benchmark::DoNotOptimize(window.front().get());
+        window.pop_front();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return FinishPoint(
+      "ingress_96B_" + std::to_string(producers) + "prod_d" +
+          std::to_string(queue_depth),
+      producers * kTicketsPerProducer * kTicketPackets, seconds);
+}
+
+void RunAndEmit() {
+  const IngressPoint base = MeasureSingleDispatcher();
+  std::vector<IngressPoint> pts{base};
+  for (const std::size_t depth : {std::size_t{16}, std::size_t{64},
+                                  std::size_t{256}})
+    pts.push_back(MeasureProducers(4, depth));
+
+  bench::Header("Async ingress — N producers vs 1 dispatcher "
+                "(queue-depth sweep)");
+  std::printf("%-32s %12s %12s\n", "config", "L2 (Gb/s)", "rate (Mpps)");
+  for (const IngressPoint& p : pts)
+    std::printf("%-32s %12.3f %12.3f\n", p.name.c_str(), p.l2_gbps, p.mpps);
+  double best = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    best = std::max(best, pts[i].mpps);
+  std::printf("aggregate 4-producer speedup over 1 dispatcher: %.2fx "
+              "(%zu hardware threads)\n",
+              best / base.mpps,
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  std::FILE* f = std::fopen("BENCH_throughput.json", "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot append to BENCH_throughput.json\n");
+    return;
+  }
+  for (const IngressPoint& p : pts)
+    bench::JsonThroughputLine(f, p.name, p.l2_gbps, p.mpps);
+  std::fclose(f);
+  bench::Note("\nappended ingress rows to BENCH_throughput.json");
+}
+
+void BM_SubmitWindowed(benchmark::State& state) {
+  Dataplane dp(DataplaneConfig{.num_shards = kShards, .worker_threads = true});
+  InstallTenants(dp);
+  const std::vector<Packet> trace = GenerateTenantMix(
+      {{2, kFrameBytes, 1.0}, {3, kFrameBytes, 1.0}}, kTicketPackets);
+  for (auto _ : state) {
+    BatchTicket ticket;
+    ticket.batch = trace;
+    benchmark::DoNotOptimize(dp.Submit(std::move(ticket)).get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kTicketPackets));
+}
+BENCHMARK(BM_SubmitWindowed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace menshen
+
+int main(int argc, char** argv) {
+  return menshen::bench::BenchMainWithEmit(argc, argv,
+                                           [] { menshen::RunAndEmit(); });
+}

@@ -1,0 +1,100 @@
+#include "common/task_pool.hpp"
+
+namespace menshen {
+
+TaskPool::TaskPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::DrainTasks(std::uint64_t generation) {
+  // Claims happen under the mutex and are generation-tagged, so a worker
+  // that wakes late (or loops past the last task) can never touch a task
+  // vector RunAll has already abandoned: either the generation moved on,
+  // tasks_ was cleared, or every index is claimed.  Tasks are coarse
+  // (whole per-device sub-batches), so the per-claim lock is noise.
+  for (;;) {
+    std::function<void()>* fn = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (generation_ != generation || tasks_ == nullptr ||
+          next_ >= tasks_->size())
+        return;
+      fn = &(*tasks_)[next_++];
+    }
+    // The claimed task keeps unfinished_ > 0, which keeps RunAll (and
+    // therefore the vector) alive until the call returns.
+    try {
+      (*fn)();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(m_);
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t generation = 0;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      work_cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation = generation_;
+    }
+    DrainTasks(generation);
+  }
+}
+
+void TaskPool::RunAll(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    // Inline mode: no threads, still honors the first-error contract.
+    std::exception_ptr err;
+    for (auto& t : tasks) {
+      try {
+        t();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    tasks_ = &tasks;
+    next_ = 0;
+    unfinished_ = tasks.size();
+    first_error_ = nullptr;
+    generation = ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates: on a host with fewer cores than devices the
+  // section still completes without oversubscription stalls.
+  DrainTasks(generation);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [&] { return unfinished_ == 0; });
+    err = first_error_;
+    tasks_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace menshen

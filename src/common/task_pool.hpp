@@ -1,0 +1,57 @@
+// Minimal fork/join task pool for coarse-grained parallel sections.
+//
+// The network substrate's hop loop hands each device's per-hop sub-batch
+// to one task; tasks of one RunAll call run concurrently on persistent
+// worker threads and RunAll returns when every task finished (the first
+// task exception, if any, is rethrown).  This is deliberately a barrier
+// pool, not a queueing executor: the hop loop's next iteration depends on
+// every device's verdicts, so fork/join is the natural shape — the
+// continuous-pull machinery lives in the dataplane's ingress queues, not
+// here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace menshen {
+
+class TaskPool {
+ public:
+  /// `threads` = 0 makes RunAll run tasks inline (no worker threads).
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs every task, possibly concurrently, and returns when all have
+  /// finished.  The calling thread participates, so RunAll makes
+  /// progress even on a single-core host.  Not reentrant.
+  void RunAll(std::vector<std::function<void()>>& tasks);
+
+ private:
+  void WorkerLoop();
+  /// Claims (under the mutex, generation-tagged) and runs tasks of
+  /// `generation` until exhausted or the generation moves on.
+  void DrainTasks(std::uint64_t generation);
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;  // guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::size_t next_ = 0;
+  std::size_t unfinished_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace menshen

@@ -1,5 +1,6 @@
 #include "dataplane/dataplane.hpp"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -17,142 +18,297 @@ u64 MixTenantId(u64 x) {
   return x ^ (x >> 31);
 }
 
+// Packets without a VLAN tag carry no tenant ID (dropped identically by
+// any replica's filter); this sentinel keeps them out of the per-tenant
+// counters.
+constexpr u16 kNoVid = 0xFFFF;
+
 }  // namespace
 
-Dataplane::Dataplane(DataplaneConfig cfg) {
-  if (cfg.num_shards == 0) {
+// --- Engine gates --------------------------------------------------------------
+
+class Dataplane::ExclusiveGate {
+ public:
+  explicit ExclusiveGate(const Dataplane& dp) : dp_(dp) {
+    dp_.exclusive_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    dp_.engine_mutex_.lock();
+    dp_.exclusive_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  ~ExclusiveGate() { dp_.engine_mutex_.unlock(); }
+  ExclusiveGate(const ExclusiveGate&) = delete;
+  ExclusiveGate& operator=(const ExclusiveGate&) = delete;
+
+ private:
+  const Dataplane& dp_;
+};
+
+class Dataplane::SharedGate {
+ public:
+  explicit SharedGate(const Dataplane& dp) : dp_(dp) {
+    // Back off while a writer waits: pthread rwlocks prefer readers by
+    // default, and a continuous submit load must not starve CommitEpoch.
+    while (dp_.exclusive_waiting_.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+    dp_.engine_mutex_.lock_shared();
+  }
+  ~SharedGate() { dp_.engine_mutex_.unlock_shared(); }
+  SharedGate(const SharedGate&) = delete;
+  SharedGate& operator=(const SharedGate&) = delete;
+
+ private:
+  const Dataplane& dp_;
+};
+
+// --- Construction / teardown ---------------------------------------------------
+
+Dataplane::Dataplane(DataplaneConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_shards == 0) {
     // Auto-scale: one replica per hardware thread (at least one — the
     // standard leaves hardware_concurrency free to return 0).
-    cfg.num_shards =
+    cfg_.num_shards =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  shards_.reserve(cfg.num_shards);
-  for (std::size_t i = 0; i < cfg.num_shards; ++i)
-    shards_.emplace_back(cfg.timing, cfg.reconfig_on_data_path);
-  counters_.resize(cfg.num_shards);
-  shard_batches_.resize(cfg.num_shards);
-  shard_indices_.resize(cfg.num_shards);
-  shard_results_.resize(cfg.num_shards);
-  shard_errors_.resize(cfg.num_shards);
+  if (cfg_.ingress_queue_depth < 2) cfg_.ingress_queue_depth = 2;
 
   steering_ = std::vector<std::atomic<u32>>(ModuleId::kMax + 1);
   for (auto& s : steering_) s.store(kNoSteering, std::memory_order_relaxed);
+  tenant_forwarded_.resize(ModuleId::kMax + 1);
+  tenant_dropped_.resize(ModuleId::kMax + 1);
 
-  if (cfg.worker_threads && cfg.num_shards >= 2) {
-    workers_.reserve(cfg.num_shards);
-    for (std::size_t s = 0; s < cfg.num_shards; ++s)
-      workers_.emplace_back([this, s] { WorkerLoop(s); });
-  }
+  for (std::size_t s = 0; s < cfg_.num_shards; ++s) AddShardLocked();
+  num_shards_.store(cfg_.num_shards, std::memory_order_release);
 }
 
 Dataplane::~Dataplane() {
-  {
-    std::lock_guard<std::mutex> lk(work_mutex_);
-    stopping_ = true;
+  // Drain first so no ticket is abandoned with a broken promise, then
+  // stop every worker.
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  for (std::size_t s = 0; s < shard_ctx_.size(); ++s) StopWorkerLocked(s);
+}
+
+void Dataplane::AddShardLocked() {
+  const std::size_t s = shards_.size();
+  Pipeline& replica = shards_.emplace_back(cfg_.timing,
+                                           cfg_.reconfig_on_data_path);
+  // A replica born after traffic started must carry the same
+  // configuration as its siblings: replay the log (last write per
+  // resource address).
+  for (const auto& [key, write] : config_log_) replica.ApplyWrite(write);
+  shard_ctx_.push_back(
+      std::make_unique<ShardContext>(cfg_.ingress_queue_depth));
+  if (cfg_.worker_threads) {
+    ShardContext* ctx = shard_ctx_.back().get();
+    ctx->worker = std::thread([this, ctx, s] { WorkerLoop(ctx, s); });
+    workers_running_.fetch_add(1, std::memory_order_acq_rel);
   }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+}
+
+void Dataplane::StopWorkerLocked(std::size_t s) {
+  ShardContext& ctx = *shard_ctx_[s];
+  if (!ctx.worker.joinable()) return;
+  {
+    std::lock_guard<std::mutex> g(ctx.m);
+    ctx.stop.store(true, std::memory_order_seq_cst);
+  }
+  ctx.cv.notify_all();
+  ctx.worker.join();
+  workers_running_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// --- Steering ------------------------------------------------------------------
+
+std::size_t Dataplane::ShardForLocked(ModuleId tenant,
+                                      std::size_t shard_count) const {
+  const u32 steered =
+      steering_[tenant.value()].load(std::memory_order_acquire);
+  if (steered != kNoSteering && steered < shard_count) return steered;
+  return MixTenantId(tenant.value()) % shard_count;
 }
 
 std::size_t Dataplane::ShardFor(ModuleId tenant) const {
-  const u32 steered =
-      steering_[tenant.value()].load(std::memory_order_acquire);
-  if (steered != kNoSteering) return steered;
-  return MixTenantId(tenant.value()) % shards_.size();
+  return ShardForLocked(tenant, num_shards());
 }
 
-void Dataplane::RunShard(std::size_t s) {
-  if (shard_batches_[s].empty()) return;
-  shards_[s].ProcessBatchInto(std::move(shard_batches_[s]),
-                              shard_results_[s]);
+// --- Ingress: submit / scatter / workers ---------------------------------------
 
-  ShardCounters& c = counters_[s];
-  ++c.batches;
-  c.packets += shard_results_[s].size();
-  // forwarded/dropped/filtered are disjoint: they sum to packets.
-  for (const PipelineResult& r : shard_results_[s]) {
-    if (r.filter_verdict == FilterVerdict::kDropBitmap) {
-      ++c.dropped;
-    } else if (r.filter_verdict != FilterVerdict::kData) {
-      ++c.filtered;
-    } else if (r.output && r.output->disposition == Disposition::kDrop) {
-      ++c.dropped;
-    } else {
-      ++c.forwarded;
-    }
+std::future<std::vector<PipelineResult>> Dataplane::Submit(
+    BatchTicket&& ticket) {
+  auto state = std::make_shared<ingress::TicketState>();
+  state->results.resize(ticket.batch.size());
+  state->on_complete = std::move(ticket.on_complete);
+  std::future<std::vector<PipelineResult>> fut = state->promise.get_future();
+  if (cfg_.worker_threads) {
+    // Async engine: hold the engine shared only for the scatter+enqueue
+    // window, so producers run concurrently with each other and with the
+    // shard workers.
+    SharedGate gate(*this);
+    ScatterAndDispatch(std::move(ticket), state, /*inline_run=*/false);
+  } else {
+    // Sequential reference engine: the submitting thread runs every
+    // shard's sub-batch itself, serialized against everything else.
+    ExclusiveGate gate(*this);
+    ScatterAndDispatch(std::move(ticket), state, /*inline_run=*/true);
   }
-}
-
-void Dataplane::WorkerLoop(std::size_t s) {
-  u64 seen_generation = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lk(work_mutex_);
-      work_cv_.wait(lk, [&] {
-        return stopping_ || work_generation_ != seen_generation;
-      });
-      if (stopping_) return;
-      seen_generation = work_generation_;
-    }
-    try {
-      RunShard(s);
-    } catch (...) {
-      shard_errors_[s] = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lk(work_mutex_);
-      if (--workers_outstanding_ == 0) done_cv_.notify_one();
-    }
-  }
+  // Drop the submitter's ticket reference only after the gate above is
+  // released: when this is the last reference (inline mode, or every
+  // worker already finished its slice), the completion — including the
+  // user's on_complete callback — must not run while this thread holds
+  // the engine.
+  state->FinishOneShard();
+  return fut;
 }
 
 std::vector<PipelineResult> Dataplane::ProcessBatch(
     std::vector<Packet>&& batch) {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  std::vector<PipelineResult> out(batch.size());
+  BatchTicket ticket;
+  ticket.batch = std::move(batch);
+  return Submit(std::move(ticket)).get();
+}
 
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    shard_batches_[s].clear();
-    shard_indices_[s].clear();
-    shard_results_[s].clear();
-    shard_errors_[s] = nullptr;
-  }
+void Dataplane::ScatterAndDispatch(
+    BatchTicket&& ticket, const std::shared_ptr<ingress::TicketState>& state,
+    bool inline_run) {
+  const std::size_t shard_count = shards_.size();
+  std::vector<ingress::ShardWork> works(shard_count);
 
   // Scatter: steer each packet to its tenant's shard, keeping arrival
   // order within the shard (and therefore within each tenant).  Packets
   // without a VLAN tag carry no tenant ID; any shard's filter drops them
   // identically, so they go to shard 0.
+  std::vector<Packet>& batch = ticket.batch;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const std::size_t s =
-        batch[i].has_vlan() ? ShardFor(batch[i].vid()) : 0;
-    shard_indices_[s].push_back(i);
-    shard_batches_[s].push_back(std::move(batch[i]));
+        batch[i].has_vlan() ? ShardForLocked(batch[i].vid(), shard_count) : 0;
+    works[s].indices.push_back(i);
+    works[s].packets.push_back(std::move(batch[i]));
   }
 
-  if (workers_.empty()) {
-    // Sequential reference path (single shard or worker_threads off).
-    for (std::size_t s = 0; s < shards_.size(); ++s) RunShard(s);
-  } else {
-    // Fork: one generation bump wakes every worker; each runs its own
-    // shard's sub-batch.  Join: the last worker to finish signals back.
-    std::unique_lock<std::mutex> lk(work_mutex_);
-    workers_outstanding_ = workers_.size();
-    ++work_generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lk, [&] { return workers_outstanding_ == 0; });
-  }
-  for (const std::exception_ptr& err : shard_errors_)
-    if (err) std::rethrow_exception(err);
+  std::size_t involved = 0;
+  for (const ingress::ShardWork& w : works)
+    if (!w.packets.empty()) ++involved;
+  // +1: the submitter holds one reference until every shard is enqueued,
+  // so a fast worker cannot complete the ticket mid-dispatch.  This also
+  // makes an empty batch complete (with empty results) right here.
+  state->shards_pending.store(involved + 1, std::memory_order_relaxed);
 
-  // Gather: results return in the caller's original batch order.
-  for (std::size_t s = 0; s < shards_.size(); ++s)
-    for (std::size_t k = 0; k < shard_results_[s].size(); ++k)
-      out[shard_indices_[s][k]] = std::move(shard_results_[s][k]);
-  return out;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (works[s].packets.empty()) continue;
+    works[s].ticket = state;
+    if (inline_run) {
+      ExecuteWork(s, works[s]);
+      continue;
+    }
+    ShardContext& ctx = *shard_ctx_[s];
+    // Backpressure: a full ring parks the producer, not the queue memory.
+    while (!ctx.queue.TryPush(std::move(works[s])))
+      std::this_thread::yield();
+    // Doorbell: ring only when the worker may be parked.  The seq_cst
+    // pairing with the worker's park sequence guarantees that if the
+    // worker saw an empty ring, we see parked == true here (or it sees
+    // our push) — a wakeup is never lost.
+    if (ctx.parked.load(std::memory_order_seq_cst)) {
+      { std::lock_guard<std::mutex> g(ctx.m); }
+      ctx.cv.notify_one();
+    }
+  }
+  // The submitter's own +1 reference is released by Submit, outside the
+  // engine gate.
 }
+
+void Dataplane::WorkerLoop(ShardContext* ctx, std::size_t s) {
+  ingress::ShardWork work;
+  for (;;) {
+    // busy spans the pop and the execution, so the drain path's
+    // (empty ring && !busy) check never declares an in-flight sub-batch
+    // quiescent.
+    ctx->busy.store(true, std::memory_order_seq_cst);
+    if (ctx->queue.TryPop(work)) {
+      ExecuteWork(s, work);
+      work = ingress::ShardWork{};
+      ctx->busy.store(false, std::memory_order_seq_cst);
+      continue;
+    }
+    ctx->busy.store(false, std::memory_order_seq_cst);
+
+    std::unique_lock<std::mutex> lk(ctx->m);
+    ctx->parked.store(true, std::memory_order_seq_cst);
+    ctx->cv.wait(lk, [&] {
+      return ctx->stop.load(std::memory_order_relaxed) || !ctx->queue.empty();
+    });
+    ctx->parked.store(false, std::memory_order_seq_cst);
+    if (ctx->stop.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
+  ShardContext& ctx = *shard_ctx_[s];
+
+  // Input VIDs, snapshotted before processing: modules may rewrite the
+  // VID in the packet bytes, but accounting follows the ingress tenant.
+  ctx.vids.clear();
+  ctx.vids.reserve(work.packets.size());
+  for (const Packet& p : work.packets)
+    ctx.vids.push_back(p.has_vlan() ? p.vid().value() : kNoVid);
+
+  ctx.results.clear();
+  try {
+    shards_[s].ProcessBatchInto(std::move(work.packets), ctx.results);
+  } catch (...) {
+    work.ticket->RecordError(std::current_exception());
+    work.ticket->FinishOneShard();
+    return;
+  }
+
+  ctx.batches.Add(1);
+  ctx.packets.Add(ctx.results.size());
+  // forwarded/dropped/filtered are disjoint: they sum to packets.  The
+  // per-tenant counters mirror Pipeline's own accounting so the relaxed
+  // stats path agrees with the exact one whenever the engine is quiet.
+  for (std::size_t k = 0; k < ctx.results.size(); ++k) {
+    const PipelineResult& r = ctx.results[k];
+    const u16 vid = ctx.vids[k];
+    if (r.filter_verdict == FilterVerdict::kDropBitmap) {
+      ctx.dropped.Add(1);
+      if (vid != kNoVid) tenant_dropped_[vid].Add(1);
+    } else if (r.filter_verdict != FilterVerdict::kData) {
+      ctx.filtered.Add(1);
+    } else if (r.output && r.output->disposition == Disposition::kDrop) {
+      ctx.dropped.Add(1);
+      if (vid != kNoVid) tenant_dropped_[vid].Add(1);
+    } else {
+      ctx.forwarded.Add(1);
+      if (vid != kNoVid) tenant_forwarded_[vid].Add(1);
+    }
+  }
+
+  // Gather: this shard's results land at their original batch positions.
+  // Distinct shards write disjoint index sets; the shards_pending
+  // decrement publishes them to whichever thread completes the ticket.
+  for (std::size_t k = 0; k < ctx.results.size(); ++k)
+    work.ticket->results[work.indices[k]] = std::move(ctx.results[k]);
+  work.ticket->FinishOneShard();
+}
+
+void Dataplane::DrainLocked() const {
+  // Caller holds the engine exclusively: no producer can enqueue, so
+  // every ring drains monotonically and every worker goes idle.
+  for (const auto& ctx : shard_ctx_) {
+    while (!ctx->queue.empty() || ctx->busy.load(std::memory_order_seq_cst))
+      std::this_thread::yield();
+  }
+}
+
+// --- Epoched configuration -----------------------------------------------------
 
 void Dataplane::BroadcastLocked(const ConfigWrite& write) {
   for (Pipeline& shard : shards_) shard.ApplyWrite(write);
+  // Last write per resource address wins: the log is what a replica born
+  // later (ResizeShards growth) replays to catch up.
+  const u32 key = (static_cast<u32>(write.kind) << 16) |
+                  (static_cast<u32>(write.stage) << 8) |
+                  static_cast<u32>(write.index);
+  config_log_[key] = write;
   writes_broadcast_.fetch_add(1, std::memory_order_release);
 }
 
@@ -179,28 +335,30 @@ u64 Dataplane::CommitEpoch() {
     std::lock_guard<std::mutex> lk(pending_mutex_);
     writes.swap(pending_writes_);
   }
-  // Quiesce: acquiring the engine lock means no batch is in flight, so
-  // the whole write set lands between batches — never inside one.
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  // Quiesce: exclude new submissions and drain every ring, so the whole
+  // write set lands between sub-batches — never inside one.
+  ExclusiveGate gate(*this);
+  DrainLocked();
   for (const ConfigWrite& w : writes) BroadcastLocked(w);
   return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 void Dataplane::ApplyWrite(const ConfigWrite& write) {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  ExclusiveGate gate(*this);
+  DrainLocked();
   BroadcastLocked(write);
 }
 
 void Dataplane::ApplyWrites(const std::vector<ConfigWrite>& writes) {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+  ExclusiveGate gate(*this);
+  DrainLocked();
   for (const ConfigWrite& w : writes) BroadcastLocked(w);
 }
 
-bool Dataplane::MigrateTenant(ModuleId tenant, std::size_t to_shard) {
-  if (to_shard >= shards_.size())
-    throw std::out_of_range("migration targets nonexistent shard");
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  const std::size_t from = ShardFor(tenant);
+// --- Migration / dynamic shard count -------------------------------------------
+
+bool Dataplane::MigrateTenantLocked(ModuleId tenant, std::size_t to_shard) {
+  const std::size_t from = ShardForLocked(tenant, shards_.size());
   if (from == to_shard) return false;
 
   // Configuration is replicated on every shard, so only the tenant's
@@ -226,18 +384,121 @@ bool Dataplane::MigrateTenant(ModuleId tenant, std::size_t to_shard) {
   return true;
 }
 
-std::vector<Dataplane::ShardCounters> Dataplane::CountersSnapshot() const {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  return counters_;
+bool Dataplane::MigrateTenant(ModuleId tenant, std::size_t to_shard) {
+  ExclusiveGate gate(*this);
+  if (to_shard >= shards_.size())
+    throw std::out_of_range("migration targets nonexistent shard");
+  DrainLocked();
+  return MigrateTenantLocked(tenant, to_shard);
 }
 
-std::vector<Dataplane::StageMatchCounters> Dataplane::MatchCountersSnapshot()
+std::size_t Dataplane::ResizeShards(std::size_t new_count) {
+  if (new_count == 0)
+    new_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // A resize is an epoch boundary: staged writes committed here land on
+  // every replica, old and new, at the same quiesce point.
+  std::vector<ConfigWrite> writes;
+  {
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    writes.swap(pending_writes_);
+  }
+  ExclusiveGate gate(*this);
+  DrainLocked();
+
+  const std::size_t old_count = shards_.size();
+  if (new_count != old_count) {
+    // Pin every active tenant's current placement before the hash
+    // denominator changes: an unpinned tenant's default shard would
+    // silently move, stranding its stateful segments.
+    for (const Pipeline& shard : shards_)
+      for (const ModuleId t : shard.ActiveModules())
+        steering_[t.value()].store(
+            static_cast<u32>(ShardForLocked(t, old_count)),
+            std::memory_order_release);
+
+    if (new_count > old_count) {
+      for (std::size_t s = old_count; s < new_count; ++s) AddShardLocked();
+    } else {
+      // Evacuate dying shards: every steering entry pointing past the new
+      // count is migrated (state moves with it) onto a surviving shard.
+      for (std::size_t v = 0; v < steering_.size(); ++v) {
+        const u32 steered = steering_[v].load(std::memory_order_relaxed);
+        if (steered == kNoSteering || steered < new_count) continue;
+        MigrateTenantLocked(ModuleId(static_cast<u16>(v)),
+                            MixTenantId(v) % new_count);
+      }
+      // Fold the dying replicas' counters into the retired aggregates so
+      // the exact per-tenant and total accessors stay monotonic.
+      for (std::size_t s = new_count; s < old_count; ++s) {
+        for (const ModuleId m : shards_[s].ActiveModules()) {
+          retired_forwarded_[m.value()] += shards_[s].forwarded(m);
+          retired_dropped_[m.value()] += shards_[s].dropped(m);
+        }
+        retired_packets_ += shard_ctx_[s]->packets.load();
+      }
+      for (std::size_t s = new_count; s < old_count; ++s) StopWorkerLocked(s);
+      shard_ctx_.resize(new_count);
+      while (shards_.size() > new_count) shards_.pop_back();
+    }
+    num_shards_.store(new_count, std::memory_order_release);
+    resizes_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  for (const ConfigWrite& w : writes) BroadcastLocked(w);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return shards_.size();
+}
+
+// --- Statistics ----------------------------------------------------------------
+
+Dataplane::ShardCounters Dataplane::ShardCountersLocked(std::size_t i) const {
+  const ShardContext& ctx = *shard_ctx_.at(i);
+  ShardCounters c;
+  c.batches = ctx.batches.load();
+  c.packets = ctx.packets.load();
+  c.forwarded = ctx.forwarded.load();
+  c.dropped = ctx.dropped.load();
+  c.filtered = ctx.filtered.load();
+  return c;
+}
+
+Dataplane::ShardCounters Dataplane::shard_counters(std::size_t i) const {
+  // Shared gate: pins the shard set against ResizeShards without ever
+  // draining traffic.
+  SharedGate gate(*this);
+  return ShardCountersLocked(i);
+}
+
+std::vector<Dataplane::ShardCounters> Dataplane::CountersSnapshot() const {
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  std::vector<ShardCounters> out;
+  out.reserve(shard_ctx_.size());
+  for (std::size_t i = 0; i < shard_ctx_.size(); ++i)
+    out.push_back(ShardCountersLocked(i));
+  return out;
+}
+
+std::vector<Dataplane::ShardCounters> Dataplane::CountersSnapshotRelaxed()
     const {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  std::vector<StageMatchCounters> out;
-  if (shards_.empty()) return out;
-  out.resize(shards_[0].num_stages());
-  for (const Pipeline& shard : shards_) {
+  // Shared gate: serializes only against ResizeShards (shard set stable),
+  // never against traffic — producers also hold the gate shared.
+  SharedGate gate(*this);
+  std::vector<ShardCounters> out;
+  out.reserve(shard_ctx_.size());
+  for (std::size_t i = 0; i < shard_ctx_.size(); ++i)
+    out.push_back(ShardCountersLocked(i));
+  return out;
+}
+
+namespace {
+
+std::vector<Dataplane::StageMatchCounters> GatherMatchCounters(
+    const std::deque<Pipeline>& shards) {
+  std::vector<Dataplane::StageMatchCounters> out;
+  if (shards.empty()) return out;
+  out.resize(shards.front().num_stages());
+  for (const Pipeline& shard : shards) {
     for (std::size_t i = 0; i < shard.num_stages(); ++i) {
       const Stage& stage = shard.stage(i);
       out[i].cam_lookups += stage.cam().lookups();
@@ -249,35 +510,116 @@ std::vector<Dataplane::StageMatchCounters> Dataplane::MatchCountersSnapshot()
   return out;
 }
 
-u64 Dataplane::forwarded(ModuleId tenant) const {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  u64 total = 0;
+}  // namespace
+
+std::vector<Dataplane::StageMatchCounters> Dataplane::MatchCountersSnapshot()
+    const {
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  return GatherMatchCounters(shards_);
+}
+
+std::vector<Dataplane::StageMatchCounters>
+Dataplane::MatchCountersSnapshotRelaxed() const {
+  // The CAM/TCAM counters are relaxed atomics, safe to read while
+  // workers probe them; the shared gate only pins the shard set.
+  SharedGate gate(*this);
+  return GatherMatchCounters(shards_);
+}
+
+u64 Dataplane::ForwardedLocked(ModuleId tenant) const {
+  const auto it = retired_forwarded_.find(tenant.value());
+  u64 total = it == retired_forwarded_.end() ? 0 : it->second;
   for (const Pipeline& shard : shards_) total += shard.forwarded(tenant);
   return total;
 }
 
-u64 Dataplane::dropped(ModuleId tenant) const {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  u64 total = 0;
+u64 Dataplane::DroppedLocked(ModuleId tenant) const {
+  const auto it = retired_dropped_.find(tenant.value());
+  u64 total = it == retired_dropped_.end() ? 0 : it->second;
   for (const Pipeline& shard : shards_) total += shard.dropped(tenant);
   return total;
 }
 
-std::vector<ModuleId> Dataplane::ActiveTenants() const {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+u64 Dataplane::forwarded(ModuleId tenant) const {
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  return ForwardedLocked(tenant);
+}
+
+u64 Dataplane::dropped(ModuleId tenant) const {
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  return DroppedLocked(tenant);
+}
+
+u64 Dataplane::forwarded_relaxed(ModuleId tenant) const {
+  return tenant_forwarded_[tenant.value()].load();
+}
+
+u64 Dataplane::dropped_relaxed(ModuleId tenant) const {
+  return tenant_dropped_[tenant.value()].load();
+}
+
+std::vector<ModuleId> Dataplane::ActiveTenantsLocked() const {
   std::set<u16> ids;
   for (const Pipeline& shard : shards_)
     for (const ModuleId m : shard.ActiveModules()) ids.insert(m.value());
+  for (const auto& [id, count] : retired_forwarded_)
+    if (count != 0) ids.insert(id);
+  for (const auto& [id, count] : retired_dropped_)
+    if (count != 0) ids.insert(id);
   std::vector<ModuleId> out;
   out.reserve(ids.size());
   for (const u16 id : ids) out.emplace_back(id);
   return out;
 }
 
+std::vector<ModuleId> Dataplane::ActiveTenants() const {
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  return ActiveTenantsLocked();
+}
+
+Dataplane::QuiescedStats Dataplane::QuiescedStatsSnapshot() const {
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  QuiescedStats s;
+  s.shards.reserve(shard_ctx_.size());
+  s.total_packets = retired_packets_;
+  for (std::size_t i = 0; i < shard_ctx_.size(); ++i) {
+    s.shards.push_back(ShardCountersLocked(i));
+    s.total_packets += s.shards.back().packets;
+  }
+  s.match_stages = GatherMatchCounters(shards_);
+  for (const ModuleId tenant : ActiveTenantsLocked())
+    s.tenants.push_back(TenantCounts{tenant,
+                                     ShardForLocked(tenant, shards_.size()),
+                                     ForwardedLocked(tenant),
+                                     DroppedLocked(tenant)});
+  return s;
+}
+
+std::vector<ModuleId> Dataplane::ActiveTenantsRelaxed() const {
+  std::vector<ModuleId> out;
+  for (std::size_t v = 0; v < tenant_forwarded_.size(); ++v)
+    if (tenant_forwarded_[v].load() != 0 || tenant_dropped_[v].load() != 0)
+      out.emplace_back(static_cast<u16>(v));
+  return out;
+}
+
 u64 Dataplane::total_packets() const {
-  std::lock_guard<std::mutex> engine_lock(engine_mutex_);
-  u64 total = 0;
-  for (const ShardCounters& c : counters_) total += c.packets;
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  u64 total = retired_packets_;
+  for (const auto& ctx : shard_ctx_) total += ctx->packets.load();
+  return total;
+}
+
+u64 Dataplane::total_packets_relaxed() const {
+  SharedGate gate(*this);
+  u64 total = retired_packets_;
+  for (const auto& ctx : shard_ctx_) total += ctx->packets.load();
   return total;
 }
 

@@ -1,13 +1,24 @@
 // Concurrent, epoch-versioned batched dataplane front-end.
 //
 // Scales the single functional Pipeline the way line-rate software
-// dataplanes do (cf. NDN-DPDK's forwarding threads): packets are
-// processed in batches, and the work is sharded across N replicated
-// Pipeline instances, each pinned to a persistent worker thread.
+// dataplanes do (cf. NDN-DPDK's per-forwarding-thread input queues):
+// packets are processed in batches, and the work is sharded across N
+// replicated Pipeline instances, each pinned to a persistent worker
+// thread that pulls work from its own bounded MPSC submission queue.
 //
-//   batch ──scatter──▶ per-shard sub-batches ──▶ worker threads run
-//   Pipeline::ProcessBatchInto concurrently ──gather──▶ results in the
-//   caller's original batch order (byte-identical to the sequential path).
+//   producer threads ──Submit(BatchTicket)──▶ per-shard MPSC rings
+//        │  (scatter: tenant → shard, lock-free enqueue)
+//        ▼
+//   shard workers pop sub-batches continuously, run
+//   Pipeline::ProcessBatchInto, and write results into the ticket's
+//   gather array; the last shard to finish completes the ticket
+//   (future + optional callback) in the caller's original batch order.
+//
+// There is no dispatcher thread and no per-batch fork/join rendezvous:
+// any number of producers submit concurrently, and a shard only ever
+// waits when it has no work.  ProcessBatch remains as a submit+wait
+// wrapper, byte-identical to the old path (pinned by the differential
+// tests).
 //
 // The shard for a packet is chosen by a tenant→shard steering table
 // (defaulting to a hash of the tenant's VLAN/module ID), so
@@ -22,28 +33,43 @@
 //     of the tenant's stateful segments.
 //
 // Configuration changes flow through quiesced epochs: writes staged with
-// StageWrite() accumulate in a pending set, and CommitEpoch() drains the
-// in-flight batch, broadcasts the whole set to every replica, and bumps
-// the epoch counter (exposed via runtime/stats).  A batch therefore never
-// observes a partially applied write set — the paper's non-disruptive
-// reconfiguration property, now under real concurrency.  The legacy
-// ApplyWrite() broadcast remains as an immediate (still quiesced)
-// single-write path.
+// StageWrite() accumulate in a pending set, and CommitEpoch() excludes
+// new submissions, drains every shard queue, broadcasts the whole set to
+// every replica, and bumps the epoch counter (exposed via runtime/stats).
+// A batch therefore never observes a partially applied write set — the
+// paper's non-disruptive reconfiguration property, now under real
+// concurrency.  ResizeShards() reuses the same quiesce machinery to grow
+// or shrink the replica set at an epoch boundary: new replicas replay the
+// configuration log, steering is pinned so no tenant is silently
+// re-homed, and tenants on dying shards are migrated off (state moves
+// with them) before their workers join.
 //
-// Threading contract: ProcessBatch is serialized against itself and
-// against every configuration/steering mutation by an internal engine
-// lock, so one dispatcher thread and any number of control-plane threads
-// (staging writes, committing epochs, rebalancing, reading stats) may run
-// concurrently.
+// Threading contract: Submit/ProcessBatch may be called from any number
+// of producer threads concurrently with each other and with control-plane
+// operations.  Mutations (CommitEpoch, ApplyWrite, MigrateTenant,
+// ResizeShards) and the exact statistics accessors take the engine
+// exclusively and drain in-flight work first (the quiesce barrier); the
+// *_relaxed statistics accessors never quiesce — they read monotonic
+// relaxed counters and are meant for a periodic control-plane tick that
+// must not stall ingress (runtime/controller).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/counters.hpp"
+#include "ingress/batch_ticket.hpp"
+#include "ingress/mpsc_queue.hpp"
 #include "pipeline/config_write.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -55,10 +81,15 @@ struct DataplaneConfig {
   std::size_t num_shards = 1;
   PipelineTiming timing = OptimizedTiming();
   bool reconfig_on_data_path = true;
-  /// Run shards on persistent per-shard worker threads.  With false (or a
-  /// single shard) the shards run sequentially on the calling thread —
-  /// the reference path the concurrent engine is pinned against.
+  /// Run shards on persistent per-shard worker threads consuming MPSC
+  /// submission queues (the async ingress engine).  With false the
+  /// shards run sequentially on the submitting thread — the reference
+  /// path the concurrent engine is pinned against.
   bool worker_threads = true;
+  /// Capacity of each shard's ingress ring (rounded up to a power of
+  /// two).  A full ring backpressures the submitting producer (it
+  /// yields and retries), bounding queue memory.
+  std::size_t ingress_queue_depth = 64;
 };
 
 class Dataplane {
@@ -69,24 +100,38 @@ class Dataplane {
   Dataplane(const Dataplane&) = delete;
   Dataplane& operator=(const Dataplane&) = delete;
 
-  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
-  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t num_shards() const {
+    return num_shards_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t num_workers() const {
+    return workers_running_.load(std::memory_order_acquire);
+  }
 
   /// The shard replica a tenant's packets are currently steered to:
   /// the steering-table entry if one was installed, else the tenant hash.
   [[nodiscard]] std::size_t ShardFor(ModuleId tenant) const;
 
+  /// Direct replica access — quiescent-only (no traffic in flight).
   [[nodiscard]] Pipeline& shard(std::size_t i) { return shards_.at(i); }
   [[nodiscard]] const Pipeline& shard(std::size_t i) const {
     return shards_.at(i);
   }
 
-  /// Processes one batch: packets are scattered to their tenants' shards,
-  /// each shard's sub-batch runs through its replica's batched hot path
-  /// in arrival order (concurrently when worker threads are enabled), and
-  /// the results are gathered back into the original batch order.
-  /// Scratch vectors are reused across calls, so the steady state
-  /// performs no per-packet allocation.
+  // --- Async ingress -----------------------------------------------------------
+
+  /// Submits one batch to the per-shard ingress queues and returns a
+  /// future for its results (in the ticket's original batch order).  Any
+  /// number of producer threads may submit concurrently; per-tenant
+  /// order is the per-shard enqueue order, so one producer's tickets
+  /// stay ordered and distinct producers racing on the *same* tenant
+  /// interleave at ticket granularity.  On the sequential engine
+  /// (worker_threads = false) the batch is processed inline and the
+  /// returned future is already ready.
+  [[nodiscard]] std::future<std::vector<PipelineResult>> Submit(
+      BatchTicket&& ticket);
+
+  /// Submit + wait: byte-identical to the historical synchronous path
+  /// (pinned by tests/test_dataplane*.cpp differentials).
   [[nodiscard]] std::vector<PipelineResult> ProcessBatch(
       std::vector<Packet>&& batch);
 
@@ -98,10 +143,10 @@ class Dataplane {
   void StageWrite(const ConfigWrite& write);
   void StageWrites(const std::vector<ConfigWrite>& writes);
 
-  /// Quiesced epoch switch: waits for the in-flight batch to drain,
-  /// applies every staged write to every replica, and bumps the epoch.
-  /// Returns the new epoch.  An empty commit is a pure barrier (still
-  /// bumps the epoch — e.g. a steering-only reconfiguration point).
+  /// Quiesced epoch switch: excludes new submissions, drains every shard
+  /// queue, applies every staged write to every replica, and bumps the
+  /// epoch.  Returns the new epoch.  An empty commit is a pure barrier
+  /// (still bumps the epoch — e.g. a steering-only reconfiguration point).
   u64 CommitEpoch();
 
   /// Committed configuration epoch (0 until the first CommitEpoch).
@@ -112,35 +157,50 @@ class Dataplane {
   [[nodiscard]] std::size_t pending_writes() const;
 
   /// Immediate (legacy) path: broadcasts one configuration write to every
-  /// shard replica under the engine lock.  Does not advance the epoch.
+  /// shard replica under the quiesced engine.  Does not advance the epoch.
   void ApplyWrite(const ConfigWrite& write);
   void ApplyWrites(const std::vector<ConfigWrite>& writes);
   [[nodiscard]] u64 writes_broadcast() const {
     return writes_broadcast_.load(std::memory_order_acquire);
   }
 
-  // --- Steering / rebalancing ---------------------------------------------------
+  // --- Steering / rebalancing / scaling ----------------------------------------
 
-  /// Quiesced tenant migration: drains the in-flight batch, copies the
+  /// Quiesced tenant migration: drains in-flight work, copies the
   /// tenant's per-stage stateful segments from its current replica to
   /// `to_shard` (zeroing the source so state lives in exactly one place),
   /// and repoints the steering table.  Per-tenant ordering is preserved
-  /// because no batch is in flight while the move happens.  Returns false
+  /// because nothing is in flight while the move happens.  Returns false
   /// if the tenant already lives on `to_shard`.
   ///
   /// Precondition (enforced by the control plane's admission check, not
   /// here): active tenants own distinct overlay rows — module IDs fit
-  /// the overlay-table depth and are unique.  Two active tenants
-  /// aliasing one row would share a segment window on every replica (the
-  /// same hazard as on a single pipeline), and migrating one would move
-  /// the other's words with it.
+  /// the overlay-table depth and are unique.
   bool MigrateTenant(ModuleId tenant, std::size_t to_shard);
   [[nodiscard]] u64 migrations() const {
     return migrations_.load(std::memory_order_acquire);
   }
 
-  /// Per-shard traffic counters, updated per batch.  forwarded, dropped
-  /// and filtered are disjoint and sum to packets.
+  /// Quiesced replica-set resize at an epoch boundary (the dynamic-shard
+  /// machinery the control-plane tick drives): `new_count` replicas
+  /// (0 = hardware concurrency).  Before the count changes, every active
+  /// tenant's placement is pinned into the steering table, so the
+  /// default-hash re-map cannot silently re-home a tenant away from its
+  /// stateful segments.  Growing replays the configuration log onto the
+  /// new replicas and starts their workers; shrinking migrates every
+  /// tenant steered to a dying shard onto a surviving one (state moves
+  /// with it), then joins the dying workers.  Pending staged writes are
+  /// committed and the epoch bumps — a resize IS an epoch boundary.
+  /// Returns the new shard count.
+  std::size_t ResizeShards(std::size_t new_count);
+  [[nodiscard]] u64 resizes() const {
+    return resizes_.load(std::memory_order_acquire);
+  }
+
+  // --- Statistics --------------------------------------------------------------
+
+  /// Per-shard traffic counters, updated per sub-batch.  forwarded,
+  /// dropped and filtered are disjoint and sum to packets.
   struct ShardCounters {
     u64 batches = 0;   // sub-batches handed to this replica
     u64 packets = 0;   // packets steered to this replica
@@ -148,20 +208,24 @@ class Dataplane {
     u64 dropped = 0;   // filter-bitmap or ALU/deparser drops
     u64 filtered = 0;  // other non-data verdicts (reconfig, no VLAN)
   };
-  /// Quiescent-only accessor (caller guarantees no batch in flight, e.g.
-  /// between ProcessBatch calls on the dispatcher thread); concurrent
-  /// control-plane readers use CountersSnapshot().
-  [[nodiscard]] const ShardCounters& shard_counters(std::size_t i) const {
-    return counters_.at(i);
-  }
-  /// Thread-safe copy of every shard's counters (quiesces on the engine
-  /// lock, so it never observes a half-updated batch).
+  /// Relaxed per-shard view: never drains traffic, but does pin the
+  /// shard set against a concurrent resize (see CountersSnapshotRelaxed).
+  [[nodiscard]] ShardCounters shard_counters(std::size_t i) const;
+
+  /// Exact snapshot of every shard's counters: quiesces (drains in-flight
+  /// work), so totals are batch-consistent.
   [[nodiscard]] std::vector<ShardCounters> CountersSnapshot() const;
+  /// Relaxed snapshot: reads the monotonic per-shard counters without
+  /// draining.  Sub-batches mid-flight are partially counted (a shard's
+  /// `packets` may momentarily exceed forwarded+dropped+filtered), but
+  /// every counter is within one in-flight sub-batch of exact and
+  /// catches up as soon as the worker finishes — consistent enough for
+  /// load tracking, never a stall for ingress.
+  [[nodiscard]] std::vector<ShardCounters> CountersSnapshotRelaxed() const;
 
   /// Per-stage match-path counters, aggregated across every shard
-  /// replica.  The CAM/TCAM counters themselves are relaxed atomics
-  /// (safe against in-flight workers); this accessor quiesces on the
-  /// engine lock anyway so the snapshot is batch-consistent.
+  /// replica.  The exact variant quiesces; the relaxed variant reads the
+  /// CAM/TCAM relaxed atomics live.
   struct StageMatchCounters {
     u64 cam_lookups = 0;
     u64 cam_hits = 0;
@@ -169,64 +233,150 @@ class Dataplane {
     u64 tcam_hits = 0;
   };
   [[nodiscard]] std::vector<StageMatchCounters> MatchCountersSnapshot() const;
+  [[nodiscard]] std::vector<StageMatchCounters> MatchCountersSnapshotRelaxed()
+      const;
 
-  // Per-tenant view, aggregated across shards.  These quiesce on the
-  // engine lock (the per-tenant counters live in the replicas' pipeline
-  // state, which workers mutate during a batch), so they are safe to
-  // call from control-plane threads while traffic flows.
+  /// One tenant's exact totals (aggregated across shards + retired),
+  /// plus its steering as of the same quiesced instant.
+  struct TenantCounts {
+    ModuleId tenant;
+    std::size_t shard = 0;
+    u64 forwarded = 0;
+    u64 dropped = 0;
+  };
+  /// Everything the exact statistics collection needs, gathered under a
+  /// single quiesce, so shard rows, tenant totals, match counters and
+  /// the packet total are mutually consistent — and ingress stalls once,
+  /// not once per accessor (runtime/CollectDataplaneStats uses this).
+  struct QuiescedStats {
+    std::vector<ShardCounters> shards;
+    std::vector<StageMatchCounters> match_stages;
+    std::vector<TenantCounts> tenants;  // sorted by tenant ID
+    u64 total_packets = 0;
+  };
+  [[nodiscard]] QuiescedStats QuiescedStatsSnapshot() const;
+
+  // Per-tenant view, aggregated across shards.  The exact accessors
+  // quiesce (they read the replicas' pipeline-internal maps); the
+  // _relaxed accessors read dataplane-level monotonic counters bumped by
+  // the workers after each sub-batch — equal to the exact values when
+  // quiescent, at most one in-flight sub-batch behind otherwise.
   [[nodiscard]] u64 forwarded(ModuleId tenant) const;
   [[nodiscard]] u64 dropped(ModuleId tenant) const;
+  [[nodiscard]] u64 forwarded_relaxed(ModuleId tenant) const;
+  [[nodiscard]] u64 dropped_relaxed(ModuleId tenant) const;
   [[nodiscard]] std::vector<ModuleId> ActiveTenants() const;
+  [[nodiscard]] std::vector<ModuleId> ActiveTenantsRelaxed() const;
   [[nodiscard]] u64 total_packets() const;
+  [[nodiscard]] u64 total_packets_relaxed() const;
 
  private:
-  /// Runs shard `s`'s sub-batch through its replica and updates the
-  /// shard's counters.  Touches only shard-`s` state, so distinct shards
-  /// run concurrently without synchronization.
-  void RunShard(std::size_t s);
-  void WorkerLoop(std::size_t s);
-  /// Applies `write` to every replica.  Caller holds engine_mutex_.
-  void BroadcastLocked(const ConfigWrite& write);
+  /// Per-shard ingress state.  Heap-allocated so addresses stay stable
+  /// across replica-set resizes (workers and sleeping condvars point
+  /// here).
+  struct ShardContext {
+    explicit ShardContext(std::size_t queue_depth) : queue(queue_depth) {}
 
-  std::vector<Pipeline> shards_;
-  std::vector<ShardCounters> counters_;
+    MpscRingQueue<ingress::ShardWork> queue;
+
+    // Doorbell: the worker parks on `cv` when its ring is empty;
+    // producers ring it after a push when `parked` is set.  `busy` is
+    // true from just before a pop until the popped work is fully
+    // executed — the drain path treats (empty ring && !busy) as idle.
+    alignas(64) std::atomic<bool> busy{false};
+    std::atomic<bool> parked{false};
+    std::atomic<bool> stop{false};
+    std::mutex m;
+    std::condition_variable cv;
+    std::thread worker;
+
+    // Traffic counters (relaxed; see CountersSnapshotRelaxed).
+    RelaxedCounter batches, packets, forwarded, dropped, filtered;
+
+    // Worker-owned scratch, reused across sub-batches.
+    std::vector<PipelineResult> results;
+    std::vector<u16> vids;
+  };
+
+  void WorkerLoop(ShardContext* ctx, std::size_t s);
+  /// Appends one replica (replaying the config log) and starts its
+  /// worker when the engine runs worker threads.  Caller holds the
+  /// engine exclusively (or is the constructor).
+  void AddShardLocked();
+  void StopWorkerLocked(std::size_t s);
+  /// Runs one sub-batch on shard `s`, updates counters and completes the
+  /// shard's slice of the ticket.  Called by shard workers and by the
+  /// sequential inline path.
+  void ExecuteWork(std::size_t s, ingress::ShardWork& work);
+  /// Scatters `ticket.batch` into per-shard work items.  Caller holds the
+  /// engine (shared for the async path, exclusive for inline).
+  void ScatterAndDispatch(BatchTicket&& ticket,
+                          const std::shared_ptr<ingress::TicketState>& state,
+                          bool inline_run);
+
+  /// Waits until every shard ring is empty and every worker idle.
+  /// Caller holds the engine exclusively, so no new work can arrive.
+  void DrainLocked() const;
+  /// Applies `write` to every replica and records it in the config log.
+  /// Caller holds the engine exclusively and has drained.
+  void BroadcastLocked(const ConfigWrite& write);
+  bool MigrateTenantLocked(ModuleId tenant, std::size_t to_shard);
+  [[nodiscard]] std::size_t ShardForLocked(ModuleId tenant,
+                                           std::size_t shard_count) const;
+  // Unlocked internals of the exact accessors (caller holds a gate).
+  [[nodiscard]] ShardCounters ShardCountersLocked(std::size_t i) const;
+  [[nodiscard]] u64 ForwardedLocked(ModuleId tenant) const;
+  [[nodiscard]] u64 DroppedLocked(ModuleId tenant) const;
+  [[nodiscard]] std::vector<ModuleId> ActiveTenantsLocked() const;
+
+  // Writer-priority engine lock.  Producers (Submit) hold it shared for
+  // the scatter+enqueue window only; control-plane mutations and exact
+  // stats hold it exclusively and drain.  `exclusive_waiting_` makes
+  // producers back off while a writer waits, so a continuous submit load
+  // cannot starve CommitEpoch (pthread rwlocks are reader-preferring by
+  // default).
+  class ExclusiveGate;
+  class SharedGate;
+  mutable std::shared_mutex engine_mutex_;
+  mutable std::atomic<std::size_t> exclusive_waiting_{0};
+
+  DataplaneConfig cfg_;  // num_shards tracks resizes
+  std::deque<Pipeline> shards_;  // deque: growth never moves replicas
+  std::vector<std::unique_ptr<ShardContext>> shard_ctx_;
+  std::atomic<std::size_t> num_shards_{0};
+  std::atomic<std::size_t> workers_running_{0};
+
   std::atomic<u64> writes_broadcast_{0};
   std::atomic<u64> epoch_{0};
   std::atomic<u64> migrations_{0};
-
-  /// Serializes batches against configuration/steering mutations and
-  /// stats reads — the quiesce barrier: whoever holds it sees no batch
-  /// in flight.  Mutable so const (read-side) accessors can quiesce.
-  mutable std::mutex engine_mutex_;
+  std::atomic<u64> resizes_{0};
 
   // Pending epoch (guarded by pending_mutex_, never by engine_mutex_, so
-  // staging never blocks behind a running batch).
+  // staging never blocks behind in-flight work).
   mutable std::mutex pending_mutex_;
   std::vector<ConfigWrite> pending_writes_;
 
+  // Configuration log: last write per resource address, replayed onto
+  // replicas created by ResizeShards.  Guarded by the exclusive engine.
+  std::map<u32, ConfigWrite> config_log_;
+
   // Tenant→shard steering table, indexed by VLAN/module ID.  kNoSteering
   // means "use the hash".  Lock-free reads on the scatter hot path;
-  // stores only happen quiesced (under engine_mutex_).
+  // stores only happen under the exclusive engine.
   static constexpr u32 kNoSteering = ~u32{0};
   std::vector<std::atomic<u32>> steering_;
 
-  // Scatter/gather scratch, reused across batches (engine_mutex_ holder
-  // plus, during a dispatch, the worker owning shard s for index s).
-  std::vector<std::vector<Packet>> shard_batches_;
-  std::vector<std::vector<std::size_t>> shard_indices_;
-  std::vector<std::vector<PipelineResult>> shard_results_;
-  std::vector<std::exception_ptr> shard_errors_;
+  // Per-tenant monotonic counters for the relaxed stats path (indexed by
+  // VLAN/module ID, bumped by workers after each sub-batch).
+  std::vector<RelaxedCounter> tenant_forwarded_;
+  std::vector<RelaxedCounter> tenant_dropped_;
 
-  // Persistent worker pool (empty when worker_threads is off or there is
-  // a single shard).  Fork/join per batch: work_generation_ bumps to
-  // dispatch, workers_outstanding_ drains to join.
-  std::vector<std::thread> workers_;
-  std::mutex work_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  u64 work_generation_ = 0;
-  std::size_t workers_outstanding_ = 0;
-  bool stopping_ = false;
+  // Counts carried over from replicas destroyed by ResizeShards shrinks,
+  // so the exact per-tenant/total accessors stay monotonic across
+  // resizes.  Written under the exclusive engine; read under either gate.
+  std::unordered_map<u16, u64> retired_forwarded_;
+  std::unordered_map<u16, u64> retired_dropped_;
+  u64 retired_packets_ = 0;
 };
 
 }  // namespace menshen

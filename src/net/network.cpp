@@ -1,6 +1,8 @@
 #include "net/network.hpp"
 
+#include <functional>
 #include <stdexcept>
+#include <utility>
 
 namespace menshen {
 
@@ -33,6 +35,10 @@ void Network::AttachHost(const PortRef& port, ModuleId vid) {
   hosts_[port] = vid;
 }
 
+void Network::EnableParallelDispatch(std::size_t threads) {
+  pool_ = threads == 0 ? nullptr : std::make_unique<TaskPool>(threads);
+}
+
 std::vector<Delivery> Network::InjectFromHost(const PortRef& port,
                                               Packet packet,
                                               std::size_t max_hops) {
@@ -51,8 +57,8 @@ std::vector<Delivery> Network::InjectBatchFromHost(const PortRef& port,
   return InjectBatch(std::move(injections), max_hops);
 }
 
-std::vector<Delivery> Network::InjectBatch(std::vector<Injection> injections,
-                                           std::size_t max_hops) {
+std::vector<Network::Traveler> Network::MakeTravelers(
+    std::vector<Injection>&& injections, std::size_t max_hops) {
   std::vector<Traveler> inflight;
   inflight.reserve(injections.size());
   for (Injection& inj : injections) {
@@ -65,78 +71,143 @@ std::vector<Delivery> Network::InjectBatch(std::vector<Injection> injections,
     inj.packet.set_vid(hit->second);
     inflight.push_back(Traveler{inj.port, std::move(inj.packet), max_hops});
   }
+  return inflight;
+}
+
+std::vector<Delivery> Network::InjectBatch(std::vector<Injection> injections,
+                                           std::size_t max_hops) {
+  Wave wave;
+  wave.cur = MakeTravelers(std::move(injections), max_hops);
+  std::vector<Wave*> waves{&wave};
+  while (!wave.cur.empty()) RunHopRound(waves);
+  return std::move(wave.out);
+}
+
+std::vector<Delivery> Network::InjectBatchPipelined(const PortRef& port,
+                                                    std::vector<Packet> packets,
+                                                    std::size_t wave_size,
+                                                    std::size_t max_hops) {
+  if (wave_size == 0) wave_size = 1;
+  std::vector<std::unique_ptr<Wave>> waves;
+  std::size_t injected = 0;
+
+  std::vector<Wave*> active;
+  while (injected < packets.size() ||
+         [&] {
+           for (const auto& w : waves)
+             if (!w->cur.empty()) return true;
+           return false;
+         }()) {
+    // Stagger: one new wave enters the edge port per hop round, so wave
+    // w+1 is always exactly one device behind wave w on a chain.
+    if (injected < packets.size()) {
+      const std::size_t n = std::min(wave_size, packets.size() - injected);
+      std::vector<Injection> chunk;
+      chunk.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        chunk.push_back(Injection{port, std::move(packets[injected + i])});
+      injected += n;
+      auto wave = std::make_unique<Wave>();
+      wave->cur = MakeTravelers(std::move(chunk), max_hops);
+      waves.push_back(std::move(wave));
+    }
+    active.clear();
+    for (const auto& w : waves)
+      if (!w->cur.empty()) active.push_back(w.get());
+    if (!active.empty()) RunHopRound(active);
+  }
+
+  // Deliveries wave by wave: identical to concatenating sequential
+  // per-wave InjectBatchFromHost runs (loop-free forwarding).
   std::vector<Delivery> out;
-  RunHops(std::move(inflight), out);
+  for (auto& w : waves)
+    for (Delivery& d : w->out) out.push_back(std::move(d));
   return out;
 }
 
-void Network::RunHops(std::vector<Traveler>&& inflight,
-                      std::vector<Delivery>& out) {
-  // Per-hop scratch, reused across hops so the steady state of a large
-  // batch performs no per-packet allocation beyond what the pipeline's
-  // own batched path does.
-  std::vector<Traveler> next;
-  std::map<std::string, std::vector<std::size_t>> by_device;
-  std::vector<Packet> batch;
-  std::vector<std::size_t> budgets;
-  std::vector<PipelineResult> results;
+void Network::RunHopRound(std::vector<Wave*>& waves) {
+  // Group this round's travelers into per-device sub-batches, ordered by
+  // (device name, wave, arrival) — the deterministic order the
+  // sequential hop loop produced.
+  struct DeviceTask {
+    Device* dev = nullptr;
+    std::vector<Packet> batch;
+    std::vector<std::size_t> budgets;
+    std::vector<std::size_t> wave_of;  // which wave each result routes to
+    std::vector<PipelineResult> results;
+  };
+  std::map<std::string, DeviceTask> tasks;
 
-  while (!inflight.empty()) {
-    // Group this hop's travelers into per-device sub-batches.  Device
-    // order is the sorted name order (deterministic), traveler order
-    // within a device is arrival order.
-    by_device.clear();
-    for (std::size_t i = 0; i < inflight.size(); ++i)
-      by_device[inflight[i].at.device].push_back(i);
-
-    next.clear();
-    for (const auto& [name, idxs] : by_device) {
-      Device& dev = device(name);
-      batch.clear();
-      budgets.clear();
-      for (const std::size_t i : idxs) {
-        Traveler& t = inflight[i];
-        if (t.hops_left == 0) {
-          ++loop_drops_;
-          continue;
-        }
-        t.packet.ingress_port = t.at.port;
-        budgets.push_back(t.hops_left - 1);
-        batch.push_back(std::move(t.packet));
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    for (Traveler& t : waves[w]->cur) {
+      if (t.hops_left == 0) {
+        ++loop_drops_;
+        continue;
       }
-      if (batch.empty()) continue;
+      DeviceTask& task = tasks[t.at.device];
+      if (task.dev == nullptr) task.dev = &device(t.at.device);
+      t.packet.ingress_port = t.at.port;
+      task.budgets.push_back(t.hops_left - 1);
+      task.wave_of.push_back(w);
+      task.batch.push_back(std::move(t.packet));
+    }
+    waves[w]->next.clear();
+  }
 
-      results.clear();
-      dev.pipeline().ProcessBatchInto(std::move(batch), results);
-      batch.clear();  // moved-from; make the reuse explicit
+  // Distinct devices are independent pipelines: run their sub-batches
+  // concurrently when a dispatch pool is attached (a chain of K switches
+  // with K waves in flight keeps K cores busy), sequentially otherwise.
+  if (pool_ != nullptr && tasks.size() > 1) {
+    std::vector<std::function<void()>> fns;
+    fns.reserve(tasks.size());
+    for (auto& [name, task] : tasks) {
+      DeviceTask* tp = &task;
+      fns.emplace_back([tp] {
+        tp->dev->pipeline().ProcessBatchInto(std::move(tp->batch),
+                                             tp->results);
+      });
+    }
+    pool_->RunAll(fns);
+  } else {
+    for (auto& [name, task] : tasks)
+      task.dev->pipeline().ProcessBatchInto(std::move(task.batch),
+                                            task.results);
+  }
 
-      for (std::size_t k = 0; k < results.size(); ++k) {
-        if (!results[k].output) continue;  // filtered
-        const Packet& processed = *results[k].output;
-        const auto emit = [&](u16 egress_port, Packet copy) {
-          const PortRef egress{name, egress_port};
-          const auto lit = links_.find(egress);
-          if (lit == links_.end()) {
-            // Edge port: the packet leaves the network.
-            out.push_back(Delivery{egress, std::move(copy)});
-            return;
-          }
-          next.push_back(Traveler{lit->second, std::move(copy), budgets[k]});
-        };
-        switch (processed.disposition) {
-          case Disposition::kDrop:
-            break;
-          case Disposition::kForward:
-            emit(processed.egress_port, processed);
-            break;
-          case Disposition::kMulticast:
-            for (const u16 p : processed.multicast_ports) emit(p, processed);
-            break;
+  // Route the verdicts sequentially, in the same deterministic order the
+  // batches were built in (links_ and the wave vectors are not safe to
+  // touch from pool tasks, and delivery order must not depend on task
+  // scheduling).
+  for (auto& [name, task] : tasks) {
+    for (std::size_t k = 0; k < task.results.size(); ++k) {
+      if (!task.results[k].output) continue;  // filtered
+      const Packet& processed = *task.results[k].output;
+      Wave& wave = *waves[task.wave_of[k]];
+      const auto emit = [&](u16 egress_port, Packet copy) {
+        const PortRef egress{name, egress_port};
+        const auto lit = links_.find(egress);
+        if (lit == links_.end()) {
+          // Edge port: the packet leaves the network.
+          wave.out.push_back(Delivery{egress, std::move(copy)});
+          return;
         }
+        wave.next.push_back(
+            Traveler{lit->second, std::move(copy), task.budgets[k]});
+      };
+      switch (processed.disposition) {
+        case Disposition::kDrop:
+          break;
+        case Disposition::kForward:
+          emit(processed.egress_port, processed);
+          break;
+        case Disposition::kMulticast:
+          for (const u16 p : processed.multicast_ports) emit(p, processed);
+          break;
       }
     }
-    inflight.swap(next);
   }
+
+  for (Wave* w : waves) w->cur.swap(w->next);
 }
 
 }  // namespace menshen

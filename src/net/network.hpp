@@ -18,6 +18,17 @@
 //     (drop/forward/multicast) spawn the next hop's travelers, until every
 //     packet leaves at an edge port or exceeds its hop budget (the runaway
 //     guard whose control-plane counterpart is the routing-loop checker).
+//
+// Parallel dispatch: distinct devices within one hop round are
+// independent pipelines, so EnableParallelDispatch runs their sub-batches
+// concurrently on a fork/join task pool.  On its own that only helps
+// topologies whose hop front spans several devices; InjectBatchPipelined
+// additionally staggers the injected batch into waves, so a chain of K
+// switches keeps up to K devices busy at once (wave w is on switch i
+// while wave w+1 is on switch i-1) — K cores for a K-switch chain.
+// Results and delivery order stay byte-identical to the sequential path
+// provided forwarding is loop-free (each wave visits a device at most
+// once — the invariant the control-plane loop checker enforces).
 #pragma once
 
 #include <map>
@@ -25,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/task_pool.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace menshen {
@@ -76,6 +88,15 @@ class Network {
   /// `vid` by the vSwitch before entering the first pipeline.
   void AttachHost(const PortRef& port, ModuleId vid);
 
+  /// Runs distinct same-hop devices' sub-batches concurrently on
+  /// `threads` pool workers (the injecting thread participates too, so a
+  /// chain of K switches wants threads = K-1).  0 restores sequential
+  /// dispatch.  Call while no injection is in flight.
+  void EnableParallelDispatch(std::size_t threads);
+  [[nodiscard]] std::size_t parallel_workers() const {
+    return pool_ ? pool_->size() : 0;
+  }
+
   /// Injects a packet from the host on `port` and walks it through the
   /// network.  Returns every copy that left at an edge port.  Packets
   /// still in flight after `max_hops` devices are dropped and counted in
@@ -98,6 +119,20 @@ class Network {
   std::vector<Delivery> InjectBatch(std::vector<Injection> injections,
                                     std::size_t max_hops = 8);
 
+  /// Wave-pipelined injection from one host port: the batch is split
+  /// into waves of `wave_size`, injected one per hop round, so
+  /// successive waves occupy successive devices of a chain
+  /// simultaneously (combine with EnableParallelDispatch to spread them
+  /// across cores).  Deliveries are ordered wave by wave; within a wave
+  /// the order matches InjectBatchFromHost of that wave, and for
+  /// loop-free forwarding the concatenation is byte-identical to
+  /// InjectBatchFromHost of the whole batch (pinned by
+  /// tests/test_network.cpp).
+  std::vector<Delivery> InjectBatchPipelined(const PortRef& port,
+                                             std::vector<Packet> packets,
+                                             std::size_t wave_size,
+                                             std::size_t max_hops = 8);
+
   [[nodiscard]] u64 loop_drops() const { return loop_drops_; }
 
  private:
@@ -108,14 +143,29 @@ class Network {
     Packet packet;
     std::size_t hops_left = 0;
   };
-  /// The batched hop loop: advances every traveler until delivery, drop
-  /// or hop-budget exhaustion, grouping travelers into per-device
-  /// sub-batches each hop.
-  void RunHops(std::vector<Traveler>&& inflight, std::vector<Delivery>& out);
+  /// One wave's hop-loop state: current/next traveler sets plus the
+  /// deliveries it has produced so far.
+  struct Wave {
+    std::vector<Traveler> cur;
+    std::vector<Traveler> next;
+    std::vector<Delivery> out;
+  };
+
+  /// Stamps host-port injections into travelers (vSwitch VID stamping).
+  std::vector<Traveler> MakeTravelers(std::vector<Injection>&& injections,
+                                      std::size_t max_hops);
+  /// One hop round over every wave: per-device sub-batches (grouped
+  /// across waves, wave-ascending within a device) run through the
+  /// devices' batched pipelines — concurrently when parallel dispatch is
+  /// on — then the verdicts are routed sequentially in deterministic
+  /// (device-name, wave, arrival) order.  Each wave's `cur` is consumed
+  /// into `next`/`out`.
+  void RunHopRound(std::vector<Wave*>& waves);
 
   std::map<std::string, std::unique_ptr<Device>> devices_;
   std::map<PortRef, PortRef> links_;
   std::map<PortRef, ModuleId> hosts_;
+  std::unique_ptr<TaskPool> pool_;
   u64 loop_drops_ = 0;
 };
 

@@ -1,0 +1,114 @@
+#include "runtime/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace menshen {
+
+Controller::Controller(Dataplane& dp, ControllerConfig cfg)
+    : dp_(dp), cfg_(cfg), rebalancer_(cfg.rebalancer) {
+  // The first tick's delta should be "traffic since the controller
+  // started", not "since the dataplane was born".
+  last_total_packets_ = dp_.total_packets_relaxed();
+}
+
+Controller::~Controller() { Stop(); }
+
+void Controller::Start() {
+  // lifecycle_mutex_ serializes Start/Stop so thread_ is never assigned
+  // while another thread joins it.
+  std::lock_guard<std::mutex> lk(lifecycle_mutex_);
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void Controller::Stop() {
+  std::lock_guard<std::mutex> lk(lifecycle_mutex_);
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> stop_lk(stop_mutex_);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Controller::RunLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    TickOnce();
+    std::unique_lock<std::mutex> lk(stop_mutex_);
+    stop_cv_.wait_for(lk, cfg_.tick_interval, [this] {
+      return !running_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+double Controller::load_ewma() const {
+  std::lock_guard<std::mutex> lk(tick_mutex_);
+  return load_ewma_;
+}
+
+Controller::TickReport Controller::TickOnce() {
+  std::lock_guard<std::mutex> lk(tick_mutex_);
+  TickReport report;
+  report.tick = ticks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // 1. Observe offered load through the relaxed stats path — no quiesce,
+  //    ingress never stalls for the tick.
+  const u64 total = dp_.total_packets_relaxed();
+  report.offered_packets = total - std::min(total, last_total_packets_);
+  last_total_packets_ = total;
+  const double delta = static_cast<double>(report.offered_packets);
+  // EWMA with the same seeding rule as the rebalancer: the first
+  // observation is taken at face value.
+  load_ewma_ = report.tick == 1
+                   ? delta
+                   : 0.5 * delta + 0.5 * load_ewma_;
+  report.load_ewma = load_ewma_;
+
+  // 2. Scale the replica set so num_shards tracks offered load, with a
+  //    watermark band + cooldown so the count never flaps.
+  report.shards_before = dp_.num_shards();
+  report.shards_after = report.shards_before;
+  if (cooldown_ > 0) --cooldown_;
+  if (cfg_.enable_scaling && cooldown_ == 0) {
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    const std::size_t max_shards =
+        cfg_.max_shards == 0 ? hw : cfg_.max_shards;
+    const std::size_t min_shards = std::max<std::size_t>(1, cfg_.min_shards);
+    const std::size_t cur = report.shards_before;
+    const double target = cfg_.target_packets_per_shard;
+    std::size_t desired = cur;
+    if (load_ewma_ >
+        target * static_cast<double>(cur) * cfg_.scale_up_factor) {
+      desired = static_cast<std::size_t>(std::ceil(load_ewma_ / target));
+    } else if (cur > 1 &&
+               load_ewma_ < target * static_cast<double>(cur - 1) *
+                                cfg_.scale_down_factor) {
+      desired = static_cast<std::size_t>(
+          std::max(1.0, std::ceil(load_ewma_ / target)));
+    }
+    desired = std::clamp(desired, min_shards, max_shards);
+    if (desired != cur) {
+      dp_.ResizeShards(desired);  // quiesced, epoch-boundary resize
+      report.shards_after = desired;
+      if (desired > cur) {
+        scale_ups_.fetch_add(1, std::memory_order_acq_rel);
+      } else {
+        scale_downs_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      cooldown_ = cfg_.scale_cooldown_ticks;
+    }
+  }
+
+  // 3. One rebalancing round (EWMA + hysteresis inside the policy).  A
+  //    round that plans nothing does not quiesce anything.
+  if (cfg_.enable_rebalancing) {
+    report.moves = rebalancer_.Rebalance(dp_).size();
+    if (report.moves != 0)
+      moves_applied_.fetch_add(report.moves, std::memory_order_acq_rel);
+  }
+  return report;
+}
+
+}  // namespace menshen

@@ -1,0 +1,132 @@
+// Long-running control-plane tick: load tracking, rebalancing, scaling.
+//
+// The paper's isolation story assumes the pipeline keeps line rate while
+// tenants are added, rebalanced and reconfigured live; this controller is
+// the long-running harness that drives those levers.  A periodic tick
+//
+//   1. reads DataplaneStats through the *relaxed* (non-quiescing) path —
+//      the tick observes load without ever stalling ingress;
+//   2. folds the offered load (packet delta since the previous tick) into
+//      an EWMA and resizes the shard replica set at an epoch boundary
+//      when the smoothed load leaves the configured per-shard band
+//      (scale-up and scale-down watermarks plus a cooldown, so the
+//      replica count tracks offered load without flapping);
+//   3. runs one Rebalancer round (EWMA per-tenant load + hysteresis), so
+//      hot tenants drift off overloaded replicas.
+//
+// Scaling and migration reuse the dataplane's quiesce machinery — both
+// land at epoch boundaries, so every reconfiguration the controller makes
+// is invisible to per-tenant byte streams (pinned by
+// tests/test_controller.cpp).
+//
+// TickOnce() is public and synchronous: tests and examples drive the
+// control loop deterministically; Start() runs the same tick on a
+// background thread at tick_interval.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "dataplane/dataplane.hpp"
+#include "runtime/rebalancer.hpp"
+
+namespace menshen {
+
+struct ControllerConfig {
+  /// Background tick period (Start()).
+  std::chrono::milliseconds tick_interval{20};
+
+  /// Rebalancer policy (EWMA + hysteresis) run once per tick.
+  RebalancerConfig rebalancer{};
+  bool enable_rebalancing = true;
+
+  // --- Dynamic shard scaling ---------------------------------------------------
+  bool enable_scaling = true;
+  std::size_t min_shards = 1;
+  /// 0 = one replica per hardware thread.
+  std::size_t max_shards = 0;
+  /// Offered-load target per shard per tick (packets): the EWMA of
+  /// per-tick packet deltas divided by this is the desired replica count.
+  double target_packets_per_shard = 4096;
+  /// Grow only when the smoothed load exceeds target * shards * this
+  /// factor; shrink only when it falls below target * (shards-1) * this
+  /// factor.  The gap between the two watermarks is the hysteresis band
+  /// that keeps the replica count from flapping at a boundary.
+  double scale_up_factor = 1.25;
+  double scale_down_factor = 0.5;
+  /// Ticks to sit out after a resize (lets the EWMA re-converge under the
+  /// new shard count before the next scaling decision).
+  std::size_t scale_cooldown_ticks = 2;
+};
+
+class Controller {
+ public:
+  explicit Controller(Dataplane& dp, ControllerConfig cfg = {});
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Starts the background tick thread (idempotent).
+  void Start();
+  /// Stops and joins it (idempotent; also run by the destructor).
+  void Stop();
+
+  /// What one tick observed and did.
+  struct TickReport {
+    u64 tick = 0;
+    u64 offered_packets = 0;  // packet delta since the previous tick
+    double load_ewma = 0;     // smoothed offered load per tick
+    std::size_t shards_before = 0;
+    std::size_t shards_after = 0;
+    std::size_t moves = 0;  // tenant migrations this tick
+  };
+  /// One synchronous control tick — the unit the background thread runs.
+  /// Safe to call concurrently with traffic; serialized against itself.
+  TickReport TickOnce();
+
+  [[nodiscard]] u64 ticks() const {
+    return ticks_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] u64 scale_ups() const {
+    return scale_ups_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] u64 scale_downs() const {
+    return scale_downs_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] u64 moves_applied() const {
+    return moves_applied_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] double load_ewma() const;
+
+ private:
+  void RunLoop();
+
+  Dataplane& dp_;
+  ControllerConfig cfg_;
+  Rebalancer rebalancer_;
+
+  /// Serializes TickOnce (background thread vs direct calls).
+  mutable std::mutex tick_mutex_;
+  u64 last_total_packets_ = 0;
+  double load_ewma_ = 0;
+  std::size_t cooldown_ = 0;
+
+  std::atomic<u64> ticks_{0};
+  std::atomic<u64> scale_ups_{0};
+  std::atomic<u64> scale_downs_{0};
+  std::atomic<u64> moves_applied_{0};
+
+  std::atomic<bool> running_{false};
+  /// Serializes Start/Stop (guards thread_ assignment vs join).
+  std::mutex lifecycle_mutex_;
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace menshen

@@ -4,23 +4,37 @@
 
 namespace menshen {
 
-std::vector<Rebalancer::TenantLoad> Rebalancer::RecentLoads(
+std::vector<Rebalancer::TenantLoad> Rebalancer::SmoothedLoads(
     const Dataplane& dp) const {
   std::vector<TenantLoad> loads;
-  for (const ModuleId tenant : dp.ActiveTenants()) {
-    const u64 total = dp.forwarded(tenant) + dp.dropped(tenant);
-    const auto it = last_seen_.find(tenant.value());
-    const u64 seen = it == last_seen_.end() ? 0 : it->second;
-    loads.push_back(
-        TenantLoad{tenant, dp.ShardFor(tenant), total - std::min(total, seen)});
+  for (const ModuleId tenant : dp.ActiveTenantsRelaxed()) {
+    const u64 total =
+        dp.forwarded_relaxed(tenant) + dp.dropped_relaxed(tenant);
+    const auto seen_it = last_seen_.find(tenant.value());
+    const u64 seen = seen_it == last_seen_.end() ? 0 : seen_it->second;
+    const double delta = static_cast<double>(total - std::min(total, seen));
+    const auto ewma_it = ewma_.find(tenant.value());
+    // Seed the EWMA with the first observation; blend afterwards.
+    const double smoothed =
+        ewma_it == ewma_.end()
+            ? delta
+            : cfg_.ewma_alpha * delta +
+                  (1.0 - cfg_.ewma_alpha) * ewma_it->second;
+    loads.push_back(TenantLoad{tenant, dp.ShardFor(tenant), smoothed, total});
   }
   return loads;
 }
 
-std::vector<Migration> Rebalancer::Plan(const Dataplane& dp) const {
-  std::vector<TenantLoad> tenants = RecentLoads(dp);
-  std::vector<u64> shard_load(dp.num_shards(), 0);
-  for (const TenantLoad& t : tenants) shard_load[t.shard] += t.load;
+std::vector<Migration> Rebalancer::PlanFrom(
+    const Dataplane& dp, std::vector<TenantLoad>& tenants) const {
+  std::vector<double> shard_load(dp.num_shards(), 0.0);
+  for (const TenantLoad& t : tenants) {
+    // A concurrent ResizeShards shrink between SmoothedLoads and here can
+    // leave a stale shard index; skip it — the next round re-reads the
+    // settled placement.
+    if (t.shard >= shard_load.size()) continue;
+    shard_load[t.shard] += t.load;
+  }
 
   std::vector<Migration> moves;
   for (std::size_t round = 0; round < cfg_.max_moves_per_round; ++round) {
@@ -32,20 +46,25 @@ std::vector<Migration> Rebalancer::Plan(const Dataplane& dp) const {
     const std::size_t to = static_cast<std::size_t>(idlest - shard_load.begin());
     if (from == to) break;
 
-    u64 total = 0;
-    for (const u64 l : shard_load) total += l;
-    const double mean =
-        static_cast<double>(total) / static_cast<double>(shard_load.size());
-    if (static_cast<double>(*busiest) <= cfg_.imbalance_threshold * mean)
-      break;
+    double total = 0;
+    for (const double l : shard_load) total += l;
+    const double mean = total / static_cast<double>(shard_load.size());
+    if (*busiest <= cfg_.imbalance_threshold * mean) break;
 
     // Hottest tenant on the busiest shard whose move strictly narrows the
     // busiest/idlest spread (a tenant hotter than the spread would just
-    // swap the roles of the two shards).
+    // swap the roles of the two shards), shifts at least the hysteresis
+    // dead band, and is not frozen by a recent migration.
+    const u64 planning_round = rounds_ + 1;
     TenantLoad* pick = nullptr;
     for (TenantLoad& t : tenants) {
-      if (t.shard != from || t.load == 0) continue;
+      if (t.shard != from || t.load <= 0.0) continue;
       if (t.load + *idlest >= *busiest) continue;
+      if (t.load < cfg_.hysteresis_band * mean) continue;
+      const auto moved_it = last_moved_round_.find(t.tenant.value());
+      if (moved_it != last_moved_round_.end() &&
+          planning_round - moved_it->second < cfg_.move_cooldown_rounds)
+        continue;
       if (pick == nullptr || t.load > pick->load) pick = &t;
     }
     if (pick == nullptr) break;
@@ -58,18 +77,28 @@ std::vector<Migration> Rebalancer::Plan(const Dataplane& dp) const {
   return moves;
 }
 
+std::vector<Migration> Rebalancer::Plan(const Dataplane& dp) const {
+  std::vector<TenantLoad> tenants = SmoothedLoads(dp);
+  return PlanFrom(dp, tenants);
+}
+
 std::vector<Migration> Rebalancer::Rebalance(Dataplane& dp) {
-  const std::vector<Migration> moves = Plan(dp);
+  std::vector<TenantLoad> tenants = SmoothedLoads(dp);
+  const std::vector<Migration> moves = PlanFrom(dp, tenants);
   for (const Migration& m : moves) dp.MigrateTenant(m.tenant, m.to);
   if (!moves.empty()) {
     // The placement change takes effect at a clean epoch boundary (and
     // flushes any writes the control plane had staged alongside).
     dp.CommitEpoch();
   }
-  // Snapshot cumulative counts so the next round measures fresh load.
-  for (const ModuleId tenant : dp.ActiveTenants())
-    last_seen_[tenant.value()] = dp.forwarded(tenant) + dp.dropped(tenant);
   ++rounds_;
+  // Fold this round's observation into the stored EWMA and snapshot the
+  // cumulative counts so the next round measures fresh deltas.
+  for (const TenantLoad& t : tenants) {
+    ewma_[t.tenant.value()] = t.load;
+    last_seen_[t.tenant.value()] = t.cumulative;
+  }
+  for (const Migration& m : moves) last_moved_round_[m.tenant.value()] = rounds_;
   return moves;
 }
 

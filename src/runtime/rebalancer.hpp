@@ -4,13 +4,26 @@
 // default placement is a static tenant-ID hash, which can pile several hot
 // tenants onto one shard while others idle (the CODA observation: placement
 // of computation relative to state is a first-class performance knob).  The
-// Rebalancer closes the loop: it reads the per-tenant counters that
-// runtime/stats aggregates, computes each tenant's recent load (the delta
-// since the previous round), and greedily migrates the hottest tenants off
-// the most loaded replica onto the least loaded one.  Migration is cheap —
-// configuration is replicated on every shard, so a move is a steering-table
-// update plus a quiesced copy of the tenant's stateful segments — and it
-// happens at an epoch boundary so per-tenant ordering is preserved.
+// Rebalancer closes the loop: each round it reads the per-tenant counters
+// through the dataplane's *relaxed* (non-quiescing) stats path, folds the
+// delta since the last round into an exponentially weighted moving average
+// (EWMA) of per-tenant load, and greedily migrates the hottest tenants off
+// the most loaded replica onto the least loaded one.
+//
+// Two mechanisms keep a bursty tenant from ping-ponging between shards
+// when rounds are driven by a fast control-plane tick (runtime/controller):
+//
+//   * the EWMA smooths single-round bursts, so one hot tick does not look
+//     like a persistently hot tenant (ewma_alpha weights the newest delta);
+//   * hysteresis — a tenant that just moved is frozen for
+//     move_cooldown_rounds, and a move is only planned when the tenant's
+//     smoothed load is at least hysteresis_band of the mean shard load
+//     (micro-moves whose benefit is inside the noise band are skipped).
+//
+// Migration is cheap — configuration is replicated on every shard, so a
+// move is a steering-table update plus a quiesced copy of the tenant's
+// stateful segments — and it happens at an epoch boundary so per-tenant
+// ordering is preserved.
 #pragma once
 
 #include <cstddef>
@@ -22,11 +35,21 @@
 namespace menshen {
 
 struct RebalancerConfig {
-  /// A round only moves tenants while the busiest shard's recent load
+  /// A round only moves tenants while the busiest shard's smoothed load
   /// exceeds this multiple of the mean shard load.
   double imbalance_threshold = 1.25;
   /// Upper bound on migrations per round (each is a quiesce point).
   std::size_t max_moves_per_round = 2;
+  /// Weight of the newest round's delta in the per-tenant load EWMA
+  /// (1.0 degenerates to the old cumulative-delta policy).
+  double ewma_alpha = 0.4;
+  /// A move must shift at least this fraction of the mean shard load —
+  /// the dead band that keeps noise-sized imbalances from churning
+  /// placement.
+  double hysteresis_band = 0.10;
+  /// Rounds a tenant stays frozen after it migrates (counting the round
+  /// it moved in), so consecutive ticks cannot bounce it back.
+  std::size_t move_cooldown_rounds = 2;
 };
 
 /// One planned (or applied) tenant move.
@@ -34,7 +57,7 @@ struct Migration {
   ModuleId tenant;
   std::size_t from = 0;
   std::size_t to = 0;
-  u64 load = 0;  // the tenant's recent-load metric that motivated the move
+  double load = 0;  // the tenant's smoothed (EWMA) load motivating the move
 };
 
 class Rebalancer {
@@ -42,14 +65,16 @@ class Rebalancer {
   explicit Rebalancer(RebalancerConfig cfg = {}) : cfg_(cfg) {}
 
   /// Computes the moves a round would make, without applying them.
-  /// Load metric: per-tenant forwarded+dropped packets since the last
-  /// *applied* round (cumulative counts on the first round).
+  /// Load metric: per-tenant EWMA of forwarded+dropped deltas between
+  /// *applied* rounds (seeded with the first observation).  Reads only
+  /// the dataplane's relaxed counters — never quiesces the engine.
   [[nodiscard]] std::vector<Migration> Plan(const Dataplane& dp) const;
 
   /// Plans and applies one round: each migration quiesces inside the
   /// dataplane, and a round that moved anything commits an epoch so the
   /// new placement takes effect at a clean epoch boundary.  Returns the
-  /// applied moves.
+  /// applied moves.  A round that plans nothing touches no lock the data
+  /// path cares about.
   std::vector<Migration> Rebalance(Dataplane& dp);
 
   [[nodiscard]] u64 rounds() const { return rounds_; }
@@ -58,14 +83,25 @@ class Rebalancer {
   struct TenantLoad {
     ModuleId tenant;
     std::size_t shard = 0;
-    u64 load = 0;
+    double load = 0;   // EWMA-smoothed
+    u64 cumulative = 0;  // raw counter snapshot backing the next delta
   };
-  [[nodiscard]] std::vector<TenantLoad> RecentLoads(const Dataplane& dp) const;
+  /// Smoothed per-tenant loads as of now (const: does not fold the
+  /// observation into the stored EWMA — Rebalance does that when the
+  /// round is applied).
+  [[nodiscard]] std::vector<TenantLoad> SmoothedLoads(
+      const Dataplane& dp) const;
+  [[nodiscard]] std::vector<Migration> PlanFrom(
+      const Dataplane& dp, std::vector<TenantLoad>& tenants) const;
 
   RebalancerConfig cfg_;
   /// Cumulative per-tenant counts at the end of the last applied round;
-  /// the next round's load is the delta against this snapshot.
+  /// the next round's delta is measured against this snapshot.
   std::unordered_map<u16, u64> last_seen_;
+  /// Per-tenant EWMA load as of the last applied round.
+  std::unordered_map<u16, double> ewma_;
+  /// Round in which a tenant last migrated (hysteresis freeze).
+  std::unordered_map<u16, u64> last_moved_round_;
   u64 rounds_ = 0;
 };
 

@@ -75,35 +75,64 @@ std::string DumpPipelineOccupancy(const Pipeline& pipeline) {
   return out;
 }
 
-DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
-  DataplaneStats s;
+namespace {
+
+void CollectControlCounters(const Dataplane& dp, DataplaneStats& s) {
   s.writes_broadcast = dp.writes_broadcast();
   s.epoch = dp.epoch();
   s.pending_writes = dp.pending_writes();
   s.migrations = dp.migrations();
+  s.resizes = dp.resizes();
   s.workers = dp.num_workers();
-  const std::vector<Dataplane::ShardCounters> counters =
-      dp.CountersSnapshot();
+}
+
+void FillShardRows(const std::vector<Dataplane::ShardCounters>& counters,
+                   DataplaneStats& s) {
   for (std::size_t i = 0; i < counters.size(); ++i) {
     const Dataplane::ShardCounters& c = counters[i];
     s.shards.push_back(ShardStats{i, c.batches, c.packets, c.forwarded,
                                   c.dropped, c.filtered});
-    s.total_packets += c.packets;
   }
-  for (const ModuleId tenant : dp.ActiveTenants()) {
-    TenantStats t;
-    t.tenant = tenant;
-    t.shard = dp.ShardFor(tenant);
-    t.forwarded = dp.forwarded(tenant);
-    t.dropped = dp.dropped(tenant);
-    s.tenants.push_back(t);
-  }
-  const auto match = dp.MatchCountersSnapshot();
+}
+
+void FillMatchRows(const std::vector<Dataplane::StageMatchCounters>& match,
+                   DataplaneStats& s) {
   for (std::size_t i = 0; i < match.size(); ++i)
     s.match_stages.push_back(StageMatchStats{i, match[i].cam_lookups,
                                              match[i].cam_hits,
                                              match[i].tcam_lookups,
                                              match[i].tcam_hits});
+}
+
+}  // namespace
+
+DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
+  DataplaneStats s;
+  CollectControlCounters(dp, s);
+  // One quiesce for the whole view: shard rows, tenant totals, match
+  // counters and the packet total come from the same drained instant
+  // (the total is not the sum of the rows — replicas destroyed by a
+  // shrink retire their counts into the monotonic dataplane total).
+  const Dataplane::QuiescedStats q = dp.QuiescedStatsSnapshot();
+  FillShardRows(q.shards, s);
+  FillMatchRows(q.match_stages, s);
+  s.total_packets = q.total_packets;
+  for (const Dataplane::TenantCounts& t : q.tenants)
+    s.tenants.push_back(TenantStats{t.tenant, t.shard, t.forwarded, t.dropped});
+  return s;
+}
+
+DataplaneStats CollectDataplaneStatsRelaxed(const Dataplane& dp) {
+  DataplaneStats s;
+  s.relaxed = true;
+  CollectControlCounters(dp, s);
+  FillShardRows(dp.CountersSnapshotRelaxed(), s);
+  FillMatchRows(dp.MatchCountersSnapshotRelaxed(), s);
+  s.total_packets = dp.total_packets_relaxed();
+  for (const ModuleId tenant : dp.ActiveTenantsRelaxed())
+    s.tenants.push_back(TenantStats{tenant, dp.ShardFor(tenant),
+                                    dp.forwarded_relaxed(tenant),
+                                    dp.dropped_relaxed(tenant)});
   return s;
 }
 
@@ -116,7 +145,8 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
                     " config writes broadcast\n";
   out += "  config epoch " + std::to_string(s.epoch) + " (" +
          std::to_string(s.pending_writes) + " staged), " +
-         std::to_string(s.migrations) + " tenant migration(s)\n";
+         std::to_string(s.migrations) + " tenant migration(s), " +
+         std::to_string(s.resizes) + " resize(s)\n";
   for (const ShardStats& sh : s.shards)
     out += "  shard " + std::to_string(sh.shard) + ": packets " +
            std::to_string(sh.packets) + " (fwd " +

@@ -102,12 +102,30 @@ struct DataplaneStats {
   std::size_t pending_writes = 0;
   /// Tenant migrations applied (steering changes at epoch boundaries).
   u64 migrations = 0;
+  /// Replica-set resizes applied (epoch-boundary grow/shrink).
+  u64 resizes = 0;
   /// Worker threads running shard replicas (0 = sequential engine).
   std::size_t workers = 0;
+  /// True when this snapshot was taken through the relaxed (non-quiescing)
+  /// path: counters are monotonic and at most one in-flight sub-batch
+  /// behind the exact totals.
+  bool relaxed = false;
 };
 
 /// Aggregates per-shard and per-tenant throughput/drop counters.
+/// Quiesces the engine (drains in-flight work) so totals are exact and
+/// batch-consistent — the operator's audit view.
 [[nodiscard]] DataplaneStats CollectDataplaneStats(const Dataplane& dp);
+
+/// Relaxed variant for the periodic control-plane tick: reads only the
+/// dataplane's monotonic relaxed counters, so collecting it never stalls
+/// ingress.  Shard/tenant totals may each lag by at most one in-flight
+/// sub-batch (and `forwarded+dropped+filtered` may momentarily trail
+/// `packets` within a shard row); they converge to the exact values as
+/// soon as the workers go idle.  Good enough for load tracking
+/// (runtime/controller, Rebalancer EWMA) — use CollectDataplaneStats for
+/// exact audits.
+[[nodiscard]] DataplaneStats CollectDataplaneStatsRelaxed(const Dataplane& dp);
 
 /// Renders the dataplane counters — the operator's `show dataplane` view.
 [[nodiscard]] std::string DumpDataplaneStats(const Dataplane& dp);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "runtime/stats.hpp"
 #include "sim/traffic.hpp"
 #include "test_util.hpp"
@@ -258,6 +260,104 @@ TEST(Rebalancer, BalancedLoadPlansNoMoves) {
 
   Rebalancer rebalancer;
   EXPECT_TRUE(rebalancer.Plan(dp).empty());
+}
+
+// --- EWMA + hysteresis: no ping-pong under bursty load -------------------------
+
+// Drives an alternating burst pattern (shard 0's tenants hot on even
+// ticks, shard 1's on odd ticks) through repeated Rebalance rounds and
+// returns the per-round move log.
+std::vector<std::vector<Migration>> DriveAlternatingBursts(
+    Rebalancer& rebalancer, int ticks) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = false});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+  // Pinned start: calc tenants 2,3 on shard 0; NetChain tenants 4,5 on
+  // shard 1.
+  dp.MigrateTenant(ModuleId(2), 0);
+  dp.MigrateTenant(ModuleId(3), 0);
+  dp.MigrateTenant(ModuleId(4), 1);
+  dp.MigrateTenant(ModuleId(5), 1);
+
+  const auto send = [&](u16 vid, int count) {
+    std::vector<Packet> batch;
+    batch.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      if (vid <= 3) {
+        batch.push_back(CalcPacket(vid, apps::kCalcOpAdd, 1, 2));
+      } else {
+        batch.push_back(NetChainPacket(vid, apps::kNetChainOpSeq));
+      }
+    }
+    (void)dp.ProcessBatch(std::move(batch));
+  };
+
+  std::vector<std::vector<Migration>> per_round;
+  for (int tick = 0; tick < ticks; ++tick) {
+    if (tick % 2 == 0) {
+      send(2, 400);
+      send(3, 100);
+      send(4, 60);
+      send(5, 40);
+    } else {
+      send(4, 400);
+      send(5, 100);
+      send(2, 60);
+      send(3, 40);
+    }
+    per_round.push_back(rebalancer.Rebalance(dp));
+  }
+  return per_round;
+}
+
+// Whether any tenant moved in two consecutive rounds (the churn a bursty
+// tenant induces when rounds react to instantaneous deltas).
+bool HasConsecutiveMoves(const std::vector<std::vector<Migration>>& rounds) {
+  for (std::size_t r = 1; r < rounds.size(); ++r)
+    for (const Migration& prev : rounds[r - 1])
+      for (const Migration& cur : rounds[r])
+        if (cur.tenant == prev.tenant) return true;
+  return false;
+}
+
+// The regression the EWMA + hysteresis policy exists for: with smoothing
+// disabled (alpha = 1 degenerates to the old cumulative-delta policy, no
+// dead band, no cooldown), alternating bursts bounce tenants between the
+// two shards on consecutive ticks; the default policy settles after at
+// most one corrective move and never bounces.
+TEST(Rebalancer, BurstyTenantDoesNotPingPongAcrossConsecutiveTicks) {
+  // Degenerate config == the pre-EWMA policy: it churns.
+  Rebalancer raw(RebalancerConfig{.imbalance_threshold = 1.25,
+                                  .max_moves_per_round = 2,
+                                  .ewma_alpha = 1.0,
+                                  .hysteresis_band = 0.0,
+                                  .move_cooldown_rounds = 0});
+  const auto raw_rounds = DriveAlternatingBursts(raw, 8);
+  std::size_t raw_moves = 0;
+  for (const auto& r : raw_rounds) raw_moves += r.size();
+  EXPECT_TRUE(HasConsecutiveMoves(raw_rounds))
+      << "burst pattern too tame: the unsmoothed policy did not churn, "
+         "so the test would not prove anything";
+  EXPECT_GE(raw_moves, 3u);
+
+  // Default EWMA + hysteresis: at most one corrective move, never on
+  // consecutive ticks.
+  Rebalancer smoothed(RebalancerConfig{});
+  const auto rounds = DriveAlternatingBursts(smoothed, 8);
+  std::size_t moves = 0;
+  for (const auto& r : rounds) moves += r.size();
+  EXPECT_FALSE(HasConsecutiveMoves(rounds));
+  EXPECT_LE(moves, 2u);
+  // And no tenant ever returns to a shard it was moved off (no A->B->A).
+  std::map<u16, std::vector<std::size_t>> shard_history;
+  for (const auto& r : rounds)
+    for (const Migration& m : r) {
+      shard_history[m.tenant.value()].push_back(m.from);
+      shard_history[m.tenant.value()].push_back(m.to);
+    }
+  for (const auto& [vid, hist] : shard_history)
+    for (std::size_t i = 2; i < hist.size(); ++i)
+      EXPECT_NE(hist[i], hist[i - 2]) << "tenant " << vid << " ping-ponged";
 }
 
 // The migration itself is also reachable through stats: the tenant view
