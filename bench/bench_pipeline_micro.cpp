@@ -277,6 +277,8 @@ void EmitMicroJson() {
   BitVec scratch;
   std::vector<PipelineResult> results;
   const Packet req = CalcRequest();
+  Phv parse_phv;
+  const ModuleExecPlan& exec_plan = pipe.ExecPlanFor(m);
   const Row rows[] = {
       {"micro_cam_lookup_linear",
        MeasureNs([&] { benchmark::DoNotOptimize(cam.LookupLinear(key, m)); },
@@ -301,6 +303,22 @@ void EmitMicroJson() {
                                          benchmark::DoNotOptimize(scratch);
                                        },
                                        kIters, kWarmup)},
+      // Liveness-pruned parse (compiled execution plan) vs the linear
+      // full parse it is pinned against — the per-packet parser cost the
+      // batched path pays.
+      {"micro_parse_full", MeasureNs(
+                               [&] {
+                                 pipe.parser().ParseInto(req, parse_phv);
+                                 benchmark::DoNotOptimize(parse_phv);
+                               },
+                               kIters, kWarmup)},
+      {"micro_parse_plan", MeasureNs(
+                               [&] {
+                                 pipe.parser().ParseIntoPlanned(
+                                     req, parse_phv, exec_plan.parse);
+                                 benchmark::DoNotOptimize(parse_phv);
+                               },
+                               kIters, kWarmup)},
       {"micro_batched_pipeline_per_pkt", [&] {
          // The batches are consumed (moved from) by ProcessBatchInto, so
          // pre-build one per call outside the timed region — the row
@@ -309,6 +327,36 @@ void EmitMicroJson() {
          constexpr std::size_t kCallWarmup = 25;
          std::vector<std::vector<Packet>> pool(
              kCalls + kCallWarmup, std::vector<Packet>(1000, req));
+         std::size_t next = 0;
+         return MeasureNs(
+                    [&] {
+                      results.clear();
+                      pipe.ProcessBatchInto(std::move(pool.at(next++)),
+                                            results);
+                      benchmark::DoNotOptimize(results);
+                    },
+                    kCalls, kCallWarmup) /
+                1000.0;
+       }()},
+      {"micro_module_run", [&] {
+         // Per-packet cost when the batch interleaves tenants in blocks
+         // of 100 (one loaded calc tenant + three unconfigured ones):
+         // exercises the run segmentation — per-run BeginRun resolution,
+         // constant-key runs for the no-table tenants, and the run
+         // switch overhead — rather than one endless single-tenant run.
+         constexpr std::size_t kCalls = 200;
+         constexpr std::size_t kCallWarmup = 25;
+         std::vector<Packet> mixed;
+         mixed.reserve(1000);
+         const std::array<u16, 4> mix_vids = {2, 3, 4, 5};
+         for (std::size_t blk = 0; blk < 10; ++blk)
+           for (const u16 vid : mix_vids)
+             for (std::size_t i = 0; i < 25; ++i) {
+               Packet p = req;
+               p.set_vid(ModuleId(vid));
+               mixed.push_back(std::move(p));
+             }
+         std::vector<std::vector<Packet>> pool(kCalls + kCallWarmup, mixed);
          std::size_t next = 0;
          return MeasureNs(
                     [&] {

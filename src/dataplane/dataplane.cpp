@@ -1,6 +1,7 @@
 #include "dataplane/dataplane.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -22,6 +23,37 @@ u64 MixTenantId(u64 x) {
 // any replica's filter); this sentinel keeps them out of the per-tenant
 // counters.
 constexpr u16 kNoVid = 0xFFFF;
+
+// Grouping key for the no-VLAN packets during the scatter (they all go
+// to shard 0 as one pseudo-tenant group).
+constexpr u32 kNoVlanKey = ModuleId::kMax + 1;
+
+// Upper bound on pooled WorkBuffers: enough for several in-flight
+// tickets' worth of sub-batches without holding memory forever.
+constexpr std::size_t kBufferPoolCap = 64;
+
+/// Per-producer scatter scratch (thread-local, so any number of
+/// producers submit without sharing): the tenant-grouping tables and
+/// the per-shard work array, all reused across Submits so the scatter
+/// itself allocates nothing in steady state.
+struct ScatterScratch {
+  /// One tenant (or the no-VLAN pseudo-tenant) appearing in this batch.
+  struct Group {
+    u32 shard = 0;
+    u32 count = 0;   // packets in this group
+    u32 base = 0;    // start offset inside the shard's sub-batch
+    u32 cursor = 0;  // next position during placement
+  };
+  std::vector<Group> groups;        // first-appearance order
+  std::vector<u32> group_of;        // packet index -> group index
+  std::vector<u32> slot;            // key -> group index (stamped)
+  std::vector<u32> stamp;           // key -> generation of `slot`
+  u32 gen = 0;
+  std::vector<u32> shard_total;     // shard -> sub-batch size
+  std::vector<ingress::ShardWork> works;
+};
+
+thread_local ScatterScratch tls_scatter;
 
 }  // namespace
 
@@ -166,43 +198,118 @@ std::vector<PipelineResult> Dataplane::ProcessBatch(
   return Submit(std::move(ticket)).get();
 }
 
+Dataplane::WorkBuffers Dataplane::AcquireWorkBuffers() {
+  std::unique_lock<std::mutex> lk(pool_mutex_, std::try_to_lock);
+  if (lk.owns_lock() && !buffer_pool_.empty()) {
+    WorkBuffers b = std::move(buffer_pool_.back());
+    buffer_pool_.pop_back();
+    return b;
+  }
+  return WorkBuffers{};
+}
+
+void Dataplane::RecycleWorkBuffers(std::vector<Packet>&& packets,
+                                   std::vector<std::size_t>&& indices) {
+  packets.clear();  // elements are consumed husks; capacity is the value
+  indices.clear();
+  std::unique_lock<std::mutex> lk(pool_mutex_, std::try_to_lock);
+  if (!lk.owns_lock() || buffer_pool_.size() >= kBufferPoolCap) return;
+  buffer_pool_.push_back(WorkBuffers{std::move(packets), std::move(indices)});
+}
+
 void Dataplane::ScatterAndDispatch(
     BatchTicket&& ticket, const std::shared_ptr<ingress::TicketState>& state,
     bool inline_run) {
   const std::size_t shard_count = shards_.size();
-  std::vector<ingress::ShardWork> works(shard_count);
-
-  // Scatter: steer each packet to its tenant's shard, keeping arrival
-  // order within the shard (and therefore within each tenant).  Packets
-  // without a VLAN tag carry no tenant ID; any shard's filter drops them
-  // identically, so they go to shard 0.
   std::vector<Packet>& batch = ticket.batch;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const std::size_t s =
-        batch[i].has_vlan() ? ShardForLocked(batch[i].vid(), shard_count) : 0;
-    works[s].indices.push_back(i);
-    works[s].packets.push_back(std::move(batch[i]));
+  const std::size_t n = batch.size();
+  ScatterScratch& sc = tls_scatter;
+
+  // Pass 1 — group the batch by tenant (first-appearance order).  Each
+  // shard's sub-batch is laid out as whole tenant groups, maximizing the
+  // module-run length the pipeline's run segmentation sees, while the
+  // order *within* a tenant stays the arrival order — per-tenant streams
+  // are byte-identical to the ungrouped scatter (cross-tenant order
+  // within a sub-batch was never observable: tenants share no state and
+  // results gather by original batch index).  Packets without a VLAN tag
+  // form one pseudo-group on shard 0 (any replica's filter drops them
+  // identically).
+  if (sc.slot.size() < kNoVlanKey + 1) {
+    sc.slot.resize(kNoVlanKey + 1, 0);
+    sc.stamp.resize(kNoVlanKey + 1, 0);
+  }
+  if (++sc.gen == 0) {  // generation wrap: invalidate all stamps
+    std::fill(sc.stamp.begin(), sc.stamp.end(), 0u);
+    sc.gen = 1;
+  }
+  sc.groups.clear();
+  sc.group_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 key = batch[i].has_vlan() ? batch[i].vid().value() : kNoVlanKey;
+    if (sc.stamp[key] != sc.gen) {
+      sc.stamp[key] = sc.gen;
+      sc.slot[key] = static_cast<u32>(sc.groups.size());
+      const std::size_t s =
+          key == kNoVlanKey
+              ? 0
+              : ShardForLocked(ModuleId(static_cast<u16>(key)), shard_count);
+      sc.groups.push_back(
+          ScatterScratch::Group{static_cast<u32>(s), 0, 0, 0});
+    }
+    const u32 g = sc.slot[key];
+    ++sc.groups[g].count;
+    sc.group_of[i] = g;
+  }
+
+  // Group base offsets: a running prefix per shard, in first-appearance
+  // order, so each shard's sub-batch is a concatenation of its groups.
+  sc.shard_total.assign(shard_count, 0);
+  for (ScatterScratch::Group& g : sc.groups) {
+    g.base = sc.shard_total[g.shard];
+    g.cursor = 0;
+    sc.shard_total[g.shard] += g.count;
+  }
+
+  // Pass 2 — place the packets.  The per-shard vectors come from the
+  // recycle pool (workers return consumed sub-batch storage), so a
+  // steady load allocates nothing here.
+  if (sc.works.size() < shard_count) sc.works.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (sc.shard_total[s] == 0) continue;
+    WorkBuffers buffers = AcquireWorkBuffers();
+    sc.works[s].packets = std::move(buffers.packets);
+    sc.works[s].indices = std::move(buffers.indices);
+    sc.works[s].packets.resize(sc.shard_total[s]);
+    sc.works[s].indices.resize(sc.shard_total[s]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ScatterScratch::Group& g = sc.groups[sc.group_of[i]];
+    const std::size_t pos = g.base + g.cursor++;
+    sc.works[g.shard].packets[pos] = std::move(batch[i]);
+    sc.works[g.shard].indices[pos] = i;
   }
 
   std::size_t involved = 0;
-  for (const ingress::ShardWork& w : works)
-    if (!w.packets.empty()) ++involved;
+  for (std::size_t s = 0; s < shard_count; ++s)
+    if (sc.shard_total[s] != 0) ++involved;
   // +1: the submitter holds one reference until every shard is enqueued,
   // so a fast worker cannot complete the ticket mid-dispatch.  This also
   // makes an empty batch complete (with empty results) right here.
   state->shards_pending.store(involved + 1, std::memory_order_relaxed);
 
   for (std::size_t s = 0; s < shard_count; ++s) {
-    if (works[s].packets.empty()) continue;
-    works[s].ticket = state;
+    if (sc.shard_total[s] == 0) continue;
+    sc.works[s].ticket = state;
     if (inline_run) {
-      ExecuteWork(s, works[s]);
+      ExecuteWork(s, sc.works[s]);
+      sc.works[s] = ingress::ShardWork{};
       continue;
     }
     ShardContext& ctx = *shard_ctx_[s];
     // Backpressure: a full ring parks the producer, not the queue memory.
-    while (!ctx.queue.TryPush(std::move(works[s])))
+    while (!ctx.queue.TryPush(std::move(sc.works[s])))
       std::this_thread::yield();
+    sc.works[s] = ingress::ShardWork{};
     // Doorbell: ring only when the worker may be parked.  The seq_cst
     // pairing with the worker's park sequence guarantees that if the
     // worker saw an empty ring, we see parked == true here (or it sees
@@ -243,6 +350,7 @@ void Dataplane::WorkerLoop(ShardContext* ctx, std::size_t s) {
 
 void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
   ShardContext& ctx = *shard_ctx_[s];
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Input VIDs, snapshotted before processing: modules may rewrite the
   // VID in the packet bytes, but accounting follows the ingress tenant.
@@ -287,6 +395,14 @@ void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
   // decrement publishes them to whichever thread completes the ticket.
   for (std::size_t k = 0; k < ctx.results.size(); ++k)
     work.ticket->results[work.indices[k]] = std::move(ctx.results[k]);
+
+  // Return the consumed sub-batch storage to the producer pool and
+  // account the busy time before handing the ticket on.
+  RecycleWorkBuffers(std::move(work.packets), std::move(work.indices));
+  ctx.busy_ns.Add(static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
   work.ticket->FinishOneShard();
 }
 
@@ -459,6 +575,8 @@ Dataplane::ShardCounters Dataplane::ShardCountersLocked(std::size_t i) const {
   c.forwarded = ctx.forwarded.load();
   c.dropped = ctx.dropped.load();
   c.filtered = ctx.filtered.load();
+  c.queue_depth = ctx.queue.approx_size();
+  c.busy_ns = ctx.busy_ns.load();
   return c;
 }
 

@@ -7,7 +7,12 @@
 // thread that pulls work from its own bounded MPSC submission queue.
 //
 //   producer threads ──Submit(BatchTicket)──▶ per-shard MPSC rings
-//        │  (scatter: tenant → shard, lock-free enqueue)
+//        │  (scatter: tenant → shard, lock-free enqueue; each shard's
+//        │   sub-batch is laid out as whole tenant groups so the
+//        │   pipeline's module-run segmentation sees maximal runs —
+//        │   order within a tenant is always arrival order, and results
+//        │   gather by original batch index, so the grouping is
+//        │   invisible to every per-tenant byte stream)
 //        ▼
 //   shard workers pop sub-batches continuously, run
 //   Pipeline::ProcessBatchInto, and write results into the ticket's
@@ -207,6 +212,13 @@ class Dataplane {
     u64 forwarded = 0;
     u64 dropped = 0;   // filter-bitmap or ALU/deparser drops
     u64 filtered = 0;  // other non-data verdicts (reconfig, no VLAN)
+    /// Instantaneous ingress-ring occupancy (sub-batches waiting) at
+    /// snapshot time — with busy_ns the controller's per-shard
+    /// utilisation signal.
+    u64 queue_depth = 0;
+    /// Cumulative wall-clock nanoseconds this shard's worker spent
+    /// executing sub-batches.
+    u64 busy_ns = 0;
   };
   /// Relaxed per-shard view: never drains traffic, but does pin the
   /// shard set against a concurrent resize (see CountersSnapshotRelaxed).
@@ -292,11 +304,27 @@ class Dataplane {
 
     // Traffic counters (relaxed; see CountersSnapshotRelaxed).
     RelaxedCounter batches, packets, forwarded, dropped, filtered;
+    // Wall-clock ns spent executing sub-batches (one clock pair per
+    // sub-batch, never per packet).
+    RelaxedCounter busy_ns;
 
     // Worker-owned scratch, reused across sub-batches.
     std::vector<PipelineResult> results;
     std::vector<u16> vids;
   };
+
+  /// Recycled ShardWork storage: sub-batch packet/index vectors whose
+  /// elements were consumed keep their capacity and flow back to
+  /// producers, so a steady Submit load stops allocating (the ingress
+  /// scatter-scratch pool).  Guarded by pool_mutex_; both sides use
+  /// try_lock and fall back to fresh allocation under contention.
+  struct WorkBuffers {
+    std::vector<Packet> packets;
+    std::vector<std::size_t> indices;
+  };
+  [[nodiscard]] WorkBuffers AcquireWorkBuffers();
+  void RecycleWorkBuffers(std::vector<Packet>&& packets,
+                          std::vector<std::size_t>&& indices);
 
   void WorkerLoop(ShardContext* ctx, std::size_t s);
   /// Appends one replica (replaying the config log) and starts its
@@ -377,6 +405,10 @@ class Dataplane {
   std::unordered_map<u16, u64> retired_forwarded_;
   std::unordered_map<u16, u64> retired_dropped_;
   u64 retired_packets_ = 0;
+
+  // Recycled sub-batch buffer pool (see WorkBuffers).
+  mutable std::mutex pool_mutex_;
+  std::vector<WorkBuffers> buffer_pool_;
 };
 
 }  // namespace menshen

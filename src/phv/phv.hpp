@@ -161,6 +161,27 @@ class Phv {
   }
 
   [[nodiscard]] std::span<const u8> raw() const { return bytes_; }
+  /// Mutable raw view for the compiled parse/deparse plans, which move
+  /// bytes by precomputed container offsets (ByteOffsetOf) instead of
+  /// per-action container dispatch.
+  [[nodiscard]] std::span<u8> mutable_raw() { return bytes_; }
+
+  /// Byte offset of a container within the PHV — the compile-time form
+  /// of ContainerBytes, used by the execution-plan compiler.
+  [[nodiscard]] static std::size_t ByteOffsetOf(ContainerRef c) {
+    if (c.index >= kContainersPerType)
+      throw std::out_of_range("PHV container index out of range");
+    // Layout: 8 x 2B, then 8 x 4B, then 8 x 6B, then 32B metadata.
+    switch (c.type) {
+      case ContainerType::k2B:
+        return c.index * 2;
+      case ContainerType::k4B:
+        return kContainersPerType * 2 + c.index * 4;
+      case ContainerType::k6B:
+        return kContainersPerType * (2 + 4) + c.index * 6;
+    }
+    throw std::invalid_argument("bad container type");
+  }
 
   /// The module ID travels alongside the PHV (split from it by the
   /// "masking RAM read latency" optimization, section 3.2, but logically
@@ -176,18 +197,7 @@ class Phv {
       kContainersPerType * (2 + 4 + 6);  // metadata follows the containers
 
   [[nodiscard]] std::size_t ContainerOffset(ContainerRef c) const {
-    if (c.index >= kContainersPerType)
-      throw std::out_of_range("PHV container index out of range");
-    // Layout: 8 x 2B, then 8 x 4B, then 8 x 6B, then 32B metadata.
-    switch (c.type) {
-      case ContainerType::k2B:
-        return c.index * 2;
-      case ContainerType::k4B:
-        return kContainersPerType * 2 + c.index * 4;
-      case ContainerType::k6B:
-        return kContainersPerType * (2 + 4) + c.index * 6;
-    }
-    throw std::invalid_argument("bad container type");
+    return ByteOffsetOf(c);
   }
 
   static void CheckMeta(std::size_t off, std::size_t len) {

@@ -2,94 +2,44 @@
 
 namespace menshen {
 
-u64 ActionEngine::ReadSlot(const Phv& phv, u8 flat) {
-  if (const auto c = FlatToContainer(flat)) return phv.Read(*c);
-  return phv.meta_u16(meta::kUser);
-}
-
-void ActionEngine::WriteSlot(Phv& phv, u8 flat, u64 value) {
-  if (const auto c = FlatToContainer(flat)) {
-    phv.Write(*c, value);
-  } else {
-    phv.set_meta_u16(meta::kUser, static_cast<u16>(value));
+VliwPlan VliwPlan::Compile(const VliwEntry& vliw) {
+  VliwPlan plan;
+  u32 written_before = 0;  // flat containers written by earlier active slots
+  for (std::size_t slot = 0; slot < vliw.slots.size(); ++slot) {
+    const AluAction& a = vliw.slots[slot];
+    if (a.op == AluOp::kNop) continue;
+    plan.active[plan.count++] = static_cast<u8>(slot);
+    // A used operand naming a container an earlier active slot writes
+    // would observe the new value under direct in-place execution; such
+    // entries keep the snapshot.
+    if (OpReadsContainer1(a.op) && (written_before & (u32{1} << a.container1)))
+      plan.in_place_safe = false;
+    if (OpReadsContainer2(a.op) && (written_before & (u32{1} << a.container2)))
+      plan.in_place_safe = false;
+    if (OpWritesSlotContainer(a.op)) written_before |= u32{1} << slot;
   }
+  return plan;
 }
 
 Phv ActionEngine::Execute(const VliwEntry& vliw, const Phv& phv,
                           StatefulMemory& state) {
   Phv out = phv;  // slots with kNop keep the incoming value
-  Apply(vliw, phv, out, state);
+  Apply(vliw, phv, out, state.ResolveSegment(phv.module_id));
   return out;
 }
 
 void ActionEngine::ExecuteInPlace(const VliwEntry& vliw, Phv& phv,
                                   Phv& snapshot, StatefulMemory& state) {
   snapshot = phv;
-  Apply(vliw, snapshot, phv, state);
+  Apply(vliw, snapshot, phv, state.ResolveSegment(phv.module_id));
 }
 
-void ActionEngine::Apply(const VliwEntry& vliw, const Phv& phv, Phv& out,
-                         StatefulMemory& state) {
-  const ModuleId module = phv.module_id;
-
+void ActionEngine::Apply(const VliwEntry& vliw, const Phv& in, Phv& out,
+                         const StatefulMemory::Segment& state) {
   for (std::size_t slot = 0; slot < vliw.slots.size(); ++slot) {
     const AluAction& a = vliw.slots[slot];
     if (a.op == AluOp::kNop) continue;
-
-    // Operands always come from the *incoming* PHV snapshot.
-    const u64 v1 = ReadSlot(phv, a.container1);
-    const u64 v2 = ReadSlot(phv, a.container2);
-    const u8 dst = static_cast<u8>(slot);
-
-    switch (a.op) {
-      case AluOp::kNop:
-        break;
-      case AluOp::kAdd:
-        WriteSlot(out, dst, v1 + v2);
-        break;
-      case AluOp::kSub:
-        WriteSlot(out, dst, v1 - v2);
-        break;
-      case AluOp::kAddi:
-        WriteSlot(out, dst, v1 + a.immediate);
-        break;
-      case AluOp::kSubi:
-        WriteSlot(out, dst, v1 - a.immediate);
-        break;
-      case AluOp::kSet:
-        WriteSlot(out, dst, a.immediate);
-        break;
-      case AluOp::kLoad:
-        WriteSlot(out, dst, state.Load(module, a.immediate));
-        break;
-      case AluOp::kStore:
-        state.Store(module, a.immediate, v1);
-        break;
-      case AluOp::kLoadd:
-        WriteSlot(out, dst, state.LoadAddStore(module, a.immediate));
-        break;
-      case AluOp::kPort:
-        out.set_meta_u16(meta::kDstPort, a.immediate);
-        break;
-      case AluOp::kDiscard:
-        out.set_discard_flag(true);
-        break;
-      case AluOp::kCopy:
-        WriteSlot(out, dst, v1);
-        break;
-      case AluOp::kLoadc:
-        WriteSlot(out, dst, state.Load(module, v2));
-        break;
-      case AluOp::kStorec:
-        state.Store(module, v2, v1);
-        break;
-      case AluOp::kLoaddc:
-        WriteSlot(out, dst, state.LoadAddStore(module, v2));
-        break;
-      case AluOp::kMcast:
-        out.set_meta_u16(meta::kMulticastGroup, a.immediate);
-        break;
-    }
+    ApplySlot(a, static_cast<u8>(slot), in, out, state);
   }
 }
 

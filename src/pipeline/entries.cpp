@@ -98,6 +98,8 @@ constexpr std::array<ContainerType, 6> kSlotTypes = {
     ContainerType::k4B, ContainerType::k2B, ContainerType::k2B};
 }  // namespace
 
+std::array<ContainerType, 6> KeySlotTypes() { return kSlotTypes; }
+
 ByteBuffer KeyExtractorEntry::Encode() const {
   // 38 bits: selectors (18) | cmp_op (4) | cmp_a (8) | cmp_b (8).
   u64 bits = 0;
@@ -320,6 +322,52 @@ bool OpTouchesState(AluOp op) {
   }
 }
 
+bool OpReadsContainer1(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd:
+    case AluOp::kSub:
+    case AluOp::kAddi:
+    case AluOp::kSubi:
+    case AluOp::kStore:
+    case AluOp::kCopy:
+    case AluOp::kStorec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpReadsContainer2(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd:
+    case AluOp::kSub:
+    case AluOp::kLoadc:
+    case AluOp::kStorec:
+    case AluOp::kLoaddc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpWritesSlotContainer(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd:
+    case AluOp::kSub:
+    case AluOp::kAddi:
+    case AluOp::kSubi:
+    case AluOp::kSet:
+    case AluOp::kLoad:
+    case AluOp::kLoadd:
+    case AluOp::kCopy:
+    case AluOp::kLoadc:
+    case AluOp::kLoaddc:
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* AluOpName(AluOp op) {
   switch (op) {
     case AluOp::kNop: return "nop";
@@ -429,14 +477,6 @@ SegmentEntry SegmentEntry::Decode(const ByteBuffer& bytes) {
   if (bytes.size() != 2)
     throw std::invalid_argument("segment entry must be 2 bytes");
   return SegmentEntry{bytes.u8_at(0), bytes.u8_at(1)};
-}
-
-// --- Misc ---------------------------------------------------------------------
-
-std::optional<ContainerRef> FlatToContainer(u8 flat) {
-  if (flat >= kMetadataSlot) return std::nullopt;
-  return ContainerRef{static_cast<ContainerType>(flat / kContainersPerType),
-                      static_cast<u8>(flat % kContainersPerType)};
 }
 
 }  // namespace menshen

@@ -147,6 +147,12 @@ struct KeySlot {
 };
 [[nodiscard]] std::array<KeySlot, 6> KeySlots();
 
+/// Container type each key slot draws from, in `selectors` order
+/// ({1st6B, 2nd6B, 1st4B, 2nd4B, 1st2B, 2nd2B}) — combined with a
+/// selector index this names the PHV container a slot reads, which the
+/// execution-plan liveness analysis needs.
+[[nodiscard]] std::array<ContainerType, 6> KeySlotTypes();
+
 // ---------------------------------------------------------------------------
 // Exact-match CAM entries: 193-bit key + 12-bit module ID = 205 bits.
 // ---------------------------------------------------------------------------
@@ -203,6 +209,14 @@ enum class AluOp : u8 {
 
 [[nodiscard]] bool OpUsesImmediate(AluOp op);
 [[nodiscard]] bool OpTouchesState(AluOp op);
+// Which operands an opcode consumes and whether its result lands in the
+// slot's container — the dataflow facts the VLIW plan compiler
+// (pipeline/action_engine) and the execution-plan liveness analysis
+// (pipeline/exec_plan) share.  The engine reads both operand registers
+// unconditionally, but only these influence the result or state.
+[[nodiscard]] bool OpReadsContainer1(AluOp op);
+[[nodiscard]] bool OpReadsContainer2(AluOp op);
+[[nodiscard]] bool OpWritesSlotContainer(AluOp op);
 [[nodiscard]] const char* AluOpName(AluOp op);
 
 struct AluAction {
@@ -240,8 +254,13 @@ struct SegmentEntry {
 };
 
 /// Converts a flat container number (0-24) to a ContainerRef; flat 24 is
-/// the metadata pseudo-container and has no ContainerRef.
-[[nodiscard]] std::optional<ContainerRef> FlatToContainer(u8 flat);
+/// the metadata pseudo-container and has no ContainerRef.  Inline: this
+/// sits on the per-slot ALU hot path (operand reads and result writes).
 inline constexpr u8 kMetadataSlot = 24;
+[[nodiscard]] inline std::optional<ContainerRef> FlatToContainer(u8 flat) {
+  if (flat >= kMetadataSlot) return std::nullopt;
+  return ContainerRef{static_cast<ContainerType>(flat / kContainersPerType),
+                      static_cast<u8>(flat % kContainersPerType)};
+}
 
 }  // namespace menshen

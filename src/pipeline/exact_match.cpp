@@ -54,6 +54,7 @@ void ExactMatchCam::Write(std::size_t address, CamEntry entry) {
   entry.RefreshWordCache();
   entries_[address] = std::move(entry);
   RebuildIndex();
+  ++version_;
 }
 
 void ExactMatchCam::RebuildIndex() {

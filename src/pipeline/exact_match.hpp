@@ -51,6 +51,50 @@ class ExactMatchCam {
   [[nodiscard]] std::optional<std::size_t> LookupWord(u64 key_w0,
                                                       ModuleId module) const;
 
+  // Per-module shadow-index handles, resolved once per module run so
+  // the per-packet probe skips the outer module-map hop.  A handle is
+  // invalidated by any Write (the indexes rebuild); run contexts never
+  // span a configuration change, so they re-resolve in time.  A null
+  // handle is valid and always misses (module owns no indexed entries).
+  using WordIndexHandle = const std::unordered_map<u64, u32>*;
+  using KeyIndexHandle = const std::unordered_map<BitVec, u32>*;
+  [[nodiscard]] WordIndexHandle WordIndexFor(ModuleId module) const {
+    const auto mit = word_index_.find(module.value());
+    return mit == word_index_.end() ? nullptr : &mit->second;
+  }
+  [[nodiscard]] KeyIndexHandle KeyIndexFor(ModuleId module) const {
+    const auto mit = index_.find(module.value());
+    return mit == index_.end() ? nullptr : &mit->second;
+  }
+  /// LookupWord against a pre-resolved handle: same result, same
+  /// counters, one hash probe.
+  [[nodiscard]] std::optional<std::size_t> LookupWordWith(WordIndexHandle h,
+                                                          u64 key_w0) const {
+    lookups_.Add();
+    if (h != nullptr) {
+      const auto kit = h->find(key_w0);
+      if (kit != h->end()) {
+        hits_.Add();
+        return kit->second;
+      }
+    }
+    return std::nullopt;
+  }
+  /// Lookup against a pre-resolved handle (wide-key path).
+  [[nodiscard]] std::optional<std::size_t> LookupWith(KeyIndexHandle h,
+                                                      const BitVec& key) const {
+    lookups_.Add();
+    CheckKeyWidth(key);
+    if (h != nullptr) {
+      const auto kit = h->find(key);
+      if (kit != h->end()) {
+        hits_.Add();
+        return kit->second;
+      }
+    }
+    return std::nullopt;
+  }
+
   /// The hardware's linear scan, retained as the debug/differential
   /// reference for the shadow indexes.  Same counters, same result.
   [[nodiscard]] std::optional<std::size_t> LookupLinear(const BitVec& key,
@@ -66,6 +110,19 @@ class ExactMatchCam {
   [[nodiscard]] u64 lookups() const { return lookups_.load(); }
   [[nodiscard]] u64 hits() const { return hits_.load(); }
 
+  /// Accounts `n` additional lookups whose result a run context resolved
+  /// once (an all-zero-mask module probes the same key every packet):
+  /// the counters advance exactly as if each packet had probed.
+  void NoteConstantLookups(u64 n, bool hit) const {
+    lookups_.Add(n);
+    if (hit) hits_.Add(n);
+  }
+
+  /// Bumped on every Write — lets derived caches (the pipeline's
+  /// execution plans) detect entry changes without being wired into the
+  /// configuration path.
+  [[nodiscard]] u64 version() const { return version_; }
+
  private:
   void CheckKeyWidth(const BitVec& key) const;
   /// Rebuilds both shadow indexes from the stored entries (config path
@@ -80,6 +137,7 @@ class ExactMatchCam {
   std::unordered_map<u16, std::unordered_map<u64, u32>> word_index_;
   mutable RelaxedCounter lookups_;
   mutable RelaxedCounter hits_;
+  u64 version_ = 0;
 };
 
 }  // namespace menshen

@@ -1,0 +1,82 @@
+// Compiled per-module execution plans: liveness-pruned parse/deparse.
+//
+// A tenant's module binding fully determines which PHV containers any
+// stage can read — the key-extractor selections, the predicate operands
+// and the VLIW actions reachable through the module's match entries name
+// every container that can influence processing.  Everything else the
+// parser would extract is provably dead, and a deparse action that
+// writes an unmodified container back to the very bytes it was parsed
+// from is provably a no-op.  CompileModuleExecPlan walks one overlay
+// row's configuration across every stage and compiles a ParsePlan /
+// DeparsePlan holding only the actions that can matter, so the batched
+// hot path skips the dead byte movement.  The linear full parse/deparse
+// (Parser::ParseInto, Deparser::Deparse) survives unchanged as the
+// differential reference; tests/test_exec_plan.cpp pins the two
+// byte-identical on every tenant-observable output.
+//
+// Plans are compiled per overlay row but conservatively: reachable match
+// entries are collected for every module ID aliasing the row, so an
+// aliased module (IDs beyond the table depth, rejected by admission but
+// exercised by tests) only ever makes *more* containers live — never
+// less, which is the safe direction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "pipeline/entries.hpp"
+#include "pipeline/params.hpp"
+
+namespace menshen {
+
+class Stage;
+
+/// One surviving parse/deparse action compiled to raw byte movement:
+/// the PHV container resolved to its byte offset at plan-compile time,
+/// so the hot path is a bounds check and a memcpy.
+struct PlannedMove {
+  u8 phv_off = 0;  // container byte offset within the PHV
+  u8 width = 0;    // container width in bytes
+  u8 pkt_off = 0;  // byte offset within the parser window
+};
+
+/// The surviving subset of one module's parser actions (valid and live),
+/// in original table order.
+struct ParsePlan {
+  std::array<PlannedMove, params::kParserActionsPerEntry> moves{};
+  u8 count = 0;        // live actions compiled into `moves`
+  u8 pruned = 0;       // valid actions dropped as dead
+};
+
+/// The surviving subset of one module's deparser actions (valid and not
+/// provably identity), in original table order.
+struct DeparsePlan {
+  std::array<PlannedMove, params::kParserActionsPerEntry> moves{};
+  u8 count = 0;
+  u8 pruned = 0;       // valid actions dropped as identity writes
+};
+
+/// One overlay row's compiled execution plan, cached by Pipeline and
+/// invalidated off the overlay/config version counters.
+struct ModuleExecPlan {
+  ParsePlan parse;
+  DeparsePlan deparse;
+  /// Flat-container bitmask (bit f = flat container f, 0-23) of the
+  /// containers some stage can read under this row's configuration —
+  /// key-extractor slots surviving the mask, predicate operands, and
+  /// operands of VLIW actions reachable through the row's match entries.
+  u32 read_live = 0;
+  /// Flat-container bitmask of the containers a reachable VLIW action
+  /// may overwrite.
+  u32 written = 0;
+};
+
+/// Compiles the execution plan for overlay row `row`: computes container
+/// liveness across `num_stages` stages and prunes the row's parser /
+/// deparser entries accordingly.
+[[nodiscard]] ModuleExecPlan CompileModuleExecPlan(
+    const ParserEntry& parse_entry, const DeparserEntry& deparse_entry,
+    const Stage* stages, std::size_t num_stages, std::size_t row);
+
+}  // namespace menshen

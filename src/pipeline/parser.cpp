@@ -1,8 +1,71 @@
 #include "pipeline/parser.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace menshen {
+
+namespace {
+
+/// Shared data-movement core of the full and planned parse paths: pulls
+/// one action's bytes from the parser window into its PHV container.
+/// Bytes beyond the window or the packet read as zero (the PHV is
+/// already zeroed).  The common case — the whole span inside both the
+/// window and the packet — is a single memcpy.
+inline void ExtractAction(const ParserAction& a, const Packet& pkt, Phv& phv) {
+  auto dst = phv.ContainerBytes(a.container);
+  const std::size_t start = a.bytes_from_head;
+  const std::size_t limit =
+      std::min<std::size_t>(kParserWindowBytes, pkt.size());
+  if (start + dst.size() <= limit) {
+    std::memcpy(dst.data(), pkt.bytes().bytes().data() + start, dst.size());
+    return;
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::size_t off = start + i;
+    if (off < limit) dst[i] = pkt.bytes().u8_at(off);
+  }
+}
+
+/// Inverse movement for the deparser: writes one action's container
+/// bytes back into the packet at the configured offset.
+inline void DepositAction(const ParserAction& a, const Phv& phv, Packet& pkt) {
+  const auto src = phv.ContainerBytes(a.container);
+  const std::size_t start = a.bytes_from_head;
+  const std::size_t limit =
+      std::min<std::size_t>(kParserWindowBytes, pkt.size());
+  if (start + src.size() <= limit) {
+    std::memcpy(pkt.bytes().bytes().data() + start, src.data(), src.size());
+    return;
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const std::size_t off = start + i;
+    if (off < limit) pkt.bytes().set_u8(off, src[i]);
+  }
+}
+
+/// Metadata the pipeline provides on every packet (section 4.3), shared
+/// by both parse paths.
+inline void FillPipelineMetadata(const Packet& pkt, Phv& phv) {
+  phv.set_meta_u16(meta::kSrcPort, pkt.ingress_port);
+  phv.set_meta_u16(meta::kPktLen, static_cast<u16>(
+                                      std::min<std::size_t>(pkt.size(), 0xFFFF)));
+  phv.set_meta_u8(meta::kBufferTag, static_cast<u8>(1u << (pkt.buffer_tag & 3)));
+}
+
+/// Disposition epilogue of both deparse paths.
+inline void ApplyDisposition(const Phv& phv, Packet& pkt) {
+  if (phv.discard_flag()) {
+    pkt.disposition = Disposition::kDrop;
+  } else if (!pkt.multicast_ports.empty()) {
+    pkt.disposition = Disposition::kMulticast;
+  } else {
+    pkt.disposition = Disposition::kForward;
+    pkt.egress_port = phv.meta_u16(meta::kDstPort);
+  }
+}
+
+}  // namespace
 
 Phv Parser::Parse(const Packet& pkt) const {
   Phv phv;  // constructor zeroes every byte (isolation, section 4.1)
@@ -13,24 +76,37 @@ Phv Parser::Parse(const Packet& pkt) const {
 void Parser::ParseInto(const Packet& pkt, Phv& phv) const {
   phv.Clear();  // reused buffers must start all-zero (isolation, section 4.1)
   phv.module_id = pkt.vid();
-
-  // Pipeline-provided metadata (section 4.3).
-  phv.set_meta_u16(meta::kSrcPort, pkt.ingress_port);
-  phv.set_meta_u16(meta::kPktLen, static_cast<u16>(
-                                      std::min<std::size_t>(pkt.size(), 0xFFFF)));
-  phv.set_meta_u8(meta::kBufferTag, static_cast<u8>(1u << (pkt.buffer_tag & 3)));
+  FillPipelineMetadata(pkt, phv);
 
   const ParserEntry& entry = table_.Lookup(phv.module_id);
   for (const ParserAction& a : entry.actions) {
     if (!a.valid) continue;
-    auto dst = phv.ContainerBytes(a.container);
-    const std::size_t start = a.bytes_from_head;
-    // Extraction is confined to the 128-byte parser window; bytes beyond
-    // the end of the packet read as zero (the PHV is already zeroed).
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      const std::size_t off = start + i;
-      if (off < kParserWindowBytes && off < pkt.size())
-        dst[i] = pkt.bytes().u8_at(off);
+    ExtractAction(a, pkt, phv);
+  }
+}
+
+void Parser::ParseIntoPlanned(const Packet& pkt, Phv& phv,
+                              const ParsePlan& plan) const {
+  phv.Clear();  // pruned containers must read as zero, like any dead one
+  phv.module_id = pkt.vid();
+  FillPipelineMetadata(pkt, phv);
+
+  u8* const dst_base = phv.mutable_raw().data();
+  const u8* const src_base = pkt.bytes().bytes().data();
+  const std::size_t limit =
+      std::min<std::size_t>(kParserWindowBytes, pkt.size());
+  for (std::size_t i = 0; i < plan.count; ++i) {
+    const PlannedMove& mv = plan.moves[i];
+    const std::size_t end = static_cast<std::size_t>(mv.pkt_off) + mv.width;
+    if (end <= limit) {
+      std::memcpy(dst_base + mv.phv_off, src_base + mv.pkt_off, mv.width);
+    } else {
+      // Clipped tail: bytes beyond the window/packet read as zero (the
+      // PHV is already zeroed).
+      for (std::size_t b = 0; b < mv.width; ++b) {
+        const std::size_t off = static_cast<std::size_t>(mv.pkt_off) + b;
+        if (off < limit) dst_base[mv.phv_off + b] = src_base[off];
+      }
     }
   }
 }
@@ -39,24 +115,30 @@ void Deparser::Deparse(const Phv& phv, Packet& pkt) const {
   const DeparserEntry& entry = table_.Lookup(phv.module_id);
   for (const ParserAction& a : entry.actions) {
     if (!a.valid) continue;
-    const auto src = phv.ContainerBytes(a.container);
-    const std::size_t start = a.bytes_from_head;
-    for (std::size_t i = 0; i < src.size(); ++i) {
-      const std::size_t off = start + i;
-      if (off < kParserWindowBytes && off < pkt.size())
-        pkt.bytes().set_u8(off, src[i]);
+    DepositAction(a, phv, pkt);
+  }
+  ApplyDisposition(phv, pkt);
+}
+
+void Deparser::DeparsePlanned(const Phv& phv, Packet& pkt,
+                              const DeparsePlan& plan) const {
+  const u8* const src_base = phv.raw().data();
+  u8* const dst_base = pkt.bytes().bytes().data();
+  const std::size_t limit =
+      std::min<std::size_t>(kParserWindowBytes, pkt.size());
+  for (std::size_t i = 0; i < plan.count; ++i) {
+    const PlannedMove& mv = plan.moves[i];
+    const std::size_t end = static_cast<std::size_t>(mv.pkt_off) + mv.width;
+    if (end <= limit) {
+      std::memcpy(dst_base + mv.pkt_off, src_base + mv.phv_off, mv.width);
+    } else {
+      for (std::size_t b = 0; b < mv.width; ++b) {
+        const std::size_t off = static_cast<std::size_t>(mv.pkt_off) + b;
+        if (off < limit) dst_base[off] = src_base[mv.phv_off + b];
+      }
     }
   }
-
-  // Apply pipeline disposition metadata.
-  if (phv.discard_flag()) {
-    pkt.disposition = Disposition::kDrop;
-  } else if (!pkt.multicast_ports.empty()) {
-    pkt.disposition = Disposition::kMulticast;
-  } else {
-    pkt.disposition = Disposition::kForward;
-    pkt.egress_port = phv.meta_u16(meta::kDstPort);
-  }
+  ApplyDisposition(phv, pkt);
 }
 
 }  // namespace menshen

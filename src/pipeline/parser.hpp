@@ -12,6 +12,7 @@
 #include "packet/packet.hpp"
 #include "phv/phv.hpp"
 #include "pipeline/entries.hpp"
+#include "pipeline/exec_plan.hpp"
 #include "pipeline/overlay_table.hpp"
 
 namespace menshen {
@@ -23,8 +24,19 @@ class Parser {
 
   /// Batched hot path: parses `pkt` into the caller-owned `phv`, clearing
   /// it first so buffer reuse across packets preserves the zero-PHV
-  /// isolation guarantee.
+  /// isolation guarantee.  This is the linear full parse — every valid
+  /// action of the module's entry runs — retained as the differential
+  /// reference for the planned variant below.
   void ParseInto(const Packet& pkt, Phv& phv) const;
+
+  /// Compiled-plan variant: runs only the plan's live actions (the
+  /// pipeline's liveness analysis pruned the rest), no per-action valid
+  /// checks, no overlay-table read — the caller resolved the plan per
+  /// module run.  Containers whose parse was pruned stay zero; they are
+  /// provably unobservable in the packet the pipeline emits
+  /// (tests/test_exec_plan.cpp pins this against ParseInto).
+  void ParseIntoPlanned(const Packet& pkt, Phv& phv,
+                        const ParsePlan& plan) const;
 
   [[nodiscard]] OverlayTable<ParserEntry>& table() { return table_; }
   [[nodiscard]] const OverlayTable<ParserEntry>& table() const {
@@ -39,8 +51,15 @@ class Deparser {
  public:
   /// Writes the PHV containers named by the module's deparser entry back
   /// into the packet header bytes, then applies the PHV's disposition
-  /// metadata (egress port / discard flag) to the packet.
+  /// metadata (egress port / discard flag) to the packet.  Linear full
+  /// deparse — the differential reference for the planned variant.
   void Deparse(const Phv& phv, Packet& pkt) const;
+
+  /// Compiled-plan variant: writes back only the actions that can change
+  /// packet bytes — identity writes (unmodified container returning to
+  /// the offset it was parsed from) were pruned at plan compile time.
+  void DeparsePlanned(const Phv& phv, Packet& pkt,
+                      const DeparsePlan& plan) const;
 
   [[nodiscard]] OverlayTable<DeparserEntry>& table() { return table_; }
   [[nodiscard]] const OverlayTable<DeparserEntry>& table() const {

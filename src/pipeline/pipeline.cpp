@@ -10,10 +10,59 @@ Pipeline::Pipeline(PipelineTiming timing, bool reconfig_on_data_path)
       filter_(timing.deparsers, reconfig_on_data_path),
       stages_(params::kNumStages) {}
 
+u64 Pipeline::ConfigVersionSum() const {
+  // Every configuration mutation path bumps one of these monotonic
+  // counters, so the sum moves on any write — epoch commits, direct
+  // table writes from tests, and ResizeShards config-log replay alike.
+  u64 sum = parser_.table().version() + deparser_.table().version();
+  for (const Stage& stage : stages_)
+    sum += stage.key_extractor().version() + stage.key_mask().version() +
+           stage.cam().version() + stage.tcam().version() +
+           stage.vliw_version();
+  return sum;
+}
+
+const ModuleExecPlan& Pipeline::ExecPlanFor(ModuleId module) {
+  const std::size_t row = parser_.table().IndexFor(module);
+  CachedExecPlan& cached = exec_plans_[row];
+  const u64 stamp = ConfigVersionSum();
+  if (cached.built_at_version != stamp) {
+    cached.plan = CompileModuleExecPlan(parser_.table().At(row),
+                                        deparser_.table().At(row),
+                                        stages_.data(), stages_.size(), row);
+    cached.built_at_version = stamp;
+  }
+  return cached.plan;
+}
+
+void Pipeline::RunOne(Packet& pkt, PipelineResult& result,
+                      const ModuleExecPlan& plan, u64& fwd, u64& drop) {
+  ++total_processed_;
+  parser_.ParseIntoPlanned(pkt, batch_phv_, plan.parse);
+  for (std::size_t s = 0; s < stages_.size(); ++s)
+    stages_[s].ProcessRun(batch_phv_, run_ctx_[s]);
+
+  // Multicast resolution (traffic-manager side, consulted by the deparser).
+  const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+  if (group != 0) {
+    if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
+  }
+
+  deparser_.DeparsePlanned(batch_phv_, pkt, plan.deparse);
+
+  if (pkt.disposition == Disposition::kDrop)
+    ++drop;
+  else
+    ++fwd;
+
+  result.final_phv = batch_phv_;
+  result.output = std::move(pkt);
+}
+
 PipelineResult Pipeline::Process(Packet pkt) {
-  // Reference per-packet path.  ProcessBatchInto below is the optimized
-  // mirror of this body — a semantic change here must be made there too
-  // (tests/test_dataplane.cpp pins the two paths byte-for-byte).
+  // Single-packet front door: a module run of length one through the
+  // same compiled-plan machinery as ProcessBatchInto (the dataplane
+  // differential tests pin the two byte-for-byte).
   //
   // Disposition fields are per-device simulation sidebands, not packet
   // bytes: a packet entering this pipeline carries none of the previous
@@ -30,11 +79,35 @@ PipelineResult Pipeline::Process(Packet pkt) {
     return result;
   }
 
+  const ModuleId module = pkt.vid();
+  const ModuleExecPlan& plan = ExecPlanFor(module);
+  for (std::size_t s = 0; s < stages_.size(); ++s)
+    stages_[s].BeginRun(module, 1, run_ctx_[s]);
+  RunOne(pkt, result, plan, forwarded_[module.value()],
+         dropped_[module.value()]);
+  return result;
+}
+
+PipelineResult Pipeline::ProcessUnplanned(Packet pkt) {
+  // The linear reference path: full parse, per-packet overlay reads,
+  // full deparse.  tests/test_exec_plan.cpp pins the compiled-plan paths
+  // against this on every tenant-observable output.
+  pkt.disposition = Disposition::kForward;
+  pkt.egress_port = 0;
+  pkt.multicast_ports.clear();
+
+  PipelineResult result;
+  result.filter_verdict = filter_.Classify(pkt);
+  if (result.filter_verdict != FilterVerdict::kData) {
+    if (result.filter_verdict == FilterVerdict::kDropBitmap)
+      ++dropped_[pkt.vid().value()];
+    return result;
+  }
+
   ++total_processed_;
   Phv phv = parser_.Parse(pkt);
   for (Stage& stage : stages_) phv = stage.Process(phv);
 
-  // Multicast resolution (traffic-manager side, consulted by the deparser).
   const u16 group = phv.meta_u16(meta::kMulticastGroup);
   if (group != 0) {
     if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
@@ -54,8 +127,16 @@ PipelineResult Pipeline::Process(Packet pkt) {
 
 void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
                                 std::vector<PipelineResult>& out) {
-  out.reserve(out.size() + batch.size());
-  for (Packet& pkt : batch) {
+  const std::size_t base = out.size();
+  const std::size_t n = batch.size();
+  out.reserve(base + n);
+
+  // Pass 1 — classify every packet in arrival order (the filter's
+  // round-robin buffer-tag cursor and drop counters advance exactly as
+  // on the per-packet path) and finish the non-data packets outright.
+  data_idx_scratch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    Packet& pkt = batch[i];
     PipelineResult& result = out.emplace_back();
 
     // Same sideband reset as Process(): no forwarding decision survives
@@ -70,26 +151,35 @@ void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
         ++dropped_[pkt.vid().value()];
       continue;
     }
+    data_idx_scratch_.push_back(static_cast<u32>(i));
+  }
 
-    ++total_processed_;
-    parser_.ParseInto(pkt, batch_phv_);
-    for (Stage& stage : stages_) stage.ProcessInPlace(batch_phv_);
+  // Pass 2 — execute the data packets as module runs: maximal spans of
+  // consecutive data packets sharing a tenant (non-data packets never
+  // touch the stages, so they do not break a run).  Per run, each
+  // stage's overlay lookups / key plan / stateful segment and the
+  // module's parse/deparse plans are resolved once.
+  std::size_t a = 0;
+  while (a < data_idx_scratch_.size()) {
+    const ModuleId module = batch[data_idx_scratch_[a]].vid();
+    std::size_t b = a + 1;
+    while (b < data_idx_scratch_.size() &&
+           batch[data_idx_scratch_[b]].vid() == module)
+      ++b;
 
-    const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
-    if (group != 0) {
-      if (const auto* ports = MulticastGroup(group))
-        pkt.multicast_ports = *ports;
+    const ModuleExecPlan& plan = ExecPlanFor(module);
+    for (std::size_t s = 0; s < stages_.size(); ++s)
+      stages_[s].BeginRun(module, b - a, run_ctx_[s]);
+    // unordered_map references are stable across inserts, so the run's
+    // counter slots are hoisted out of the packet loop.
+    u64& fwd = forwarded_[module.value()];
+    u64& drop = dropped_[module.value()];
+
+    for (std::size_t k = a; k < b; ++k) {
+      const std::size_t i = data_idx_scratch_[k];
+      RunOne(batch[i], out[base + i], plan, fwd, drop);
     }
-
-    deparser_.Deparse(batch_phv_, pkt);
-
-    if (pkt.disposition == Disposition::kDrop)
-      ++dropped_[batch_phv_.module_id.value()];
-    else
-      ++forwarded_[batch_phv_.module_id.value()];
-
-    result.final_phv = batch_phv_;
-    result.output = std::move(pkt);
+    a = b;
   }
 }
 

@@ -13,6 +13,7 @@
 #include "packet/packet.hpp"
 #include "phv/phv.hpp"
 #include "pipeline/config_write.hpp"
+#include "pipeline/exec_plan.hpp"
 #include "pipeline/packet_filter.hpp"
 #include "pipeline/params.hpp"
 #include "pipeline/parser.hpp"
@@ -37,20 +38,42 @@ class Pipeline {
   /// Runs one data packet through filter, parser, stages and deparser.
   /// Reconfiguration packets reaching the filter from the data path are
   /// NOT applied here — the caller (config/DaisyChain) owns that path.
+  /// Uses the compiled execution plans (a run of length one); identical
+  /// per packet to the batched path below.
   PipelineResult Process(Packet pkt);
+
+  /// The unplanned reference path: linear full parse, per-packet overlay
+  /// reads in every stage, linear full deparse.  Retained as the
+  /// differential reference the compiled-plan path is pinned against
+  /// (tests/test_exec_plan.cpp compares every tenant-observable output).
+  /// Dead-container PHV bytes may differ from the planned path — they
+  /// are exactly what liveness pruning proves unobservable.
+  PipelineResult ProcessUnplanned(Packet pkt);
 
   /// Batched hot path: processes every packet of `batch` in order,
   /// appending one PipelineResult per packet to `out`.  Packets are moved
   /// into their results, and one PHV plus the per-stage scratch buffers
   /// are reused across the whole batch, so the steady state performs no
-  /// per-packet allocation.  Behaviour per packet is identical to
-  /// Process() (pinned by the dataplane differential test).
+  /// per-packet allocation.  The batch is executed as *module runs* —
+  /// maximal spans of consecutive same-tenant data packets — with the
+  /// per-stage overlay lookups, key plans, stateful segment bases and
+  /// the module's parse/deparse plans resolved once per run.  Behaviour
+  /// per packet is identical to Process() (pinned by the dataplane
+  /// differential test).
   void ProcessBatchInto(std::vector<Packet>&& batch,
                         std::vector<PipelineResult>& out);
 
   /// Convenience wrapper returning a fresh result vector.
   [[nodiscard]] std::vector<PipelineResult> ProcessBatch(
       std::vector<Packet>&& batch);
+
+  /// The compiled execution plan for `module`'s overlay row, rebuilt
+  /// when any of the configuration version counters it derives from
+  /// (parser/deparser tables, key extractors/masks, CAM/TCAM entries,
+  /// VLIW tables) has moved — every configuration path bumps one, so
+  /// epoch commits, overlay rewrites and ResizeShards config-log replay
+  /// all invalidate coherently.  Exposed for tests and benchmarks.
+  [[nodiscard]] const ModuleExecPlan& ExecPlanFor(ModuleId module);
 
   /// Applies one configuration write (arriving via the daisy chain or
   /// AXI-L) to the addressed resource, and bumps the filter's
@@ -86,6 +109,15 @@ class Pipeline {
   [[nodiscard]] std::vector<ModuleId> ActiveModules() const;
 
  private:
+  /// Sum of every configuration version counter an execution plan
+  /// derives from — monotonic, so a stale plan can never alias a
+  /// current stamp.
+  [[nodiscard]] u64 ConfigVersionSum() const;
+  /// Runs one already-classified data packet through parse, stages and
+  /// deparse under the resolved run contexts, filling `result`.
+  void RunOne(Packet& pkt, PipelineResult& result, const ModuleExecPlan& plan,
+              u64& fwd, u64& drop);
+
   PipelineTiming timing_;
   PacketFilter filter_;
   Parser parser_;
@@ -98,6 +130,21 @@ class Pipeline {
   u64 config_writes_ = 0;
   /// PHV reused across the packets of a batch (ProcessBatchInto).
   Phv batch_phv_;
+
+  /// Execution-plan cache, one slot per overlay row, stamped with
+  /// ConfigVersionSum() at build time.
+  struct CachedExecPlan {
+    u64 built_at_version = ~u64{0};
+    ModuleExecPlan plan;
+  };
+  std::vector<CachedExecPlan> exec_plans_ =
+      std::vector<CachedExecPlan>(params::kOverlayTableDepth);
+
+  // Batch scratch (ProcessBatchInto): per-stage run contexts and the
+  // pass-one data-packet index list.  Never part of observable state.
+  std::vector<Stage::ModuleRunContext> run_ctx_ =
+      std::vector<Stage::ModuleRunContext>(params::kNumStages);
+  std::vector<u32> data_idx_scratch_;
 };
 
 }  // namespace menshen

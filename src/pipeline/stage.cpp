@@ -80,6 +80,86 @@ void Stage::MaskedKeyInto(const Phv& phv, BitVec& key) {
                     key_mask_.Lookup(phv.module_id), phv, key);
 }
 
+void Stage::BeginRun(ModuleId module, std::size_t run_len,
+                     ModuleRunContext& ctx) {
+  ctx.kx = &key_extractor_.Lookup(module);
+  ctx.mask = &key_mask_.Lookup(module);
+  ctx.plan = &PlanFor(key_extractor_.IndexFor(module));
+  ctx.segment = stateful_.ResolveSegment(module);
+  ctx.constant = ctx.plan->skip_extraction;
+  ctx.constant_hit = false;
+  ctx.constant_vliw = nullptr;
+  ctx.constant_vliw_plan = nullptr;
+  if (!ctx.constant) {
+    if (!ctx.kx->ternary) {
+      if (ctx.plan->one_word)
+        ctx.word_index = cam_.WordIndexFor(module);
+      else
+        ctx.key_index = cam_.KeyIndexFor(module);
+    }
+    return;
+  }
+
+  // All-zero mask: the masked key — predicate bit included — is zero for
+  // every packet of the run, so the lookup result is fixed.  Probe once
+  // (counting normally), then advance the counters for the rest of the
+  // run so they match per-packet probing exactly.
+  std::optional<std::size_t> address;
+  const u64 extra = run_len > 0 ? run_len - 1 : 0;
+  if (ctx.kx->ternary) {
+    const u64 scanned_before = tcam_.entries_scanned();
+    key_scratch_.AssignZero(params::kKeyBits);
+    address = tcam_.Lookup(key_scratch_, module);
+    tcam_.NoteConstantLookups(extra, address.has_value(),
+                              tcam_.entries_scanned() - scanned_before);
+  } else {
+    // A zero key trivially fits one word: integer hash probe.
+    address = cam_.LookupWord(0, module);
+    cam_.NoteConstantLookups(extra, address.has_value());
+  }
+  if (address) {
+    ctx.constant_hit = true;
+    ctx.constant_vliw = &vliw_table_[*address];
+    ctx.constant_vliw_plan = &vliw_plans_[*address];
+    hits_ += run_len;
+  } else {
+    misses_ += run_len;
+  }
+}
+
+void Stage::ProcessRun(Phv& phv, const ModuleRunContext& ctx) {
+  if (ctx.constant) {
+    // Lookup resolved (and counted) by BeginRun; only the action runs
+    // per packet.
+    if (ctx.constant_hit)
+      ActionEngine::ExecuteCompiled(*ctx.constant_vliw,
+                                    *ctx.constant_vliw_plan, phv,
+                                    snapshot_scratch_, ctx.segment);
+    return;
+  }
+
+  const KeyExtractorEntry& kx = *ctx.kx;
+  const KeyPlan& plan = *ctx.plan;
+  std::optional<std::size_t> address;
+  if (!kx.ternary && plan.one_word) {
+    const u64 key =
+        kx.ExtractKeyWord0(phv, plan.active_slots, plan.pred_active) &
+        plan.word_mask;
+    address = cam_.LookupWordWith(ctx.word_index, key);
+  } else {
+    MaskedKeyWithPlan(kx, *ctx.mask, plan, phv, key_scratch_);
+    address = kx.ternary ? tcam_.Lookup(key_scratch_, phv.module_id)
+                         : cam_.LookupWith(ctx.key_index, key_scratch_);
+  }
+  if (!address) {
+    ++misses_;
+    return;  // miss: default action is a no-op, PHV passes unchanged
+  }
+  ++hits_;
+  ActionEngine::ExecuteCompiled(vliw_table_[*address], vliw_plans_[*address],
+                                phv, snapshot_scratch_, ctx.segment);
+}
+
 void Stage::ProcessInPlace(Phv& phv) {
   const KeyExtractorEntry& kx = key_extractor_.Lookup(phv.module_id);
   const KeyMaskEntry& mask = key_mask_.Lookup(phv.module_id);
@@ -114,6 +194,8 @@ void Stage::WriteVliw(std::size_t index, VliwEntry entry) {
   if (index >= vliw_table_.size())
     throw std::out_of_range("VLIW table index out of range");
   vliw_table_[index] = std::move(entry);
+  vliw_plans_[index] = VliwPlan::Compile(vliw_table_[index]);
+  ++vliw_version_;
 }
 
 const VliwEntry& Stage::VliwAt(std::size_t index) const {

@@ -7,6 +7,16 @@
 // (4) on a hit, the matching address indexes the VLIW action table and the
 // action engine executes the instruction, possibly touching this stage's
 // stateful memory through the segment table.
+//
+// The batched hot path amortizes the per-packet configuration reads over
+// a *module run* — a span of consecutive same-tenant packets: BeginRun
+// resolves the overlay-table Lookup pair, the key-layout plan and the
+// stateful-segment base once, and ProcessRun then executes each packet
+// against the resolved ModuleRunContext.  A module whose key mask is all
+// zero probes the same (all-zero) key every packet, so its lookup result
+// is resolved once per run too and the per-packet work collapses to the
+// action execution (or to nothing on a constant miss) — counters advance
+// exactly as if each packet had probed.
 #pragma once
 
 #include <optional>
@@ -25,12 +35,13 @@ namespace menshen {
 class Stage {
  public:
   /// Processes one PHV; returns the (possibly new) PHV for the next stage.
+  /// This is the linear reference path the run-context hot path below is
+  /// pinned against (tests/test_exec_plan.cpp).
   [[nodiscard]] Phv Process(const Phv& phv);
 
-  /// Batched hot path: transforms `phv` in place, reusing this stage's
-  /// scratch key/snapshot buffers so no per-packet allocation happens.
-  /// Functionally identical to `phv = Process(phv)` (pinned by the
-  /// dataplane differential test).
+  /// Batched hot path predecessor: transforms `phv` in place, reusing
+  /// this stage's scratch key/snapshot buffers so no per-packet
+  /// allocation happens.  Functionally identical to `phv = Process(phv)`.
   void ProcessInPlace(Phv& phv);
 
   [[nodiscard]] OverlayTable<KeyExtractorEntry>& key_extractor() {
@@ -54,6 +65,9 @@ class Stage {
 
   void WriteVliw(std::size_t index, VliwEntry entry);
   [[nodiscard]] const VliwEntry& VliwAt(std::size_t index) const;
+  /// Bumped on every WriteVliw — part of the configuration version the
+  /// pipeline's execution-plan cache stamps plans with.
+  [[nodiscard]] u64 vliw_version() const { return vliw_version_; }
 
   /// The key the stage would look up for this PHV, after masking — exposed
   /// for tests and the compiler's entry generation.
@@ -93,6 +107,43 @@ class Stage {
     bool one_word = false;
     u64 word_mask = 0;  // mask word 0 (valid when one_word)
   };
+
+ public:
+  /// One module run's resolved per-stage state: the overlay entries, the
+  /// key-layout plan and the stateful segment, read once per run instead
+  /// of once per packet.  Valid until the next configuration write or
+  /// the end of the batch, whichever comes first (the dataplane quiesces
+  /// traffic around configuration changes, so a context never spans
+  /// one).  Opaque outside Stage.
+  struct ModuleRunContext {
+    const KeyExtractorEntry* kx = nullptr;
+    const KeyMaskEntry* mask = nullptr;
+    const KeyPlan* plan = nullptr;
+    StatefulMemory::Segment segment;
+    // Pre-resolved per-module CAM shadow-index handles (exact-match
+    // modules): the per-packet probe skips the outer module-map hop.
+    ExactMatchCam::WordIndexHandle word_index = nullptr;
+    ExactMatchCam::KeyIndexHandle key_index = nullptr;
+    // All-zero-mask modules probe a constant (all-zero) key: the lookup
+    // result is resolved once per run.
+    bool constant = false;
+    bool constant_hit = false;
+    const VliwEntry* constant_vliw = nullptr;
+    const VliwPlan* constant_vliw_plan = nullptr;
+  };
+
+  /// Resolves `ctx` for a run of `run_len` consecutive packets of
+  /// `module`.  For constant-key modules the lookup happens here — once
+  /// — and every CAM/stage counter is advanced by the full run length,
+  /// exactly matching what per-packet probing would have recorded.
+  void BeginRun(ModuleId module, std::size_t run_len, ModuleRunContext& ctx);
+
+  /// Processes one packet of the run `ctx` was resolved for.  Performs
+  /// no overlay-table or segment-table reads.  Byte-identical to
+  /// ProcessInPlace (pinned by the execution-plan differential suite).
+  void ProcessRun(Phv& phv, const ModuleRunContext& ctx);
+
+ private:
   [[nodiscard]] const KeyPlan& PlanFor(std::size_t row);
   /// MaskedKeyIntoWith body for callers that already hold the plan (the
   /// in-place hot path fetches it once per packet for the one-word
@@ -106,9 +157,14 @@ class Stage {
   TernaryCam tcam_;
   std::vector<VliwEntry> vliw_table_ =
       std::vector<VliwEntry>(params::kVliwTableDepth);
+  /// Compiled form of each VLIW row (active slots + snapshot-elision
+  /// safety), rebuilt eagerly by WriteVliw — the sole mutation path.
+  std::vector<VliwPlan> vliw_plans_ =
+      std::vector<VliwPlan>(params::kVliwTableDepth);
   StatefulMemory stateful_;
   u64 hits_ = 0;
   u64 misses_ = 0;
+  u64 vliw_version_ = 0;
   // Scratch buffers reused across packets by ProcessInPlace (never part
   // of the stage's observable configuration state).
   BitVec key_scratch_;

@@ -27,6 +27,64 @@ class StatefulMemory {
 
   [[nodiscard]] std::size_t size() const { return words_.size(); }
 
+  /// A module's segment resolved once (one segment-table read) so a run
+  /// of same-module packets skips the per-access table lookup.  Access
+  /// semantics are identical to Load/Store/LoadAddStore below — out of
+  /// range is squashed and counted per access — the only difference is
+  /// when the {offset, range} pair is read.  The view is invalidated by
+  /// any segment-table write; callers re-resolve per run (the dataplane
+  /// quiesces traffic around configuration changes, so a view never
+  /// spans a write).
+  class Segment {
+   public:
+    Segment() = default;
+
+    [[nodiscard]] u64 Load(u64 local) const {
+      const std::size_t phys = Translate(local);
+      return phys < mem_->words_.size() ? mem_->words_[phys] : 0;
+    }
+    void Store(u64 local, u64 value) const {
+      const std::size_t phys = Translate(local);
+      if (phys < mem_->words_.size()) mem_->words_[phys] = value;
+    }
+    [[nodiscard]] u64 LoadAddStore(u64 local) const {
+      const std::size_t phys = Translate(local);
+      if (phys >= mem_->words_.size()) return 0;
+      return ++mem_->words_[phys];
+    }
+
+   private:
+    friend class StatefulMemory;
+    Segment(StatefulMemory* mem, ModuleId module, SegmentEntry seg)
+        : mem_(mem), module_(module), offset_(seg.offset), range_(seg.range) {}
+
+    /// Mirror of StatefulMemory::Translate against the resolved entry.
+    [[nodiscard]] std::size_t Translate(u64 local) const {
+      if (local >= range_) {
+        mem_->RecordViolation(module_);
+        return mem_->words_.size();
+      }
+      const std::size_t phys =
+          static_cast<std::size_t>(offset_) + static_cast<std::size_t>(local);
+      if (phys >= mem_->words_.size()) {
+        mem_->RecordViolation(module_);
+        return mem_->words_.size();
+      }
+      return phys;
+    }
+
+    StatefulMemory* mem_ = nullptr;
+    ModuleId module_{0};
+    u32 offset_ = 0;
+    u32 range_ = 0;
+  };
+
+  /// Reads `module`'s segment-table entry once and returns the resolved
+  /// access view.
+  [[nodiscard]] Segment ResolveSegment(ModuleId module) {
+    return Segment(this, module, segment_table_.Lookup(module));
+  }
+
   /// Loads the word at `local` in `module`'s segment (0 if out of range).
   [[nodiscard]] u64 Load(ModuleId module, u64 local);
 
@@ -58,6 +116,11 @@ class StatefulMemory {
  private:
   /// Translates; returns size() when the access is out of range.
   [[nodiscard]] std::size_t Translate(ModuleId module, u64 local);
+
+  void RecordViolation(ModuleId module) {
+    ++violations_[module.value()];
+    ++total_violations_;
+  }
 
   std::vector<u64> words_;
   OverlayTable<SegmentEntry> segment_table_;

@@ -87,6 +87,7 @@ void TernaryCam::Write(std::size_t address, TcamEntry entry) {
     throw std::out_of_range("TCAM address out of range");
   entries_[address] = std::move(entry);
   RebuildSpans();
+  ++version_;
 }
 
 void TernaryCam::RebuildSpans() {

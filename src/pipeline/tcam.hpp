@@ -67,6 +67,21 @@ class TernaryCam {
     return entries_scanned_.load();
   }
 
+  /// Accounts `n` additional lookups whose result a run context resolved
+  /// once (an all-zero-mask module probes the same key every packet),
+  /// with `scanned_per_op` entries examined per probe: the counters
+  /// advance exactly as if each packet had probed.
+  void NoteConstantLookups(u64 n, bool hit, u64 scanned_per_op) const {
+    lookups_.Add(n);
+    if (hit) hits_.Add(n);
+    entries_scanned_.Add(n * scanned_per_op);
+  }
+
+  /// Bumped on every Write — lets derived caches (the pipeline's
+  /// execution plans) detect entry changes without being wired into the
+  /// configuration path.
+  [[nodiscard]] u64 version() const { return version_; }
+
  private:
   /// Inclusive address span [lo, hi] of one module's valid entries.
   struct Span {
@@ -80,6 +95,7 @@ class TernaryCam {
   mutable RelaxedCounter lookups_;
   mutable RelaxedCounter hits_;
   mutable RelaxedCounter entries_scanned_;
+  u64 version_ = 0;
 };
 
 /// Contiguous address-region allocator for per-module TCAM isolation.

@@ -108,6 +108,31 @@ Controller::TickReport Controller::TickOnce() {
     if (report.moves != 0)
       moves_applied_.fetch_add(report.moves, std::memory_order_acq_rel);
   }
+
+  // 4. Per-shard utilisation observation (queue depth + busy time since
+  //    the previous tick), through the relaxed counters — groundwork for
+  //    the per-shard scaling policy, and the operator's tick log line.
+  const std::vector<Dataplane::ShardCounters> shard_counters =
+      dp_.CountersSnapshotRelaxed();
+  last_busy_ns_.resize(shard_counters.size(), 0);
+  report.shard_loads.reserve(shard_counters.size());
+  for (std::size_t s = 0; s < shard_counters.size(); ++s) {
+    const u64 busy = shard_counters[s].busy_ns;
+    const u64 delta = busy - std::min(busy, last_busy_ns_[s]);
+    last_busy_ns_[s] = busy;
+    report.shard_loads.push_back(
+        ShardLoad{s, shard_counters[s].queue_depth, delta});
+  }
+  if (cfg_.log_sink) {
+    std::string line = "tick " + std::to_string(report.tick) + ": offered " +
+                       std::to_string(report.offered_packets) + ", shards " +
+                       std::to_string(report.shards_after);
+    for (const ShardLoad& sl : report.shard_loads)
+      line += " | s" + std::to_string(sl.shard) + " q=" +
+              std::to_string(sl.queue_depth) + " busy=" +
+              std::to_string(sl.busy_ns_delta / 1000) + "us";
+    cfg_.log_sink(line);
+  }
   return report;
 }
 

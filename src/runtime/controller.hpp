@@ -28,8 +28,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "dataplane/dataplane.hpp"
 #include "runtime/rebalancer.hpp"
@@ -61,6 +64,11 @@ struct ControllerConfig {
   /// Ticks to sit out after a resize (lets the EWMA re-converge under the
   /// new shard count before the next scaling decision).
   std::size_t scale_cooldown_ticks = 2;
+
+  /// Optional sink for the per-tick shard-load line (queue depth + busy
+  /// time per shard, read through the relaxed stats — never a quiesce).
+  /// Unset: no logging.  Wire to a logger or test capture as needed.
+  std::function<void(const std::string&)> log_sink;
 };
 
 class Controller {
@@ -76,6 +84,14 @@ class Controller {
   /// Stops and joins it (idempotent; also run by the destructor).
   void Stop();
 
+  /// One shard's utilisation as observed by a tick (relaxed reads):
+  /// ring occupancy now, and busy time accumulated since the last tick.
+  struct ShardLoad {
+    std::size_t shard = 0;
+    u64 queue_depth = 0;
+    u64 busy_ns_delta = 0;
+  };
+
   /// What one tick observed and did.
   struct TickReport {
     u64 tick = 0;
@@ -84,6 +100,9 @@ class Controller {
     std::size_t shards_before = 0;
     std::size_t shards_after = 0;
     std::size_t moves = 0;  // tenant migrations this tick
+    /// Per-shard queue depth + busy time (groundwork for the per-shard
+    /// utilisation scaling policy); logged to cfg.log_sink when set.
+    std::vector<ShardLoad> shard_loads;
   };
   /// One synchronous control tick — the unit the background thread runs.
   /// Safe to call concurrently with traffic; serialized against itself.
@@ -115,6 +134,8 @@ class Controller {
   u64 last_total_packets_ = 0;
   double load_ewma_ = 0;
   std::size_t cooldown_ = 0;
+  /// Previous tick's cumulative busy_ns per shard (for the delta).
+  std::vector<u64> last_busy_ns_;
 
   std::atomic<u64> ticks_{0};
   std::atomic<u64> scale_ups_{0};

@@ -91,7 +91,8 @@ void FillShardRows(const std::vector<Dataplane::ShardCounters>& counters,
   for (std::size_t i = 0; i < counters.size(); ++i) {
     const Dataplane::ShardCounters& c = counters[i];
     s.shards.push_back(ShardStats{i, c.batches, c.packets, c.forwarded,
-                                  c.dropped, c.filtered});
+                                  c.dropped, c.filtered, c.queue_depth,
+                                  c.busy_ns});
   }
 }
 
@@ -153,7 +154,9 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
            std::to_string(sh.forwarded) + ", drop " +
            std::to_string(sh.dropped) + ", filtered " +
            std::to_string(sh.filtered) + ") in " +
-           std::to_string(sh.batches) + " batches\n";
+           std::to_string(sh.batches) + " batches, queue " +
+           std::to_string(sh.queue_depth) + ", busy " +
+           std::to_string(sh.busy_ns / 1000) + " us\n";
   for (const TenantStats& t : s.tenants)
     out += "  tenant " + std::to_string(t.tenant.value()) + " @ shard " +
            std::to_string(t.shard) + ": fwd " + std::to_string(t.forwarded) +

@@ -54,6 +54,11 @@ struct ShardStats {
   u64 forwarded = 0;
   u64 dropped = 0;
   u64 filtered = 0;
+  /// Ingress-ring occupancy (sub-batches waiting) at snapshot time and
+  /// cumulative worker busy time — the controller's per-shard
+  /// utilisation signals (groundwork for per-shard-utilisation scaling).
+  u64 queue_depth = 0;
+  u64 busy_ns = 0;
 };
 
 /// One tenant's totals plus the shard its traffic is steered to.

@@ -244,6 +244,42 @@ TEST(Controller, ShardCountTracksLoadRampUpAndDown) {
   EXPECT_GT(dp.resizes(), 1u);  // at least one grow and one shrink
 }
 
+TEST(Controller, TickObservesAndLogsPerShardQueueDepthAndBusyTime) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = true});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+
+  std::vector<std::string> lines;
+  ControllerConfig cfg;
+  cfg.enable_scaling = false;
+  cfg.enable_rebalancing = false;
+  cfg.log_sink = [&](const std::string& line) { lines.push_back(line); };
+  Controller controller(dp, cfg);
+
+  std::vector<Packet> batch = MixedTrace(2000, /*seed=*/17);
+  (void)dp.ProcessBatch(std::move(batch));
+
+  const Controller::TickReport r = controller.TickOnce();
+  ASSERT_EQ(r.shard_loads.size(), dp.num_shards());
+  // Traffic drained before the tick: rings are empty, but the workers'
+  // busy time must have registered on at least one shard.
+  u64 total_busy = 0;
+  for (const Controller::ShardLoad& sl : r.shard_loads)
+    total_busy += sl.busy_ns_delta;
+  EXPECT_GT(total_busy, 0u);
+  // The log sink saw one line naming every shard's queue/busy signals.
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("q="), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("busy="), std::string::npos) << lines[0];
+  // Second tick: busy deltas reset (no new traffic processed).
+  const Controller::TickReport r2 = controller.TickOnce();
+  ASSERT_EQ(lines.size(), 2u);
+  u64 total_busy2 = 0;
+  for (const Controller::ShardLoad& sl : r2.shard_loads)
+    total_busy2 += sl.busy_ns_delta;
+  EXPECT_EQ(total_busy2, 0u);
+}
+
 TEST(Controller, BackgroundThreadTicksConcurrentlyWithTraffic) {
   const std::vector<CompiledModule> images = CompileTenants();
   Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = true});

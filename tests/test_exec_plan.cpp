@@ -1,0 +1,497 @@
+// Randomized differential tests for the compiled per-module execution
+// plans (pipeline/exec_plan).
+//
+// The liveness-pruned parse/deparse plans, the per-run module contexts
+// (hoisted overlay reads, constant-key lookup resolution, resolved
+// stateful segments) and the compiled VLIW execution are all rewrites of
+// the observable function the linear path defines —
+// Pipeline::ProcessUnplanned (full parse, per-packet overlay reads, full
+// deparse) is retained as that reference.  These tests hammer the
+// planned paths with randomized configurations, packets, epoch commits,
+// overlay rewrites and ResizeShards, and assert the tenant-observable
+// outputs (packet bytes, disposition, egress, multicast set, per-tenant
+// counters) byte-identical against the reference.  Dead-container PHV
+// bytes are exactly what the pruning proves unobservable, so final PHVs
+// are compared only between the two *planned* paths.  Run under ASAN and
+// TSAN in CI like test_match_index.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/dataplane.hpp"
+#include "pipeline/exec_plan.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/traffic.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+void ExpectSameOutput(const PipelineResult& ref, const PipelineResult& got,
+                      const std::string& what) {
+  EXPECT_EQ(ref.filter_verdict, got.filter_verdict) << what;
+  ASSERT_EQ(ref.output.has_value(), got.output.has_value()) << what;
+  if (ref.output) {
+    EXPECT_EQ(ref.output->bytes().hex(), got.output->bytes().hex()) << what;
+    EXPECT_EQ(ref.output->disposition, got.output->disposition) << what;
+    EXPECT_EQ(ref.output->egress_port, got.output->egress_port) << what;
+    EXPECT_EQ(ref.output->multicast_ports, got.output->multicast_ports)
+        << what;
+  }
+}
+
+// --- Plan compilation unit tests ----------------------------------------------
+
+ParserAction Act(ContainerType type, u8 index, u8 offset) {
+  ParserAction a;
+  a.valid = true;
+  a.container = ContainerRef{type, index};
+  a.bytes_from_head = offset;
+  return a;
+}
+
+TEST(ExecPlan, PrunesDeadParseAndIdentityDeparse) {
+  // A module with no stage configuration at all: every parsed container
+  // is dead, and a deparse action returning an unmodified container to
+  // its parse offset is identity.
+  Pipeline pipe;
+  const std::size_t row = 7;
+  ParserEntry parse;
+  parse.actions[0] = Act(ContainerType::k4B, 0, 20);
+  parse.actions[1] = Act(ContainerType::k2B, 1, 30);
+  DeparserEntry deparse;
+  deparse.actions[0] = Act(ContainerType::k4B, 0, 20);  // identity
+  pipe.parser().table().Write(row, parse);
+  pipe.deparser().table().Write(row, deparse);
+
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_EQ(plan.parse.count, 0u);   // both containers dead
+  EXPECT_EQ(plan.parse.pruned, 2u);
+  EXPECT_EQ(plan.deparse.count, 0u);  // identity write pruned
+  EXPECT_EQ(plan.deparse.pruned, 1u);
+}
+
+TEST(ExecPlan, KeyExtractorReadKeepsParseAlive) {
+  Pipeline pipe;
+  const std::size_t row = 3;
+  ParserEntry parse;
+  parse.actions[0] = Act(ContainerType::k2B, 2, 40);  // feeds the key below
+  parse.actions[1] = Act(ContainerType::k2B, 3, 50);  // dead
+  pipe.parser().table().Write(row, parse);
+
+  // Stage 0 matches on the 2nd2B slot reading 2B container 2.
+  KeyExtractorEntry kx;
+  kx.selectors[5] = 2;
+  pipe.stage(0).key_extractor().Write(row, kx);
+  KeyMaskEntry mask;
+  mask.mask.set_field(1, 16, 0xFFFF);  // 2nd2B slot survives
+  pipe.stage(0).key_mask().Write(row, mask);
+
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_EQ(plan.parse.count, 1u);
+  EXPECT_EQ(plan.parse.pruned, 1u);
+  EXPECT_NE(plan.read_live & (1u << ContainerRef{ContainerType::k2B, 2}.flat()),
+            0u);
+}
+
+TEST(ExecPlan, WrittenContainerKeepsDeparseAndParse) {
+  Pipeline pipe;
+  const std::size_t row = 4;
+  ParserEntry parse;
+  parse.actions[0] = Act(ContainerType::k4B, 5, 24);
+  DeparserEntry deparse;
+  deparse.actions[0] = Act(ContainerType::k4B, 5, 24);  // same offset...
+  pipe.parser().table().Write(row, parse);
+  pipe.deparser().table().Write(row, deparse);
+
+  // ...but a reachable VLIW action may overwrite the container, so the
+  // deparse is not identity and the parse stays live (a miss deparses
+  // the parsed value).
+  CamEntry hit;
+  hit.valid = true;
+  hit.key = BitVec::FromValue(params::kKeyBits, 0);
+  hit.module = ModuleId(row);
+  pipe.stage(0).cam().Write(2, hit);
+  VliwEntry vliw;
+  const std::size_t flat = ContainerRef{ContainerType::k4B, 5}.flat();
+  vliw.slots[flat] = AluAction{AluOp::kAddi, static_cast<u8>(flat), 0, 1};
+  pipe.stage(0).WriteVliw(2, vliw);
+
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_EQ(plan.parse.count, 1u);
+  EXPECT_EQ(plan.deparse.count, 1u);
+  EXPECT_NE(plan.written & (1u << flat), 0u);
+}
+
+TEST(ExecPlan, MovedOrOverlappingDeparseIsNotIdentity) {
+  Pipeline pipe;
+  const std::size_t row = 5;
+  ParserEntry parse;
+  parse.actions[0] = Act(ContainerType::k4B, 1, 20);
+  parse.actions[1] = Act(ContainerType::k4B, 2, 40);
+  DeparserEntry deparse;
+  deparse.actions[0] = Act(ContainerType::k4B, 1, 60);  // moved: a real copy
+  deparse.actions[1] = Act(ContainerType::k4B, 2, 40);  // same offset...
+  deparse.actions[2] = Act(ContainerType::k2B, 0, 42);  // ...but overlapped
+  pipe.parser().table().Write(row, parse);
+  pipe.deparser().table().Write(row, deparse);
+
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  // All three deparse actions must survive: moved offset, overlap with
+  // the 2B zero-write, and the 2B zero-write itself (container 0 is
+  // never parsed, so it deparses zeroes — an observable write).
+  EXPECT_EQ(plan.deparse.count, 3u);
+  EXPECT_EQ(plan.deparse.pruned, 0u);
+  // Both parses stay live: their containers are carried out by kept
+  // deparse actions.
+  EXPECT_EQ(plan.parse.count, 2u);
+}
+
+TEST(ExecPlan, ConfigWriteInvalidatesCachedPlan) {
+  Pipeline pipe;
+  const std::size_t row = 6;
+  ParserEntry parse;
+  parse.actions[0] = Act(ContainerType::k4B, 3, 16);
+  pipe.parser().table().Write(row, parse);
+  EXPECT_EQ(pipe.ExecPlanFor(ModuleId(row)).parse.count, 0u);  // dead
+
+  // Making the container live through a key-mask write must rebuild the
+  // cached plan (version-sum invalidation).
+  KeyExtractorEntry kx;
+  kx.selectors[2] = 3;  // 1st4B slot reads 4B container 3
+  pipe.stage(2).key_extractor().Write(row, kx);
+  KeyMaskEntry mask;
+  mask.mask.set_field(65, 32, 0xFFFFFFFFu);
+  pipe.stage(2).key_mask().Write(row, mask);
+  EXPECT_EQ(pipe.ExecPlanFor(ModuleId(row)).parse.count, 1u);
+
+  // And a VLIW write (new reachable action) invalidates too.
+  CamEntry hit;
+  hit.valid = true;
+  hit.key = BitVec::FromValue(params::kKeyBits, 0);
+  hit.module = ModuleId(row);
+  pipe.stage(0).cam().Write(0, hit);
+  VliwEntry vliw;
+  vliw.slots[8] = AluAction{AluOp::kSet, 0, 0, 9};
+  pipe.stage(0).WriteVliw(0, vliw);
+  EXPECT_NE(pipe.ExecPlanFor(ModuleId(row)).written & (1u << 8), 0u);
+}
+
+// --- Randomized single-pipeline differential ----------------------------------
+//
+// Two pipelines receive the identical random configuration; one
+// processes through the compiled plans (Process / ProcessBatchInto), the
+// other through the unplanned linear reference.  Random parser/deparser
+// entries exercise the pruning edge cases (multi-action containers,
+// overlapping deparse ranges, window clipping); random key/mask/CAM/VLIW
+// configurations exercise constant-key runs, the one-word path and the
+// compiled VLIW execution (state ops, discard, port, mcast).
+
+ParserAction RandomAction(Rng& rng) {
+  ParserAction a;
+  a.valid = rng.Below(3) != 0;
+  a.container = ContainerRef{static_cast<ContainerType>(rng.Below(3)),
+                             static_cast<u8>(rng.Below(8))};
+  a.bytes_from_head = static_cast<u8>(rng.Below(100));
+  return a;
+}
+
+template <typename Table>
+void WriteBoth(Table& a, Table& b, std::size_t row,
+               const typename std::remove_reference<
+                   decltype(a.At(0))>::type& entry) {
+  a.Write(row, entry);
+  b.Write(row, entry);
+}
+
+TEST(ExecPlanDifferential, RandomConfigsAndPacketsMatchUnplannedReference) {
+  Rng rng(0xBEEFCAFE);
+  Pipeline planned;
+  Pipeline reference;
+  planned.SetMulticastGroup(5, {3, 4, 5});
+  reference.SetMulticastGroup(5, {3, 4, 5});
+  const std::vector<u16> vids = {2, 3, 9, 31};
+
+  for (int round = 0; round < 60; ++round) {
+    // Rewrite a random slice of the configuration, identically on both.
+    for (int w = 0; w < 6; ++w) {
+      const std::size_t row = vids[rng.Below(vids.size())];
+      switch (rng.Below(6)) {
+        case 0: {
+          ParserEntry e;
+          for (auto& a : e.actions) a = RandomAction(rng);
+          WriteBoth(planned.parser().table(), reference.parser().table(), row,
+                    e);
+          break;
+        }
+        case 1: {
+          DeparserEntry e;
+          for (auto& a : e.actions) a = RandomAction(rng);
+          WriteBoth(planned.deparser().table(), reference.deparser().table(),
+                    row, e);
+          break;
+        }
+        case 2: {
+          const std::size_t s = rng.Below(params::kNumStages);
+          KeyExtractorEntry kx;
+          for (auto& sel : kx.selectors) sel = static_cast<u8>(rng.Below(8));
+          if (rng.Below(3) == 0) {
+            kx.cmp_op = static_cast<CmpOp>(1 + rng.Below(6));
+            kx.cmp_a = Operand8::Container(
+                ContainerRef{static_cast<ContainerType>(rng.Below(3)),
+                             static_cast<u8>(rng.Below(8))});
+            kx.cmp_b = Operand8::Immediate(static_cast<u8>(rng.Below(128)));
+          }
+          WriteBoth(planned.stage(s).key_extractor(),
+                    reference.stage(s).key_extractor(), row, kx);
+          break;
+        }
+        case 3: {
+          const std::size_t s = rng.Below(params::kNumStages);
+          KeyMaskEntry mask;
+          // Zero mask (constant-key run), word-0 mask (one-word path) or
+          // a wide mask, with the predicate bit sometimes kept.
+          const auto kind = rng.Below(3);
+          if (kind == 1) {
+            mask.mask.set_field(1, 16, 0xFFFF);
+            if (rng.Below(2) == 0) mask.mask.set_bit(0, true);
+          } else if (kind == 2) {
+            mask.mask.set_field(97, 48, 0xFFFFFFFFFFFFull);
+            mask.mask.set_field(1, 16, 0xFFFF);
+          }
+          WriteBoth(planned.stage(s).key_mask(),
+                    reference.stage(s).key_mask(), row, mask);
+          break;
+        }
+        case 4: {
+          const std::size_t s = rng.Below(params::kNumStages);
+          const std::size_t addr = rng.Below(params::kCamDepth);
+          CamEntry e;
+          e.valid = rng.Below(4) != 0;
+          // Zero keys hit the constant-key runs; small keys hit the
+          // one-word path when the mask cooperates.
+          e.key = BitVec::FromValue(params::kKeyBits,
+                                    rng.Below(2) == 0 ? 0 : rng.Below(8) << 1);
+          e.module = ModuleId(vids[rng.Below(vids.size())]);
+          planned.stage(s).cam().Write(addr, e);
+          reference.stage(s).cam().Write(addr, e);
+          break;
+        }
+        default: {
+          const std::size_t s = rng.Below(params::kNumStages);
+          const std::size_t addr = rng.Below(params::kVliwTableDepth);
+          VliwEntry v;
+          for (int k = 0; k < 3; ++k) {
+            const std::size_t slot = rng.Below(kNumAluContainers);
+            AluAction a;
+            a.op = static_cast<AluOp>(rng.Below(16));
+            a.container1 = static_cast<u8>(rng.Below(kNumAluContainers));
+            a.container2 = static_cast<u8>(rng.Below(kNumAluContainers));
+            a.immediate = static_cast<u16>(rng.Below(64));
+            if (a.op == AluOp::kMcast)
+              a.immediate = rng.Below(2) == 0 ? 5 : 0;
+            v.slots[slot] = a;
+          }
+          planned.stage(s).WriteVliw(addr, v);
+          reference.stage(s).WriteVliw(addr, v);
+          break;
+        }
+      }
+    }
+
+    // A batch of random packets (random tenants, sizes, payloads, the
+    // occasional VLAN-less packet), through both engines.
+    std::vector<Packet> batch;
+    const std::size_t count = 8 + rng.Below(24);
+    for (std::size_t i = 0; i < count; ++i) {
+      Packet p = PacketBuilder{}
+                     .vid(ModuleId(vids[rng.Below(vids.size())]))
+                     .frame_size(64 + rng.Below(80))
+                     .Build();
+      for (int b = 0; b < 8; ++b)
+        p.bytes().set_u8(20 + rng.Below(p.size() - 24),
+                         static_cast<u8>(rng.Below(256)));
+      if (rng.Below(16) == 0)
+        p.bytes().set_u16(offsets::kVlanTpid, 0x0800);  // strip the tag
+      batch.push_back(std::move(p));
+    }
+
+    std::vector<Packet> planned_batch = batch;
+    const std::vector<PipelineResult> got =
+        planned.ProcessBatch(std::move(planned_batch));
+    ASSERT_EQ(got.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const PipelineResult ref = reference.ProcessUnplanned(batch[i]);
+      ExpectSameOutput(ref, got[i],
+                       "round " + std::to_string(round) + " packet " +
+                           std::to_string(i));
+    }
+  }
+
+  // Counter totals agree: the planned paths account exactly like the
+  // reference.
+  for (const u16 vid : vids) {
+    EXPECT_EQ(planned.forwarded(ModuleId(vid)),
+              reference.forwarded(ModuleId(vid)));
+    EXPECT_EQ(planned.dropped(ModuleId(vid)),
+              reference.dropped(ModuleId(vid)));
+  }
+  EXPECT_EQ(planned.total_processed(), reference.total_processed());
+}
+
+// Process (run of length one) and ProcessBatchInto (segmented runs) are
+// the same function: final PHVs included, since both are planned.
+TEST(ExecPlanDifferential, SinglePacketAndBatchedPlannedPathsAgree) {
+  Rng rng(0x51C0DE);
+  Pipeline a;
+  Pipeline b;
+  ModuleManager mgr_a(a);
+  ModuleManager mgr_b(b);
+  const ModuleAllocation alloc = StandardAlloc(2);
+  CompiledModule m = MustCompile(apps::CalcSpec(), alloc);
+  MustLoad(mgr_a, m, alloc);
+  MustLoad(mgr_b, m, alloc);
+  apps::InstallCalcEntries(m, 7);
+  mgr_a.Update(m);
+  mgr_b.Update(m);
+
+  std::vector<Packet> batch;
+  for (int i = 0; i < 64; ++i) {
+    Packet p = PacketBuilder{}.vid(ModuleId(2)).frame_size(96).Build();
+    p.bytes().set_u16(46, static_cast<u16>(
+                              rng.Between(apps::kCalcOpAdd, apps::kCalcOpEcho)));
+    p.bytes().set_u32(48, static_cast<u32>(rng.Below(1000)));
+    p.bytes().set_u32(52, static_cast<u32>(rng.Below(1000)));
+    batch.push_back(std::move(p));
+  }
+  std::vector<Packet> copy = batch;
+  const std::vector<PipelineResult> batched = a.ProcessBatch(std::move(copy));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PipelineResult single = b.Process(batch[i]);
+    ExpectSameOutput(single, batched[i], "packet " + std::to_string(i));
+    ASSERT_TRUE(single.final_phv && batched[i].final_phv);
+    EXPECT_TRUE(*single.final_phv == *batched[i].final_phv)
+        << "packet " << i;
+  }
+}
+
+// --- Dataplane differential across epoch commits / rewrites / resizes ---------
+//
+// The acceptance suite of the execution-plan invalidation story: a
+// worker-threaded dataplane processes interleaved multi-tenant batches
+// while configuration epochs commit (staged overlay rewrites), tenants
+// migrate and the replica set grows and shrinks (config-log replay onto
+// new replicas).  Every output must stay byte-identical to the unplanned
+// reference pipeline receiving the same writes.
+
+TEST(ExecPlanDifferential, PlannedDataplaneMatchesUnplannedAcrossEpochsAndResizes) {
+  Rng rng(0xD1FF);
+  const std::vector<u16> vids = {2, 3, 4, 5};
+
+  // Tenants: two calcs and two netchains (stateful sequence counters
+  // make ordering or state-placement divergence visible in the bytes).
+  std::vector<CompiledModule> images;
+  for (std::size_t i = 0; i < vids.size(); ++i) {
+    const bool calc = i < 2;
+    const ModuleAllocation alloc = UniformAllocation(
+        ModuleId(vids[i]), 0, params::kNumStages, i * 4, 4,
+        static_cast<u8>(i * 32), 32);
+    CompiledModule m =
+        MustCompile(calc ? apps::CalcSpec() : apps::NetChainSpec(), alloc);
+    if (calc) {
+      EXPECT_TRUE(apps::InstallCalcEntries(m, static_cast<u16>(10 + i)));
+    } else {
+      EXPECT_TRUE(apps::InstallNetChainEntries(m, static_cast<u16>(10 + i)));
+    }
+    images.push_back(std::move(m));
+  }
+
+  Dataplane dp(DataplaneConfig{.num_shards = 3});
+  Pipeline reference;
+  for (const CompiledModule& m : images) {
+    dp.ApplyWrites(m.AllWrites());
+    for (const ConfigWrite& w : m.AllWrites()) reference.ApplyWrite(w);
+  }
+
+  const auto random_packet = [&](u16 vid) {
+    Packet p = PacketBuilder{}
+                   .vid(ModuleId(vid))
+                   .frame_size(96 + rng.Below(32))
+                   .Build();
+    p.bytes().set_u16(46, static_cast<u16>(rng.Below(4) + 1));
+    p.bytes().set_u32(48, static_cast<u32>(rng.Below(100)));
+    p.bytes().set_u32(52, static_cast<u32>(rng.Below(100)));
+    return p;
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    // Interleave control-plane activity between batches.
+    switch (rng.Below(5)) {
+      case 0: {
+        // Staged overlay rewrite + epoch commit: re-deparse one tenant's
+        // image rows (idempotent writes still bump versions and must
+        // invalidate plans on every replica).
+        const CompiledModule& m = images[rng.Below(images.size())];
+        dp.StageWrites(m.AllWrites());
+        dp.CommitEpoch();
+        for (const ConfigWrite& w : m.AllWrites()) reference.ApplyWrite(w);
+        break;
+      }
+      case 1: {
+        // A fresh parser-table rewrite for a random tenant: a random
+        // extra (dead or live) action, committed at an epoch boundary.
+        const u16 vid = vids[rng.Below(vids.size())];
+        const std::size_t row = vid % params::kOverlayTableDepth;
+        ParserEntry e = reference.parser().table().At(row);
+        e.actions[params::kParserActionsPerEntry - 1] = RandomAction(rng);
+        const ConfigWrite w{ResourceKind::kParserTable, 0,
+                            static_cast<u8>(row), e.Encode()};
+        dp.StageWrite(w);
+        dp.CommitEpoch();
+        reference.ApplyWrite(w);
+        break;
+      }
+      case 2: {
+        const std::size_t target = 1 + rng.Below(4);
+        dp.ResizeShards(target);
+        break;
+      }
+      case 3: {
+        const u16 vid = vids[rng.Below(vids.size())];
+        dp.MigrateTenant(ModuleId(vid), rng.Below(dp.num_shards()));
+        break;
+      }
+      default:
+        break;
+    }
+
+    std::vector<Packet> batch;
+    const std::size_t count = 16 + rng.Below(48);
+    for (std::size_t i = 0; i < count; ++i)
+      batch.push_back(random_packet(vids[rng.Below(vids.size())]));
+
+    std::vector<Packet> dp_batch = batch;
+    const std::vector<PipelineResult> got =
+        dp.ProcessBatch(std::move(dp_batch));
+    ASSERT_EQ(got.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const PipelineResult ref = reference.ProcessUnplanned(batch[i]);
+      ExpectSameOutput(ref, got[i],
+                       "round " + std::to_string(round) + " packet " +
+                           std::to_string(i));
+    }
+  }
+
+  // Per-tenant totals survive every migration/resize and agree with the
+  // reference.
+  for (const u16 vid : vids) {
+    EXPECT_EQ(dp.forwarded(ModuleId(vid)), reference.forwarded(ModuleId(vid)));
+    EXPECT_EQ(dp.dropped(ModuleId(vid)), reference.dropped(ModuleId(vid)));
+  }
+}
+
+}  // namespace
+}  // namespace menshen

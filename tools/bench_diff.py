@@ -25,6 +25,11 @@ Both files are JSON-lines.  Two record shapes are understood:
 
 Exit code 1 if any regression is flagged; new/removed rows are reported
 but not fatal (they accompany intentional bench changes).
+
+--list prints a side-by-side baseline-vs-current table for every row
+(including unchanged and new/removed ones) and always exits 0 — the
+inspection mode for deciding whether a baseline regeneration is
+justified, e.g. when CI uploads the bench JSONs of a failed gate.
 """
 
 import argparse
@@ -57,10 +62,39 @@ def main():
     ap.add_argument("--micro-fail-over", type=float, default=80.0,
                     help="flag micro rows whose ns/op grew by more than "
                          "PCT (default: 80)")
+    ap.add_argument("--list", action="store_true",
+                    help="print baseline vs current for every row and "
+                         "exit 0 (no gating)")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
+
+    if args.list:
+        def fmt(row):
+            if row is None:
+                return "-"
+            if "ns_per_op" in row:
+                return f"{row['ns_per_op']:.2f} ns/op"
+            return f"{row['mpps']:.3f} Mpps ({row.get('gbps', 0):.3f} Gbps)"
+
+        width = max((len(n) for n in set(base) | set(cur)), default=4)
+        print(f"{'row':<{width}}  {'baseline':>24}  {'current':>24}")
+        for name in sorted(set(base) | set(cur)):
+            b, c = base.get(name), cur.get(name)
+            note = ""
+            if b is None:
+                note = "  [new]"
+            elif c is None:
+                note = "  [gone]"
+            elif "ns_per_op" in b and "ns_per_op" in c and b["ns_per_op"] > 0:
+                delta = (c["ns_per_op"] - b["ns_per_op"]) / b["ns_per_op"] * 100
+                note = f"  ({delta:+.1f}%)"
+            elif "mpps" in b and "mpps" in c and b["mpps"] > 0:
+                delta = (c["mpps"] - b["mpps"]) / b["mpps"] * 100
+                note = f"  ({delta:+.1f}%)"
+            print(f"{name:<{width}}  {fmt(b):>24}  {fmt(c):>24}{note}")
+        return 0
 
     regressions = []
     for name, b in sorted(base.items()):
