@@ -31,6 +31,9 @@ class RelaxedCounter {
   }
 
   void Add(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Gauge-style decrement (the flow-verdict cache's occupancy gauge
+  /// drops when a row's entries are invalidated wholesale).
+  void Sub(u64 n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
   [[nodiscard]] u64 load() const {
     return v_.load(std::memory_order_relaxed);
   }

@@ -577,6 +577,11 @@ Dataplane::ShardCounters Dataplane::ShardCountersLocked(std::size_t i) const {
   c.filtered = ctx.filtered.load();
   c.queue_depth = ctx.queue.approx_size();
   c.busy_ns = ctx.busy_ns.load();
+  const FlowCacheStats fc = shards_.at(i).FlowCacheSnapshot();
+  c.flow_cache_hits = fc.hits;
+  c.flow_cache_misses = fc.misses;
+  c.flow_cache_evictions = fc.evictions;
+  c.flow_cache_occupancy = fc.occupancy;
   return c;
 }
 

@@ -219,6 +219,14 @@ class Dataplane {
     /// Cumulative wall-clock nanoseconds this shard's worker spent
     /// executing sub-batches.
     u64 busy_ns = 0;
+    /// This replica's flow-verdict cache (pipeline/flow_cache.hpp):
+    /// cumulative hits/misses/evictions plus current occupancy.  Read
+    /// from the replica's relaxed counters — consistent with the traffic
+    /// counters above.
+    u64 flow_cache_hits = 0;
+    u64 flow_cache_misses = 0;
+    u64 flow_cache_evictions = 0;
+    u64 flow_cache_occupancy = 0;
   };
   /// Relaxed per-shard view: never drains traffic, but does pin the
   /// shard set against a concurrent resize (see CountersSnapshotRelaxed).

@@ -118,6 +118,14 @@ class ExactMatchCam {
     if (hit) hits_.Add(n);
   }
 
+  /// Bulk accounting for lookups whose outcome the flow-verdict cache
+  /// replayed without probing: `lookups` probes of which `hits` matched,
+  /// accumulated over one module run and flushed here in one step.
+  void NoteCachedLookups(u64 lookups, u64 hits) const {
+    lookups_.Add(lookups);
+    hits_.Add(hits);
+  }
+
   /// Bumped on every Write — lets derived caches (the pipeline's
   /// execution plans) detect entry changes without being wired into the
   /// configuration path.

@@ -39,6 +39,41 @@ void AccumulateVliwLiveness(const Stage& stage, std::size_t row,
   }
 }
 
+/// Scans every VLIW action reachable through the row's match entries in
+/// one stage for an op that is not a per-packet constant: stateful ops
+/// and container-reading ops make the stage's effect depend on more than
+/// the masked key, so the row cannot be flow-cached.  Same per-address
+/// reachability rule as AccumulateVliwLiveness (conservative for aliased
+/// module IDs).
+FlowCacheBlocker StageActionBlocker(const Stage& stage, std::size_t row,
+                                    std::size_t overlay_depth) {
+  FlowCacheBlocker blocker = FlowCacheBlocker::kNone;
+  const auto visit = [&](std::size_t address) {
+    if (blocker != FlowCacheBlocker::kNone) return;
+    const VliwEntry& vliw = stage.VliwAt(address);
+    for (const AluAction& a : vliw.slots) {
+      if (a.op == AluOp::kNop) continue;
+      if (OpTouchesState(a.op)) {
+        blocker = FlowCacheBlocker::kStatefulOp;
+        return;
+      }
+      if (OpReadsContainer1(a.op) || OpReadsContainer2(a.op)) {
+        blocker = FlowCacheBlocker::kVariableOperand;
+        return;
+      }
+    }
+  };
+  for (std::size_t a = 0; a < stage.cam().depth(); ++a) {
+    const CamEntry& e = stage.cam().At(a);
+    if (e.valid && e.module.value() % overlay_depth == row) visit(a);
+  }
+  for (std::size_t a = 0; a < stage.tcam().depth(); ++a) {
+    const TcamEntry& e = stage.tcam().At(a);
+    if (e.valid && e.module.value() % overlay_depth == row) visit(a);
+  }
+  return blocker;
+}
+
 /// Byte range [begin, end) a parse/deparse action touches (nominal; the
 /// runtime clips to the parser window and packet length, which can only
 /// shrink both paths identically).
@@ -63,6 +98,22 @@ PlannedMove CompileMove(const ParserAction& a) {
 }
 
 }  // namespace
+
+const char* FlowCacheBlockerName(FlowCacheBlocker b) {
+  switch (b) {
+    case FlowCacheBlocker::kNone:
+      return "none";
+    case FlowCacheBlocker::kStatefulOp:
+      return "stateful-op";
+    case FlowCacheBlocker::kVariableOperand:
+      return "variable-operand";
+    case FlowCacheBlocker::kWideKey:
+      return "wide-key";
+    case FlowCacheBlocker::kPredicateWritten:
+      return "predicate-written";
+  }
+  return "?";
+}
 
 ModuleExecPlan CompileModuleExecPlan(const ParserEntry& parse_entry,
                                      const DeparserEntry& deparse_entry,
@@ -92,6 +143,33 @@ ModuleExecPlan CompileModuleExecPlan(const ParserEntry& parse_entry,
       }
     }
     AccumulateVliwLiveness(stage, row, depth, plan.read_live, plan.written);
+  }
+
+  // --- Flow-cache stateless provability (pipeline/flow_cache) ---------------
+  // Scanned after the liveness loop because the predicate check needs the
+  // full `written` set (conservative: a write in ANY stage blocks a
+  // predicate operand, though only earlier stages could matter).  Per
+  // stage the checks run wide-key -> predicate -> actions and the first
+  // blocker found wins.
+  for (std::size_t s = 0;
+       s < num_stages && plan.flow_blocker == FlowCacheBlocker::kNone; ++s) {
+    const Stage& stage = stages[s];
+    const KeyExtractorEntry& kx = stage.key_extractor().At(row);
+    const BitVec& mask = stage.key_mask().At(row).mask;
+    if (!mask.high_words_zero()) {
+      plan.flow_blocker = FlowCacheBlocker::kWideKey;
+      break;
+    }
+    if (mask.field(0, 1) != 0 && kx.cmp_op != CmpOp::kNone) {
+      for (const Operand8* op : {&kx.cmp_a, &kx.cmp_b}) {
+        if (op->is_container() &&
+            (plan.written & FlatBit(op->container().flat())) != 0)
+          plan.flow_blocker = FlowCacheBlocker::kPredicateWritten;
+      }
+      if (plan.flow_blocker != FlowCacheBlocker::kNone) break;
+    }
+    plan.flow_blocker =
+        StageActionBlocker(stage, row, stage.key_extractor().depth());
   }
 
   // --- Per-container parse-action census (for identity detection) -----------

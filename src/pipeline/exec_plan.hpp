@@ -57,6 +57,19 @@ struct DeparsePlan {
   u8 pruned = 0;       // valid actions dropped as identity writes
 };
 
+/// Why an overlay row is excluded from flow-verdict caching
+/// (pipeline/flow_cache): the first disqualifying fact the provability
+/// scan finds, or kNone when the row's end-to-end verdict is provably a
+/// pure function of its per-stage one-word masked keys.
+enum class FlowCacheBlocker : u8 {
+  kNone = 0,          // cacheable: constant actions, one-word keys
+  kStatefulOp,        // a reachable action touches stateful memory
+  kVariableOperand,   // a reachable action reads a PHV container
+  kWideKey,           // a stage's key mask keeps bits above key word 0
+  kPredicateWritten,  // a predicate operand container is action-written
+};
+[[nodiscard]] const char* FlowCacheBlockerName(FlowCacheBlocker b);
+
 /// One overlay row's compiled execution plan, cached by Pipeline and
 /// invalidated off the overlay/config version counters.
 struct ModuleExecPlan {
@@ -70,6 +83,19 @@ struct ModuleExecPlan {
   /// Flat-container bitmask of the containers a reachable VLIW action
   /// may overwrite.
   u32 written = 0;
+  /// Flow-verdict cacheability (pipeline/flow_cache.hpp).  kNone iff (1)
+  /// every stage's masked key fits key word 0, (2) every VLIW action
+  /// reachable through any module aliasing the row uses only constant
+  /// ops (set/port/discard/mcast — no stateful memory, no container
+  /// operands), and (3) no active predicate reads a container a
+  /// reachable action may write.  Under those three facts the whole
+  /// match-action chain's outcome — and hence the recorded effect list —
+  /// is a pure function of the per-stage key words extracted from the
+  /// freshly parsed PHV, which is what makes memoizing it sound.
+  FlowCacheBlocker flow_blocker = FlowCacheBlocker::kNone;
+  [[nodiscard]] bool flow_cacheable() const {
+    return flow_blocker == FlowCacheBlocker::kNone;
+  }
 };
 
 /// Compiles the execution plan for overlay row `row`: computes container

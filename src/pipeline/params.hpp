@@ -55,6 +55,13 @@ inline constexpr std::size_t kSegmentEntryBits = 16;
 // (they address the whole memory).
 inline constexpr std::size_t kStatefulWordsPerStage = 256;
 
+// Flow-verdict cache (pipeline/flow_cache): direct-mapped slots per
+// overlay row.  Power of two (the slot index is a masked hash); sized so
+// a tenant's working set of masked flow keys comfortably outnumbers its
+// CAM entries while one row costs only a few tens of KB, allocated
+// lazily on the first cacheable fill.
+inline constexpr std::size_t kFlowCacheSlotsPerRow = 256;
+
 // Packet-buffer / parser parallelism of the optimized design (section 3.2).
 inline constexpr std::size_t kOptimizedParsers = 2;
 inline constexpr std::size_t kOptimizedDeparsers = 4;

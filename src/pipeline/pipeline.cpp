@@ -35,6 +35,78 @@ const ModuleExecPlan& Pipeline::ExecPlanFor(ModuleId module) {
   return cached.plan;
 }
 
+FlowRowState& Pipeline::FlowRowFor(ModuleId module) {
+  const std::size_t row = parser_.table().IndexFor(module);
+  const ModuleExecPlan& plan = ExecPlanFor(module);
+  // ExecPlanFor just stamped this row with the current ConfigVersionSum.
+  return flow_cache_.EnsureRow(row, exec_plans_[row].built_at_version,
+                               stages_.data(), stages_.size(), plan);
+}
+
+void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
+                            const ModuleExecPlan& plan, FlowRowState& frow,
+                            FlowVerdictCache::RunAccounting& acct,
+                            ModuleId module, u64& fwd, u64& drop) {
+  ++total_processed_;
+  parser_.ParseIntoPlanned(pkt, batch_phv_, plan.parse);
+
+  FlowVerdictCache::KeyWordArray words;
+  FlowVerdictCache::KeyWords(frow, stages_.size(), batch_phv_, words);
+  bool hit = false;
+  FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
+  if (hit) {
+    flow_cache_.NoteHit();
+    FlowVerdictCache::ApplyEffects(v, batch_phv_);
+  } else {
+    flow_cache_.NoteMiss();
+    flow_cache_.BeginFill(frow, v, module, words);
+    FlowVerdictCache::BuildVerdict(frow, stages_.data(), stages_.size(),
+                                   module, batch_phv_, v);
+    v.valid = true;
+  }
+  FlowVerdictCache::Accumulate(acct, v, stages_.size());
+
+  // Tail identical to RunOne: multicast ports resolve live (the group
+  // table has no version counter, so only the group id is cached).
+  const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+  if (group != 0) {
+    if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
+  }
+
+  deparser_.DeparsePlanned(batch_phv_, pkt, plan.deparse);
+
+  if (pkt.disposition == Disposition::kDrop)
+    ++drop;
+  else
+    ++fwd;
+
+  result.final_phv = batch_phv_;
+  result.output = std::move(pkt);
+}
+
+void Pipeline::RunOneReplay(Packet& pkt, PipelineResult& result,
+                            const ModuleExecPlan& plan, const FlowVerdict& v,
+                            u64& fwd, u64& drop) {
+  ++total_processed_;
+  parser_.ParseIntoPlanned(pkt, batch_phv_, plan.parse);
+  FlowVerdictCache::ApplyEffects(v, batch_phv_);
+
+  const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+  if (group != 0) {
+    if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
+  }
+
+  deparser_.DeparsePlanned(batch_phv_, pkt, plan.deparse);
+
+  if (pkt.disposition == Disposition::kDrop)
+    ++drop;
+  else
+    ++fwd;
+
+  result.final_phv = batch_phv_;
+  result.output = std::move(pkt);
+}
+
 void Pipeline::RunOne(Packet& pkt, PipelineResult& result,
                       const ModuleExecPlan& plan, u64& fwd, u64& drop) {
   ++total_processed_;
@@ -81,10 +153,25 @@ PipelineResult Pipeline::Process(Packet pkt) {
 
   const ModuleId module = pkt.vid();
   const ModuleExecPlan& plan = ExecPlanFor(module);
+  // BeginRun resolves the per-stage contexts AND accounts constant-key
+  // stages for the run — required on the cached path too, which skips
+  // ProcessRun but relies on that accounting.
   for (std::size_t s = 0; s < stages_.size(); ++s)
     stages_[s].BeginRun(module, 1, run_ctx_[s]);
-  RunOne(pkt, result, plan, forwarded_[module.value()],
-         dropped_[module.value()]);
+  const std::size_t row = parser_.table().IndexFor(module);
+  FlowRowState& frow = flow_cache_.EnsureRow(
+      row, exec_plans_[row].built_at_version, stages_.data(), stages_.size(),
+      plan);
+  if (frow.eligible) {
+    FlowVerdictCache::RunAccounting acct;
+    RunOneCached(pkt, result, plan, frow, acct, module,
+                 forwarded_[module.value()], dropped_[module.value()]);
+    FlowVerdictCache::FlushAccounting(acct, frow, stages_.data(),
+                                      stages_.size());
+  } else {
+    RunOne(pkt, result, plan, forwarded_[module.value()],
+           dropped_[module.value()]);
+  }
   return result;
 }
 
@@ -175,9 +262,50 @@ void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
     u64& fwd = forwarded_[module.value()];
     u64& drop = dropped_[module.value()];
 
-    for (std::size_t k = a; k < b; ++k) {
-      const std::size_t i = data_idx_scratch_[k];
-      RunOne(batch[i], out[base + i], plan, fwd, drop);
+    const std::size_t row = parser_.table().IndexFor(module);
+    FlowRowState& frow = flow_cache_.EnsureRow(
+        row, exec_plans_[row].built_at_version, stages_.data(),
+        stages_.size(), plan);
+    if (frow.eligible) {
+      // Provably stateless row: every packet goes through the
+      // flow-verdict cache; counter deltas flush once per run.
+      FlowVerdictCache::RunAccounting acct;
+      std::size_t k = a;
+      if (frow.all_constant && b - a > 1) {
+        // Every packet shares the all-zero key word array, so one probe
+        // covers the run: the first packet probes (filling on a miss)
+        // and the rest replay the now-resident verdict with no
+        // per-packet extraction or hashing.  Constant-key stages are
+        // accounted by BeginRun for the whole run and an all-constant
+        // verdict owes no per-packet probe deltas, so the replayed
+        // packets only need the bulk hit count.
+        const std::size_t i0 = data_idx_scratch_[k++];
+        RunOneCached(batch[i0], out[base + i0], plan, frow, acct, module,
+                     fwd, drop);
+        static constexpr FlowVerdictCache::KeyWordArray kZeroWords{};
+        bool hit = false;
+        const FlowVerdict& v =
+            flow_cache_.SlotFor(frow, module, kZeroWords, hit);
+        if (hit) {
+          flow_cache_.NoteHit(b - k);
+          for (; k < b; ++k) {
+            const std::size_t i = data_idx_scratch_[k];
+            RunOneReplay(batch[i], out[base + i], plan, v, fwd, drop);
+          }
+        }
+      }
+      for (; k < b; ++k) {
+        const std::size_t i = data_idx_scratch_[k];
+        RunOneCached(batch[i], out[base + i], plan, frow, acct, module, fwd,
+                     drop);
+      }
+      FlowVerdictCache::FlushAccounting(acct, frow, stages_.data(),
+                                        stages_.size());
+    } else {
+      for (std::size_t k = a; k < b; ++k) {
+        const std::size_t i = data_idx_scratch_[k];
+        RunOne(batch[i], out[base + i], plan, fwd, drop);
+      }
     }
     a = b;
   }

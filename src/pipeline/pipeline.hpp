@@ -14,6 +14,7 @@
 #include "phv/phv.hpp"
 #include "pipeline/config_write.hpp"
 #include "pipeline/exec_plan.hpp"
+#include "pipeline/flow_cache.hpp"
 #include "pipeline/packet_filter.hpp"
 #include "pipeline/params.hpp"
 #include "pipeline/parser.hpp"
@@ -75,6 +76,19 @@ class Pipeline {
   /// all invalidate coherently.  Exposed for tests and benchmarks.
   [[nodiscard]] const ModuleExecPlan& ExecPlanFor(ModuleId module);
 
+  /// The flow-verdict cache state for `module`'s overlay row, refreshed
+  /// to the current configuration (same stamp discipline as ExecPlanFor).
+  /// Exposed for tests; the batched path refreshes rows itself.
+  [[nodiscard]] FlowRowState& FlowRowFor(ModuleId module);
+
+  /// Per-shard flow-verdict cache (pipeline/flow_cache.hpp).  Mutable
+  /// access is a test/bench knob (capacity); stats are safe to read
+  /// concurrently via FlowCacheStats' relaxed counters.
+  [[nodiscard]] FlowVerdictCache& flow_cache() { return flow_cache_; }
+  [[nodiscard]] FlowCacheStats FlowCacheSnapshot() const {
+    return flow_cache_.Snapshot();
+  }
+
   /// Applies one configuration write (arriving via the daisy chain or
   /// AXI-L) to the addressed resource, and bumps the filter's
   /// reconfiguration packet counter.
@@ -117,6 +131,20 @@ class Pipeline {
   /// deparse under the resolved run contexts, filling `result`.
   void RunOne(Packet& pkt, PipelineResult& result, const ModuleExecPlan& plan,
               u64& fwd, u64& drop);
+  /// Cached-row variant of RunOne: parse, probe the flow-verdict cache,
+  /// replay (or build) the verdict, deparse.  Never calls ProcessRun;
+  /// counter deltas accumulate into `acct` (flushed once per run).
+  void RunOneCached(Packet& pkt, PipelineResult& result,
+                    const ModuleExecPlan& plan, FlowRowState& frow,
+                    FlowVerdictCache::RunAccounting& acct, ModuleId module,
+                    u64& fwd, u64& drop);
+  /// Replay tail of RunOneCached for a verdict already resolved for the
+  /// whole run (all-constant rows: every packet shares the all-zero key
+  /// words, so per-packet extraction/hashing/probing is redundant).
+  /// Callers account hits and counter deltas at run level.
+  void RunOneReplay(Packet& pkt, PipelineResult& result,
+                    const ModuleExecPlan& plan, const FlowVerdict& v, u64& fwd,
+                    u64& drop);
 
   PipelineTiming timing_;
   PacketFilter filter_;
@@ -139,6 +167,10 @@ class Pipeline {
   };
   std::vector<CachedExecPlan> exec_plans_ =
       std::vector<CachedExecPlan>(params::kOverlayTableDepth);
+
+  /// Flow-verdict memoization (stamped like exec_plans_): end-to-end
+  /// results for rows whose reachable actions are provably stateless.
+  FlowVerdictCache flow_cache_;
 
   // Batch scratch (ProcessBatchInto): per-stage run contexts and the
   // pass-one data-packet index list.  Never part of observable state.

@@ -90,6 +90,15 @@ class Stage {
   [[nodiscard]] u64 hits() const { return hits_; }
   [[nodiscard]] u64 misses() const { return misses_; }
 
+  /// Advances the stage hit/miss counters for packets whose match
+  /// outcome the flow-verdict cache replayed without running this stage
+  /// — accumulated over one module run and flushed here in one step, so
+  /// the counters advance exactly as if each packet had probed.
+  void NoteCachedOutcomes(u64 hits, u64 misses) {
+    hits_ += hits;
+    misses_ += misses;
+  }
+
  private:
   /// Cached per-overlay-row key layout, derived from the row's key
   /// extractor and key mask: which of the six key slots have any unmasked

@@ -66,6 +66,26 @@ std::optional<std::size_t> TernaryCam::Lookup(const BitVec& key,
   return std::nullopt;
 }
 
+std::optional<std::size_t> TernaryCam::LookupQuiet(const BitVec& key,
+                                                   ModuleId module,
+                                                   u64& scanned) const {
+  // Mirrors Lookup exactly — same span narrowing, same early exit — but
+  // touches no counters; the caller (flow-cache fill) accounts the probe
+  // through NoteCachedLookups when the verdict is applied.
+  if (key.width() != params::kKeyBits)
+    throw std::invalid_argument("TCAM key must be 193 bits");
+  const auto sit = spans_.find(module.value());
+  if (sit == spans_.end()) return std::nullopt;  // module owns no entries
+  const Span span = sit->second;
+  for (std::size_t i = span.lo; i <= span.hi; ++i) {
+    const TcamEntry& e = entries_[i];
+    ++scanned;
+    if (!e.valid || e.module != module) continue;
+    if (key.EqualsMasked(e.key, e.mask)) return i;
+  }
+  return std::nullopt;
+}
+
 std::optional<std::size_t> TernaryCam::LookupLinear(const BitVec& key,
                                                     ModuleId module) const {
   lookups_.Add();

@@ -54,6 +54,15 @@ class TernaryCam {
   [[nodiscard]] std::optional<std::size_t> LookupLinear(const BitVec& key,
                                                         ModuleId module) const;
 
+  /// Counter-free Lookup for the flow-verdict cache's fill path: same
+  /// result and same narrowed scan, but the entries examined land in
+  /// `scanned` for later bulk accounting instead of the live counters
+  /// (the fill packet's probe is accounted when its verdict is applied,
+  /// exactly once, like every other packet of the run).
+  [[nodiscard]] std::optional<std::size_t> LookupQuiet(const BitVec& key,
+                                                       ModuleId module,
+                                                       u64& scanned) const;
+
   void Write(std::size_t address, TcamEntry entry);
   [[nodiscard]] const TcamEntry& At(std::size_t address) const;
 
@@ -75,6 +84,16 @@ class TernaryCam {
     lookups_.Add(n);
     if (hit) hits_.Add(n);
     entries_scanned_.Add(n * scanned_per_op);
+  }
+
+  /// Bulk accounting for lookups whose outcome the flow-verdict cache
+  /// replayed without probing: `lookups` probes, `hits` matches and
+  /// `scanned` total entries examined, accumulated over one module run
+  /// and flushed here in one step.
+  void NoteCachedLookups(u64 lookups, u64 hits, u64 scanned) const {
+    lookups_.Add(lookups);
+    hits_.Add(hits);
+    entries_scanned_.Add(scanned);
   }
 
   /// Bumped on every Write — lets derived caches (the pipeline's

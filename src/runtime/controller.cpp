@@ -120,17 +120,23 @@ Controller::TickReport Controller::TickOnce() {
     const u64 busy = shard_counters[s].busy_ns;
     const u64 delta = busy - std::min(busy, last_busy_ns_[s]);
     last_busy_ns_[s] = busy;
-    report.shard_loads.push_back(
-        ShardLoad{s, shard_counters[s].queue_depth, delta});
+    report.shard_loads.push_back(ShardLoad{
+        s, shard_counters[s].queue_depth, delta,
+        shard_counters[s].flow_cache_hits, shard_counters[s].flow_cache_misses,
+        shard_counters[s].flow_cache_occupancy});
   }
   if (cfg_.log_sink) {
     std::string line = "tick " + std::to_string(report.tick) + ": offered " +
                        std::to_string(report.offered_packets) + ", shards " +
                        std::to_string(report.shards_after);
-    for (const ShardLoad& sl : report.shard_loads)
+    for (const ShardLoad& sl : report.shard_loads) {
       line += " | s" + std::to_string(sl.shard) + " q=" +
               std::to_string(sl.queue_depth) + " busy=" +
               std::to_string(sl.busy_ns_delta / 1000) + "us";
+      if (sl.flow_cache_hits + sl.flow_cache_misses != 0)
+        line += " fc=" + std::to_string(sl.flow_cache_hits) + "/" +
+                std::to_string(sl.flow_cache_hits + sl.flow_cache_misses);
+    }
     cfg_.log_sink(line);
   }
   return report;

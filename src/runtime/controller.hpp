@@ -90,6 +90,12 @@ class Controller {
     std::size_t shard = 0;
     u64 queue_depth = 0;
     u64 busy_ns_delta = 0;
+    /// Flow-verdict cache activity (cumulative hits/misses, current
+    /// occupancy) — the tick log's view of how much of the shard's load
+    /// the memoization path absorbs.
+    u64 flow_cache_hits = 0;
+    u64 flow_cache_misses = 0;
+    u64 flow_cache_occupancy = 0;
   };
 
   /// What one tick observed and did.

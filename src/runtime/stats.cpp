@@ -92,7 +92,9 @@ void FillShardRows(const std::vector<Dataplane::ShardCounters>& counters,
     const Dataplane::ShardCounters& c = counters[i];
     s.shards.push_back(ShardStats{i, c.batches, c.packets, c.forwarded,
                                   c.dropped, c.filtered, c.queue_depth,
-                                  c.busy_ns});
+                                  c.busy_ns, c.flow_cache_hits,
+                                  c.flow_cache_misses, c.flow_cache_evictions,
+                                  c.flow_cache_occupancy});
   }
 }
 
@@ -157,6 +159,20 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
            std::to_string(sh.batches) + " batches, queue " +
            std::to_string(sh.queue_depth) + ", busy " +
            std::to_string(sh.busy_ns / 1000) + " us\n";
+  for (const ShardStats& sh : s.shards) {
+    if (sh.flow_cache_hits + sh.flow_cache_misses == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  shard %zu flow cache: %llu/%llu hits (%.1f%%), "
+                  "%llu evictions, %llu occupied\n",
+                  sh.shard, static_cast<unsigned long long>(sh.flow_cache_hits),
+                  static_cast<unsigned long long>(sh.flow_cache_hits +
+                                                  sh.flow_cache_misses),
+                  100.0 * sh.flow_cache_hit_ratio(),
+                  static_cast<unsigned long long>(sh.flow_cache_evictions),
+                  static_cast<unsigned long long>(sh.flow_cache_occupancy));
+    out += line;
+  }
   for (const TenantStats& t : s.tenants)
     out += "  tenant " + std::to_string(t.tenant.value()) + " @ shard " +
            std::to_string(t.shard) + ": fwd " + std::to_string(t.forwarded) +

@@ -59,6 +59,20 @@ struct ShardStats {
   /// utilisation signals (groundwork for per-shard-utilisation scaling).
   u64 queue_depth = 0;
   u64 busy_ns = 0;
+  /// Flow-verdict cache counters for this replica (hits/misses are
+  /// cumulative; occupancy is the instantaneous valid-slot count).
+  u64 flow_cache_hits = 0;
+  u64 flow_cache_misses = 0;
+  u64 flow_cache_evictions = 0;
+  u64 flow_cache_occupancy = 0;
+
+  [[nodiscard]] double flow_cache_hit_ratio() const {
+    const u64 probes = flow_cache_hits + flow_cache_misses;
+    return probes == 0
+               ? 0.0
+               : static_cast<double>(flow_cache_hits) /
+                     static_cast<double>(probes);
+  }
 };
 
 /// One tenant's totals plus the shard its traffic is steered to.

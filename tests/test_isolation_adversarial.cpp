@@ -170,6 +170,83 @@ module hog {
   EXPECT_TRUE(m.diags().HasCode("static.recirculate"));
 }
 
+TEST(Adversarial, ReconfigThrashCannotStarveVictimFlowCache) {
+  // A hostile tenant constantly rewriting its own configuration bumps
+  // the pipeline's global version counters on every commit.  The
+  // flow-verdict cache (pipeline/flow_cache) stamps its rows with that
+  // version sum, so a naive invalidation would flush the victim's
+  // cached verdicts on every attacker commit — a cross-tenant
+  // performance attack.  The deep row-snapshot comparison must keep the
+  // victim at full hit rate: outputs stay byte-identical AND the
+  // victim's misses never exceed its cold fills.
+  Pipeline pipe;
+  Pipeline reference;
+  ModuleManager mgr(pipe);
+  ModuleManager mgr_ref(reference);
+  Diagnostics d;
+  const ModuleSpec spec = ParseModuleDsl(R"(
+module steer {
+  field f : 2 @ 46;
+  action out(p) { port(p); }
+  table t { key = { f }; actions = { out }; size = 4; }
+}
+)",
+                                         d);
+  ASSERT_TRUE(d.ok());
+
+  const auto victim_alloc = StandardAlloc(1, 0, 4, 0, 0);
+  const auto attacker_alloc = StandardAlloc(2, 4, 4, 0, 0);
+  const auto make = [&](const ModuleAllocation& alloc, u16 port_base) {
+    CompiledModule m = MustCompile(spec, alloc);
+    for (u64 k = 0; k < 4; ++k)
+      m.AddEntry("t", {{"f", k}}, std::nullopt, "out", {port_base + k});
+    return m;
+  };
+  CompiledModule victim = make(victim_alloc, 40);
+  CompiledModule attacker = make(attacker_alloc, 50);
+  for (auto* m : {&mgr, &mgr_ref}) {
+    MustLoad(*m, victim, victim_alloc);
+    m->Update(victim);
+    MustLoad(*m, attacker, attacker_alloc);
+    m->Update(attacker);
+  }
+  ASSERT_TRUE(pipe.FlowRowFor(ModuleId(1)).eligible);
+
+  // Cold fills: one miss per distinct victim flow.
+  for (u16 k = 0; k < 4; ++k) {
+    Packet p = PacketBuilder{}.vid(ModuleId(1)).frame_size(64).Build();
+    p.bytes().set_u16(46, k);
+    pipe.Process(std::move(p));
+  }
+  const u64 cold_misses = pipe.FlowCacheSnapshot().misses;
+
+  // Attacker thrash: full reconfiguration every round, interleaved with
+  // victim traffic.
+  for (int round = 0; round < 50; ++round) {
+    CompiledModule thrash =
+        make(attacker_alloc, static_cast<u16>(100 + round));
+    mgr.Update(thrash);
+    mgr_ref.Update(thrash);
+    for (u16 k = 0; k < 4; ++k) {
+      Packet p = PacketBuilder{}.vid(ModuleId(1)).frame_size(64).Build();
+      p.bytes().set_u16(46, k);
+      Packet copy = p;
+      const PipelineResult got = pipe.Process(std::move(p));
+      const PipelineResult want = reference.ProcessUnplanned(copy);
+      ASSERT_TRUE(got.output && want.output);
+      EXPECT_EQ(got.output->bytes().hex(), want.output->bytes().hex())
+          << "round " << round << " flow " << k;
+      EXPECT_EQ(got.output->egress_port, 40 + k);
+    }
+  }
+
+  // The attacker's 50 commits caused zero victim re-misses: the hit
+  // rate floor holds at 100% of warm traffic.
+  const FlowCacheStats fc = pipe.FlowCacheSnapshot();
+  EXPECT_EQ(fc.misses, cold_misses);
+  EXPECT_EQ(fc.hits, 50u * 4u);
+}
+
 TEST(Adversarial, StatWriteAttackRejected) {
   const CompiledModule m = CompileDsl(R"(
 module liar {

@@ -23,8 +23,11 @@ Both files are JSON-lines.  Two record shapes are understood:
   (default 80% — wide enough for shared-runner noise, tight enough to
   catch an accidental return to the linear scan, which is 3-4x).
 
-Exit code 1 if any regression is flagged; new/removed rows are reported
-but not fatal (they accompany intentional bench changes).
+Exit code 1 if any regression is flagged.  New rows are reported but not
+fatal (they accompany intentional bench additions); a baseline row
+MISSING from the candidate run is fatal — a silently dropped bench would
+otherwise exempt itself from the gate — so intentional removals must
+regenerate the committed baseline.
 
 --list prints a side-by-side baseline-vs-current table for every row
 (including unchanged and new/removed ones) and always exits 0 — the
@@ -100,7 +103,14 @@ def main():
     for name, b in sorted(base.items()):
         c = cur.get(name)
         if c is None:
-            print(f"  [gone] {name} (present in baseline only)")
+            # A baseline row the candidate run no longer produces is a
+            # gate failure, not a note: a silently dropped bench (renamed
+            # row, bench that stopped emitting, crashed suite section)
+            # would otherwise exempt itself from the gate forever.
+            # Intentional removals must regenerate the baseline.
+            print(f"  [!] {name}: present in baseline but missing from "
+                  f"the candidate run")
+            regressions.append((name, None))
             continue
         if "ns_per_op" in b:
             # Micro row: wall-clock ns/op, lower is better.
@@ -146,7 +156,10 @@ def main():
     if regressions:
         print("\nperf regressions against the committed baseline:")
         for name, delta in regressions:
-            print(f"  {name}: {delta:+.1f}%")
+            if delta is None:
+                print(f"  {name}: missing from candidate run")
+            else:
+                print(f"  {name}: {delta:+.1f}%")
         return 1
     print("\nno perf regressions")
     return 0

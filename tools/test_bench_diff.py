@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Unit checks for tools/bench_diff.py's gating behaviour.
+
+Run directly (python3 tools/test_bench_diff.py) or via the tier-1 suite
+(ctest -R bench_diff_unit).  Each case drives bench_diff.py as a
+subprocess on small synthetic JSON-lines files and asserts the exit
+code, the contract CI relies on:
+
+  * unchanged rows                        -> exit 0
+  * micro row grown past --micro-fail-over -> exit 1
+  * baseline row missing from candidate   -> exit 1 (fail loudly, never
+    skip: a silently dropped bench must not exempt itself from the gate)
+  * new candidate row                     -> exit 0 (additions are fine)
+  * --list with missing rows              -> exit 0 (inspection mode)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_diff.py")
+
+
+def write_rows(path, rows):
+    with open(path, "w") as f:
+        for row in rows:
+            f.write(json.dumps(row) + "\n")
+
+
+def run_diff(baseline_rows, current_rows, *extra):
+    with tempfile.TemporaryDirectory() as d:
+        base = os.path.join(d, "base.json")
+        cur = os.path.join(d, "cur.json")
+        write_rows(base, baseline_rows)
+        write_rows(cur, current_rows)
+        proc = subprocess.run(
+            [sys.executable, TOOL, base, cur, *extra],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+
+MICRO_A = {"name": "micro_alpha", "ns_per_op": 10.0}
+MICRO_B = {"name": "micro_beta", "ns_per_op": 20.0}
+THROUGHPUT = {"name": "functional_x", "mpps": 5.0, "gbps": 3.4}
+
+
+class BenchDiffGate(unittest.TestCase):
+    def test_unchanged_rows_pass(self):
+        code, out = run_diff([MICRO_A, THROUGHPUT], [MICRO_A, THROUGHPUT])
+        self.assertEqual(code, 0, out)
+        self.assertIn("no perf regressions", out)
+
+    def test_micro_regression_fails(self):
+        grown = dict(MICRO_A, ns_per_op=100.0)
+        code, out = run_diff([MICRO_A], [grown])
+        self.assertEqual(code, 1, out)
+        self.assertIn("micro_alpha", out)
+
+    def test_missing_baseline_row_fails(self):
+        # The candidate run dropped micro_beta: must gate, not skip.
+        code, out = run_diff([MICRO_A, MICRO_B], [MICRO_A])
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from", out)
+        self.assertIn("micro_beta", out)
+
+    def test_missing_throughput_row_fails_too(self):
+        code, out = run_diff([MICRO_A, THROUGHPUT], [MICRO_A])
+        self.assertEqual(code, 1, out)
+        self.assertIn("functional_x", out)
+
+    def test_new_candidate_row_passes(self):
+        code, out = run_diff([MICRO_A], [MICRO_A, MICRO_B])
+        self.assertEqual(code, 0, out)
+        self.assertIn("[new]", out)
+
+    def test_list_mode_never_gates(self):
+        code, out = run_diff([MICRO_A, MICRO_B], [MICRO_A], "--list")
+        self.assertEqual(code, 0, out)
+        self.assertIn("[gone]", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
