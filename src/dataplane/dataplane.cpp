@@ -582,7 +582,18 @@ Dataplane::ShardCounters Dataplane::ShardCountersLocked(std::size_t i) const {
   c.flow_cache_misses = fc.misses;
   c.flow_cache_evictions = fc.evictions;
   c.flow_cache_occupancy = fc.occupancy;
+  const Pipeline::KernelStats ks = shards_.at(i).KernelSnapshot();
+  c.kernel_pkts = ks.pkts;
+  c.kernel_fallback_pkts = ks.fallback_pkts;
+  c.kernel_record_fills = ks.record_fills;
+  c.kernel_shape_pkts = ks.shape_pkts;
   return c;
+}
+
+ModuleExecPlan Dataplane::DescribeTenantRow(ModuleId tenant) const {
+  SharedGate gate(*this);
+  return shards_.at(ShardForLocked(tenant, shards_.size()))
+      .DescribeRow(tenant);
 }
 
 Dataplane::ShardCounters Dataplane::shard_counters(std::size_t i) const {

@@ -59,6 +59,7 @@
 // must not stall ingress (runtime/controller).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -115,6 +116,12 @@ class Dataplane {
   /// The shard replica a tenant's packets are currently steered to:
   /// the steering-table entry if one was installed, else the tenant hash.
   [[nodiscard]] std::size_t ShardFor(ModuleId tenant) const;
+
+  /// Compiles (without caching) the execution plan for `tenant`'s row on
+  /// its steered shard — the stats dump's view of the tenant's flow-cache
+  /// blocker and kernel shape.  Pins the shard set (shared gate) but
+  /// never drains traffic.
+  [[nodiscard]] ModuleExecPlan DescribeTenantRow(ModuleId tenant) const;
 
   /// Direct replica access — quiescent-only (no traffic in flight).
   [[nodiscard]] Pipeline& shard(std::size_t i) { return shards_.at(i); }
@@ -227,6 +234,14 @@ class Dataplane {
     u64 flow_cache_misses = 0;
     u64 flow_cache_evictions = 0;
     u64 flow_cache_occupancy = 0;
+    /// Specialized-kernel dispatch (pipeline/kernels.hpp): packets run
+    /// by a straight-line kernel, packets interpreted (wide/ternary
+    /// rows), flow-cache misses filled by the recording kernel, and the
+    /// per-shape-id packet distribution.
+    u64 kernel_pkts = 0;
+    u64 kernel_fallback_pkts = 0;
+    u64 kernel_record_fills = 0;
+    std::array<u64, kKernelShapeCount> kernel_shape_pkts{};
   };
   /// Relaxed per-shard view: never drains traffic, but does pin the
   /// shard set against a concurrent resize (see CountersSnapshotRelaxed).

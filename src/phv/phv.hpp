@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -97,19 +98,38 @@ class Phv {
   // action, key-extractor slot and ALU slot goes through them).
 
   /// Reads a container as an unsigned big-endian value (2/4/6 bytes).
+  /// Dispatching on the type keeps each arm a fixed-width load the
+  /// compiler turns into one (or two) byte-swapped moves instead of a
+  /// variable-bound byte loop — this is the innermost read of every
+  /// key-extractor slot and ALU operand.
   [[nodiscard]] u64 Read(ContainerRef c) const {
     const std::size_t off = ContainerOffset(c);
-    const std::size_t w = c.width_bytes();
-    u64 v = 0;
-    for (std::size_t i = 0; i < w; ++i) v = (v << 8) | bytes_[off + i];
-    return v;
+    switch (c.type) {
+      case ContainerType::k2B:
+        return LoadBe<2>(bytes_.data() + off);
+      case ContainerType::k4B:
+        return LoadBe<4>(bytes_.data() + off);
+      case ContainerType::k6B:
+        return (LoadBe<4>(bytes_.data() + off) << 16) |
+               LoadBe<2>(bytes_.data() + off + 4);
+    }
+    return 0;
   }
   void Write(ContainerRef c, u64 value) {
     const std::size_t off = ContainerOffset(c);
-    const std::size_t w = c.width_bytes();
     // Values are truncated to the container width, as hardware would.
-    for (std::size_t i = 0; i < w; ++i)
-      bytes_[off + i] = static_cast<u8>(value >> (8 * (w - 1 - i)));
+    switch (c.type) {
+      case ContainerType::k2B:
+        StoreBe<2>(bytes_.data() + off, value);
+        return;
+      case ContainerType::k4B:
+        StoreBe<4>(bytes_.data() + off, value);
+        return;
+      case ContainerType::k6B:
+        StoreBe<4>(bytes_.data() + off, value >> 16);
+        StoreBe<2>(bytes_.data() + off + 4, value);
+        return;
+    }
   }
 
   /// Raw byte access to a container for parser/deparser data movement.
@@ -195,6 +215,30 @@ class Phv {
  private:
   static constexpr std::size_t kMetaBase =
       kContainersPerType * (2 + 4 + 6);  // metadata follows the containers
+
+  /// Fixed-width big-endian load/store primitives (W in {2, 4}).
+  template <std::size_t W>
+  [[nodiscard]] static u64 LoadBe(const u8* p) {
+    if constexpr (W == 2) {
+      u16 v;
+      std::memcpy(&v, p, 2);
+      return __builtin_bswap16(v);
+    } else {
+      u32 v;
+      std::memcpy(&v, p, 4);
+      return __builtin_bswap32(v);
+    }
+  }
+  template <std::size_t W>
+  static void StoreBe(u8* p, u64 value) {
+    if constexpr (W == 2) {
+      const u16 v = __builtin_bswap16(static_cast<u16>(value));
+      std::memcpy(p, &v, 2);
+    } else {
+      const u32 v = __builtin_bswap32(static_cast<u32>(value));
+      std::memcpy(p, &v, 4);
+    }
+  }
 
   [[nodiscard]] std::size_t ContainerOffset(ContainerRef c) const {
     return ByteOffsetOf(c);

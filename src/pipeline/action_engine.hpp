@@ -69,6 +69,16 @@ class ActionEngine {
     }
   }
 
+  /// Single-slot fast path for the kernel layer: a row whose compiled
+  /// plan has exactly one active slot is always in_place_safe (there is
+  /// no earlier slot whose write an operand could observe), so it
+  /// executes with no snapshot and no slot loop.  Operands are read
+  /// before any write inside ApplySlot, so in == out is sound.
+  static void ApplySingleSlot(const AluAction& a, u8 dst, Phv& phv,
+                              const StatefulMemory::Segment& segment) {
+    ApplySlot(a, dst, phv, phv, segment);
+  }
+
  private:
   /// Reads the value of flat container slot `flat` from `phv` (slot 24
   /// reads the user metadata scratch word).

@@ -216,6 +216,23 @@ u64 KeyExtractorEntry::ExtractKeyWord0(const Phv& phv, u8 active_slots,
   return w;
 }
 
+int KeyExtractorEntry::CompileWord0(u8 active_slots, bool pred_active,
+                                    std::array<Word0Part, 3>& parts) const {
+  if (pred_active && cmp_op != CmpOp::kNone)
+    return -1;  // predicate needs Operand8 evaluation: keep the slow form
+  const auto slots = KeySlots();
+  int n = 0;
+  for (std::size_t i = 3; i < 6; ++i) {
+    if ((active_slots & (1u << i)) == 0) continue;
+    const ContainerRef c{kSlotTypes[i], selectors[i]};
+    parts[static_cast<std::size_t>(n++)] =
+        Word0Part{static_cast<u16>(Phv::ByteOffsetOf(c)),
+                  static_cast<u8>(c.width_bytes()),
+                  static_cast<u8>(slots[i].lsb)};
+  }
+  return n;
+}
+
 void KeyExtractorEntry::ExtractKeyPartialInto(const Phv& phv, u8 active_slots,
                                               bool pred_active,
                                               BitVec& key) const {

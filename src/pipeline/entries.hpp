@@ -129,6 +129,21 @@ struct KeyExtractorEntry {
   [[nodiscard]] u64 ExtractKeyWord0(const Phv& phv, u8 active_slots,
                                     bool pred_active) const;
 
+  /// One precompiled word-0 contribution: read `width` bytes (2 or 4,
+  /// big-endian) at PHV byte offset `phv_off`, shift left by `lsb`.
+  struct Word0Part {
+    u16 phv_off = 0;
+    u8 width = 0;
+    u8 lsb = 0;
+  };
+  /// Compiles the word-0 extraction into raw (offset, width, shift)
+  /// parts so a per-packet loop needs no container resolution — the
+  /// kernels run this form.  Returns the part count (<= 3), or -1 when
+  /// the predicate machinery is active and the caller must keep calling
+  /// ExtractKeyWord0.
+  [[nodiscard]] int CompileWord0(u8 active_slots, bool pred_active,
+                                 std::array<Word0Part, 3>& parts) const;
+
   bool operator==(const KeyExtractorEntry&) const = default;
 };
 

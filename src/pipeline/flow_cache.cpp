@@ -191,35 +191,37 @@ void FlowVerdictCache::BuildVerdict(const FlowRowState& row,
     o.scanned = static_cast<u16>(scanned);
     if (!address) continue;  // miss: default action is a no-op
 
-    const VliwEntry& vliw = stage.VliwAt(*address);
-    for (std::size_t slot = 0; slot < vliw.slots.size(); ++slot) {
-      const AluAction& a = vliw.slots[slot];
-      FlowEffect e;
-      switch (a.op) {
-        case AluOp::kNop:
-          continue;
-        case AluOp::kSet:
-          e = {FlowEffect::Kind::kSetSlot, static_cast<u8>(slot),
-               a.immediate};
-          break;
-        case AluOp::kPort:
-          e = {FlowEffect::Kind::kPort, 0, a.immediate};
-          break;
-        case AluOp::kDiscard:
-          e = {FlowEffect::Kind::kDiscard, 0, 0};
-          break;
-        case AluOp::kMcast:
-          e = {FlowEffect::Kind::kMcast, 0, a.immediate};
-          break;
-        default:
-          // Eligibility proved every reachable op constant; reaching
-          // here means the snapshot/invalidations logic is broken.
-          throw std::logic_error(
-              "flow cache: non-constant op in eligible row");
-      }
-      ApplyOneEffect(e, phv);
-      v.effects.push_back(e);
+    RecordMatchedEffects(stage.VliwAt(*address), phv, v);
+  }
+}
+
+void FlowVerdictCache::RecordMatchedEffects(const VliwEntry& vliw, Phv& phv,
+                                            FlowVerdict& v) {
+  for (std::size_t slot = 0; slot < vliw.slots.size(); ++slot) {
+    const AluAction& a = vliw.slots[slot];
+    FlowEffect e;
+    switch (a.op) {
+      case AluOp::kNop:
+        continue;
+      case AluOp::kSet:
+        e = {FlowEffect::Kind::kSetSlot, static_cast<u8>(slot), a.immediate};
+        break;
+      case AluOp::kPort:
+        e = {FlowEffect::Kind::kPort, 0, a.immediate};
+        break;
+      case AluOp::kDiscard:
+        e = {FlowEffect::Kind::kDiscard, 0, 0};
+        break;
+      case AluOp::kMcast:
+        e = {FlowEffect::Kind::kMcast, 0, a.immediate};
+        break;
+      default:
+        // Eligibility proved every reachable op constant; reaching
+        // here means the snapshot/invalidations logic is broken.
+        throw std::logic_error("flow cache: non-constant op in eligible row");
     }
+    ApplyOneEffect(e, phv);
+    v.effects.push_back(e);
   }
 }
 

@@ -182,6 +182,14 @@ class FlowVerdictCache {
                            std::size_t num_stages, ModuleId module, Phv& phv,
                            FlowVerdict& v);
 
+  /// Records one matched VLIW entry's constant effects into `v` while
+  /// applying them to `phv` — the per-hit core of BuildVerdict, shared
+  /// with the straight-line recording kernel (pipeline/kernels) so the
+  /// two fill paths cannot drift.  Throws std::logic_error on a
+  /// non-constant op (eligibility proved none reachable).
+  static void RecordMatchedEffects(const VliwEntry& vliw, Phv& phv,
+                                   FlowVerdict& v);
+
   /// Replays a cached verdict's effects onto a freshly parsed PHV — the
   /// entire per-packet match-action work of a hit.
   static void ApplyEffects(const FlowVerdict& v, Phv& phv);

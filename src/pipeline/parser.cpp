@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pipeline/plan_exec.hpp"
+
 namespace menshen {
 
 namespace {
@@ -44,27 +46,6 @@ inline void DepositAction(const ParserAction& a, const Phv& phv, Packet& pkt) {
   }
 }
 
-/// Metadata the pipeline provides on every packet (section 4.3), shared
-/// by both parse paths.
-inline void FillPipelineMetadata(const Packet& pkt, Phv& phv) {
-  phv.set_meta_u16(meta::kSrcPort, pkt.ingress_port);
-  phv.set_meta_u16(meta::kPktLen, static_cast<u16>(
-                                      std::min<std::size_t>(pkt.size(), 0xFFFF)));
-  phv.set_meta_u8(meta::kBufferTag, static_cast<u8>(1u << (pkt.buffer_tag & 3)));
-}
-
-/// Disposition epilogue of both deparse paths.
-inline void ApplyDisposition(const Phv& phv, Packet& pkt) {
-  if (phv.discard_flag()) {
-    pkt.disposition = Disposition::kDrop;
-  } else if (!pkt.multicast_ports.empty()) {
-    pkt.disposition = Disposition::kMulticast;
-  } else {
-    pkt.disposition = Disposition::kForward;
-    pkt.egress_port = phv.meta_u16(meta::kDstPort);
-  }
-}
-
 }  // namespace
 
 Phv Parser::Parse(const Packet& pkt) const {
@@ -88,27 +69,7 @@ void Parser::ParseInto(const Packet& pkt, Phv& phv) const {
 void Parser::ParseIntoPlanned(const Packet& pkt, Phv& phv,
                               const ParsePlan& plan) const {
   phv.Clear();  // pruned containers must read as zero, like any dead one
-  phv.module_id = pkt.vid();
-  FillPipelineMetadata(pkt, phv);
-
-  u8* const dst_base = phv.mutable_raw().data();
-  const u8* const src_base = pkt.bytes().bytes().data();
-  const std::size_t limit =
-      std::min<std::size_t>(kParserWindowBytes, pkt.size());
-  for (std::size_t i = 0; i < plan.count; ++i) {
-    const PlannedMove& mv = plan.moves[i];
-    const std::size_t end = static_cast<std::size_t>(mv.pkt_off) + mv.width;
-    if (end <= limit) {
-      std::memcpy(dst_base + mv.phv_off, src_base + mv.pkt_off, mv.width);
-    } else {
-      // Clipped tail: bytes beyond the window/packet read as zero (the
-      // PHV is already zeroed).
-      for (std::size_t b = 0; b < mv.width; ++b) {
-        const std::size_t off = static_cast<std::size_t>(mv.pkt_off) + b;
-        if (off < limit) dst_base[mv.phv_off + b] = src_base[off];
-      }
-    }
-  }
+  PlannedParseInto(pkt, phv, plan);
 }
 
 void Deparser::Deparse(const Phv& phv, Packet& pkt) const {
@@ -122,23 +83,7 @@ void Deparser::Deparse(const Phv& phv, Packet& pkt) const {
 
 void Deparser::DeparsePlanned(const Phv& phv, Packet& pkt,
                               const DeparsePlan& plan) const {
-  const u8* const src_base = phv.raw().data();
-  u8* const dst_base = pkt.bytes().bytes().data();
-  const std::size_t limit =
-      std::min<std::size_t>(kParserWindowBytes, pkt.size());
-  for (std::size_t i = 0; i < plan.count; ++i) {
-    const PlannedMove& mv = plan.moves[i];
-    const std::size_t end = static_cast<std::size_t>(mv.pkt_off) + mv.width;
-    if (end <= limit) {
-      std::memcpy(dst_base + mv.pkt_off, src_base + mv.phv_off, mv.width);
-    } else {
-      for (std::size_t b = 0; b < mv.width; ++b) {
-        const std::size_t off = static_cast<std::size_t>(mv.pkt_off) + b;
-        if (off < limit) dst_base[off] = src_base[mv.phv_off + b];
-      }
-    }
-  }
-  ApplyDisposition(phv, pkt);
+  PlannedDeparseFrom(phv, pkt, plan);
 }
 
 }  // namespace menshen

@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "pipeline/plan_exec.hpp"
+
 namespace menshen {
 
 Pipeline::Pipeline(PipelineTiming timing, bool reconfig_on_data_path)
@@ -35,6 +37,23 @@ const ModuleExecPlan& Pipeline::ExecPlanFor(ModuleId module) {
   return cached.plan;
 }
 
+Pipeline::KernelStats Pipeline::KernelSnapshot() const {
+  KernelStats s;
+  s.pkts = kernel_pkts_.load();
+  s.fallback_pkts = kernel_fallback_pkts_.load();
+  s.record_fills = kernel_record_fills_.load();
+  for (std::size_t i = 0; i < kKernelShapeCount; ++i)
+    s.shape_pkts[i] = kernel_shape_pkts_[i].load();
+  return s;
+}
+
+ModuleExecPlan Pipeline::DescribeRow(ModuleId module) const {
+  const std::size_t row = parser_.table().IndexFor(module);
+  return CompileModuleExecPlan(parser_.table().At(row),
+                               deparser_.table().At(row), stages_.data(),
+                               stages_.size(), row);
+}
+
 FlowRowState& Pipeline::FlowRowFor(ModuleId module) {
   const std::size_t row = parser_.table().IndexFor(module);
   const ModuleExecPlan& plan = ExecPlanFor(module);
@@ -48,39 +67,49 @@ void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
                             FlowVerdictCache::RunAccounting& acct,
                             ModuleId module, u64& fwd, u64& drop) {
   ++total_processed_;
-  parser_.ParseIntoPlanned(pkt, batch_phv_, plan.parse);
+  // Parse straight into the emplaced result PHV (the Phv constructor
+  // zero-fills): no Clear, no final 128-byte copy-out.
+  Phv& phv = result.final_phv.emplace();
+  PlannedParseInto(pkt, phv, plan.parse);
 
   FlowVerdictCache::KeyWordArray words;
-  FlowVerdictCache::KeyWords(frow, stages_.size(), batch_phv_, words);
+  FlowVerdictCache::KeyWords(frow, stages_.size(), phv, words);
   bool hit = false;
   FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
   if (hit) {
     flow_cache_.NoteHit();
-    FlowVerdictCache::ApplyEffects(v, batch_phv_);
+    FlowVerdictCache::ApplyEffects(v, phv);
   } else {
     flow_cache_.NoteMiss();
     flow_cache_.BeginFill(frow, v, module, words);
-    FlowVerdictCache::BuildVerdict(frow, stages_.data(), stages_.size(),
-                                   module, batch_phv_, v);
+    // The miss falls into the straight-line recording kernel; only
+    // ternary-probing eligible rows keep the interpreted walk.
+    if (kernels_enabled_ && KernelRecordVerdict(frow, stages_.data(),
+                                                stages_.size(), module, phv,
+                                                v)) {
+      kernel_record_fills_.Add();
+    } else {
+      FlowVerdictCache::BuildVerdict(frow, stages_.data(), stages_.size(),
+                                     module, phv, v);
+    }
     v.valid = true;
   }
   FlowVerdictCache::Accumulate(acct, v, stages_.size());
 
   // Tail identical to RunOne: multicast ports resolve live (the group
   // table has no version counter, so only the group id is cached).
-  const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+  const u16 group = phv.meta_u16(meta::kMulticastGroup);
   if (group != 0) {
     if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
   }
 
-  deparser_.DeparsePlanned(batch_phv_, pkt, plan.deparse);
+  deparser_.DeparsePlanned(phv, pkt, plan.deparse);
 
   if (pkt.disposition == Disposition::kDrop)
     ++drop;
   else
     ++fwd;
 
-  result.final_phv = batch_phv_;
   result.output = std::move(pkt);
 }
 
@@ -88,47 +117,80 @@ void Pipeline::RunOneReplay(Packet& pkt, PipelineResult& result,
                             const ModuleExecPlan& plan, const FlowVerdict& v,
                             u64& fwd, u64& drop) {
   ++total_processed_;
-  parser_.ParseIntoPlanned(pkt, batch_phv_, plan.parse);
-  FlowVerdictCache::ApplyEffects(v, batch_phv_);
+  Phv& phv = result.final_phv.emplace();
+  PlannedParseInto(pkt, phv, plan.parse);
+  FlowVerdictCache::ApplyEffects(v, phv);
 
-  const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+  const u16 group = phv.meta_u16(meta::kMulticastGroup);
   if (group != 0) {
     if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
   }
 
-  deparser_.DeparsePlanned(batch_phv_, pkt, plan.deparse);
+  deparser_.DeparsePlanned(phv, pkt, plan.deparse);
 
   if (pkt.disposition == Disposition::kDrop)
     ++drop;
   else
     ++fwd;
 
-  result.final_phv = batch_phv_;
   result.output = std::move(pkt);
 }
 
 void Pipeline::RunOne(Packet& pkt, PipelineResult& result,
                       const ModuleExecPlan& plan, u64& fwd, u64& drop) {
   ++total_processed_;
-  parser_.ParseIntoPlanned(pkt, batch_phv_, plan.parse);
+  Phv& phv = result.final_phv.emplace();
+  PlannedParseInto(pkt, phv, plan.parse);
   for (std::size_t s = 0; s < stages_.size(); ++s)
-    stages_[s].ProcessRun(batch_phv_, run_ctx_[s]);
+    stages_[s].ProcessRun(phv, run_ctx_[s]);
 
   // Multicast resolution (traffic-manager side, consulted by the deparser).
-  const u16 group = batch_phv_.meta_u16(meta::kMulticastGroup);
+  const u16 group = phv.meta_u16(meta::kMulticastGroup);
   if (group != 0) {
     if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
   }
 
-  deparser_.DeparsePlanned(batch_phv_, pkt, plan.deparse);
+  deparser_.DeparsePlanned(phv, pkt, plan.deparse);
 
   if (pkt.disposition == Disposition::kDrop)
     ++drop;
   else
     ++fwd;
 
-  result.final_phv = batch_phv_;
   result.output = std::move(pkt);
+}
+
+void Pipeline::RunSpan(Packet* batch, PipelineResult* out, const u32* idx,
+                       std::size_t n, const ModuleExecPlan& plan, u64& fwd,
+                       u64& drop) {
+  if (kernels_enabled_ && !plan.kernel.wide_or_ternary &&
+      BuildKernelRun(stages_.data(), stages_.size(), run_ctx_.data(), plan,
+                     kernel_run_)) {
+    const u8 shape = KernelShapeId(kernel_run_.num_steps, plan.kernel.stateful,
+                                   plan.kernel.multi_slot, false);
+    if (const KernelFn fn = KernelRegistry()[shape]) {
+      KernelBatchCtx ctx;
+      ctx.batch = batch;
+      ctx.out = out;
+      ctx.idx = idx;
+      ctx.n = n;
+      ctx.mcast = &mcast_groups_;
+      ctx.fwd = &fwd;
+      ctx.drop = &drop;
+      ctx.snapshot = &kernel_snapshot_scratch_;
+      fn(kernel_run_, ctx);
+      FlushKernelCounters(stages_.data(), kernel_run_);
+      total_processed_ += n;
+      kernel_pkts_.Add(n);
+      kernel_shape_pkts_[shape].Add(n);
+      return;
+    }
+  }
+  kernel_fallback_pkts_.Add(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = idx[k];
+    RunOne(batch[i], out[i], plan, fwd, drop);
+  }
 }
 
 PipelineResult Pipeline::Process(Packet pkt) {
@@ -169,8 +231,9 @@ PipelineResult Pipeline::Process(Packet pkt) {
     FlowVerdictCache::FlushAccounting(acct, frow, stages_.data(),
                                       stages_.size());
   } else {
-    RunOne(pkt, result, plan, forwarded_[module.value()],
-           dropped_[module.value()]);
+    static constexpr u32 kZeroIdx = 0;
+    RunSpan(&pkt, &result, &kZeroIdx, 1, plan, forwarded_[module.value()],
+            dropped_[module.value()]);
   }
   return result;
 }
@@ -218,41 +281,55 @@ void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
   const std::size_t n = batch.size();
   out.reserve(base + n);
 
-  // Pass 1 — classify every packet in arrival order (the filter's
+  // One fused pass: classify packets in arrival order (the filter's
   // round-robin buffer-tag cursor and drop counters advance exactly as
-  // on the per-packet path) and finish the non-data packets outright.
+  // on the per-packet path, and non-data packets finish outright), and
+  // execute each module run — a maximal span of consecutive data
+  // packets sharing a tenant; non-data packets never touch the stages,
+  // so they do not break a run — the moment the tenant changes, while
+  // the span's packets are still cache-hot from classification.  (The
+  // earlier classify-everything-then-execute structure evicted a span
+  // from L1 between the two passes.)
   data_idx_scratch_.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    Packet& pkt = batch[i];
-    PipelineResult& result = out.emplace_back();
+  std::size_t span_start = 0;  // index into data_idx_scratch_
+  ModuleId span_module(0);
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (i < n) {
+      // First touch of each packet: hide the LLC latency of the batch
+      // stream (struct first, then the dependent byte-buffer pointer).
+      if (i + 8 < n) __builtin_prefetch(&batch[i + 8]);
+      if (i + 4 < n) __builtin_prefetch(batch[i + 4].bytes().bytes().data());
+      Packet& pkt = batch[i];
+      PipelineResult& result = out.emplace_back();
 
-    // Same sideband reset as Process(): no forwarding decision survives
-    // from a previous device.
-    pkt.disposition = Disposition::kForward;
-    pkt.egress_port = 0;
-    pkt.multicast_ports.clear();
+      // Same sideband reset as Process(): no forwarding decision
+      // survives from a previous device.
+      pkt.disposition = Disposition::kForward;
+      pkt.egress_port = 0;
+      pkt.multicast_ports.clear();
 
-    result.filter_verdict = filter_.Classify(pkt);
-    if (result.filter_verdict != FilterVerdict::kData) {
-      if (result.filter_verdict == FilterVerdict::kDropBitmap)
-        ++dropped_[pkt.vid().value()];
-      continue;
+      result.filter_verdict = filter_.Classify(pkt);
+      if (result.filter_verdict != FilterVerdict::kData) {
+        if (result.filter_verdict == FilterVerdict::kDropBitmap)
+          ++dropped_[pkt.vid().value()];
+        continue;
+      }
+      const ModuleId vid = pkt.vid();
+      if (data_idx_scratch_.size() == span_start || vid == span_module) {
+        // Extends the open span (or opens the first one).
+        span_module = vid;
+        data_idx_scratch_.push_back(static_cast<u32>(i));
+        continue;
+      }
+      // Tenant change: execute the open span below, then start a new
+      // one with this packet.
+    } else if (data_idx_scratch_.size() == span_start) {
+      break;  // end of batch, no span left to flush
     }
-    data_idx_scratch_.push_back(static_cast<u32>(i));
-  }
 
-  // Pass 2 — execute the data packets as module runs: maximal spans of
-  // consecutive data packets sharing a tenant (non-data packets never
-  // touch the stages, so they do not break a run).  Per run, each
-  // stage's overlay lookups / key plan / stateful segment and the
-  // module's parse/deparse plans are resolved once.
-  std::size_t a = 0;
-  while (a < data_idx_scratch_.size()) {
-    const ModuleId module = batch[data_idx_scratch_[a]].vid();
-    std::size_t b = a + 1;
-    while (b < data_idx_scratch_.size() &&
-           batch[data_idx_scratch_[b]].vid() == module)
-      ++b;
+    const ModuleId module = span_module;
+    const std::size_t a = span_start;
+    const std::size_t b = data_idx_scratch_.size();
 
     const ModuleExecPlan& plan = ExecPlanFor(module);
     for (std::size_t s = 0; s < stages_.size(); ++s)
@@ -288,26 +365,80 @@ void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
             flow_cache_.SlotFor(frow, module, kZeroWords, hit);
         if (hit) {
           flow_cache_.NoteHit(b - k);
+          if (plan.parse.count == 0 && plan.deparse.count == 0 && k < b) {
+            // Run-constant replay: with no parse or deparse byte-moves
+            // the replayed PHV is identical across the run except the
+            // per-packet pipeline metadata — and no cached effect can
+            // touch those bytes (effects write containers, kUser,
+            // kDstPort, kFlags or kMulticastGroup; never kSrcPort,
+            // kPktLen or kBufferTag).  So the verdict's PHV, the
+            // multicast resolution and the disposition are computed
+            // once, and each packet just copies + patches.
+            Phv tmpl;
+            tmpl.module_id = module;
+            FlowVerdictCache::ApplyEffects(v, tmpl);
+            const u16 group = tmpl.meta_u16(meta::kMulticastGroup);
+            const std::vector<u16>* mports =
+                group != 0 ? MulticastGroup(group) : nullptr;
+            const bool discard = tmpl.discard_flag();
+            const bool multicast =
+                !discard && mports != nullptr && !mports->empty();
+            const u16 egress = tmpl.meta_u16(meta::kDstPort);
+            const Disposition disp = discard      ? Disposition::kDrop
+                                     : multicast ? Disposition::kMulticast
+                                                 : Disposition::kForward;
+            (discard ? drop : fwd) += b - k;
+            total_processed_ += b - k;
+            for (; k < b; ++k) {
+              const std::size_t i = data_idx_scratch_[k];
+              if (k + 4 < b) {
+                const std::size_t pi = data_idx_scratch_[k + 4];
+                __builtin_prefetch(batch[pi].bytes().bytes().data());
+                __builtin_prefetch(&out[base + pi], 1);
+              }
+              Packet& pkt = batch[i];
+              PipelineResult& r = out[base + i];
+              Phv& phv = r.final_phv.emplace(tmpl);
+              FillPipelineMetadata(pkt, phv);
+              if (multicast) pkt.multicast_ports = *mports;
+              pkt.disposition = disp;
+              if (disp == Disposition::kForward) pkt.egress_port = egress;
+              r.output = std::move(pkt);
+            }
+          }
           for (; k < b; ++k) {
             const std::size_t i = data_idx_scratch_[k];
+            if (k + 4 < b) {
+              const std::size_t pi = data_idx_scratch_[k + 4];
+              __builtin_prefetch(batch[pi].bytes().bytes().data());
+              __builtin_prefetch(&out[base + pi], 1);
+            }
             RunOneReplay(batch[i], out[base + i], plan, v, fwd, drop);
           }
         }
       }
       for (; k < b; ++k) {
         const std::size_t i = data_idx_scratch_[k];
+        if (k + 4 < b) {
+          const std::size_t pi = data_idx_scratch_[k + 4];
+          __builtin_prefetch(batch[pi].bytes().bytes().data());
+          __builtin_prefetch(&out[base + pi], 1);
+        }
         RunOneCached(batch[i], out[base + i], plan, frow, acct, module, fwd,
                      drop);
       }
       FlowVerdictCache::FlushAccounting(acct, frow, stages_.data(),
                                         stages_.size());
     } else {
-      for (std::size_t k = a; k < b; ++k) {
-        const std::size_t i = data_idx_scratch_[k];
-        RunOne(batch[i], out[base + i], plan, fwd, drop);
-      }
+      RunSpan(batch.data(), out.data() + base, data_idx_scratch_.data() + a,
+              b - a, plan, fwd, drop);
     }
-    a = b;
+    span_start = b;
+    if (i < n) {
+      // The packet that closed the previous span opens the next one.
+      span_module = batch[i].vid();
+      data_idx_scratch_.push_back(static_cast<u32>(i));
+    }
   }
 }
 

@@ -10,11 +10,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/counters.hpp"
 #include "packet/packet.hpp"
 #include "phv/phv.hpp"
 #include "pipeline/config_write.hpp"
 #include "pipeline/exec_plan.hpp"
 #include "pipeline/flow_cache.hpp"
+#include "pipeline/kernels.hpp"
 #include "pipeline/packet_filter.hpp"
 #include "pipeline/params.hpp"
 #include "pipeline/parser.hpp"
@@ -89,6 +91,28 @@ class Pipeline {
     return flow_cache_.Snapshot();
   }
 
+  /// Specialized-kernel dispatch knob (pipeline/kernels.hpp).  On by
+  /// default; tests disable it to pin the kernels byte-identical to the
+  /// interpreted plan path on the same object.
+  void SetKernelsEnabled(bool enabled) { kernels_enabled_ = enabled; }
+  [[nodiscard]] bool kernels_enabled() const { return kernels_enabled_; }
+
+  /// Kernel-dispatch statistics (relaxed counters: safe to read while a
+  /// shard worker is mid-batch).
+  struct KernelStats {
+    u64 pkts = 0;           // packets executed by a specialized kernel
+    u64 fallback_pkts = 0;  // packets interpreted (wide/ternary rows)
+    u64 record_fills = 0;   // flow-cache misses filled by the recording kernel
+    std::array<u64, kKernelShapeCount> shape_pkts{};  // pkts per shape id
+  };
+  [[nodiscard]] KernelStats KernelSnapshot() const;
+
+  /// Compiles (without caching) the execution plan for `module`'s
+  /// overlay row — a const observability hook: stats dumps read the
+  /// flow-cache blocker and kernel shape of every active tenant without
+  /// touching the plan cache.
+  [[nodiscard]] ModuleExecPlan DescribeRow(ModuleId module) const;
+
   /// Applies one configuration write (arriving via the daisy chain or
   /// AXI-L) to the addressed resource, and bumps the filter's
   /// reconfiguration packet counter.
@@ -145,6 +169,15 @@ class Pipeline {
   void RunOneReplay(Packet& pkt, PipelineResult& result,
                     const ModuleExecPlan& plan, const FlowVerdict& v, u64& fwd,
                     u64& drop);
+  /// Executes one module run (the `idx[0..n)` packets of `batch`, with
+  /// results at the same indices of `out`) through the specialized
+  /// kernel selected for the run's shape, or through the interpreted
+  /// RunOne loop when the shape has no registered kernel (wide/ternary)
+  /// or kernels are disabled.  BeginRun must already have resolved the
+  /// run contexts.
+  void RunSpan(Packet* batch, PipelineResult* out, const u32* idx,
+               std::size_t n, const ModuleExecPlan& plan, u64& fwd,
+               u64& drop);
 
   PipelineTiming timing_;
   PacketFilter filter_;
@@ -156,8 +189,6 @@ class Pipeline {
   std::unordered_map<u16, u64> dropped_;
   u64 total_processed_ = 0;
   u64 config_writes_ = 0;
-  /// PHV reused across the packets of a batch (ProcessBatchInto).
-  Phv batch_phv_;
 
   /// Execution-plan cache, one slot per overlay row, stamped with
   /// ConfigVersionSum() at build time.
@@ -177,6 +208,17 @@ class Pipeline {
   std::vector<Stage::ModuleRunContext> run_ctx_ =
       std::vector<Stage::ModuleRunContext>(params::kNumStages);
   std::vector<u32> data_idx_scratch_;
+
+  // Kernel dispatch (pipeline/kernels.hpp): the per-run step list and
+  // the multi-slot snapshot scratch are reused across runs; per-shape
+  // packet counters feed ShardStats/DumpDataplaneStats.
+  bool kernels_enabled_ = true;
+  KernelRun kernel_run_;
+  Phv kernel_snapshot_scratch_;
+  RelaxedCounter kernel_pkts_;
+  RelaxedCounter kernel_fallback_pkts_;
+  RelaxedCounter kernel_record_fills_;
+  std::array<RelaxedCounter, kKernelShapeCount> kernel_shape_pkts_;
 };
 
 }  // namespace menshen

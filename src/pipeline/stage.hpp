@@ -65,6 +65,20 @@ class Stage {
 
   void WriteVliw(std::size_t index, VliwEntry entry);
   [[nodiscard]] const VliwEntry& VliwAt(std::size_t index) const;
+  /// Compiled form of the VLIW row at `index` (active slots + snapshot
+  /// elision) — read by the exec-plan shape classifier and the kernels.
+  [[nodiscard]] const VliwPlan& VliwPlanAt(std::size_t index) const {
+    return vliw_plans_.at(index);
+  }
+  /// Raw table bases for the kernel layer: a kernel resolves the matched
+  /// address's entry/plan with one index, no bounds re-check (addresses
+  /// come from the CAM, which only stores valid indices).
+  [[nodiscard]] const VliwEntry* vliw_table_data() const {
+    return vliw_table_.data();
+  }
+  [[nodiscard]] const VliwPlan* vliw_plans_data() const {
+    return vliw_plans_.data();
+  }
   /// Bumped on every WriteVliw — part of the configuration version the
   /// pipeline's execution-plan cache stamps plans with.
   [[nodiscard]] u64 vliw_version() const { return vliw_version_; }
@@ -99,12 +113,12 @@ class Stage {
     misses_ += misses;
   }
 
- private:
   /// Cached per-overlay-row key layout, derived from the row's key
   /// extractor and key mask: which of the six key slots have any unmasked
   /// bit, and whether the predicate bit can ever reach the lookup.  Saves
   /// rebuilding the full 193-bit key per stage for the (common) modules
-  /// that match on one or two fields.
+  /// that match on one or two fields.  Public: the kernel-specialization
+  /// layer (pipeline/kernels) reads the plan through ModuleRunContext.
   struct KeyPlan {
     u64 built_at_version = ~u64{0};  // kx.version() + mask.version() stamp
     bool skip_extraction = false;    // all-zero mask: key is forced to zero

@@ -123,7 +123,8 @@ Controller::TickReport Controller::TickOnce() {
     report.shard_loads.push_back(ShardLoad{
         s, shard_counters[s].queue_depth, delta,
         shard_counters[s].flow_cache_hits, shard_counters[s].flow_cache_misses,
-        shard_counters[s].flow_cache_occupancy});
+        shard_counters[s].flow_cache_occupancy, shard_counters[s].kernel_pkts,
+        shard_counters[s].kernel_fallback_pkts});
   }
   if (cfg_.log_sink) {
     std::string line = "tick " + std::to_string(report.tick) + ": offered " +
@@ -136,6 +137,9 @@ Controller::TickReport Controller::TickOnce() {
       if (sl.flow_cache_hits + sl.flow_cache_misses != 0)
         line += " fc=" + std::to_string(sl.flow_cache_hits) + "/" +
                 std::to_string(sl.flow_cache_hits + sl.flow_cache_misses);
+      if (sl.kernel_pkts + sl.kernel_fallback_pkts != 0)
+        line += " kr=" + std::to_string(sl.kernel_pkts) + "/" +
+                std::to_string(sl.kernel_pkts + sl.kernel_fallback_pkts);
     }
     cfg_.log_sink(line);
   }

@@ -96,6 +96,11 @@ class Controller {
     u64 flow_cache_hits = 0;
     u64 flow_cache_misses = 0;
     u64 flow_cache_occupancy = 0;
+    /// Specialized-kernel dispatch (cumulative): packets run by a
+    /// straight-line kernel vs interpreted fallback — the tick log's
+    /// view of how much of the shard's uncached load the kernels take.
+    u64 kernel_pkts = 0;
+    u64 kernel_fallback_pkts = 0;
   };
 
   /// What one tick observed and did.

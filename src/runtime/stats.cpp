@@ -90,11 +90,37 @@ void FillShardRows(const std::vector<Dataplane::ShardCounters>& counters,
                    DataplaneStats& s) {
   for (std::size_t i = 0; i < counters.size(); ++i) {
     const Dataplane::ShardCounters& c = counters[i];
-    s.shards.push_back(ShardStats{i, c.batches, c.packets, c.forwarded,
-                                  c.dropped, c.filtered, c.queue_depth,
-                                  c.busy_ns, c.flow_cache_hits,
-                                  c.flow_cache_misses, c.flow_cache_evictions,
-                                  c.flow_cache_occupancy});
+    ShardStats row;
+    row.shard = i;
+    row.batches = c.batches;
+    row.packets = c.packets;
+    row.forwarded = c.forwarded;
+    row.dropped = c.dropped;
+    row.filtered = c.filtered;
+    row.queue_depth = c.queue_depth;
+    row.busy_ns = c.busy_ns;
+    row.flow_cache_hits = c.flow_cache_hits;
+    row.flow_cache_misses = c.flow_cache_misses;
+    row.flow_cache_evictions = c.flow_cache_evictions;
+    row.flow_cache_occupancy = c.flow_cache_occupancy;
+    row.kernel_pkts = c.kernel_pkts;
+    row.kernel_fallback_pkts = c.kernel_fallback_pkts;
+    row.kernel_record_fills = c.kernel_record_fills;
+    s.shards.push_back(row);
+    for (std::size_t sh = 0; sh < kKernelShapeCount; ++sh)
+      s.kernel_shape_pkts[sh] += c.kernel_shape_pkts[sh];
+  }
+}
+
+/// Stamps each tenant row with its row's execution-ladder facts
+/// (flow-cache blocker, kernel shape at the potential step count).
+void DescribeTenantRows(const Dataplane& dp, DataplaneStats& s) {
+  for (TenantStats& t : s.tenants) {
+    const ModuleExecPlan plan = dp.DescribeTenantRow(t.tenant);
+    t.flow_blocker = plan.flow_blocker;
+    t.kernel_shape = KernelShapeId(
+        plan.kernel.potential_steps, plan.kernel.stateful,
+        plan.kernel.multi_slot, plan.kernel.wide_or_ternary);
   }
 }
 
@@ -120,8 +146,15 @@ DataplaneStats CollectDataplaneStats(const Dataplane& dp) {
   FillShardRows(q.shards, s);
   FillMatchRows(q.match_stages, s);
   s.total_packets = q.total_packets;
-  for (const Dataplane::TenantCounts& t : q.tenants)
-    s.tenants.push_back(TenantStats{t.tenant, t.shard, t.forwarded, t.dropped});
+  for (const Dataplane::TenantCounts& t : q.tenants) {
+    TenantStats row;
+    row.tenant = t.tenant;
+    row.shard = t.shard;
+    row.forwarded = t.forwarded;
+    row.dropped = t.dropped;
+    s.tenants.push_back(row);
+  }
+  DescribeTenantRows(dp, s);
   return s;
 }
 
@@ -132,10 +165,15 @@ DataplaneStats CollectDataplaneStatsRelaxed(const Dataplane& dp) {
   FillShardRows(dp.CountersSnapshotRelaxed(), s);
   FillMatchRows(dp.MatchCountersSnapshotRelaxed(), s);
   s.total_packets = dp.total_packets_relaxed();
-  for (const ModuleId tenant : dp.ActiveTenantsRelaxed())
-    s.tenants.push_back(TenantStats{tenant, dp.ShardFor(tenant),
-                                    dp.forwarded_relaxed(tenant),
-                                    dp.dropped_relaxed(tenant)});
+  for (const ModuleId tenant : dp.ActiveTenantsRelaxed()) {
+    TenantStats row;
+    row.tenant = tenant;
+    row.shard = dp.ShardFor(tenant);
+    row.forwarded = dp.forwarded_relaxed(tenant);
+    row.dropped = dp.dropped_relaxed(tenant);
+    s.tenants.push_back(row);
+  }
+  DescribeTenantRows(dp, s);
   return s;
 }
 
@@ -173,10 +211,42 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
                   static_cast<unsigned long long>(sh.flow_cache_occupancy));
     out += line;
   }
+  for (const ShardStats& sh : s.shards) {
+    if (sh.kernel_pkts + sh.kernel_fallback_pkts == 0) continue;
+    out += "  shard " + std::to_string(sh.shard) + " kernels: " +
+           std::to_string(sh.kernel_pkts) + " kernel pkts, " +
+           std::to_string(sh.kernel_fallback_pkts) + " interpreted, " +
+           std::to_string(sh.kernel_record_fills) + " record fills\n";
+  }
+  {
+    // Kernel-shape packet distribution, aggregated across shards.
+    std::string shapes;
+    for (std::size_t id = 0; id < kKernelShapeCount; ++id)
+      if (s.kernel_shape_pkts[id] != 0)
+        shapes += std::string("  ") + KernelShapeName(static_cast<u8>(id)) +
+                  "=" + std::to_string(s.kernel_shape_pkts[id]);
+    if (!shapes.empty()) out += "  kernel shapes:" + shapes + "\n";
+  }
+  // Per-module flow-cache blocker histogram: how many tenants sit at
+  // each rung of the execution ladder, and why the cache is blocked for
+  // the ones it is.
+  {
+    std::map<const char*, std::size_t> blockers;
+    for (const TenantStats& t : s.tenants)
+      ++blockers[FlowCacheBlockerName(t.flow_blocker)];
+    if (!blockers.empty()) {
+      out += "  flow blockers:";
+      for (const auto& [name, n] : blockers)
+        out += std::string("  ") + name + "=" + std::to_string(n);
+      out += "\n";
+    }
+  }
   for (const TenantStats& t : s.tenants)
     out += "  tenant " + std::to_string(t.tenant.value()) + " @ shard " +
            std::to_string(t.shard) + ": fwd " + std::to_string(t.forwarded) +
-           ", drop " + std::to_string(t.dropped) + "\n";
+           ", drop " + std::to_string(t.dropped) + " [blocker " +
+           FlowCacheBlockerName(t.flow_blocker) + ", shape " +
+           KernelShapeName(t.kernel_shape) + "]\n";
   for (const StageMatchStats& m : s.match_stages) {
     if (m.cam_lookups == 0 && m.tcam_lookups == 0) continue;
     char line[160];

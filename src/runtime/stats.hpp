@@ -7,6 +7,7 @@
 // command would print.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,12 @@ struct ShardStats {
   u64 flow_cache_misses = 0;
   u64 flow_cache_evictions = 0;
   u64 flow_cache_occupancy = 0;
+  /// Specialized-kernel dispatch counters for this replica
+  /// (pipeline/kernels.hpp): straight-line-kernel packets, interpreted
+  /// fallback packets (wide/ternary rows), recording-kernel cache fills.
+  u64 kernel_pkts = 0;
+  u64 kernel_fallback_pkts = 0;
+  u64 kernel_record_fills = 0;
 
   [[nodiscard]] double flow_cache_hit_ratio() const {
     const u64 probes = flow_cache_hits + flow_cache_misses;
@@ -75,12 +82,19 @@ struct ShardStats {
   }
 };
 
-/// One tenant's totals plus the shard its traffic is steered to.
+/// One tenant's totals plus the shard its traffic is steered to, and
+/// the execution-ladder facts of its compiled row: why (if at all) the
+/// flow-verdict cache is blocked for it, and which kernel shape its
+/// module runs dispatch to.
 struct TenantStats {
   ModuleId tenant;
   std::size_t shard = 0;
   u64 forwarded = 0;
   u64 dropped = 0;
+  FlowCacheBlocker flow_blocker = FlowCacheBlocker::kNone;
+  /// Shape id (pipeline/kernels KernelShapeId) of the tenant's row at
+  /// its potential step count — the shape a full-length run presents.
+  u8 kernel_shape = 0;
 };
 
 /// One pipeline stage's match-path counters, aggregated across shard
@@ -113,6 +127,9 @@ struct DataplaneStats {
   std::vector<TenantStats> tenants;  // sorted by tenant ID
   /// Per-stage match-path counters, aggregated across shards.
   std::vector<StageMatchStats> match_stages;
+  /// Kernel-shape packet distribution aggregated across shard replicas
+  /// (index = shape id; see pipeline/kernels KernelShapeName).
+  std::array<u64, kKernelShapeCount> kernel_shape_pkts{};
   u64 total_packets = 0;
   u64 writes_broadcast = 0;
   /// Committed configuration epoch (bumped by Dataplane::CommitEpoch).

@@ -341,6 +341,139 @@ TEST(ExecPlanFlowCache, BlockerNamesAreStable) {
                "predicate-written");
 }
 
+// --- Kernel-shape classification (ModuleExecPlan::KernelShape) ----------------
+//
+// The specialized straight-line kernels (pipeline/kernels) are selected
+// from the plan-level shape bits; a misclassified row either routes a
+// kernel-incompatible configuration into a kernel (wrong output) or
+// needlessly falls back to the interpreter (perf).  These units pin each
+// classification rule against hand-built rows.
+
+TEST(ExecPlanKernelShape, EmptyRowHasZeroStepNoFlagShape) {
+  Pipeline pipe;
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(9));
+  EXPECT_FALSE(plan.kernel.wide_or_ternary);
+  EXPECT_FALSE(plan.kernel.stateful);
+  EXPECT_FALSE(plan.kernel.multi_slot);
+  EXPECT_EQ(plan.kernel.potential_steps, 0);
+}
+
+TEST(ExecPlanKernelShape, TernaryExtractorWithNonzeroMaskIsWide) {
+  Pipeline pipe;
+  const std::size_t row = 9;
+  KeyExtractorEntry kx;
+  kx.selectors[5] = 2;
+  kx.ternary = true;
+  pipe.stage(0).key_extractor().Write(row, kx);
+  KeyMaskEntry mask;
+  mask.mask.set_field(1, 16, 0xFFFF);  // word-0-only mask, still ternary
+  pipe.stage(0).key_mask().Write(row, mask);
+  EXPECT_TRUE(pipe.ExecPlanFor(ModuleId(row)).kernel.wide_or_ternary);
+}
+
+TEST(ExecPlanKernelShape, ZeroMaskTernaryStaysKernelShaped) {
+  // An all-zero-mask ternary stage resolves as a constant lookup in
+  // Stage::BeginRun — nothing for the kernel to probe, so the row keeps
+  // a straight-line shape.
+  Pipeline pipe;
+  const std::size_t row = 9;
+  KeyExtractorEntry kx;
+  kx.ternary = true;
+  pipe.stage(0).key_extractor().Write(row, kx);
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_FALSE(plan.kernel.wide_or_ternary);
+  EXPECT_EQ(plan.kernel.potential_steps, 0);
+}
+
+TEST(ExecPlanKernelShape, MaskBitsAboveWordZeroAreWide) {
+  Pipeline pipe;
+  const std::size_t row = 9;
+  KeyExtractorEntry kx;
+  pipe.stage(1).key_extractor().Write(row, kx);
+  KeyMaskEntry mask;
+  mask.mask.set_field(33, 32, 0xFFFFFFFFull);  // bit 64 in key word 1
+  pipe.stage(1).key_mask().Write(row, mask);
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_TRUE(plan.kernel.wide_or_ternary);
+  // The probing stage still counts toward the step bound.
+  EXPECT_EQ(plan.kernel.potential_steps, 1);
+}
+
+TEST(ExecPlanKernelShape, ReachableStatefulOpSetsStateful) {
+  Pipeline pipe;
+  const std::size_t row = 9;
+  flowcache::WriteOneWordKey(pipe, row);
+  flowcache::WriteReachableEntry(pipe, row, 3);
+  VliwEntry v;
+  v.slots[2] = AluAction{AluOp::kLoad, 0, 0, 0};
+  pipe.stage(0).WriteVliw(3, v);
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_TRUE(plan.kernel.stateful);
+  EXPECT_FALSE(plan.kernel.wide_or_ternary);
+}
+
+TEST(ExecPlanKernelShape, UnreachableStatefulOpDoesNotSetStateful) {
+  // Same per-address reachability rule as the flow-cache scan: a
+  // stateful action at an address no entry of this row points to must
+  // not push the row into the stateful kernel class.
+  Pipeline pipe;
+  const std::size_t row = 9;
+  flowcache::WriteOneWordKey(pipe, row);
+  flowcache::WriteReachableEntry(pipe, row, 0);
+  VliwEntry v;
+  v.slots[2] = AluAction{AluOp::kLoad, 0, 0, 0};
+  pipe.stage(0).WriteVliw(7, v);  // address 7: not reachable
+  EXPECT_FALSE(pipe.ExecPlanFor(ModuleId(row)).kernel.stateful);
+}
+
+TEST(ExecPlanKernelShape, MultiActiveSlotVliwSetsMultiSlot) {
+  Pipeline pipe;
+  const std::size_t row = 9;
+  flowcache::WriteOneWordKey(pipe, row);
+  flowcache::WriteReachableEntry(pipe, row, 0);
+  VliwEntry v;
+  v.slots[2] = AluAction{AluOp::kSet, 0, 0, 7};
+  v.slots[5] = AluAction{AluOp::kSet, 0, 0, 8};
+  pipe.stage(0).WriteVliw(0, v);
+  EXPECT_TRUE(pipe.ExecPlanFor(ModuleId(row)).kernel.multi_slot);
+}
+
+TEST(ExecPlanKernelShape, SingleConstantSlotStaysSingleSlot) {
+  Pipeline pipe;
+  const std::size_t row = 9;
+  flowcache::WriteOneWordKey(pipe, row);
+  flowcache::WriteReachableEntry(pipe, row, 0);
+  VliwEntry v;
+  v.slots[2] = AluAction{AluOp::kSet, 0, 0, 7};
+  pipe.stage(0).WriteVliw(0, v);
+  const ModuleExecPlan& plan = pipe.ExecPlanFor(ModuleId(row));
+  EXPECT_FALSE(plan.kernel.multi_slot);
+  EXPECT_FALSE(plan.kernel.stateful);
+  EXPECT_EQ(plan.kernel.potential_steps, 1);
+}
+
+TEST(ExecPlanKernelShape, ZeroMaskStageCountsOnlyWithAliasedEntry) {
+  // An all-zero-mask stage with no valid entry can never contribute a
+  // step; writing one reachable entry makes a constant hit possible and
+  // the bound must grow by exactly that stage.
+  Pipeline pipe;
+  const std::size_t row = 9;
+  EXPECT_EQ(pipe.ExecPlanFor(ModuleId(row)).kernel.potential_steps, 0);
+  flowcache::WriteReachableEntry(pipe, row, 0);  // stage 0, zero mask
+  EXPECT_EQ(pipe.ExecPlanFor(ModuleId(row)).kernel.potential_steps, 1);
+  flowcache::WriteOneWordKey(pipe, row);  // stage 0 now probes; still 1
+  EXPECT_EQ(pipe.ExecPlanFor(ModuleId(row)).kernel.potential_steps, 1);
+  // A probing stage counts even with no entries behind it (a miss still
+  // runs the probe).
+  KeyExtractorEntry kx;
+  kx.selectors[5] = 2;
+  pipe.stage(2).key_extractor().Write(row, kx);
+  KeyMaskEntry mask;
+  mask.mask.set_field(1, 16, 0xFFFF);
+  pipe.stage(2).key_mask().Write(row, mask);
+  EXPECT_EQ(pipe.ExecPlanFor(ModuleId(row)).kernel.potential_steps, 2);
+}
+
 // Regression: an all-zero-mask (constant-key) module is eligible — its
 // key word is constantly zero — and its per-stage accounting flows
 // through Stage::BeginRun's bulk path, NOT the cache's per-verdict

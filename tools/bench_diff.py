@@ -33,6 +33,13 @@ regenerate the committed baseline.
 (including unchanged and new/removed ones) and always exits 0 — the
 inspection mode for deciding whether a baseline regeneration is
 justified, e.g. when CI uploads the bench JSONs of a failed gate.
+
+--summary prints a compact percent-change table (every common row, one
+line each) followed by derived gap ratios — currently the ingress
+multi-producer gap: each ingress_96B_4prod_* row as a percentage of the
+single-dispatcher ingress_96B_1disp row, in both the baseline and the
+current run.  Always exits 0; CI runs it before the gates so the known
+gap is visible on every PR instead of buried in raw JSON.
 """
 
 import argparse
@@ -52,6 +59,44 @@ def load(path):
     return rows
 
 
+def metric(row):
+    """(value, unit) of a row's primary metric; ns/op rows are
+    lower-is-better, mpps rows higher-is-better."""
+    if "ns_per_op" in row:
+        return row["ns_per_op"], "ns/op"
+    return row["mpps"], "Mpps"
+
+
+def summary(base, cur):
+    """Percent-change table over common rows, then derived gap ratios."""
+    common = [n for n in sorted(base) if n in cur]
+    if common:
+        width = max(len(n) for n in common)
+        print("percent change vs committed baseline "
+              "(ns/op lower is better, Mpps higher is better):")
+        for name in common:
+            bv, unit = metric(base[name])
+            cv, _ = metric(cur[name])
+            delta = (cv - bv) / bv * 100 if bv > 0 else 0.0
+            print(f"  {name:<{width}}  {bv:>10.3f} -> {cv:>10.3f} {unit:<5}"
+                  f" ({delta:+6.1f}%)")
+    # Known perf gap (see README "Known perf gaps"): the multi-producer
+    # ingress rows vs the single-dispatcher row, from the same run each.
+    for label, rows in (("baseline", base), ("current", cur)):
+        ref = rows.get("ingress_96B_1disp")
+        if ref is None or ref.get("mpps", 0) <= 0:
+            continue
+        gaps = [n for n in sorted(rows) if n.startswith("ingress_96B_4prod")]
+        if not gaps:
+            continue
+        print(f"ingress multi-producer gap ({label}, % of ingress_96B_1disp "
+              f"= {ref['mpps']:.3f} Mpps):")
+        for name in gaps:
+            pct = rows[name]["mpps"] / ref["mpps"] * 100
+            print(f"  {name}: {rows[name]['mpps']:.3f} Mpps ({pct:.1f}%)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -68,10 +113,16 @@ def main():
     ap.add_argument("--list", action="store_true",
                     help="print baseline vs current for every row and "
                          "exit 0 (no gating)")
+    ap.add_argument("--summary", action="store_true",
+                    help="print a percent-change table plus derived gap "
+                         "ratios (ingress 4prod vs 1disp) and exit 0")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
+
+    if args.summary:
+        return summary(base, cur)
 
     if args.list:
         def fmt(row):

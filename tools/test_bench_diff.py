@@ -82,6 +82,21 @@ class BenchDiffGate(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("[gone]", out)
 
+    def test_summary_mode_never_gates(self):
+        grown = dict(MICRO_A, ns_per_op=100.0)
+        code, out = run_diff([MICRO_A], [grown], "--summary")
+        self.assertEqual(code, 0, out)
+        self.assertIn("percent change", out)
+        self.assertIn("+900.0%", out)
+
+    def test_summary_ingress_gap_table(self):
+        disp = {"name": "ingress_96B_1disp", "mpps": 4.0, "gbps": 3.0}
+        prod = {"name": "ingress_96B_4prod_d16", "mpps": 3.0, "gbps": 2.3}
+        code, out = run_diff([disp, prod], [disp, prod], "--summary")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ingress multi-producer gap", out)
+        self.assertIn("(75.0%)", out)
+
 
 if __name__ == "__main__":
     unittest.main()
