@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "apps/apps.hpp"
 #include "bench_util.hpp"
 #include "dataplane/dataplane.hpp"
+#include "packet/arena.hpp"
 #include "sim/traffic.hpp"
 
 namespace menshen {
@@ -139,12 +141,88 @@ IngressPoint MeasureProducers(std::size_t producers,
       producers * kTicketsPerProducer * kTicketPackets, seconds);
 }
 
+/// Run-to-completion streaming: producers fill arena bursts in place,
+/// run them to completion on their own core (no worker threads — the
+/// producer IS the forwarding core, serialized per shard, parallel
+/// across shards), and recycle buffers as the egress queues drain — no
+/// result gather, no futures, no batch copies, no thread handoffs.
+IngressPoint MeasureStream(std::size_t producers, std::size_t shards) {
+  Dataplane dp(DataplaneConfig{.num_shards = shards,
+                               .worker_threads = false,
+                               .ingress_queue_depth = 256});
+  InstallTenants(dp);
+
+  constexpr std::size_t kBurst = 64;
+  std::vector<std::vector<Packet>> traces;
+  for (std::size_t p = 0; p < producers; ++p)
+    traces.push_back(GenerateTenantMix(
+        {{static_cast<u16>(2 + (p % 4)), kFrameBytes, 1.0}}, kTicketPackets));
+
+  std::vector<std::unique_ptr<PacketArena>> arenas;
+  for (std::size_t p = 0; p < producers; ++p)
+    arenas.push_back(std::make_unique<PacketArena>(4096));
+
+  const auto produce = [&](std::size_t p, std::size_t tickets) {
+    PacketArena& arena = *arenas[p];
+    const std::vector<Packet>& trace = traces[p];
+    std::vector<ArenaPacket*> egress;
+    ArenaPacket* burst[kBurst];
+    for (std::size_t t = 0; t < tickets; ++t) {
+      for (std::size_t off = 0; off < trace.size(); off += kBurst) {
+        const std::size_t n = std::min(kBurst, trace.size() - off);
+        std::size_t have = 0;
+        while (have < n) {
+          have += arena.AllocateBurst(burst + have, n - have);
+          if (have < n) {  // arena cap reached: recycle consumed egress
+            egress.clear();
+            if (dp.PollEgress(egress) != 0)
+              ReleaseToOwners(egress.data(), egress.size());
+            else
+              std::this_thread::yield();
+          }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+          burst[i]->Assign(trace[off + i].bytes().bytes());
+        dp.SubmitStream(burst, n);
+      }
+      egress.clear();
+      if (dp.PollEgress(egress) != 0)
+        ReleaseToOwners(egress.data(), egress.size());
+    }
+    // Drain this producer's remaining buffers back to the arena.
+    while (arena.outstanding() != 0) {
+      egress.clear();
+      if (dp.PollEgress(egress) != 0)
+        ReleaseToOwners(egress.data(), egress.size());
+      else
+        std::this_thread::yield();
+    }
+  };
+
+  for (std::size_t p = 0; p < producers; ++p) produce(p, 1);  // warm
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p)
+    threads.emplace_back([&, p] { produce(p, kTicketsPerProducer); });
+  for (std::thread& t : threads) t.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return FinishPoint("stream_96B_" + std::to_string(shards) + "core_" +
+                         std::to_string(producers) + "prod",
+                     producers * kTicketsPerProducer * kTicketPackets,
+                     seconds);
+}
+
 void RunAndEmit() {
   const IngressPoint base = MeasureSingleDispatcher();
   std::vector<IngressPoint> pts{base};
   for (const std::size_t depth : {std::size_t{16}, std::size_t{64},
                                   std::size_t{256}})
     pts.push_back(MeasureProducers(4, depth));
+  pts.push_back(MeasureStream(1, 1));
+  pts.push_back(MeasureStream(4, 4));
 
   bench::Header("Async ingress — N producers vs 1 dispatcher "
                 "(queue-depth sweep)");

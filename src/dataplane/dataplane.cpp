@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "packet/arena.hpp"
+
 namespace menshen {
 
 namespace {
@@ -43,6 +45,7 @@ struct ScatterScratch {
     u32 count = 0;   // packets in this group
     u32 base = 0;    // start offset inside the shard's sub-batch
     u32 cursor = 0;  // next position during placement
+    bool stealable = false;  // tenant's plan is provably stateless
   };
   std::vector<Group> groups;        // first-appearance order
   std::vector<u32> group_of;        // packet index -> group index
@@ -50,7 +53,9 @@ struct ScatterScratch {
   std::vector<u32> stamp;           // key -> generation of `slot`
   u32 gen = 0;
   std::vector<u32> shard_total;     // shard -> sub-batch size
+  std::vector<u8> shard_stealable;  // shard -> all groups stealable
   std::vector<ingress::ShardWork> works;
+  std::vector<ingress::StreamWork> stream_works;
 };
 
 thread_local ScatterScratch tls_scatter;
@@ -106,6 +111,8 @@ Dataplane::Dataplane(DataplaneConfig cfg) : cfg_(cfg) {
   for (auto& s : steering_) s.store(kNoSteering, std::memory_order_relaxed);
   tenant_forwarded_.resize(ModuleId::kMax + 1);
   tenant_dropped_.resize(ModuleId::kMax + 1);
+  tenant_stealable_ = std::vector<std::atomic<u8>>(ModuleId::kMax + 1);
+  ingress_depth_.store(cfg_.ingress_queue_depth, std::memory_order_release);
 
   for (std::size_t s = 0; s < cfg_.num_shards; ++s) AddShardLocked();
   num_shards_.store(cfg_.num_shards, std::memory_order_release);
@@ -129,11 +136,18 @@ void Dataplane::AddShardLocked() {
   for (const auto& [key, write] : config_log_) replica.ApplyWrite(write);
   shard_ctx_.push_back(
       std::make_unique<ShardContext>(cfg_.ingress_queue_depth));
-  if (cfg_.worker_threads) {
-    ShardContext* ctx = shard_ctx_.back().get();
-    ctx->worker = std::thread([this, ctx, s] { WorkerLoop(ctx, s); });
-    workers_running_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  if (s < kStealTableSize)
+    steal_table_[s].store(shard_ctx_.back().get(), std::memory_order_release);
+  StartWorkerLocked(s);
+}
+
+void Dataplane::StartWorkerLocked(std::size_t s) {
+  if (!cfg_.worker_threads) return;
+  ShardContext* ctx = shard_ctx_[s].get();
+  ctx->stop.store(false, std::memory_order_seq_cst);
+  ctx->steal_hint.store(0, std::memory_order_relaxed);
+  ctx->worker = std::thread([this, ctx, s] { WorkerLoop(ctx, s); });
+  workers_running_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Dataplane::StopWorkerLocked(std::size_t s) {
@@ -198,6 +212,152 @@ std::vector<PipelineResult> Dataplane::ProcessBatch(
   return Submit(std::move(ticket)).get();
 }
 
+void Dataplane::SubmitStream(ArenaPacket* const* pkts, std::size_t n) {
+  if (n == 0) return;
+  // Without worker threads the producer core IS the forwarding core:
+  // it runs the burst to completion itself, under the shared gate so
+  // producers on different shards execute in parallel (per-shard
+  // serialization happens on ShardContext::stream_m).  Config
+  // operations still exclude everything via the exclusive gate.
+  SharedGate gate(*this);
+  ScatterStream(pkts, n, /*inline_run=*/!cfg_.worker_threads);
+}
+
+void Dataplane::ScatterStream(ArenaPacket* const* pkts, std::size_t n,
+                              bool inline_run) {
+  const std::size_t shard_count = shards_.size();
+  ScatterScratch& sc = tls_scatter;
+
+  // Pass 1 — group by tenant, exactly like the batched scatter: whole
+  // tenant groups per shard burst, arrival order within a tenant.
+  if (sc.slot.size() < kNoVlanKey + 1) {
+    sc.slot.resize(kNoVlanKey + 1, 0);
+    sc.stamp.resize(kNoVlanKey + 1, 0);
+  }
+  if (++sc.gen == 0) {
+    std::fill(sc.stamp.begin(), sc.stamp.end(), 0u);
+    sc.gen = 1;
+  }
+  sc.groups.clear();
+  sc.group_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 key = pkts[i]->has_vlan() ? pkts[i]->vid().value() : kNoVlanKey;
+    if (sc.stamp[key] != sc.gen) {
+      sc.stamp[key] = sc.gen;
+      sc.slot[key] = static_cast<u32>(sc.groups.size());
+      const std::size_t s =
+          key == kNoVlanKey
+              ? 0
+              : ShardForLocked(ModuleId(static_cast<u16>(key)), shard_count);
+      sc.groups.push_back(
+          ScatterScratch::Group{static_cast<u32>(s), 0, 0, 0, false});
+    }
+    const u32 g = sc.slot[key];
+    ++sc.groups[g].count;
+    sc.group_of[i] = g;
+  }
+
+  sc.shard_total.assign(shard_count, 0);
+  for (ScatterScratch::Group& g : sc.groups) {
+    g.base = sc.shard_total[g.shard];
+    g.cursor = 0;
+    sc.shard_total[g.shard] += g.count;
+  }
+
+  // Pass 2 — place the packet pointers into pooled burst arrays.
+  if (sc.stream_works.size() < shard_count) sc.stream_works.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (sc.shard_total[s] == 0) continue;
+    sc.stream_works[s].pkts = AcquireStreamBuffer();
+    sc.stream_works[s].pkts.resize(sc.shard_total[s]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ScatterScratch::Group& g = sc.groups[sc.group_of[i]];
+    sc.stream_works[g.shard].pkts[g.base + g.cursor++] = pkts[i];
+  }
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (sc.shard_total[s] == 0) continue;
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (inline_run) {
+      ShardContext& ictx = *shard_ctx_[s];
+      std::lock_guard<std::mutex> lk(ictx.stream_m);
+      ExecuteStreamWork(s, sc.stream_works[s]);
+      sc.stream_works[s] = ingress::StreamWork{};
+      continue;
+    }
+    ShardContext& ctx = *shard_ctx_[s];
+    // Backpressure on a full ring; one producer_stalls tick per stalled
+    // push (not per retry) keeps the controller's signal proportional
+    // to how often producers actually block.
+    bool stalled = false;
+    while (!ctx.stream_queue.TryPush(std::move(sc.stream_works[s]))) {
+      if (!stalled) {
+        ctx.producer_stalls.Add(1);
+        stalled = true;
+      }
+      std::this_thread::yield();
+    }
+    sc.stream_works[s] = ingress::StreamWork{};
+    if (ctx.parked.load(std::memory_order_seq_cst)) {
+      { std::lock_guard<std::mutex> g(ctx.m); }
+      ctx.cv.notify_one();
+    }
+  }
+}
+
+std::size_t Dataplane::PollEgress(std::vector<ArenaPacket*>& out) {
+  SharedGate gate(*this);
+  std::size_t appended = 0;
+  {
+    // Quiesce-overflow first: packets parked here by a migration or
+    // resize precede — per tenant — anything now sitting in a shard
+    // egress queue.
+    std::lock_guard<std::mutex> lk(overflow_m_);
+    if (!egress_overflow_.empty()) {
+      out.insert(out.end(), egress_overflow_.begin(), egress_overflow_.end());
+      appended += egress_overflow_.size();
+      egress_overflow_.clear();
+    }
+  }
+  for (const auto& ctx : shard_ctx_) {
+    std::lock_guard<std::mutex> lk(ctx->egress_m);
+    if (ctx->egress.empty()) continue;
+    out.insert(out.end(), ctx->egress.begin(), ctx->egress.end());
+    appended += ctx->egress.size();
+    ctx->egress.clear();
+  }
+  return appended;
+}
+
+void Dataplane::FlushEgressLocked() {
+  std::lock_guard<std::mutex> lk(overflow_m_);
+  for (const auto& ctx : shard_ctx_) {
+    std::lock_guard<std::mutex> g(ctx->egress_m);
+    egress_overflow_.insert(egress_overflow_.end(), ctx->egress.begin(),
+                            ctx->egress.end());
+    ctx->egress.clear();
+  }
+}
+
+void Dataplane::SetIngressQueueDepth(std::size_t depth) {
+  if (depth < 2) depth = 2;
+  ExclusiveGate gate(*this);
+  DrainLocked();
+  if (depth == cfg_.ingress_queue_depth) return;
+  // The rings reallocate only when quiescent AND consumer-free: stop
+  // every worker (queues are drained, so nothing is lost), swap the
+  // storage, restart.
+  for (std::size_t s = 0; s < shard_ctx_.size(); ++s) StopWorkerLocked(s);
+  for (const auto& ctx : shard_ctx_) {
+    ctx->queue.Reset(depth);
+    ctx->stream_queue.Reset(depth);
+  }
+  cfg_.ingress_queue_depth = depth;
+  ingress_depth_.store(depth, std::memory_order_release);
+  for (std::size_t s = 0; s < shard_ctx_.size(); ++s) StartWorkerLocked(s);
+}
+
 Dataplane::WorkBuffers Dataplane::AcquireWorkBuffers() {
   std::unique_lock<std::mutex> lk(pool_mutex_, std::try_to_lock);
   if (lk.owns_lock() && !buffer_pool_.empty()) {
@@ -215,6 +375,23 @@ void Dataplane::RecycleWorkBuffers(std::vector<Packet>&& packets,
   std::unique_lock<std::mutex> lk(pool_mutex_, std::try_to_lock);
   if (!lk.owns_lock() || buffer_pool_.size() >= kBufferPoolCap) return;
   buffer_pool_.push_back(WorkBuffers{std::move(packets), std::move(indices)});
+}
+
+std::vector<ArenaPacket*> Dataplane::AcquireStreamBuffer() {
+  std::unique_lock<std::mutex> lk(pool_mutex_, std::try_to_lock);
+  if (lk.owns_lock() && !stream_pool_.empty()) {
+    std::vector<ArenaPacket*> b = std::move(stream_pool_.back());
+    stream_pool_.pop_back();
+    return b;
+  }
+  return {};
+}
+
+void Dataplane::RecycleStreamBuffer(std::vector<ArenaPacket*>&& buf) {
+  buf.clear();  // pointers are handed off; capacity is the value
+  std::unique_lock<std::mutex> lk(pool_mutex_, std::try_to_lock);
+  if (!lk.owns_lock() || stream_pool_.size() >= kBufferPoolCap) return;
+  stream_pool_.push_back(std::move(buf));
 }
 
 void Dataplane::ScatterAndDispatch(
@@ -242,6 +419,12 @@ void Dataplane::ScatterAndDispatch(
     std::fill(sc.stamp.begin(), sc.stamp.end(), 0u);
     sc.gen = 1;
   }
+  // A sub-batch is stealable only when every tenant in it has a
+  // provably stateless plan (stolen work runs on the thief's replica —
+  // identical configuration, so stateless output cannot differ) and the
+  // filter's buffer-tag round-robin is order-insensitive (one deparser
+  // means every tag is 0).
+  const bool steal_ok = StealActive() && !inline_run && shard_count > 1;
   sc.groups.clear();
   sc.group_of.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -253,8 +436,10 @@ void Dataplane::ScatterAndDispatch(
           key == kNoVlanKey
               ? 0
               : ShardForLocked(ModuleId(static_cast<u16>(key)), shard_count);
+      const bool st = steal_ok && key != kNoVlanKey &&
+                      TenantStealable(static_cast<u16>(key));
       sc.groups.push_back(
-          ScatterScratch::Group{static_cast<u32>(s), 0, 0, 0});
+          ScatterScratch::Group{static_cast<u32>(s), 0, 0, 0, st});
     }
     const u32 g = sc.slot[key];
     ++sc.groups[g].count;
@@ -264,10 +449,12 @@ void Dataplane::ScatterAndDispatch(
   // Group base offsets: a running prefix per shard, in first-appearance
   // order, so each shard's sub-batch is a concatenation of its groups.
   sc.shard_total.assign(shard_count, 0);
+  sc.shard_stealable.assign(shard_count, 1);
   for (ScatterScratch::Group& g : sc.groups) {
     g.base = sc.shard_total[g.shard];
     g.cursor = 0;
     sc.shard_total[g.shard] += g.count;
+    if (!g.stealable) sc.shard_stealable[g.shard] = 0;
   }
 
   // Pass 2 — place the packets.  The per-shard vectors come from the
@@ -300,6 +487,12 @@ void Dataplane::ScatterAndDispatch(
   for (std::size_t s = 0; s < shard_count; ++s) {
     if (sc.shard_total[s] == 0) continue;
     sc.works[s].ticket = state;
+    sc.works[s].stealable = steal_ok && sc.shard_stealable[s] != 0 &&
+                            sc.shard_total[s] >= cfg_.steal_min_packets;
+    const bool stealable = sc.works[s].stealable;
+    // Dispatched-but-unfinished accounting for DrainLocked: stolen work
+    // is invisible to the per-shard busy scan, never to this counter.
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
     if (inline_run) {
       ExecuteWork(s, sc.works[s]);
       sc.works[s] = ingress::ShardWork{};
@@ -318,6 +511,23 @@ void Dataplane::ScatterAndDispatch(
       { std::lock_guard<std::mutex> g(ctx.m); }
       ctx.cv.notify_one();
     }
+    if (stealable && ctx.queue.approx_size() > 1) {
+      // The target shard has a backlog of stealable work: wake one
+      // parked neighbour to come drain it.  The hint is part of the
+      // neighbour's park predicate, so the wakeup cannot be lost.
+      const std::size_t scan =
+          std::min<std::size_t>(shard_count, kStealTableSize);
+      for (std::size_t off = 1; off < scan; ++off) {
+        ShardContext* peer =
+            steal_table_[(s + off) % scan].load(std::memory_order_acquire);
+        if (peer == nullptr || peer == &ctx) continue;
+        if (!peer->parked.load(std::memory_order_seq_cst)) continue;
+        peer->steal_hint.store(1, std::memory_order_seq_cst);
+        { std::lock_guard<std::mutex> g(peer->m); }
+        peer->cv.notify_one();
+        break;
+      }
+    }
   }
   // The submitter's own +1 reference is released by Submit, outside the
   // engine gate.
@@ -325,14 +535,41 @@ void Dataplane::ScatterAndDispatch(
 
 void Dataplane::WorkerLoop(ShardContext* ctx, std::size_t s) {
   ingress::ShardWork work;
+  ingress::StreamWork swork;
   for (;;) {
     // busy spans the pop and the execution, so the drain path's
     // (empty ring && !busy) check never declares an in-flight sub-batch
     // quiescent.
     ctx->busy.store(true, std::memory_order_seq_cst);
-    if (ctx->queue.TryPop(work)) {
+    bool popped;
+    if (StealActive()) {
+      // The pop mutex makes "single consumer" a role rather than a
+      // thread: thieves try_lock the same mutex before TryPopIf.
+      std::lock_guard<std::mutex> pl(ctx->pop_m);
+      popped = ctx->queue.TryPop(work);
+    } else {
+      // No thief can exist under this configuration: the worker is the
+      // ring's only consumer and pops lock-free.
+      popped = ctx->queue.TryPop(work);
+    }
+    if (popped) {
       ExecuteWork(s, work);
       work = ingress::ShardWork{};
+      ctx->busy.store(false, std::memory_order_seq_cst);
+      continue;
+    }
+    // Run-to-completion streaming: dequeue a burst, execute it straight
+    // through the replica, emit to the egress queue.  The streaming
+    // ring has exactly one consumer (this worker), so no pop mutex.
+    if (ctx->stream_queue.TryPop(swork)) {
+      ExecuteStreamWork(s, swork);
+      swork = ingress::StreamWork{};
+      ctx->busy.store(false, std::memory_order_seq_cst);
+      continue;
+    }
+    // Nothing of our own: try to drain a loaded neighbour's stealable
+    // backlog onto this replica before parking.
+    if (StealActive() && TryStealWork(ctx, s)) {
       ctx->busy.store(false, std::memory_order_seq_cst);
       continue;
     }
@@ -341,11 +578,56 @@ void Dataplane::WorkerLoop(ShardContext* ctx, std::size_t s) {
     std::unique_lock<std::mutex> lk(ctx->m);
     ctx->parked.store(true, std::memory_order_seq_cst);
     ctx->cv.wait(lk, [&] {
-      return ctx->stop.load(std::memory_order_relaxed) || !ctx->queue.empty();
+      return ctx->stop.load(std::memory_order_relaxed) ||
+             !ctx->queue.empty() || !ctx->stream_queue.empty() ||
+             ctx->steal_hint.load(std::memory_order_relaxed) != 0;
     });
     ctx->parked.store(false, std::memory_order_seq_cst);
+    ctx->steal_hint.store(0, std::memory_order_relaxed);
     if (ctx->stop.load(std::memory_order_relaxed)) return;
   }
+}
+
+bool Dataplane::TryStealWork(ShardContext* self, std::size_t s) {
+  const std::size_t scan = std::min<std::size_t>(
+      num_shards_.load(std::memory_order_acquire), kStealTableSize);
+  for (std::size_t off = 1; off < scan; ++off) {
+    ShardContext* victim =
+        steal_table_[(s + off) % scan].load(std::memory_order_acquire);
+    if (victim == nullptr || victim == self) continue;
+    // Steal only from a backlogged victim.  Whether its worker is
+    // mid-batch or merely scheduled out does not matter: the pop mutex
+    // serializes the ring's consumers either way, and a queued backlog
+    // drains faster with two replicas on it.
+    if (victim->queue.empty()) continue;
+    std::unique_lock<std::mutex> pl(victim->pop_m, std::try_to_lock);
+    if (!pl.owns_lock()) continue;
+    ingress::ShardWork work;
+    if (!victim->queue.TryPopIf(
+            work, [](const ingress::ShardWork& w) { return w.stealable; }))
+      continue;
+    pl.unlock();
+    self->steals.Add(1);
+    // The stolen sub-batch runs on the thief's replica: every tenant in
+    // it is stateless and configuration is replicated, so the output
+    // bytes are identical to a victim-side run.
+    ExecuteWork(s, work);
+    return true;
+  }
+  return false;
+}
+
+bool Dataplane::TenantStealable(u16 vid) {
+  std::atomic<u8>& memo = tenant_stealable_[vid];
+  u8 v = memo.load(std::memory_order_acquire);
+  if (v == 0) {
+    // DescribeRow reads only the (gate-protected) config tables — safe
+    // under the shared gate concurrently with workers.
+    const ModuleExecPlan plan = shards_.front().DescribeRow(ModuleId(vid));
+    v = plan.kernel.stateful ? 2 : 1;
+    memo.store(v, std::memory_order_release);
+  }
+  return v == 1;
 }
 
 void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
@@ -365,6 +647,7 @@ void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
   } catch (...) {
     work.ticket->RecordError(std::current_exception());
     work.ticket->FinishOneShard();
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
     return;
   }
 
@@ -404,15 +687,95 @@ void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
           std::chrono::steady_clock::now() - t0)
           .count()));
   work.ticket->FinishOneShard();
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Dataplane::ExecuteStreamWork(std::size_t s, ingress::StreamWork& work) {
+  ShardContext& ctx = *shard_ctx_[s];
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = work.pkts.size();
+
+  // Ingress VIDs, snapshotted before processing (modules may rewrite the
+  // VID in the packet bytes; accounting follows the ingress tenant).
+  ctx.vids.clear();
+  ctx.vids.reserve(n);
+  for (const ArenaPacket* p : work.pkts)
+    ctx.vids.push_back(p->has_vlan() ? p->vid().value() : kNoVid);
+
+  try {
+    shards_[s].ProcessStreamBurst(work.pkts.data(), n);
+  } catch (...) {
+    // A throwing burst must not leak arena buffers: hand everything
+    // back unprocessed.
+    ReleaseToOwners(work.pkts.data(), n);
+    RecycleStreamBuffer(std::move(work.pkts));
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  ctx.stream_bursts.Add(1);
+  ctx.stream_pkts.Add(n);
+  ctx.packets.Add(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const ArenaPacket& p = *work.pkts[k];
+    const u16 vid = ctx.vids[k];
+    const auto fv = static_cast<FilterVerdict>(p.verdict);
+    if (fv == FilterVerdict::kDropBitmap) {
+      ctx.dropped.Add(1);
+      if (vid != kNoVid) tenant_dropped_[vid].Add(1);
+    } else if (fv != FilterVerdict::kData) {
+      ctx.filtered.Add(1);
+    } else if (p.disposition == Disposition::kDrop) {
+      ctx.dropped.Add(1);
+      if (vid != kNoVid) tenant_dropped_[vid].Add(1);
+    } else {
+      ctx.forwarded.Add(1);
+      if (vid != kNoVid) tenant_forwarded_[vid].Add(1);
+    }
+  }
+
+  // Emit: forwarded/multicast packets go onto the egress queue in
+  // processing order; drops and non-data verdicts are recycled straight
+  // back to their arenas (compacted into the head of the burst array).
+  std::size_t ndrop = 0;
+  std::size_t nfwd = 0;
+  {
+    std::lock_guard<std::mutex> g(ctx.egress_m);
+    for (std::size_t k = 0; k < n; ++k) {
+      ArenaPacket* p = work.pkts[k];
+      if (static_cast<FilterVerdict>(p->verdict) != FilterVerdict::kData ||
+          p->disposition == Disposition::kDrop) {
+        work.pkts[ndrop++] = p;
+      } else {
+        ctx.egress.push_back(p);
+        ++nfwd;
+      }
+    }
+  }
+  if (nfwd != 0) ctx.egress_pkts.Add(nfwd);
+  if (ndrop != 0) ReleaseToOwners(work.pkts.data(), ndrop);
+
+  RecycleStreamBuffer(std::move(work.pkts));
+  ctx.busy_ns.Add(static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void Dataplane::DrainLocked() const {
   // Caller holds the engine exclusively: no producer can enqueue, so
   // every ring drains monotonically and every worker goes idle.
   for (const auto& ctx : shard_ctx_) {
-    while (!ctx->queue.empty() || ctx->busy.load(std::memory_order_seq_cst))
+    while (!ctx->queue.empty() || !ctx->stream_queue.empty() ||
+           ctx->busy.load(std::memory_order_seq_cst))
       std::this_thread::yield();
   }
+  // A sub-batch popped by a thief — or incremented by a producer that
+  // has not yet pushed — is invisible to the per-shard scan above; the
+  // dispatch-to-completion counter closes both windows.
+  while (inflight_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
 }
 
 // --- Epoched configuration -----------------------------------------------------
@@ -426,6 +789,9 @@ void Dataplane::BroadcastLocked(const ConfigWrite& write) {
                   static_cast<u32>(write.index);
   config_log_[key] = write;
   writes_broadcast_.fetch_add(1, std::memory_order_release);
+  // Stealability is a property of the (replicated) configuration: any
+  // write may flip a tenant's plan between stateless and stateful.
+  for (auto& t : tenant_stealable_) t.store(0, std::memory_order_relaxed);
 }
 
 void Dataplane::StageWrite(const ConfigWrite& write) {
@@ -505,6 +871,10 @@ bool Dataplane::MigrateTenant(ModuleId tenant, std::size_t to_shard) {
   if (to_shard >= shards_.size())
     throw std::out_of_range("migration targets nonexistent shard");
   DrainLocked();
+  // The tenant's processed-but-unpolled stream packets sit in its old
+  // shard's egress queue; park them in the overflow FIFO so PollEgress
+  // keeps emitting them before anything the new shard produces.
+  FlushEgressLocked();
   return MigrateTenantLocked(tenant, to_shard);
 }
 
@@ -520,6 +890,7 @@ std::size_t Dataplane::ResizeShards(std::size_t new_count) {
   }
   ExclusiveGate gate(*this);
   DrainLocked();
+  FlushEgressLocked();  // egress order must survive the re-homing
 
   const std::size_t old_count = shards_.size();
   if (new_count != old_count) {
@@ -553,6 +924,14 @@ std::size_t Dataplane::ResizeShards(std::size_t new_count) {
         retired_packets_ += shard_ctx_[s]->packets.load();
       }
       for (std::size_t s = new_count; s < old_count; ++s) StopWorkerLocked(s);
+      // Retire the dying contexts instead of destroying them: a thief
+      // may still hold a stale steal_table_ pointer, and a retired
+      // context's drained ring just reads empty.
+      for (std::size_t s = new_count; s < old_count; ++s) {
+        if (s < kStealTableSize)
+          steal_table_[s].store(nullptr, std::memory_order_release);
+        retired_ctx_.push_back(std::move(shard_ctx_[s]));
+      }
       shard_ctx_.resize(new_count);
       while (shards_.size() > new_count) shards_.pop_back();
     }
@@ -575,8 +954,17 @@ Dataplane::ShardCounters Dataplane::ShardCountersLocked(std::size_t i) const {
   c.forwarded = ctx.forwarded.load();
   c.dropped = ctx.dropped.load();
   c.filtered = ctx.filtered.load();
-  c.queue_depth = ctx.queue.approx_size();
+  c.queue_depth = ctx.queue.approx_size() + ctx.stream_queue.approx_size();
   c.busy_ns = ctx.busy_ns.load();
+  c.stream_bursts = ctx.stream_bursts.load();
+  c.stream_pkts = ctx.stream_pkts.load();
+  c.egress_pkts = ctx.egress_pkts.load();
+  {
+    std::lock_guard<std::mutex> lk(ctx.egress_m);
+    c.egress_depth = ctx.egress.size();
+  }
+  c.producer_stalls = ctx.producer_stalls.load();
+  c.steals = ctx.steals.load();
   const FlowCacheStats fc = shards_.at(i).FlowCacheSnapshot();
   c.flow_cache_hits = fc.hits;
   c.flow_cache_misses = fc.misses;

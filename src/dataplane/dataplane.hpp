@@ -76,6 +76,7 @@
 #include "common/counters.hpp"
 #include "ingress/batch_ticket.hpp"
 #include "ingress/mpsc_queue.hpp"
+#include "ingress/stream_work.hpp"
 #include "pipeline/config_write.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -94,8 +95,21 @@ struct DataplaneConfig {
   bool worker_threads = true;
   /// Capacity of each shard's ingress ring (rounded up to a power of
   /// two).  A full ring backpressures the submitting producer (it
-  /// yields and retries), bounding queue memory.
+  /// yields and retries), bounding queue memory.  Applies to both the
+  /// batched and the streaming ring; adjustable at runtime via
+  /// SetIngressQueueDepth (the controller's adaptive-depth loop).
   std::size_t ingress_queue_depth = 64;
+  /// Idle-shard work stealing on the batched scatter/gather path: a
+  /// worker with nothing in its own rings drains a loaded neighbour's
+  /// oversized sub-batch onto its own replica.  Only sub-batches whose
+  /// every tenant group is provably stateless — and only when the
+  /// filter's buffer-tag assignment is order-insensitive
+  /// (timing.deparsers <= 1) — are marked stealable, so stolen work is
+  /// byte-identical wherever it runs.
+  bool enable_work_stealing = true;
+  /// Sub-batches below this size are never marked stealable (the steal
+  /// handoff costs more than running a small batch in place).
+  std::size_t steal_min_packets = 16;
 };
 
 class Dataplane {
@@ -146,6 +160,40 @@ class Dataplane {
   /// (pinned by tests/test_dataplane*.cpp differentials).
   [[nodiscard]] std::vector<PipelineResult> ProcessBatch(
       std::vector<Packet>&& batch);
+
+  // --- Streaming ingress (run-to-completion) -----------------------------------
+
+  /// Enqueues a burst of arena packets into the per-shard streaming
+  /// rings.  No ticket, no gather barrier: each shard worker runs its
+  /// slice to completion and pushes the processed packets straight onto
+  /// its egress queue.  Ownership of every packet transfers to the
+  /// dataplane here; it comes back either via PollEgress (forwarded /
+  /// multicast packets, bytes rewritten in place) or by being released
+  /// to its owning arena (dropped and filtered packets — the caller
+  /// never sees them again).  Per-tenant order is preserved end to end:
+  /// one tenant maps to one shard, whose ring and egress queue are both
+  /// FIFO.  A full ring backpressures the producer (counted in the
+  /// shard's producer_stalls).  On the sequential engine
+  /// (worker_threads = false) the burst is processed inline.
+  void SubmitStream(ArenaPacket* const* pkts, std::size_t n);
+
+  /// Drains every shard's egress queue (and the quiesce-overflow FIFO)
+  /// into `out`, returning the number of packets appended.  The caller
+  /// owns the returned packets and must hand them back to their arenas
+  /// (packet/arena.hpp ReleaseToOwners) once consumed.  Within one
+  /// tenant the drain order is processing order; across tenants it is
+  /// unspecified.  Never drains traffic — safe to call from any thread
+  /// concurrently with SubmitStream.
+  std::size_t PollEgress(std::vector<ArenaPacket*>& out);
+
+  /// Quiesced resize of every shard's ingress rings (batched and
+  /// streaming) to `depth` (min 2, rounded up to a power of two) — the
+  /// controller's adaptive-depth actuator.  Drains in-flight work,
+  /// stops the workers, reallocates the rings, restarts the workers.
+  void SetIngressQueueDepth(std::size_t depth);
+  [[nodiscard]] std::size_t ingress_queue_depth() const {
+    return ingress_depth_.load(std::memory_order_acquire);
+  }
 
   // --- Epoched configuration ---------------------------------------------------
 
@@ -242,6 +290,19 @@ class Dataplane {
     u64 kernel_fallback_pkts = 0;
     u64 kernel_record_fills = 0;
     std::array<u64, kKernelShapeCount> kernel_shape_pkts{};
+    /// Streaming path: bursts and packets run to completion on this
+    /// replica (stream_pkts is included in `packets`), packets pushed
+    /// onto the egress queue, and its occupancy at snapshot time.
+    u64 stream_bursts = 0;
+    u64 stream_pkts = 0;
+    u64 egress_pkts = 0;
+    u64 egress_depth = 0;
+    /// Producer-side pushes that found this shard's streaming ring full
+    /// (one per stalled push, not per retry) — the controller's
+    /// adaptive-depth signal.
+    u64 producer_stalls = 0;
+    /// Batched sub-batches this worker stole from a loaded neighbour.
+    u64 steals = 0;
   };
   /// Relaxed per-shard view: never drains traffic, but does pin the
   /// shard set against a concurrent resize (see CountersSnapshotRelaxed).
@@ -310,9 +371,32 @@ class Dataplane {
   /// across replica-set resizes (workers and sleeping condvars point
   /// here).
   struct ShardContext {
-    explicit ShardContext(std::size_t queue_depth) : queue(queue_depth) {}
+    explicit ShardContext(std::size_t queue_depth)
+        : queue(queue_depth), stream_queue(queue_depth) {}
 
     MpscRingQueue<ingress::ShardWork> queue;
+    /// Streaming ring: bursts of arena packets run to completion by
+    /// this worker (single consumer — never stolen; the batched ring
+    /// is the stealable one).
+    MpscRingQueue<ingress::StreamWork> stream_queue;
+
+    /// Serializes pops of the batched ring between the owning worker
+    /// and thieves (the ring is single-consumer; the mutex makes
+    /// "consumer" a role, not a thread).  The owner takes it
+    /// unconditionally; thieves try_lock and walk away.  Only used when
+    /// stealing is actually possible (see StealActive) — otherwise the
+    /// worker pops lock-free.
+    std::mutex pop_m;
+    /// Serializes inline (no-worker-thread) streaming execution on this
+    /// shard's replica: producer cores run bursts to completion
+    /// themselves under the shared gate, in parallel across shards,
+    /// serialized per shard — which is also what keeps per-tenant FIFO
+    /// order (a tenant maps to exactly one shard).
+    std::mutex stream_m;
+    /// Nonzero = a producer saw a stealable backlog somewhere and woke
+    /// this parked worker to go steal (part of the park predicate, so
+    /// the wakeup is never lost).
+    std::atomic<u32> steal_hint{0};
 
     // Doorbell: the worker parks on `cv` when its ring is empty;
     // producers ring it after a push when `parked` is set.  `busy` is
@@ -325,11 +409,19 @@ class Dataplane {
     std::condition_variable cv;
     std::thread worker;
 
+    /// Per-device egress queue: processed stream packets in completion
+    /// order, drained by PollEgress.
+    mutable std::mutex egress_m;
+    std::vector<ArenaPacket*> egress;
+
     // Traffic counters (relaxed; see CountersSnapshotRelaxed).
     RelaxedCounter batches, packets, forwarded, dropped, filtered;
     // Wall-clock ns spent executing sub-batches (one clock pair per
     // sub-batch, never per packet).
     RelaxedCounter busy_ns;
+    // Streaming / stealing counters (see ShardCounters).
+    RelaxedCounter stream_bursts, stream_pkts, egress_pkts;
+    RelaxedCounter producer_stalls, steals;
 
     // Worker-owned scratch, reused across sub-batches.
     std::vector<PipelineResult> results;
@@ -348,26 +440,59 @@ class Dataplane {
   [[nodiscard]] WorkBuffers AcquireWorkBuffers();
   void RecycleWorkBuffers(std::vector<Packet>&& packets,
                           std::vector<std::size_t>&& indices);
+  /// Recycled streaming burst storage (pointer vectors), same pool
+  /// discipline as WorkBuffers.
+  [[nodiscard]] std::vector<ArenaPacket*> AcquireStreamBuffer();
+  void RecycleStreamBuffer(std::vector<ArenaPacket*>&& buf);
 
   void WorkerLoop(ShardContext* ctx, std::size_t s);
   /// Appends one replica (replaying the config log) and starts its
   /// worker when the engine runs worker threads.  Caller holds the
   /// engine exclusively (or is the constructor).
   void AddShardLocked();
+  void StartWorkerLocked(std::size_t s);
   void StopWorkerLocked(std::size_t s);
   /// Runs one sub-batch on shard `s`, updates counters and completes the
   /// shard's slice of the ticket.  Called by shard workers and by the
-  /// sequential inline path.
+  /// sequential inline path — and, for stealable work, by a thief
+  /// worker with its own shard index (the thief's replica carries
+  /// identical configuration and the work is stateless, so the bytes
+  /// cannot differ).
   void ExecuteWork(std::size_t s, ingress::ShardWork& work);
+  /// Runs one streaming burst to completion on shard `s`: process in
+  /// place, account, recycle drops to their arenas, push the rest onto
+  /// the shard's egress queue.
+  void ExecuteStreamWork(std::size_t s, ingress::StreamWork& work);
+  /// Idle-worker steal attempt: scan the steal table for a neighbour
+  /// with a stealable batched backlog, pop its head sub-batch and run
+  /// it on `self`'s replica.  Returns true if work was executed.
+  bool TryStealWork(ShardContext* self, std::size_t s);
+  /// Whether `vid`'s compiled plan is provably stateless (memoized per
+  /// tenant; invalidated on every config broadcast).
+  [[nodiscard]] bool TenantStealable(u16 vid);
+  /// Whether work stealing can ever fire under this configuration.
+  /// When it cannot, workers pop their batched ring lock-free — the
+  /// pop mutex exists solely to let thieves act as a second consumer.
+  [[nodiscard]] bool StealActive() const {
+    return cfg_.enable_work_stealing && cfg_.timing.deparsers <= 1;
+  }
   /// Scatters `ticket.batch` into per-shard work items.  Caller holds the
   /// engine (shared for the async path, exclusive for inline).
   void ScatterAndDispatch(BatchTicket&& ticket,
                           const std::shared_ptr<ingress::TicketState>& state,
                           bool inline_run);
+  /// Scatters a streaming burst into the per-shard streaming rings.
+  void ScatterStream(ArenaPacket* const* pkts, std::size_t n,
+                     bool inline_run);
 
   /// Waits until every shard ring is empty and every worker idle.
   /// Caller holds the engine exclusively, so no new work can arrive.
   void DrainLocked() const;
+  /// Moves every shard's egress queue into the global overflow FIFO.
+  /// Run (drained, exclusive) before any operation that re-homes a
+  /// tenant, so the per-tenant egress order survives the move:
+  /// PollEgress drains the overflow before the per-shard queues.
+  void FlushEgressLocked();
   /// Applies `write` to every replica and records it in the config log.
   /// Caller holds the engine exclusively and has drained.
   void BroadcastLocked(const ConfigWrite& write);
@@ -396,6 +521,34 @@ class Dataplane {
   std::vector<std::unique_ptr<ShardContext>> shard_ctx_;
   std::atomic<std::size_t> num_shards_{0};
   std::atomic<std::size_t> workers_running_{0};
+  /// Mirror of cfg_.ingress_queue_depth for lock-free reads (the
+  /// controller tick); writes under the exclusive engine.
+  std::atomic<std::size_t> ingress_depth_{0};
+
+  /// Work items dispatched (pushed to a ring or run inline) but not yet
+  /// fully executed.  DrainLocked waits for zero: a sub-batch popped by
+  /// a thief is invisible to the per-shard (empty && !busy) scan, but
+  /// never to this counter.
+  std::atomic<u64> inflight_{0};
+
+  /// Fixed-size victim directory for work stealing: stable atomic slots
+  /// so a thief can scan without touching shard_ctx_ (which resizes).
+  /// Shards beyond the table size simply cannot be stolen from.
+  /// Entries are written under the exclusive engine (add/stop/resize).
+  static constexpr std::size_t kStealTableSize = 64;
+  std::array<std::atomic<ShardContext*>, kStealTableSize> steal_table_{};
+  /// ShardContexts retired by a shrink: kept alive until destruction so
+  /// a thief holding a stale steal_table_ pointer dereferences a dead
+  /// — but valid — context (its drained ring just reads empty).
+  std::vector<std::unique_ptr<ShardContext>> retired_ctx_;
+  /// Per-tenant stealability memo: 0 unknown, 1 stealable (stateless
+  /// plan), 2 not.  Reset on every config broadcast.
+  std::vector<std::atomic<u8>> tenant_stealable_;
+
+  /// Egress packets carried across a tenant re-homing (migration /
+  /// resize): drained by PollEgress before any per-shard queue.
+  mutable std::mutex overflow_m_;
+  std::deque<ArenaPacket*> egress_overflow_;
 
   std::atomic<u64> writes_broadcast_{0};
   std::atomic<u64> epoch_{0};
@@ -432,6 +585,7 @@ class Dataplane {
   // Recycled sub-batch buffer pool (see WorkBuffers).
   mutable std::mutex pool_mutex_;
   std::vector<WorkBuffers> buffer_pool_;
+  std::vector<std::vector<ArenaPacket*>> stream_pool_;
 };
 
 }  // namespace menshen

@@ -1,0 +1,23 @@
+// Streaming work unit — one producer burst of arena packets steered to
+// one shard.  Unlike ingress::ShardWork there is no ticket and no gather
+// array: the worker runs the burst to completion and pushes the packets
+// straight onto its egress queue, so nothing rendezvouses with anything.
+#pragma once
+
+#include <vector>
+
+namespace menshen {
+
+class ArenaPacket;  // packet/arena.hpp
+
+namespace ingress {
+
+struct StreamWork {
+  /// Borrowed arena buffers, in the producer's per-tenant arrival order.
+  /// Ownership transfers to the shard worker on enqueue and to the
+  /// egress queue after processing.
+  std::vector<ArenaPacket*> pkts;
+};
+
+}  // namespace ingress
+}  // namespace menshen

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace menshen {
@@ -157,7 +158,12 @@ void Network::RunHopRound(std::vector<Wave*>& waves) {
   // Distinct devices are independent pipelines: run their sub-batches
   // concurrently when a dispatch pool is attached (a chain of K switches
   // with K waves in flight keeps K cores busy), sequentially otherwise.
-  if (pool_ != nullptr && tasks.size() > 1) {
+  // On a single-core host the fork/join handoff is pure overhead — the
+  // pipelined chain bench ran ~1.5x slower than batched through the pool
+  // — so the pool is bypassed when the hardware cannot actually overlap
+  // the sub-batches (results are byte-identical either way).
+  static const bool multi_core = std::thread::hardware_concurrency() > 1;
+  if (pool_ != nullptr && multi_core && tasks.size() > 1) {
     std::vector<std::function<void()>> fns;
     fns.reserve(tasks.size());
     for (auto& [name, task] : tasks) {

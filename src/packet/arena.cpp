@@ -1,0 +1,116 @@
+#include "packet/arena.hpp"
+
+namespace menshen {
+
+namespace {
+
+/// Metadata reset on allocation: a recycled buffer must look exactly
+/// like a fresh one (isolation: no sideband of a previous tenant's
+/// packet may leak into the next).  Bytes are NOT zeroed — the producer
+/// overwrites [0, len) via Assign and nothing reads past len.
+inline void ResetMetadata(ArenaPacket& p) {
+  p.set_size(0);
+  p.ingress_port = 0;
+  p.disposition = {};
+  p.egress_port = 0;
+  p.multicast_ports.clear();
+  p.buffer_tag = 0;
+  p.verdict = 0;
+}
+
+}  // namespace
+
+ArenaPacket* PacketArena::Allocate() {
+  ArenaPacket* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!free_.empty()) {
+      p = free_.back();
+      free_.pop_back();
+      ++recycles_;
+    } else if (max_packets_ == 0 || storage_.size() < max_packets_) {
+      p = &storage_.emplace_back();
+      p->owner_ = this;
+    } else {
+      return nullptr;  // cap exhausted: backpressure the producer
+    }
+    ++outstanding_;
+    ++allocations_;
+  }
+  ResetMetadata(*p);
+  return p;
+}
+
+std::size_t PacketArena::AllocateBurst(ArenaPacket** out, std::size_t n) {
+  std::size_t got = 0;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    while (got < n) {
+      ArenaPacket* p;
+      if (!free_.empty()) {
+        p = free_.back();
+        free_.pop_back();
+        ++recycles_;
+      } else if (max_packets_ == 0 || storage_.size() < max_packets_) {
+        p = &storage_.emplace_back();
+        p->owner_ = this;
+      } else {
+        break;
+      }
+      out[got++] = p;
+    }
+    outstanding_ += got;
+    allocations_ += got;
+  }
+  for (std::size_t i = 0; i < got; ++i) ResetMetadata(*out[i]);
+  return got;
+}
+
+void PacketArena::Release(ArenaPacket* pkt) { ReleaseBurst(&pkt, 1); }
+
+void PacketArena::ReleaseBurst(ArenaPacket* const* pkts, std::size_t n) {
+  if (n == 0) return;
+  // Egress consumption can retain large multicast port lists; shed that
+  // memory outside the lock.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pkts[i]->multicast_ports.capacity() > 16) {
+      pkts[i]->multicast_ports.clear();
+      pkts[i]->multicast_ports.shrink_to_fit();
+    }
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  for (std::size_t i = 0; i < n; ++i) free_.push_back(pkts[i]);
+  outstanding_ -= n < outstanding_ ? n : outstanding_;
+}
+
+std::size_t PacketArena::capacity() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return storage_.size();
+}
+
+std::size_t PacketArena::outstanding() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return outstanding_;
+}
+
+u64 PacketArena::allocations() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return allocations_;
+}
+
+u64 PacketArena::recycles() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return recycles_;
+}
+
+void ReleaseToOwners(ArenaPacket* const* pkts, std::size_t n) {
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i == n || pkts[i]->owner() != pkts[run_start]->owner()) {
+      pkts[run_start]->owner()->ReleaseBurst(pkts + run_start, i - run_start);
+      run_start = i;
+    }
+  }
+}
+
+}  // namespace menshen

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <string>
 
+#include "packet/arena.hpp"
 #include "pipeline/action_engine.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/plan_exec.hpp"
@@ -133,6 +134,50 @@ void KernelBody(KernelRun& kr, const KernelBatchCtx& ctx) {
   }
 }
 
+/// Streaming sibling of KernelBody: the run's packets are arena buffers
+/// mutated in place.  One PHV scratch is Clear()ed and reused per packet
+/// (no result emplacement, no PHV copy-out, no packet move) — the rest
+/// of the per-packet sequence is byte-identical to the batched kernel:
+/// planned parse, unrolled RunSteps, multicast resolution, planned
+/// deparse, disjoint forwarded/dropped accounting.
+template <int kSteps, bool kStateful, bool kMultiSlot>
+void StreamKernelBody(KernelRun& kr, const StreamBatchCtx& ctx) {
+  Phv& phv = *ctx.work;
+  for (std::size_t k = 0; k < ctx.n; ++k) {
+    ArenaPacket& pkt = *ctx.pkts[ctx.idx[k]];
+
+    // The byte array is ArenaPacket's first member, so one prefetch of
+    // the packet pointer covers the header bytes and a second at
+    // +kDataRoom covers the sideband metadata — no dependent pointer
+    // chase like the batched path's Packet -> heap ByteBuffer hop.
+    if (k + 4 < ctx.n) {
+      const char* np = reinterpret_cast<const char*>(ctx.pkts[ctx.idx[k + 4]]);
+      __builtin_prefetch(np);
+      __builtin_prefetch(np + ArenaPacket::kDataRoom);
+    }
+
+    phv.Clear();
+    PlannedParseInto(pkt, phv, *kr.parse);
+
+    for (int s = 0; s < kSteps; ++s)
+      RunStep<kMultiSlot>(kr.steps[static_cast<std::size_t>(s)], phv,
+                          *ctx.snapshot);
+
+    const u16 group = phv.meta_u16(meta::kMulticastGroup);
+    if (group != 0) {
+      const auto it = ctx.mcast->find(group);
+      if (it != ctx.mcast->end()) pkt.multicast_ports = it->second;
+    }
+
+    PlannedDeparseFrom(phv, pkt, *kr.deparse);
+
+    if (pkt.disposition == Disposition::kDrop)
+      ++*ctx.drop;
+    else
+      ++*ctx.fwd;
+  }
+}
+
 template <int kSteps>
 void RegisterSteps(std::array<KernelFn, kKernelShapeCount>& table) {
   table[KernelShapeId(kSteps, false, false, false)] =
@@ -161,10 +206,41 @@ std::array<KernelFn, kKernelShapeCount> BuildRegistry() {
   return table;
 }
 
+template <int kSteps>
+void RegisterStreamSteps(std::array<StreamKernelFn, kKernelShapeCount>& table) {
+  table[KernelShapeId(kSteps, false, false, false)] =
+      &StreamKernelBody<kSteps, false, false>;
+  table[KernelShapeId(kSteps, true, false, false)] =
+      &StreamKernelBody<kSteps, true, false>;
+  table[KernelShapeId(kSteps, false, true, false)] =
+      &StreamKernelBody<kSteps, false, true>;
+  table[KernelShapeId(kSteps, true, true, false)] =
+      &StreamKernelBody<kSteps, true, true>;
+}
+
+std::array<StreamKernelFn, kKernelShapeCount> BuildStreamRegistry() {
+  std::array<StreamKernelFn, kKernelShapeCount> table{};
+  static_assert(params::kNumStages == 5,
+                "RegisterStreamSteps instantiations track kNumStages");
+  RegisterStreamSteps<0>(table);
+  RegisterStreamSteps<1>(table);
+  RegisterStreamSteps<2>(table);
+  RegisterStreamSteps<3>(table);
+  RegisterStreamSteps<4>(table);
+  RegisterStreamSteps<5>(table);
+  return table;
+}
+
 }  // namespace
 
 const std::array<KernelFn, kKernelShapeCount>& KernelRegistry() {
   static const std::array<KernelFn, kKernelShapeCount> table = BuildRegistry();
+  return table;
+}
+
+const std::array<StreamKernelFn, kKernelShapeCount>& StreamKernelRegistry() {
+  static const std::array<StreamKernelFn, kKernelShapeCount> table =
+      BuildStreamRegistry();
   return table;
 }
 

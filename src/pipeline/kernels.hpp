@@ -52,6 +52,7 @@
 namespace menshen {
 
 struct PipelineResult;  // pipeline.hpp (kernels.cpp sees the full type)
+class ArenaPacket;      // packet/arena.hpp (streaming kernels)
 
 /// Shape id: bits [2:0] step count (0..kNumStages), bit 3 stateful,
 /// bit 4 multi-slot, bit 5 wide-or-ternary.  64 ids; the registry holds
@@ -135,6 +136,29 @@ using KernelFn = void (*)(KernelRun&, const KernelBatchCtx&);
 /// The kernel registry: one slot per shape id.  nullptr = no registered
 /// kernel, route to the interpreted plan path.
 [[nodiscard]] const std::array<KernelFn, kKernelShapeCount>& KernelRegistry();
+
+/// Streaming variant of KernelBatchCtx: the run's packets are arena
+/// buffers mutated in place — no PipelineResult, no PHV copy-out, no
+/// packet move.  `work` is the pipeline's reused per-packet PHV scratch
+/// (Clear()ed per packet by the kernel); everything else mirrors the
+/// batched context.
+struct StreamBatchCtx {
+  ArenaPacket* const* pkts = nullptr;
+  const u32* idx = nullptr;
+  std::size_t n = 0;
+  const std::unordered_map<u16, std::vector<u16>>* mcast = nullptr;
+  u64* fwd = nullptr;
+  u64* drop = nullptr;
+  Phv* snapshot = nullptr;  // multi-slot VLIW snapshot scratch
+  Phv* work = nullptr;      // per-packet PHV scratch
+};
+
+using StreamKernelFn = void (*)(KernelRun&, const StreamBatchCtx&);
+
+/// Streaming kernel registry: same shape ids, same step machinery
+/// (RunStep is shared), nullptr = interpreted streaming fallback.
+[[nodiscard]] const std::array<StreamKernelFn, kKernelShapeCount>&
+StreamKernelRegistry();
 
 /// Compiles the per-stage run contexts BeginRun resolved into a kernel
 /// step list.  Returns false — interpreter fallback — iff some probing

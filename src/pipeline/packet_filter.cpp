@@ -4,48 +4,6 @@
 
 namespace menshen {
 
-FilterVerdict PacketFilter::Classify(Packet& pkt) {
-  // Per-packet hot path: one bound check covers every header field read
-  // below (all offsets are < offsets::kPayload), then direct big-endian
-  // loads replace the individually range-checked accessors — and the
-  // VLAN test is evaluated once instead of again inside is_reconfig().
-  const ByteBuffer& buf = pkt.bytes();
-  if (buf.size() < offsets::kPayload) {
-    ++dropped_no_vlan_;
-    return FilterVerdict::kDropNoVlan;
-  }
-  const u8* d = buf.bytes().data();
-  const u16 tpid = static_cast<u16>((u16{d[offsets::kVlanTpid]} << 8) |
-                                    d[offsets::kVlanTpid + 1]);
-  if (tpid != kEtherTypeVlan) {
-    ++dropped_no_vlan_;
-    return FilterVerdict::kDropNoVlan;
-  }
-  if (reconfig_on_data_path_ && d[offsets::kIpv4Proto] == kIpProtoUdp &&
-      static_cast<u16>((u16{d[offsets::kL4DstPort]} << 8) |
-                       d[offsets::kL4DstPort + 1]) == kReconfigUdpPort) {
-    // Corundum connects the daisy chain behind the filter; the reserved
-    // UDP destination port separates reconfiguration traffic.  (On the
-    // NetFPGA build the chain is fed over PCIe only and data-path packets
-    // to the reserved port are just data.)
-    return FilterVerdict::kReconfig;
-  }
-  const ModuleId vid(static_cast<u16>(
-      ((u16{d[offsets::kVlanTci]} << 8) | d[offsets::kVlanTci + 1]) & 0x0FFF));
-  if (IsUnderReconfig(vid)) {
-    // Drop in-flight packets of a module whose configuration is partially
-    // written, so they are never processed by a mix of old and new config.
-    ++dropped_bitmap_;
-    return FilterVerdict::kDropBitmap;
-  }
-  // Round-robin buffer/parser assignment without the per-packet integer
-  // division a `rr % buffers` would cost (the divisor is a runtime
-  // value, so the compiler cannot strength-reduce it).
-  pkt.buffer_tag = static_cast<u8>(rr_);
-  if (++rr_ == buffers_) rr_ = 0;
-  return FilterVerdict::kData;
-}
-
 void PacketFilter::MarkUnderReconfig(ModuleId module, bool under) {
   if (module.value() >= 32)
     throw std::out_of_range("bitmap covers module IDs 0-31");

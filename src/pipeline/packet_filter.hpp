@@ -30,8 +30,57 @@ class PacketFilter {
                         bool reconfig_on_data_path = true)
       : buffers_(buffers), reconfig_on_data_path_(reconfig_on_data_path) {}
 
-  /// Classifies a packet and, for data packets, assigns buffer/parser tags.
-  FilterVerdict Classify(Packet& pkt);
+  /// Classifies a packet and, for data packets, assigns buffer/parser
+  /// tags.  Templated over the packet representation (Packet for the
+  /// batched path, ArenaPacket for the streaming path — both expose
+  /// `bytes()` with `.size()`/`.bytes().data()` plus a `buffer_tag`
+  /// sideband), so the two paths share one classification and one
+  /// round-robin cursor discipline.
+  //
+  // Per-packet hot path: one bound check covers every header field read
+  // below (all offsets are < offsets::kPayload), then direct big-endian
+  // loads replace the individually range-checked accessors — and the
+  // VLAN test is evaluated once instead of again inside is_reconfig().
+  template <typename PacketT>
+  FilterVerdict Classify(PacketT& pkt) {
+    const auto& buf = pkt.bytes();
+    if (buf.size() < offsets::kPayload) {
+      ++dropped_no_vlan_;
+      return FilterVerdict::kDropNoVlan;
+    }
+    const u8* d = buf.bytes().data();
+    const u16 tpid = static_cast<u16>((u16{d[offsets::kVlanTpid]} << 8) |
+                                      d[offsets::kVlanTpid + 1]);
+    if (tpid != kEtherTypeVlan) {
+      ++dropped_no_vlan_;
+      return FilterVerdict::kDropNoVlan;
+    }
+    if (reconfig_on_data_path_ && d[offsets::kIpv4Proto] == kIpProtoUdp &&
+        static_cast<u16>((u16{d[offsets::kL4DstPort]} << 8) |
+                         d[offsets::kL4DstPort + 1]) == kReconfigUdpPort) {
+      // Corundum connects the daisy chain behind the filter; the reserved
+      // UDP destination port separates reconfiguration traffic.  (On the
+      // NetFPGA build the chain is fed over PCIe only and data-path
+      // packets to the reserved port are just data.)
+      return FilterVerdict::kReconfig;
+    }
+    const ModuleId vid(static_cast<u16>(
+        ((u16{d[offsets::kVlanTci]} << 8) | d[offsets::kVlanTci + 1]) &
+        0x0FFF));
+    if (IsUnderReconfig(vid)) {
+      // Drop in-flight packets of a module whose configuration is
+      // partially written, so they are never processed by a mix of old
+      // and new config.
+      ++dropped_bitmap_;
+      return FilterVerdict::kDropBitmap;
+    }
+    // Round-robin buffer/parser assignment without the per-packet integer
+    // division a `rr % buffers` would cost (the divisor is a runtime
+    // value, so the compiler cannot strength-reduce it).
+    pkt.buffer_tag = static_cast<u8>(rr_);
+    if (++rr_ == buffers_) rr_ = 0;
+    return FilterVerdict::kData;
+  }
 
   // --- AXI-Lite register file (section 4.1) -------------------------------
   [[nodiscard]] u32 bitmap() const { return bitmap_; }

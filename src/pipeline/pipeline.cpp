@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "packet/arena.hpp"
 #include "pipeline/plan_exec.hpp"
 
 namespace menshen {
@@ -447,6 +448,180 @@ std::vector<PipelineResult> Pipeline::ProcessBatch(
   std::vector<PipelineResult> out;
   ProcessBatchInto(std::move(batch), out);
   return out;
+}
+
+void Pipeline::StreamRunOne(ArenaPacket& pkt, const ModuleExecPlan& plan,
+                            u64& fwd, u64& drop) {
+  ++total_processed_;
+  Phv& phv = stream_phv_;
+  phv.Clear();
+  PlannedParseInto(pkt, phv, plan.parse);
+  for (std::size_t s = 0; s < stages_.size(); ++s)
+    stages_[s].ProcessRun(phv, run_ctx_[s]);
+
+  const u16 group = phv.meta_u16(meta::kMulticastGroup);
+  if (group != 0) {
+    if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
+  }
+
+  PlannedDeparseFrom(phv, pkt, plan.deparse);
+
+  if (pkt.disposition == Disposition::kDrop)
+    ++drop;
+  else
+    ++fwd;
+}
+
+void Pipeline::StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
+                                  FlowRowState& frow,
+                                  FlowVerdictCache::RunAccounting& acct,
+                                  ModuleId module, u64& fwd, u64& drop) {
+  ++total_processed_;
+  Phv& phv = stream_phv_;
+  phv.Clear();
+  PlannedParseInto(pkt, phv, plan.parse);
+
+  FlowVerdictCache::KeyWordArray words;
+  FlowVerdictCache::KeyWords(frow, stages_.size(), phv, words);
+  bool hit = false;
+  FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
+  if (hit) {
+    flow_cache_.NoteHit();
+    FlowVerdictCache::ApplyEffects(v, phv);
+  } else {
+    flow_cache_.NoteMiss();
+    flow_cache_.BeginFill(frow, v, module, words);
+    if (kernels_enabled_ && KernelRecordVerdict(frow, stages_.data(),
+                                                stages_.size(), module, phv,
+                                                v)) {
+      kernel_record_fills_.Add();
+    } else {
+      FlowVerdictCache::BuildVerdict(frow, stages_.data(), stages_.size(),
+                                     module, phv, v);
+    }
+    v.valid = true;
+  }
+  FlowVerdictCache::Accumulate(acct, v, stages_.size());
+
+  const u16 group = phv.meta_u16(meta::kMulticastGroup);
+  if (group != 0) {
+    if (const auto* ports = MulticastGroup(group)) pkt.multicast_ports = *ports;
+  }
+
+  PlannedDeparseFrom(phv, pkt, plan.deparse);
+
+  if (pkt.disposition == Disposition::kDrop)
+    ++drop;
+  else
+    ++fwd;
+}
+
+void Pipeline::StreamRunSpan(ArenaPacket* const* pkts, const u32* idx,
+                             std::size_t n, const ModuleExecPlan& plan,
+                             u64& fwd, u64& drop) {
+  if (kernels_enabled_ && !plan.kernel.wide_or_ternary &&
+      BuildKernelRun(stages_.data(), stages_.size(), run_ctx_.data(), plan,
+                     kernel_run_)) {
+    const u8 shape = KernelShapeId(kernel_run_.num_steps, plan.kernel.stateful,
+                                   plan.kernel.multi_slot, false);
+    if (const StreamKernelFn fn = StreamKernelRegistry()[shape]) {
+      StreamBatchCtx ctx;
+      ctx.pkts = pkts;
+      ctx.idx = idx;
+      ctx.n = n;
+      ctx.mcast = &mcast_groups_;
+      ctx.fwd = &fwd;
+      ctx.drop = &drop;
+      ctx.snapshot = &kernel_snapshot_scratch_;
+      ctx.work = &stream_phv_;
+      fn(kernel_run_, ctx);
+      FlushKernelCounters(stages_.data(), kernel_run_);
+      total_processed_ += n;
+      kernel_pkts_.Add(n);
+      kernel_shape_pkts_[shape].Add(n);
+      return;
+    }
+  }
+  kernel_fallback_pkts_.Add(n);
+  for (std::size_t k = 0; k < n; ++k)
+    StreamRunOne(*pkts[idx[k]], plan, fwd, drop);
+}
+
+void Pipeline::ProcessStreamBurst(ArenaPacket* const* pkts, std::size_t n) {
+  // Same fused classify + module-run structure as ProcessBatchInto, over
+  // in-place arena buffers: spans of consecutive same-tenant data
+  // packets execute through the identical three-tier ladder the moment
+  // the tenant changes.  The filter's round-robin cursor and drop
+  // counters advance exactly as on the batched path.
+  data_idx_scratch_.clear();
+  std::size_t span_start = 0;  // index into data_idx_scratch_
+  ModuleId span_module(0);
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (i < n) {
+      // ArenaPacket's byte array is its first member: one prefetch
+      // covers the headers, a second at +kDataRoom the sidebands.
+      if (i + 4 < n) {
+        const char* np = reinterpret_cast<const char*>(pkts[i + 4]);
+        __builtin_prefetch(np);
+        __builtin_prefetch(np + ArenaPacket::kDataRoom);
+      }
+      ArenaPacket& pkt = *pkts[i];
+
+      // Same sideband reset as Process(): no forwarding decision
+      // survives from a previous device.
+      pkt.disposition = Disposition::kForward;
+      pkt.egress_port = 0;
+      pkt.multicast_ports.clear();
+
+      const FilterVerdict verdict = filter_.Classify(pkt);
+      pkt.verdict = static_cast<u8>(verdict);
+      if (verdict != FilterVerdict::kData) {
+        if (verdict == FilterVerdict::kDropBitmap)
+          ++dropped_[pkt.vid().value()];
+        continue;
+      }
+      const ModuleId vid = pkt.vid();
+      if (data_idx_scratch_.size() == span_start || vid == span_module) {
+        span_module = vid;
+        data_idx_scratch_.push_back(static_cast<u32>(i));
+        continue;
+      }
+    } else if (data_idx_scratch_.size() == span_start) {
+      break;  // end of burst, no span left to flush
+    }
+
+    const ModuleId module = span_module;
+    const std::size_t a = span_start;
+    const std::size_t b = data_idx_scratch_.size();
+
+    const ModuleExecPlan& plan = ExecPlanFor(module);
+    for (std::size_t s = 0; s < stages_.size(); ++s)
+      stages_[s].BeginRun(module, b - a, run_ctx_[s]);
+    u64& fwd = forwarded_[module.value()];
+    u64& drop = dropped_[module.value()];
+
+    const std::size_t row = parser_.table().IndexFor(module);
+    FlowRowState& frow = flow_cache_.EnsureRow(
+        row, exec_plans_[row].built_at_version, stages_.data(),
+        stages_.size(), plan);
+    if (frow.eligible) {
+      FlowVerdictCache::RunAccounting acct;
+      for (std::size_t k = a; k < b; ++k) {
+        StreamRunOneCached(*pkts[data_idx_scratch_[k]], plan, frow, acct,
+                           module, fwd, drop);
+      }
+      FlowVerdictCache::FlushAccounting(acct, frow, stages_.data(),
+                                        stages_.size());
+    } else {
+      StreamRunSpan(pkts, data_idx_scratch_.data() + a, b - a, plan, fwd,
+                    drop);
+    }
+    span_start = b;
+    if (i < n) {
+      span_module = pkts[i]->vid();
+      data_idx_scratch_.push_back(static_cast<u32>(i));
+    }
+  }
 }
 
 void Pipeline::ApplyWrite(const ConfigWrite& write) {

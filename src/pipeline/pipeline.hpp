@@ -70,6 +70,17 @@ class Pipeline {
   [[nodiscard]] std::vector<PipelineResult> ProcessBatch(
       std::vector<Packet>&& batch);
 
+  /// Streaming hot path: processes a burst of arena packets in place, in
+  /// order — no PipelineResult, no PHV copy-out, no packet move.  Each
+  /// packet's bytes are rewritten by the planned deparse and its verdict
+  /// / disposition / egress sidebands are filled for the caller to act
+  /// on (enqueue to egress, recycle on drop).  Runs the same fused
+  /// classify + module-run structure as ProcessBatchInto over the same
+  /// three-tier ladder (flow-verdict cache -> specialized kernels ->
+  /// interpreted plans), so tenant-observable bytes are identical to the
+  /// batched path (pinned by tests/test_stream.cpp).
+  void ProcessStreamBurst(ArenaPacket* const* pkts, std::size_t n);
+
   /// The compiled execution plan for `module`'s overlay row, rebuilt
   /// when any of the configuration version counters it derives from
   /// (parser/deparser tables, key extractors/masks, CAM/TCAM entries,
@@ -178,6 +189,17 @@ class Pipeline {
   void RunSpan(Packet* batch, PipelineResult* out, const u32* idx,
                std::size_t n, const ModuleExecPlan& plan, u64& fwd,
                u64& drop);
+  /// Streaming siblings of RunOne/RunOneCached/RunSpan: arena packets
+  /// mutated in place through `stream_phv_` (one reused scratch PHV per
+  /// pipeline — the streaming path emits no PHV).
+  void StreamRunOne(ArenaPacket& pkt, const ModuleExecPlan& plan, u64& fwd,
+                    u64& drop);
+  void StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
+                          FlowRowState& frow,
+                          FlowVerdictCache::RunAccounting& acct,
+                          ModuleId module, u64& fwd, u64& drop);
+  void StreamRunSpan(ArenaPacket* const* pkts, const u32* idx, std::size_t n,
+                     const ModuleExecPlan& plan, u64& fwd, u64& drop);
 
   PipelineTiming timing_;
   PacketFilter filter_;
@@ -215,6 +237,9 @@ class Pipeline {
   bool kernels_enabled_ = true;
   KernelRun kernel_run_;
   Phv kernel_snapshot_scratch_;
+  // Streaming scratch PHV (ProcessStreamBurst): Clear()ed and reused per
+  // packet — the streaming path never emits a PHV.
+  Phv stream_phv_;
   RelaxedCounter kernel_pkts_;
   RelaxedCounter kernel_fallback_pkts_;
   RelaxedCounter kernel_record_fills_;

@@ -17,8 +17,12 @@
 namespace menshen {
 
 /// Metadata the pipeline provides on every packet (section 4.3), shared
-/// by every parse path.
-inline void FillPipelineMetadata(const Packet& pkt, Phv& phv) {
+/// by every parse path.  Templated over the packet representation: the
+/// batched path hands Packet, the streaming path hands ArenaPacket —
+/// both expose the same size/bytes/sideband surface, so the two paths
+/// share one definition and cannot drift byte-wise.
+template <typename PacketT>
+inline void FillPipelineMetadata(const PacketT& pkt, Phv& phv) {
   phv.set_meta_u16(meta::kSrcPort, pkt.ingress_port);
   phv.set_meta_u16(meta::kPktLen, static_cast<u16>(
                                       std::min<std::size_t>(pkt.size(), 0xFFFF)));
@@ -26,7 +30,8 @@ inline void FillPipelineMetadata(const Packet& pkt, Phv& phv) {
 }
 
 /// Disposition epilogue of every deparse path.
-inline void ApplyDisposition(const Phv& phv, Packet& pkt) {
+template <typename PacketT>
+inline void ApplyDisposition(const Phv& phv, PacketT& pkt) {
   if (phv.discard_flag()) {
     pkt.disposition = Disposition::kDrop;
   } else if (!pkt.multicast_ports.empty()) {
@@ -41,7 +46,8 @@ inline void ApplyDisposition(const Phv& phv, Packet& pkt) {
 /// already all-zero (a freshly constructed Phv, or one Clear()ed) — the
 /// hot paths parse straight into the result's emplaced PHV and skip the
 /// redundant re-zeroing.  Containers whose parse was pruned stay zero.
-inline void PlannedParseInto(const Packet& pkt, Phv& phv,
+template <typename PacketT>
+inline void PlannedParseInto(const PacketT& pkt, Phv& phv,
                              const ParsePlan& plan) {
   phv.module_id = pkt.vid();
   FillPipelineMetadata(pkt, phv);
@@ -68,7 +74,8 @@ inline void PlannedParseInto(const Packet& pkt, Phv& phv,
 
 /// Runs a compiled deparse plan: writes back the surviving moves and
 /// applies the PHV's disposition metadata to the packet.
-inline void PlannedDeparseFrom(const Phv& phv, Packet& pkt,
+template <typename PacketT>
+inline void PlannedDeparseFrom(const Phv& phv, PacketT& pkt,
                                const DeparsePlan& plan) {
   const u8* const src_base = phv.raw().data();
   u8* const dst_base = pkt.bytes().bytes().data();

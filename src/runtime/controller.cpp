@@ -116,15 +116,50 @@ Controller::TickReport Controller::TickOnce() {
       dp_.CountersSnapshotRelaxed();
   last_busy_ns_.resize(shard_counters.size(), 0);
   report.shard_loads.reserve(shard_counters.size());
+  u64 stalls_total = 0;
   for (std::size_t s = 0; s < shard_counters.size(); ++s) {
     const u64 busy = shard_counters[s].busy_ns;
     const u64 delta = busy - std::min(busy, last_busy_ns_[s]);
     last_busy_ns_[s] = busy;
+    stalls_total += shard_counters[s].producer_stalls;
     report.shard_loads.push_back(ShardLoad{
         s, shard_counters[s].queue_depth, delta,
         shard_counters[s].flow_cache_hits, shard_counters[s].flow_cache_misses,
         shard_counters[s].flow_cache_occupancy, shard_counters[s].kernel_pkts,
-        shard_counters[s].kernel_fallback_pkts});
+        shard_counters[s].kernel_fallback_pkts, shard_counters[s].stream_pkts,
+        shard_counters[s].producer_stalls, shard_counters[s].steals});
+  }
+
+  // 5. Adaptive ingress queue depth: widen when producers stalled this
+  //    tick, narrow after a run of stall-free ticks.  Both moves go
+  //    through the quiesced SetIngressQueueDepth, so they land at epoch
+  //    boundaries like every other reconfiguration.
+  report.producer_stalls = stalls_total - std::min(stalls_total,
+                                                   last_producer_stalls_);
+  last_producer_stalls_ = stalls_total;
+  report.queue_depth = dp_.ingress_queue_depth();
+  if (cfg_.enable_adaptive_queue_depth) {
+    const std::size_t cur = report.queue_depth;
+    if (report.producer_stalls >= cfg_.queue_widen_stalls) {
+      idle_depth_ticks_ = 0;
+      if (cur < cfg_.max_queue_depth) {
+        dp_.SetIngressQueueDepth(std::min(cur * 2, cfg_.max_queue_depth));
+        depth_widens_.fetch_add(1, std::memory_order_acq_rel);
+        report.queue_depth = dp_.ingress_queue_depth();
+      }
+    } else if (report.producer_stalls == 0) {
+      if (++idle_depth_ticks_ >= cfg_.queue_narrow_idle_ticks) {
+        idle_depth_ticks_ = 0;
+        if (cur > cfg_.min_queue_depth) {
+          dp_.SetIngressQueueDepth(
+              std::max(cur / 2, cfg_.min_queue_depth));
+          depth_narrows_.fetch_add(1, std::memory_order_acq_rel);
+          report.queue_depth = dp_.ingress_queue_depth();
+        }
+      }
+    } else {
+      idle_depth_ticks_ = 0;
+    }
   }
   if (cfg_.log_sink) {
     std::string line = "tick " + std::to_string(report.tick) + ": offered " +
@@ -140,7 +175,13 @@ Controller::TickReport Controller::TickOnce() {
       if (sl.kernel_pkts + sl.kernel_fallback_pkts != 0)
         line += " kr=" + std::to_string(sl.kernel_pkts) + "/" +
                 std::to_string(sl.kernel_pkts + sl.kernel_fallback_pkts);
+      if (sl.stream_pkts != 0)
+        line += " st=" + std::to_string(sl.stream_pkts);
+      if (sl.steals != 0) line += " steal=" + std::to_string(sl.steals);
     }
+    if (report.producer_stalls != 0)
+      line += " | stalls " + std::to_string(report.producer_stalls) +
+              ", depth " + std::to_string(report.queue_depth);
     cfg_.log_sink(line);
   }
   return report;

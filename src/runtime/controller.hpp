@@ -65,6 +65,23 @@ struct ControllerConfig {
   /// new shard count before the next scaling decision).
   std::size_t scale_cooldown_ticks = 2;
 
+  // --- Adaptive ingress queue depth --------------------------------------------
+  /// Ramp the shard rings' capacity from the observed producer-stall
+  /// counters: when the per-tick stall delta reaches queue_widen_stalls
+  /// the depth doubles (capped at max_queue_depth); after
+  /// queue_narrow_idle_ticks consecutive stall-free ticks it halves
+  /// (floored at min_queue_depth).  Off by default: a depth change is a
+  /// quiesced ring reallocation (Dataplane::SetIngressQueueDepth), so
+  /// enabling this trades the tick's never-stall property for
+  /// self-sizing rings.
+  bool enable_adaptive_queue_depth = false;
+  std::size_t min_queue_depth = 16;
+  std::size_t max_queue_depth = 1024;
+  /// Stalls per tick that trigger a widen.
+  u64 queue_widen_stalls = 1;
+  /// Consecutive stall-free ticks before a narrow.
+  std::size_t queue_narrow_idle_ticks = 4;
+
   /// Optional sink for the per-tick shard-load line (queue depth + busy
   /// time per shard, read through the relaxed stats — never a quiesce).
   /// Unset: no logging.  Wire to a logger or test capture as needed.
@@ -101,6 +118,12 @@ class Controller {
     /// view of how much of the shard's uncached load the kernels take.
     u64 kernel_pkts = 0;
     u64 kernel_fallback_pkts = 0;
+    /// Streaming path (cumulative): packets run to completion, producer
+    /// pushes that found the streaming ring full, and batched
+    /// sub-batches this worker stole from a neighbour.
+    u64 stream_pkts = 0;
+    u64 producer_stalls = 0;
+    u64 steals = 0;
   };
 
   /// What one tick observed and did.
@@ -111,6 +134,10 @@ class Controller {
     std::size_t shards_before = 0;
     std::size_t shards_after = 0;
     std::size_t moves = 0;  // tenant migrations this tick
+    /// Producer stalls observed this tick (delta across every shard)
+    /// and the ingress ring depth after any adaptive adjustment.
+    u64 producer_stalls = 0;
+    std::size_t queue_depth = 0;
     /// Per-shard queue depth + busy time (groundwork for the per-shard
     /// utilisation scaling policy); logged to cfg.log_sink when set.
     std::vector<ShardLoad> shard_loads;
@@ -131,6 +158,12 @@ class Controller {
   [[nodiscard]] u64 moves_applied() const {
     return moves_applied_.load(std::memory_order_acquire);
   }
+  [[nodiscard]] u64 depth_widens() const {
+    return depth_widens_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] u64 depth_narrows() const {
+    return depth_narrows_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] double load_ewma() const;
 
  private:
@@ -147,11 +180,17 @@ class Controller {
   std::size_t cooldown_ = 0;
   /// Previous tick's cumulative busy_ns per shard (for the delta).
   std::vector<u64> last_busy_ns_;
+  /// Adaptive queue depth state: previous tick's cumulative stall total
+  /// and the consecutive stall-free tick count.
+  u64 last_producer_stalls_ = 0;
+  std::size_t idle_depth_ticks_ = 0;
 
   std::atomic<u64> ticks_{0};
   std::atomic<u64> scale_ups_{0};
   std::atomic<u64> scale_downs_{0};
   std::atomic<u64> moves_applied_{0};
+  std::atomic<u64> depth_widens_{0};
+  std::atomic<u64> depth_narrows_{0};
 
   std::atomic<bool> running_{false};
   /// Serializes Start/Stop (guards thread_ assignment vs join).

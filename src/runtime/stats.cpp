@@ -106,6 +106,12 @@ void FillShardRows(const std::vector<Dataplane::ShardCounters>& counters,
     row.kernel_pkts = c.kernel_pkts;
     row.kernel_fallback_pkts = c.kernel_fallback_pkts;
     row.kernel_record_fills = c.kernel_record_fills;
+    row.stream_bursts = c.stream_bursts;
+    row.stream_pkts = c.stream_pkts;
+    row.egress_pkts = c.egress_pkts;
+    row.egress_depth = c.egress_depth;
+    row.producer_stalls = c.producer_stalls;
+    row.steals = c.steals;
     s.shards.push_back(row);
     for (std::size_t sh = 0; sh < kKernelShapeCount; ++sh)
       s.kernel_shape_pkts[sh] += c.kernel_shape_pkts[sh];
@@ -217,6 +223,16 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
            std::to_string(sh.kernel_pkts) + " kernel pkts, " +
            std::to_string(sh.kernel_fallback_pkts) + " interpreted, " +
            std::to_string(sh.kernel_record_fills) + " record fills\n";
+  }
+  for (const ShardStats& sh : s.shards) {
+    if (sh.stream_pkts + sh.steals == 0) continue;
+    out += "  shard " + std::to_string(sh.shard) + " streaming: " +
+           std::to_string(sh.stream_pkts) + " pkts in " +
+           std::to_string(sh.stream_bursts) + " bursts, " +
+           std::to_string(sh.egress_pkts) + " egressed (" +
+           std::to_string(sh.egress_depth) + " queued), " +
+           std::to_string(sh.producer_stalls) + " producer stalls, " +
+           std::to_string(sh.steals) + " steals\n";
   }
   {
     // Kernel-shape packet distribution, aggregated across shards.

@@ -8,6 +8,7 @@
 
 #include <thread>
 
+#include "packet/arena.hpp"
 #include "runtime/stats.hpp"
 #include "sim/traffic.hpp"
 #include "test_util.hpp"
@@ -278,6 +279,70 @@ TEST(Controller, TickObservesAndLogsPerShardQueueDepthAndBusyTime) {
   for (const Controller::ShardLoad& sl : r2.shard_loads)
     total_busy2 += sl.busy_ns_delta;
   EXPECT_EQ(total_busy2, 0u);
+}
+
+TEST(Controller, AdaptiveQueueDepthRampsUpOnStallsAndBackDownWhenIdle) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  // A 2-deep ring in front of one worker: a burst train from the test
+  // thread is guaranteed to find the ring full and stall.
+  Dataplane dp(DataplaneConfig{.num_shards = 1,
+                               .worker_threads = true,
+                               .ingress_queue_depth = 2});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+
+  ControllerConfig cfg;
+  cfg.enable_scaling = false;
+  cfg.enable_rebalancing = false;
+  cfg.enable_adaptive_queue_depth = true;
+  cfg.min_queue_depth = 2;
+  cfg.max_queue_depth = 64;
+  cfg.queue_narrow_idle_ticks = 2;
+  Controller controller(dp, cfg);
+  ASSERT_EQ(dp.ingress_queue_depth(), 2u);
+
+  PacketArena arena(4096);
+  const Packet frame = CalcPacket(2, apps::kCalcOpAdd, 7, 9);
+  std::vector<ArenaPacket*> egress;
+  const auto drain = [&] {
+    while (dp.PollEgress(egress) != 0 || arena.outstanding() != 0) {
+      ReleaseToOwners(egress.data(), egress.size());
+      egress.clear();
+      std::this_thread::yield();
+    }
+  };
+
+  // Ramp up: offer burst trains until a tick observes the stalls and
+  // widens the ring (the first train virtually always suffices — the
+  // retry loop just keeps the test deterministic).
+  u64 stalls_seen = 0;
+  for (int attempt = 0; attempt < 50 && controller.depth_widens() == 0;
+       ++attempt) {
+    for (int burst = 0; burst < 64; ++burst) {
+      ArenaPacket* pkts[16];
+      ASSERT_EQ(arena.AllocateBurst(pkts, 16), 16u);
+      for (ArenaPacket* p : pkts) p->Assign(frame.bytes().bytes());
+      dp.SubmitStream(pkts, 16);
+    }
+    drain();
+    const Controller::TickReport r = controller.TickOnce();
+    stalls_seen += r.producer_stalls;
+  }
+  EXPECT_GT(stalls_seen, 0u);
+  EXPECT_GE(controller.depth_widens(), 1u);
+  const std::size_t widened = dp.ingress_queue_depth();
+  EXPECT_GT(widened, 2u);
+  EXPECT_LE(widened, cfg.max_queue_depth);
+
+  // Ramp down: stall-free ticks narrow the ring back toward the floor.
+  for (std::size_t i = 0; i < 2 * cfg.queue_narrow_idle_ticks; ++i)
+    (void)controller.TickOnce();
+  EXPECT_GE(controller.depth_narrows(), 1u);
+  EXPECT_LT(dp.ingress_queue_depth(), widened);
+  EXPECT_GE(dp.ingress_queue_depth(), cfg.min_queue_depth);
+
+  // The depth changes were quiesced reconfigurations: the streamed bytes
+  // still came through intact (arena fully recycled by drain()).
+  EXPECT_EQ(arena.outstanding(), 0u);
 }
 
 TEST(Controller, BackgroundThreadTicksConcurrentlyWithTraffic) {

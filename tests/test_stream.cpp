@@ -1,0 +1,438 @@
+// Streaming dataplane (Dataplane::SubmitStream / PollEgress + the
+// packet/arena.hpp buffer pool): the run-to-completion path must be
+// byte-identical per tenant to the batched reference — including under
+// epoch commits, migrations, shard resizes and producer churn — and the
+// arena must recycle every buffer (outstanding() == 0 is the leak
+// check ASAN/TSAN CI runs on this file).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "packet/arena.hpp"
+#include "sim/traffic.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using namespace test;
+
+struct TenantApp {
+  u16 vid;
+  const ModuleSpec* spec;
+  u16 port;
+};
+
+const std::vector<TenantApp>& Tenants() {
+  static const std::vector<TenantApp> tenants = {
+      {2, &apps::CalcSpec(), 11},
+      {3, &apps::CalcSpec(), 12},
+      {4, &apps::NetChainSpec(), 13},
+      {5, &apps::NetChainSpec(), 14},
+  };
+  return tenants;
+}
+
+std::vector<CompiledModule> CompileTenants() {
+  std::vector<CompiledModule> images;
+  for (std::size_t i = 0; i < Tenants().size(); ++i) {
+    const TenantApp& t = Tenants()[i];
+    const ModuleAllocation alloc =
+        UniformAllocation(ModuleId(t.vid), 0, params::kNumStages, i * 4, 4,
+                          static_cast<u8>(i * 32), 32);
+    CompiledModule m = MustCompile(*t.spec, alloc);
+    if (t.spec == &apps::CalcSpec()) {
+      EXPECT_TRUE(apps::InstallCalcEntries(m, t.port));
+    } else {
+      EXPECT_TRUE(apps::InstallNetChainEntries(m, t.port));
+    }
+    images.push_back(std::move(m));
+  }
+  return images;
+}
+
+Packet TracePacket(const TenantApp& t, Rng& rng) {
+  if (t.spec == &apps::CalcSpec()) {
+    const u16 op = static_cast<u16>(
+        rng.Between(apps::kCalcOpAdd, apps::kCalcOpEcho));
+    return CalcPacket(t.vid, op, static_cast<u32>(rng.Below(1000)),
+                      static_cast<u32>(rng.Below(1000)));
+  }
+  return NetChainPacket(t.vid, apps::kNetChainOpSeq);
+}
+
+/// What one egressed packet must look like: the deparsed bytes plus the
+/// routing sidebands the consumer acts on.
+struct EgressRecord {
+  std::vector<u8> bytes;
+  u16 egress_port = 0;
+  Disposition disposition = Disposition::kForward;
+  std::vector<u16> multicast_ports;
+
+  bool operator==(const EgressRecord&) const = default;
+};
+
+EgressRecord RecordOf(const Packet& p) {
+  const auto s = p.bytes().bytes();
+  return EgressRecord{{s.begin(), s.end()}, p.egress_port, p.disposition,
+                      p.multicast_ports};
+}
+
+EgressRecord RecordOf(const ArenaPacket& p) {
+  const auto v = p.bytes().bytes();
+  return EgressRecord{{v.begin(), v.end()}, p.egress_port, p.disposition,
+                      p.multicast_ports};
+}
+
+/// Per-tenant expected egress: the batched reference pipeline fed the
+/// trace in order; packets it forwards (or multicasts) are what the
+/// streaming path must deliver to PollEgress, per tenant, in order.
+std::map<u16, std::vector<EgressRecord>> ReferenceEgress(
+    const std::vector<CompiledModule>& images, const std::vector<Packet>& trace) {
+  Pipeline reference;
+  for (const CompiledModule& m : images)
+    for (const ConfigWrite& w : m.AllWrites()) reference.ApplyWrite(w);
+  std::map<u16, std::vector<EgressRecord>> expected;
+  for (const Packet& p : trace) {
+    const PipelineResult r = reference.Process(p);
+    if (r.output && r.output->disposition != Disposition::kDrop)
+      expected[p.vid().value()].push_back(RecordOf(*r.output));
+  }
+  return expected;
+}
+
+// --- Packet arena -------------------------------------------------------------
+
+TEST(PacketArena, CapRecyclingAndLeakCheck) {
+  PacketArena arena(4);
+  ArenaPacket* pkts[8] = {};
+  // The cap bounds the burst; the shortfall is the producer's
+  // backpressure signal.
+  ASSERT_EQ(arena.AllocateBurst(pkts, 8), 4u);
+  EXPECT_EQ(arena.capacity(), 4u);
+  EXPECT_EQ(arena.outstanding(), 4u);
+  EXPECT_EQ(arena.Allocate(), nullptr);
+
+  // Dirty a buffer, release, reallocate: the recycled buffer must look
+  // fresh (no sideband leaks across tenants).
+  pkts[0]->set_size(96);
+  pkts[0]->disposition = Disposition::kMulticast;
+  pkts[0]->egress_port = 7;
+  pkts[0]->multicast_ports = {1, 2, 3};
+  pkts[0]->verdict = 9;
+  arena.ReleaseBurst(pkts, 4);
+  EXPECT_EQ(arena.outstanding(), 0u);
+
+  ArenaPacket* p = arena.Allocate();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->size(), 0u);
+  EXPECT_EQ(p->disposition, Disposition::kForward);
+  EXPECT_EQ(p->egress_port, 0u);
+  EXPECT_TRUE(p->multicast_ports.empty());
+  EXPECT_EQ(p->verdict, 0u);
+  EXPECT_EQ(p->owner(), &arena);
+  // Recycled, not grown: capacity stays at the high-water mark.
+  EXPECT_GE(arena.recycles(), 1u);
+  EXPECT_EQ(arena.capacity(), 4u);
+  arena.Release(p);
+  EXPECT_EQ(arena.outstanding(), 0u);
+  EXPECT_EQ(arena.allocations(), 5u);
+}
+
+TEST(PacketArena, ReleaseToOwnersRoutesMixedOriginSpans) {
+  PacketArena a(0);
+  PacketArena b(0);
+  // Interleave the owners so ReleaseToOwners must split the span into
+  // per-arena runs.
+  std::vector<ArenaPacket*> pkts;
+  for (int i = 0; i < 12; ++i)
+    pkts.push_back((i % 3 == 0 ? b : a).Allocate());
+  EXPECT_EQ(a.outstanding(), 8u);
+  EXPECT_EQ(b.outstanding(), 4u);
+  ReleaseToOwners(pkts.data(), pkts.size());
+  EXPECT_EQ(a.outstanding(), 0u);
+  EXPECT_EQ(b.outstanding(), 0u);
+}
+
+// --- Streaming vs batched differential ----------------------------------------
+
+TEST(Stream, SequentialEngineByteIdenticalToBatchedReference) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = false});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+
+  Rng rng(7);
+  std::vector<Packet> trace;
+  for (int i = 0; i < 512; ++i)
+    trace.push_back(TracePacket(Tenants()[rng.Below(Tenants().size())], rng));
+  const auto expected = ReferenceEgress(images, trace);
+
+  PacketArena arena(0);
+  std::vector<ArenaPacket*> egress;
+  constexpr std::size_t kBurst = 32;
+  for (std::size_t off = 0; off < trace.size(); off += kBurst) {
+    const std::size_t n = std::min(kBurst, trace.size() - off);
+    ArenaPacket* burst[kBurst];
+    ASSERT_EQ(arena.AllocateBurst(burst, n), n);
+    for (std::size_t i = 0; i < n; ++i)
+      burst[i]->Assign(trace[off + i].bytes().bytes());
+    dp.SubmitStream(burst, n);
+  }
+  (void)dp.PollEgress(egress);
+
+  std::map<u16, std::vector<EgressRecord>> got;
+  for (const ArenaPacket* p : egress) {
+    ASSERT_TRUE(p->has_vlan());
+    got[p->vid().value()].push_back(RecordOf(*p));
+  }
+  EXPECT_EQ(got, expected);
+
+  ReleaseToOwners(egress.data(), egress.size());
+  EXPECT_EQ(arena.outstanding(), 0u);  // drops were recycled by the dataplane
+  EXPECT_EQ(dp.total_packets(), trace.size());
+}
+
+// With no worker threads the producer core runs each burst to
+// completion itself (shared gate, per-shard serialization on
+// stream_m) — the bench's run-to-completion configuration.  Several
+// producers on distinct tenants must each see their tenant's egress
+// byte-identical to the batched reference, in order.
+TEST(Stream, ConcurrentProducersInlineEngineByteIdenticalPerTenant) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = false});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kBursts = 64;
+  constexpr std::size_t kBurst = 16;
+
+  std::vector<std::vector<Packet>> traces(kProducers);
+  std::map<u16, std::vector<EgressRecord>> expected;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    Rng rng(100 + p);
+    const TenantApp& t = Tenants()[p];
+    for (std::size_t i = 0; i < kBursts * kBurst; ++i)
+      traces[p].push_back(TracePacket(t, rng));
+    expected.merge(ReferenceEgress(images, traces[p]));
+  }
+
+  std::vector<std::unique_ptr<PacketArena>> arenas;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    arenas.push_back(std::make_unique<PacketArena>(kBursts * kBurst));
+
+  std::map<u16, std::vector<EgressRecord>> got;
+  std::mutex got_m;
+  std::atomic<bool> stop{false};
+  const auto drain = [&] {
+    std::vector<ArenaPacket*> egress;
+    if (dp.PollEgress(egress) == 0) return false;
+    {
+      std::lock_guard<std::mutex> lk(got_m);
+      for (const ArenaPacket* p : egress)
+        got[p->vid().value()].push_back(RecordOf(*p));
+    }
+    ReleaseToOwners(egress.data(), egress.size());
+    return true;
+  };
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire))
+      if (!drain()) std::this_thread::yield();
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      ArenaPacket* burst[kBurst];
+      for (std::size_t b = 0; b < kBursts; ++b) {
+        ASSERT_EQ(arenas[p]->AllocateBurst(burst, kBurst), kBurst);
+        for (std::size_t i = 0; i < kBurst; ++i)
+          burst[i]->Assign(traces[p][b * kBurst + i].bytes().bytes());
+        dp.SubmitStream(burst, kBurst);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  // Inline bursts have fully executed once SubmitStream returns; only
+  // consumer hand-back remains.
+  while (std::any_of(arenas.begin(), arenas.end(),
+                     [](const auto& a) { return a->outstanding() != 0; })) {
+    if (!drain()) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(dp.total_packets(), kProducers * kBursts * kBurst);
+}
+
+TEST(Stream, PerTenantOrderSurvivesWorkerThreads) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  Dataplane dp(DataplaneConfig{.num_shards = 4, .worker_threads = true});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+
+  // The NetChain sequencer stamps consecutive numbers: any reordering
+  // inside the streaming path is visible in the egress bytes.
+  constexpr u16 kVid = 4;
+  constexpr std::size_t kPackets = 512;
+  const Packet frame = NetChainPacket(kVid, apps::kNetChainOpSeq);
+
+  PacketArena arena(0);
+  std::vector<ArenaPacket*> egress;
+  constexpr std::size_t kBurst = 16;
+  for (std::size_t off = 0; off < kPackets; off += kBurst) {
+    ArenaPacket* burst[kBurst];
+    ASSERT_EQ(arena.AllocateBurst(burst, kBurst), kBurst);
+    for (ArenaPacket* p : burst) p->Assign(frame.bytes().bytes());
+    dp.SubmitStream(burst, kBurst);
+    (void)dp.PollEgress(egress);
+  }
+  while (egress.size() < kPackets) {
+    (void)dp.PollEgress(egress);
+    std::this_thread::yield();
+  }
+
+  ASSERT_EQ(egress.size(), kPackets);
+  for (std::size_t i = 0; i < egress.size(); ++i) {
+    const u8* b = egress[i]->data();
+    const u32 seq = (u32{b[48]} << 24) | (u32{b[49]} << 16) |
+                    (u32{b[50]} << 8) | u32{b[51]};
+    EXPECT_EQ(seq, i + 1) << "egress position " << i;
+  }
+  ReleaseToOwners(egress.data(), egress.size());
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+// --- Acceptance: randomized churn differential --------------------------------
+//
+// Four producers, each owning one disjoint tenant, stream bursts from
+// private arenas while a control thread commits epochs, migrates
+// tenants, resizes the shard set and flexes the ingress ring depth — and
+// a consumer thread drains PollEgress concurrently.  Tenant disjointness
+// makes every producer's stream independent, so each tenant's egress
+// must match a private sequential reference byte-for-byte, regardless of
+// the global interleave.  Producers start staggered (producer churn).
+TEST(Stream, RandomizedChurnByteIdenticalToBatchedReferencePerTenant) {
+  constexpr std::size_t kProducers = 4;  // == Tenants().size()
+  constexpr std::size_t kBursts = 48;
+  constexpr std::size_t kBurst = 16;
+
+  const std::vector<CompiledModule> images = CompileTenants();
+  ASSERT_EQ(Tenants().size(), kProducers);
+  Dataplane dp(DataplaneConfig{.num_shards = 4,
+                               .worker_threads = true,
+                               .ingress_queue_depth = 8});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+
+  // Traces and expectations are fixed before any traffic flows.
+  std::vector<std::vector<Packet>> traces(kProducers);
+  std::map<u16, std::vector<EgressRecord>> expected;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    Rng rng(3000 + static_cast<u64>(p));
+    for (std::size_t i = 0; i < kBursts * kBurst; ++i)
+      traces[p].push_back(TracePacket(Tenants()[p], rng));
+    auto one = ReferenceEgress(images, traces[p]);
+    expected.merge(one);
+  }
+
+  std::vector<std::unique_ptr<PacketArena>> arenas;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    arenas.push_back(std::make_unique<PacketArena>(kBursts * kBurst));
+
+  std::atomic<std::size_t> producers_done{0};
+  std::mutex got_m;
+  std::map<u16, std::vector<EgressRecord>> got;
+  std::atomic<bool> drain_stop{false};
+
+  // Consumer: drain egress continuously, record, release to the owning
+  // arenas (mixed-origin spans exercise ReleaseToOwners).
+  std::thread consumer([&] {
+    std::vector<ArenaPacket*> out;
+    while (!drain_stop.load(std::memory_order_acquire)) {
+      out.clear();
+      if (dp.PollEgress(out) == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lk(got_m);
+        for (const ArenaPacket* p : out)
+          got[p->vid().value()].push_back(RecordOf(*p));
+      }
+      ReleaseToOwners(out.data(), out.size());
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Staggered start: later producers join while earlier ones (and
+      // the control churn) are already in flight.
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * p));
+      PacketArena& arena = *arenas[p];
+      for (std::size_t b = 0; b < kBursts; ++b) {
+        ArenaPacket* burst[kBurst];
+        std::size_t have = 0;
+        while (have < kBurst) {  // cap reached = egress not drained yet
+          have += arena.AllocateBurst(burst + have, kBurst - have);
+          if (have < kBurst) std::this_thread::yield();
+        }
+        for (std::size_t i = 0; i < kBurst; ++i)
+          burst[i]->Assign(traces[p][b * kBurst + i].bytes().bytes());
+        dp.SubmitStream(burst, kBurst);
+      }
+      ++producers_done;
+    });
+  }
+
+  // Control thread: epoch + migration + resize + ring-depth churn while
+  // the streams fly.  Every op is quiesced; none may reorder or corrupt
+  // a tenant's stream.
+  std::thread control([&] {
+    u64 flip = 0;
+    while (producers_done.load() < kProducers) {
+      for (const CompiledModule& m : images) dp.StageWrites(m.AllWrites());
+      dp.CommitEpoch();
+      const u16 vid = Tenants()[flip % Tenants().size()].vid;
+      dp.MigrateTenant(ModuleId(vid), flip % dp.num_shards());
+      if (flip % 3 == 0) dp.ResizeShards(2 + (flip / 3) % 3);  // 2..4
+      if (flip % 5 == 0) dp.SetIngressQueueDepth(flip % 10 == 0 ? 4 : 8);
+      ++flip;
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  control.join();
+  // Everything submitted must eventually egress or be recycled.
+  const auto all_recycled = [&] {
+    for (const auto& a : arenas)
+      if (a->outstanding() != 0) return false;
+    return true;
+  };
+  while (!all_recycled()) std::this_thread::yield();
+  drain_stop.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(dp.total_packets(), u64{kProducers} * kBursts * kBurst);
+  EXPECT_GT(dp.epoch(), 0u);
+  EXPECT_GT(dp.migrations(), 0u);
+  // The streaming counters saw traffic.  (Not the exact total: a shard
+  // shrink retires the dying shards' counters, like every per-shard
+  // counter here.)
+  u64 stream_pkts = 0;
+  for (const Dataplane::ShardCounters& c : dp.CountersSnapshotRelaxed())
+    stream_pkts += c.stream_pkts;
+  EXPECT_GT(stream_pkts, 0u);
+}
+
+}  // namespace
+}  // namespace menshen

@@ -35,11 +35,20 @@ inspection mode for deciding whether a baseline regeneration is
 justified, e.g. when CI uploads the bench JSONs of a failed gate.
 
 --summary prints a compact percent-change table (every common row, one
-line each) followed by derived gap ratios — currently the ingress
-multi-producer gap: each ingress_96B_4prod_* row as a percentage of the
-single-dispatcher ingress_96B_1disp row, in both the baseline and the
-current run.  Always exits 0; CI runs it before the gates so the known
-gap is visible on every PR instead of buried in raw JSON.
+line each) followed by derived gap ratios: the ingress multi-producer
+gap (each ingress_96B_4prod_* row as a percentage of the
+single-dispatcher ingress_96B_1disp row) and the streaming-vs-batched
+gap (each stream_* row as a multiple of the best functional_batched_96B
+row), each in both the baseline and the current run.  Always exits 0;
+CI runs it before the gates so the known gaps are visible on every PR
+instead of buried in raw JSON.
+
+When the candidate run contains stream_* rows, two additional
+within-run acceptance gates apply (host-consistent, so they hold on
+slow shared runners too): the best stream_* row must reach >= 1.5x the
+best functional_batched_96B row, and stream_96B_4core_4prod must beat
+ingress_96B_1disp.  These pin the run-to-completion streaming path's
+advantage over the batched engine.
 """
 
 import argparse
@@ -94,7 +103,75 @@ def summary(base, cur):
         for name in gaps:
             pct = rows[name]["mpps"] / ref["mpps"] * 100
             print(f"  {name}: {rows[name]['mpps']:.3f} Mpps ({pct:.1f}%)")
+    # Streaming vs batched: each stream_* row as a multiple of the best
+    # batched functional row — the run-to-completion path's headline.
+    for label, rows in (("baseline", base), ("current", cur)):
+        streams = [n for n in sorted(rows) if n.startswith("stream_")]
+        batched = best_batched(rows)
+        if not streams or batched is None:
+            continue
+        bname, bmpps = batched
+        print(f"streaming vs batched ({label}, x of best "
+              f"functional_batched_96B row {bname} = {bmpps:.3f} Mpps):")
+        for name in streams:
+            ratio = rows[name]["mpps"] / bmpps
+            print(f"  {name}: {rows[name]['mpps']:.3f} Mpps ({ratio:.2f}x)")
     return 0
+
+
+def best_batched(rows):
+    """(name, mpps) of the fastest functional_batched_96B row, or None."""
+    best = None
+    for name, row in rows.items():
+        if not name.startswith("functional_batched_96B"):
+            continue
+        if row.get("mpps", 0) <= 0:
+            continue
+        if best is None or row["mpps"] > best[1]:
+            best = (name, row["mpps"])
+    return best
+
+
+def stream_gates(cur):
+    """Streaming acceptance gates, evaluated within the candidate run
+    (host-consistent: both sides measured on the same machine).  Only
+    active when the run produced stream_* rows, so the gate cannot be
+    dodged by dropping them once a baseline contains any (the
+    missing-row check above already makes that fatal).
+
+    * the best stream_* row must be >= 1.5x the best batched
+      functional_batched_96B row — the run-to-completion path must beat
+      the batched engine by a real margin, not round-off;
+    * stream_96B_4core_4prod must beat the single-dispatcher batched
+      baseline ingress_96B_1disp — multi-producer streaming may not
+      regress below the old synchronous front-end.
+    """
+    failures = []
+    streams = {n: r for n, r in cur.items() if n.startswith("stream_")}
+    if not streams:
+        return failures
+    batched = best_batched(cur)
+    if batched is not None:
+        bname, bmpps = batched
+        best_stream = max(streams.values(), key=lambda r: r.get("mpps", 0))
+        ratio = best_stream.get("mpps", 0) / bmpps
+        marker = " " if ratio >= 1.5 else "!"
+        print(f"  [{marker}] streaming/batched: {best_stream['name']} "
+              f"{best_stream['mpps']:.3f} Mpps vs {bname} {bmpps:.3f} Mpps "
+              f"({ratio:.2f}x, need >= 1.50x)")
+        if ratio < 1.5:
+            failures.append(("stream-vs-batched ratio", (ratio - 1.5) * 100))
+    four = cur.get("stream_96B_4core_4prod")
+    disp = cur.get("ingress_96B_1disp")
+    if four is not None and disp is not None and disp.get("mpps", 0) > 0:
+        delta = (four["mpps"] - disp["mpps"]) / disp["mpps"] * 100
+        marker = " " if four["mpps"] > disp["mpps"] else "!"
+        print(f"  [{marker}] stream_96B_4core_4prod {four['mpps']:.3f} Mpps "
+              f"vs ingress_96B_1disp {disp['mpps']:.3f} Mpps "
+              f"({delta:+.1f}%, must be positive)")
+        if four["mpps"] <= disp["mpps"]:
+            failures.append(("stream 4prod vs 1disp", delta))
+    return failures
 
 
 def main():
@@ -203,6 +280,8 @@ def main():
             print(f"  [new] {name}: {row['ns_per_op']:.1f} ns/op")
         else:
             print(f"  [new] {name}: {row['mpps']:.3f} Mpps")
+
+    regressions.extend(stream_gates(cur))
 
     if regressions:
         print("\nperf regressions against the committed baseline:")

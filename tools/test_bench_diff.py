@@ -12,6 +12,8 @@ code, the contract CI relies on:
     skip: a silently dropped bench must not exempt itself from the gate)
   * new candidate row                     -> exit 0 (additions are fine)
   * --list with missing rows              -> exit 0 (inspection mode)
+  * stream rows below 1.5x best batched   -> exit 1 (within-run gate)
+  * stream_96B_4core_4prod <= 1disp       -> exit 1 (within-run gate)
 """
 
 import json
@@ -96,6 +98,53 @@ class BenchDiffGate(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("ingress multi-producer gap", out)
         self.assertIn("(75.0%)", out)
+
+    # --- Streaming within-run acceptance gates -----------------------
+
+    BATCHED = {"name": "functional_batched_96B_4shard_mt",
+               "mpps": 4.0, "gbps": 3.1}
+    DISP = {"name": "ingress_96B_1disp", "mpps": 5.0, "gbps": 3.8}
+
+    def test_stream_rows_meeting_both_gates_pass(self):
+        stream = {"name": "stream_96B_4core_4prod", "mpps": 7.0, "gbps": 5.4}
+        rows = [self.BATCHED, self.DISP, stream]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 0, out)
+        self.assertIn("streaming/batched", out)
+
+    def test_stream_below_batched_ratio_fails(self):
+        # 5.0 / 4.0 = 1.25x < 1.5x: the run-to-completion path no longer
+        # beats the batched engine by the required margin.
+        stream = {"name": "stream_96B_4core_4prod", "mpps": 5.5, "gbps": 4.2}
+        rows = [self.BATCHED, self.DISP, stream]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 1, out)
+        self.assertIn("stream-vs-batched ratio", out)
+
+    def test_stream_4prod_below_1disp_fails(self):
+        # Best stream row clears 1.5x batched, but the 4-producer row
+        # fell below the single-dispatcher baseline.
+        fast = {"name": "stream_96B_1core_1prod", "mpps": 7.0, "gbps": 5.4}
+        slow = {"name": "stream_96B_4core_4prod", "mpps": 4.5, "gbps": 3.5}
+        rows = [self.BATCHED, self.DISP, fast, slow]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 1, out)
+        self.assertIn("stream 4prod vs 1disp", out)
+
+    def test_runs_without_stream_rows_skip_stream_gates(self):
+        # Legacy runs (no streaming bench) must not trip the new gates.
+        rows = [self.BATCHED, self.DISP]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("streaming/batched", out)
+
+    def test_summary_stream_gap_table(self):
+        stream = {"name": "stream_96B_4core_4prod", "mpps": 6.0, "gbps": 4.6}
+        rows = [self.BATCHED, self.DISP, stream]
+        code, out = run_diff(rows, rows, "--summary")
+        self.assertEqual(code, 0, out)
+        self.assertIn("streaming vs batched", out)
+        self.assertIn("(1.50x)", out)
 
 
 if __name__ == "__main__":
