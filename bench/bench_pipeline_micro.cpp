@@ -446,6 +446,48 @@ double FlowCacheZipfPerPktNs(double s) {
          1000.0;
 }
 
+/// Per-packet ns of a full Dataplane::ProcessBatch round trip (the layer
+/// the telemetry hooks live in: Submit stamp -> shard execute -> record).
+/// One shard, no worker threads, so the number is the engine's own cost
+/// without scheduler noise; min-of-calls as in RecycledBatchPerPktNs.
+/// The trace copy per call is untimed.
+double DataplaneBatchPerPktNs(Dataplane& dp, const std::vector<Packet>& trace,
+                              std::size_t calls, std::size_t warmup) {
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (std::size_t call = 0; call < calls + warmup; ++call) {
+    std::vector<Packet> batch = trace;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = dp.ProcessBatch(std::move(batch));
+    benchmark::DoNotOptimize(results);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (call >= warmup)
+      best_ns = std::min(
+          best_ns, std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  return best_ns / static_cast<double>(trace.size());
+}
+
+/// The telemetry-overhead pair (micro_telemetry_off / _overhead):
+/// identical single-tenant workload through two single-shard dataplanes,
+/// one with latency histograms off (and no sampling — the hot path takes
+/// no timestamp at all), one with the default histograms-on config.
+/// tools/bench_diff.py gates overhead <= 1.02x off within the same run.
+double TelemetryPerPktNs(bool histograms) {
+  Dataplane dp(DataplaneConfig{
+      .num_shards = 1,
+      .worker_threads = false,
+      .telemetry = TelemetryConfig{.latency_histograms = histograms}});
+  {
+    ModuleAllocation alloc =
+        UniformAllocation(ModuleId(2), 0, params::kNumStages, 0, 8, 0, 32);
+    CompiledModule m = Compile(apps::CalcSpec(), alloc);
+    apps::InstallCalcEntries(m, 1);
+    dp.ApplyWrites(m.AllWrites());
+  }
+  const std::vector<Packet> trace(1000, CalcRequest());
+  return DataplaneBatchPerPktNs(dp, trace, 200, 25);
+}
+
 void EmitMicroJson() {
   Pipeline& pipe = LoadedCalcPipeline();
   const Phv phv = pipe.parser().Parse(CalcRequest());
@@ -602,6 +644,13 @@ void EmitMicroJson() {
        RecycledBatchPerPktNs(LoadedAclPipeline(),
                              std::vector<Packet>(1000, AclRequest()), 200,
                              25)},
+      // --- Telemetry overhead (runtime/telemetry) ------------------------------
+      // Same workload through the full dataplane engine with histograms
+      // off vs the default histograms-on config.  bench_diff.py gates
+      // overhead <= 1.02x off within this run (the <=2% guarantee) in
+      // addition to the normal cross-run drift gate on both rows.
+      {"micro_telemetry_off", TelemetryPerPktNs(false)},
+      {"micro_telemetry_overhead", TelemetryPerPktNs(true)},
   };
 
   std::FILE* f = std::fopen("BENCH_micro.json", "w");

@@ -1,0 +1,37 @@
+// Execution-ladder tier taken by a packet.
+//
+// The dataplane resolves every packet through a three-tier ladder:
+// flow-verdict cache hit, straight-line kernel, interpreted execution
+// plan — with an unplanned fallback for rows the plan compiler could
+// not cover.  Telemetry (the sampled trace ring, the per-tier counters)
+// needs to know which tier actually ran, so the pipeline records it as
+// a one-byte sideband on PipelineResult / ArenaPacket.  The enum lives
+// in common/ because pipeline/ sets it and runtime/ consumes it.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace menshen {
+
+enum class ExecTier : u8 {
+  kNone = 0,          // never executed (filtered pre-pipeline, or reset)
+  kFlowCacheHit = 1,  // flow-verdict cache hit / replay
+  kKernel = 2,        // straight-line specialized kernel
+  kInterpreted = 3,   // interpreted execution plan
+  kUnplanned = 4,     // unplanned fallback (full match/action walk)
+};
+
+inline constexpr int kExecTierCount = 5;
+
+[[nodiscard]] inline const char* ExecTierName(u8 tier) {
+  switch (static_cast<ExecTier>(tier)) {
+    case ExecTier::kNone: return "none";
+    case ExecTier::kFlowCacheHit: return "flow_cache";
+    case ExecTier::kKernel: return "kernel";
+    case ExecTier::kInterpreted: return "interpreted";
+    case ExecTier::kUnplanned: return "unplanned";
+  }
+  return "invalid";
+}
+
+}  // namespace menshen

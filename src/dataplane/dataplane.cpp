@@ -98,7 +98,8 @@ class Dataplane::SharedGate {
 
 // --- Construction / teardown ---------------------------------------------------
 
-Dataplane::Dataplane(DataplaneConfig cfg) : cfg_(cfg) {
+Dataplane::Dataplane(DataplaneConfig cfg)
+    : cfg_(cfg), telemetry_(cfg.telemetry) {
   if (cfg_.num_shards == 0) {
     // Auto-scale: one replica per hardware thread (at least one — the
     // standard leaves hardware_concurrency free to return 0).
@@ -136,6 +137,7 @@ void Dataplane::AddShardLocked() {
   for (const auto& [key, write] : config_log_) replica.ApplyWrite(write);
   shard_ctx_.push_back(
       std::make_unique<ShardContext>(cfg_.ingress_queue_depth));
+  telemetry_.EnsureShards(s + 1);
   if (s < kStealTableSize)
     steal_table_[s].store(shard_ctx_.back().get(), std::memory_order_release);
   StartWorkerLocked(s);
@@ -180,6 +182,10 @@ std::size_t Dataplane::ShardFor(ModuleId tenant) const {
 
 std::future<std::vector<PipelineResult>> Dataplane::Submit(
     BatchTicket&& ticket) {
+  // One TSC read per batch: the ingress side of the batched latency
+  // histograms (and the trace records' ns field).
+  if (telemetry_.histograms_enabled() || telemetry_.sample_every() != 0)
+    ticket.ingress_tsc = TscClock::Now();
   auto state = std::make_shared<ingress::TicketState>();
   state->results.resize(ticket.batch.size());
   state->on_complete = std::move(ticket.on_complete);
@@ -214,6 +220,12 @@ std::vector<PipelineResult> Dataplane::ProcessBatch(
 
 void Dataplane::SubmitStream(ArenaPacket* const* pkts, std::size_t n) {
   if (n == 0) return;
+  // One TSC read per burst, shared by every packet in it: the ingress
+  // side of the streaming latency histograms.
+  if (telemetry_.histograms_enabled() || telemetry_.sample_every() != 0) {
+    const u64 now = TscClock::Now();
+    for (std::size_t i = 0; i < n; ++i) pkts[i]->ingress_tsc = now;
+  }
   // Without worker threads the producer core IS the forwarding core:
   // it runs the burst to completion itself, under the shared gate so
   // producers on different shards execute in parallel (per-shard
@@ -487,6 +499,7 @@ void Dataplane::ScatterAndDispatch(
   for (std::size_t s = 0; s < shard_count; ++s) {
     if (sc.shard_total[s] == 0) continue;
     sc.works[s].ticket = state;
+    sc.works[s].ingress_tsc = ticket.ingress_tsc;
     sc.works[s].stealable = steal_ok && sc.shard_stealable[s] != 0 &&
                             sc.shard_total[s] >= cfg_.steal_min_packets;
     const bool stealable = sc.works[s].stealable;
@@ -673,6 +686,56 @@ void Dataplane::ExecuteWork(std::size_t s, ingress::ShardWork& work) {
     }
   }
 
+  // Telemetry: one egress TSC read per sub-batch — every packet in it
+  // shares the Submit->completion latency — recorded per contiguous
+  // tenant run (the scatter groups tenants, so runs are maximal).
+  // Sampled tracing reuses the verdict classification above.  Reads the
+  // results BEFORE the gather below moves them out.
+  const bool sampling = telemetry_.sample_every() != 0;
+  if (work.ingress_tsc != 0 &&
+      (telemetry_.histograms_enabled() || sampling)) {
+    const u64 ns = TscClock::ToNs(TscClock::Now() - work.ingress_tsc);
+    if (telemetry_.histograms_enabled()) {
+      std::size_t k = 0;
+      const std::size_t total = ctx.results.size();
+      while (k < total) {
+        const u16 vid = ctx.vids[k];
+        std::size_t e = k + 1;
+        while (e < total && ctx.vids[e] == vid) ++e;
+        if (vid != kNoVid) telemetry_.RecordBatched(s, vid, ns, e - k);
+        k = e;
+      }
+      std::array<u64, kExecTierCount> tiers{};
+      for (const PipelineResult& r : ctx.results)
+        ++tiers[r.exec_tier < kExecTierCount ? r.exec_tier : 0];
+      for (u8 t = 0; t < kExecTierCount; ++t)
+        if (tiers[t] != 0) telemetry_.CountTier(s, t, tiers[t]);
+    }
+    if (sampling) {
+      for (std::size_t k = 0; k < ctx.results.size(); ++k) {
+        if (!telemetry_.SampleTick(s)) continue;
+        const PipelineResult& r = ctx.results[k];
+        TraceRecord rec;
+        rec.tenant = ctx.vids[k] == kNoVid ? 0 : ctx.vids[k];
+        rec.shard = static_cast<u8>(s);
+        rec.tier = r.exec_tier;
+        rec.stages = r.exec_steps;
+        if (r.filter_verdict == FilterVerdict::kDropBitmap ||
+            (r.filter_verdict == FilterVerdict::kData && r.output &&
+             r.output->disposition == Disposition::kDrop)) {
+          rec.verdict = 1;  // dropped
+        } else if (r.filter_verdict != FilterVerdict::kData) {
+          rec.verdict = 2;  // filtered
+        } else {
+          rec.verdict = 0;  // forwarded
+        }
+        rec.stream = 0;
+        rec.ns = ns;
+        telemetry_.Trace(s, rec);
+      }
+    }
+  }
+
   // Gather: this shard's results land at their original batch positions.
   // Distinct shards write disjoint index sets; the shards_pending
   // decrement publishes them to whichever thread completes the ticket.
@@ -731,6 +794,58 @@ void Dataplane::ExecuteStreamWork(std::size_t s, ingress::StreamWork& work) {
     } else {
       ctx.forwarded.Add(1);
       if (vid != kNoVid) tenant_forwarded_[vid].Add(1);
+    }
+  }
+
+  // Telemetry: one egress TSC read per burst; latency per contiguous
+  // tenant run from that run's ingress stamp (every packet of a burst
+  // shares one SubmitStream stamp, so runs are exact).  Must run before
+  // the emit below hands packets to egress/arena.
+  const bool sampling = telemetry_.sample_every() != 0;
+  if (telemetry_.histograms_enabled() || sampling) {
+    const u64 now = TscClock::Now();
+    if (telemetry_.histograms_enabled()) {
+      std::size_t k = 0;
+      while (k < n) {
+        const u16 vid = ctx.vids[k];
+        const u64 stamp = work.pkts[k]->ingress_tsc;
+        std::size_t e = k + 1;
+        while (e < n && ctx.vids[e] == vid) ++e;
+        if (vid != kNoVid && stamp != 0)
+          telemetry_.RecordStream(s, vid, TscClock::ToNs(now - stamp), e - k);
+        k = e;
+      }
+      std::array<u64, kExecTierCount> tiers{};
+      for (std::size_t k2 = 0; k2 < n; ++k2) {
+        const u8 t = work.pkts[k2]->exec_tier;
+        ++tiers[t < kExecTierCount ? t : 0];
+      }
+      for (u8 t = 0; t < kExecTierCount; ++t)
+        if (tiers[t] != 0) telemetry_.CountTier(s, t, tiers[t]);
+    }
+    if (sampling) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!telemetry_.SampleTick(s)) continue;
+        const ArenaPacket& p = *work.pkts[k];
+        TraceRecord rec;
+        rec.tenant = ctx.vids[k] == kNoVid ? 0 : ctx.vids[k];
+        rec.shard = static_cast<u8>(s);
+        rec.tier = p.exec_tier;
+        rec.stages = p.exec_steps;
+        const auto fv2 = static_cast<FilterVerdict>(p.verdict);
+        if (fv2 == FilterVerdict::kDropBitmap ||
+            (fv2 == FilterVerdict::kData &&
+             p.disposition == Disposition::kDrop)) {
+          rec.verdict = 1;  // dropped
+        } else if (fv2 != FilterVerdict::kData) {
+          rec.verdict = 2;  // filtered
+        } else {
+          rec.verdict = 0;  // forwarded
+        }
+        rec.stream = 1;
+        rec.ns = p.ingress_tsc != 0 ? TscClock::ToNs(now - p.ingress_tsc) : 0;
+        telemetry_.Trace(s, rec);
+      }
     }
   }
 

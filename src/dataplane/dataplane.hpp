@@ -79,6 +79,7 @@
 #include "ingress/stream_work.hpp"
 #include "pipeline/config_write.hpp"
 #include "pipeline/pipeline.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace menshen {
 
@@ -110,6 +111,9 @@ struct DataplaneConfig {
   /// Sub-batches below this size are never marked stealable (the steal
   /// handoff costs more than running a small batch in place).
   std::size_t steal_min_packets = 16;
+  /// Telemetry knobs (runtime/telemetry.hpp): latency histograms on the
+  /// batched + streaming paths, and 1-in-N sampled packet tracing.
+  TelemetryConfig telemetry{};
 };
 
 class Dataplane {
@@ -366,6 +370,14 @@ class Dataplane {
   [[nodiscard]] u64 total_packets() const;
   [[nodiscard]] u64 total_packets_relaxed() const;
 
+  // --- Telemetry ---------------------------------------------------------------
+
+  /// Latency histograms + trace rings (runtime/telemetry.hpp).  Readers
+  /// (snapshots, TenantP99, DrainTraces) never quiesce; recording is
+  /// relaxed-atomic on the workers.
+  [[nodiscard]] Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const Telemetry& telemetry() const { return telemetry_; }
+
  private:
   /// Per-shard ingress state.  Heap-allocated so addresses stay stable
   /// across replica-set resizes (workers and sleeping condvars point
@@ -517,6 +529,9 @@ class Dataplane {
   mutable std::atomic<std::size_t> exclusive_waiting_{0};
 
   DataplaneConfig cfg_;  // num_shards tracks resizes
+  /// Declared before shards_/shard_ctx_ so workers recording into it
+  /// are destroyed first on teardown.
+  Telemetry telemetry_;
   std::deque<Pipeline> shards_;  // deque: growth never moves replicas
   std::vector<std::unique_ptr<ShardContext>> shard_ctx_;
   std::atomic<std::size_t> num_shards_{0};

@@ -37,6 +37,10 @@ namespace menshen {
 struct BatchTicket {
   std::vector<Packet> batch;
   std::function<void(const std::vector<PipelineResult>&)> on_complete;
+  /// TSC stamp taken by Submit at ingress; shard workers subtract it at
+  /// completion to feed the batched latency histograms (runtime/
+  /// telemetry).  0 when histograms are disabled.
+  u64 ingress_tsc = 0;
 };
 
 namespace ingress {
@@ -88,6 +92,9 @@ struct ShardWork {
   /// idle neighbour may execute it on its own replica — the
   /// work-stealing eligibility bit (see Dataplane::TryStealWork).
   bool stealable = false;
+  /// Copy of the ticket's ingress TSC stamp (the executing shard reads
+  /// it without touching the shared ticket state).
+  u64 ingress_tsc = 0;
 };
 
 }  // namespace ingress

@@ -16,6 +16,9 @@ inline void ResetMetadata(ArenaPacket& p) {
   p.multicast_ports.clear();
   p.buffer_tag = 0;
   p.verdict = 0;
+  p.exec_tier = 0;
+  p.exec_steps = 0;
+  p.ingress_tsc = 0;
 }
 
 }  // namespace

@@ -105,6 +105,15 @@ class ArenaPacket {
   /// pipeline assigned; 0 = kData.  Consumers route on it: only kData
   /// packets carry a pipeline disposition.
   u8 verdict = 0;
+  /// Execution-ladder tier (common/exec_tier.hpp ExecTier as u8) that
+  /// resolved this packet, and the stages/steps that tier visited —
+  /// telemetry sidebands the streaming pipeline fills.
+  u8 exec_tier = 0;
+  u8 exec_steps = 0;
+  /// TSC stamp taken by SubmitStream at ingress (one read per burst);
+  /// the shard worker subtracts it at completion for the streaming
+  /// latency histograms.  0 when histograms are disabled.
+  u64 ingress_tsc = 0;
 
   [[nodiscard]] PacketArena* owner() const { return owner_; }
 

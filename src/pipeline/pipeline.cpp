@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/exec_tier.hpp"
 #include "packet/arena.hpp"
 #include "pipeline/plan_exec.hpp"
 
@@ -80,6 +81,8 @@ void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
   if (hit) {
     flow_cache_.NoteHit();
     FlowVerdictCache::ApplyEffects(v, phv);
+    result.exec_tier = static_cast<u8>(ExecTier::kFlowCacheHit);
+    result.exec_steps = 0;
   } else {
     flow_cache_.NoteMiss();
     flow_cache_.BeginFill(frow, v, module, words);
@@ -89,9 +92,13 @@ void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
                                                 stages_.size(), module, phv,
                                                 v)) {
       kernel_record_fills_.Add();
+      result.exec_tier = static_cast<u8>(ExecTier::kKernel);
+      result.exec_steps = plan.kernel.potential_steps;
     } else {
       FlowVerdictCache::BuildVerdict(frow, stages_.data(), stages_.size(),
                                      module, phv, v);
+      result.exec_tier = static_cast<u8>(ExecTier::kInterpreted);
+      result.exec_steps = static_cast<u8>(stages_.size());
     }
     v.valid = true;
   }
@@ -121,6 +128,8 @@ void Pipeline::RunOneReplay(Packet& pkt, PipelineResult& result,
   Phv& phv = result.final_phv.emplace();
   PlannedParseInto(pkt, phv, plan.parse);
   FlowVerdictCache::ApplyEffects(v, phv);
+  result.exec_tier = static_cast<u8>(ExecTier::kFlowCacheHit);
+  result.exec_steps = 0;
 
   const u16 group = phv.meta_u16(meta::kMulticastGroup);
   if (group != 0) {
@@ -144,6 +153,8 @@ void Pipeline::RunOne(Packet& pkt, PipelineResult& result,
   PlannedParseInto(pkt, phv, plan.parse);
   for (std::size_t s = 0; s < stages_.size(); ++s)
     stages_[s].ProcessRun(phv, run_ctx_[s]);
+  result.exec_tier = static_cast<u8>(ExecTier::kInterpreted);
+  result.exec_steps = static_cast<u8>(stages_.size());
 
   // Multicast resolution (traffic-manager side, consulted by the deparser).
   const u16 group = phv.meta_u16(meta::kMulticastGroup);
@@ -184,6 +195,10 @@ void Pipeline::RunSpan(Packet* batch, PipelineResult* out, const u32* idx,
       total_processed_ += n;
       kernel_pkts_.Add(n);
       kernel_shape_pkts_[shape].Add(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        out[idx[k]].exec_tier = static_cast<u8>(ExecTier::kKernel);
+        out[idx[k]].exec_steps = kernel_run_.num_steps;
+      }
       return;
     }
   }
@@ -271,6 +286,8 @@ PipelineResult Pipeline::ProcessUnplanned(Packet pkt) {
   else
     ++forwarded_[phv.module_id.value()];
 
+  result.exec_tier = static_cast<u8>(ExecTier::kUnplanned);
+  result.exec_steps = static_cast<u8>(stages_.size());
   result.final_phv = phv;
   result.output = std::move(pkt);
   return result;
@@ -399,6 +416,8 @@ void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
               }
               Packet& pkt = batch[i];
               PipelineResult& r = out[base + i];
+              r.exec_tier = static_cast<u8>(ExecTier::kFlowCacheHit);
+              r.exec_steps = 0;
               Phv& phv = r.final_phv.emplace(tmpl);
               FillPipelineMetadata(pkt, phv);
               if (multicast) pkt.multicast_ports = *mports;
@@ -458,6 +477,8 @@ void Pipeline::StreamRunOne(ArenaPacket& pkt, const ModuleExecPlan& plan,
   PlannedParseInto(pkt, phv, plan.parse);
   for (std::size_t s = 0; s < stages_.size(); ++s)
     stages_[s].ProcessRun(phv, run_ctx_[s]);
+  pkt.exec_tier = static_cast<u8>(ExecTier::kInterpreted);
+  pkt.exec_steps = static_cast<u8>(stages_.size());
 
   const u16 group = phv.meta_u16(meta::kMulticastGroup);
   if (group != 0) {
@@ -488,6 +509,8 @@ void Pipeline::StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
   if (hit) {
     flow_cache_.NoteHit();
     FlowVerdictCache::ApplyEffects(v, phv);
+    pkt.exec_tier = static_cast<u8>(ExecTier::kFlowCacheHit);
+    pkt.exec_steps = 0;
   } else {
     flow_cache_.NoteMiss();
     flow_cache_.BeginFill(frow, v, module, words);
@@ -495,9 +518,13 @@ void Pipeline::StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
                                                 stages_.size(), module, phv,
                                                 v)) {
       kernel_record_fills_.Add();
+      pkt.exec_tier = static_cast<u8>(ExecTier::kKernel);
+      pkt.exec_steps = plan.kernel.potential_steps;
     } else {
       FlowVerdictCache::BuildVerdict(frow, stages_.data(), stages_.size(),
                                      module, phv, v);
+      pkt.exec_tier = static_cast<u8>(ExecTier::kInterpreted);
+      pkt.exec_steps = static_cast<u8>(stages_.size());
     }
     v.valid = true;
   }
@@ -539,6 +566,10 @@ void Pipeline::StreamRunSpan(ArenaPacket* const* pkts, const u32* idx,
       total_processed_ += n;
       kernel_pkts_.Add(n);
       kernel_shape_pkts_[shape].Add(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        pkts[idx[k]]->exec_tier = static_cast<u8>(ExecTier::kKernel);
+        pkts[idx[k]]->exec_steps = kernel_run_.num_steps;
+      }
       return;
     }
   }
@@ -572,6 +603,8 @@ void Pipeline::ProcessStreamBurst(ArenaPacket* const* pkts, std::size_t n) {
       pkt.disposition = Disposition::kForward;
       pkt.egress_port = 0;
       pkt.multicast_ports.clear();
+      pkt.exec_tier = static_cast<u8>(ExecTier::kNone);
+      pkt.exec_steps = 0;
 
       const FilterVerdict verdict = filter_.Classify(pkt);
       pkt.verdict = static_cast<u8>(verdict);

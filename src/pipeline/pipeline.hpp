@@ -31,6 +31,11 @@ struct PipelineResult {
   std::optional<Packet> output;
   /// PHV as it left the last stage (for inspection by tests/examples).
   std::optional<Phv> final_phv;
+  /// Execution-ladder tier that resolved the packet (common/
+  /// exec_tier.hpp ExecTier as u8; kNone for filtered packets) and the
+  /// stages/steps that tier visited — telemetry sidebands.
+  u8 exec_tier = 0;
+  u8 exec_steps = 0;
 };
 
 class Pipeline {

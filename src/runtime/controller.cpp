@@ -161,6 +161,19 @@ Controller::TickReport Controller::TickOnce() {
       idle_depth_ticks_ = 0;
     }
   }
+  // 6. Per-tenant p99 latency from the telemetry histograms — a relaxed
+  //    read of the histogram buckets, never a quiesce.  Only tenants
+  //    with samples appear, so the vector stays empty when histograms
+  //    are disabled.
+  if (dp_.telemetry().histograms_enabled()) {
+    const TelemetrySnapshot tel = dp_.telemetry().Snapshot();
+    report.tenant_p99.reserve(tel.tenants.size());
+    for (const TenantLatency& t : tel.tenants) {
+      if (t.hist.count == 0) continue;
+      report.tenant_p99.push_back(TenantP99{t.tenant, t.hist.p99()});
+    }
+  }
+
   if (cfg_.log_sink) {
     std::string line = "tick " + std::to_string(report.tick) + ": offered " +
                        std::to_string(report.offered_packets) + ", shards " +
@@ -182,6 +195,9 @@ Controller::TickReport Controller::TickOnce() {
     if (report.producer_stalls != 0)
       line += " | stalls " + std::to_string(report.producer_stalls) +
               ", depth " + std::to_string(report.queue_depth);
+    for (const TenantP99& t : report.tenant_p99)
+      line += " | t" + std::to_string(t.tenant) + " p99=" +
+              std::to_string(t.p99_ns) + "ns";
     cfg_.log_sink(line);
   }
   return report;

@@ -126,6 +126,13 @@ class Controller {
     u64 steals = 0;
   };
 
+  /// One tenant's merged p99 packet latency as observed by a tick
+  /// (runtime/telemetry histograms, across shards and both paths).
+  struct TenantP99 {
+    u16 tenant = 0;
+    u64 p99_ns = 0;
+  };
+
   /// What one tick observed and did.
   struct TickReport {
     u64 tick = 0;
@@ -141,6 +148,10 @@ class Controller {
     /// Per-shard queue depth + busy time (groundwork for the per-shard
     /// utilisation scaling policy); logged to cfg.log_sink when set.
     std::vector<ShardLoad> shard_loads;
+    /// Per-tenant p99 latency from the telemetry histograms (empty when
+    /// histograms are disabled or no tenant has samples yet); appended
+    /// to the tick log line.
+    std::vector<TenantP99> tenant_p99;
   };
   /// One synchronous control tick — the unit the background thread runs.
   /// Safe to call concurrently with traffic; serialized against itself.

@@ -127,6 +127,7 @@ void DescribeTenantRows(const Dataplane& dp, DataplaneStats& s) {
     t.kernel_shape = KernelShapeId(
         plan.kernel.potential_steps, plan.kernel.stateful,
         plan.kernel.multi_slot, plan.kernel.wide_or_ternary);
+    t.p99_ns = dp.telemetry().TenantP99(t.tenant.value());
   }
 }
 
@@ -194,45 +195,79 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
          std::to_string(s.pending_writes) + " staged), " +
          std::to_string(s.migrations) + " tenant migration(s), " +
          std::to_string(s.resizes) + " resize(s)\n";
-  for (const ShardStats& sh : s.shards)
-    out += "  shard " + std::to_string(sh.shard) + ": packets " +
-           std::to_string(sh.packets) + " (fwd " +
-           std::to_string(sh.forwarded) + ", drop " +
-           std::to_string(sh.dropped) + ", filtered " +
-           std::to_string(sh.filtered) + ") in " +
-           std::to_string(sh.batches) + " batches, queue " +
-           std::to_string(sh.queue_depth) + ", busy " +
-           std::to_string(sh.busy_ns / 1000) + " us\n";
-  for (const ShardStats& sh : s.shards) {
-    if (sh.flow_cache_hits + sh.flow_cache_misses == 0) continue;
-    char line[160];
+  // One aligned per-shard table covering every counter ShardStats
+  // carries: traffic, queueing, flow cache, kernels, streaming/stealing.
+  {
+    char line[400];
     std::snprintf(line, sizeof line,
-                  "  shard %zu flow cache: %llu/%llu hits (%.1f%%), "
-                  "%llu evictions, %llu occupied\n",
-                  sh.shard, static_cast<unsigned long long>(sh.flow_cache_hits),
-                  static_cast<unsigned long long>(sh.flow_cache_hits +
-                                                  sh.flow_cache_misses),
-                  100.0 * sh.flow_cache_hit_ratio(),
-                  static_cast<unsigned long long>(sh.flow_cache_evictions),
-                  static_cast<unsigned long long>(sh.flow_cache_occupancy));
+                  "  %5s %9s %9s %8s %6s %8s %5s %9s  %9s %9s %6s %6s  "
+                  "%9s %8s %7s  %8s %9s %9s %5s %6s %6s\n",
+                  "shard", "packets", "fwd", "drop", "filt", "batches", "queue",
+                  "busy_us", "fc_hit", "fc_miss", "fc_ev", "fc_occ", "kernel",
+                  "interp", "fills", "sbursts", "spkts", "epkts", "eq",
+                  "stalls", "steals");
     out += line;
+    for (const ShardStats& sh : s.shards) {
+      std::snprintf(
+          line, sizeof line,
+          "  %5zu %9llu %9llu %8llu %6llu %8llu %5llu %9llu  %9llu %9llu "
+          "%6llu %6llu  %9llu %8llu %7llu  %8llu %9llu %9llu %5llu %6llu "
+          "%6llu\n",
+          sh.shard, static_cast<unsigned long long>(sh.packets),
+          static_cast<unsigned long long>(sh.forwarded),
+          static_cast<unsigned long long>(sh.dropped),
+          static_cast<unsigned long long>(sh.filtered),
+          static_cast<unsigned long long>(sh.batches),
+          static_cast<unsigned long long>(sh.queue_depth),
+          static_cast<unsigned long long>(sh.busy_ns / 1000),
+          static_cast<unsigned long long>(sh.flow_cache_hits),
+          static_cast<unsigned long long>(sh.flow_cache_misses),
+          static_cast<unsigned long long>(sh.flow_cache_evictions),
+          static_cast<unsigned long long>(sh.flow_cache_occupancy),
+          static_cast<unsigned long long>(sh.kernel_pkts),
+          static_cast<unsigned long long>(sh.kernel_fallback_pkts),
+          static_cast<unsigned long long>(sh.kernel_record_fills),
+          static_cast<unsigned long long>(sh.stream_bursts),
+          static_cast<unsigned long long>(sh.stream_pkts),
+          static_cast<unsigned long long>(sh.egress_pkts),
+          static_cast<unsigned long long>(sh.egress_depth),
+          static_cast<unsigned long long>(sh.producer_stalls),
+          static_cast<unsigned long long>(sh.steals));
+      out += line;
+    }
   }
-  for (const ShardStats& sh : s.shards) {
-    if (sh.kernel_pkts + sh.kernel_fallback_pkts == 0) continue;
-    out += "  shard " + std::to_string(sh.shard) + " kernels: " +
-           std::to_string(sh.kernel_pkts) + " kernel pkts, " +
-           std::to_string(sh.kernel_fallback_pkts) + " interpreted, " +
-           std::to_string(sh.kernel_record_fills) + " record fills\n";
-  }
-  for (const ShardStats& sh : s.shards) {
-    if (sh.stream_pkts + sh.steals == 0) continue;
-    out += "  shard " + std::to_string(sh.shard) + " streaming: " +
-           std::to_string(sh.stream_pkts) + " pkts in " +
-           std::to_string(sh.stream_bursts) + " bursts, " +
-           std::to_string(sh.egress_pkts) + " egressed (" +
-           std::to_string(sh.egress_depth) + " queued), " +
-           std::to_string(sh.producer_stalls) + " producer stalls, " +
-           std::to_string(sh.steals) + " steals\n";
+  // Latency quantiles and execution-tier distribution from the
+  // telemetry histograms (runtime/telemetry) — skipped when empty.
+  {
+    const TelemetrySnapshot tel = dp.telemetry().Snapshot();
+    char line[240];
+    for (std::size_t i = 0; i < tel.shards.size(); ++i) {
+      const ShardTelemetry& st = tel.shards[i];
+      for (const auto* h : {&st.batched, &st.stream}) {
+        if (h->count == 0) continue;
+        std::snprintf(line, sizeof line,
+                      "  shard %zu latency %s: n=%llu p50=%llu p90=%llu "
+                      "p99=%llu p999=%llu ns\n",
+                      i, h == &st.batched ? "batched" : "stream",
+                      static_cast<unsigned long long>(h->count),
+                      static_cast<unsigned long long>(h->p50()),
+                      static_cast<unsigned long long>(h->p90()),
+                      static_cast<unsigned long long>(h->p99()),
+                      static_cast<unsigned long long>(h->p999()));
+        out += line;
+      }
+      std::string tiers;
+      for (int t = 1; t < kExecTierCount; ++t)
+        if (st.tier_pkts[static_cast<std::size_t>(t)] != 0)
+          tiers += std::string("  ") + ExecTierName(static_cast<u8>(t)) + "=" +
+                   std::to_string(st.tier_pkts[static_cast<std::size_t>(t)]);
+      if (!tiers.empty())
+        out += "  shard " + std::to_string(i) + " tiers:" + tiers + "\n";
+      if (st.trace_samples + st.trace_drops != 0)
+        out += "  shard " + std::to_string(i) + " traces: " +
+               std::to_string(st.trace_samples) + " sampled, " +
+               std::to_string(st.trace_drops) + " dropped\n";
+    }
   }
   {
     // Kernel-shape packet distribution, aggregated across shards.
@@ -257,12 +292,15 @@ std::string DumpDataplaneStats(const Dataplane& dp) {
       out += "\n";
     }
   }
-  for (const TenantStats& t : s.tenants)
+  for (const TenantStats& t : s.tenants) {
     out += "  tenant " + std::to_string(t.tenant.value()) + " @ shard " +
            std::to_string(t.shard) + ": fwd " + std::to_string(t.forwarded) +
            ", drop " + std::to_string(t.dropped) + " [blocker " +
            FlowCacheBlockerName(t.flow_blocker) + ", shape " +
-           KernelShapeName(t.kernel_shape) + "]\n";
+           KernelShapeName(t.kernel_shape) + "]";
+    if (t.p99_ns != 0) out += ", p99 " + std::to_string(t.p99_ns) + " ns";
+    out += "\n";
+  }
   for (const StageMatchStats& m : s.match_stages) {
     if (m.cam_lookups == 0 && m.tcam_lookups == 0) continue;
     char line[160];

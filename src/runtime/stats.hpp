@@ -105,6 +105,11 @@ struct TenantStats {
   /// Shape id (pipeline/kernels KernelShapeId) of the tenant's row at
   /// its potential step count — the shape a full-length run presents.
   u8 kernel_shape = 0;
+  /// p99 packet latency (ns) from the telemetry histograms, merged
+  /// across shards and both paths; 0 when the tenant has no samples
+  /// (or histograms are disabled).  The adversarial-isolation suite's
+  /// measured bound.
+  u64 p99_ns = 0;
 };
 
 /// One pipeline stage's match-path counters, aggregated across shard

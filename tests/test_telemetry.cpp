@@ -1,0 +1,571 @@
+// Telemetry suite (runtime/telemetry + runtime/telemetry_export):
+// histogram bucketing and quantiles, snapshot merge, the SPSC trace
+// ring, end-to-end latency recording and sampling through the dataplane
+// on both execution paths, relaxed-stats monotonicity under streaming
+// churn, and the Prometheus/JSON exporter round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "packet/arena.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/telemetry_export.hpp"
+#include "sim/traffic.hpp"
+#include "test_util.hpp"
+
+namespace menshen {
+namespace {
+
+using test::CalcPacket;
+using test::MustCompile;
+using test::MustLoad;
+using test::StandardAlloc;
+
+// --- Histogram bucketing ------------------------------------------------------
+
+TEST(LatencyHistogram, SmallValuesBucketExactly) {
+  for (u64 v = 0; v < 16; ++v) {
+    const u32 idx = LatencyHistogram::BucketFor(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(idx), v + 1);
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundsContainTheirValues) {
+  // Every probe value must land in a bucket whose [lower, upper) range
+  // contains it, and bucket lower bounds must be monotone.
+  for (u64 v : {u64{16}, u64{17}, u64{100}, u64{1000}, u64{4095}, u64{4096},
+                u64{65537}, u64{1} << 30, (u64{1} << 40) + 12345,
+                ~u64{0} >> 1, ~u64{0}}) {
+    const u32 idx = LatencyHistogram::BucketFor(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::BucketLowerBound(idx), v) << v;
+    // The last bucket's "exclusive" upper bound saturates at 2^64-1,
+    // which is itself representable — hence GE, not GT, there.
+    if (idx + 1 < LatencyHistogram::kBuckets)
+      EXPECT_GT(LatencyHistogram::BucketUpperBound(idx), v) << v;
+    else
+      EXPECT_GE(LatencyHistogram::BucketUpperBound(idx), v) << v;
+  }
+  for (u32 i = 1; i < LatencyHistogram::kBuckets; ++i)
+    ASSERT_LT(LatencyHistogram::BucketLowerBound(i - 1),
+              LatencyHistogram::BucketLowerBound(i));
+}
+
+TEST(LatencyHistogram, RelativeBucketErrorBounded) {
+  // 8 sub-buckets per octave: the bucket midpoint is within ~7% of any
+  // value in the bucket (1/16th of the octave width each way).
+  for (u64 v = 16; v < (u64{1} << 40); v = v * 17 / 16 + 1) {
+    const u32 idx = LatencyHistogram::BucketFor(v);
+    const u64 lo = LatencyHistogram::BucketLowerBound(idx);
+    const u64 hi = LatencyHistogram::BucketUpperBound(idx);
+    const double mid = static_cast<double>(lo) +
+                       static_cast<double>(hi - lo) / 2.0;
+    const double err =
+        std::abs(mid - static_cast<double>(v)) / static_cast<double>(v);
+    EXPECT_LT(err, 0.0715) << "v=" << v;
+  }
+}
+
+// --- Quantiles ----------------------------------------------------------------
+
+TEST(HistogramSnapshot, QuantilesOfKnownDistribution) {
+  LatencyHistogram h;
+  // 100 observations: 1..100 ns (exact buckets below 16, log above).
+  for (u64 v = 1; v <= 100; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  // p50 = 50th value = 50 ns, within one bucket width (~9%).
+  EXPECT_NEAR(static_cast<double>(s.p50()), 50.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(s.p90()), 90.0, 9.0);
+  EXPECT_NEAR(static_cast<double>(s.p99()), 99.0, 10.0);
+  EXPECT_NEAR(s.mean(), 50.5, 0.01);
+}
+
+TEST(HistogramSnapshot, ExactQuantilesBelowSixteen) {
+  LatencyHistogram h;
+  for (u64 v = 0; v < 10; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  // Exact buckets: nearest-rank quantiles are exact values.
+  EXPECT_EQ(s.p50(), 4u);
+  EXPECT_EQ(s.Quantile(1.0), 9u);
+  EXPECT_EQ(s.Quantile(0.0), 0u);
+}
+
+TEST(HistogramSnapshot, EmptyQuantileIsZero) {
+  const HistogramSnapshot s;
+  EXPECT_EQ(s.p50(), 0u);
+  EXPECT_EQ(s.p999(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramSnapshot, TailQuantileSeesOutlier) {
+  LatencyHistogram h;
+  h.RecordN(100, 990);
+  h.RecordN(1'000'000, 10);  // 1% millisecond outliers
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_NEAR(static_cast<double>(s.p50()), 100.0, 10.0);
+  // Nearest-rank 99.9th of 1000 samples = rank 999, inside the
+  // outlier block.
+  EXPECT_GT(s.p999(), 900'000u);
+  EXPECT_GT(s.p99(), 90u);
+}
+
+TEST(HistogramSnapshot, MergeIsCountAndQuantilePreserving) {
+  LatencyHistogram a, b;
+  for (u64 v = 1; v <= 50; ++v) a.Record(v);
+  for (u64 v = 51; v <= 100; ++v) b.Record(v);
+  HistogramSnapshot m = a.Snapshot();
+  m.Merge(b.Snapshot());
+  EXPECT_EQ(m.count, 100u);
+  EXPECT_EQ(m.sum, 5050u);
+
+  LatencyHistogram whole;
+  for (u64 v = 1; v <= 100; ++v) whole.Record(v);
+  const HistogramSnapshot w = whole.Snapshot();
+  EXPECT_EQ(m.p50(), w.p50());
+  EXPECT_EQ(m.p99(), w.p99());
+  EXPECT_EQ(m.buckets, w.buckets);
+}
+
+// --- Trace ring ---------------------------------------------------------------
+
+TEST(TraceRing, PushDrainRoundTrip) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (u16 i = 0; i < 5; ++i) {
+    TraceRecord r;
+    r.tenant = i;
+    r.ns = 100 + i;
+    EXPECT_TRUE(ring.Push(r));
+  }
+  const std::vector<TraceRecord> got = ring.Drain();
+  ASSERT_EQ(got.size(), 5u);
+  for (u16 i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].tenant, i);
+    EXPECT_EQ(got[i].ns, 100u + i);
+  }
+  EXPECT_TRUE(ring.Drain().empty());
+}
+
+TEST(TraceRing, DropsWhenFullAndRecoversAfterDrain) {
+  TraceRing ring(4);
+  TraceRecord r;
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.Push(r));
+  EXPECT_FALSE(ring.Push(r));  // full: drop, never block
+  EXPECT_EQ(ring.Drain().size(), 4u);
+  EXPECT_TRUE(ring.Push(r));
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.Push(TraceRecord{}));
+  EXPECT_FALSE(ring.Push(TraceRecord{}));
+}
+
+TEST(TraceRing, SpscHandoffDeliversEverythingInOrder) {
+  // Differential: one producer pushing sequence numbers, one consumer
+  // draining concurrently.  Everything that was accepted must come out
+  // exactly once, in order.
+  TraceRing ring(64);
+  constexpr u64 kTotal = 100'000;
+  std::atomic<bool> done{false};
+  std::vector<u64> got;
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const TraceRecord& r : ring.Drain()) got.push_back(r.ns);
+    }
+    for (const TraceRecord& r : ring.Drain()) got.push_back(r.ns);
+  });
+  u64 accepted = 0;
+  for (u64 i = 0; i < kTotal; ++i) {
+    TraceRecord r;
+    r.ns = i;
+    if (ring.Push(r)) ++accepted;
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  ASSERT_EQ(got.size(), accepted);
+  for (std::size_t i = 1; i < got.size(); ++i)
+    ASSERT_LT(got[i - 1], got[i]);  // strictly increasing = in order, no dup
+}
+
+// --- Telemetry slots ----------------------------------------------------------
+
+TEST(Telemetry, RecordsPerShardAndPerTenant) {
+  Telemetry t;
+  t.EnsureShards(2);
+  t.RecordBatched(0, 2, 100, 10);
+  t.RecordBatched(1, 2, 200, 10);
+  t.RecordStream(0, 3, 50, 5);
+
+  const TelemetrySnapshot s = t.Snapshot();
+  ASSERT_EQ(s.shards.size(), 2u);
+  EXPECT_EQ(s.shards[0].batched.count, 10u);
+  EXPECT_EQ(s.shards[1].batched.count, 10u);
+  EXPECT_EQ(s.shards[0].stream.count, 5u);
+  EXPECT_EQ(s.batched_total.count, 20u);
+  EXPECT_EQ(s.stream_total.count, 5u);
+
+  // Tenant 2's histogram merges both shards and both paths.
+  const HistogramSnapshot t2 = t.TenantSnapshot(2);
+  EXPECT_EQ(t2.count, 20u);
+  EXPECT_GT(t.TenantP99(2), 0u);
+  EXPECT_EQ(t.TenantSnapshot(3).count, 5u);
+  EXPECT_EQ(t.TenantSnapshot(99).count, 0u);
+  EXPECT_EQ(t.TenantP99(99), 0u);
+
+  ASSERT_EQ(s.tenants.size(), 2u);
+  EXPECT_EQ(s.tenants[0].tenant, 2u);
+  EXPECT_EQ(s.tenants[1].tenant, 3u);
+}
+
+TEST(Telemetry, SampleTickFiresEveryNth) {
+  Telemetry t(TelemetryConfig{.trace_sample_every = 4});
+  t.EnsureShards(1);
+  int fired = 0;
+  for (int i = 0; i < 16; ++i)
+    if (t.SampleTick(0)) ++fired;
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(TscClock, MonotoneAndCalibrated) {
+  TscClock::Calibrate();
+  EXPECT_GT(TscClock::NsPerTick(), 0.0);
+  const u64 a = TscClock::Now();
+  const u64 b = TscClock::Now();
+  EXPECT_GE(b, a);
+  // A 1 ms sleep must convert to roughly 1 ms of ns (loose factor-of-4
+  // band: CI schedulers oversleep, TSC never undersleeps).
+  const u64 t0 = TscClock::Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const u64 ns = TscClock::ToNs(TscClock::Now() - t0);
+  EXPECT_GT(ns, 900'000u);
+  EXPECT_LT(ns, 200'000'000u);
+}
+
+// --- End-to-end through the dataplane -----------------------------------------
+
+/// One configured calc tenant on a dataplane with the given config.
+void LoadCalc(Dataplane& dp, u16 vid = 2) {
+  const ModuleAllocation alloc = StandardAlloc(vid);
+  CompiledModule m = MustCompile(apps::CalcSpec(), alloc);
+  apps::InstallCalcEntries(m, 1);
+  dp.ApplyWrites(m.AllWrites());
+}
+
+TEST(DataplaneTelemetry, BatchedPathFillsHistogramsAndTiers) {
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = false});
+  LoadCalc(dp);
+  std::vector<Packet> batch;
+  for (int i = 0; i < 256; ++i) batch.push_back(CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+
+  const TelemetrySnapshot s = dp.telemetry().Snapshot();
+  EXPECT_EQ(s.batched_total.count, 256u);
+  EXPECT_GT(s.batched_total.p50(), 0u);
+  EXPECT_EQ(s.stream_total.count, 0u);
+  u64 tier_pkts = 0;
+  for (const ShardTelemetry& sh : s.shards)
+    for (std::size_t i = 1; i < sh.tier_pkts.size(); ++i)
+      tier_pkts += sh.tier_pkts[i];
+  EXPECT_EQ(tier_pkts, 256u);
+  EXPECT_EQ(dp.telemetry().TenantSnapshot(2).count, 256u);
+  EXPECT_GT(dp.telemetry().TenantP99(2), 0u);
+}
+
+TEST(DataplaneTelemetry, StreamingPathFillsStreamHistogram) {
+  Dataplane dp(DataplaneConfig{.num_shards = 1, .worker_threads = false});
+  LoadCalc(dp);
+  const Packet frame = CalcPacket(2, 1, 7, 5);
+  PacketArena arena(0);
+  std::vector<ArenaPacket*> egress;
+  constexpr std::size_t kBurst = 16;
+  for (int b = 0; b < 8; ++b) {
+    ArenaPacket* burst[kBurst];
+    ASSERT_EQ(arena.AllocateBurst(burst, kBurst), kBurst);
+    for (ArenaPacket* p : burst) p->Assign(frame.bytes().bytes());
+    dp.SubmitStream(burst, kBurst);
+  }
+  (void)dp.PollEgress(egress);
+  ReleaseToOwners(egress.data(), egress.size());
+
+  const TelemetrySnapshot s = dp.telemetry().Snapshot();
+  EXPECT_EQ(s.stream_total.count, 128u);
+  EXPECT_EQ(s.batched_total.count, 0u);
+  EXPECT_EQ(dp.telemetry().TenantSnapshot(2).count, 128u);
+}
+
+TEST(DataplaneTelemetry, DisabledHistogramsRecordNothing) {
+  Dataplane dp(DataplaneConfig{
+      .num_shards = 1,
+      .worker_threads = false,
+      .telemetry = TelemetryConfig{.latency_histograms = false}});
+  LoadCalc(dp);
+  std::vector<Packet> batch(64, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+  const TelemetrySnapshot s = dp.telemetry().Snapshot();
+  EXPECT_EQ(s.batched_total.count, 0u);
+  EXPECT_EQ(dp.telemetry().TenantP99(2), 0u);
+  // The stats layer reports p99 = 0 rather than inventing a number.
+  const DataplaneStats stats = CollectDataplaneStats(dp);
+  for (const TenantStats& t : stats.tenants) EXPECT_EQ(t.p99_ns, 0u);
+}
+
+TEST(DataplaneTelemetry, SamplingCapturesBothPaths) {
+  Dataplane dp(DataplaneConfig{
+      .num_shards = 1,
+      .worker_threads = false,
+      .telemetry = TelemetryConfig{.latency_histograms = true,
+                                   .trace_sample_every = 4,
+                                   .trace_ring_capacity = 1024}});
+  LoadCalc(dp);
+  std::vector<Packet> batch(64, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+
+  const Packet frame = CalcPacket(2, 1, 7, 5);
+  PacketArena arena(0);
+  std::vector<ArenaPacket*> egress;
+  ArenaPacket* burst[64];
+  ASSERT_EQ(arena.AllocateBurst(burst, 64), 64u);
+  for (ArenaPacket* p : burst) p->Assign(frame.bytes().bytes());
+  dp.SubmitStream(burst, 64);
+  (void)dp.PollEgress(egress);
+  ReleaseToOwners(egress.data(), egress.size());
+
+  const std::vector<TraceRecord> traces = dp.telemetry().DrainTraces(0);
+  // 128 packets at 1-in-4: exactly 32 samples (ring is large enough).
+  ASSERT_EQ(traces.size(), 32u);
+  bool saw_batched = false, saw_stream = false;
+  for (const TraceRecord& t : traces) {
+    EXPECT_EQ(t.tenant, 2u);
+    EXPECT_EQ(t.shard, 0u);
+    EXPECT_NE(t.tier, static_cast<u8>(ExecTier::kNone));
+    EXPECT_EQ(t.verdict, 0u);  // all forwarded
+    (t.stream != 0 ? saw_stream : saw_batched) = true;
+  }
+  EXPECT_TRUE(saw_batched);
+  EXPECT_TRUE(saw_stream);
+
+  const TelemetrySnapshot s = dp.telemetry().Snapshot();
+  EXPECT_EQ(s.shards[0].trace_samples, 32u);
+  EXPECT_EQ(s.shards[0].trace_drops, 0u);
+}
+
+TEST(DataplaneTelemetry, SamplingWorksWithHistogramsDisabled) {
+  // sample_every != 0 alone must still stamp ingress and produce traces.
+  Dataplane dp(DataplaneConfig{
+      .num_shards = 1,
+      .worker_threads = false,
+      .telemetry = TelemetryConfig{.latency_histograms = false,
+                                   .trace_sample_every = 2}});
+  LoadCalc(dp);
+  std::vector<Packet> batch(32, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+  EXPECT_EQ(dp.telemetry().DrainTraces(0).size(), 16u);
+  EXPECT_EQ(dp.telemetry().Snapshot().batched_total.count, 0u);
+}
+
+TEST(DataplaneTelemetry, TraceRingOverflowCountsDrops) {
+  Dataplane dp(DataplaneConfig{
+      .num_shards = 1,
+      .worker_threads = false,
+      .telemetry = TelemetryConfig{.trace_sample_every = 1,
+                                   .trace_ring_capacity = 16}});
+  LoadCalc(dp);
+  std::vector<Packet> batch(256, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+  const TelemetrySnapshot s = dp.telemetry().Snapshot();
+  EXPECT_EQ(s.shards[0].trace_samples, 16u);
+  EXPECT_EQ(s.shards[0].trace_drops, 240u);
+}
+
+TEST(DataplaneTelemetry, TickReportCarriesTenantP99) {
+  Dataplane dp(DataplaneConfig{.num_shards = 1, .worker_threads = false});
+  LoadCalc(dp);
+  std::vector<Packet> batch(64, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+
+  std::string logged;
+  ControllerConfig cfg;
+  cfg.enable_scaling = false;
+  cfg.enable_rebalancing = false;
+  cfg.log_sink = [&logged](const std::string& line) { logged = line; };
+  Controller ctl(dp, cfg);
+  const Controller::TickReport report = ctl.TickOnce();
+  ASSERT_EQ(report.tenant_p99.size(), 1u);
+  EXPECT_EQ(report.tenant_p99[0].tenant, 2u);
+  EXPECT_GT(report.tenant_p99[0].p99_ns, 0u);
+  EXPECT_NE(logged.find("p99="), std::string::npos);
+}
+
+// --- Relaxed stats monotonicity under streaming churn -------------------------
+
+TEST(DataplaneTelemetry, RelaxedStatsMonotoneUnderStreamingChurn) {
+  // Four producers push arena bursts while a reader polls the relaxed
+  // stats: every cumulative counter and every histogram count must be
+  // non-decreasing between consecutive snapshots (run under ASAN and
+  // TSAN in CI).
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = true});
+  LoadCalc(dp);
+  const Packet frame = CalcPacket(2, 1, 7, 5);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kBursts = 64;
+  constexpr std::size_t kBurst = 16;
+  std::vector<std::unique_ptr<PacketArena>> arenas;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    arenas.push_back(std::make_unique<PacketArena>(kBursts * kBurst));
+
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    std::vector<ArenaPacket*> egress;
+    while (!stop.load(std::memory_order_acquire)) {
+      egress.clear();
+      if (dp.PollEgress(egress) != 0)
+        ReleaseToOwners(egress.data(), egress.size());
+      else
+        std::this_thread::yield();
+    }
+    egress.clear();
+    while (dp.PollEgress(egress) != 0) {
+      ReleaseToOwners(egress.data(), egress.size());
+      egress.clear();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      ArenaPacket* burst[kBurst];
+      for (std::size_t b = 0; b < kBursts; ++b) {
+        if (arenas[p]->AllocateBurst(burst, kBurst) != kBurst) break;
+        for (ArenaPacket* pk : burst) pk->Assign(frame.bytes().bytes());
+        dp.SubmitStream(burst, kBurst);
+      }
+    });
+  }
+
+  u64 last_total = 0, last_stream = 0, last_hist = 0;
+  for (int round = 0; round < 200; ++round) {
+    const DataplaneStats s = CollectDataplaneStatsRelaxed(dp);
+    EXPECT_TRUE(s.relaxed);
+    u64 stream_pkts = 0;
+    for (const ShardStats& sh : s.shards) stream_pkts += sh.stream_pkts;
+    const u64 hist = dp.telemetry().Snapshot().stream_total.count;
+    ASSERT_GE(s.total_packets, last_total);
+    ASSERT_GE(stream_pkts, last_stream);
+    ASSERT_GE(hist, last_hist);
+    last_total = s.total_packets;
+    last_stream = stream_pkts;
+    last_hist = hist;
+    std::this_thread::yield();
+  }
+
+  for (std::thread& t : producers) t.join();
+  // Wait until the workers have executed (and recorded) everything,
+  // then until the consumer has handed every forwarded packet back.
+  constexpr u64 kTotal = kProducers * kBursts * kBurst;
+  while (dp.telemetry().Snapshot().stream_total.count < kTotal)
+    std::this_thread::yield();
+  while (std::any_of(arenas.begin(), arenas.end(),
+                     [](const auto& a) { return a->outstanding() != 0; }))
+    std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(dp.telemetry().Snapshot().stream_total.count, kTotal);
+  EXPECT_EQ(dp.total_packets(), kTotal);
+}
+
+// --- Exporter -----------------------------------------------------------------
+
+TEST(TelemetryExport, PrometheusRoundTripIsExact) {
+  Dataplane dp(DataplaneConfig{.num_shards = 2, .worker_threads = false});
+  LoadCalc(dp);
+  std::vector<Packet> batch(128, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+
+  const DataplaneStats stats = CollectDataplaneStats(dp);
+  const TelemetrySnapshot tel = dp.telemetry().Snapshot();
+  const std::vector<MetricSample> built = BuildMetricSamples(stats, tel);
+  const std::vector<MetricSample> parsed =
+      ParsePrometheus(RenderPrometheus(stats, tel));
+  ASSERT_EQ(built.size(), parsed.size());
+  for (std::size_t i = 0; i < built.size(); ++i)
+    EXPECT_EQ(built[i], parsed[i]) << built[i].name;
+}
+
+TEST(TelemetryExport, SamplesCoverTheSurface) {
+  Dataplane dp(DataplaneConfig{.num_shards = 1, .worker_threads = false});
+  LoadCalc(dp);
+  std::vector<Packet> batch(64, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+
+  const DataplaneStats stats = CollectDataplaneStats(dp);
+  const std::vector<MetricSample> samples =
+      BuildMetricSamples(stats, dp.telemetry().Snapshot());
+  std::map<std::string, double> by_name;
+  for (const MetricSample& m : samples) by_name[m.name] += m.value;
+  EXPECT_EQ(by_name.at("menshen_packets_total"), 64.0);
+  EXPECT_EQ(by_name.at("menshen_shards"), 1.0);
+  EXPECT_GT(by_name.at("menshen_latency_count"), 0.0);
+  EXPECT_GT(by_name.at("menshen_tenant_p99_ns"), 0.0);
+  EXPECT_EQ(by_name.at("menshen_exec_tier_pkts_total"), 64.0);
+  EXPECT_EQ(by_name.at("menshen_tenant_forwarded_total"), 64.0);
+}
+
+TEST(TelemetryExport, JsonContainsEverySample) {
+  Dataplane dp(DataplaneConfig{.num_shards = 1, .worker_threads = false});
+  LoadCalc(dp);
+  std::vector<Packet> batch(32, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+  const DataplaneStats stats = CollectDataplaneStats(dp);
+  const TelemetrySnapshot tel = dp.telemetry().Snapshot();
+  const std::string json = RenderJson(stats, tel);
+  for (const MetricSample& m : BuildMetricSamples(stats, tel))
+    EXPECT_NE(json.find("\"" + m.name + "\""), std::string::npos) << m.name;
+}
+
+TEST(TelemetryExport, ParserSkipsCommentsAndMalformedLines) {
+  const std::vector<MetricSample> got = ParsePrometheus(
+      "# HELP x y\n"
+      "# TYPE x counter\n"
+      "\n"
+      "nonsense\n"
+      "a_metric 42\n"
+      "b_metric{shard=\"3\",path=\"stream\"} 7.5\n");
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].name, "a_metric");
+  EXPECT_EQ(got[0].value, 42.0);
+  EXPECT_EQ(got[1].name, "b_metric");
+  ASSERT_EQ(got[1].labels.size(), 2u);
+  EXPECT_EQ(got[1].labels[0].first, "shard");
+  EXPECT_EQ(got[1].labels[0].second, "3");
+  EXPECT_EQ(got[1].labels[1].second, "stream");
+  EXPECT_EQ(got[1].value, 7.5);
+}
+
+TEST(TelemetryExport, DumpShowsLatencyAndTiers) {
+  Dataplane dp(DataplaneConfig{.num_shards = 1, .worker_threads = false});
+  LoadCalc(dp);
+  std::vector<Packet> batch(64, CalcPacket(2, 1, 7, 5));
+  (void)dp.ProcessBatch(std::move(batch));
+  const std::string dump = DumpDataplaneStats(dp);
+  EXPECT_NE(dump.find("latency batched"), std::string::npos);
+  EXPECT_NE(dump.find("tiers:"), std::string::npos);
+  EXPECT_NE(dump.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace menshen

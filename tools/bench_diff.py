@@ -49,6 +49,11 @@ slow shared runners too): the best stream_* row must reach >= 1.5x the
 best functional_batched_96B row, and stream_96B_4core_4prod must beat
 ingress_96B_1disp.  These pin the run-to-completion streaming path's
 advantage over the batched engine.
+
+When the candidate run contains the micro_telemetry_off /
+micro_telemetry_overhead pair, a third within-run gate applies:
+overhead (histograms on) must stay <= 1.02x off — the telemetry
+subsystem's <= 2% hot-path cost guarantee.
 """
 
 import argparse
@@ -174,6 +179,32 @@ def stream_gates(cur):
     return failures
 
 
+def telemetry_gate(cur):
+    """Telemetry-overhead acceptance gate, evaluated within the
+    candidate run (host-consistent): micro_telemetry_overhead (latency
+    histograms on, the default dataplane config) must stay within 2% of
+    micro_telemetry_off (histograms and sampling off — no timestamp on
+    the hot path at all).  This is the README's <= 2% observability
+    overhead guarantee.  Only active when the run produced both rows;
+    dropping them is already fatal via the missing-baseline-row check.
+    """
+    failures = []
+    off = cur.get("micro_telemetry_off")
+    on = cur.get("micro_telemetry_overhead")
+    if off is None or on is None:
+        return failures
+    if off.get("ns_per_op", 0) <= 0:
+        return failures
+    ratio = on["ns_per_op"] / off["ns_per_op"]
+    marker = " " if ratio <= 1.02 else "!"
+    print(f"  [{marker}] telemetry overhead: {on['ns_per_op']:.2f} ns/pkt on "
+          f"vs {off['ns_per_op']:.2f} ns/pkt off "
+          f"({ratio:.3f}x, need <= 1.02x)")
+    if ratio > 1.02:
+        failures.append(("telemetry overhead ratio", (ratio - 1.0) * 100))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -282,6 +313,7 @@ def main():
             print(f"  [new] {name}: {row['mpps']:.3f} Mpps")
 
     regressions.extend(stream_gates(cur))
+    regressions.extend(telemetry_gate(cur))
 
     if regressions:
         print("\nperf regressions against the committed baseline:")

@@ -14,6 +14,7 @@ code, the contract CI relies on:
   * --list with missing rows              -> exit 0 (inspection mode)
   * stream rows below 1.5x best batched   -> exit 1 (within-run gate)
   * stream_96B_4core_4prod <= 1disp       -> exit 1 (within-run gate)
+  * telemetry overhead above 1.02x off    -> exit 1 (within-run gate)
 """
 
 import json
@@ -137,6 +138,30 @@ class BenchDiffGate(unittest.TestCase):
         code, out = run_diff(rows, rows)
         self.assertEqual(code, 0, out)
         self.assertNotIn("streaming/batched", out)
+
+    # --- Telemetry-overhead within-run gate --------------------------
+
+    TEL_OFF = {"name": "micro_telemetry_off", "ns_per_op": 100.0}
+
+    def test_telemetry_within_two_percent_passes(self):
+        on = {"name": "micro_telemetry_overhead", "ns_per_op": 101.5}
+        rows = [self.TEL_OFF, on]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 0, out)
+        self.assertIn("telemetry overhead", out)
+
+    def test_telemetry_over_two_percent_fails(self):
+        on = {"name": "micro_telemetry_overhead", "ns_per_op": 104.0}
+        rows = [self.TEL_OFF, on]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 1, out)
+        self.assertIn("telemetry overhead ratio", out)
+
+    def test_runs_without_telemetry_rows_skip_the_gate(self):
+        rows = [self.BATCHED, self.DISP]
+        code, out = run_diff(rows, rows)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("telemetry overhead", out)
 
     def test_summary_stream_gap_table(self):
         stream = {"name": "stream_96B_4core_4prod", "mpps": 6.0, "gbps": 4.6}
