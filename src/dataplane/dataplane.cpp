@@ -131,6 +131,7 @@ void Dataplane::AddShardLocked() {
   const std::size_t s = shards_.size();
   Pipeline& replica = shards_.emplace_back(cfg_.timing,
                                            cfg_.reconfig_on_data_path);
+  replica.SetBurstProbeEnabled(cfg_.burst_probe);
   // A replica born after traffic started must carry the same
   // configuration as its siblings: replay the log (last write per
   // resource address).
@@ -350,6 +351,66 @@ void Dataplane::FlushEgressLocked() {
                             ctx->egress.end());
     ctx->egress.clear();
   }
+}
+
+void Dataplane::BindEgressDevice(Network& net, std::map<u16, PortRef> port_map) {
+  // Validate up front: an Injection at a host-less port throws deep
+  // inside the hop loop, after some packets may already have entered
+  // the network.  Failing here keeps FlushEgress all-or-nothing.
+  for (const auto& [local_port, ref] : port_map) {
+    if (!net.HasHost(ref)) {
+      throw std::invalid_argument(
+          "BindEgressDevice: no host attached at " + ref.device + ":" +
+          std::to_string(ref.port) + " (mapped from egress port " +
+          std::to_string(local_port) + ")");
+    }
+  }
+  std::lock_guard<std::mutex> lk(egress_bind_m_);
+  egress_net_ = &net;
+  egress_ports_ = std::move(port_map);
+}
+
+std::vector<Delivery> Dataplane::FlushEgress(std::size_t max_hops) {
+  // Drain first (PollEgress already implements the ordering contract:
+  // quiesce-overflow FIFO, then shard queues in shard order), then
+  // translate the drained run into one grouped InjectBatch under the
+  // binding lock.  Draining outside the lock would let two concurrent
+  // FlushEgress calls interleave their injection order, so the whole
+  // flush is serialized.
+  std::lock_guard<std::mutex> lk(egress_bind_m_);
+  std::vector<ArenaPacket*> drained;
+  if (PollEgress(drained) == 0) return {};
+
+  std::vector<Injection> injections;
+  injections.reserve(drained.size());
+  u64 unbound = 0;
+  for (ArenaPacket* p : drained) {
+    const auto bytes = p->bytes().bytes();
+    std::size_t copies = 0;
+    const auto inject_via = [&](u16 local_port) {
+      const auto it = egress_ports_.find(local_port);
+      if (it == egress_ports_.end() || egress_net_ == nullptr) return;
+      injections.push_back(Injection{
+          it->second,
+          Packet(ByteBuffer(std::vector<u8>(bytes.begin(), bytes.end())))});
+      ++copies;
+    };
+    if (p->disposition == Disposition::kMulticast) {
+      for (const u16 mp : p->multicast_ports) inject_via(mp);
+    } else {
+      inject_via(p->egress_port);
+    }
+    if (copies == 0) ++unbound;
+  }
+  // Buffers go back to their arenas before the injection runs: the
+  // network works on owned copies, so producers can refill while the
+  // hop loop executes.
+  ReleaseToOwners(drained.data(), drained.size());
+  if (unbound != 0)
+    egress_unbound_.fetch_add(unbound, std::memory_order_acq_rel);
+  if (injections.empty() || egress_net_ == nullptr) return {};
+  egress_tx_.fetch_add(injections.size(), std::memory_order_acq_rel);
+  return egress_net_->InjectBatch(std::move(injections), max_hops);
 }
 
 void Dataplane::SetIngressQueueDepth(std::size_t depth) {
@@ -1085,6 +1146,8 @@ Dataplane::ShardCounters Dataplane::ShardCountersLocked(std::size_t i) const {
   c.flow_cache_misses = fc.misses;
   c.flow_cache_evictions = fc.evictions;
   c.flow_cache_occupancy = fc.occupancy;
+  c.flow_cache_burst_pkts = fc.burst_probe_pkts;
+  c.flow_cache_burst_fallback = fc.burst_fallback_pkts;
   const Pipeline::KernelStats ks = shards_.at(i).KernelSnapshot();
   c.kernel_pkts = ks.pkts;
   c.kernel_fallback_pkts = ks.fallback_pkts;

@@ -77,6 +77,7 @@
 #include "ingress/batch_ticket.hpp"
 #include "ingress/mpsc_queue.hpp"
 #include "ingress/stream_work.hpp"
+#include "net/network.hpp"
 #include "pipeline/config_write.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/telemetry.hpp"
@@ -111,6 +112,13 @@ struct DataplaneConfig {
   /// Sub-batches below this size are never marked stealable (the steal
   /// handoff costs more than running a small batch in place).
   std::size_t steal_min_packets = 16;
+  /// Burst-vectorized flow-cache probing on every replica
+  /// (Pipeline::SetBurstProbeEnabled): eligible spans probe the
+  /// flow-verdict cache in gather/probe/replay phases with slot
+  /// prefetch-ahead instead of one dependent load per packet.  Applied
+  /// to replicas created later (ResizeShards) too.  Off = the scalar
+  /// differential reference.
+  bool burst_probe = true;
   /// Telemetry knobs (runtime/telemetry.hpp): latency histograms on the
   /// batched + streaming paths, and 1-in-N sampled packet tracing.
   TelemetryConfig telemetry{};
@@ -189,6 +197,43 @@ class Dataplane {
   /// unspecified.  Never drains traffic — safe to call from any thread
   /// concurrently with SubmitStream.
   std::size_t PollEgress(std::vector<ArenaPacket*>& out);
+
+  // --- Egress burst transmit ---------------------------------------------------
+
+  /// Binds this dataplane's streaming egress to `net`: a processed
+  /// packet whose egress_port appears in `port_map` is transmitted by
+  /// FlushEgress into the mapped network port.  Every mapped port must
+  /// be a host-attached edge port of `net` (Network::AttachHost — the
+  /// vSwitch stamps the tenant VID at that edge, so injections without a
+  /// host throw); this validates the whole map up front and throws
+  /// std::invalid_argument on an unattached port.  `net` must outlive
+  /// the binding; rebinding replaces the previous map.
+  void BindEgressDevice(Network& net, std::map<u16, PortRef> port_map);
+
+  /// Drains the egress queues exactly like PollEgress — overflow FIFO
+  /// first, then the per-shard queues in shard order, per-tenant FIFO
+  /// within each — but instead of handing buffers to the caller,
+  /// transmits the drained packets as one grouped burst through
+  /// Network::InjectBatch (which sub-batches per device each hop), and
+  /// returns the resulting edge deliveries.  Ordering contract: the
+  /// injection order IS the drain order, so each tenant's packets enter
+  /// the network in processing order; delivery order then follows
+  /// InjectBatch (hop, device name, arrival).  Multicast packets
+  /// replicate to every bound port of their port list; packets whose
+  /// egress_port has no binding are counted in egress_unbound() and
+  /// recycled.  All drained arena buffers are released back to their
+  /// owners before injection returns.  Serialized against itself and
+  /// BindEgressDevice; safe to call concurrently with SubmitStream.
+  std::vector<Delivery> FlushEgress(std::size_t max_hops = 8);
+
+  /// Packets transmitted into the bound network by FlushEgress.
+  [[nodiscard]] u64 egress_transmitted() const {
+    return egress_tx_.load(std::memory_order_acquire);
+  }
+  /// Drained packets with no binding for their egress port (recycled).
+  [[nodiscard]] u64 egress_unbound() const {
+    return egress_unbound_.load(std::memory_order_acquire);
+  }
 
   /// Quiesced resize of every shard's ingress rings (batched and
   /// streaming) to `depth` (min 2, rounded up to a power of two) — the
@@ -286,6 +331,11 @@ class Dataplane {
     u64 flow_cache_misses = 0;
     u64 flow_cache_evictions = 0;
     u64 flow_cache_occupancy = 0;
+    /// Burst-probe path (FlowVerdictCache::BurstProbe): lanes probed
+    /// burst-wide, and of those, lanes compacted into the scalar
+    /// fallback pass (misses + pending-fill taints).
+    u64 flow_cache_burst_pkts = 0;
+    u64 flow_cache_burst_fallback = 0;
     /// Specialized-kernel dispatch (pipeline/kernels.hpp): packets run
     /// by a straight-line kernel, packets interpreted (wide/ternary
     /// rows), flow-cache misses filled by the recording kernel, and the
@@ -564,6 +614,16 @@ class Dataplane {
   /// resize): drained by PollEgress before any per-shard queue.
   mutable std::mutex overflow_m_;
   std::deque<ArenaPacket*> egress_overflow_;
+
+  /// Egress transmit binding (BindEgressDevice / FlushEgress).  The
+  /// mutex serializes FlushEgress calls against each other and against
+  /// rebinding — Network is not thread-safe, so one consumer drives the
+  /// bound network at a time.
+  mutable std::mutex egress_bind_m_;
+  Network* egress_net_ = nullptr;
+  std::map<u16, PortRef> egress_ports_;
+  std::atomic<u64> egress_tx_{0};
+  std::atomic<u64> egress_unbound_{0};
 
   std::atomic<u64> writes_broadcast_{0};
   std::atomic<u64> epoch_{0};

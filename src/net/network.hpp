@@ -88,6 +88,13 @@ class Network {
   /// `vid` by the vSwitch before entering the first pipeline.
   void AttachHost(const PortRef& port, ModuleId vid);
 
+  /// Whether a host is attached at `port` — the injection precondition
+  /// (MakeTravelers throws on a portless injection).  Egress bindings
+  /// (Dataplane::BindEgressDevice) validate their port map against this.
+  [[nodiscard]] bool HasHost(const PortRef& port) const {
+    return hosts_.contains(port);
+  }
+
   /// Runs distinct same-hop devices' sub-batches concurrently on
   /// `threads` pool workers (the injecting thread participates too, so a
   /// chain of K switches wants threads = K-1).  0 restores sequential

@@ -114,6 +114,11 @@ class ArenaPacket {
   /// the shard worker subtracts it at completion for the streaming
   /// latency histograms.  0 when histograms are disabled.
   u64 ingress_tsc = 0;
+  /// Phase-carry scratch for the burst-probe path: the flow-cache slot
+  /// index BurstProbe computed in phase 2, reused by the phase-3
+  /// fallback resolution so the hash is never recomputed.  Meaningless
+  /// outside one ProcessStreamBurst call.
+  u64 scratch = 0;
 
   [[nodiscard]] PacketArena* owner() const { return owner_; }
 

@@ -160,6 +160,8 @@ ModuleExecPlan CompileModuleExecPlan(const ParserEntry& parse_entry,
     const KeyExtractorEntry& kx = stage.key_extractor().At(row);
     const BitVec& mask = stage.key_mask().At(row).mask;
     if (!mask.is_zero()) {
+      if (s < plan.gather.stages.size())
+        plan.gather.stages[plan.gather.count++] = static_cast<u8>(s);
       const auto slots = KeySlots();
       const auto slot_types = KeySlotTypes();
       for (std::size_t i = 0; i < slots.size(); ++i) {

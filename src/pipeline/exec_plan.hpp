@@ -97,6 +97,19 @@ struct ModuleExecPlan {
     return flow_blocker == FlowCacheBlocker::kNone;
   }
 
+  /// Key-gather plan for the burst probe (FlowVerdictCache::BurstProbe
+  /// phase 1): the probing stages — nonzero key masks, same condition as
+  /// FlowStageKey::skip, derived from the same configuration at the same
+  /// version stamp — in stage order.  Gathering iterates only these, so
+  /// a row with one probing stage extracts one word per packet instead
+  /// of branching across all kNumStages (skip stages contribute the
+  /// constant 0 the key array is pre-zeroed to).
+  struct KeyGather {
+    u8 count = 0;
+    std::array<u8, params::kNumStages> stages{};
+  };
+  KeyGather gather;
+
   /// Plan-level kernel-shape facts (pipeline/kernels): conservative
   /// properties of every VLIW action reachable through the row's match
   /// entries, computed with the same per-address reachability rule as

@@ -145,6 +145,56 @@ FlowVerdict& FlowVerdictCache::SlotFor(FlowRowState& row, ModuleId module,
   return v;
 }
 
+std::size_t FlowVerdictCache::BurstProbe(FlowRowState& row, ModuleId module,
+                                         const KeyWordArray* words,
+                                         std::size_t n,
+                                         const FlowVerdict** verdicts,
+                                         u32* fallback,
+                                         std::size_t& fallback_count,
+                                         u32* slot_out) {
+  if (row.slots.empty()) row.slots.resize(slots_per_row_);
+  const u64 hm = Mix64(module.value());
+  const auto hash_lane = [&](std::size_t k) {
+    u64 h = hm;
+    for (const u64 w : words[k]) h = Mix64(h ^ w);
+    const auto s =
+        static_cast<u32>(static_cast<std::size_t>(h) & (slots_per_row_ - 1));
+    slot_out[k] = s;
+    const char* p = reinterpret_cast<const char*>(&row.slots[s]);
+    __builtin_prefetch(p);
+    __builtin_prefetch(p + 64);  // FlowVerdict spans two cache lines
+  };
+  const std::size_t ahead = std::min(kBurstPrefetchAhead, n);
+  for (std::size_t k = 0; k < ahead; ++k) hash_lane(k);
+  std::size_t hits = 0;
+  fallback_count = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k + ahead < n) hash_lane(k + ahead);
+    const u32 s = slot_out[k];
+    // Pending-fill taint: an earlier fallback lane mapping to this slot
+    // will (re)fill it before lane k would have probed under scalar
+    // order, so the current content cannot decide lane k — route it to
+    // the in-order fallback pass.  The fallback list is the compacted
+    // miss set, typically short, so the linear scan stays cheap.
+    bool pending = false;
+    for (std::size_t i = 0; i < fallback_count; ++i) {
+      if (slot_out[fallback[i]] == s) {
+        pending = true;
+        break;
+      }
+    }
+    const FlowVerdict& v = row.slots[s];
+    if (!pending && v.valid && v.module == module && v.words == words[k]) {
+      verdicts[k] = &v;
+      ++hits;
+    } else {
+      verdicts[k] = nullptr;
+      fallback[fallback_count++] = static_cast<u32>(k);
+    }
+  }
+  return hits;
+}
+
 void FlowVerdictCache::BeginFill(FlowRowState& row, FlowVerdict& slot,
                                  ModuleId module, const KeyWordArray& words) {
   if (slot.valid) {

@@ -144,6 +144,8 @@ struct FlowCacheStats {
   u64 misses = 0;
   u64 evictions = 0;  // conflict replacements (not invalidation flushes)
   u64 occupancy = 0;  // valid slots across all rows, right now
+  u64 burst_probe_pkts = 0;    // lanes probed through BurstProbe
+  u64 burst_fallback_pkts = 0; // lanes compacted into the fallback list
 };
 
 class FlowVerdictCache {
@@ -166,6 +168,41 @@ class FlowVerdictCache {
   /// it currently holds this exact (module, words) verdict.
   FlowVerdict& SlotFor(FlowRowState& row, ModuleId module,
                        const KeyWordArray& words, bool& hit);
+
+  /// Software-prefetch lookahead for BurstProbe: the slot of the lane
+  /// this many positions ahead is hashed and prefetched while the
+  /// current lane resolves, so the direct-mapped loads overlap instead
+  /// of serializing one dependent miss per packet.
+  static constexpr std::size_t kBurstPrefetchAhead = 8;
+
+  /// Burst-wide probe (phase 2 of the burst path): hashes all `n` key
+  /// arrays, prefetching each slot kBurstPrefetchAhead lanes before it
+  /// is tested.  Lane k is a *final hit* only when no earlier fallback
+  /// lane of this burst maps to the same slot (that lane's upcoming
+  /// fill would change the outcome) AND the slot currently holds
+  /// (module, words[k]); then verdicts[k] points at the slot.  Every
+  /// other lane gets verdicts[k] == nullptr and is compacted into
+  /// `fallback` for in-order scalar resolution via SlotAt.  slot_out[k]
+  /// always receives the lane's slot index so the fallback pass reuses
+  /// the hash.  Returns the number of final hits; bumps no counters —
+  /// the caller accounts hits in bulk and fallback lanes individually,
+  /// which keeps counter totals identical to the scalar path.
+  std::size_t BurstProbe(FlowRowState& row, ModuleId module,
+                         const KeyWordArray* words, std::size_t n,
+                         const FlowVerdict** verdicts, u32* fallback,
+                         std::size_t& fallback_count, u32* slot_out);
+
+  /// Re-probes one slot by index (the hash carried out of BurstProbe):
+  /// the fallback lanes' replacement for SlotFor.  Resolving fallbacks
+  /// in lane order makes a lane hit here exactly when the scalar path
+  /// would — e.g. against an earlier fallback lane's fresh fill.
+  static FlowVerdict& SlotAt(FlowRowState& row, std::size_t slot,
+                             ModuleId module, const KeyWordArray& words,
+                             bool& hit) {
+    FlowVerdict& v = row.slots[slot];
+    hit = v.valid && v.module == module && v.words == words;
+    return v;
+  }
 
   /// Prepares `slot` (returned miss-side by SlotFor) for a fill:
   /// eviction/occupancy bookkeeping plus key stamping.  The caller runs
@@ -209,10 +246,17 @@ class FlowVerdictCache {
 
   void NoteHit(u64 n = 1) { hits_.Add(n); }
   void NoteMiss() { misses_.Add(); }
+  /// Burst-path bookkeeping: `lanes` probed, of which `fallback` were
+  /// compacted for scalar resolution.
+  void NoteBurst(u64 lanes, u64 fallback) {
+    burst_probe_pkts_.Add(lanes);
+    if (fallback != 0) burst_fallback_pkts_.Add(fallback);
+  }
 
   [[nodiscard]] FlowCacheStats Snapshot() const {
-    return {hits_.load(), misses_.load(), evictions_.load(),
-            occupancy_.load()};
+    return {hits_.load(),      misses_.load(),
+            evictions_.load(), occupancy_.load(),
+            burst_probe_pkts_.load(), burst_fallback_pkts_.load()};
   }
 
   [[nodiscard]] std::size_t slots_per_row() const { return slots_per_row_; }
@@ -237,6 +281,8 @@ class FlowVerdictCache {
   RelaxedCounter misses_;
   RelaxedCounter evictions_;
   RelaxedCounter occupancy_;
+  RelaxedCounter burst_probe_pkts_;
+  RelaxedCounter burst_fallback_pkts_;
 };
 
 }  // namespace menshen

@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.hpp"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -64,20 +65,12 @@ FlowRowState& Pipeline::FlowRowFor(ModuleId module) {
                                stages_.data(), stages_.size(), plan);
 }
 
-void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
-                            const ModuleExecPlan& plan, FlowRowState& frow,
-                            FlowVerdictCache::RunAccounting& acct,
-                            ModuleId module, u64& fwd, u64& drop) {
-  ++total_processed_;
-  // Parse straight into the emplaced result PHV (the Phv constructor
-  // zero-fills): no Clear, no final 128-byte copy-out.
-  Phv& phv = result.final_phv.emplace();
-  PlannedParseInto(pkt, phv, plan.parse);
-
-  FlowVerdictCache::KeyWordArray words;
-  FlowVerdictCache::KeyWords(frow, stages_.size(), phv, words);
-  bool hit = false;
-  FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
+void Pipeline::RunResolveCached(Packet& pkt, PipelineResult& result, Phv& phv,
+                                const ModuleExecPlan& plan, FlowRowState& frow,
+                                FlowVerdictCache::RunAccounting& acct,
+                                ModuleId module, FlowVerdict& v, bool hit,
+                                const FlowVerdictCache::KeyWordArray& words,
+                                u64& fwd, u64& drop) {
   if (hit) {
     flow_cache_.NoteHit();
     FlowVerdictCache::ApplyEffects(v, phv);
@@ -119,6 +112,105 @@ void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
     ++fwd;
 
   result.output = std::move(pkt);
+}
+
+void Pipeline::RunOneCached(Packet& pkt, PipelineResult& result,
+                            const ModuleExecPlan& plan, FlowRowState& frow,
+                            FlowVerdictCache::RunAccounting& acct,
+                            ModuleId module, u64& fwd, u64& drop) {
+  ++total_processed_;
+  // Parse straight into the emplaced result PHV (the Phv constructor
+  // zero-fills): no Clear, no final 128-byte copy-out.
+  Phv& phv = result.final_phv.emplace();
+  PlannedParseInto(pkt, phv, plan.parse);
+
+  FlowVerdictCache::KeyWordArray words;
+  FlowVerdictCache::KeyWords(frow, stages_.size(), phv, words);
+  bool hit = false;
+  FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
+  RunResolveCached(pkt, result, phv, plan, frow, acct, module, v, hit, words,
+                   fwd, drop);
+}
+
+void Pipeline::BatchRunBurstCached(Packet* batch, PipelineResult* out,
+                                   const u32* idx, std::size_t n,
+                                   const ModuleExecPlan& plan,
+                                   FlowRowState& frow,
+                                   FlowVerdictCache::RunAccounting& acct,
+                                   ModuleId module, u64& fwd, u64& drop) {
+  for (std::size_t off = 0; off < n; off += kBurstLanes) {
+    const std::size_t c = std::min(kBurstLanes, n - off);
+    const u32* lanes = idx + off;
+    // Phase 1: parse each lane into its result's emplaced PHV and
+    // gather the probing stages' key words into the contiguous scratch
+    // (skip stages keep the pre-zeroed constant 0).
+    for (std::size_t k = 0; k < c; ++k) {
+      const std::size_t i = lanes[k];
+      if (k + 4 < c) {
+        __builtin_prefetch(batch[lanes[k + 4]].bytes().bytes().data());
+        __builtin_prefetch(&out[lanes[k + 4]], 1);
+      }
+      Phv& phv = out[i].final_phv.emplace();
+      PlannedParseInto(batch[i], phv, plan.parse);
+      FlowVerdictCache::KeyWordArray& w = burst_words_[k];
+      w = {};
+      for (u8 g = 0; g < plan.gather.count; ++g) {
+        const std::size_t s = plan.gather.stages[g];
+        const FlowStageKey& key = frow.keys[s];
+        if (key.skip) continue;
+        w[s] = key.kx.ExtractKeyWord0(phv, key.active_slots, key.pred_active) &
+               key.word_mask;
+      }
+    }
+    // Phase 2: hashed probe with slot prefetch-ahead; unresolvable
+    // lanes compact into the fallback list.
+    std::size_t fallback_count = 0;
+    const std::size_t nhits = flow_cache_.BurstProbe(
+        frow, module, burst_words_.data(), c, burst_verdicts_.data(),
+        burst_fallback_.data(), fallback_count, burst_slot_.data());
+    flow_cache_.NoteBurst(c, fallback_count);
+    total_processed_ += c;
+    if (nhits != 0) flow_cache_.NoteHit(nhits);
+    // Phase 3a: replay the hit lanes while their slots are still
+    // untouched (phase 3b's fills mutate slot contents; the verdict
+    // pointers stay stable because fills never reallocate the row).
+    for (std::size_t k = 0; k < c; ++k) {
+      const FlowVerdict* v = burst_verdicts_[k];
+      if (v == nullptr) continue;
+      const std::size_t i = lanes[k];
+      Packet& pkt = batch[i];
+      PipelineResult& result = out[i];
+      Phv& phv = *result.final_phv;
+      FlowVerdictCache::ApplyEffects(*v, phv);
+      result.exec_tier = static_cast<u8>(ExecTier::kFlowCacheHit);
+      result.exec_steps = 0;
+      FlowVerdictCache::Accumulate(acct, *v, stages_.size());
+      const u16 group = phv.meta_u16(meta::kMulticastGroup);
+      if (group != 0) {
+        if (const auto* ports = MulticastGroup(group))
+          pkt.multicast_ports = *ports;
+      }
+      deparser_.DeparsePlanned(phv, pkt, plan.deparse);
+      if (pkt.disposition == Disposition::kDrop)
+        ++drop;
+      else
+        ++fwd;
+      result.output = std::move(pkt);
+    }
+    // Phase 3b: resolve fallback lanes in lane order — each re-probes
+    // its slot (hash reused via burst_slot_) against the then-current
+    // content, so outcomes, fills and eviction bookkeeping land exactly
+    // as the scalar loop would produce them.
+    for (std::size_t f = 0; f < fallback_count; ++f) {
+      const std::size_t k = burst_fallback_[f];
+      const std::size_t i = lanes[k];
+      bool hit = false;
+      FlowVerdict& v = FlowVerdictCache::SlotAt(frow, burst_slot_[k], module,
+                                                burst_words_[k], hit);
+      RunResolveCached(batch[i], out[i], *out[i].final_phv, plan, frow, acct,
+                       module, v, hit, burst_words_[k], fwd, drop);
+    }
+  }
 }
 
 void Pipeline::RunOneReplay(Packet& pkt, PipelineResult& result,
@@ -437,6 +529,14 @@ void Pipeline::ProcessBatchInto(std::vector<Packet>&& batch,
           }
         }
       }
+      if (burst_probe_enabled_ && !frow.all_constant && b - k >= 2) {
+        // Burst-probed span (the all-constant fast path above already
+        // replays without per-packet hashing, so it stays scalar).
+        BatchRunBurstCached(batch.data(), out.data() + base,
+                            data_idx_scratch_.data() + k, b - k, plan, frow,
+                            acct, module, fwd, drop);
+        k = b;
+      }
       for (; k < b; ++k) {
         const std::size_t i = data_idx_scratch_[k];
         if (k + 4 < b) {
@@ -493,19 +593,13 @@ void Pipeline::StreamRunOne(ArenaPacket& pkt, const ModuleExecPlan& plan,
     ++fwd;
 }
 
-void Pipeline::StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
-                                  FlowRowState& frow,
-                                  FlowVerdictCache::RunAccounting& acct,
-                                  ModuleId module, u64& fwd, u64& drop) {
-  ++total_processed_;
-  Phv& phv = stream_phv_;
-  phv.Clear();
-  PlannedParseInto(pkt, phv, plan.parse);
-
-  FlowVerdictCache::KeyWordArray words;
-  FlowVerdictCache::KeyWords(frow, stages_.size(), phv, words);
-  bool hit = false;
-  FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
+void Pipeline::StreamResolveCached(ArenaPacket& pkt, Phv& phv,
+                                   const ModuleExecPlan& plan,
+                                   FlowRowState& frow,
+                                   FlowVerdictCache::RunAccounting& acct,
+                                   ModuleId module, FlowVerdict& v, bool hit,
+                                   const FlowVerdictCache::KeyWordArray& words,
+                                   u64& fwd, u64& drop) {
   if (hit) {
     flow_cache_.NoteHit();
     FlowVerdictCache::ApplyEffects(v, phv);
@@ -541,6 +635,103 @@ void Pipeline::StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
     ++drop;
   else
     ++fwd;
+}
+
+void Pipeline::StreamRunOneCached(ArenaPacket& pkt, const ModuleExecPlan& plan,
+                                  FlowRowState& frow,
+                                  FlowVerdictCache::RunAccounting& acct,
+                                  ModuleId module, u64& fwd, u64& drop) {
+  ++total_processed_;
+  Phv& phv = stream_phv_;
+  phv.Clear();
+  PlannedParseInto(pkt, phv, plan.parse);
+
+  FlowVerdictCache::KeyWordArray words;
+  FlowVerdictCache::KeyWords(frow, stages_.size(), phv, words);
+  bool hit = false;
+  FlowVerdict& v = flow_cache_.SlotFor(frow, module, words, hit);
+  StreamResolveCached(pkt, phv, plan, frow, acct, module, v, hit, words, fwd,
+                      drop);
+}
+
+void Pipeline::StreamRunBurstCached(ArenaPacket* const* pkts, const u32* idx,
+                                    std::size_t n, const ModuleExecPlan& plan,
+                                    FlowRowState& frow,
+                                    FlowVerdictCache::RunAccounting& acct,
+                                    ModuleId module, u64& fwd, u64& drop) {
+  for (std::size_t off = 0; off < n; off += kBurstLanes) {
+    const std::size_t c = std::min(kBurstLanes, n - off);
+    const u32* lanes = idx + off;
+    // Phase 1: parse each lane into its own scratch PHV (it must
+    // survive to the replay phase) and gather the probing stages' key
+    // words into the contiguous scratch array; skip stages keep the
+    // pre-zeroed constant 0.
+    for (std::size_t k = 0; k < c; ++k) {
+      ArenaPacket& pkt = *pkts[lanes[k]];
+      Phv& phv = burst_phv_[k];
+      phv.Clear();
+      PlannedParseInto(pkt, phv, plan.parse);
+      FlowVerdictCache::KeyWordArray& w = burst_words_[k];
+      w = {};
+      for (u8 g = 0; g < plan.gather.count; ++g) {
+        const std::size_t s = plan.gather.stages[g];
+        const FlowStageKey& key = frow.keys[s];
+        if (key.skip) continue;
+        w[s] = key.kx.ExtractKeyWord0(phv, key.active_slots, key.pred_active) &
+               key.word_mask;
+      }
+    }
+    // Phase 2: hashed probe with slot prefetch-ahead; unresolvable
+    // lanes compact into the fallback list and their slot index rides
+    // the packet's scratch sideband into phase 3b.
+    std::size_t fallback_count = 0;
+    const std::size_t nhits = flow_cache_.BurstProbe(
+        frow, module, burst_words_.data(), c, burst_verdicts_.data(),
+        burst_fallback_.data(), fallback_count, burst_slot_.data());
+    flow_cache_.NoteBurst(c, fallback_count);
+    total_processed_ += c;
+    if (nhits != 0) flow_cache_.NoteHit(nhits);
+    // Phase 3a: replay the hit lanes while their slots are still
+    // untouched (phase 3b's fills mutate slot contents; the verdict
+    // pointers stay stable because fills never reallocate the row).
+    for (std::size_t k = 0; k < c; ++k) {
+      const FlowVerdict* v = burst_verdicts_[k];
+      if (v == nullptr) {
+        pkts[lanes[k]]->scratch = burst_slot_[k];
+        continue;
+      }
+      ArenaPacket& pkt = *pkts[lanes[k]];
+      Phv& phv = burst_phv_[k];
+      FlowVerdictCache::ApplyEffects(*v, phv);
+      pkt.exec_tier = static_cast<u8>(ExecTier::kFlowCacheHit);
+      pkt.exec_steps = 0;
+      FlowVerdictCache::Accumulate(acct, *v, stages_.size());
+      const u16 group = phv.meta_u16(meta::kMulticastGroup);
+      if (group != 0) {
+        if (const auto* ports = MulticastGroup(group))
+          pkt.multicast_ports = *ports;
+      }
+      PlannedDeparseFrom(phv, pkt, plan.deparse);
+      if (pkt.disposition == Disposition::kDrop)
+        ++drop;
+      else
+        ++fwd;
+    }
+    // Phase 3b: resolve fallback lanes in lane order — each re-probes
+    // its slot (hash carried in the scratch sideband) against the
+    // then-current content, so outcomes, fills and eviction bookkeeping
+    // land exactly as the scalar loop would produce them.
+    for (std::size_t f = 0; f < fallback_count; ++f) {
+      const std::size_t k = burst_fallback_[f];
+      ArenaPacket& pkt = *pkts[lanes[k]];
+      bool hit = false;
+      FlowVerdict& v = FlowVerdictCache::SlotAt(
+          frow, static_cast<std::size_t>(pkt.scratch), module, burst_words_[k],
+          hit);
+      StreamResolveCached(pkt, burst_phv_[k], plan, frow, acct, module, v, hit,
+                          burst_words_[k], fwd, drop);
+    }
+  }
 }
 
 void Pipeline::StreamRunSpan(ArenaPacket* const* pkts, const u32* idx,
@@ -639,9 +830,14 @@ void Pipeline::ProcessStreamBurst(ArenaPacket* const* pkts, std::size_t n) {
         stages_.size(), plan);
     if (frow.eligible) {
       FlowVerdictCache::RunAccounting acct;
-      for (std::size_t k = a; k < b; ++k) {
-        StreamRunOneCached(*pkts[data_idx_scratch_[k]], plan, frow, acct,
-                           module, fwd, drop);
+      if (burst_probe_enabled_ && b - a >= 2) {
+        StreamRunBurstCached(pkts, data_idx_scratch_.data() + a, b - a, plan,
+                             frow, acct, module, fwd, drop);
+      } else {
+        for (std::size_t k = a; k < b; ++k) {
+          StreamRunOneCached(*pkts[data_idx_scratch_[k]], plan, frow, acct,
+                             module, fwd, drop);
+        }
       }
       FlowVerdictCache::FlushAccounting(acct, frow, stages_.data(),
                                         stages_.size());

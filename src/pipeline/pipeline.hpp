@@ -113,6 +113,18 @@ class Pipeline {
   void SetKernelsEnabled(bool enabled) { kernels_enabled_ = enabled; }
   [[nodiscard]] bool kernels_enabled() const { return kernels_enabled_; }
 
+  /// Burst-probe dispatch knob: phase-structured flow-cache probing on
+  /// eligible spans (gather every lane's key words, hashed probe with
+  /// slot prefetch-ahead, replay hits / resolve compacted fallback
+  /// lanes in order — FlowVerdictCache::BurstProbe).  On by default;
+  /// the per-packet scalar probe is retained as the differential
+  /// reference (tests/test_burst_probe.cpp pins the two byte- and
+  /// counter-identical).
+  void SetBurstProbeEnabled(bool enabled) { burst_probe_enabled_ = enabled; }
+  [[nodiscard]] bool burst_probe_enabled() const {
+    return burst_probe_enabled_;
+  }
+
   /// Kernel-dispatch statistics (relaxed counters: safe to read while a
   /// shard worker is mid-batch).
   struct KernelStats {
@@ -205,6 +217,39 @@ class Pipeline {
                           ModuleId module, u64& fwd, u64& drop);
   void StreamRunSpan(ArenaPacket* const* pkts, const u32* idx, std::size_t n,
                      const ModuleExecPlan& plan, u64& fwd, u64& drop);
+  /// Post-probe tails shared by the scalar and burst cached paths:
+  /// resolve one packet given its probed slot and hit flag — replay on
+  /// a hit, fill through the kernel/plan ladder on a miss, then
+  /// accounting, multicast, deparse and the fwd/drop counters.  Neither
+  /// touches total_processed_; the caller accounts lanes.
+  void StreamResolveCached(ArenaPacket& pkt, Phv& phv,
+                           const ModuleExecPlan& plan, FlowRowState& frow,
+                           FlowVerdictCache::RunAccounting& acct,
+                           ModuleId module, FlowVerdict& v, bool hit,
+                           const FlowVerdictCache::KeyWordArray& words,
+                           u64& fwd, u64& drop);
+  void RunResolveCached(Packet& pkt, PipelineResult& result, Phv& phv,
+                        const ModuleExecPlan& plan, FlowRowState& frow,
+                        FlowVerdictCache::RunAccounting& acct, ModuleId module,
+                        FlowVerdict& v, bool hit,
+                        const FlowVerdictCache::KeyWordArray& words, u64& fwd,
+                        u64& drop);
+  /// Burst-probed variants of the eligible-span loops: process the span
+  /// in kBurstLanes-sized chunks through the three-phase burst path
+  /// (gather -> BurstProbe -> replay hits / resolve fallbacks in lane
+  /// order).  Chunk boundaries behave exactly like scalar boundaries —
+  /// fills from one chunk are visible to the next chunk's probes — so
+  /// outcomes and counters match the scalar loop packet for packet.
+  void StreamRunBurstCached(ArenaPacket* const* pkts, const u32* idx,
+                            std::size_t n, const ModuleExecPlan& plan,
+                            FlowRowState& frow,
+                            FlowVerdictCache::RunAccounting& acct,
+                            ModuleId module, u64& fwd, u64& drop);
+  void BatchRunBurstCached(Packet* batch, PipelineResult* out, const u32* idx,
+                           std::size_t n, const ModuleExecPlan& plan,
+                           FlowRowState& frow,
+                           FlowVerdictCache::RunAccounting& acct,
+                           ModuleId module, u64& fwd, u64& drop);
 
   PipelineTiming timing_;
   PacketFilter filter_;
@@ -245,6 +290,18 @@ class Pipeline {
   // Streaming scratch PHV (ProcessStreamBurst): Clear()ed and reused per
   // packet — the streaming path never emits a PHV.
   Phv stream_phv_;
+  // Burst-probe scratch, sized to one chunk: per-lane gathered key
+  // words, probe verdict pointers, compacted fallback lane list, slot
+  // indices, and (streaming only — the batched path parses into each
+  // result's emplaced PHV) the per-lane parsed PHVs that must survive
+  // from the gather phase to the replay phase.
+  static constexpr std::size_t kBurstLanes = 64;
+  bool burst_probe_enabled_ = true;
+  std::array<FlowVerdictCache::KeyWordArray, kBurstLanes> burst_words_{};
+  std::array<const FlowVerdict*, kBurstLanes> burst_verdicts_{};
+  std::array<u32, kBurstLanes> burst_fallback_{};
+  std::array<u32, kBurstLanes> burst_slot_{};
+  std::vector<Phv> burst_phv_ = std::vector<Phv>(kBurstLanes);
   RelaxedCounter kernel_pkts_;
   RelaxedCounter kernel_fallback_pkts_;
   RelaxedCounter kernel_record_fills_;

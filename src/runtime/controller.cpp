@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace menshen {
 
@@ -101,33 +102,47 @@ Controller::TickReport Controller::TickOnce() {
     }
   }
 
-  // 3. One rebalancing round (EWMA + hysteresis inside the policy).  A
-  //    round that plans nothing does not quiesce anything.
-  if (cfg_.enable_rebalancing) {
-    report.moves = rebalancer_.Rebalance(dp_).size();
-    if (report.moves != 0)
-      moves_applied_.fetch_add(report.moves, std::memory_order_acq_rel);
-  }
-
-  // 4. Per-shard utilisation observation (queue depth + busy time since
-  //    the previous tick), through the relaxed counters — groundwork for
-  //    the per-shard scaling policy, and the operator's tick log line.
+  // 3. Per-shard utilisation observation (queue depth + busy time since
+  //    the previous tick), through the relaxed counters — the operator's
+  //    tick log line, and the skew signal the rebalancing round below
+  //    keys its aggressiveness off.
   const std::vector<Dataplane::ShardCounters> shard_counters =
       dp_.CountersSnapshotRelaxed();
   last_busy_ns_.resize(shard_counters.size(), 0);
   report.shard_loads.reserve(shard_counters.size());
   u64 stalls_total = 0;
+  u64 busy_max = 0;
+  u64 busy_sum = 0;
   for (std::size_t s = 0; s < shard_counters.size(); ++s) {
     const u64 busy = shard_counters[s].busy_ns;
     const u64 delta = busy - std::min(busy, last_busy_ns_[s]);
     last_busy_ns_[s] = busy;
     stalls_total += shard_counters[s].producer_stalls;
+    busy_max = std::max(busy_max, delta);
+    busy_sum += delta;
     report.shard_loads.push_back(ShardLoad{
         s, shard_counters[s].queue_depth, delta,
         shard_counters[s].flow_cache_hits, shard_counters[s].flow_cache_misses,
         shard_counters[s].flow_cache_occupancy, shard_counters[s].kernel_pkts,
         shard_counters[s].kernel_fallback_pkts, shard_counters[s].stream_pkts,
         shard_counters[s].producer_stalls, shard_counters[s].steals});
+  }
+  // Skew = max/mean of the per-shard busy-time deltas: 1.0 when the work
+  // is spread evenly, num_shards when one shard does everything.
+  if (busy_sum != 0 && !shard_counters.empty()) {
+    const double mean = static_cast<double>(busy_sum) /
+                        static_cast<double>(shard_counters.size());
+    report.shard_skew = static_cast<double>(busy_max) / mean;
+  }
+
+  // 4. One rebalancing round (EWMA + hysteresis inside the policy),
+  //    keyed off the skew just observed: a hot shard raises the round's
+  //    move budget and suspends the dead band (see RebalancerConfig).  A
+  //    round that plans nothing does not quiesce anything.
+  if (cfg_.enable_rebalancing) {
+    report.moves = rebalancer_.Rebalance(dp_, report.shard_skew).size();
+    if (report.moves != 0)
+      moves_applied_.fetch_add(report.moves, std::memory_order_acq_rel);
   }
 
   // 5. Adaptive ingress queue depth: widen when producers stalled this
@@ -178,6 +193,12 @@ Controller::TickReport Controller::TickOnce() {
     std::string line = "tick " + std::to_string(report.tick) + ": offered " +
                        std::to_string(report.offered_packets) + ", shards " +
                        std::to_string(report.shards_after);
+    if (report.shard_skew != 0) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", report.shard_skew);
+      line += ", skew " + std::string(buf);
+    }
+    if (report.moves != 0) line += ", moves " + std::to_string(report.moves);
     for (const ShardLoad& sl : report.shard_loads) {
       line += " | s" + std::to_string(sl.shard) + " q=" +
               std::to_string(sl.queue_depth) + " busy=" +

@@ -11,8 +11,12 @@
 //      when the smoothed load leaves the configured per-shard band
 //      (scale-up and scale-down watermarks plus a cooldown, so the
 //      replica count tracks offered load without flapping);
-//   3. runs one Rebalancer round (EWMA per-tenant load + hysteresis), so
-//      hot tenants drift off overloaded replicas.
+//   3. observes per-shard busy time and derives the skew (max/mean) of
+//      the tick's busy-time deltas — the per-shard hot-spot signal;
+//   4. runs one Rebalancer round (EWMA per-tenant load + hysteresis),
+//      keyed off that skew: a hot shard switches the round aggressive
+//      (bigger move budget, dead band suspended), so hot tenants drift
+//      off overloaded replicas within a tick of the hot spot appearing.
 //
 // Scaling and migration reuse the dataplane's quiesce machinery — both
 // land at epoch boundaries, so every reconfiguration the controller makes
@@ -141,6 +145,12 @@ class Controller {
     std::size_t shards_before = 0;
     std::size_t shards_after = 0;
     std::size_t moves = 0;  // tenant migrations this tick
+    /// Per-shard busy-time skew this tick: max(busy_ns_delta) over
+    /// mean(busy_ns_delta) across shards (0 when no shard did work).
+    /// Observed BEFORE the rebalancing round and passed to it, so a
+    /// single hot shard triggers the rebalancer's aggressive mode
+    /// (RebalancerConfig::skew_threshold) the same tick it is seen.
+    double shard_skew = 0;
     /// Producer stalls observed this tick (delta across every shard)
     /// and the ingress ring depth after any adaptive adjustment.
     u64 producer_stalls = 0;

@@ -26,7 +26,18 @@ std::vector<Rebalancer::TenantLoad> Rebalancer::SmoothedLoads(
 }
 
 std::vector<Migration> Rebalancer::PlanFrom(
-    const Dataplane& dp, std::vector<TenantLoad>& tenants) const {
+    const Dataplane& dp, std::vector<TenantLoad>& tenants,
+    double shard_skew) const {
+  // Per-shard hot-spot response: when the caller measured a skewed
+  // busy-time distribution, the imbalance is a fact on the ground (the
+  // hot shard is burning wall-clock the others are not), so the round
+  // raises its move budget and drops the hysteresis dead band.  The
+  // per-tenant cooldown freeze below still applies either way.
+  const bool aggressive =
+      cfg_.skew_threshold > 0.0 && shard_skew >= cfg_.skew_threshold;
+  const std::size_t move_budget =
+      aggressive ? std::max(cfg_.skew_max_moves, cfg_.max_moves_per_round)
+                 : cfg_.max_moves_per_round;
   std::vector<double> shard_load(dp.num_shards(), 0.0);
   for (const TenantLoad& t : tenants) {
     // A concurrent ResizeShards shrink between SmoothedLoads and here can
@@ -37,7 +48,7 @@ std::vector<Migration> Rebalancer::PlanFrom(
   }
 
   std::vector<Migration> moves;
-  for (std::size_t round = 0; round < cfg_.max_moves_per_round; ++round) {
+  for (std::size_t round = 0; round < move_budget; ++round) {
     const auto busiest =
         std::max_element(shard_load.begin(), shard_load.end());
     const auto idlest = std::min_element(shard_load.begin(), shard_load.end());
@@ -60,7 +71,7 @@ std::vector<Migration> Rebalancer::PlanFrom(
     for (TenantLoad& t : tenants) {
       if (t.shard != from || t.load <= 0.0) continue;
       if (t.load + *idlest >= *busiest) continue;
-      if (t.load < cfg_.hysteresis_band * mean) continue;
+      if (!aggressive && t.load < cfg_.hysteresis_band * mean) continue;
       const auto moved_it = last_moved_round_.find(t.tenant.value());
       if (moved_it != last_moved_round_.end() &&
           planning_round - moved_it->second < cfg_.move_cooldown_rounds)
@@ -77,14 +88,16 @@ std::vector<Migration> Rebalancer::PlanFrom(
   return moves;
 }
 
-std::vector<Migration> Rebalancer::Plan(const Dataplane& dp) const {
+std::vector<Migration> Rebalancer::Plan(const Dataplane& dp,
+                                        double shard_skew) const {
   std::vector<TenantLoad> tenants = SmoothedLoads(dp);
-  return PlanFrom(dp, tenants);
+  return PlanFrom(dp, tenants, shard_skew);
 }
 
-std::vector<Migration> Rebalancer::Rebalance(Dataplane& dp) {
+std::vector<Migration> Rebalancer::Rebalance(Dataplane& dp,
+                                             double shard_skew) {
   std::vector<TenantLoad> tenants = SmoothedLoads(dp);
-  const std::vector<Migration> moves = PlanFrom(dp, tenants);
+  const std::vector<Migration> moves = PlanFrom(dp, tenants, shard_skew);
   for (const Migration& m : moves) dp.MigrateTenant(m.tenant, m.to);
   if (!moves.empty()) {
     // The placement change takes effect at a clean epoch boundary (and

@@ -50,6 +50,16 @@ struct RebalancerConfig {
   /// Rounds a tenant stays frozen after it migrates (counting the round
   /// it moved in), so consecutive ticks cannot bounce it back.
   std::size_t move_cooldown_rounds = 2;
+  /// Per-shard skew (max busy-time / mean busy-time, as observed by the
+  /// controller from TickReport::shard_loads) at or above which a round
+  /// goes aggressive: the move budget rises to skew_max_moves and the
+  /// hysteresis dead band is suspended — a single hot shard is a
+  /// measured fact, not noise, so the dead band only delays the
+  /// response.  Cooldown freezes still apply (ping-pong protection is
+  /// about repeated moves of one tenant, not about round aggression).
+  double skew_threshold = 1.5;
+  /// Move budget for an aggressive (skewed) round.
+  std::size_t skew_max_moves = 4;
 };
 
 /// One planned (or applied) tenant move.
@@ -68,14 +78,18 @@ class Rebalancer {
   /// Load metric: per-tenant EWMA of forwarded+dropped deltas between
   /// *applied* rounds (seeded with the first observation).  Reads only
   /// the dataplane's relaxed counters — never quiesces the engine.
-  [[nodiscard]] std::vector<Migration> Plan(const Dataplane& dp) const;
+  /// `shard_skew` is the caller-observed max/mean per-shard busy-time
+  /// ratio (0 = unknown/balanced); at or above skew_threshold the round
+  /// plans aggressively (see RebalancerConfig).
+  [[nodiscard]] std::vector<Migration> Plan(const Dataplane& dp,
+                                            double shard_skew = 0.0) const;
 
   /// Plans and applies one round: each migration quiesces inside the
   /// dataplane, and a round that moved anything commits an epoch so the
   /// new placement takes effect at a clean epoch boundary.  Returns the
   /// applied moves.  A round that plans nothing touches no lock the data
-  /// path cares about.
-  std::vector<Migration> Rebalance(Dataplane& dp);
+  /// path cares about.  `shard_skew` as in Plan.
+  std::vector<Migration> Rebalance(Dataplane& dp, double shard_skew = 0.0);
 
   [[nodiscard]] u64 rounds() const { return rounds_; }
 
@@ -92,7 +106,8 @@ class Rebalancer {
   [[nodiscard]] std::vector<TenantLoad> SmoothedLoads(
       const Dataplane& dp) const;
   [[nodiscard]] std::vector<Migration> PlanFrom(
-      const Dataplane& dp, std::vector<TenantLoad>& tenants) const;
+      const Dataplane& dp, std::vector<TenantLoad>& tenants,
+      double shard_skew) const;
 
   RebalancerConfig cfg_;
   /// Cumulative per-tenant counts at the end of the last applied round;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "packet/arena.hpp"
@@ -343,6 +344,47 @@ TEST(Controller, AdaptiveQueueDepthRampsUpOnStallsAndBackDownWhenIdle) {
   // The depth changes were quiesced reconfigurations: the streamed bytes
   // still came through intact (arena fully recycled by drain()).
   EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(Controller, HotShardSkewTriggersAggressiveRebalanceRamp) {
+  const std::vector<CompiledModule> images = CompileTenants();
+  // Sequential engine: busy time lands on the shard context that owns
+  // each sub-batch (no worker stealing), so piling every tenant onto
+  // shard 0 yields a clean max/mean busy-time skew of num_shards.
+  Dataplane dp(DataplaneConfig{.num_shards = 4, .worker_threads = false});
+  for (const CompiledModule& m : images) dp.ApplyWrites(m.AllWrites());
+  for (const TenantApp& t : Tenants()) dp.MigrateTenant(ModuleId(t.vid), 0);
+  dp.CommitEpoch();
+
+  ControllerConfig cfg;
+  cfg.enable_scaling = false;
+  Controller controller(dp, cfg);
+
+  // Every tenant's traffic runs on shard 0: the hot-spot shape the
+  // aggregate watermark cannot see (total load is fine, placement is not).
+  (void)dp.ProcessBatch(MixedTrace(2000, /*seed=*/23));
+
+  const Controller::TickReport r = controller.TickOnce();
+  // Only shard 0 accumulated busy time -> skew == num_shards (max/mean).
+  EXPECT_GT(r.shard_skew, cfg.rebalancer.skew_threshold);
+  EXPECT_NEAR(r.shard_skew, 4.0, 0.01);
+  // The aggressive round outruns the default budget: greedy spreads the
+  // four co-homed tenants until the watermark clears — three moves, one
+  // more than max_moves_per_round allows in a calm round.
+  EXPECT_GT(r.moves, cfg.rebalancer.max_moves_per_round);
+  EXPECT_EQ(r.moves, 3u);
+  // Placement after the ramp: the four tenants occupy four distinct
+  // shards.
+  std::set<std::size_t> homes;
+  for (const TenantApp& t : Tenants()) homes.insert(dp.ShardFor(ModuleId(t.vid)));
+  EXPECT_EQ(homes.size(), Tenants().size());
+
+  // Balanced follow-up: traffic now spreads, the skew collapses toward
+  // 1 and a calm round plans nothing (cooldown + no watermark breach).
+  (void)dp.ProcessBatch(MixedTrace(2000, /*seed=*/29));
+  const Controller::TickReport r2 = controller.TickOnce();
+  EXPECT_LT(r2.shard_skew, cfg.rebalancer.skew_threshold);
+  EXPECT_EQ(r2.moves, 0u);
 }
 
 TEST(Controller, BackgroundThreadTicksConcurrentlyWithTraffic) {
